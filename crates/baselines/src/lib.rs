@@ -1,0 +1,37 @@
+//! # pythia-baselines
+//!
+//! The baselines Pythia is compared against in §5.2:
+//!
+//! * **DFLT** — plain default execution, no prefetching (the denominator of
+//!   every speedup number). Expressed by replaying a trace with
+//!   `QueryRun::default_run`; [`dflt_run`] is the explicit spelling.
+//! * **ORCL** ([`oracle`]) — an idealized oracle that knows the exact block
+//!   access sequence and feeds it to Pythia's prefetcher. By construction it
+//!   has a perfect F1; it upper-bounds any predictor's speedup. Scoped
+//!   variants (sequential-only / non-sequential-only) reproduce Figure 1.
+//! * **NN** ([`nearest`]) — an idealized non-learning baseline: retrieve the
+//!   training query with the highest Jaccard similarity of *accessed blocks*
+//!   (it peeks at the test query's true accesses, hence idealized) and
+//!   prefetch that neighbour's blocks.
+//! * **SEQ** ([`seq`]) — the NLP-style sequence predictor (the paper's
+//!   Longformer stand-in): an autoregressive next-block transformer over
+//!   block tokens with a bounded context window (32/64), in raw-sequence and
+//!   deduplicated variants. Reproduces Figure 9's finding: comparable
+//!   accuracy, orders of magnitude more training and inference work because
+//!   it emits one block per inference step.
+
+pub mod nearest;
+pub mod oracle;
+pub mod seq;
+
+pub use nearest::NearestNeighbor;
+pub use oracle::{oracle_prefetch, OracleScope};
+pub use seq::{SeqModel, SeqModelConfig};
+
+use pythia_db::runtime::QueryRun;
+use pythia_db::trace::Trace;
+
+/// The DFLT baseline: replay with no prefetch and no inference overhead.
+pub fn dflt_run(trace: &Trace) -> QueryRun<'_> {
+    QueryRun::default_run(trace)
+}

@@ -1,0 +1,66 @@
+//! Buffer-manager micro-benchmarks: lookup/hit path, eviction cycles per
+//! replacement policy, and AIO prefetch pump throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pythia_buffer::{AioPrefetcher, BufferPool, PolicyKind};
+use pythia_sim::{CostModel, FileId, IoWorkerPool, OsPageCache, PageId, SimTime};
+
+fn pid(p: u32) -> PageId {
+    PageId::new(FileId(0), p)
+}
+
+fn hit_path(c: &mut Criterion) {
+    let mut pool = BufferPool::new(1024, PolicyKind::Clock);
+    for p in 0..1024 {
+        pool.load(pid(p), false, SimTime::ZERO).unwrap();
+    }
+    let mut p = 0u32;
+    c.bench_function("buffer/lookup_and_touch", |b| {
+        b.iter(|| {
+            p = (p + 631) % 1024;
+            let fid = pool.lookup(pid(p)).unwrap();
+            pool.touch(fid);
+            black_box(fid)
+        })
+    });
+}
+
+fn eviction_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buffer/eviction_cycle");
+    for policy in PolicyKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(policy), &policy, |b, &policy| {
+            let mut pool = BufferPool::new(256, policy);
+            let mut p = 0u32;
+            b.iter(|| {
+                p += 1; // always a fresh page: forces an eviction when full
+                black_box(pool.load(pid(p), false, SimTime::ZERO))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn aio_pump(c: &mut Criterion) {
+    c.bench_function("buffer/aio_prefetch_1k_pages", |b| {
+        b.iter(|| {
+            let mut pool = BufferPool::new(2048, PolicyKind::Clock);
+            let mut os = OsPageCache::new(4096, 32);
+            let mut io = IoWorkerPool::new(8);
+            let cost = CostModel::default();
+            let mut aio = AioPrefetcher::new(256);
+            aio.start((0..1000).map(pid), &mut pool, &mut os, &mut io, &cost, SimTime::ZERO);
+            let mut now = SimTime::ZERO;
+            for _ in 0..1000 {
+                now = now + pythia_sim::SimDuration::from_micros(100);
+                aio.on_query_read(&mut pool, &mut os, &mut io, &cost, now);
+            }
+            aio.finish(&mut pool);
+            black_box(pool.stats().prefetch_issued)
+        })
+    });
+}
+
+criterion_group!(benches, hit_path, eviction_cycle, aio_pump);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Pipeline benchmarks: plan serialization, full-model inference latency
+//! (the paper's "within 1.5 seconds per query" practicality claim, §5.5),
+//! and trace-replay throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pythia_core::{serialize_plan, train_workload, PythiaConfig, ValueBinner};
+use pythia_db::runtime::{QueryRun, RunConfig, Runtime};
+use pythia_workloads::templates::{sample_workload, Template};
+use pythia_workloads::{build_benchmark, GeneratorConfig};
+
+fn serialization(c: &mut Criterion) {
+    let bench = build_benchmark(&GeneratorConfig { scale: 0.05, seed: 1 });
+    let binner = ValueBinner::from_database(&bench.db);
+    let q = sample_workload(&bench, Template::T18, 1, 2).remove(0);
+    c.bench_function("pipeline/serialize_t18_plan", |b| {
+        b.iter(|| black_box(serialize_plan(&bench.db, &binner, &q.plan)))
+    });
+}
+
+fn inference_latency(c: &mut Criterion) {
+    // Train a small-but-real model set once, then measure per-query
+    // inference (all object models) — the number the paper reports as
+    // 1–1.5 s on their hardware / page counts.
+    let bench = build_benchmark(&GeneratorConfig { scale: 0.05, seed: 1 });
+    let queries = sample_workload(&bench, Template::T91, 24, 3);
+    let traces: Vec<_> = queries
+        .iter()
+        .map(|q| pythia_db::exec::execute(&q.plan, &bench.db).1)
+        .collect();
+    let cfg = PythiaConfig { epochs: 2, ..PythiaConfig::fast() };
+    let plans: Vec<_> = queries.iter().map(|q| q.plan.clone()).collect();
+    let tw = train_workload(&bench.db, "t91", &plans, &traces, None, &cfg);
+    let test = &plans[0];
+    c.bench_function("pipeline/pythia_inference_all_models", |b| {
+        b.iter(|| black_box(tw.infer(&bench.db, test)))
+    });
+}
+
+fn replay_throughput(c: &mut Criterion) {
+    let bench = build_benchmark(&GeneratorConfig { scale: 0.05, seed: 1 });
+    let q = sample_workload(&bench, Template::T18, 1, 9).remove(0);
+    let (_, trace) = pythia_db::exec::execute(&q.plan, &bench.db);
+    let cfg = RunConfig::default();
+    let lens = bench.db.file_lengths();
+    c.bench_function("pipeline/replay_t18_trace", |b| {
+        b.iter(|| {
+            let mut rt = Runtime::new(&cfg, lens.clone());
+            black_box(rt.run(&[QueryRun::default_run(&trace)]).timings[0].elapsed())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = serialization, inference_latency, replay_throughput
+}
+criterion_main!(benches);

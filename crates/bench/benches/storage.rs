@@ -1,0 +1,66 @@
+//! Storage-substrate micro-benchmarks: B+Tree build/probe/range and heap
+//! scans. These bound how fast trace collection (the paper's training-data
+//! step) can run.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use pythia_db::btree::BTree;
+use pythia_db::heap::{HeapFile, RecordId};
+use pythia_db::types::Datum;
+use pythia_sim::SimDisk;
+
+fn btree_build(c: &mut Criterion) {
+    let entries: Vec<(i64, RecordId)> = (0..100_000)
+        .map(|i| ((i * 7919) % 100_000, RecordId { page_no: i as u32, slot: 0 }))
+        .collect();
+    c.bench_function("btree/bulk_build_100k", |b| {
+        b.iter_batched(
+            || (SimDisk::new(), entries.clone()),
+            |(mut disk, e)| black_box(BTree::bulk_build(&mut disk, e)),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn btree_probe(c: &mut Criterion) {
+    let mut disk = SimDisk::new();
+    let entries: Vec<(i64, RecordId)> =
+        (0..100_000).map(|i| (i, RecordId { page_no: i as u32, slot: 0 })).collect();
+    let tree = BTree::bulk_build(&mut disk, entries);
+    let mut k = 0i64;
+    c.bench_function("btree/point_search", |b| {
+        b.iter(|| {
+            k = (k + 37_633) % 100_000;
+            black_box(tree.search(&disk, k, &mut |_, _| {}))
+        })
+    });
+    c.bench_function("btree/range_1000", |b| {
+        b.iter(|| {
+            k = (k + 37_633) % 99_000;
+            black_box(tree.range(&disk, k, k + 999, &mut |_, _| {}))
+        })
+    });
+}
+
+fn heap_ops(c: &mut Criterion) {
+    let mut disk = SimDisk::new();
+    let mut heap = HeapFile::create(&mut disk);
+    for i in 0..50_000i64 {
+        heap.insert(&mut disk, &[Datum::Int(i), Datum::Int(i % 97)]);
+    }
+    c.bench_function("heap/full_scan_50k", |b| {
+        b.iter(|| black_box(heap.scan(&disk).count()))
+    });
+    let mut i = 0u32;
+    let pages = heap.page_count(&disk);
+    c.bench_function("heap/page_read", |b| {
+        b.iter(|| {
+            i = (i + 131) % pages;
+            black_box(heap.read_page(&disk, i))
+        })
+    });
+}
+
+criterion_group!(benches, btree_build, btree_probe, heap_ops);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! # pythia-bench
+//!
+//! Criterion micro-benchmarks for the Pythia workspace (see `benches/`):
+//!
+//! * `storage` — B+Tree build/search/range, heap scans, slotted pages.
+//! * `buffer` — pool lookups, eviction cycles per policy, AIO pump.
+//! * `nn` — matmul kernels, transformer encoder forward, training steps.
+//! * `pipeline` — plan serialization, model inference latency (the paper's
+//!   "1–1.5 s per query" claim, at our scale), trace replay throughput.
+//!
+//! This crate's library exposes small shared fixtures.
+
+use pythia_db::catalog::Database;
+use pythia_db::types::Schema;
+
+/// A small fact/dim pair with an index, used by several benches.
+pub fn bench_db(rows: i64) -> (Database, pythia_db::catalog::TableId, pythia_db::catalog::ObjectId) {
+    let mut db = Database::new();
+    let fact = db.create_table("fact", Schema::ints(&["id", "day", "k"]));
+    let dim = db.create_table("dim", Schema::ints(&["d_id", "attr"]));
+    for i in 0..rows {
+        db.insert(fact, Database::row(&[i, i / 8, (i * 13) % (rows / 4).max(1)]));
+    }
+    for d in 0..(rows / 4).max(1) {
+        db.insert(dim, Database::row(&[d, d % 9]));
+    }
+    let idx = db.create_index("dim_pk", dim, 0);
+    (db, fact, idx)
+}

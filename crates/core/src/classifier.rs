@@ -1,0 +1,243 @@
+//! The multi-label plan classifier — the hybrid model of Figure 3.
+//!
+//! Input: a serialized plan (token ids). The transformer encoder produces a
+//! query embedding (last token's representation); a feed-forward decoder with
+//! one hidden layer emits one logit per label (page). Training is end-to-end
+//! with `BCEWithLogitsLoss` + Adam. "Intuitively, we can think of training n
+//! binary classifiers where n is the number of blocks for a given database
+//! object" (§3.3).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use pythia_nn::init::Initializer;
+use pythia_nn::layers::{Linear, TransformerEncoder};
+use pythia_nn::tape::{bce_with_logits, ParamSet, Tape};
+use pythia_nn::{Adam, Tensor};
+
+use crate::config::PythiaConfig;
+use crate::vocab::Vocab;
+
+/// One training example: serialized plan token ids and the positive label
+/// indices (pages accessed non-sequentially).
+pub type Example = (Vec<usize>, Vec<usize>);
+
+/// Training summary.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainReport {
+    pub epochs: usize,
+    pub steps: usize,
+    pub first_loss: f32,
+    pub final_loss: f32,
+}
+
+/// A trained (or trainable) multi-label classifier over `n_labels` classes.
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct PlanClassifier {
+    params: ParamSet,
+    encoder: TransformerEncoder,
+    fc1: Linear,
+    fc2: Linear,
+    n_labels: usize,
+    threshold: f32,
+    max_seq_len: usize,
+}
+
+impl PlanClassifier {
+    /// Construct an untrained classifier.
+    pub fn new(cfg: &PythiaConfig, vocab_size: usize, n_labels: usize) -> Self {
+        cfg.validate().expect("invalid config");
+        assert!(n_labels > 0, "classifier needs at least one label");
+        let mut params = ParamSet::new();
+        let mut init = Initializer::new(cfg.seed);
+        let encoder = TransformerEncoder::new(
+            &mut params,
+            &mut init,
+            "enc",
+            vocab_size.max(2),
+            cfg.embed_dim,
+            cfg.heads,
+            cfg.ff_dim,
+            cfg.layers,
+            cfg.max_seq_len,
+        );
+        let fc1 = Linear::new(&mut params, &mut init, "fc1", cfg.embed_dim, cfg.decoder_hidden);
+        let fc2 = Linear::new(&mut params, &mut init, "fc2", cfg.decoder_hidden, n_labels);
+        PlanClassifier {
+            params,
+            encoder,
+            fc1,
+            fc2,
+            n_labels,
+            threshold: cfg.threshold,
+            max_seq_len: cfg.max_seq_len,
+        }
+    }
+
+    /// Number of output labels.
+    pub fn n_labels(&self) -> usize {
+        self.n_labels
+    }
+
+    /// Model size in bytes (paper reports per-template model sizes).
+    pub fn size_bytes(&self) -> usize {
+        self.params.size_bytes()
+    }
+
+    fn clip<'a>(&self, toks: &'a [usize]) -> &'a [usize] {
+        &toks[..toks.len().min(self.max_seq_len)]
+    }
+
+    /// Train with Adam on BCE-with-logits (paper's objective).
+    pub fn train(&mut self, data: &[Example], cfg: &PythiaConfig) -> TrainReport {
+        assert!(!data.is_empty(), "no training data");
+        let mut adam = Adam::new(&self.params, cfg.lr);
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7e57);
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let mut first_loss = f32::NAN;
+        let mut final_loss = f32::NAN;
+        let mut steps = 0;
+        for _epoch in 0..cfg.epochs {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(cfg.batch_size) {
+                let seqs: Vec<&[usize]> =
+                    chunk.iter().map(|&i| self.clip(&data[i].0)).collect();
+                let mut targets = Tensor::zeros(chunk.len(), self.n_labels);
+                for (r, &i) in chunk.iter().enumerate() {
+                    for &lbl in &data[i].1 {
+                        debug_assert!(lbl < self.n_labels);
+                        targets.set(r, lbl, 1.0);
+                    }
+                }
+                let mut tape = Tape::new();
+                let vars = self.params.inject(&mut tape);
+                let reps = self.encoder.encode_batch(&mut tape, &vars, &seqs, Vocab::PAD);
+                let h = self.fc1.forward(&mut tape, &vars, reps);
+                let h = tape.relu(h);
+                let logits = self.fc2.forward(&mut tape, &vars, h);
+                let loss = bce_with_logits(&mut tape, logits, targets, cfg.pos_weight);
+                let loss_val = tape.value(loss).get(0, 0);
+                if first_loss.is_nan() {
+                    first_loss = loss_val;
+                }
+                final_loss = loss_val;
+                let grads = tape.backward(loss);
+                adam.step(&mut self.params, &vars, &grads);
+                steps += 1;
+            }
+        }
+        TrainReport { epochs: cfg.epochs, steps, first_loss, final_loss }
+    }
+
+    /// Continue training from the current parameters on additional examples
+    /// (fresh Adam state). This is the paper's incremental-training path:
+    /// "Every new query run can be used as a new training data point to
+    /// improve Pythia models" (§5.3).
+    pub fn refine(&mut self, data: &[Example], cfg: &PythiaConfig) -> TrainReport {
+        self.train(data, cfg)
+    }
+
+    /// Per-label sigmoid scores for one serialized plan.
+    pub fn scores(&self, toks: &[usize]) -> Vec<f32> {
+        let mut tape = Tape::new();
+        let vars = self.params.inject(&mut tape);
+        let toks = self.clip(toks);
+        let rep = self.encoder.encode(&mut tape, &vars, toks);
+        let h = self.fc1.forward(&mut tape, &vars, rep);
+        let h = tape.relu(h);
+        let logits = self.fc2.forward(&mut tape, &vars, h);
+        tape.value(logits)
+            .as_slice()
+            .iter()
+            .map(|&z| 1.0 / (1.0 + (-z).exp()))
+            .collect()
+    }
+
+    /// Labels whose score exceeds the threshold.
+    pub fn predict(&self, toks: &[usize]) -> Vec<usize> {
+        self.scores(toks)
+            .into_iter()
+            .enumerate()
+            .filter(|(_, s)| *s > self.threshold)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tiny synthetic task: token t in {2,3,4} deterministically selects a
+    /// block of labels; classifier must learn the mapping.
+    fn block_task() -> Vec<Example> {
+        let mut data = Vec::new();
+        for t in 2..5usize {
+            for rep in 0..6 {
+                let labels: Vec<usize> = ((t - 2) * 4..(t - 2) * 4 + 4).collect();
+                data.push((vec![t, 5 + rep % 3], labels));
+            }
+        }
+        data
+    }
+
+    fn tiny_cfg() -> PythiaConfig {
+        PythiaConfig {
+            epochs: 40,
+            batch_size: 8,
+            lr: 5e-3,
+            ..PythiaConfig::fast()
+        }
+    }
+
+    #[test]
+    fn learns_token_to_block_mapping() {
+        let cfg = tiny_cfg();
+        let data = block_task();
+        let mut clf = PlanClassifier::new(&cfg, 10, 12);
+        let report = clf.train(&data, &cfg);
+        assert!(report.final_loss < report.first_loss, "loss must decrease");
+        for t in 2..5usize {
+            let pred = clf.predict(&[t, 5]);
+            let expect: Vec<usize> = ((t - 2) * 4..(t - 2) * 4 + 4).collect();
+            assert_eq!(pred, expect, "token {t}");
+        }
+    }
+
+    #[test]
+    fn scores_are_probabilities() {
+        let cfg = PythiaConfig::fast();
+        let clf = PlanClassifier::new(&cfg, 10, 5);
+        let s = clf.scores(&[2, 3]);
+        assert_eq!(s.len(), 5);
+        assert!(s.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn long_inputs_are_clipped() {
+        let cfg = PythiaConfig { max_seq_len: 8, ..PythiaConfig::fast() };
+        let clf = PlanClassifier::new(&cfg, 10, 3);
+        let long: Vec<usize> = (0..100).map(|i| 2 + i % 8).collect();
+        let s = clf.scores(&long);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn size_reporting() {
+        let cfg = PythiaConfig::fast();
+        let small = PlanClassifier::new(&cfg, 50, 10);
+        let big = PlanClassifier::new(&cfg, 50, 1000);
+        assert!(big.size_bytes() > small.size_bytes());
+        assert_eq!(big.n_labels(), 1000);
+    }
+
+    #[test]
+    fn empty_positive_sets_are_valid() {
+        let cfg = tiny_cfg();
+        let mut clf = PlanClassifier::new(&cfg, 10, 4);
+        let data: Vec<Example> = vec![(vec![2, 3], vec![]), (vec![3, 4], vec![0])];
+        let report = clf.train(&data, &cfg);
+        assert!(report.final_loss.is_finite());
+    }
+}

@@ -1,0 +1,53 @@
+//! # pythia-core
+//!
+//! Pythia itself — the paper's contribution (§3): a neural model that, given
+//! a serialized query plan, predicts in one shot the *set* of non-sequential
+//! pages the query will read, plus the prefetch scheduling that turns those
+//! predictions into I/O.
+//!
+//! Pipeline (matching the paper's algorithms):
+//!
+//! * **Algorithm 1 (training)** — [`predictor::train_workload`]: collect each
+//!   training query's trace, strip sequential accesses, deduplicate, split by
+//!   database object, sort by offset, and train one multi-label classifier
+//!   per object ([`model::ObjectModel`], built on
+//!   [`classifier::PlanClassifier`]).
+//! * **Algorithm 2 (serialization)** — [`serialize`]: preorder walk of the
+//!   plan emitting operator tokens (`[NLJ]`, `[HJ]`, `[SEQ]`, `[IDX]`),
+//!   object names and `[PRED] col op value` tokens; numeric literals are
+//!   binned into digit tokens so unseen parameter values generalize.
+//! * **Algorithm 3 (inference)** — [`predictor::TrainedWorkload::infer`] and
+//!   [`workload::WorkloadRegistry`]: match the query to a trained workload
+//!   (fall back to default execution otherwise), run every applicable object
+//!   model, and hand the union of predicted pages to the prefetcher in file
+//!   storage order ([`prefetch`]).
+//!
+//! Beyond the paper's evaluated system, two §7 extensions are implemented:
+//! prefetch-aware query scheduling ([`scheduler`]) and incremental model
+//! refinement ([`predictor::TrainedWorkload::refine`]).
+//!
+//! Model architecture (§5.1): tokens → 100-d embeddings (+ sinusoidal
+//! positions) → 2 transformer encoder layers with 10 heads → last-token query
+//! embedding → feed-forward decoder (one 800-unit hidden layer) → per-page
+//! sigmoid logits, trained end-to-end with `BCEWithLogitsLoss` and Adam.
+//! Large objects are split into partitioned models; index and base-table
+//! models are separate (both paper design choices, ablated in Figure 12).
+
+pub mod classifier;
+pub mod config;
+pub mod metrics;
+pub mod model;
+pub mod predictor;
+pub mod prefetch;
+pub mod scheduler;
+pub mod serde_utils;
+pub mod serialize;
+pub mod vocab;
+pub mod workload;
+
+pub use config::PythiaConfig;
+pub use metrics::{f1_score, SetMetrics};
+pub use predictor::{train_workload, Prediction, TrainedWorkload};
+pub use serialize::{serialize_plan, ValueBinner};
+pub use vocab::Vocab;
+pub use workload::WorkloadRegistry;

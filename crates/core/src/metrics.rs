@@ -1,0 +1,160 @@
+//! Prediction-quality metrics (paper §5.1 "Performance Metrics").
+//!
+//! For a query, the ground truth is the deduplicated set of non-sequential
+//! page accesses across all modeled objects; the prediction is the union of
+//! all object models' outputs. Precision/recall/F1 are computed over those
+//! two sets.
+
+use std::collections::BTreeSet;
+
+use pythia_db::catalog::ObjectId;
+
+/// A page labeled with its database object (pages of different objects never
+/// collide).
+pub type ObjPage = (ObjectId, u32);
+
+/// Precision / recall / F1 over two page sets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SetMetrics {
+    pub precision: f64,
+    pub recall: f64,
+    pub f1: f64,
+    pub predicted: usize,
+    pub actual: usize,
+    pub correct: usize,
+}
+
+/// Compute set metrics between predicted and actual page sets.
+///
+/// Conventions: if both sets are empty the prediction is perfect (F1 = 1);
+/// if exactly one is empty, F1 = 0.
+pub fn f1_score(predicted: &BTreeSet<ObjPage>, actual: &BTreeSet<ObjPage>) -> SetMetrics {
+    let correct = predicted.intersection(actual).count();
+    let (precision, recall, f1);
+    if predicted.is_empty() && actual.is_empty() {
+        precision = 1.0;
+        recall = 1.0;
+        f1 = 1.0;
+    } else {
+        precision = if predicted.is_empty() { 0.0 } else { correct as f64 / predicted.len() as f64 };
+        recall = if actual.is_empty() { 0.0 } else { correct as f64 / actual.len() as f64 };
+        f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+    }
+    SetMetrics {
+        precision,
+        recall,
+        f1,
+        predicted: predicted.len(),
+        actual: actual.len(),
+        correct,
+    }
+}
+
+/// Summary statistics over many per-query F1 scores (for the paper's
+/// box-plot style figures: median and quartiles).
+#[derive(Debug, Clone, Copy)]
+pub struct Distribution {
+    pub mean: f64,
+    pub median: f64,
+    pub q25: f64,
+    pub q75: f64,
+    pub min: f64,
+    pub max: f64,
+    pub n: usize,
+}
+
+impl Distribution {
+    /// Summarize a sample (empty samples yield all-zero stats).
+    pub fn of(values: &[f64]) -> Distribution {
+        if values.is_empty() {
+            return Distribution { mean: 0.0, median: 0.0, q25: 0.0, q75: 0.0, min: 0.0, max: 0.0, n: 0 };
+        }
+        let mut v = values.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        let q = |p: f64| {
+            let idx = (p * (v.len() - 1) as f64).round() as usize;
+            v[idx]
+        };
+        Distribution {
+            mean: v.iter().sum::<f64>() / v.len() as f64,
+            median: q(0.5),
+            q25: q(0.25),
+            q75: q(0.75),
+            min: v[0],
+            max: v[v.len() - 1],
+            n: v.len(),
+        }
+    }
+}
+
+impl std::fmt::Display for Distribution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "median={:.3} mean={:.3} q25={:.3} q75={:.3} min={:.3} max={:.3} (n={})",
+            self.median, self.mean, self.q25, self.q75, self.min, self.max, self.n
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(pages: &[u32]) -> BTreeSet<ObjPage> {
+        pages.iter().map(|&p| (ObjectId(0), p)).collect()
+    }
+
+    #[test]
+    fn perfect_prediction() {
+        let m = f1_score(&set(&[1, 2, 3]), &set(&[1, 2, 3]));
+        assert_eq!(m.f1, 1.0);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+    }
+
+    #[test]
+    fn half_overlap() {
+        // predicted {1,2}, actual {2,3}: p=0.5, r=0.5, f1=0.5.
+        let m = f1_score(&set(&[1, 2]), &set(&[2, 3]));
+        assert!((m.f1 - 0.5).abs() < 1e-12);
+        assert_eq!(m.correct, 1);
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert_eq!(f1_score(&set(&[]), &set(&[])).f1, 1.0);
+        assert_eq!(f1_score(&set(&[1]), &set(&[])).f1, 0.0);
+        assert_eq!(f1_score(&set(&[]), &set(&[1])).f1, 0.0);
+    }
+
+    #[test]
+    fn object_ids_disambiguate_pages() {
+        let a: BTreeSet<ObjPage> = [(ObjectId(0), 1)].into_iter().collect();
+        let b: BTreeSet<ObjPage> = [(ObjectId(1), 1)].into_iter().collect();
+        assert_eq!(f1_score(&a, &b).f1, 0.0, "same page number, different object");
+    }
+
+    #[test]
+    fn distribution_quartiles() {
+        let d = Distribution::of(&[0.0, 0.25, 0.5, 0.75, 1.0]);
+        assert_eq!(d.median, 0.5);
+        assert_eq!(d.q25, 0.25);
+        assert_eq!(d.q75, 0.75);
+        assert_eq!(d.min, 0.0);
+        assert_eq!(d.max, 1.0);
+        assert_eq!(d.n, 5);
+        assert!((d.mean - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distribution_empty() {
+        let d = Distribution::of(&[]);
+        assert_eq!(d.n, 0);
+        assert_eq!(d.mean, 0.0);
+    }
+}

@@ -1,0 +1,498 @@
+//! Workload-level training (Algorithm 1) and inference (Algorithm 3).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use pythia_db::catalog::{Database, ObjectId};
+use pythia_db::plan::PlanNode;
+use pythia_db::trace::Trace;
+
+use crate::config::PythiaConfig;
+use crate::metrics::ObjPage;
+use crate::model::{CombinedModel, ObjectModel};
+use crate::serialize::{serialize_plan, ValueBinner};
+use crate::vocab::Vocab;
+
+/// A fully trained Pythia instance for one workload.
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct TrainedWorkload {
+    pub name: String,
+    pub vocab: Vocab,
+    pub binner: ValueBinner,
+    /// Separate per-object models (the paper's default design).
+    #[serde(with = "crate::serde_utils::btree_map_pairs")]
+    pub models: BTreeMap<ObjectId, ObjectModel>,
+    /// Combined table+index models (Figure 12d ablation mode).
+    pub combined: Vec<CombinedModel>,
+    /// Every object scanned by any training plan — the workload signature
+    /// used for matching incoming queries.
+    pub object_union: BTreeSet<ObjectId>,
+    pub cfg: PythiaConfig,
+}
+
+/// The output of Algorithm 3's prediction step: pages per object.
+#[derive(Debug, Clone, Default)]
+pub struct Prediction {
+    pub pages: BTreeMap<ObjectId, Vec<u32>>,
+}
+
+impl Prediction {
+    /// Flatten to a set for F1 computation.
+    pub fn as_set(&self) -> BTreeSet<ObjPage> {
+        self.pages
+            .iter()
+            .flat_map(|(obj, pages)| pages.iter().map(move |&p| (*obj, p)))
+            .collect()
+    }
+
+    /// Total predicted pages.
+    pub fn len(&self) -> usize {
+        self.pages.values().map(Vec::len).sum()
+    }
+
+    /// Whether nothing was predicted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The ground-truth page set for a query, restricted to the objects Pythia
+/// models (paper §5.1: predicted vs actual sets over all applicable models).
+pub fn ground_truth(trace: &Trace, modeled: &BTreeSet<ObjectId>) -> BTreeSet<ObjPage> {
+    trace
+        .non_sequential_sets()
+        .into_iter()
+        .filter(|(obj, _)| modeled.contains(obj))
+        .flat_map(|(obj, pages)| pages.into_iter().map(move |p| (obj, p)))
+        .collect()
+}
+
+/// Train Pythia for one workload (Algorithm 1).
+///
+/// * `plans` / `traces` — the training queries and their collected traces.
+/// * `restrict_objects` — if `Some`, only these objects get models (the
+///   paper restricts IMDB template 1a to `cast_info`); otherwise every object
+///   accessed non-sequentially by at least `cfg.min_object_support` of the
+///   training queries is modeled.
+pub fn train_workload(
+    db: &Database,
+    name: &str,
+    plans: &[PlanNode],
+    traces: &[Trace],
+    restrict_objects: Option<&[ObjectId]>,
+    cfg: &PythiaConfig,
+) -> TrainedWorkload {
+    assert_eq!(plans.len(), traces.len(), "plan/trace count mismatch");
+    assert!(!plans.is_empty(), "empty training workload");
+    cfg.validate().expect("invalid config");
+
+    let binner = ValueBinner::from_database(db);
+    let mut vocab = Vocab::new();
+    // Pre-intern the closed value-token set so unseen parameter values at
+    // test time never degrade to [UNK].
+    for t in crate::serialize::standard_value_tokens() {
+        vocab.intern(&t);
+    }
+    let token_seqs: Vec<Vec<usize>> = plans
+        .iter()
+        .map(|p| {
+            let toks = serialize_plan(db, &binner, p);
+            vocab.encode_interning(&toks)
+        })
+        .collect();
+
+    let page_sets: Vec<BTreeMap<ObjectId, Vec<u32>>> =
+        traces.iter().map(|t| t.non_sequential_sets()).collect();
+
+    // Workload signature: union of objects across training plans.
+    let mut object_union = BTreeSet::new();
+    for p in plans {
+        object_union.extend(p.objects(db));
+    }
+
+    // Object selection (Algorithm 1 trains per DbObj).
+    let selected: Vec<ObjectId> = match restrict_objects {
+        Some(objs) => objs.to_vec(),
+        None => {
+            let mut support: BTreeMap<ObjectId, usize> = BTreeMap::new();
+            for sets in &page_sets {
+                for obj in sets.keys() {
+                    *support.entry(*obj).or_insert(0) += 1;
+                }
+            }
+            let min = (cfg.min_object_support * plans.len() as f64).ceil() as usize;
+            support
+                .into_iter()
+                .filter(|&(_, s)| s >= min.max(1))
+                .map(|(o, _)| o)
+                .collect()
+        }
+    };
+
+    let mut models = BTreeMap::new();
+    let mut combined = Vec::new();
+
+    if cfg.combined_index_base {
+        // Pair each selected index with its base table when both are
+        // selected; leftovers get separate models.
+        use pythia_db::catalog::ObjectKind;
+        let mut used: BTreeSet<ObjectId> = BTreeSet::new();
+        for &obj in &selected {
+            if db.object_kind(obj) != ObjectKind::Index {
+                continue;
+            }
+            let idx_info = db.index_info(obj);
+            let table_obj = db.table_info(idx_info.table).object;
+            if !selected.contains(&table_obj) {
+                continue;
+            }
+            let examples: Vec<(Vec<usize>, Vec<u32>, Vec<u32>)> = token_seqs
+                .iter()
+                .zip(&page_sets)
+                .map(|(toks, sets)| {
+                    (
+                        toks.clone(),
+                        sets.get(&table_obj).cloned().unwrap_or_default(),
+                        sets.get(&obj).cloned().unwrap_or_default(),
+                    )
+                })
+                .collect();
+            combined.push(CombinedModel::train(
+                cfg,
+                vocab.len(),
+                table_obj,
+                obj,
+                db.object_pages(table_obj),
+                db.object_pages(obj),
+                &examples,
+            ));
+            used.insert(obj);
+            used.insert(table_obj);
+        }
+        for &obj in &selected {
+            if !used.contains(&obj) {
+                let examples = object_examples(&token_seqs, &page_sets, obj);
+                models.insert(
+                    obj,
+                    ObjectModel::train(cfg, vocab.len(), obj, db.object_pages(obj), &examples),
+                );
+            }
+        }
+    } else {
+        for &obj in &selected {
+            let examples = object_examples(&token_seqs, &page_sets, obj);
+            models.insert(
+                obj,
+                ObjectModel::train(cfg, vocab.len(), obj, db.object_pages(obj), &examples),
+            );
+        }
+    }
+
+    TrainedWorkload {
+        name: name.to_owned(),
+        vocab,
+        binner,
+        models,
+        combined,
+        object_union,
+        cfg: cfg.clone(),
+    }
+}
+
+fn object_examples(
+    token_seqs: &[Vec<usize>],
+    page_sets: &[BTreeMap<ObjectId, Vec<u32>>],
+    obj: ObjectId,
+) -> Vec<(Vec<usize>, Vec<u32>)> {
+    token_seqs
+        .iter()
+        .zip(page_sets)
+        .map(|(toks, sets)| (toks.clone(), sets.get(&obj).cloned().unwrap_or_default()))
+        .collect()
+}
+
+impl TrainedWorkload {
+    /// Objects this workload has models for.
+    pub fn modeled_objects(&self) -> BTreeSet<ObjectId> {
+        let mut out: BTreeSet<ObjectId> = self.models.keys().copied().collect();
+        for c in &self.combined {
+            out.insert(c.table);
+            out.insert(c.index);
+        }
+        out
+    }
+
+    /// Serialize + encode a plan with this workload's vocabulary.
+    pub fn encode_plan(&self, db: &Database, plan: &PlanNode) -> Vec<usize> {
+        let toks = serialize_plan(db, &self.binner, plan);
+        self.vocab.encode(&toks)
+    }
+
+    /// Algorithm 3's prediction step: run every applicable model.
+    pub fn infer(&self, db: &Database, plan: &PlanNode) -> Prediction {
+        let toks = self.encode_plan(db, plan);
+        let mut pages = BTreeMap::new();
+        for (obj, model) in &self.models {
+            let p = model.predict(&toks);
+            if !p.is_empty() {
+                pages.insert(*obj, p);
+            }
+        }
+        for c in &self.combined {
+            let (tp, ip) = c.predict(&toks);
+            if !tp.is_empty() {
+                pages.entry(c.table).or_insert_with(Vec::new).extend(tp);
+            }
+            if !ip.is_empty() {
+                pages.entry(c.index).or_insert_with(Vec::new).extend(ip);
+            }
+        }
+        for v in pages.values_mut() {
+            v.sort_unstable();
+            v.dedup();
+        }
+        Prediction { pages }
+    }
+
+    /// Incremental retraining (§5.3): continue training every object model
+    /// on newly observed queries. Plans are encoded with the *existing*
+    /// vocabulary (tokens unseen at initial training map to `[UNK]`; value
+    /// tokens are a closed set, so parameters always encode), and the label
+    /// spaces are unchanged — this is the cheap periodic-refresh path the
+    /// paper recommends over full retraining.
+    pub fn refine(&mut self, db: &Database, plans: &[PlanNode], traces: &[Trace]) {
+        assert_eq!(plans.len(), traces.len());
+        if plans.is_empty() {
+            return;
+        }
+        let token_seqs: Vec<Vec<usize>> =
+            plans.iter().map(|p| self.encode_plan(db, p)).collect();
+        let page_sets: Vec<BTreeMap<ObjectId, Vec<u32>>> =
+            traces.iter().map(|t| t.non_sequential_sets()).collect();
+        let cfg = self.cfg.clone();
+        for (obj, model) in self.models.iter_mut() {
+            let examples = object_examples(&token_seqs, &page_sets, *obj);
+            model.refine(&cfg, &examples);
+        }
+        for p in plans {
+            self.object_union.extend(p.objects(db));
+        }
+    }
+
+    /// Persist the trained workload (vocabulary, binner statistics and all
+    /// model weights) as JSON. The paper retrains cheaply, but a deployed
+    /// system wants to ship models without retraining.
+    pub fn save_json(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let json = serde_json::to_string(self)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        std::fs::write(path, json)
+    }
+
+    /// Load a workload saved with [`Self::save_json`].
+    pub fn load_json(path: impl AsRef<std::path::Path>) -> std::io::Result<TrainedWorkload> {
+        let json = std::fs::read_to_string(path)?;
+        serde_json::from_str(&json)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Total model size in bytes (paper §5.1 reports this per template).
+    pub fn size_bytes(&self) -> usize {
+        self.models.values().map(ObjectModel::size_bytes).sum::<usize>()
+            + self.combined.iter().map(CombinedModel::size_bytes).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::f1_score;
+    use pythia_db::exec::execute;
+    use pythia_db::expr::{CmpOp, Pred};
+    use pythia_db::types::Schema;
+
+    /// A miniature star: fact(2000 rows) probing dim(600 rows) through an
+    /// index, with fact.dkey clustered by fact.date so date ranges select
+    /// learnable dim page ranges.
+    fn mini_star() -> (Database, Vec<PlanNode>, Vec<Trace>) {
+        let mut db = Database::new();
+        let fact = db.create_table("fact", Schema::ints(&["id", "date", "dkey"]));
+        let dim = db.create_table("dim", Schema::ints(&["d_id", "attr"]));
+        for i in 0..2000i64 {
+            let date = i / 2; // 1000 dates
+            let dkey = (date * 600 / 1000 + i % 3).min(599);
+            db.insert(fact, Database::row(&[i, date, dkey]));
+        }
+        for d in 0..600i64 {
+            db.insert(dim, Database::row(&[d, d % 9]));
+        }
+        let idx = db.create_index("dim_pk", dim, 0);
+
+        let mut plans = Vec::new();
+        let mut traces = Vec::new();
+        for q in 0..36i64 {
+            let lo = (q * 31) % 900;
+            let hi = lo + 60;
+            let plan = PlanNode::IndexNLJoin {
+                outer: Box::new(PlanNode::SeqScan {
+                    table: fact,
+                    pred: Some(Pred::Between { col: 1, lo, hi }),
+                }),
+                outer_key: 2,
+                inner: dim,
+                inner_index: idx,
+                inner_pred: Some(Pred::Cmp { col: 1, op: CmpOp::Ge, lit: 0 }),
+            };
+            let (_, trace) = execute(&plan, &db);
+            plans.push(plan);
+            traces.push(trace);
+        }
+        (db, plans, traces)
+    }
+
+    fn cfg() -> PythiaConfig {
+        PythiaConfig { epochs: 40, batch_size: 8, lr: 5e-3, ..PythiaConfig::fast() }
+    }
+
+    /// Interleaved train/test split: every 6th query is held out, so test
+    /// parameters fall *inside* the trained range (the paper's unseen
+    /// queries are from the same workload distribution, not extrapolations).
+    fn split(plans: &[PlanNode], traces: &[Trace]) -> (Vec<PlanNode>, Vec<Trace>, Vec<PlanNode>, Vec<Trace>) {
+        let mut tr_p = Vec::new();
+        let mut tr_t = Vec::new();
+        let mut te_p = Vec::new();
+        let mut te_t = Vec::new();
+        for (i, (p, t)) in plans.iter().zip(traces).enumerate() {
+            if i % 6 == 5 {
+                te_p.push(p.clone());
+                te_t.push(t.clone());
+            } else {
+                tr_p.push(p.clone());
+                tr_t.push(t.clone());
+            }
+        }
+        (tr_p, tr_t, te_p, te_t)
+    }
+
+    #[test]
+    fn trains_models_for_probed_objects() {
+        let (db, plans, traces) = mini_star();
+        let tw = train_workload(&db, "mini", &plans[..20], &traces[..20], None, &cfg());
+        // dim table + dim index both accessed non-sequentially by every query.
+        assert_eq!(tw.models.len(), 2, "dim heap + dim index");
+        assert!(tw.size_bytes() > 0);
+        assert!(tw.object_union.len() >= 3);
+    }
+
+    #[test]
+    fn predictions_beat_trivial_baselines_on_held_out_queries() {
+        let (db, plans, traces) = mini_star();
+        let (tr_p, tr_t, te_p, te_t) = split(&plans, &traces);
+        let tw = train_workload(&db, "mini", &tr_p, &tr_t, None, &cfg());
+        let modeled = tw.modeled_objects();
+        let mut f1s = Vec::new();
+        for (p, t) in te_p.iter().zip(&te_t) {
+            let pred = tw.infer(&db, p);
+            let truth = ground_truth(t, &modeled);
+            let m = f1_score(&pred.as_set(), &truth);
+            f1s.push(m.f1);
+        }
+        let mean = f1s.iter().sum::<f64>() / f1s.len() as f64;
+        assert!(mean > 0.5, "held-out F1 too low: {mean:.3} ({f1s:?})");
+    }
+
+    #[test]
+    fn restrict_objects_limits_models() {
+        let (db, plans, traces) = mini_star();
+        let dim_obj = db.table_info(db.table("dim").unwrap()).object;
+        let tw =
+            train_workload(&db, "mini", &plans[..12], &traces[..12], Some(&[dim_obj]), &cfg());
+        assert_eq!(tw.models.len(), 1);
+        assert!(tw.models.contains_key(&dim_obj));
+    }
+
+    #[test]
+    fn combined_mode_builds_joint_models() {
+        let (db, plans, traces) = mini_star();
+        let c = PythiaConfig { combined_index_base: true, ..cfg() };
+        let tw = train_workload(&db, "mini", &plans[..12], &traces[..12], None, &c);
+        assert_eq!(tw.combined.len(), 1, "dim heap + dim index pair");
+        assert!(tw.models.is_empty());
+        let pred = tw.infer(&db, &plans[12]);
+        assert!(!pred.is_empty());
+    }
+
+    #[test]
+    fn incremental_refinement_adapts_to_new_region() {
+        // Train only on queries over the low half of the date domain; the
+        // model is weak on high-range queries. Refining with high-range
+        // examples must improve F1 there (the paper's "every new query run
+        // can be used as a new training data point").
+        let (db, plans, traces) = mini_star();
+        // mini_star: lo = (q*31)%900. Low-half training: lo < 450.
+        let low: Vec<usize> = (0..36)
+            .filter(|&q| (q as i64 * 31) % 900 < 450 && q % 6 != 5)
+            .collect();
+        let high_train: Vec<usize> = (0..36)
+            .filter(|&q| (q as i64 * 31) % 900 >= 450 && q % 6 != 5)
+            .collect();
+        let high_test: Vec<usize> =
+            (0..36).filter(|&q| (q as i64 * 31) % 900 >= 450 && q % 6 == 5).collect();
+        assert!(!high_test.is_empty());
+
+        let pick = |idx: &[usize]| -> (Vec<PlanNode>, Vec<Trace>) {
+            (
+                idx.iter().map(|&i| plans[i].clone()).collect(),
+                idx.iter().map(|&i| traces[i].clone()).collect(),
+            )
+        };
+        let (lp, lt) = pick(&low);
+        let mut tw = train_workload(&db, "mini", &lp, &lt, None, &cfg());
+        let modeled = tw.modeled_objects();
+        let f1_high = |tw: &TrainedWorkload| {
+            let f1s: Vec<f64> = high_test
+                .iter()
+                .map(|&i| {
+                    let pred = tw.infer(&db, &plans[i]);
+                    f1_score(&pred.as_set(), &ground_truth(&traces[i], &modeled)).f1
+                })
+                .collect();
+            f1s.iter().sum::<f64>() / f1s.len() as f64
+        };
+        let before = f1_high(&tw);
+        let (hp, ht) = pick(&high_train);
+        tw.refine(&db, &hp, &ht);
+        let after = f1_high(&tw);
+        assert!(
+            after > before + 0.1,
+            "refinement should improve the new region: {before:.3} -> {after:.3}"
+        );
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_predictions() {
+        let (db, plans, traces) = mini_star();
+        let quick = PythiaConfig { epochs: 4, ..cfg() };
+        let tw = train_workload(&db, "mini", &plans[..10], &traces[..10], None, &quick);
+        let dir = std::env::temp_dir().join("pythia_model_roundtrip.json");
+        tw.save_json(&dir).unwrap();
+        let loaded = TrainedWorkload::load_json(&dir).unwrap();
+        let _ = std::fs::remove_file(&dir);
+        assert_eq!(loaded.name, tw.name);
+        assert_eq!(loaded.modeled_objects(), tw.modeled_objects());
+        for p in &plans[10..14] {
+            let a = tw.infer(&db, p);
+            let b = loaded.infer(&db, p);
+            assert_eq!(a.pages, b.pages, "loaded model must predict identically");
+        }
+    }
+
+    #[test]
+    fn ground_truth_restricted_to_modeled() {
+        let (db, plans, traces) = mini_star();
+        let dim_obj = db.table_info(db.table("dim").unwrap()).object;
+        let modeled: BTreeSet<ObjectId> = [dim_obj].into_iter().collect();
+        let gt = ground_truth(&traces[0], &modeled);
+        assert!(gt.iter().all(|(o, _)| *o == dim_obj));
+        assert!(!gt.is_empty());
+        let _ = plans;
+    }
+}

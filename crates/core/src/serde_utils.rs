@@ -1,0 +1,87 @@
+//! Serde adapters for maps with non-string keys.
+//!
+//! Trained models are persisted as JSON (`TrainedWorkload::save_json`), but
+//! JSON object keys must be strings; these adapters serialize
+//! `HashMap`/`BTreeMap` with structured keys as sequences of `(key, value)`
+//! pairs instead.
+
+/// `HashMap<K, V>` ⇄ `Vec<(K, V)>`.
+pub mod hash_map_pairs {
+    use serde::de::{Deserialize, Deserializer};
+    use serde::ser::Serializer;
+    use serde::Serialize;
+    use std::collections::HashMap;
+    use std::hash::Hash;
+
+    pub fn serialize<K, V, S>(map: &HashMap<K, V>, s: S) -> Result<S::Ok, S::Error>
+    where
+        K: Serialize,
+        V: Serialize,
+        S: Serializer,
+    {
+        s.collect_seq(map.iter())
+    }
+
+    pub fn deserialize<'de, K, V, D>(d: D) -> Result<HashMap<K, V>, D::Error>
+    where
+        K: Deserialize<'de> + Eq + Hash,
+        V: Deserialize<'de>,
+        D: Deserializer<'de>,
+    {
+        let pairs: Vec<(K, V)> = Vec::deserialize(d)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+/// `BTreeMap<K, V>` ⇄ `Vec<(K, V)>`.
+pub mod btree_map_pairs {
+    use serde::de::{Deserialize, Deserializer};
+    use serde::ser::Serializer;
+    use serde::Serialize;
+    use std::collections::BTreeMap;
+
+    pub fn serialize<K, V, S>(map: &BTreeMap<K, V>, s: S) -> Result<S::Ok, S::Error>
+    where
+        K: Serialize,
+        V: Serialize,
+        S: Serializer,
+    {
+        s.collect_seq(map.iter())
+    }
+
+    pub fn deserialize<'de, K, V, D>(d: D) -> Result<BTreeMap<K, V>, D::Error>
+    where
+        K: Deserialize<'de> + Ord,
+        V: Deserialize<'de>,
+        D: Deserializer<'de>,
+    {
+        let pairs: Vec<(K, V)> = Vec::deserialize(d)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::{BTreeMap, HashMap};
+
+    #[derive(serde::Serialize, serde::Deserialize, PartialEq, Debug)]
+    struct WithMaps {
+        #[serde(with = "super::hash_map_pairs")]
+        h: HashMap<(u32, usize), i64>,
+        #[serde(with = "super::btree_map_pairs")]
+        b: BTreeMap<(u8, u8), String>,
+    }
+
+    #[test]
+    fn tuple_keyed_maps_roundtrip_through_json() {
+        let mut h = HashMap::new();
+        h.insert((1, 2), -5);
+        h.insert((3, 4), 10);
+        let mut b = BTreeMap::new();
+        b.insert((0, 1), "x".to_owned());
+        let v = WithMaps { h, b };
+        let json = serde_json::to_string(&v).unwrap();
+        let back: WithMaps = serde_json::from_str(&json).unwrap();
+        assert_eq!(v, back);
+    }
+}

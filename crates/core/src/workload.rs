@@ -1,0 +1,171 @@
+//! Workload registry and query→workload matching (Algorithm 3 lines 3–4 and
+//! 13–14).
+//!
+//! "We first ensure Q belongs to a workload that Pythia has trained a model
+//! for. If not, Pythia does not engage and the query is executed as it would
+//! in the absence of Pythia." Matching is structural: the set of database
+//! objects a plan scans is compared (Jaccard) against each trained workload's
+//! object signature; below the threshold the query is declared
+//! out-of-distribution and Pythia falls back to default execution.
+
+use std::collections::BTreeSet;
+
+use pythia_db::catalog::Database;
+use pythia_db::plan::PlanNode;
+
+use crate::predictor::TrainedWorkload;
+
+/// Minimum object-set Jaccard similarity to claim a query for a workload.
+pub const MATCH_THRESHOLD: f64 = 0.5;
+
+/// All trained workloads known to this Pythia deployment.
+#[derive(Default)]
+pub struct WorkloadRegistry {
+    entries: Vec<TrainedWorkload>,
+}
+
+impl WorkloadRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        WorkloadRegistry::default()
+    }
+
+    /// Register a trained workload.
+    pub fn register(&mut self, tw: TrainedWorkload) {
+        self.entries.push(tw);
+    }
+
+    /// Number of registered workloads.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no workloads are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Registered workloads.
+    pub fn workloads(&self) -> &[TrainedWorkload] {
+        &self.entries
+    }
+
+    /// Find the workload a query belongs to, if any: highest object-set
+    /// Jaccard above [`MATCH_THRESHOLD`].
+    pub fn match_plan(&self, db: &Database, plan: &PlanNode) -> Option<&TrainedWorkload> {
+        let objs: BTreeSet<_> = plan.objects(db).into_iter().collect();
+        if objs.is_empty() {
+            return None;
+        }
+        let mut best: Option<(f64, &TrainedWorkload)> = None;
+        for tw in &self.entries {
+            let inter = objs.intersection(&tw.object_union).count();
+            let union = objs.union(&tw.object_union).count();
+            let j = if union == 0 { 0.0 } else { inter as f64 / union as f64 };
+            if j >= MATCH_THRESHOLD && best.map(|(bj, _)| j > bj).unwrap_or(true) {
+                best = Some((j, tw));
+            }
+        }
+        best.map(|(_, tw)| tw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PythiaConfig;
+    use crate::predictor::train_workload;
+    use pythia_db::exec::execute;
+    use pythia_db::expr::Pred;
+    use pythia_db::types::Schema;
+    use pythia_db::catalog::TableId;
+
+    fn setup() -> (Database, TableId, TableId, pythia_db::catalog::ObjectId) {
+        let mut db = Database::new();
+        let fact = db.create_table("fact", Schema::ints(&["id", "date", "dkey"]));
+        let dim = db.create_table("dim", Schema::ints(&["d_id", "attr"]));
+        let other = db.create_table("other", Schema::ints(&["o_id"]));
+        for i in 0..600i64 {
+            db.insert(fact, Database::row(&[i, i % 100, i % 50]));
+            db.insert(dim, Database::row(&[i % 50, i % 7]));
+            db.insert(other, Database::row(&[i]));
+        }
+        let idx = db.create_index("dim_pk", dim, 0);
+        let _ = other;
+        (db, fact, dim, idx)
+    }
+
+    fn star_plan(db: &Database, fact: TableId, dim: TableId, idx: pythia_db::catalog::ObjectId, lo: i64) -> PlanNode {
+        let _ = db;
+        PlanNode::IndexNLJoin {
+            outer: Box::new(PlanNode::SeqScan {
+                table: fact,
+                pred: Some(Pred::Between { col: 1, lo, hi: lo + 10 }),
+            }),
+            outer_key: 2,
+            inner: dim,
+            inner_index: idx,
+            inner_pred: None,
+        }
+    }
+
+    #[test]
+    fn matches_same_shape_rejects_foreign() {
+        let (db, fact, dim, idx) = setup();
+        let plans: Vec<PlanNode> = (0..8).map(|i| star_plan(&db, fact, dim, idx, i * 7)).collect();
+        let traces: Vec<_> = plans.iter().map(|p| execute(p, &db).1).collect();
+        let cfg = PythiaConfig { epochs: 2, ..PythiaConfig::fast() };
+        let tw = train_workload(&db, "star", &plans, &traces, None, &cfg);
+
+        let mut reg = WorkloadRegistry::new();
+        reg.register(tw);
+        assert_eq!(reg.len(), 1);
+
+        // Same-shape unseen query matches.
+        let q = star_plan(&db, fact, dim, idx, 55);
+        assert!(reg.match_plan(&db, &q).is_some());
+
+        // A query over an unrelated table does not.
+        let other = db.table("other").unwrap();
+        let foreign = PlanNode::SeqScan { table: other, pred: None };
+        assert!(reg.match_plan(&db, &foreign).is_none());
+    }
+
+    #[test]
+    fn empty_registry_never_matches() {
+        let (db, fact, dim, idx) = setup();
+        let reg = WorkloadRegistry::new();
+        assert!(reg.is_empty());
+        let q = star_plan(&db, fact, dim, idx, 0);
+        assert!(reg.match_plan(&db, &q).is_none());
+    }
+
+    #[test]
+    fn best_of_multiple_workloads_wins() {
+        let (db, fact, dim, idx) = setup();
+        let cfg = PythiaConfig { epochs: 2, ..PythiaConfig::fast() };
+
+        // Workload A: the star join. Workload B: fact-only scans.
+        let plans_a: Vec<PlanNode> = (0..6).map(|i| star_plan(&db, fact, dim, idx, i * 5)).collect();
+        let traces_a: Vec<_> = plans_a.iter().map(|p| execute(p, &db).1).collect();
+        let plans_b: Vec<PlanNode> = (0..6)
+            .map(|i| PlanNode::SeqScan {
+                table: fact,
+                pred: Some(Pred::Between { col: 1, lo: i, hi: i + 5 }),
+            })
+            .collect();
+        let traces_b: Vec<_> = plans_b.iter().map(|p| execute(p, &db).1).collect();
+
+        let mut reg = WorkloadRegistry::new();
+        reg.register(train_workload(&db, "star", &plans_a, &traces_a, None, &cfg));
+        reg.register(train_workload(&db, "scan", &plans_b, &traces_b, None, &cfg));
+
+        let q = star_plan(&db, fact, dim, idx, 42);
+        let m = reg.match_plan(&db, &q).expect("matches");
+        assert_eq!(m.name, "star");
+
+        let q2 = PlanNode::SeqScan { table: fact, pred: None };
+        let m2 = reg.match_plan(&db, &q2).expect("matches");
+        assert_eq!(m2.name, "scan");
+    }
+}

@@ -1,0 +1,307 @@
+//! The catalog: tables, indexes, and the database handle.
+//!
+//! Pythia trains one model per *database object* (base table or index), so
+//! every object gets a stable [`ObjectId`] that the trace, the training data
+//! and the model registry all key on.
+
+use std::collections::HashMap;
+
+use pythia_sim::{FileId, SimDisk};
+
+use crate::btree::BTree;
+use crate::heap::HeapFile;
+use crate::tuple::Tuple;
+use crate::types::{Datum, Schema};
+
+/// Identifier of a database object (base table or index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct ObjectId(pub u32);
+
+/// Identifier of a table (indexes into the table list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TableId(pub u32);
+
+/// What an object is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjectKind {
+    Table,
+    Index,
+}
+
+/// Catalog entry for an index.
+#[derive(Debug, Clone)]
+pub struct IndexInfo {
+    pub object: ObjectId,
+    pub name: String,
+    pub table: TableId,
+    /// Column of the base table the index is built on.
+    pub key_col: usize,
+    pub btree: BTree,
+}
+
+/// Catalog entry for a table.
+#[derive(Debug, Clone)]
+pub struct TableInfo {
+    pub object: ObjectId,
+    pub name: String,
+    pub schema: Schema,
+    pub heap: HeapFile,
+    /// Indexes on this table, in creation order.
+    pub indexes: Vec<usize>,
+}
+
+#[derive(Debug, Clone)]
+struct ObjectMeta {
+    name: String,
+    kind: ObjectKind,
+    file: FileId,
+}
+
+/// A static, read-only database: the simulated disk plus the catalog.
+#[derive(Debug)]
+pub struct Database {
+    pub disk: SimDisk,
+    objects: Vec<ObjectMeta>,
+    tables: Vec<TableInfo>,
+    indexes: Vec<IndexInfo>,
+    by_name: HashMap<String, TableId>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database {
+            disk: SimDisk::new(),
+            objects: Vec::new(),
+            tables: Vec::new(),
+            indexes: Vec::new(),
+            by_name: HashMap::new(),
+        }
+    }
+
+    fn register_object(&mut self, name: String, kind: ObjectKind, file: FileId) -> ObjectId {
+        let id = ObjectId(self.objects.len() as u32);
+        self.objects.push(ObjectMeta { name, kind, file });
+        id
+    }
+
+    /// Create an empty table.
+    ///
+    /// # Panics
+    /// Panics if the name is already taken.
+    pub fn create_table(&mut self, name: &str, schema: Schema) -> TableId {
+        assert!(!self.by_name.contains_key(name), "table {name} already exists");
+        let heap = HeapFile::create(&mut self.disk);
+        let object = self.register_object(name.to_owned(), ObjectKind::Table, heap.file);
+        let tid = TableId(self.tables.len() as u32);
+        self.tables.push(TableInfo {
+            object,
+            name: name.to_owned(),
+            schema,
+            heap,
+            indexes: Vec::new(),
+        });
+        self.by_name.insert(name.to_owned(), tid);
+        tid
+    }
+
+    /// Insert a row into `table`.
+    pub fn insert(&mut self, table: TableId, row: Tuple) {
+        let t = &mut self.tables[table.0 as usize];
+        debug_assert_eq!(row.len(), t.schema.arity(), "arity mismatch inserting into {}", t.name);
+        t.heap.insert(&mut self.disk, &row);
+    }
+
+    /// Bulk-build a B+Tree index on an integer column of `table`.
+    ///
+    /// # Panics
+    /// Panics if the column contains non-integer datums.
+    pub fn create_index(&mut self, name: &str, table: TableId, key_col: usize) -> ObjectId {
+        let (entries, heap_file) = {
+            let t = &self.tables[table.0 as usize];
+            let entries: Vec<_> = t
+                .heap
+                .scan(&self.disk)
+                .map(|(rid, row)| {
+                    let k = row[key_col]
+                        .as_int()
+                        .unwrap_or_else(|| panic!("index {name}: column {key_col} not Int"));
+                    (k, rid)
+                })
+                .collect();
+            (entries, t.heap.file)
+        };
+        let _ = heap_file;
+        let btree = BTree::bulk_build(&mut self.disk, entries);
+        let object = self.register_object(name.to_owned(), ObjectKind::Index, btree.file);
+        let idx_no = self.indexes.len();
+        self.indexes.push(IndexInfo {
+            object,
+            name: name.to_owned(),
+            table,
+            key_col,
+            btree,
+        });
+        self.tables[table.0 as usize].indexes.push(idx_no);
+        object
+    }
+
+    /// Table handle by name.
+    pub fn table(&self, name: &str) -> Option<TableId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Catalog info for a table.
+    pub fn table_info(&self, id: TableId) -> &TableInfo {
+        &self.tables[id.0 as usize]
+    }
+
+    /// All tables.
+    pub fn tables(&self) -> &[TableInfo] {
+        &self.tables
+    }
+
+    /// Catalog info for an index, by the *object* id returned from
+    /// [`Self::create_index`].
+    pub fn index_info(&self, object: ObjectId) -> &IndexInfo {
+        self.indexes
+            .iter()
+            .find(|i| i.object == object)
+            .unwrap_or_else(|| panic!("object {object:?} is not an index"))
+    }
+
+    /// The index on `table`.`key_col`, if one exists.
+    pub fn index_on(&self, table: TableId, key_col: usize) -> Option<&IndexInfo> {
+        self.tables[table.0 as usize]
+            .indexes
+            .iter()
+            .map(|&i| &self.indexes[i])
+            .find(|i| i.key_col == key_col)
+    }
+
+    /// Number of catalogued objects (tables + indexes).
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// All object ids.
+    pub fn object_ids(&self) -> impl Iterator<Item = ObjectId> {
+        (0..self.objects.len() as u32).map(ObjectId)
+    }
+
+    /// Name of an object.
+    pub fn object_name(&self, id: ObjectId) -> &str {
+        &self.objects[id.0 as usize].name
+    }
+
+    /// Kind of an object.
+    pub fn object_kind(&self, id: ObjectId) -> ObjectKind {
+        self.objects[id.0 as usize].kind
+    }
+
+    /// File backing an object.
+    pub fn object_file(&self, id: ObjectId) -> FileId {
+        self.objects[id.0 as usize].file
+    }
+
+    /// Pages in an object's file.
+    pub fn object_pages(&self, id: ObjectId) -> u32 {
+        self.disk.file_len(self.objects[id.0 as usize].file)
+    }
+
+    /// File lengths indexed by [`FileId`] — the replay runtime needs them for
+    /// OS readahead EOF clamping.
+    pub fn file_lengths(&self) -> Vec<u32> {
+        (0..self.disk.file_count() as u32)
+            .map(|f| self.disk.file_len(FileId(f)))
+            .collect()
+    }
+
+    /// Convenience: build a row of integer datums.
+    pub fn row(vals: &[i64]) -> Tuple {
+        vals.iter().map(|&v| Datum::Int(v)).collect()
+    }
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_db() -> (Database, TableId) {
+        let mut db = Database::new();
+        let t = db.create_table("t", Schema::ints(&["id", "val"]));
+        for i in 0..1000 {
+            db.insert(t, Database::row(&[i, i % 10]));
+        }
+        (db, t)
+    }
+
+    #[test]
+    fn create_and_lookup() {
+        let (db, t) = small_db();
+        assert_eq!(db.table("t"), Some(t));
+        assert_eq!(db.table("nope"), None);
+        assert_eq!(db.table_info(t).heap.tuple_count(), 1000);
+        assert_eq!(db.object_kind(db.table_info(t).object), ObjectKind::Table);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_table_panics() {
+        let mut db = Database::new();
+        db.create_table("t", Schema::ints(&["a"]));
+        db.create_table("t", Schema::ints(&["a"]));
+    }
+
+    #[test]
+    fn index_build_and_lookup() {
+        let (mut db, t) = small_db();
+        let idx = db.create_index("t_val", t, 1);
+        assert_eq!(db.object_kind(idx), ObjectKind::Index);
+        let info = db.index_info(idx);
+        assert_eq!(info.key_col, 1);
+        assert_eq!(info.btree.entry_count(), 1000);
+        // 100 rows have val == 3.
+        let rids = info.btree.search(&db.disk, 3, &mut |_, _| {});
+        assert_eq!(rids.len(), 100);
+        // Every rid resolves to a matching row.
+        let heap = &db.table_info(t).heap;
+        for rid in rids {
+            let row = heap.read_tuple(&db.disk, rid);
+            assert_eq!(row[1], Datum::Int(3));
+        }
+    }
+
+    #[test]
+    fn index_on_finds_by_column() {
+        let (mut db, t) = small_db();
+        db.create_index("t_val", t, 1);
+        assert!(db.index_on(t, 1).is_some());
+        assert!(db.index_on(t, 0).is_none());
+    }
+
+    #[test]
+    fn object_ids_cover_tables_and_indexes() {
+        let (mut db, t) = small_db();
+        db.create_index("t_val", t, 1);
+        assert_eq!(db.object_count(), 2);
+        let names: Vec<&str> = db.object_ids().map(|o| db.object_name(o)).collect();
+        assert_eq!(names, vec!["t", "t_val"]);
+    }
+
+    #[test]
+    fn file_lengths_match_disk() {
+        let (mut db, t) = small_db();
+        db.create_index("t_val", t, 1);
+        let lens = db.file_lengths();
+        assert_eq!(lens.len(), db.disk.file_count());
+        let tbl_obj = db.table_info(t).object;
+        assert_eq!(lens[db.object_file(tbl_obj).0 as usize], db.object_pages(tbl_obj));
+    }
+}

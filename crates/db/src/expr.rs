@@ -1,0 +1,201 @@
+//! Scan and filter predicates.
+//!
+//! DSB's SPJ templates use conjunctions of comparisons, BETWEEN ranges and IN
+//! lists over integer columns — that is exactly the predicate language here.
+//! Predicates reference columns by position in the operator's input tuple.
+
+use crate::tuple::Tuple;
+use crate::types::Datum;
+
+/// Comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    /// SQL spelling (used by the plan serializer's `[PRED] col op val`
+    /// tokens).
+    pub fn sql(&self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+
+    fn eval(&self, a: i64, b: i64) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+}
+
+/// A predicate over a tuple.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Pred {
+    /// `col <op> literal` on an integer column. NULLs compare false.
+    Cmp { col: usize, op: CmpOp, lit: i64 },
+    /// `col IN (set)`.
+    In { col: usize, set: Vec<i64> },
+    /// `col BETWEEN lo AND hi` (inclusive).
+    Between { col: usize, lo: i64, hi: i64 },
+    /// Conjunction.
+    And(Vec<Pred>),
+}
+
+impl Pred {
+    /// Evaluate against `row`.
+    pub fn eval(&self, row: &Tuple) -> bool {
+        match self {
+            Pred::Cmp { col, op, lit } => match &row[*col] {
+                Datum::Int(v) => op.eval(*v, *lit),
+                _ => false,
+            },
+            Pred::In { col, set } => match &row[*col] {
+                Datum::Int(v) => set.contains(v),
+                _ => false,
+            },
+            Pred::Between { col, lo, hi } => match &row[*col] {
+                Datum::Int(v) => *v >= *lo && *v <= *hi,
+                _ => false,
+            },
+            Pred::And(ps) => ps.iter().all(|p| p.eval(row)),
+        }
+    }
+
+    /// Shift every column reference by `offset` (used when a predicate
+    /// written against one side of a join is evaluated over the concatenated
+    /// join output).
+    pub fn shift_cols(&self, offset: usize) -> Pred {
+        match self {
+            Pred::Cmp { col, op, lit } => Pred::Cmp { col: col + offset, op: *op, lit: *lit },
+            Pred::In { col, set } => Pred::In { col: col + offset, set: set.clone() },
+            Pred::Between { col, lo, hi } => {
+                Pred::Between { col: col + offset, lo: *lo, hi: *hi }
+            }
+            Pred::And(ps) => Pred::And(ps.iter().map(|p| p.shift_cols(offset)).collect()),
+        }
+    }
+
+    /// The atomic `(col, op-string, value-string)` triples in this predicate,
+    /// flattened in order — the plan serializer turns each into
+    /// `[PRED] colName opName valName` tokens (Algorithm 2).
+    pub fn atoms(&self) -> Vec<(usize, String, String)> {
+        let mut out = Vec::new();
+        self.collect_atoms(&mut out);
+        out
+    }
+
+    fn collect_atoms(&self, out: &mut Vec<(usize, String, String)>) {
+        match self {
+            Pred::Cmp { col, op, lit } => out.push((*col, op.sql().to_owned(), lit.to_string())),
+            Pred::In { col, set } => {
+                let vals = set.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(",");
+                out.push((*col, "IN".to_owned(), vals));
+            }
+            Pred::Between { col, lo, hi } => {
+                out.push((*col, ">=".to_owned(), lo.to_string()));
+                out.push((*col, "<=".to_owned(), hi.to_string()));
+            }
+            Pred::And(ps) => {
+                for p in ps {
+                    p.collect_atoms(out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(vals: &[i64]) -> Tuple {
+        vals.iter().map(|&v| Datum::Int(v)).collect()
+    }
+
+    #[test]
+    fn cmp_ops() {
+        let r = row(&[5]);
+        for (op, expect) in [
+            (CmpOp::Eq, true),
+            (CmpOp::Ne, false),
+            (CmpOp::Lt, false),
+            (CmpOp::Le, true),
+            (CmpOp::Gt, false),
+            (CmpOp::Ge, true),
+        ] {
+            assert_eq!(Pred::Cmp { col: 0, op, lit: 5 }.eval(&r), expect, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn in_and_between() {
+        let r = row(&[5, 10]);
+        assert!(Pred::In { col: 0, set: vec![1, 5, 9] }.eval(&r));
+        assert!(!Pred::In { col: 0, set: vec![1, 9] }.eval(&r));
+        assert!(Pred::Between { col: 1, lo: 10, hi: 20 }.eval(&r));
+        assert!(!Pred::Between { col: 1, lo: 11, hi: 20 }.eval(&r));
+    }
+
+    #[test]
+    fn and_conjunction() {
+        let r = row(&[5, 10]);
+        let p = Pred::And(vec![
+            Pred::Cmp { col: 0, op: CmpOp::Eq, lit: 5 },
+            Pred::Cmp { col: 1, op: CmpOp::Ge, lit: 10 },
+        ]);
+        assert!(p.eval(&r));
+        let p2 = Pred::And(vec![
+            Pred::Cmp { col: 0, op: CmpOp::Eq, lit: 5 },
+            Pred::Cmp { col: 1, op: CmpOp::Gt, lit: 10 },
+        ]);
+        assert!(!p2.eval(&r));
+    }
+
+    #[test]
+    fn null_compares_false() {
+        let r = vec![Datum::Null];
+        assert!(!Pred::Cmp { col: 0, op: CmpOp::Eq, lit: 0 }.eval(&r));
+        assert!(!Pred::In { col: 0, set: vec![0] }.eval(&r));
+    }
+
+    #[test]
+    fn shift_cols_moves_references() {
+        let p = Pred::And(vec![
+            Pred::Cmp { col: 1, op: CmpOp::Eq, lit: 3 },
+            Pred::Between { col: 0, lo: 1, hi: 2 },
+        ]);
+        let shifted = p.shift_cols(4);
+        assert!(shifted.eval(&row(&[9, 9, 9, 9, 1, 3])));
+    }
+
+    #[test]
+    fn atoms_flatten_in_order() {
+        let p = Pred::And(vec![
+            Pred::Cmp { col: 2, op: CmpOp::Ge, lit: 7 },
+            Pred::In { col: 0, set: vec![1, 2] },
+            Pred::Between { col: 1, lo: 5, hi: 6 },
+        ]);
+        let atoms = p.atoms();
+        assert_eq!(atoms.len(), 4); // Between expands to two
+        assert_eq!(atoms[0], (2, ">=".into(), "7".into()));
+        assert_eq!(atoms[1], (0, "IN".into(), "1,2".into()));
+        assert_eq!(atoms[2].1, ">=");
+        assert_eq!(atoms[3].1, "<=");
+    }
+}

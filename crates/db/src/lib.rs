@@ -1,0 +1,44 @@
+//! # pythia-db
+//!
+//! The relational substrate the paper runs Pythia against. Postgres (plus the
+//! AIO development branch) is replaced by a from-scratch mini-RDBMS with the
+//! same moving parts that matter for page-access prediction:
+//!
+//! * slotted heap pages and per-relation files ([`page`], [`heap`]),
+//! * B+Tree secondary indexes whose root-to-leaf probe paths generate the
+//!   repetitive non-sequential access patterns the paper trains on
+//!   ([`btree`]),
+//! * a catalog of tables and indexes ([`catalog`]),
+//! * physical query plans and a Volcano executor that records a page-access
+//!   trace while it runs — the paper's "lightweight instrumentation module
+//!   that intercepts and logs the page requests from the buffer manager"
+//!   ([`plan`], [`exec`], [`trace`]),
+//! * a timed replay runtime combining the buffer pool, OS page cache, async
+//!   I/O workers and optional prefetch plan into a virtual-clock execution —
+//!   the analogue of the paper's Postgres integration (§4) ([`runtime`]).
+//!
+//! The split into an *untimed* executor (trace collection) and a *timed*
+//! replay is sound because the database is static and read-only (as in the
+//! paper): the page-access sequence of a query depends only on its plan,
+//! never on buffer state.
+
+pub mod btree;
+pub mod catalog;
+pub mod exec;
+pub mod expr;
+pub mod heap;
+pub mod page;
+pub mod plan;
+pub mod runtime;
+pub mod trace;
+pub mod tuple;
+pub mod types;
+
+pub use catalog::{Database, ObjectId, ObjectKind, TableId};
+pub use exec::{execute, ExecContext};
+pub use expr::{CmpOp, Pred};
+pub use plan::{AggFunc, PlanNode};
+pub use runtime::{QueryRun, QueryTiming, RunConfig, RunResult};
+pub use trace::{AccessKind, Trace, TraceEvent};
+pub use tuple::Tuple;
+pub use types::{Datum, Schema};

@@ -1,0 +1,573 @@
+//! Timed replay of query traces through the buffer manager — the analogue of
+//! the paper's Postgres integration (§4).
+//!
+//! A query's page-request sequence depends only on its plan (the database is
+//! static and read-only), so execution is split in two phases: the untimed
+//! executor ([`crate::exec`]) records a [`Trace`], and this runtime *replays*
+//! traces against the buffer pool / OS page cache / async-I/O stack under the
+//! virtual clock, optionally with a prefetch plan per query.
+//!
+//! Replay supports multiple concurrent queries: each query owns a timeline
+//! and its own AIO prefetch structure (as in the paper's modified Postgres,
+//! where the AIO structure lives in the executor and is per-query), while the
+//! buffer pool, OS cache and I/O workers are shared. Events across queries
+//! are processed in global time order, which models the resource contention
+//! the paper's §5.4 experiments measure.
+
+use pythia_buffer::{AioPrefetcher, BufferPool, BufferStats, PolicyKind};
+use pythia_sim::{CostModel, IoWorkerPool, OsPageCache, PageId, SimDuration, SimTime};
+
+use crate::trace::{Trace, TraceEvent};
+
+/// Configuration of the replay stack.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Buffer pool size in frames (Postgres `shared_buffers`; the paper uses
+    /// 1 GiB ≈ 1% of the database — size proportionally to your workload).
+    pub pool_frames: usize,
+    /// Replacement policy (paper default: Clock).
+    pub policy: PolicyKind,
+    /// Latency model.
+    pub cost: CostModel,
+    /// OS page cache size in pages (the machine's free RAM).
+    pub os_cache_pages: usize,
+    /// AIO readahead window `R`: prefetched pages kept pinned at once
+    /// (paper default 1024, swept in Figure 12g).
+    pub readahead_window: usize,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            pool_frames: 1024,
+            policy: PolicyKind::Clock,
+            cost: CostModel::default(),
+            os_cache_pages: 8192,
+            readahead_window: 1024,
+        }
+    }
+}
+
+/// One query to replay.
+#[derive(Debug, Clone)]
+pub struct QueryRun<'a> {
+    /// The recorded trace to replay.
+    pub trace: &'a Trace,
+    /// Pages to prefetch (ascending storage order), or `None` for the
+    /// default (no-prefetch) path.
+    pub prefetch: Option<Vec<PageId>>,
+    /// When the query arrives.
+    pub arrival: SimTime,
+    /// Serialized-plan encoding + model inference latency charged before
+    /// execution starts (zero for DFLT/ORCL/NN baselines).
+    pub inference_latency: SimDuration,
+}
+
+impl<'a> QueryRun<'a> {
+    /// A query with no prefetching arriving at time zero.
+    pub fn default_run(trace: &'a Trace) -> Self {
+        QueryRun {
+            trace,
+            prefetch: None,
+            arrival: SimTime::ZERO,
+            inference_latency: SimDuration::ZERO,
+        }
+    }
+
+    /// A query with a prefetch plan arriving at time zero.
+    pub fn with_prefetch(trace: &'a Trace, pages: Vec<PageId>, inference: SimDuration) -> Self {
+        QueryRun {
+            trace,
+            prefetch: Some(pages),
+            arrival: SimTime::ZERO,
+            inference_latency: inference,
+        }
+    }
+}
+
+/// Timing of one replayed query.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryTiming {
+    pub arrival: SimTime,
+    pub start: SimTime,
+    pub end: SimTime,
+}
+
+impl QueryTiming {
+    /// Total latency including inference overhead.
+    pub fn elapsed(&self) -> SimDuration {
+        self.end.since(self.arrival)
+    }
+}
+
+/// Result of a replay batch.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    pub timings: Vec<QueryTiming>,
+    pub stats: BufferStats,
+}
+
+impl RunResult {
+    /// Wall time from first arrival to last completion.
+    pub fn makespan(&self) -> SimDuration {
+        let first = self.timings.iter().map(|t| t.arrival).min().unwrap_or(SimTime::ZERO);
+        let last = self.timings.iter().map(|t| t.end).max().unwrap_or(SimTime::ZERO);
+        last.since(first)
+    }
+
+    /// Sum of per-query latencies.
+    pub fn total_latency(&self) -> SimDuration {
+        self.timings
+            .iter()
+            .fold(SimDuration::ZERO, |acc, t| acc + t.elapsed())
+    }
+
+    /// EXPLAIN ANALYZE-style report: per-query timings plus the buffer
+    /// manager's read-class breakdown and prefetch effectiveness.
+    pub fn report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "Replay report ({} queries)", self.timings.len());
+        for (i, t) in self.timings.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  query {i}: arrival {} start {} end {}  elapsed {}",
+                t.arrival,
+                t.start,
+                t.end,
+                t.elapsed()
+            );
+        }
+        let s = &self.stats;
+        let _ = writeln!(out, "  makespan: {}", self.makespan());
+        let _ = writeln!(
+            out,
+            "  reads: {} total = {} buffer hits ({:.1}%) + {} OS-cache copies + {} disk reads ({} pass-through)",
+            s.total_reads(),
+            s.hits,
+            s.hit_rate() * 100.0,
+            s.os_copies,
+            s.disk_reads,
+            s.pass_through
+        );
+        let _ = writeln!(
+            out,
+            "  prefetch: {} issued, {} useful ({:.1}% precision), {} wasted, {} waits, {} already resident",
+            s.prefetch_issued,
+            s.prefetch_useful,
+            s.prefetch_precision() * 100.0,
+            s.prefetch_wasted,
+            s.prefetch_waits,
+            s.prefetch_already_resident
+        );
+        let _ = writeln!(out, "  evictions: {}", s.evictions);
+        out
+    }
+}
+
+struct QState<'a> {
+    run: QueryRun<'a>,
+    arrival: SimTime,
+    cursor: usize,
+    t: SimTime,
+    started_prefetch: bool,
+    aio: Option<AioPrefetcher>,
+    done: bool,
+    start: SimTime,
+}
+
+/// The replay stack: shared buffer pool, OS cache and I/O workers.
+pub struct Runtime {
+    pool: BufferPool,
+    os: OsPageCache,
+    io: IoWorkerPool,
+    cost: CostModel,
+    window: usize,
+    file_lens: Vec<u32>,
+    /// The stack's continuing clock: each `run` batch starts here, so warm
+    /// state (frame availability, I/O lanes) stays consistent across batches.
+    now: SimTime,
+}
+
+impl Runtime {
+    /// Build a cold stack. `file_lens[f]` is the page count of file `f`
+    /// (see [`crate::catalog::Database::file_lengths`]).
+    pub fn new(config: &RunConfig, file_lens: Vec<u32>) -> Self {
+        config.cost.validate().expect("invalid cost model");
+        Runtime {
+            pool: BufferPool::new(config.pool_frames, config.policy),
+            os: OsPageCache::new(config.os_cache_pages, config.cost.os_readahead_window),
+            io: IoWorkerPool::new(config.cost.io_workers),
+            cost: config.cost.clone(),
+            window: config.readahead_window,
+            file_lens,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Cold restart: drop buffer pool, OS cache and in-flight I/O — the
+    /// paper's "Postgres is restarted between every different query execution
+    /// along with cleaning OS page cache".
+    pub fn reset(&mut self) {
+        self.pool.reset();
+        self.os.reset();
+        self.io.reset();
+        self.now = SimTime::ZERO;
+    }
+
+    /// Buffer pool capacity in frames.
+    pub fn pool_frames(&self) -> usize {
+        self.pool.capacity()
+    }
+
+    /// Replay a batch of queries (possibly overlapping in time).
+    /// State (buffer contents) carries over from previous `run` calls unless
+    /// [`Self::reset`] is called — that is how the warm-cache multi-query
+    /// experiments (§5.4) are expressed.
+    pub fn run(&mut self, queries: &[QueryRun<'_>]) -> RunResult {
+        // Query arrivals are offsets within the batch; shift them onto the
+        // stack's continuing clock.
+        let base = self.now;
+        let mut states: Vec<QState<'_>> = queries
+            .iter()
+            .map(|q| {
+                let arrival = base + SimDuration::from_micros(q.arrival.as_micros());
+                let start = arrival + q.inference_latency;
+                QState {
+                    run: q.clone(),
+                    arrival,
+                    cursor: 0,
+                    t: start,
+                    started_prefetch: false,
+                    aio: None,
+                    done: q.trace.events.is_empty(),
+                    start,
+                }
+            })
+            .collect();
+
+        // Event loop: always advance the live query with the smallest
+        // current time.
+        while let Some(qi) = states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.done)
+            .min_by_key(|(_, s)| s.t)
+            .map(|(i, _)| i)
+        {
+            self.step(&mut states, qi);
+        }
+
+        self.pool.finish_accounting();
+        self.now = states.iter().map(|s| s.t).max().unwrap_or(base).max(base);
+        let timings = states
+            .iter()
+            .map(|s| QueryTiming { arrival: s.arrival, start: s.start, end: s.t })
+            .collect();
+        RunResult { timings, stats: *self.pool.stats() }
+    }
+
+    fn step(&mut self, states: &mut [QState<'_>], qi: usize) {
+        let s = &mut states[qi];
+
+        // Start the prefetcher the first time this query's timeline runs.
+        if !s.started_prefetch {
+            s.started_prefetch = true;
+            if let Some(pages) = s.run.prefetch.clone() {
+                let mut aio = AioPrefetcher::with_file_lens(self.window, self.file_lens.clone());
+                aio.start(pages, &mut self.pool, &mut self.os, &mut self.io, &self.cost, s.t);
+                s.aio = Some(aio);
+            }
+        }
+
+        match s.run.trace.events[s.cursor] {
+            TraceEvent::Cpu { units } => {
+                s.t += self.cost.cpu_per_tuple.saturating_mul(units as u64);
+            }
+            TraceEvent::Read { page, kind, .. } => {
+                self.serve_read(s, page, kind.is_sequential());
+            }
+        }
+        s.cursor += 1;
+        if s.cursor >= s.run.trace.events.len() {
+            s.done = true;
+            if let Some(aio) = s.aio.as_mut() {
+                aio.finish(&mut self.pool);
+            }
+        }
+    }
+
+    fn serve_read(&mut self, s: &mut QState<'_>, page: PageId, sequential: bool) {
+        if let Some(fid) = self.pool.lookup(page) {
+            let avail = self.pool.frame(fid).available_at;
+            if avail > s.t {
+                // Prefetch still in flight: wait for it (still cheaper than
+                // issuing a fresh synchronous read in almost all cases).
+                self.pool.stats_mut().prefetch_waits += 1;
+                s.t = avail;
+            }
+            s.t += self.cost.buffer_hit;
+            self.pool.stats_mut().hits += 1;
+            self.pool.touch(fid);
+        } else {
+            let file_len = self
+                .file_lens
+                .get(page.file.0 as usize)
+                .copied()
+                .unwrap_or(u32::MAX);
+            let outcome = self.os.read(page, file_len);
+            if outcome.cache_hit {
+                s.t += self.cost.os_cache_copy;
+                self.pool.stats_mut().os_copies += 1;
+            } else {
+                s.t += self.cost.disk_read;
+                self.pool.stats_mut().disk_reads += 1;
+            }
+            // Sequential-scan pages go through the buffer-ring path
+            // (Postgres BAS_BULKREAD): resident but evicted first, so bulk
+            // scans don't wash out the working set or prefetched pages.
+            if self.pool.load_with(page, false, s.t, sequential).is_none() {
+                self.pool.stats_mut().pass_through += 1;
+            }
+        }
+        // Dummy request: the AIO structure tracks the query's read rate.
+        if let Some(aio) = s.aio.as_mut() {
+            aio.on_query_read(&mut self.pool, &mut self.os, &mut self.io, &self.cost, s.t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::ObjectId;
+    use crate::trace::AccessKind;
+    use pythia_sim::FileId;
+
+    fn pid(p: u32) -> PageId {
+        PageId::new(FileId(0), p)
+    }
+
+    fn read_ev(p: u32, kind: AccessKind) -> TraceEvent {
+        TraceEvent::Read { obj: ObjectId(0), page: pid(p), kind }
+    }
+
+    /// A trace of `n` random (non-sequential) heap reads with CPU work
+    /// between them.
+    fn random_trace(n: u32, cpu_between: u32) -> Trace {
+        let mut events = Vec::new();
+        for i in 0..n {
+            // Stride walk that defeats sequential detection.
+            events.push(read_ev((i * 37) % 10_000, AccessKind::HeapFetch));
+            events.push(TraceEvent::Cpu { units: cpu_between });
+        }
+        Trace { events }
+    }
+
+    fn sequential_trace(n: u32) -> Trace {
+        let mut events = Vec::new();
+        for i in 0..n {
+            events.push(read_ev(i, AccessKind::SeqScan));
+            events.push(TraceEvent::Cpu { units: 2 });
+        }
+        Trace { events }
+    }
+
+    fn config() -> RunConfig {
+        RunConfig {
+            pool_frames: 2048,
+            os_cache_pages: 16384,
+            ..Default::default()
+        }
+    }
+
+    fn single(cfg: &RunConfig, run: QueryRun<'_>) -> (SimDuration, BufferStats) {
+        let mut rt = Runtime::new(cfg, vec![20_000]);
+        let res = rt.run(&[run]);
+        (res.timings[0].elapsed(), res.stats)
+    }
+
+    #[test]
+    fn sequential_scan_benefits_from_os_readahead() {
+        let cfg = config();
+        let t = sequential_trace(500);
+        let (elapsed, stats) = single(&cfg, QueryRun::default_run(&t));
+        // First two reads miss; after that readahead keeps ahead.
+        assert!(stats.os_copies > 450, "os_copies={}", stats.os_copies);
+        assert!(stats.disk_reads < 50, "disk_reads={}", stats.disk_reads);
+        // Far cheaper than 500 disk reads.
+        assert!(elapsed.as_micros() < 500 * cfg.cost.disk_read.as_micros() / 3);
+    }
+
+    #[test]
+    fn random_reads_pay_disk_cost_without_prefetch() {
+        let cfg = config();
+        let t = random_trace(300, 2);
+        let (elapsed, stats) = single(&cfg, QueryRun::default_run(&t));
+        assert_eq!(stats.disk_reads, 300);
+        assert!(elapsed.as_micros() >= 300 * cfg.cost.disk_read.as_micros());
+    }
+
+    #[test]
+    fn oracle_prefetch_speeds_up_random_reads() {
+        let cfg = config();
+        let t = random_trace(300, 2);
+        let (base, _) = single(&cfg, QueryRun::default_run(&t));
+
+        // Prefetch exactly the pages the query reads, in storage order.
+        let mut pages = t.page_sequence();
+        pages.sort_unstable();
+        pages.dedup();
+        let (pref, stats) =
+            single(&cfg, QueryRun::with_prefetch(&t, pages, SimDuration::ZERO));
+
+        assert!(stats.prefetch_issued > 0);
+        assert!(stats.hits > 250, "most reads served from prefetched pages");
+        let speedup = base.as_micros() as f64 / pref.as_micros() as f64;
+        assert!(speedup > 2.0, "speedup was {speedup:.2}");
+    }
+
+    #[test]
+    fn wrong_prefetch_does_not_slow_down_much() {
+        let cfg = config();
+        let t = random_trace(200, 2);
+        let (base, _) = single(&cfg, QueryRun::default_run(&t));
+        // Prefetch 200 pages the query never touches.
+        let junk: Vec<PageId> = (11_000..11_200).map(pid).collect();
+        let (pref, stats) =
+            single(&cfg, QueryRun::with_prefetch(&t, junk, SimDuration::ZERO));
+        assert_eq!(stats.prefetch_useful, 0);
+        // Paper: "even if PYTHIA does not predict any page correctly, we can
+        // expect the regression to be within the margin of error".
+        let ratio = pref.as_micros() as f64 / base.as_micros() as f64;
+        assert!(ratio < 1.05, "regression ratio {ratio:.3}");
+    }
+
+    #[test]
+    fn inference_latency_is_charged() {
+        let cfg = config();
+        let t = random_trace(50, 2);
+        let (base, _) = single(&cfg, QueryRun::default_run(&t));
+        let inf = SimDuration::from_millis(100);
+        let (with_inf, _) = single(
+            &cfg,
+            QueryRun { trace: &t, prefetch: None, arrival: SimTime::ZERO, inference_latency: inf },
+        );
+        assert_eq!(with_inf.as_micros(), base.as_micros() + inf.as_micros());
+    }
+
+    #[test]
+    fn warm_cache_second_run_is_fast() {
+        let cfg = config();
+        let t = random_trace(200, 2);
+        let mut rt = Runtime::new(&cfg, vec![20_000]);
+        let first = rt.run(&[QueryRun::default_run(&t)]);
+        // No reset: buffer retains the pages.
+        let second = rt.run(&[QueryRun::default_run(&t)]);
+        let t1 = first.timings[0].elapsed();
+        let t2 = second.timings[0].end.since(second.timings[0].arrival);
+        assert!(t2.as_micros() * 10 < t1.as_micros(), "warm run {t2} vs cold {t1}");
+    }
+
+    #[test]
+    fn reset_restores_cold_behaviour() {
+        let cfg = config();
+        let t = random_trace(200, 2);
+        let mut rt = Runtime::new(&cfg, vec![20_000]);
+        let first = rt.run(&[QueryRun::default_run(&t)]);
+        rt.reset();
+        let again = rt.run(&[QueryRun::default_run(&t)]);
+        assert_eq!(
+            first.timings[0].elapsed().as_micros(),
+            again.timings[0].elapsed().as_micros()
+        );
+    }
+
+    #[test]
+    fn concurrent_queries_share_the_pool() {
+        let cfg = config();
+        let t = random_trace(300, 2);
+        // Two identical queries at once: the second benefits from pages the
+        // first pulled in.
+        let mut rt = Runtime::new(&cfg, vec![20_000]);
+        let res = rt.run(&[QueryRun::default_run(&t), QueryRun::default_run(&t)]);
+        assert!(res.stats.hits > 0, "overlapping queries share pages");
+        assert_eq!(res.timings.len(), 2);
+        // Makespan below two serial cold executions.
+        let serial_estimate = 2 * 300 * cfg.cost.disk_read.as_micros();
+        assert!(res.makespan().as_micros() < serial_estimate);
+    }
+
+    #[test]
+    fn staggered_arrivals_are_respected() {
+        let cfg = config();
+        let t = random_trace(50, 2);
+        let mut rt = Runtime::new(&cfg, vec![20_000]);
+        let late = SimTime::from_micros(1_000_000);
+        let res = rt.run(&[
+            QueryRun::default_run(&t),
+            QueryRun { trace: &t, prefetch: None, arrival: late, inference_latency: SimDuration::ZERO },
+        ]);
+        assert!(res.timings[1].start >= late);
+        assert!(res.timings[1].end > res.timings[0].end);
+    }
+
+    #[test]
+    fn fully_pinned_pool_serves_pass_through() {
+        // Pool so small the prefetch window pins every frame: demand reads of
+        // other pages cannot be cached and are served pass-through.
+        let cfg = RunConfig {
+            pool_frames: 8,
+            readahead_window: 8,
+            os_cache_pages: 1024,
+            ..Default::default()
+        };
+        let t = random_trace(50, 1);
+        let mut rt = Runtime::new(&cfg, vec![20_000]);
+        // Prefetch pages the query never reads, so the window stays pinned.
+        let junk: Vec<PageId> = (15_000..15_100).map(pid).collect();
+        let res = rt.run(&[QueryRun::with_prefetch(&t, junk, SimDuration::ZERO)]);
+        assert!(res.stats.pass_through > 0, "{:?}", res.stats);
+        // Every read still happened exactly once.
+        assert_eq!(res.stats.total_reads() as usize, t.read_count());
+    }
+
+    #[test]
+    fn prefetch_wait_accounting() {
+        // A query that reads its first prefetched page immediately must wait
+        // for the in-flight I/O.
+        let cfg = RunConfig { pool_frames: 64, os_cache_pages: 256, ..Default::default() };
+        let t = Trace {
+            events: vec![read_ev(7, AccessKind::HeapFetch)],
+        };
+        let mut rt = Runtime::new(&cfg, vec![20_000]);
+        let res = rt.run(&[QueryRun::with_prefetch(&t, vec![pid(7)], SimDuration::ZERO)]);
+        assert_eq!(res.stats.prefetch_waits, 1);
+        assert_eq!(res.stats.hits, 1);
+        // Waiting for the async read costs about one disk read.
+        let elapsed = res.timings[0].elapsed();
+        assert!(elapsed.as_micros() >= cfg.cost.disk_read.as_micros());
+    }
+
+    #[test]
+    fn report_mentions_every_section() {
+        let cfg = config();
+        let t = random_trace(30, 1);
+        let mut rt = Runtime::new(&cfg, vec![20_000]);
+        let pages = t.page_sequence();
+        let res = rt.run(&[QueryRun::with_prefetch(&t, pages, SimDuration::ZERO)]);
+        let rpt = res.report();
+        for needle in ["Replay report", "query 0", "makespan", "buffer hits", "prefetch", "evictions"] {
+            assert!(rpt.contains(needle), "missing '{needle}' in:\n{rpt}");
+        }
+    }
+
+    #[test]
+    fn empty_trace_completes_instantly() {
+        let cfg = config();
+        let t = Trace::new();
+        let mut rt = Runtime::new(&cfg, vec![20_000]);
+        let res = rt.run(&[QueryRun::default_run(&t)]);
+        assert_eq!(res.timings[0].elapsed(), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,193 @@
+//! Page-access traces.
+//!
+//! The paper's "lightweight instrumentation module that intercepts and logs
+//! the page requests from the buffer manager" (§3.3, Trace Construction).
+//! The executor emits one [`TraceEvent::Read`] per page request — including
+//! the redundant repeated requests for index paths and hot heap pages — plus
+//! [`TraceEvent::Cpu`] markers recording tuple-processing work between reads
+//! (the replay runtime charges CPU time there, which is what asynchronous
+//! prefetch I/O overlaps with).
+
+use std::collections::BTreeMap;
+
+use pythia_sim::PageId;
+
+use crate::catalog::ObjectId;
+
+/// How a page was accessed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Page read by a sequential scan (the OS readahead path).
+    SeqScan,
+    /// Internal B+Tree node on a probe path.
+    IndexInternal,
+    /// B+Tree leaf node.
+    IndexLeaf,
+    /// Heap page fetched through an index (non-sequential).
+    HeapFetch,
+}
+
+impl AccessKind {
+    /// Whether this access is part of a sequential pattern. Pythia's training
+    /// pipeline removes sequential accesses (Algorithm 1 line 8) because OS
+    /// readahead already covers them.
+    pub fn is_sequential(&self) -> bool {
+        matches!(self, AccessKind::SeqScan)
+    }
+}
+
+/// One event in a query's execution trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A page request to the buffer manager.
+    Read { obj: ObjectId, page: PageId, kind: AccessKind },
+    /// `units` tuples' worth of CPU work since the previous event.
+    Cpu { units: u32 },
+}
+
+/// A query's full page-request trace, in execution order.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Number of page-read events (sequential + non-sequential, with
+    /// repetitions).
+    pub fn read_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Read { .. }))
+            .count()
+    }
+
+    /// Number of sequential page reads.
+    pub fn sequential_reads(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Read { kind, .. } if kind.is_sequential()))
+            .count()
+    }
+
+    /// Total CPU units recorded.
+    pub fn cpu_units(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Cpu { units } => *units as u64,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// The paper's trace post-processing (Algorithm 1 lines 8–12): drop
+    /// sequential accesses, deduplicate, group by database object, and sort
+    /// each group by page offset. Returns `object -> sorted distinct page
+    /// numbers`.
+    pub fn non_sequential_sets(&self) -> BTreeMap<ObjectId, Vec<u32>> {
+        let mut sets: BTreeMap<ObjectId, Vec<u32>> = BTreeMap::new();
+        for e in &self.events {
+            if let TraceEvent::Read { obj, page, kind } = e {
+                if !kind.is_sequential() {
+                    sets.entry(*obj).or_default().push(page.page_no);
+                }
+            }
+        }
+        for pages in sets.values_mut() {
+            pages.sort_unstable();
+            pages.dedup();
+        }
+        sets
+    }
+
+    /// Distinct non-sequential pages across all objects (the paper's
+    /// "distinct non-sequential IO" statistic in Table 1).
+    pub fn distinct_non_sequential(&self) -> usize {
+        self.non_sequential_sets().values().map(Vec::len).sum()
+    }
+
+    /// The exact ordered page-request sequence (what the ORCL oracle
+    /// baseline prefetches).
+    pub fn page_sequence(&self) -> Vec<PageId> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Read { page, .. } => Some(*page),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pythia_sim::FileId;
+
+    fn read(obj: u32, file: u32, page: u32, kind: AccessKind) -> TraceEvent {
+        TraceEvent::Read {
+            obj: ObjectId(obj),
+            page: PageId::new(FileId(file), page),
+            kind,
+        }
+    }
+
+    fn sample() -> Trace {
+        Trace {
+            events: vec![
+                read(0, 0, 0, AccessKind::SeqScan),
+                TraceEvent::Cpu { units: 10 },
+                read(1, 1, 5, AccessKind::IndexInternal),
+                read(1, 1, 2, AccessKind::IndexLeaf),
+                read(2, 2, 9, AccessKind::HeapFetch),
+                read(0, 0, 1, AccessKind::SeqScan),
+                TraceEvent::Cpu { units: 3 },
+                read(1, 1, 5, AccessKind::IndexInternal), // repeated path
+                read(1, 1, 3, AccessKind::IndexLeaf),
+                read(2, 2, 9, AccessKind::HeapFetch), // repeated heap page
+            ],
+        }
+    }
+
+    #[test]
+    fn counts() {
+        let t = sample();
+        assert_eq!(t.read_count(), 8);
+        assert_eq!(t.sequential_reads(), 2);
+        assert_eq!(t.cpu_units(), 13);
+    }
+
+    #[test]
+    fn non_sequential_sets_dedup_and_sort() {
+        let t = sample();
+        let sets = t.non_sequential_sets();
+        assert_eq!(sets.len(), 2);
+        assert_eq!(sets[&ObjectId(1)], vec![2, 3, 5]);
+        assert_eq!(sets[&ObjectId(2)], vec![9]);
+        assert!(!sets.contains_key(&ObjectId(0)), "sequential-only object excluded");
+        assert_eq!(t.distinct_non_sequential(), 4);
+    }
+
+    #[test]
+    fn page_sequence_preserves_order_and_repeats() {
+        let t = sample();
+        let seq = t.page_sequence();
+        assert_eq!(seq.len(), 8);
+        assert_eq!(seq[0].page_no, 0);
+        assert_eq!(seq[1], seq[5], "repeated index root preserved");
+        assert_eq!(seq[3], seq[7], "repeated heap page preserved");
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::new();
+        assert_eq!(t.read_count(), 0);
+        assert!(t.non_sequential_sets().is_empty());
+        assert_eq!(t.distinct_non_sequential(), 0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Run the entire experiment suite (every table and figure of the paper).
+//! `PYTHIA_FULL=1` switches to the full-size configuration.
+use pythia_experiments::*;
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    eprintln!(
+        "[pythia] running {} suite (scale={}, {} queries/workload)",
+        if cfg.quick { "quick" } else { "FULL" },
+        cfg.scale,
+        cfg.n_queries
+    );
+    let t0 = std::time::Instant::now();
+    let env = Env::new(cfg.clone());
+    eprintln!("[pythia] database built: {} pages", env.bench.db.disk.total_pages());
+
+    table1::run(&env).emit("table1");
+    fig01::run(&env).emit("fig01");
+    let r = fig05_06::run(&env);
+    r.f1.emit("fig05");
+    r.speedup.emit("fig06");
+    let r = fig07_08::run(&env);
+    r.f1.emit("fig07");
+    r.speedup.emit("fig08");
+    fig09::run(&env).emit("fig09");
+    let r = fig10_11::run(&env);
+    r.f1.emit("fig10");
+    r.speedup.emit("fig11");
+    fig12::run_a(&cfg).emit("fig12a");
+    fig12::run_b(&env).emit("fig12b");
+    fig12::run_c(&env).emit("fig12c");
+    fig12::run_d(&env).emit("fig12d");
+    fig12::run_e(&env).emit("fig12e");
+    fig12::run_f(&env).emit("fig12f");
+    fig12::run_g(&env).emit("fig12g");
+    fig12::run_h(&env).emit("fig12h");
+    let r = fig13::run(&env);
+    r.a.emit("fig13a");
+    r.b.emit("fig13b");
+    r.c.emit("fig13c");
+    r.d.emit("fig13d");
+
+    eprintln!("[pythia] suite finished in {:.1}s; CSVs in results/", t0.elapsed().as_secs_f64());
+}

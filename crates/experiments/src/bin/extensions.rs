@@ -1,0 +1,9 @@
+//! Run the paper's §7 future-work extensions: prefetch-aware scheduling and
+//! prefetch-aware buffer replacement.
+use pythia_experiments::{extensions, Env, ExpConfig};
+
+fn main() {
+    let env = Env::new(ExpConfig::from_env());
+    extensions::run_scheduler(&env).emit("ext_scheduler");
+    extensions::run_replacement(&env).emit("ext_replacement");
+}

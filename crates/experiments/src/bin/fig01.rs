@@ -1,0 +1,7 @@
+//! Reproduce Figure 1.
+use pythia_experiments::{fig01, Env, ExpConfig};
+
+fn main() {
+    let env = Env::new(ExpConfig::from_env());
+    fig01::run(&env).emit("fig01");
+}

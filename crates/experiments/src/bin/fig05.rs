@@ -1,0 +1,9 @@
+//! Reproduce Figures 5 and 6 (joint computation; this binary emits both).
+use pythia_experiments::{fig05_06, Env, ExpConfig};
+
+fn main() {
+    let env = Env::new(ExpConfig::from_env());
+    let r = fig05_06::run(&env);
+    r.f1.emit("fig05");
+    r.speedup.emit("fig06");
+}

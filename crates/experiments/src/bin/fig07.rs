@@ -1,0 +1,9 @@
+//! Reproduce Figures 7 and 8.
+use pythia_experiments::{fig07_08, Env, ExpConfig};
+
+fn main() {
+    let env = Env::new(ExpConfig::from_env());
+    let r = fig07_08::run(&env);
+    r.f1.emit("fig07");
+    r.speedup.emit("fig08");
+}

@@ -1,0 +1,7 @@
+//! Reproduce Figure 9.
+use pythia_experiments::{fig09, Env, ExpConfig};
+
+fn main() {
+    let env = Env::new(ExpConfig::from_env());
+    fig09::run(&env).emit("fig09");
+}

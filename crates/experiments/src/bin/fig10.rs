@@ -1,0 +1,9 @@
+//! Reproduce Figures 10 and 11.
+use pythia_experiments::{fig10_11, Env, ExpConfig};
+
+fn main() {
+    let env = Env::new(ExpConfig::from_env());
+    let r = fig10_11::run(&env);
+    r.f1.emit("fig10");
+    r.speedup.emit("fig11");
+}

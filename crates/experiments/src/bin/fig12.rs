@@ -1,0 +1,35 @@
+//! Reproduce Figure 12 (a-h). Pass panel letters as args to run a subset,
+//! e.g. `fig12 a e g`; default runs all panels.
+use pythia_experiments::{fig12, Env, ExpConfig};
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |p: &str| args.is_empty() || args.iter().any(|a| a == p);
+
+    if want("a") {
+        fig12::run_a(&cfg).emit("fig12a");
+    }
+    let env = Env::new(cfg);
+    if want("b") {
+        fig12::run_b(&env).emit("fig12b");
+    }
+    if want("c") {
+        fig12::run_c(&env).emit("fig12c");
+    }
+    if want("d") {
+        fig12::run_d(&env).emit("fig12d");
+    }
+    if want("e") {
+        fig12::run_e(&env).emit("fig12e");
+    }
+    if want("f") {
+        fig12::run_f(&env).emit("fig12f");
+    }
+    if want("g") {
+        fig12::run_g(&env).emit("fig12g");
+    }
+    if want("h") {
+        fig12::run_h(&env).emit("fig12h");
+    }
+}

@@ -1,0 +1,11 @@
+//! Reproduce Figure 13 (a-d).
+use pythia_experiments::{fig13, Env, ExpConfig};
+
+fn main() {
+    let env = Env::new(ExpConfig::from_env());
+    let r = fig13::run(&env);
+    r.a.emit("fig13a");
+    r.b.emit("fig13b");
+    r.c.emit("fig13c");
+    r.d.emit("fig13d");
+}

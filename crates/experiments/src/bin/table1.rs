@@ -1,0 +1,7 @@
+//! Reproduce Table 1.
+use pythia_experiments::{table1, Env, ExpConfig};
+
+fn main() {
+    let env = Env::new(ExpConfig::from_env());
+    table1::run(&env).emit("table1");
+}

@@ -1,0 +1,112 @@
+//! Extension experiments — the paper's §7 future-work directions, built and
+//! measured here:
+//!
+//! * **Prefetch-aware query scheduling** ("schedule queries to maximize the
+//!   overlapping reads"): a queued batch is reordered by
+//!   [`pythia_core::scheduler::schedule_by_overlap`] over Pythia's
+//!   *predictions* (no execution needed), then run warm-sequentially.
+//! * **Prefetcher/replacement coordination** ("improve the coordination
+//!   between the prefetcher of Pythia and the buffer manager"):
+//!   [`pythia_buffer::PolicyKind::PrefetchAwareClock`] protects prefetched
+//!   pages until first use; measured under concurrent queries with a small
+//!   buffer, where plain Clock lets demand reads wash out another query's
+//!   prefetches.
+
+use pythia_buffer::PolicyKind;
+use pythia_db::runtime::{QueryRun, RunConfig};
+use pythia_sim::SimTime;
+use pythia_workloads::templates::Template;
+
+use crate::harness::Env;
+use crate::output::{f2, Table};
+
+/// Extension 1: prefetch-aware scheduling of a queued batch.
+pub fn run_scheduler(env: &Env) -> Table {
+    let mut t = Table::new(
+        "Extension (paper §7): prefetch-aware query scheduling — warm-sequential total latency",
+        &["batch", "FIFO total", "scheduled total", "improvement"],
+    );
+    let w = env.prepare(Template::T18);
+    let tw = env.trained_default(Template::T18);
+
+    for (bi, chunk) in w.test_idx.chunks(6).take(3).enumerate() {
+        if chunk.len() < 3 {
+            continue;
+        }
+        // Predict (cheap, no execution) and schedule on predictions alone.
+        let engagements: Vec<_> = chunk
+            .iter()
+            .map(|&qi| env.pythia_prefetch(&env.run_cfg, &tw, &w.queries[qi].plan))
+            .collect();
+        let predictions: Vec<_> = engagements.iter().map(|(p, _)| p.clone()).collect();
+        let order = pythia_core::scheduler::schedule_by_overlap(&predictions);
+
+        let total_for = |order: &[usize]| {
+            let mut rt = env.runtime();
+            let mut total = pythia_sim::SimDuration::ZERO;
+            for &pos in order {
+                let qi = chunk[pos];
+                let (pf, inf) = &engagements[pos];
+                let res = rt.run(&[QueryRun::with_prefetch(&w.traces[qi], pf.clone(), *inf)]);
+                total += res.timings[0].elapsed();
+            }
+            total
+        };
+        let fifo_order: Vec<usize> = (0..chunk.len()).collect();
+        let fifo = total_for(&fifo_order);
+        let sched = total_for(&order);
+        t.row(vec![
+            format!("batch {} ({} queries)", bi + 1, chunk.len()),
+            fifo.to_string(),
+            sched.to_string(),
+            format!("{:.1}%", (1.0 - sched.as_micros() as f64 / fifo.as_micros() as f64) * 100.0),
+        ]);
+    }
+    t
+}
+
+/// Extension 2: prefetch-aware replacement under concurrent pressure.
+pub fn run_replacement(env: &Env) -> Table {
+    let mut t = Table::new(
+        "Extension (paper §7): prefetch-aware replacement — concurrent T18 queries, small buffer",
+        &["policy", "makespan speedup vs DFLT", "prefetch precision"],
+    );
+    let w = env.prepare(Template::T18);
+    let tw = env.trained_default(Template::T18);
+    let queries: Vec<usize> = w.test_idx.iter().copied().take(4).collect();
+
+    for policy in [PolicyKind::Clock, PolicyKind::PrefetchAwareClock] {
+        let run_cfg = RunConfig {
+            policy,
+            pool_frames: (env.run_cfg.pool_frames / 3).max(96),
+            readahead_window: (env.run_cfg.pool_frames / 12).max(16),
+            ..env.run_cfg.clone()
+        };
+        let makespan_of = |prefetch: bool| {
+            let mut rt = env.runtime_with(&run_cfg);
+            let runs: Vec<QueryRun<'_>> = queries
+                .iter()
+                .map(|&qi| {
+                    if prefetch {
+                        let (pf, inf) =
+                            env.pythia_prefetch(&run_cfg, &tw, &w.queries[qi].plan);
+                        QueryRun::with_prefetch(&w.traces[qi], pf, inf)
+                    } else {
+                        QueryRun::default_run(&w.traces[qi])
+                    }
+                })
+                .map(|r| QueryRun { arrival: SimTime::ZERO, ..r })
+                .collect();
+            let res = rt.run(&runs);
+            (res.makespan(), res.stats)
+        };
+        let (dflt, _) = makespan_of(false);
+        let (pyth, stats) = makespan_of(true);
+        t.row(vec![
+            policy.to_string(),
+            f2(dflt.as_micros() as f64 / pyth.as_micros().max(1) as f64),
+            f2(stats.prefetch_precision()),
+        ]);
+    }
+    t
+}

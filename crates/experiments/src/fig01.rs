@@ -1,0 +1,67 @@
+//! Figure 1: prefetching sequential vs non-sequential reads.
+//!
+//! With an oracle providing the exact block sequence, prefetch either only
+//! the sequentially scanned blocks or only the non-sequential ones. The
+//! paper's point: sequential prefetch adds little (OS readahead already
+//! covers it); non-sequential prefetch is where the win is.
+
+use pythia_baselines::{oracle_prefetch, OracleScope};
+use pythia_sim::SimDuration;
+use pythia_workloads::templates::Template;
+
+use crate::harness::{mean, Env};
+use crate::output::{f2, Table};
+
+/// Run the Figure 1 experiment over the DSB templates.
+pub fn run(env: &Env) -> Table {
+    let mut t = Table::new(
+        "Figure 1: Oracle prefetch of sequential vs non-sequential reads (speedup over DFLT)",
+        &["workload", "seq-only speedup", "non-seq-only speedup"],
+    );
+    for template in Template::DSB {
+        let w = env.prepare_n(template, env.cfg.n_queries.clamp(8, 40));
+        let mut seq_speedups = Vec::new();
+        let mut nonseq_speedups = Vec::new();
+        for (_, trace) in w.test_queries() {
+            let seq = oracle_prefetch(trace, OracleScope::SequentialOnly);
+            let nonseq = oracle_prefetch(trace, OracleScope::NonSequentialOnly);
+            seq_speedups.push(env.speedup(&env.run_cfg, trace, seq, SimDuration::ZERO));
+            nonseq_speedups.push(env.speedup(&env.run_cfg, trace, nonseq, SimDuration::ZERO));
+        }
+        t.row(vec![
+            template.name().to_owned(),
+            f2(mean(&seq_speedups)),
+            f2(mean(&nonseq_speedups)),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExpConfig;
+
+    #[test]
+    fn nonseq_prefetch_dominates_seq_prefetch() {
+        // Needs a scale where queries are non-sequential-I/O-bound, as in
+        // the paper's SF100 setup (a toy database is seq-scan dominated).
+        let cfg = ExpConfig { scale: 0.12, n_queries: 12, ..ExpConfig::quick() };
+        let env = Env::new(cfg);
+        let t = run(&env);
+        assert_eq!(t.rows.len(), 3);
+        let mut seq_mean = 0.0;
+        let mut nonseq_mean = 0.0;
+        for row in &t.rows {
+            let seq: f64 = row[1].parse().unwrap();
+            let nonseq: f64 = row[2].parse().unwrap();
+            seq_mean += seq / 3.0;
+            nonseq_mean += nonseq / 3.0;
+            assert!(nonseq > 1.2, "{}: non-seq oracle should clearly win: {nonseq}", row[0]);
+        }
+        assert!(
+            nonseq_mean > seq_mean,
+            "non-seq prefetch ({nonseq_mean:.2}) must beat seq prefetch ({seq_mean:.2}) on average"
+        );
+    }
+}

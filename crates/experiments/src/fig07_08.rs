@@ -1,0 +1,73 @@
+//! Figures 7 & 8: impact of test-query ↔ workload similarity.
+//!
+//! Each test query gets a scalar similarity — its mean Jaccard similarity
+//! (over accessed blocks) to every training query — and test queries are
+//! bucketed into bottom-25% / middle-50% / top-25%. F1 (Fig. 7) and speedup
+//! (Fig. 8) are reported per bucket: Pythia does better on queries similar
+//! to the workload it trained on.
+
+use pythia_baselines::NearestNeighbor;
+use pythia_core::metrics::f1_score;
+use pythia_core::predictor::ground_truth;
+use pythia_workloads::templates::Template;
+
+use crate::harness::{mean, quartile_buckets, Env, BUCKET_NAMES};
+use crate::output::{f2, f3, Table};
+
+/// Both figures' tables.
+pub struct Fig0708 {
+    pub f1: Table,
+    pub speedup: Table,
+}
+
+/// Run Figures 7 and 8.
+pub fn run(env: &Env) -> Fig0708 {
+    let mut f1_table = Table::new(
+        "Figure 7: F1 by test-query/workload similarity bucket",
+        &["workload", BUCKET_NAMES[0], BUCKET_NAMES[1], BUCKET_NAMES[2]],
+    );
+    let mut sp_table = Table::new(
+        "Figure 8: Speedup by test-query/workload similarity bucket",
+        &["workload", BUCKET_NAMES[0], BUCKET_NAMES[1], BUCKET_NAMES[2]],
+    );
+
+    for template in Template::ALL {
+        let w = env.prepare(template);
+        let tw = env.trained_default(template);
+        let modeled = tw.modeled_objects();
+        let nn = NearestNeighbor::new(&w.train_traces());
+
+        let mut sims = Vec::new();
+        let mut f1s = Vec::new();
+        let mut sps = Vec::new();
+        for (plan, trace) in w.test_queries() {
+            sims.push(nn.mean_similarity(trace));
+            let pred = tw.infer(&env.bench.db, plan);
+            let truth = ground_truth(trace, &modeled);
+            f1s.push(f1_score(&pred.as_set(), &truth).f1);
+            let (pf, inference) = env.pythia_prefetch(&env.run_cfg, &tw, plan);
+            sps.push(env.speedup(&env.run_cfg, trace, pf, inference));
+        }
+        let buckets = quartile_buckets(&sims);
+        let collect = |vals: &[f64], b: usize| -> Vec<f64> {
+            vals.iter()
+                .zip(&buckets)
+                .filter(|(_, &bb)| bb == b)
+                .map(|(v, _)| *v)
+                .collect()
+        };
+        f1_table.row(vec![
+            template.name().to_owned(),
+            f3(mean(&collect(&f1s, 0))),
+            f3(mean(&collect(&f1s, 1))),
+            f3(mean(&collect(&f1s, 2))),
+        ]);
+        sp_table.row(vec![
+            template.name().to_owned(),
+            f2(mean(&collect(&sps, 0))),
+            f2(mean(&collect(&sps, 1))),
+            f2(mean(&collect(&sps, 2))),
+        ]);
+    }
+    Fig0708 { f1: f1_table, speedup: sp_table }
+}

@@ -1,0 +1,70 @@
+//! Figures 10 & 11: impact of the number of distinct non-sequential reads.
+//!
+//! Test queries are bucketed by how many distinct non-sequential pages they
+//! read (bottom 25% / mid 50% / top 25%). Pythia's F1 and speedup are
+//! reported per bucket: queries doing more non-sequential I/O are both easier
+//! to predict (stronger signal) and benefit more from prefetching.
+
+use pythia_core::metrics::f1_score;
+use pythia_core::predictor::ground_truth;
+use pythia_workloads::templates::Template;
+
+use crate::harness::{mean, quartile_buckets, Env, BUCKET_NAMES};
+use crate::output::{f2, f3, Table};
+
+/// Both figures' tables.
+pub struct Fig1011 {
+    pub f1: Table,
+    pub speedup: Table,
+}
+
+/// Run Figures 10 and 11.
+pub fn run(env: &Env) -> Fig1011 {
+    let mut f1_table = Table::new(
+        "Figure 10: F1 by number of distinct non-sequential reads",
+        &["workload", BUCKET_NAMES[0], BUCKET_NAMES[1], BUCKET_NAMES[2]],
+    );
+    let mut sp_table = Table::new(
+        "Figure 11: Speedup by number of distinct non-sequential reads",
+        &["workload", BUCKET_NAMES[0], BUCKET_NAMES[1], BUCKET_NAMES[2]],
+    );
+
+    for template in Template::ALL {
+        let w = env.prepare(template);
+        let tw = env.trained_default(template);
+        let modeled = tw.modeled_objects();
+
+        let mut nonseq_counts = Vec::new();
+        let mut f1s = Vec::new();
+        let mut sps = Vec::new();
+        for (plan, trace) in w.test_queries() {
+            nonseq_counts.push(trace.distinct_non_sequential() as f64);
+            let pred = tw.infer(&env.bench.db, plan);
+            let truth = ground_truth(trace, &modeled);
+            f1s.push(f1_score(&pred.as_set(), &truth).f1);
+            let (pf, inference) = env.pythia_prefetch(&env.run_cfg, &tw, plan);
+            sps.push(env.speedup(&env.run_cfg, trace, pf, inference));
+        }
+        let buckets = quartile_buckets(&nonseq_counts);
+        let collect = |vals: &[f64], b: usize| -> Vec<f64> {
+            vals.iter()
+                .zip(&buckets)
+                .filter(|(_, &bb)| bb == b)
+                .map(|(v, _)| *v)
+                .collect()
+        };
+        f1_table.row(vec![
+            template.name().to_owned(),
+            f3(mean(&collect(&f1s, 0))),
+            f3(mean(&collect(&f1s, 1))),
+            f3(mean(&collect(&f1s, 2))),
+        ]);
+        sp_table.row(vec![
+            template.name().to_owned(),
+            f2(mean(&collect(&sps, 0))),
+            f2(mean(&collect(&sps, 1))),
+            f2(mean(&collect(&sps, 2))),
+        ]);
+    }
+    Fig1011 { f1: f1_table, speedup: sp_table }
+}

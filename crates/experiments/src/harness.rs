@@ -1,0 +1,318 @@
+//! Shared experiment machinery: build the database, prepare workloads
+//! (sample + trace + train/test split), train Pythia, and time replays.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use pythia_core::predictor::TrainedWorkload;
+use pythia_core::prefetch::{cap_to_budget, prefetch_list};
+use pythia_core::{train_workload, PythiaConfig};
+use pythia_db::plan::PlanNode;
+use pythia_db::runtime::{QueryRun, RunConfig, Runtime};
+use pythia_db::trace::Trace;
+use pythia_sim::{PageId, SimDuration, SimTime};
+use pythia_workloads::templates::{sample_workload, QueryInstance, Template};
+use pythia_workloads::{build_benchmark, BenchmarkDb, GeneratorConfig};
+
+use crate::config::ExpConfig;
+
+/// A sampled workload with traces and an unseen-query split.
+pub struct PreparedWorkload {
+    pub template: Template,
+    pub queries: Vec<QueryInstance>,
+    pub traces: Vec<Trace>,
+    pub train_idx: Vec<usize>,
+    pub test_idx: Vec<usize>,
+}
+
+impl PreparedWorkload {
+    /// Training plans (cloned).
+    pub fn train_plans(&self) -> Vec<PlanNode> {
+        self.train_idx.iter().map(|&i| self.queries[i].plan.clone()).collect()
+    }
+
+    /// Training traces (cloned).
+    pub fn train_traces(&self) -> Vec<Trace> {
+        self.train_idx.iter().map(|&i| self.traces[i].clone()).collect()
+    }
+
+    /// Iterate `(plan, trace)` of the held-out test queries.
+    pub fn test_queries(&self) -> impl Iterator<Item = (&PlanNode, &Trace)> {
+        self.test_idx.iter().map(|&i| (&self.queries[i].plan, &self.traces[i]))
+    }
+}
+
+/// The experiment environment: database + sized replay configuration.
+///
+/// Preparing a workload (sampling + tracing) and training the default models
+/// are expensive; both are cached per template so the figure modules can
+/// share them within one suite run.
+pub struct Env {
+    pub cfg: ExpConfig,
+    pub bench: BenchmarkDb,
+    pub run_cfg: RunConfig,
+    prepared: std::cell::RefCell<std::collections::HashMap<(Template, usize), std::rc::Rc<PreparedWorkload>>>,
+    trained: std::cell::RefCell<std::collections::HashMap<Template, std::rc::Rc<TrainedWorkload>>>,
+}
+
+impl Env {
+    /// Build the benchmark database at the configured scale.
+    pub fn new(cfg: ExpConfig) -> Env {
+        let bench = build_benchmark(&GeneratorConfig { scale: cfg.scale, seed: cfg.seed });
+        let run_cfg = cfg.sized_run(bench.db.disk.total_pages());
+        Env {
+            cfg,
+            bench,
+            run_cfg,
+            prepared: Default::default(),
+            trained: Default::default(),
+        }
+    }
+
+    /// Like [`Env::new`] but at an explicit scale (Figure 12a).
+    pub fn at_scale(cfg: ExpConfig, scale: f64) -> Env {
+        let bench = build_benchmark(&GeneratorConfig { scale, seed: cfg.seed });
+        let run_cfg = cfg.sized_run(bench.db.disk.total_pages());
+        Env {
+            cfg,
+            bench,
+            run_cfg,
+            prepared: Default::default(),
+            trained: Default::default(),
+        }
+    }
+
+    /// Sample `n_queries` instances of `template`, execute them for traces,
+    /// and split off the unseen test queries (random, seeded). Cached.
+    pub fn prepare(&self, template: Template) -> std::rc::Rc<PreparedWorkload> {
+        self.prepare_n(template, self.cfg.n_queries)
+    }
+
+    /// [`Env::prepare`] with an explicit workload size. Cached per
+    /// `(template, n)`.
+    pub fn prepare_n(&self, template: Template, n: usize) -> std::rc::Rc<PreparedWorkload> {
+        if let Some(w) = self.prepared.borrow().get(&(template, n)) {
+            return w.clone();
+        }
+        let w = std::rc::Rc::new(self.prepare_uncached(template, n));
+        self.prepared.borrow_mut().insert((template, n), w.clone());
+        w
+    }
+
+    /// Train (once, cached) the default-config models for a template.
+    pub fn trained_default(&self, template: Template) -> std::rc::Rc<TrainedWorkload> {
+        if let Some(tw) = self.trained.borrow().get(&template) {
+            return tw.clone();
+        }
+        let w = self.prepare(template);
+        let tw = std::rc::Rc::new(self.train_with(&w, &self.cfg.pythia));
+        self.trained.borrow_mut().insert(template, tw.clone());
+        tw
+    }
+
+    fn prepare_uncached(&self, template: Template, n: usize) -> PreparedWorkload {
+        let queries = sample_workload(
+            &self.bench,
+            template,
+            n,
+            self.cfg.seed ^ ((template as u64 + 1) * 0x9E37),
+        );
+        let traces: Vec<Trace> = queries
+            .iter()
+            .map(|q| pythia_db::exec::execute(&q.plan, &self.bench.db).1)
+            .collect();
+        let mut idx: Vec<usize> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x5EED);
+        idx.shuffle(&mut rng);
+        let n_test = ((n as f64 * self.cfg.test_frac).round() as usize).clamp(2, n / 2);
+        let (test_idx, train_idx) = idx.split_at(n_test);
+        PreparedWorkload {
+            template,
+            queries,
+            traces,
+            train_idx: train_idx.to_vec(),
+            test_idx: test_idx.to_vec(),
+        }
+    }
+
+    /// Train Pythia on a prepared workload with the default model config.
+    pub fn train(&self, w: &PreparedWorkload) -> TrainedWorkload {
+        self.train_with(w, &self.cfg.pythia)
+    }
+
+    /// Train with an explicit model config (ablations).
+    pub fn train_with(&self, w: &PreparedWorkload, pythia: &PythiaConfig) -> TrainedWorkload {
+        let restrict = w.template.prefetch_objects(&self.bench);
+        train_workload(
+            &self.bench.db,
+            w.template.name(),
+            &w.train_plans(),
+            &w.train_traces(),
+            restrict.as_deref(),
+            pythia,
+        )
+    }
+
+    /// A cold replay stack under this environment's sizing.
+    pub fn runtime(&self) -> Runtime {
+        Runtime::new(&self.run_cfg, self.bench.db.file_lengths())
+    }
+
+    /// A cold replay stack with an explicit configuration.
+    pub fn runtime_with(&self, cfg: &RunConfig) -> Runtime {
+        Runtime::new(cfg, self.bench.db.file_lengths())
+    }
+
+    /// Cold-cache runtime of one query (paper methodology: restart +
+    /// drop caches between runs).
+    pub fn cold_time(
+        &self,
+        run_cfg: &RunConfig,
+        trace: &Trace,
+        prefetch: Option<Vec<PageId>>,
+        inference: SimDuration,
+    ) -> SimDuration {
+        let mut rt = self.runtime_with(run_cfg);
+        let res = rt.run(&[QueryRun {
+            trace,
+            prefetch,
+            arrival: SimTime::ZERO,
+            inference_latency: inference,
+        }]);
+        res.timings[0].elapsed()
+    }
+
+    /// Speedup of a prefetch variant over DFLT for one query, cold cache.
+    pub fn speedup(
+        &self,
+        run_cfg: &RunConfig,
+        trace: &Trace,
+        prefetch: Vec<PageId>,
+        inference: SimDuration,
+    ) -> f64 {
+        let base = self.cold_time(run_cfg, trace, None, SimDuration::ZERO);
+        let with = self.cold_time(run_cfg, trace, Some(prefetch), inference);
+        base.as_micros() as f64 / with.as_micros().max(1) as f64
+    }
+
+    /// Run Pythia inference for a plan, returning the (budget-capped)
+    /// prefetch list and the *measured* wall-clock inference latency —
+    /// charged against the query like the paper charges its 1–1.5 s.
+    pub fn pythia_prefetch(
+        &self,
+        run_cfg: &RunConfig,
+        tw: &TrainedWorkload,
+        plan: &PlanNode,
+    ) -> (Vec<PageId>, SimDuration) {
+        let t0 = std::time::Instant::now();
+        let pred = tw.infer(&self.bench.db, plan);
+        let list = prefetch_list(&self.bench.db, &pred);
+        let inference = SimDuration::from_micros(t0.elapsed().as_micros() as u64);
+        // Limited prefetching: stay within buffer bounds (paper §5.1).
+        let budget = run_cfg.pool_frames * 3 / 4;
+        (cap_to_budget(list, budget), inference)
+    }
+}
+
+/// Mean of a sample (0 for empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Quartile bucket per element: 0 = bottom 25%, 1 = middle 50%, 2 = top 25%
+/// (the paper's Figures 7/8/10/11 bucketing).
+pub fn quartile_buckets(values: &[f64]) -> Vec<usize> {
+    let n = values.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("no NaN"));
+    let q1 = n / 4;
+    let q3 = n - n / 4;
+    let mut buckets = vec![1usize; n];
+    for (rank, &i) in order.iter().enumerate() {
+        buckets[i] = if rank < q1 {
+            0
+        } else if rank >= q3 {
+            2
+        } else {
+            1
+        };
+    }
+    buckets
+}
+
+/// Bucket labels matching the paper's figures.
+pub const BUCKET_NAMES: [&str; 3] = ["low (bottom 25%)", "medium (mid 50%)", "high (top 25%)"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_env() -> Env {
+        let cfg = ExpConfig {
+            scale: 0.05,
+            n_queries: 12,
+            test_frac: 0.25,
+            ..ExpConfig::quick()
+        };
+        Env::new(cfg)
+    }
+
+    #[test]
+    fn prepare_splits_disjointly() {
+        let env = tiny_env();
+        let w = env.prepare(Template::T91);
+        assert_eq!(w.queries.len(), 12);
+        assert_eq!(w.traces.len(), 12);
+        let all: std::collections::HashSet<usize> =
+            w.train_idx.iter().chain(&w.test_idx).copied().collect();
+        assert_eq!(all.len(), 12, "train/test disjoint and covering");
+        assert_eq!(w.test_idx.len(), 3);
+    }
+
+    #[test]
+    fn cold_time_is_deterministic() {
+        let env = tiny_env();
+        let w = env.prepare_n(Template::T91, 4);
+        let t1 = env.cold_time(&env.run_cfg, &w.traces[0], None, SimDuration::ZERO);
+        let t2 = env.cold_time(&env.run_cfg, &w.traces[0], None, SimDuration::ZERO);
+        assert_eq!(t1, t2);
+        assert!(t1 > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn oracle_speedup_exceeds_one() {
+        let env = tiny_env();
+        let w = env.prepare_n(Template::T91, 4);
+        let pf = pythia_baselines::oracle_prefetch(
+            &w.traces[0],
+            pythia_baselines::OracleScope::NonSequentialOnly,
+        );
+        let s = env.speedup(&env.run_cfg, &w.traces[0], pf, SimDuration::ZERO);
+        assert!(s > 1.2, "oracle speedup {s:.2}");
+    }
+
+    #[test]
+    fn quartile_buckets_partition() {
+        let vals: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let b = quartile_buckets(&vals);
+        assert_eq!(b.iter().filter(|&&x| x == 0).count(), 5);
+        assert_eq!(b.iter().filter(|&&x| x == 2).count(), 5);
+        assert_eq!(b.iter().filter(|&&x| x == 1).count(), 10);
+        assert_eq!(b[0], 0);
+        assert_eq!(b[19], 2);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+}

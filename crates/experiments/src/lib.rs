@@ -1,0 +1,31 @@
+//! # pythia-experiments
+//!
+//! The harness that regenerates every table and figure of the paper's
+//! evaluation (§5). Each `fig*`/`table*` module computes one artifact and
+//! returns [`output::Table`]s; the binaries under `src/bin/` print them and
+//! write CSVs to `results/`.
+//!
+//! Two run modes (see [`config::ExpConfig::from_env`]):
+//! * **quick** (default) — scaled-down database, fewer queries, small model
+//!   dims; minutes on a laptop. Shapes (who wins, crossovers) match the
+//!   paper; absolute values differ.
+//! * **full** (`PYTHIA_FULL=1`) — the crate's largest configuration: paper
+//!   model dimensions (100-d, 10 heads, 800 hidden) and 1000 queries per
+//!   workload.
+
+pub mod config;
+pub mod extensions;
+pub mod fig01;
+pub mod fig05_06;
+pub mod fig07_08;
+pub mod fig09;
+pub mod fig10_11;
+pub mod fig12;
+pub mod fig13;
+pub mod harness;
+pub mod output;
+pub mod table1;
+
+pub use config::ExpConfig;
+pub use harness::Env;
+pub use output::Table;

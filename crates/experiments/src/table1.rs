@@ -1,0 +1,53 @@
+//! Table 1: statistics for the template workloads.
+
+use pythia_workloads::templates::Template;
+use pythia_workloads::workload_stats;
+
+use crate::harness::Env;
+use crate::output::Table;
+
+/// Compute Table 1 over all four workloads.
+pub fn run(env: &Env) -> Table {
+    let mut t = Table::new(
+        "Table 1: Statistics for template workloads",
+        &[
+            "workload",
+            "sequential IO",
+            "min distinct non-seq IO",
+            "max distinct non-seq IO",
+            "distinct plans",
+            "relations (index-scanned)",
+        ],
+    );
+    for template in Template::ALL {
+        let w = env.prepare(template);
+        let s = workload_stats(&env.bench, template, &w.queries, &w.traces);
+        t.row(vec![
+            template.name().to_owned(),
+            s.sequential_io.to_string(),
+            s.min_distinct_nonseq.to_string(),
+            s.max_distinct_nonseq.to_string(),
+            s.distinct_plans.to_string(),
+            format!("{}({})", s.relations_joined, s.index_scanned),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExpConfig;
+
+    #[test]
+    fn table1_has_four_workloads() {
+        let cfg = ExpConfig { scale: 0.05, n_queries: 8, ..ExpConfig::quick() };
+        let env = Env::new(cfg);
+        let t = run(&env);
+        assert_eq!(t.rows.len(), 4);
+        // T91 row reports 7 relations, 5 index-scanned.
+        let t91 = &t.rows[2];
+        assert_eq!(t91[0], "Template 91");
+        assert_eq!(t91[5], "7(5)");
+    }
+}

@@ -1,0 +1,167 @@
+//! Optimizers: Adam (the paper's choice) and SGD (for tests/ablations).
+
+use crate::tape::{Gradients, ParamSet, Var};
+use crate::tensor::Tensor;
+
+/// Adam with bias correction (Kingma & Ba 2015), operating on a [`ParamSet`].
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Adam with the given learning rate and default betas (0.9, 0.999).
+    pub fn new(params: &ParamSet, lr: f32) -> Self {
+        let shapes: Vec<Tensor> = params
+            .iter()
+            .map(|(_, t)| Tensor::zeros(t.rows(), t.cols()))
+            .collect();
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: shapes.clone(),
+            v: shapes,
+        }
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Apply one update. `param_vars[i]` must be the tape var that
+    /// `ParamId(i)` was injected as (i.e. the output of
+    /// [`ParamSet::inject`]). Parameters whose gradient is absent (not on the
+    /// loss path this step) are left unchanged.
+    #[allow(clippy::needless_range_loop)] // parallel arrays indexed together
+    pub fn step(&mut self, params: &mut ParamSet, param_vars: &[Var], grads: &Gradients) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let Some(g) = grads.try_get(param_vars[i]) else { continue };
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
+            let p = params.get_mut(crate::tape::ParamId(i));
+            let (b1, b2, eps, lr) = (self.beta1, self.beta2, self.eps, self.lr);
+            for ((pv, gv), (mv, vv)) in p
+                .as_mut_slice()
+                .iter_mut()
+                .zip(g.as_slice())
+                .zip(m.as_mut_slice().iter_mut().zip(v.as_mut_slice().iter_mut()))
+            {
+                *mv = b1 * *mv + (1.0 - b1) * gv;
+                *vv = b2 * *vv + (1.0 - b2) * gv * gv;
+                let mhat = *mv / bc1;
+                let vhat = *vv / bc2;
+                *pv -= lr * mhat / (vhat.sqrt() + eps);
+            }
+        }
+    }
+}
+
+/// Plain SGD (tests and ablations).
+pub struct Sgd {
+    lr: f32,
+}
+
+impl Sgd {
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr }
+    }
+
+    /// Apply `p -= lr * g` for every parameter with a gradient.
+    #[allow(clippy::needless_range_loop)] // parallel arrays indexed together
+    pub fn step(&self, params: &mut ParamSet, param_vars: &[Var], grads: &Gradients) {
+        for i in 0..params.len() {
+            let Some(g) = grads.try_get(param_vars[i]) else { continue };
+            params.get_mut(crate::tape::ParamId(i)).add_scaled(g, -self.lr);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::{bce_with_logits, Tape};
+
+    /// Minimize BCE of a single logit toward target 1: the logit must grow.
+    fn train(optimize: impl Fn(&mut ParamSet, &[Var], &Gradients)) -> f32 {
+        let mut params = ParamSet::new();
+        let w = params.add("w", Tensor::full(1, 1, 0.0));
+        for _ in 0..200 {
+            let mut tape = Tape::new();
+            let vars = params.inject(&mut tape);
+            let loss = bce_with_logits(&mut tape, vars[w.0], Tensor::full(1, 1, 1.0), 1.0);
+            let grads = tape.backward(loss);
+            optimize(&mut params, &vars, &grads);
+        }
+        params.get(w).get(0, 0)
+    }
+
+    #[test]
+    fn sgd_minimizes() {
+        let sgd = Sgd::new(0.5);
+        let w = train(|p, v, g| sgd.step(p, v, g));
+        assert!(w > 2.0, "logit should grow toward +inf, got {w}");
+    }
+
+    #[test]
+    fn adam_minimizes_faster_than_tiny_sgd() {
+        let mut params = ParamSet::new();
+        let w = params.add("w", Tensor::full(1, 1, 0.0));
+        let mut adam = Adam::new(&params, 0.1);
+        for _ in 0..200 {
+            let mut tape = Tape::new();
+            let vars = params.inject(&mut tape);
+            let loss = bce_with_logits(&mut tape, vars[w.0], Tensor::full(1, 1, 1.0), 1.0);
+            let grads = tape.backward(loss);
+            adam.step(&mut params, &vars, &grads);
+        }
+        assert!(params.get(w).get(0, 0) > 3.0);
+        assert_eq!(adam.steps(), 200);
+    }
+
+    #[test]
+    fn adam_skips_params_without_grad() {
+        let mut params = ParamSet::new();
+        let used = params.add("used", Tensor::full(1, 1, 0.0));
+        let unused = params.add("unused", Tensor::full(1, 1, 5.0));
+        let mut adam = Adam::new(&params, 0.1);
+        let mut tape = Tape::new();
+        let vars = params.inject(&mut tape);
+        let loss = bce_with_logits(&mut tape, vars[used.0], Tensor::full(1, 1, 1.0), 1.0);
+        let grads = tape.backward(loss);
+        adam.step(&mut params, &vars, &grads);
+        assert_eq!(params.get(unused).get(0, 0), 5.0);
+        assert_ne!(params.get(used).get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn quadratic_convergence_multi_dim() {
+        // Minimize BCE over a 4-logit row with mixed targets; each logit
+        // should move toward the sign of its target.
+        let mut params = ParamSet::new();
+        let w = params.add("w", Tensor::zeros(1, 4));
+        let targets = Tensor::from_vec(1, 4, vec![1.0, 0.0, 1.0, 0.0]);
+        let mut adam = Adam::new(&params, 0.05);
+        for _ in 0..500 {
+            let mut tape = Tape::new();
+            let vars = params.inject(&mut tape);
+            let loss = bce_with_logits(&mut tape, vars[w.0], targets.clone(), 1.0);
+            let grads = tape.backward(loss);
+            adam.step(&mut params, &vars, &grads);
+        }
+        let t = params.get(w);
+        assert!(t.get(0, 0) > 1.0 && t.get(0, 2) > 1.0);
+        assert!(t.get(0, 1) < -1.0 && t.get(0, 3) < -1.0);
+    }
+}

@@ -1,0 +1,922 @@
+//! Eager tape-based reverse-mode autograd.
+//!
+//! Usage pattern per training step:
+//!
+//! ```
+//! use pythia_nn::{ParamSet, Tape, Tensor, bce_with_logits};
+//!
+//! let mut params = ParamSet::new();
+//! let w = params.add("w", Tensor::full(2, 1, 0.5));
+//!
+//! let mut tape = Tape::new();
+//! let vars = params.inject(&mut tape);
+//! let x = tape.leaf(Tensor::from_vec(1, 2, vec![1.0, -1.0]));
+//! let logits = tape.matmul(x, vars[w.0]);
+//! let loss = bce_with_logits(&mut tape, logits, Tensor::full(1, 1, 1.0), 1.0);
+//! let grads = tape.backward(loss);
+//! assert_eq!(grads.get(vars[w.0]).shape(), (2, 1));
+//! ```
+//!
+//! Values are computed eagerly when an op is recorded; `backward` walks the
+//! tape in reverse accumulating gradients. Every op's gradient is verified
+//! against central finite differences in this module's tests.
+
+use crate::tensor::Tensor;
+
+/// Handle to a node on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(pub usize);
+
+/// Handle to a parameter in a [`ParamSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ParamId(pub usize);
+
+/// A set of trainable parameters (plain tensors between steps).
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct ParamSet {
+    tensors: Vec<Tensor>,
+    names: Vec<String>,
+}
+
+impl ParamSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        ParamSet::default()
+    }
+
+    /// Register a parameter.
+    pub fn add(&mut self, name: &str, init: Tensor) -> ParamId {
+        self.tensors.push(init);
+        self.names.push(name.to_owned());
+        ParamId(self.tensors.len() - 1)
+    }
+
+    /// Number of parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tensors.is_empty()
+    }
+
+    /// Total scalar parameter count (for the paper's model-size reporting).
+    pub fn scalar_count(&self) -> usize {
+        self.tensors.iter().map(Tensor::len).sum()
+    }
+
+    /// Approximate model size in bytes (f32 storage).
+    pub fn size_bytes(&self) -> usize {
+        self.scalar_count() * 4
+    }
+
+    /// Read a parameter.
+    pub fn get(&self, id: ParamId) -> &Tensor {
+        &self.tensors[id.0]
+    }
+
+    /// Mutate a parameter (optimizer updates).
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.tensors[id.0]
+    }
+
+    /// Parameter name.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Copy all parameters onto `tape` as leaves; `result[i]` is the var for
+    /// `ParamId(i)`.
+    pub fn inject(&self, tape: &mut Tape) -> Vec<Var> {
+        self.tensors.iter().map(|t| tape.leaf(t.clone())).collect()
+    }
+
+    /// Iterate `(id, tensor)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Tensor)> {
+        self.tensors.iter().enumerate().map(|(i, t)| (ParamId(i), t))
+    }
+}
+
+#[derive(Debug)]
+enum Op {
+    Leaf,
+    MatMul(Var, Var),
+    Add(Var, Var),
+    /// `[m,n] + [1,n]` row broadcast.
+    AddRow(Var, Var),
+    Scale(Var, f32),
+    /// Add a constant (no gradient flows to it) — positional encodings.
+    AddConst(Var),
+    Relu(Var),
+    SoftmaxRows(Var),
+    LayerNorm {
+        x: Var,
+        gain: Var,
+        bias: Var,
+    },
+    /// Row-gather from an embedding table.
+    Embed {
+        table: Var,
+        ids: Vec<usize>,
+    },
+    Transpose(Var),
+    SliceCols {
+        x: Var,
+        start: usize,
+        len: usize,
+    },
+    ConcatCols(Vec<Var>),
+    /// Stack `[1,n]` rows into `[k,n]`.
+    StackRows(Vec<Var>),
+    /// Rows `[start, start+len)` of `x`.
+    SliceRows {
+        x: Var,
+        start: usize,
+        len: usize,
+    },
+    /// Concatenate along rows (blocks of arbitrary heights).
+    ConcatRows(Vec<Var>),
+    /// Gather arbitrary rows of a non-leaf var (backward scatter-adds).
+    GatherRows {
+        x: Var,
+        idxs: Vec<usize>,
+    },
+    BceWithLogits {
+        logits: Var,
+        targets: Tensor,
+        pos_weight: f32,
+    },
+}
+
+struct Node {
+    value: Tensor,
+    op: Op,
+}
+
+/// Gradients produced by [`Tape::backward`].
+pub struct Gradients {
+    grads: Vec<Option<Tensor>>,
+}
+
+impl Gradients {
+    /// Gradient of the loss w.r.t. `var`.
+    ///
+    /// # Panics
+    /// Panics if no gradient reached `var` (it did not influence the loss).
+    pub fn get(&self, var: Var) -> &Tensor {
+        self.grads[var.0].as_ref().unwrap_or_else(|| panic!("no gradient for {var:?}"))
+    }
+
+    /// Gradient if any reached `var`.
+    pub fn try_get(&self, var: Var) -> Option<&Tensor> {
+        self.grads[var.0].as_ref()
+    }
+}
+
+/// The autograd tape.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+const LN_EPS: f32 = 1e-5;
+
+impl Tape {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Tape::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> Var {
+        self.nodes.push(Node { value, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// The forward value of `var`.
+    pub fn value(&self, var: Var) -> &Tensor {
+        &self.nodes[var.0].value
+    }
+
+    /// Record a leaf (input or parameter copy).
+    pub fn leaf(&mut self, t: Tensor) -> Var {
+        self.push(t, Op::Leaf)
+    }
+
+    /// `a × b`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(v, Op::MatMul(a, b))
+    }
+
+    /// `a + b` (same shape).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).add(self.value(b));
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// `[m,n] + [1,n]`: add `row` to every row of `a` (bias add).
+    pub fn add_row(&mut self, a: Var, row: Var) -> Var {
+        let (m, n) = self.value(a).shape();
+        assert_eq!(self.value(row).shape(), (1, n), "add_row shape mismatch");
+        let rt = self.value(row).clone();
+        let mut v = self.value(a).clone();
+        let bias = rt.row(0);
+        for r in 0..m {
+            for (x, b) in v.row_mut(r).iter_mut().zip(bias) {
+                *x += b;
+            }
+        }
+        self.push(v, Op::AddRow(a, row))
+    }
+
+    /// `a * s`.
+    pub fn scale(&mut self, a: Var, s: f32) -> Var {
+        let v = self.value(a).scale(s);
+        self.push(v, Op::Scale(a, s))
+    }
+
+    /// `a + c` for a constant `c` (no gradient to `c`).
+    pub fn add_const(&mut self, a: Var, c: &Tensor) -> Var {
+        let v = self.value(a).add(c);
+        self.push(v, Op::AddConst(a))
+    }
+
+    /// Elementwise ReLU.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x.max(0.0));
+        self.push(v, Op::Relu(a))
+    }
+
+    /// Row-wise softmax (attention weights).
+    pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let x = self.value(a);
+        let (m, n) = x.shape();
+        let mut v = Tensor::zeros(m, n);
+        for r in 0..m {
+            let row = x.row(r);
+            let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let out = v.row_mut(r);
+            let mut sum = 0.0;
+            for (o, &xv) in out.iter_mut().zip(row) {
+                let e = (xv - mx).exp();
+                *o = e;
+                sum += e;
+            }
+            let inv = 1.0 / sum;
+            for o in out.iter_mut() {
+                *o *= inv;
+            }
+        }
+        self.push(v, Op::SoftmaxRows(a))
+    }
+
+    /// Row-wise layer normalization with learned gain/bias (`[1,n]` each).
+    pub fn layer_norm(&mut self, x: Var, gain: Var, bias: Var) -> Var {
+        let xv = self.value(x);
+        let (m, n) = xv.shape();
+        assert_eq!(self.value(gain).shape(), (1, n));
+        assert_eq!(self.value(bias).shape(), (1, n));
+        let g = self.value(gain).clone();
+        let b = self.value(bias).clone();
+        let mut v = Tensor::zeros(m, n);
+        for r in 0..m {
+            let row = xv.row(r);
+            let mean = row.iter().sum::<f32>() / n as f32;
+            let var = row.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+            let inv = 1.0 / (var + LN_EPS).sqrt();
+            for (((o, &xv), &gv), &bv) in
+                v.row_mut(r).iter_mut().zip(row).zip(g.row(0)).zip(b.row(0))
+            {
+                *o = gv * (xv - mean) * inv + bv;
+            }
+        }
+        self.push(v, Op::LayerNorm { x, gain, bias })
+    }
+
+    /// Gather rows `ids` from embedding `table` (`[vocab, dim]` → `[len, dim]`).
+    pub fn embed(&mut self, table: Var, ids: &[usize]) -> Var {
+        let t = self.value(table);
+        let dim = t.cols();
+        let mut v = Tensor::zeros(ids.len(), dim);
+        for (r, &id) in ids.iter().enumerate() {
+            assert!(id < t.rows(), "embedding id {id} out of vocab {}", t.rows());
+            v.row_mut(r).copy_from_slice(t.row(id));
+        }
+        self.push(v, Op::Embed { table, ids: ids.to_vec() })
+    }
+
+    /// Transpose.
+    pub fn transpose(&mut self, a: Var) -> Var {
+        let v = self.value(a).transpose();
+        self.push(v, Op::Transpose(a))
+    }
+
+    /// Columns `[start, start+len)` of `x` (attention head split).
+    pub fn slice_cols(&mut self, x: Var, start: usize, len: usize) -> Var {
+        let xv = self.value(x);
+        let (m, n) = xv.shape();
+        assert!(start + len <= n, "slice_cols out of range");
+        let mut v = Tensor::zeros(m, len);
+        for r in 0..m {
+            v.row_mut(r).copy_from_slice(&xv.row(r)[start..start + len]);
+        }
+        self.push(v, Op::SliceCols { x, start, len })
+    }
+
+    /// Concatenate along columns (attention head merge).
+    pub fn concat_cols(&mut self, xs: &[Var]) -> Var {
+        assert!(!xs.is_empty());
+        let m = self.value(xs[0]).rows();
+        let total: usize = xs.iter().map(|&v| self.value(v).cols()).sum();
+        let mut v = Tensor::zeros(m, total);
+        let mut off = 0;
+        for &x in xs {
+            let xv = self.value(x);
+            assert_eq!(xv.rows(), m, "concat_cols row mismatch");
+            for r in 0..m {
+                v.row_mut(r)[off..off + xv.cols()].copy_from_slice(xv.row(r));
+            }
+            off += xv.cols();
+        }
+        self.push(v, Op::ConcatCols(xs.to_vec()))
+    }
+
+    /// Rows `[start, start+len)` of `x` (per-sample views into a packed
+    /// batch).
+    pub fn slice_rows(&mut self, x: Var, start: usize, len: usize) -> Var {
+        let xv = self.value(x);
+        let (m, n) = xv.shape();
+        assert!(start + len <= m, "slice_rows out of range");
+        let mut v = Tensor::zeros(len, n);
+        for r in 0..len {
+            v.row_mut(r).copy_from_slice(xv.row(start + r));
+        }
+        self.push(v, Op::SliceRows { x, start, len })
+    }
+
+    /// Concatenate blocks along rows (repacking per-sample attention outputs
+    /// into the batch matrix).
+    pub fn concat_rows(&mut self, xs: &[Var]) -> Var {
+        assert!(!xs.is_empty());
+        let n = self.value(xs[0]).cols();
+        let total: usize = xs.iter().map(|&v| self.value(v).rows()).sum();
+        let mut v = Tensor::zeros(total, n);
+        let mut off = 0;
+        for &x in xs {
+            let xv = self.value(x);
+            assert_eq!(xv.cols(), n, "concat_rows col mismatch");
+            for r in 0..xv.rows() {
+                v.row_mut(off + r).copy_from_slice(xv.row(r));
+            }
+            off += xv.rows();
+        }
+        self.push(v, Op::ConcatRows(xs.to_vec()))
+    }
+
+    /// Gather rows `idxs` from `x` (extracting each sequence's last-token
+    /// representation from a packed batch). Duplicate indices are allowed.
+    pub fn gather_rows(&mut self, x: Var, idxs: &[usize]) -> Var {
+        let xv = self.value(x);
+        let n = xv.cols();
+        let mut v = Tensor::zeros(idxs.len(), n);
+        for (r, &i) in idxs.iter().enumerate() {
+            assert!(i < xv.rows(), "gather_rows index {i} out of range");
+            v.row_mut(r).copy_from_slice(xv.row(i));
+        }
+        self.push(v, Op::GatherRows { x, idxs: idxs.to_vec() })
+    }
+
+    /// Stack `[1,n]` vars into `[k,n]` (batching per-sample query embeddings
+    /// for the decoder).
+    pub fn stack_rows(&mut self, xs: &[Var]) -> Var {
+        assert!(!xs.is_empty());
+        let n = self.value(xs[0]).cols();
+        let mut v = Tensor::zeros(xs.len(), n);
+        for (r, &x) in xs.iter().enumerate() {
+            let xv = self.value(x);
+            assert_eq!(xv.shape(), (1, n), "stack_rows expects [1,n] inputs");
+            v.row_mut(r).copy_from_slice(xv.row(0));
+        }
+        self.push(v, Op::StackRows(xs.to_vec()))
+    }
+
+    /// Run reverse-mode accumulation from `loss` (seeded with ones).
+    pub fn backward(&mut self, loss: Var) -> Gradients {
+        let mut grads: Vec<Option<Tensor>> = (0..self.nodes.len()).map(|_| None).collect();
+        let (lr, lc) = self.nodes[loss.0].value.shape();
+        grads[loss.0] = Some(Tensor::full(lr, lc, 1.0));
+
+        for i in (0..=loss.0).rev() {
+            let Some(g) = grads[i].take() else { continue };
+            match &self.nodes[i].op {
+                Op::Leaf => {
+                    grads[i] = Some(g);
+                    continue;
+                }
+                Op::MatMul(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let ga = g.matmul(&self.nodes[b.0].value.transpose());
+                    let gb = self.nodes[a.0].value.transpose().matmul(&g);
+                    accum(&mut grads, a, ga);
+                    accum(&mut grads, b, gb);
+                }
+                Op::Add(a, b) => {
+                    let (a, b) = (*a, *b);
+                    accum(&mut grads, a, g.clone());
+                    accum(&mut grads, b, g);
+                }
+                Op::AddRow(a, row) => {
+                    let (a, row) = (*a, *row);
+                    accum(&mut grads, row, g.col_sums());
+                    accum(&mut grads, a, g);
+                }
+                Op::Scale(a, s) => {
+                    let (a, s) = (*a, *s);
+                    accum(&mut grads, a, g.scale(s));
+                }
+                Op::AddConst(a) => {
+                    let a = *a;
+                    accum(&mut grads, a, g);
+                }
+                Op::Relu(a) => {
+                    let a = *a;
+                    let x = &self.nodes[a.0].value;
+                    let mut gx = g;
+                    for (gv, &xv) in gx.as_mut_slice().iter_mut().zip(x.as_slice()) {
+                        if xv <= 0.0 {
+                            *gv = 0.0;
+                        }
+                    }
+                    accum(&mut grads, a, gx);
+                }
+                Op::SoftmaxRows(a) => {
+                    let a = *a;
+                    let y = &self.nodes[i].value;
+                    let (m, n) = y.shape();
+                    let mut gx = Tensor::zeros(m, n);
+                    for r in 0..m {
+                        let dot: f32 = (0..n).map(|c| g.get(r, c) * y.get(r, c)).sum();
+                        for c in 0..n {
+                            gx.set(r, c, y.get(r, c) * (g.get(r, c) - dot));
+                        }
+                    }
+                    accum(&mut grads, a, gx);
+                }
+                Op::LayerNorm { x, gain, bias } => {
+                    let (x, gain, bias) = (*x, *gain, *bias);
+                    let xv = &self.nodes[x.0].value;
+                    let gv = &self.nodes[gain.0].value;
+                    let (m, n) = xv.shape();
+                    let nf = n as f32;
+                    let mut gx = Tensor::zeros(m, n);
+                    let mut ggain = Tensor::zeros(1, n);
+                    let mut gbias = Tensor::zeros(1, n);
+                    for r in 0..m {
+                        let row = xv.row(r);
+                        let mean = row.iter().sum::<f32>() / nf;
+                        let var =
+                            row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / nf;
+                        let inv = 1.0 / (var + LN_EPS).sqrt();
+                        // xhat and dxhat for this row.
+                        let mut sum_dxhat = 0.0;
+                        let mut sum_dxhat_xhat = 0.0;
+                        let mut xhat = vec![0.0f32; n];
+                        let mut dxhat = vec![0.0f32; n];
+                        for c in 0..n {
+                            xhat[c] = (row[c] - mean) * inv;
+                            dxhat[c] = g.get(r, c) * gv.get(0, c);
+                            sum_dxhat += dxhat[c];
+                            sum_dxhat_xhat += dxhat[c] * xhat[c];
+                            ggain.set(0, c, ggain.get(0, c) + g.get(r, c) * xhat[c]);
+                            gbias.set(0, c, gbias.get(0, c) + g.get(r, c));
+                        }
+                        for c in 0..n {
+                            let v = inv
+                                * (dxhat[c] - sum_dxhat / nf - xhat[c] * sum_dxhat_xhat / nf);
+                            gx.set(r, c, v);
+                        }
+                    }
+                    accum(&mut grads, x, gx);
+                    accum(&mut grads, gain, ggain);
+                    accum(&mut grads, bias, gbias);
+                }
+                Op::Embed { table, ids } => {
+                    let table = *table;
+                    let ids = ids.clone();
+                    let dim = self.nodes[table.0].value.cols();
+                    let vocab = self.nodes[table.0].value.rows();
+                    let mut gt = Tensor::zeros(vocab, dim);
+                    for (r, id) in ids.iter().enumerate() {
+                        let grow = g.row(r).to_vec();
+                        for (c, gvv) in grow.iter().enumerate() {
+                            let cur = gt.get(*id, c);
+                            gt.set(*id, c, cur + gvv);
+                        }
+                    }
+                    accum(&mut grads, table, gt);
+                }
+                Op::Transpose(a) => {
+                    let a = *a;
+                    accum(&mut grads, a, g.transpose());
+                }
+                Op::SliceCols { x, start, len } => {
+                    let (x, start, len) = (*x, *start, *len);
+                    let (m, n) = self.nodes[x.0].value.shape();
+                    let mut gx = Tensor::zeros(m, n);
+                    for r in 0..m {
+                        gx.row_mut(r)[start..start + len].copy_from_slice(g.row(r));
+                    }
+                    accum(&mut grads, x, gx);
+                }
+                Op::ConcatCols(xs) => {
+                    let xs = xs.clone();
+                    let mut off = 0;
+                    for xvar in xs {
+                        let (m, w) = self.nodes[xvar.0].value.shape();
+                        let mut gx = Tensor::zeros(m, w);
+                        for r in 0..m {
+                            gx.row_mut(r).copy_from_slice(&g.row(r)[off..off + w]);
+                        }
+                        off += w;
+                        accum(&mut grads, xvar, gx);
+                    }
+                }
+                Op::SliceRows { x, start, len } => {
+                    let (x, start, len) = (*x, *start, *len);
+                    let (m, n) = self.nodes[x.0].value.shape();
+                    let mut gx = Tensor::zeros(m, n);
+                    for r in 0..len {
+                        gx.row_mut(start + r).copy_from_slice(g.row(r));
+                    }
+                    accum(&mut grads, x, gx);
+                }
+                Op::ConcatRows(xs) => {
+                    let xs = xs.clone();
+                    let mut off = 0;
+                    for xvar in xs {
+                        let (h, n) = self.nodes[xvar.0].value.shape();
+                        let mut gx = Tensor::zeros(h, n);
+                        for r in 0..h {
+                            gx.row_mut(r).copy_from_slice(g.row(off + r));
+                        }
+                        off += h;
+                        accum(&mut grads, xvar, gx);
+                    }
+                }
+                Op::GatherRows { x, idxs } => {
+                    let x = *x;
+                    let idxs = idxs.clone();
+                    let (m, n) = self.nodes[x.0].value.shape();
+                    let mut gx = Tensor::zeros(m, n);
+                    for (r, &i) in idxs.iter().enumerate() {
+                        for c in 0..n {
+                            let cur = gx.get(i, c);
+                            gx.set(i, c, cur + g.get(r, c));
+                        }
+                    }
+                    accum(&mut grads, x, gx);
+                }
+                Op::StackRows(xs) => {
+                    let xs = xs.clone();
+                    for (r, xvar) in xs.into_iter().enumerate() {
+                        let n = g.cols();
+                        let gx = Tensor::from_vec(1, n, g.row(r).to_vec());
+                        accum(&mut grads, xvar, gx);
+                    }
+                }
+                Op::BceWithLogits { logits, targets, pos_weight } => {
+                    let (logits, p) = (*logits, *pos_weight);
+                    let targets = targets.clone();
+                    let z = &self.nodes[logits.0].value;
+                    let (m, n) = z.shape();
+                    let scale = g.get(0, 0) / (m * n) as f32;
+                    let mut gz = Tensor::zeros(m, n);
+                    for ((o, &zv), &t) in
+                        gz.as_mut_slice().iter_mut().zip(z.as_slice()).zip(targets.as_slice())
+                    {
+                        let s = sigmoid(zv);
+                        // d/dz of  t*p*softplus(-z) + (1-t)*(z + softplus(-z))
+                        *o = (t * p * (s - 1.0) + (1.0 - t) * s) * scale;
+                    }
+                    accum(&mut grads, logits, gz);
+                }
+            }
+            grads[i] = None; // interior grad no longer needed
+        }
+        // Restore leaf grads taken above (accum writes them back as we go,
+        // but the `take` at loop start cleared visited leaves). Rebuild:
+        // leaves are handled by the `continue` branch which re-inserts.
+        Gradients { grads }
+    }
+}
+
+fn accum(grads: &mut [Option<Tensor>], var: Var, delta: Tensor) {
+    match &mut grads[var.0] {
+        Some(g) => g.add_scaled(&delta, 1.0),
+        slot @ None => *slot = Some(delta),
+    }
+}
+
+#[inline]
+fn sigmoid(z: f32) -> f32 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+#[inline]
+fn softplus(z: f32) -> f32 {
+    z.max(0.0) + (-z.abs()).exp().ln_1p()
+}
+
+/// Numerically stable multi-label binary cross-entropy with logits, averaged
+/// over all elements — PyTorch's `BCEWithLogitsLoss` with an optional
+/// `pos_weight` (useful here because almost all page labels are 0).
+/// Returns a `[1,1]` scalar var.
+pub fn bce_with_logits(tape: &mut Tape, logits: Var, targets: Tensor, pos_weight: f32) -> Var {
+    let z = tape.value(logits);
+    assert_eq!(z.shape(), targets.shape(), "bce shape mismatch");
+    let (m, n) = z.shape();
+    let mut total = 0.0f64;
+    for (&zv, &t) in z.as_slice().iter().zip(targets.as_slice()) {
+        let l = t * pos_weight * softplus(-zv) + (1.0 - t) * (zv + softplus(-zv));
+        total += l as f64;
+    }
+    let v = Tensor::full(1, 1, (total / (m * n) as f64) as f32);
+    tape.push_bce(v, logits, targets, pos_weight)
+}
+
+impl Tape {
+    fn push_bce(&mut self, value: Tensor, logits: Var, targets: Tensor, pos_weight: f32) -> Var {
+        self.push(value, Op::BceWithLogits { logits, targets, pos_weight })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Central finite-difference check: `build` must construct the full graph
+    /// from a leaf injected with tensor `x` and return the scalar loss var.
+    fn gradcheck(x0: Tensor, build: impl Fn(&mut Tape, Var) -> Var) {
+        // Analytic gradient.
+        let mut tape = Tape::new();
+        let x = tape.leaf(x0.clone());
+        let loss = build(&mut tape, x);
+        assert_eq!(tape.value(loss).shape(), (1, 1), "loss must be scalar");
+        let grads = tape.backward(loss);
+        let analytic = grads.get(x).clone();
+
+        // Numeric gradient.
+        let eps = 1e-3f32;
+        let (m, n) = x0.shape();
+        for r in 0..m {
+            for c in 0..n {
+                let mut plus = x0.clone();
+                plus.set(r, c, plus.get(r, c) + eps);
+                let mut minus = x0.clone();
+                minus.set(r, c, minus.get(r, c) - eps);
+                let f = |t: Tensor| {
+                    let mut tape = Tape::new();
+                    let x = tape.leaf(t);
+                    let loss = build(&mut tape, x);
+                    tape.value(loss).get(0, 0)
+                };
+                let num = (f(plus) - f(minus)) / (2.0 * eps);
+                let ana = analytic.get(r, c);
+                assert!(
+                    (num - ana).abs() < 2e-2 * (1.0 + num.abs().max(ana.abs())),
+                    "grad mismatch at ({r},{c}): numeric {num} vs analytic {ana}"
+                );
+            }
+        }
+    }
+
+    /// Reduce any matrix to a scalar by BCE against fixed targets — gives a
+    /// smooth scalarization for gradcheck.
+    fn to_scalar(tape: &mut Tape, v: Var) -> Var {
+        let (m, n) = tape.value(v).shape();
+        let targets = Tensor::from_fn(m, n, |r, c| if (r + c) % 2 == 0 { 1.0 } else { 0.0 });
+        bce_with_logits(tape, v, targets, 1.0)
+    }
+
+    fn test_input(m: usize, n: usize) -> Tensor {
+        Tensor::from_fn(m, n, |r, c| ((r * n + c) as f32) * 0.31 - 0.8)
+    }
+
+    #[test]
+    fn grad_bce_direct() {
+        gradcheck(test_input(2, 3), |tape, x| to_scalar(tape, x));
+    }
+
+    #[test]
+    fn grad_bce_pos_weight() {
+        gradcheck(test_input(2, 3), |tape, x| {
+            let t = Tensor::from_fn(2, 3, |r, _| if r == 0 { 1.0 } else { 0.0 });
+            bce_with_logits(tape, x, t, 3.5)
+        });
+    }
+
+    #[test]
+    fn grad_matmul() {
+        gradcheck(test_input(2, 3), |tape, x| {
+            let w = tape.leaf(Tensor::from_fn(3, 2, |r, c| 0.2 * (r as f32) - 0.1 * c as f32));
+            let y = tape.matmul(x, w);
+            to_scalar(tape, y)
+        });
+    }
+
+    #[test]
+    fn grad_matmul_right_operand() {
+        // Check gradient flowing to the right operand of matmul.
+        gradcheck(test_input(3, 2), |tape, x| {
+            let a = tape.leaf(Tensor::from_fn(2, 3, |r, c| 0.3 * (r + c) as f32 - 0.2));
+            let y = tape.matmul(a, x);
+            to_scalar(tape, y)
+        });
+    }
+
+    #[test]
+    fn grad_add_and_scale() {
+        gradcheck(test_input(2, 2), |tape, x| {
+            let y = tape.scale(x, 1.7);
+            let z = tape.add(y, x);
+            to_scalar(tape, z)
+        });
+    }
+
+    #[test]
+    fn grad_add_row() {
+        gradcheck(test_input(1, 4), |tape, b| {
+            let a = tape.leaf(test_input(3, 4));
+            let y = tape.add_row(a, b);
+            to_scalar(tape, y)
+        });
+    }
+
+    #[test]
+    fn grad_relu() {
+        gradcheck(test_input(2, 4), |tape, x| {
+            let y = tape.relu(x);
+            to_scalar(tape, y)
+        });
+    }
+
+    #[test]
+    fn grad_softmax() {
+        gradcheck(test_input(2, 4), |tape, x| {
+            let y = tape.softmax_rows(x);
+            to_scalar(tape, y)
+        });
+    }
+
+    #[test]
+    fn grad_layer_norm_input() {
+        gradcheck(test_input(2, 4), |tape, x| {
+            let g = tape.leaf(Tensor::from_fn(1, 4, |_, c| 1.0 + 0.1 * c as f32));
+            let b = tape.leaf(Tensor::from_fn(1, 4, |_, c| 0.05 * c as f32));
+            let y = tape.layer_norm(x, g, b);
+            to_scalar(tape, y)
+        });
+    }
+
+    #[test]
+    fn grad_layer_norm_gain_bias() {
+        gradcheck(test_input(1, 4), |tape, g| {
+            let x = tape.leaf(test_input(3, 4));
+            let b = tape.leaf(Tensor::zeros(1, 4));
+            let y = tape.layer_norm(x, g, b);
+            to_scalar(tape, y)
+        });
+        gradcheck(Tensor::zeros(1, 4), |tape, b| {
+            let x = tape.leaf(test_input(3, 4));
+            let g = tape.leaf(Tensor::full(1, 4, 1.0));
+            let y = tape.layer_norm(x, g, b);
+            to_scalar(tape, y)
+        });
+    }
+
+    #[test]
+    fn grad_embedding() {
+        gradcheck(test_input(5, 3), |tape, table| {
+            let y = tape.embed(table, &[0, 2, 2, 4]);
+            to_scalar(tape, y)
+        });
+    }
+
+    #[test]
+    fn grad_transpose_slice_concat() {
+        gradcheck(test_input(3, 4), |tape, x| {
+            let t = tape.transpose(x); // [4,3]
+            let s1 = tape.slice_cols(t, 0, 2); // [4,2]
+            let s2 = tape.slice_cols(t, 1, 2); // overlapping slice
+            let y = tape.concat_cols(&[s1, s2]); // [4,4]
+            to_scalar(tape, y)
+        });
+    }
+
+    #[test]
+    fn grad_slice_and_concat_rows() {
+        gradcheck(test_input(4, 3), |tape, x| {
+            let top = tape.slice_rows(x, 0, 2);
+            let bottom = tape.slice_rows(x, 1, 3); // overlapping
+            let y = tape.concat_rows(&[bottom, top]);
+            to_scalar(tape, y)
+        });
+    }
+
+    #[test]
+    fn grad_gather_rows_with_duplicates() {
+        gradcheck(test_input(4, 3), |tape, x| {
+            let y = tape.gather_rows(x, &[3, 0, 3, 2]);
+            to_scalar(tape, y)
+        });
+    }
+
+    #[test]
+    fn grad_stack_rows() {
+        gradcheck(test_input(1, 3), |tape, x| {
+            let x2 = tape.scale(x, 2.0);
+            let y = tape.stack_rows(&[x, x2, x]);
+            to_scalar(tape, y)
+        });
+    }
+
+    #[test]
+    fn grad_attention_like_composite() {
+        // A miniature attention head end-to-end.
+        gradcheck(test_input(3, 4), |tape, x| {
+            let wq = tape.leaf(Tensor::from_fn(4, 2, |r, c| 0.1 * (r as f32) - 0.15 * c as f32));
+            let wk = tape.leaf(Tensor::from_fn(4, 2, |r, c| 0.12 * (c as f32) - 0.05 * r as f32));
+            let wv = tape.leaf(Tensor::from_fn(4, 2, |r, c| 0.2 - 0.03 * (r + c) as f32));
+            let q = tape.matmul(x, wq);
+            let k = tape.matmul(x, wk);
+            let v = tape.matmul(x, wv);
+            let kt = tape.transpose(k);
+            let scores = tape.matmul(q, kt);
+            let scaled = tape.scale(scores, 1.0 / (2.0f32).sqrt());
+            let attn = tape.softmax_rows(scaled);
+            let out = tape.matmul(attn, v);
+            to_scalar(tape, out)
+        });
+    }
+
+    #[test]
+    fn grad_add_const_passthrough() {
+        gradcheck(test_input(2, 3), |tape, x| {
+            let c = Tensor::from_fn(2, 3, |r, c| (r + c) as f32);
+            let y = tape.add_const(x, &c);
+            to_scalar(tape, y)
+        });
+    }
+
+    #[test]
+    fn paramset_bookkeeping() {
+        let mut p = ParamSet::new();
+        let a = p.add("a", Tensor::zeros(2, 3));
+        let b = p.add("b", Tensor::zeros(1, 4));
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.scalar_count(), 10);
+        assert_eq!(p.size_bytes(), 40);
+        assert_eq!(p.name(a), "a");
+        assert_eq!(p.get(b).shape(), (1, 4));
+        let mut tape = Tape::new();
+        let vars = p.inject(&mut tape);
+        assert_eq!(vars.len(), 2);
+        assert_eq!(tape.value(vars[0]).shape(), (2, 3));
+    }
+
+    #[test]
+    fn no_grad_for_unused_leaf() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::full(1, 1, 1.0));
+        let unused = tape.leaf(Tensor::full(1, 1, 1.0));
+        let loss = bce_with_logits(&mut tape, x, Tensor::full(1, 1, 1.0), 1.0);
+        let grads = tape.backward(loss);
+        assert!(grads.try_get(unused).is_none());
+        assert!(grads.try_get(x).is_some());
+    }
+
+    #[test]
+    fn shared_subexpression_accumulates() {
+        // y = x + x  ->  dy/dx = 2.
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::full(1, 1, 0.3));
+        let y = tape.add(x, x);
+        let loss = bce_with_logits(&mut tape, y, Tensor::full(1, 1, 1.0), 1.0);
+        let grads = tape.backward(loss);
+        let gx = grads.get(x).get(0, 0);
+        // dL/dy = sigmoid(0.6) - 1; dL/dx = 2 * that.
+        let expected = 2.0 * (1.0 / (1.0 + (-0.6f32).exp()) - 1.0);
+        assert!((gx - expected).abs() < 1e-5, "{gx} vs {expected}");
+    }
+}

@@ -1,0 +1,361 @@
+//! Dense row-major `f32` matrices.
+//!
+//! Everything the Pythia model needs is rank-2 (sequences are `[len, dim]`,
+//! batches are `[batch, dim]`), so this is deliberately a matrix type rather
+//! than a general tensor. The hot operation is [`Tensor::matmul`]: a blocked
+//! i-k-j kernel, parallelized over row bands with scoped threads once the
+//! work is large enough to amortize spawning.
+
+use std::fmt;
+
+/// A dense row-major matrix of `f32`.
+#[derive(Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Tensor {
+    data: Vec<f32>,
+    rows: usize,
+    cols: usize,
+}
+
+/// Work threshold (multiply-accumulate count) above which matmul fans out to
+/// threads.
+const PAR_THRESHOLD: usize = 1 << 20;
+
+impl Tensor {
+    /// A `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Tensor {
+        Tensor { data: vec![0.0; rows * cols], rows, cols }
+    }
+
+    /// A matrix filled with `v`.
+    pub fn full(rows: usize, cols: usize, v: f32) -> Tensor {
+        Tensor { data: vec![v; rows * cols], rows, cols }
+    }
+
+    /// Build from a flat row-major vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Tensor {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Tensor { data, rows, cols }
+    }
+
+    /// Build by evaluating `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Tensor {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Tensor { data, rows, cols }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element at `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Set element at `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Row `r` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Flat row-major view.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Flat mutable view.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Elementwise map into a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            data: self.data.iter().map(|&v| f(v)).collect(),
+            rows: self.rows,
+            cols: self.cols,
+        }
+    }
+
+    /// Elementwise addition.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape(), other.shape(), "add shape mismatch");
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
+        Tensor { data, rows: self.rows, cols: self.cols }
+    }
+
+    /// In-place `self += scale * other`.
+    pub fn add_scaled(&mut self, other: &Tensor, scale: f32) {
+        assert_eq!(self.shape(), other.shape(), "add_scaled shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += scale * b;
+        }
+    }
+
+    /// Scalar multiply.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|v| v * s)
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self × other`.
+    ///
+    /// # Panics
+    /// Panics if inner dimensions disagree.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {:?} x {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        let work = self.rows * self.cols * other.cols;
+        if work < PAR_THRESHOLD || self.rows < 2 {
+            matmul_band(&self.data, &other.data, &mut out.data, self.cols, other.cols, 0, self.rows);
+        } else {
+            let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
+            let band = self.rows.div_ceil(threads);
+            let a = &self.data;
+            let b = &other.data;
+            let k = self.cols;
+            let n = other.cols;
+            let chunks: Vec<(usize, &mut [f32])> = out
+                .data
+                .chunks_mut(band * n)
+                .enumerate()
+                .map(|(i, c)| (i * band, c))
+                .collect();
+            std::thread::scope(|scope| {
+                for (start_row, chunk) in chunks {
+                    let rows_here = chunk.len() / n;
+                    scope.spawn(move || {
+                        matmul_band(a, b, chunk, k, n, start_row, rows_here);
+                    });
+                }
+            });
+        }
+        out
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Column-wise sums as a `[1, cols]` tensor.
+    pub fn col_sums(&self) -> Tensor {
+        let mut out = Tensor::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c] += self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Fill with zeros.
+    pub fn zero_(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Maximum absolute difference to another tensor (test helper).
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape(), other.shape());
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+/// Compute rows `[start, start+rows_here)` of `A×B` into `out_band`.
+/// `out_band` is the destination slice for exactly those rows.
+fn matmul_band(
+    a: &[f32],
+    b: &[f32],
+    out_band: &mut [f32],
+    k: usize,
+    n: usize,
+    start: usize,
+    rows_here: usize,
+) {
+    for i in 0..rows_here {
+        let a_row = &a[(start + i) * k..(start + i + 1) * k];
+        let out_row = &mut out_band[i * n..(i + 1) * n];
+        for (kk, &a_ik) in a_row.iter().enumerate() {
+            if a_ik == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += a_ik * bv;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor[{}x{}]", self.rows, self.cols)?;
+        if self.len() <= 16 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut t = Tensor::zeros(2, 3);
+        t.set(1, 2, 5.0);
+        assert_eq!(t.get(1, 2), 5.0);
+        assert_eq!(t.shape(), (2, 3));
+        assert_eq!(t.row(1), &[0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn from_fn_layout() {
+        let t = Tensor::from_fn(2, 2, |r, c| (r * 10 + c) as f32);
+        assert_eq!(t.as_slice(), &[0.0, 1.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_fn(4, 4, |r, c| (r * 4 + c) as f32);
+        let i = Tensor::from_fn(4, 4, |r, c| if r == c { 1.0 } else { 0.0 });
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_parallel_matches_serial() {
+        // Big enough to cross PAR_THRESHOLD.
+        let a = Tensor::from_fn(128, 96, |r, c| ((r * 31 + c * 17) % 13) as f32 - 6.0);
+        let b = Tensor::from_fn(96, 128, |r, c| ((r * 7 + c * 3) % 11) as f32 - 5.0);
+        let big = a.matmul(&b);
+        // Serial reference.
+        let mut reference = Tensor::zeros(128, 128);
+        for i in 0..128 {
+            for k in 0..96 {
+                for j in 0..128 {
+                    let v = reference.get(i, j) + a.get(i, k) * b.get(k, j);
+                    reference.set(i, j, v);
+                }
+            }
+        }
+        assert!(big.max_abs_diff(&reference) < 1e-3);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Tensor::from_fn(3, 5, |r, c| (r * 5 + c) as f32);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(4, 2), a.get(2, 4));
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(1, 3, vec![1., -2., 3.]);
+        let b = Tensor::from_vec(1, 3, vec![10., 20., 30.]);
+        assert_eq!(a.add(&b).as_slice(), &[11., 18., 33.]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2., -4., 6.]);
+        assert_eq!(a.map(f32::abs).as_slice(), &[1., 2., 3.]);
+        let mut c = a.clone();
+        c.add_scaled(&b, 0.1);
+        assert_eq!(c.as_slice(), &[2., 0., 6.]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Tensor::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        assert_eq!(a.sum(), 10.0);
+        assert_eq!(a.col_sums().as_slice(), &[4., 6.]);
+        assert!((a.norm() - 30.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn matmul_shape_mismatch_panics() {
+        Tensor::zeros(2, 3).matmul(&Tensor::zeros(2, 3));
+    }
+
+    #[test]
+    #[should_panic]
+    fn add_shape_mismatch_panics() {
+        let _ = Tensor::zeros(2, 3).add(&Tensor::zeros(3, 2));
+    }
+}

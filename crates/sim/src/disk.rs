@@ -1,0 +1,186 @@
+//! The simulated persistent store.
+//!
+//! A [`SimDisk`] is a collection of files, each an append-only vector of
+//! fixed-size pages holding real bytes. The mini-RDBMS stores its heap files
+//! and B+Tree node files here, exactly like Postgres stores each relation
+//! and index in its own file. Timing is *not* modelled here — the buffer
+//! manager combines disk contents with the [`crate::OsPageCache`] and
+//! [`crate::CostModel`] to decide what each access costs.
+
+use std::fmt;
+
+/// Size of a disk page in bytes.
+///
+/// Postgres uses 8 KiB pages over ~12M pages at DSB SF100; we use 2 KiB pages
+/// over tens of thousands of pages so the whole database (and the model output
+/// layer sized by page count) fits a laptop. The ratio of tuples per page is
+/// preserved by also shrinking tuple width in the workload generator.
+pub const PAGE_SIZE: usize = 2048;
+
+/// Identifier of a file on the simulated disk (one per relation / index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FileId(pub u32);
+
+impl fmt::Display for FileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "file#{}", self.0)
+    }
+}
+
+/// A page address: file plus page number within that file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageId {
+    pub file: FileId,
+    pub page_no: u32,
+}
+
+impl PageId {
+    pub fn new(file: FileId, page_no: u32) -> Self {
+        PageId { file, page_no }
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.file, self.page_no)
+    }
+}
+
+/// One simulated file: an ordered sequence of pages.
+#[derive(Debug, Default)]
+struct SimFile {
+    pages: Vec<[u8; PAGE_SIZE]>,
+}
+
+/// The simulated disk: all persistent bytes of the database.
+#[derive(Debug, Default)]
+pub struct SimDisk {
+    files: Vec<SimFile>,
+}
+
+impl SimDisk {
+    /// An empty disk with no files.
+    pub fn new() -> Self {
+        SimDisk::default()
+    }
+
+    /// Create a new empty file and return its id.
+    pub fn create_file(&mut self) -> FileId {
+        let id = FileId(self.files.len() as u32);
+        self.files.push(SimFile::default());
+        id
+    }
+
+    /// Number of files on the disk.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Append a zeroed page to `file`, returning the new page's id.
+    ///
+    /// # Panics
+    /// Panics if `file` does not exist — allocation against a missing file is
+    /// a programming error in the storage layer, not a runtime condition.
+    pub fn allocate_page(&mut self, file: FileId) -> PageId {
+        let f = &mut self.files[file.0 as usize];
+        let page_no = f.pages.len() as u32;
+        f.pages.push([0u8; PAGE_SIZE]);
+        PageId::new(file, page_no)
+    }
+
+    /// Number of pages currently allocated in `file`.
+    pub fn file_len(&self, file: FileId) -> u32 {
+        self.files[file.0 as usize].pages.len() as u32
+    }
+
+    /// Total pages across all files.
+    pub fn total_pages(&self) -> u64 {
+        self.files.iter().map(|f| f.pages.len() as u64).sum()
+    }
+
+    /// Read-only view of a page's bytes.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range page id (storage-layer invariant violation).
+    pub fn read(&self, pid: PageId) -> &[u8; PAGE_SIZE] {
+        &self.files[pid.file.0 as usize].pages[pid.page_no as usize]
+    }
+
+    /// Mutable view of a page's bytes.
+    pub fn write(&mut self, pid: PageId) -> &mut [u8; PAGE_SIZE] {
+        &mut self.files[pid.file.0 as usize].pages[pid.page_no as usize]
+    }
+
+    /// Whether `pid` addresses an allocated page.
+    pub fn contains(&self, pid: PageId) -> bool {
+        (pid.file.0 as usize) < self.files.len()
+            && (pid.page_no as usize) < self.files[pid.file.0 as usize].pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_and_allocate() {
+        let mut d = SimDisk::new();
+        let f = d.create_file();
+        assert_eq!(d.file_len(f), 0);
+        let p0 = d.allocate_page(f);
+        let p1 = d.allocate_page(f);
+        assert_eq!(p0.page_no, 0);
+        assert_eq!(p1.page_no, 1);
+        assert_eq!(d.file_len(f), 2);
+        assert_eq!(d.total_pages(), 2);
+    }
+
+    #[test]
+    fn pages_are_zeroed_and_independent() {
+        let mut d = SimDisk::new();
+        let f = d.create_file();
+        let p0 = d.allocate_page(f);
+        let p1 = d.allocate_page(f);
+        d.write(p0)[0] = 0xAB;
+        assert_eq!(d.read(p0)[0], 0xAB);
+        assert_eq!(d.read(p1)[0], 0);
+    }
+
+    #[test]
+    fn files_are_independent() {
+        let mut d = SimDisk::new();
+        let f0 = d.create_file();
+        let f1 = d.create_file();
+        let a = d.allocate_page(f0);
+        let b = d.allocate_page(f1);
+        d.write(a)[10] = 1;
+        d.write(b)[10] = 2;
+        assert_eq!(d.read(a)[10], 1);
+        assert_eq!(d.read(b)[10], 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn contains_bounds() {
+        let mut d = SimDisk::new();
+        let f = d.create_file();
+        let p = d.allocate_page(f);
+        assert!(d.contains(p));
+        assert!(!d.contains(PageId::new(f, 99)));
+        assert!(!d.contains(PageId::new(FileId(9), 0)));
+    }
+
+    #[test]
+    fn page_id_display() {
+        let pid = PageId::new(FileId(3), 17);
+        assert_eq!(pid.to_string(), "file#3:17");
+    }
+
+    #[test]
+    fn page_id_ordering_is_file_then_offset() {
+        let a = PageId::new(FileId(0), 100);
+        let b = PageId::new(FileId(1), 0);
+        let c = PageId::new(FileId(1), 5);
+        assert!(a < b && b < c);
+    }
+}

@@ -1,0 +1,122 @@
+//! # Pythia — a neural model for data prefetching
+//!
+//! A from-scratch Rust reproduction of *"Pythia: A Neural Model for Data
+//! Prefetching"* (EDBT 2025): a learned predictor that, given a query's
+//! execution plan, predicts the set of **non-sequential** pages the query
+//! will read and asynchronously prefetches them into the buffer pool.
+//!
+//! The workspace layers (each re-exported here):
+//!
+//! * [`sim`] — deterministic virtual-time I/O simulation (disk, OS page
+//!   cache with readahead, async I/O workers).
+//! * [`buffer`] — the buffer manager: Clock/LRU/MRU replacement, pinning,
+//!   and the AIO-style prefetch engine with a bounded readahead window.
+//! * [`db`] — a mini-RDBMS: heap files, B+Tree indexes, a Volcano executor
+//!   that records page-access traces, and the timed replay runtime (the
+//!   Postgres-integration analogue).
+//! * [`nn`] — a tape-autograd neural network library (transformer encoder,
+//!   Adam, BCE-with-logits).
+//! * [`core`] — Pythia itself: plan serialization, per-object multi-label
+//!   classifiers, workload matching, prefetch scheduling.
+//! * [`baselines`] — DFLT / ORCL / nearest-neighbour / sequence-transformer
+//!   baselines.
+//! * [`workloads`] — DSB-like and IMDB/CEB-like benchmark generators.
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs`; the shape is:
+//!
+//! ```text
+//! build database  ->  run training queries (collect traces)
+//!                 ->  PythiaSystem::learn_workload(...)
+//!                 ->  for each new query: engage(plan)
+//!                       Some(prefetch) -> replay with AIO prefetching
+//!                       None           -> default execution (fallback)
+//! ```
+
+pub mod service;
+
+pub use pythia_baselines as baselines;
+pub use pythia_buffer as buffer;
+pub use pythia_core as core;
+pub use pythia_db as db;
+pub use pythia_nn as nn;
+pub use pythia_sim as sim;
+pub use pythia_workloads as workloads;
+
+use pythia_core::predictor::TrainedWorkload;
+use pythia_core::prefetch::{cap_to_budget, prefetch_list};
+use pythia_core::{train_workload, PythiaConfig, WorkloadRegistry};
+use pythia_db::catalog::{Database, ObjectId};
+use pythia_db::plan::PlanNode;
+use pythia_db::trace::Trace;
+use pythia_sim::{PageId, SimDuration};
+
+/// A prefetch decision for one query (Algorithm 3).
+#[derive(Debug, Clone)]
+pub struct Engagement {
+    /// Which trained workload claimed the query.
+    pub workload: String,
+    /// Pages to prefetch, in file storage order, budget-capped.
+    pub prefetch: Vec<PageId>,
+    /// Measured model-inference latency to charge against the query.
+    pub inference: SimDuration,
+}
+
+/// The deployed system: trained workload models plus the engage-or-fallback
+/// decision logic of the paper's Postgres integration (§4).
+pub struct PythiaSystem {
+    registry: WorkloadRegistry,
+    cfg: PythiaConfig,
+    /// Prefetch budget in pages (limited prefetching; typically ~3/4 of the
+    /// buffer pool).
+    pub prefetch_budget: usize,
+}
+
+impl PythiaSystem {
+    /// A system with no trained workloads yet.
+    pub fn new(cfg: PythiaConfig, prefetch_budget: usize) -> Self {
+        PythiaSystem { registry: WorkloadRegistry::new(), cfg, prefetch_budget }
+    }
+
+    /// Train models for a workload (Algorithm 1) and register them.
+    /// `restrict_objects` limits which objects get models (e.g. only
+    /// `cast_info` for the IMDB workload), as in the paper.
+    pub fn learn_workload(
+        &mut self,
+        db: &Database,
+        name: &str,
+        plans: &[PlanNode],
+        traces: &[Trace],
+        restrict_objects: Option<&[ObjectId]>,
+    ) {
+        let tw = train_workload(db, name, plans, traces, restrict_objects, &self.cfg);
+        self.registry.register(tw);
+    }
+
+    /// Number of trained workloads.
+    pub fn workload_count(&self) -> usize {
+        self.registry.len()
+    }
+
+    /// Trained workloads (for inspection).
+    pub fn workloads(&self) -> &[TrainedWorkload] {
+        self.registry.workloads()
+    }
+
+    /// The engage-or-fallback decision (Algorithm 3): `Some` with a prefetch
+    /// plan when the query matches a trained workload, `None` when Pythia
+    /// should stay out of the way and let default execution proceed.
+    pub fn engage(&self, db: &Database, plan: &PlanNode) -> Option<Engagement> {
+        let tw = self.registry.match_plan(db, plan)?;
+        let t0 = std::time::Instant::now();
+        let prediction = tw.infer(db, plan);
+        let list = prefetch_list(db, &prediction);
+        let inference = SimDuration::from_micros(t0.elapsed().as_micros() as u64);
+        Some(Engagement {
+            workload: tw.name.clone(),
+            prefetch: cap_to_budget(list, self.prefetch_budget),
+            inference,
+        })
+    }
+}

@@ -1,0 +1,220 @@
+//! A concurrent serving layer around Pythia: many threads run queries (and
+//! need engage-or-fallback decisions with low latency) while a background
+//! trainer periodically installs refreshed models — the deployment shape the
+//! paper sketches in §5.1 ("we can periodically re-train the models with
+//! updated training data").
+//!
+//! * Readers call [`PythiaService::engage`] under a `parking_lot` read lock —
+//!   inference never blocks on training.
+//! * Training requests go through a `crossbeam` channel to a dedicated
+//!   trainer thread; finished workloads are swapped in under a brief write
+//!   lock.
+
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::RwLock;
+
+use pythia_core::predictor::TrainedWorkload;
+use pythia_core::prefetch::{cap_to_budget, prefetch_list};
+use pythia_core::{train_workload, PythiaConfig, WorkloadRegistry};
+use pythia_db::catalog::{Database, ObjectId};
+use pythia_db::plan::PlanNode;
+use pythia_db::trace::Trace;
+use pythia_sim::SimDuration;
+
+use crate::Engagement;
+
+/// A request for the background trainer.
+pub struct TrainRequest {
+    pub name: String,
+    pub plans: Vec<PlanNode>,
+    pub traces: Vec<Trace>,
+    pub restrict_objects: Option<Vec<ObjectId>>,
+}
+
+/// Thread-safe Pythia deployment: shared registry + background training.
+pub struct PythiaService {
+    db: Arc<Database>,
+    registry: Arc<RwLock<WorkloadRegistry>>,
+    cfg: PythiaConfig,
+    prefetch_budget: usize,
+}
+
+impl PythiaService {
+    /// A service over a (static, read-only) database.
+    pub fn new(db: Arc<Database>, cfg: PythiaConfig, prefetch_budget: usize) -> Self {
+        PythiaService {
+            db,
+            registry: Arc::new(RwLock::new(WorkloadRegistry::new())),
+            cfg,
+            prefetch_budget,
+        }
+    }
+
+    /// Number of installed workloads.
+    pub fn workload_count(&self) -> usize {
+        self.registry.read().len()
+    }
+
+    /// Train synchronously and install (blocking convenience path).
+    pub fn install_workload(&self, req: TrainRequest) {
+        let tw = train_workload(
+            &self.db,
+            &req.name,
+            &req.plans,
+            &req.traces,
+            req.restrict_objects.as_deref(),
+            &self.cfg,
+        );
+        self.registry.write().register(tw);
+    }
+
+    /// Install an already-trained (e.g. loaded-from-disk) workload.
+    pub fn install_trained(&self, tw: TrainedWorkload) {
+        self.registry.write().register(tw);
+    }
+
+    /// The engage-or-fallback decision (Algorithm 3), safe to call from any
+    /// thread; takes only a read lock.
+    pub fn engage(&self, plan: &PlanNode) -> Option<Engagement> {
+        let registry = self.registry.read();
+        let tw = registry.match_plan(&self.db, plan)?;
+        let t0 = std::time::Instant::now();
+        let prediction = tw.infer(&self.db, plan);
+        let list = prefetch_list(&self.db, &prediction);
+        let inference = SimDuration::from_micros(t0.elapsed().as_micros() as u64);
+        Some(Engagement {
+            workload: tw.name.clone(),
+            prefetch: cap_to_budget(list, self.prefetch_budget),
+            inference,
+        })
+    }
+
+    /// Spawn the background trainer. Send [`TrainRequest`]s through the
+    /// returned channel; each finished workload is installed atomically.
+    /// Dropping the sender shuts the trainer down; `join` the handle to wait
+    /// for in-flight training.
+    pub fn spawn_trainer(self: &Arc<Self>) -> (Sender<TrainRequest>, std::thread::JoinHandle<usize>) {
+        let (tx, rx) = unbounded::<TrainRequest>();
+        let service = Arc::clone(self);
+        let handle = std::thread::spawn(move || {
+            let mut installed = 0;
+            while let Ok(req) = rx.recv() {
+                service.install_workload(req);
+                installed += 1;
+            }
+            installed
+        });
+        (tx, handle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pythia_db::exec::execute;
+    use pythia_db::expr::Pred;
+    use pythia_db::types::Schema;
+
+    fn tiny_db() -> (Arc<Database>, pythia_db::catalog::TableId, pythia_db::catalog::TableId, ObjectId) {
+        let mut db = Database::new();
+        let fact = db.create_table("fact", Schema::ints(&["id", "day", "k"]));
+        let dim = db.create_table("dim", Schema::ints(&["d_id", "v"]));
+        for i in 0..800i64 {
+            db.insert(fact, Database::row(&[i, i % 100, i % 40]));
+            db.insert(dim, Database::row(&[i % 40, i % 7]));
+        }
+        let idx = db.create_index("dim_pk", dim, 0);
+        (Arc::new(db), fact, dim, idx)
+    }
+
+    fn plan(fact: pythia_db::catalog::TableId, dim: pythia_db::catalog::TableId, idx: ObjectId, lo: i64) -> PlanNode {
+        PlanNode::IndexNLJoin {
+            outer: Box::new(PlanNode::SeqScan {
+                table: fact,
+                pred: Some(Pred::Between { col: 1, lo, hi: lo + 10 }),
+            }),
+            outer_key: 2,
+            inner: dim,
+            inner_index: idx,
+            inner_pred: None,
+        }
+    }
+
+    fn request(db: &Database, fact: pythia_db::catalog::TableId, dim: pythia_db::catalog::TableId, idx: ObjectId) -> TrainRequest {
+        let plans: Vec<PlanNode> = (0..8).map(|i| plan(fact, dim, idx, i * 9)).collect();
+        let traces = plans.iter().map(|p| execute(p, db).1).collect();
+        TrainRequest { name: "w".into(), plans, traces, restrict_objects: None }
+    }
+
+    fn cfg() -> PythiaConfig {
+        PythiaConfig { epochs: 3, ..PythiaConfig::fast() }
+    }
+
+    #[test]
+    fn background_trainer_installs_and_serves() {
+        let (db, fact, dim, idx) = tiny_db();
+        let service = Arc::new(PythiaService::new(Arc::clone(&db), cfg(), 256));
+        assert_eq!(service.workload_count(), 0);
+        assert!(service.engage(&plan(fact, dim, idx, 3)).is_none(), "nothing installed yet");
+
+        let (tx, handle) = service.spawn_trainer();
+        tx.send(request(&db, fact, dim, idx)).unwrap();
+        drop(tx);
+        assert_eq!(handle.join().unwrap(), 1);
+
+        assert_eq!(service.workload_count(), 1);
+        let eng = service.engage(&plan(fact, dim, idx, 3)).expect("now engages");
+        assert_eq!(eng.workload, "w");
+    }
+
+    #[test]
+    fn concurrent_readers_during_training() {
+        let (db, fact, dim, idx) = tiny_db();
+        let service = Arc::new(PythiaService::new(Arc::clone(&db), cfg(), 256));
+        service.install_workload(request(&db, fact, dim, idx));
+
+        // Readers hammer engage() while the trainer installs a second
+        // workload; nothing deadlocks and reads always succeed.
+        let (tx, handle) = service.spawn_trainer();
+        let mut req = request(&db, fact, dim, idx);
+        req.name = "w2".into();
+        tx.send(req).unwrap();
+        drop(tx);
+
+        let readers: Vec<_> = (0..3)
+            .map(|r| {
+                let s = Arc::clone(&service);
+                std::thread::spawn(move || {
+                    let mut engaged = 0;
+                    for i in 0..20 {
+                        if s.engage(&plan(fact, dim, idx, (r * 20 + i) % 80)).is_some() {
+                            engaged += 1;
+                        }
+                    }
+                    engaged
+                })
+            })
+            .collect();
+        for r in readers {
+            assert_eq!(r.join().unwrap(), 20, "every engage succeeds");
+        }
+        handle.join().unwrap();
+        assert_eq!(service.workload_count(), 2);
+    }
+
+    #[test]
+    fn install_trained_from_disk() {
+        let (db, fact, dim, idx) = tiny_db();
+        let req = request(&db, fact, dim, idx);
+        let tw = train_workload(&db, "disk", &req.plans, &req.traces, None, &cfg());
+        let path = std::env::temp_dir().join("pythia_service_model.json");
+        tw.save_json(&path).unwrap();
+
+        let service = PythiaService::new(Arc::clone(&db), cfg(), 256);
+        service.install_trained(TrainedWorkload::load_json(&path).unwrap());
+        let _ = std::fs::remove_file(&path);
+        assert!(service.engage(&plan(fact, dim, idx, 5)).is_some());
+    }
+}

