@@ -1,0 +1,51 @@
+//! Model-fleet benchmarks: per-object training fan-out and batched inference
+//! on the shared worker pool, serial (one thread) vs pooled, over the
+//! multi-dimension star fixture. Pairs with the `perf_snapshot` binary, which
+//! records the same comparison to `BENCH_nn.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pythia_bench::star_workload;
+use pythia_core::{train_workload, PythiaConfig};
+use pythia_nn::pool::set_thread_override;
+
+fn bench_cfg() -> PythiaConfig {
+    PythiaConfig { epochs: 2, batch_size: 8, lr: 5e-3, ..PythiaConfig::fast() }
+}
+
+fn training(c: &mut Criterion) {
+    let (db, plans, traces) = star_workload(4, 24);
+    let cfg = bench_cfg();
+    c.bench_function("predictor/train_workload_serial", |b| {
+        set_thread_override(1);
+        b.iter(|| black_box(train_workload(&db, "bench", &plans, &traces, None, &cfg)));
+        set_thread_override(0);
+    });
+    c.bench_function("predictor/train_workload_pooled", |b| {
+        b.iter(|| black_box(train_workload(&db, "bench", &plans, &traces, None, &cfg)))
+    });
+}
+
+fn inference(c: &mut Criterion) {
+    let (db, plans, traces) = star_workload(4, 24);
+    let tw = train_workload(&db, "bench", &plans, &traces, None, &bench_cfg());
+    let test = &plans[0];
+    // Prewarm the plan-encoding memo so iterations measure model forwards.
+    let _ = tw.infer(&db, test);
+    c.bench_function("predictor/infer_all_models_serial", |b| {
+        set_thread_override(1);
+        b.iter(|| black_box(tw.infer(&db, test)));
+        set_thread_override(0);
+    });
+    c.bench_function("predictor/infer_all_models_pooled", |b| {
+        b.iter(|| black_box(tw.infer(&db, test)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = training, inference
+}
+criterion_main!(benches);

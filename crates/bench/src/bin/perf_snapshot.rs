@@ -1,0 +1,112 @@
+//! Performance snapshot for the parallel model fleet.
+//!
+//! Trains a multi-dimension star workload twice — once pinned to a single
+//! worker thread, once on the configured pool — verifies the two runs are
+//! bit-identical, and records wall-clock numbers to `BENCH_nn.json` at the
+//! repository root.
+//!
+//! ```text
+//! cargo run --release -p pythia-bench --bin perf_snapshot
+//! ```
+//!
+//! `PYTHIA_THREADS` bounds the pool; the snapshot reports the count it used.
+
+use std::time::Instant;
+
+use pythia_bench::star_workload;
+use pythia_core::config::PythiaConfig;
+use pythia_core::predictor::{train_workload, TrainedWorkload};
+use pythia_nn::pool::{configured_threads, set_thread_override};
+
+const N_DIMS: usize = 4;
+const N_QUERIES: usize = 48;
+const INFER_REPS: usize = 4;
+
+fn main() {
+    let suite_t0 = Instant::now();
+    let threads = configured_threads();
+    eprintln!("[perf_snapshot] building {N_DIMS}-dim star workload ({N_QUERIES} queries)...");
+    let (db, plans, traces) = star_workload(N_DIMS, N_QUERIES);
+    let cfg = PythiaConfig { epochs: 12, batch_size: 8, lr: 5e-3, ..PythiaConfig::fast() };
+
+    // --- training: serial vs pooled -------------------------------------
+    set_thread_override(1);
+    let t0 = Instant::now();
+    let tw_serial = train_workload(&db, "snapshot", &plans, &traces, None, &cfg);
+    let train_serial_s = t0.elapsed().as_secs_f64();
+    eprintln!(
+        "[perf_snapshot] serial train: {train_serial_s:.2}s ({} models)",
+        tw_serial.models.len()
+    );
+
+    set_thread_override(0);
+    let t0 = Instant::now();
+    let tw_parallel = train_workload(&db, "snapshot", &plans, &traces, None, &cfg);
+    let train_parallel_s = t0.elapsed().as_secs_f64();
+    eprintln!("[perf_snapshot] pooled train ({threads} threads): {train_parallel_s:.2}s");
+
+    // Determinism check: the pooled run must reproduce the serial run bit
+    // for bit (weights, vocab, binner — everything that serializes).
+    let a = serde_json::to_string(&tw_serial).expect("serialize serial model");
+    let b = serde_json::to_string(&tw_parallel).expect("serialize parallel model");
+    let bit_identical = a == b;
+    assert!(bit_identical, "pooled training diverged from the serial run");
+    eprintln!("[perf_snapshot] serial and pooled runs are bit-identical");
+
+    // --- inference: serial vs pooled ------------------------------------
+    // Prewarm the plan-encoding cache so both timings measure model forward
+    // passes, not first-touch serialization.
+    for p in &plans {
+        let _ = tw_parallel.infer(&db, p);
+    }
+    set_thread_override(1);
+    let infer_serial_ms = time_infer(&tw_parallel, &db, &plans);
+    set_thread_override(0);
+    let infer_parallel_ms = time_infer(&tw_parallel, &db, &plans);
+    eprintln!(
+        "[perf_snapshot] infer: serial {infer_serial_ms:.2} ms/query, \
+         pooled {infer_parallel_ms:.2} ms/query"
+    );
+
+    let suite_wall_s = suite_t0.elapsed().as_secs_f64();
+    let out = serde_json::json!({
+        "generated_by": "cargo run --release -p pythia-bench --bin perf_snapshot",
+        "threads": threads,
+        "n_dims": N_DIMS,
+        "n_queries": N_QUERIES,
+        "train_serial_s": round3(train_serial_s),
+        "train_parallel_s": round3(train_parallel_s),
+        "train_speedup": round3(train_serial_s / train_parallel_s),
+        "infer_serial_ms_per_query": round3(infer_serial_ms),
+        "infer_parallel_ms_per_query": round3(infer_parallel_ms),
+        "infer_speedup": round3(infer_serial_ms / infer_parallel_ms),
+        "bit_identical": bit_identical,
+        "suite_wall_s": round3(suite_wall_s),
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_nn.json");
+    std::fs::write(path, format!("{}\n", serde_json::to_string_pretty(&out).unwrap()))
+        .expect("write BENCH_nn.json");
+    eprintln!(
+        "[perf_snapshot] wrote {path} (train speedup {:.2}x, suite {:.1}s)",
+        train_serial_s / train_parallel_s,
+        suite_wall_s
+    );
+}
+
+/// Mean milliseconds per `infer` call over `INFER_REPS` passes of the plans.
+fn time_infer(tw: &TrainedWorkload, db: &pythia_db::catalog::Database, plans: &[pythia_db::plan::PlanNode]) -> f64 {
+    let t0 = Instant::now();
+    let mut total_pages = 0usize;
+    for _ in 0..INFER_REPS {
+        for p in plans {
+            total_pages += tw.infer(db, p).len();
+        }
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    std::hint::black_box(total_pages);
+    elapsed * 1e3 / (INFER_REPS * plans.len()) as f64
+}
+
+fn round3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}

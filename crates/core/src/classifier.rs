@@ -19,9 +19,10 @@ use pythia_nn::{Adam, Tensor};
 use crate::config::PythiaConfig;
 use crate::vocab::Vocab;
 
-/// One training example: serialized plan token ids and the positive label
-/// indices (pages accessed non-sequentially).
-pub type Example = (Vec<usize>, Vec<usize>);
+/// One training example: serialized plan token ids (borrowed from the
+/// workload's encoded plans — never cloned per object) and the positive
+/// label indices (pages accessed non-sequentially).
+pub type Example<'a> = (&'a [usize], Vec<usize>);
 
 /// Training summary.
 #[derive(Debug, Clone, Copy)]
@@ -90,7 +91,11 @@ impl PlanClassifier {
     }
 
     /// Train with Adam on BCE-with-logits (paper's objective).
-    pub fn train(&mut self, data: &[Example], cfg: &PythiaConfig) -> TrainReport {
+    ///
+    /// One [`Tape`] is reused across all minibatches: `reset` recycles every
+    /// node buffer and `absorb` returns gradient buffers to the pool, so
+    /// steady-state steps run allocation-free in the graph machinery.
+    pub fn train(&mut self, data: &[Example<'_>], cfg: &PythiaConfig) -> TrainReport {
         assert!(!data.is_empty(), "no training data");
         let mut adam = Adam::new(&self.params, cfg.lr);
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7e57);
@@ -98,11 +103,12 @@ impl PlanClassifier {
         let mut first_loss = f32::NAN;
         let mut final_loss = f32::NAN;
         let mut steps = 0;
+        let mut tape = Tape::new();
         for _epoch in 0..cfg.epochs {
             order.shuffle(&mut rng);
             for chunk in order.chunks(cfg.batch_size) {
                 let seqs: Vec<&[usize]> =
-                    chunk.iter().map(|&i| self.clip(&data[i].0)).collect();
+                    chunk.iter().map(|&i| self.clip(data[i].0)).collect();
                 let mut targets = Tensor::zeros(chunk.len(), self.n_labels);
                 for (r, &i) in chunk.iter().enumerate() {
                     for &lbl in &data[i].1 {
@@ -110,7 +116,7 @@ impl PlanClassifier {
                         targets.set(r, lbl, 1.0);
                     }
                 }
-                let mut tape = Tape::new();
+                tape.reset();
                 let vars = self.params.inject(&mut tape);
                 let reps = self.encoder.encode_batch(&mut tape, &vars, &seqs, Vocab::PAD);
                 let h = self.fc1.forward(&mut tape, &vars, reps);
@@ -124,6 +130,7 @@ impl PlanClassifier {
                 final_loss = loss_val;
                 let grads = tape.backward(loss);
                 adam.step(&mut self.params, &vars, &grads);
+                tape.absorb(grads);
                 steps += 1;
             }
         }
@@ -134,7 +141,7 @@ impl PlanClassifier {
     /// (fresh Adam state). This is the paper's incremental-training path:
     /// "Every new query run can be used as a new training data point to
     /// improve Pythia models" (§5.3).
-    pub fn refine(&mut self, data: &[Example], cfg: &PythiaConfig) -> TrainReport {
+    pub fn refine(&mut self, data: &[Example<'_>], cfg: &PythiaConfig) -> TrainReport {
         self.train(data, cfg)
     }
 
@@ -170,8 +177,9 @@ mod tests {
     use super::*;
 
     /// Tiny synthetic task: token t in {2,3,4} deterministically selects a
-    /// block of labels; classifier must learn the mapping.
-    fn block_task() -> Vec<Example> {
+    /// block of labels; classifier must learn the mapping. Returns owned
+    /// sequences; borrow them with [`as_examples`] before training.
+    fn block_task() -> Vec<(Vec<usize>, Vec<usize>)> {
         let mut data = Vec::new();
         for t in 2..5usize {
             for rep in 0..6 {
@@ -180,6 +188,10 @@ mod tests {
             }
         }
         data
+    }
+
+    fn as_examples(owned: &[(Vec<usize>, Vec<usize>)]) -> Vec<Example<'_>> {
+        owned.iter().map(|(t, l)| (t.as_slice(), l.clone())).collect()
     }
 
     fn tiny_cfg() -> PythiaConfig {
@@ -194,7 +206,8 @@ mod tests {
     #[test]
     fn learns_token_to_block_mapping() {
         let cfg = tiny_cfg();
-        let data = block_task();
+        let owned = block_task();
+        let data = as_examples(&owned);
         let mut clf = PlanClassifier::new(&cfg, 10, 12);
         let report = clf.train(&data, &cfg);
         assert!(report.final_loss < report.first_loss, "loss must decrease");
@@ -236,7 +249,8 @@ mod tests {
     fn empty_positive_sets_are_valid() {
         let cfg = tiny_cfg();
         let mut clf = PlanClassifier::new(&cfg, 10, 4);
-        let data: Vec<Example> = vec![(vec![2, 3], vec![]), (vec![3, 4], vec![0])];
+        let (t1, t2) = (vec![2usize, 3], vec![3usize, 4]);
+        let data: Vec<Example<'_>> = vec![(&t1, vec![]), (&t2, vec![0])];
         let report = clf.train(&data, &cfg);
         assert!(report.final_loss.is_finite());
     }

@@ -18,12 +18,18 @@ use std::collections::HashMap;
 
 use pythia_db::catalog::ObjectId;
 
-use crate::classifier::PlanClassifier;
+use crate::classifier::{Example, PlanClassifier};
 use crate::config::PythiaConfig;
 
 /// Training data for one object: serialized plan tokens plus the sorted
 /// distinct non-sequential pages of that object (Algorithm 1 lines 8–13).
-pub type ObjectExample = (Vec<usize>, Vec<u32>);
+/// Both sides are borrowed from the workload's per-query buffers, so fanning
+/// the same queries out to many object models shares one encoding.
+pub type ObjectExample<'a> = (&'a [usize], &'a [u32]);
+
+/// Training data for a [`CombinedModel`]: plan tokens, table pages, index
+/// pages — all borrowed from the workload's buffers.
+pub type CombinedExample<'a> = (&'a [usize], &'a [u32], &'a [u32]);
 
 #[derive(serde::Serialize, serde::Deserialize)]
 #[allow(clippy::large_enum_variant)] // both variants are model-sized; boxing buys nothing
@@ -52,7 +58,7 @@ impl ObjectModel {
         vocab_size: usize,
         object: ObjectId,
         n_pages: u32,
-        examples: &[ObjectExample],
+        examples: &[ObjectExample<'_>],
     ) -> Self {
         assert!(n_pages > 0, "object with zero pages");
         let kind = if let Some(k) = cfg.top_k {
@@ -70,12 +76,12 @@ impl ObjectModel {
             let page_map = if page_map.is_empty() { vec![0] } else { page_map };
             let index_of: HashMap<u32, usize> =
                 page_map.iter().enumerate().map(|(i, &p)| (p, i)).collect();
-            let data: Vec<(Vec<usize>, Vec<usize>)> = examples
+            let data: Vec<Example<'_>> = examples
                 .iter()
-                .map(|(toks, pages)| {
+                .map(|&(toks, pages)| {
                     let labels =
                         pages.iter().filter_map(|p| index_of.get(p).copied()).collect();
-                    (toks.clone(), labels)
+                    (toks, labels)
                 })
                 .collect();
             let mut classifier = PlanClassifier::new(cfg, vocab_size, page_map.len());
@@ -88,15 +94,15 @@ impl ObjectModel {
             for part in 0..n_parts {
                 let base = part * pp;
                 let labels_here = pp.min(n_pages as usize - base);
-                let data: Vec<(Vec<usize>, Vec<usize>)> = examples
+                let data: Vec<Example<'_>> = examples
                     .iter()
-                    .map(|(toks, pages)| {
+                    .map(|&(toks, pages)| {
                         let labels = pages
                             .iter()
                             .filter(|&&p| (p as usize) >= base && (p as usize) < base + labels_here)
                             .map(|&p| p as usize - base)
                             .collect();
-                        (toks.clone(), labels)
+                        (toks, labels)
                     })
                     .collect();
                 let mut c = PlanClassifier::new(
@@ -116,16 +122,16 @@ impl ObjectModel {
     /// retraining (§5.3). Top-k models keep their original page map (the
     /// popular set is a training-time decision); partitioned models refine
     /// every partition.
-    pub fn refine(&mut self, cfg: &PythiaConfig, examples: &[ObjectExample]) {
+    pub fn refine(&mut self, cfg: &PythiaConfig, examples: &[ObjectExample<'_>]) {
         match &mut self.kind {
             ModelKind::Partitioned { classifiers, partition_pages } => {
                 let pp = *partition_pages;
                 for (part, c) in classifiers.iter_mut().enumerate() {
                     let base = part * pp;
                     let labels_here = c.n_labels();
-                    let data: Vec<(Vec<usize>, Vec<usize>)> = examples
+                    let data: Vec<Example<'_>> = examples
                         .iter()
-                        .map(|(toks, pages)| {
+                        .map(|&(toks, pages)| {
                             let labels = pages
                                 .iter()
                                 .filter(|&&p| {
@@ -133,7 +139,7 @@ impl ObjectModel {
                                 })
                                 .map(|&p| p as usize - base)
                                 .collect();
-                            (toks.clone(), labels)
+                            (toks, labels)
                         })
                         .collect();
                     c.refine(&data, cfg);
@@ -142,12 +148,12 @@ impl ObjectModel {
             ModelKind::TopK { classifier, page_map } => {
                 let index_of: HashMap<u32, usize> =
                     page_map.iter().enumerate().map(|(i, &p)| (p, i)).collect();
-                let data: Vec<(Vec<usize>, Vec<usize>)> = examples
+                let data: Vec<Example<'_>> = examples
                     .iter()
-                    .map(|(toks, pages)| {
+                    .map(|&(toks, pages)| {
                         let labels =
                             pages.iter().filter_map(|p| index_of.get(p).copied()).collect();
-                        (toks.clone(), labels)
+                        (toks, labels)
                     })
                     .collect();
                 classifier.refine(&data, cfg);
@@ -233,15 +239,15 @@ impl CombinedModel {
         index: ObjectId,
         table_pages: u32,
         index_pages: u32,
-        examples: &[(Vec<usize>, Vec<u32>, Vec<u32>)],
+        examples: &[CombinedExample<'_>],
     ) -> Self {
         let n_labels = (table_pages + index_pages) as usize;
-        let data: Vec<(Vec<usize>, Vec<usize>)> = examples
+        let data: Vec<Example<'_>> = examples
             .iter()
-            .map(|(toks, tp, ip)| {
+            .map(|&(toks, tp, ip)| {
                 let mut labels: Vec<usize> = tp.iter().map(|&p| p as usize).collect();
                 labels.extend(ip.iter().map(|&p| (table_pages + p) as usize));
-                (toks.clone(), labels)
+                (toks, labels)
             })
             .collect();
         let mut classifier = PlanClassifier::new(cfg, vocab_size, n_labels.max(1));
@@ -277,8 +283,9 @@ mod tests {
         PythiaConfig { epochs: 80, batch_size: 8, lr: 5e-3, ..PythiaConfig::fast() }
     }
 
-    /// Token 2/3 selects low/high page block.
-    fn examples() -> Vec<ObjectExample> {
+    /// Token 2/3 selects low/high page block. Owned data; borrow with
+    /// [`as_refs`] before training.
+    fn examples() -> Vec<(Vec<usize>, Vec<u32>)> {
         let mut out = Vec::new();
         for rep in 0..6 {
             out.push((vec![2, 5 + rep % 2], vec![0, 1, 2]));
@@ -287,9 +294,14 @@ mod tests {
         out
     }
 
+    fn as_refs(owned: &[(Vec<usize>, Vec<u32>)]) -> Vec<ObjectExample<'_>> {
+        owned.iter().map(|(t, p)| (t.as_slice(), p.as_slice())).collect()
+    }
+
     #[test]
     fn object_model_learns() {
-        let m = ObjectModel::train(&cfg(), 10, ObjectId(0), 10, &examples());
+        let owned = examples();
+        let m = ObjectModel::train(&cfg(), 10, ObjectId(0), 10, &as_refs(&owned));
         assert_eq!(m.predict(&[2, 5]), vec![0, 1, 2]);
         assert_eq!(m.predict(&[3, 5]), vec![7, 8, 9]);
         assert_eq!(m.partition_count(), 1);
@@ -298,7 +310,8 @@ mod tests {
     #[test]
     fn partitioned_model_spans_ranges() {
         let c = PythiaConfig { partition_pages: 4, ..cfg() };
-        let m = ObjectModel::train(&c, 10, ObjectId(0), 10, &examples());
+        let owned = examples();
+        let m = ObjectModel::train(&c, 10, ObjectId(0), 10, &as_refs(&owned));
         assert_eq!(m.partition_count(), 3); // 4+4+2
         // Pages 7-9 live in partitions 1 and 2; prediction must still work.
         assert_eq!(m.predict(&[3, 5]), vec![7, 8, 9]);
@@ -314,7 +327,7 @@ mod tests {
         for _ in 0..10 {
             ex.push((vec![2, 5], vec![0, 1, 2]));
         }
-        let m = ObjectModel::train(&c, 10, ObjectId(0), 10, &ex);
+        let m = ObjectModel::train(&c, 10, ObjectId(0), 10, &as_refs(&ex));
         let pred = m.predict(&[2, 5]);
         assert_eq!(pred, vec![0, 1, 2]);
         // Pages outside the top-3 can never be predicted.
@@ -324,7 +337,7 @@ mod tests {
 
     #[test]
     fn combined_model_splits_label_space() {
-        let data: Vec<(Vec<usize>, Vec<u32>, Vec<u32>)> = (0..12)
+        let owned: Vec<(Vec<usize>, Vec<u32>, Vec<u32>)> = (0..12)
             .map(|i| {
                 if i % 2 == 0 {
                     (vec![2, 5 + i % 3], vec![0, 1], vec![0])
@@ -332,6 +345,10 @@ mod tests {
                     (vec![3, 5 + i % 3], vec![4, 5], vec![2])
                 }
             })
+            .collect();
+        let data: Vec<CombinedExample<'_>> = owned
+            .iter()
+            .map(|(t, tp, ip)| (t.as_slice(), tp.as_slice(), ip.as_slice()))
             .collect();
         let m = CombinedModel::train(&cfg(), 10, ObjectId(0), ObjectId(1), 6, 3, &data);
         let (tp, ip) = m.predict(&[2, 5]);
@@ -345,7 +362,8 @@ mod tests {
 
     #[test]
     fn predictions_are_sorted() {
-        let m = ObjectModel::train(&cfg(), 10, ObjectId(0), 10, &examples());
+        let owned = examples();
+        let m = ObjectModel::train(&cfg(), 10, ObjectId(0), 10, &as_refs(&owned));
         let p = m.predict(&[3, 5]);
         let mut sorted = p.clone();
         sorted.sort_unstable();

@@ -1,16 +1,27 @@
 //! Workload-level training (Algorithm 1) and inference (Algorithm 3).
+//!
+//! Every per-object model is an independent, self-seeded training problem,
+//! so the model fleet trains, infers, and refines on the shared worker pool
+//! ([`pythia_nn::pool`]) with outputs bit-identical to a serial run.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Mutex;
 
 use pythia_db::catalog::{Database, ObjectId};
 use pythia_db::plan::PlanNode;
 use pythia_db::trace::Trace;
 
+use pythia_nn::pool::{parallel_map, parallel_map_vec};
+
 use crate::config::PythiaConfig;
 use crate::metrics::ObjPage;
-use crate::model::{CombinedModel, ObjectModel};
+use crate::model::{CombinedExample, CombinedModel, ObjectExample, ObjectModel};
 use crate::serialize::{serialize_plan, ValueBinner};
 use crate::vocab::Vocab;
+
+/// Upper bound on memoized plan encodings (each workload template has few
+/// distinct plans, so this is generous; it only guards pathological callers).
+const ENCODE_CACHE_CAP: usize = 4096;
 
 /// A fully trained Pythia instance for one workload.
 #[derive(serde::Serialize, serde::Deserialize)]
@@ -27,6 +38,11 @@ pub struct TrainedWorkload {
     /// used for matching incoming queries.
     pub object_union: BTreeSet<ObjectId>,
     pub cfg: PythiaConfig,
+    /// Plan → token-sequence memo for [`Self::infer`]. Encoding depends only
+    /// on the (frozen) vocabulary and binner, so entries never invalidate —
+    /// not even across [`Self::refine`], which only moves model weights.
+    #[serde(skip)]
+    encode_cache: Mutex<HashMap<PlanNode, Vec<usize>>>,
 }
 
 /// The output of Algorithm 3's prediction step: pages per object.
@@ -128,9 +144,20 @@ pub fn train_workload(
         }
     };
 
-    let mut models = BTreeMap::new();
-    let mut combined = Vec::new();
+    // Build the training job list serially (catalog lookups stay on this
+    // thread), then fan the independent model fits out on the worker pool.
+    // Each fit is a pure function of (cfg, vocab size, pages, examples) with
+    // a self-contained RNG, so results are bit-identical to a serial run.
+    enum TrainJob {
+        Separate { obj: ObjectId, n_pages: u32 },
+        Combined { table: ObjectId, index: ObjectId, table_pages: u32, index_pages: u32 },
+    }
+    enum TrainOut {
+        Separate(ObjectId, ObjectModel),
+        Combined(CombinedModel),
+    }
 
+    let mut jobs: Vec<TrainJob> = Vec::new();
     if cfg.combined_index_base {
         // Pair each selected index with its base table when both are
         // selected; leftovers get separate models.
@@ -145,45 +172,58 @@ pub fn train_workload(
             if !selected.contains(&table_obj) {
                 continue;
             }
-            let examples: Vec<(Vec<usize>, Vec<u32>, Vec<u32>)> = token_seqs
-                .iter()
-                .zip(&page_sets)
-                .map(|(toks, sets)| {
-                    (
-                        toks.clone(),
-                        sets.get(&table_obj).cloned().unwrap_or_default(),
-                        sets.get(&obj).cloned().unwrap_or_default(),
-                    )
-                })
-                .collect();
-            combined.push(CombinedModel::train(
-                cfg,
-                vocab.len(),
-                table_obj,
-                obj,
-                db.object_pages(table_obj),
-                db.object_pages(obj),
-                &examples,
-            ));
+            jobs.push(TrainJob::Combined {
+                table: table_obj,
+                index: obj,
+                table_pages: db.object_pages(table_obj),
+                index_pages: db.object_pages(obj),
+            });
             used.insert(obj);
             used.insert(table_obj);
         }
         for &obj in &selected {
             if !used.contains(&obj) {
-                let examples = object_examples(&token_seqs, &page_sets, obj);
-                models.insert(
-                    obj,
-                    ObjectModel::train(cfg, vocab.len(), obj, db.object_pages(obj), &examples),
-                );
+                jobs.push(TrainJob::Separate { obj, n_pages: db.object_pages(obj) });
             }
         }
     } else {
         for &obj in &selected {
+            jobs.push(TrainJob::Separate { obj, n_pages: db.object_pages(obj) });
+        }
+    }
+
+    let vocab_len = vocab.len();
+    let results = parallel_map(&jobs, |_, job| match *job {
+        TrainJob::Separate { obj, n_pages } => {
             let examples = object_examples(&token_seqs, &page_sets, obj);
-            models.insert(
-                obj,
-                ObjectModel::train(cfg, vocab.len(), obj, db.object_pages(obj), &examples),
-            );
+            TrainOut::Separate(obj, ObjectModel::train(cfg, vocab_len, obj, n_pages, &examples))
+        }
+        TrainJob::Combined { table, index, table_pages, index_pages } => {
+            let examples: Vec<CombinedExample<'_>> = token_seqs
+                .iter()
+                .zip(&page_sets)
+                .map(|(toks, sets)| {
+                    (
+                        toks.as_slice(),
+                        sets.get(&table).map(Vec::as_slice).unwrap_or(&[]),
+                        sets.get(&index).map(Vec::as_slice).unwrap_or(&[]),
+                    )
+                })
+                .collect();
+            TrainOut::Combined(CombinedModel::train(
+                cfg, vocab_len, table, index, table_pages, index_pages, &examples,
+            ))
+        }
+    });
+
+    let mut models = BTreeMap::new();
+    let mut combined = Vec::new();
+    for r in results {
+        match r {
+            TrainOut::Separate(obj, m) => {
+                models.insert(obj, m);
+            }
+            TrainOut::Combined(c) => combined.push(c),
         }
     }
 
@@ -195,18 +235,25 @@ pub fn train_workload(
         combined,
         object_union,
         cfg: cfg.clone(),
+        encode_cache: Mutex::new(HashMap::new()),
     }
 }
 
-fn object_examples(
-    token_seqs: &[Vec<usize>],
-    page_sets: &[BTreeMap<ObjectId, Vec<u32>>],
+/// Per-object training view: every example borrows the query's encoded plan
+/// and the trace's page list — nothing is cloned per object, so fanning N
+/// objects out over Q queries costs O(N·Q) fat-pointer pairs, not O(N·Q·len)
+/// buffer copies.
+fn object_examples<'a>(
+    token_seqs: &'a [Vec<usize>],
+    page_sets: &'a [BTreeMap<ObjectId, Vec<u32>>],
     obj: ObjectId,
-) -> Vec<(Vec<usize>, Vec<u32>)> {
+) -> Vec<ObjectExample<'a>> {
     token_seqs
         .iter()
         .zip(page_sets)
-        .map(|(toks, sets)| (toks.clone(), sets.get(&obj).cloned().unwrap_or_default()))
+        .map(|(toks, sets)| {
+            (toks.as_slice(), sets.get(&obj).map(Vec::as_slice).unwrap_or(&[]))
+        })
         .collect()
 }
 
@@ -227,23 +274,66 @@ impl TrainedWorkload {
         self.vocab.encode(&toks)
     }
 
-    /// Algorithm 3's prediction step: run every applicable model.
-    pub fn infer(&self, db: &Database, plan: &PlanNode) -> Prediction {
-        let toks = self.encode_plan(db, plan);
-        let mut pages = BTreeMap::new();
-        for (obj, model) in &self.models {
-            let p = model.predict(&toks);
-            if !p.is_empty() {
-                pages.insert(*obj, p);
-            }
+    /// [`Self::encode_plan`] with memoization: each workload template has
+    /// only a handful of distinct plans (paper Table 1), so repeat queries
+    /// skip serialization entirely.
+    pub fn encode_plan_cached(&self, db: &Database, plan: &PlanNode) -> Vec<usize> {
+        if let Some(hit) = self.encode_cache.lock().unwrap().get(plan) {
+            return hit.clone();
         }
-        for c in &self.combined {
-            let (tp, ip) = c.predict(&toks);
-            if !tp.is_empty() {
-                pages.entry(c.table).or_insert_with(Vec::new).extend(tp);
+        let toks = self.encode_plan(db, plan);
+        let mut cache = self.encode_cache.lock().unwrap();
+        if cache.len() < ENCODE_CACHE_CAP {
+            cache.insert(plan.clone(), toks.clone());
+        }
+        toks
+    }
+
+    /// Algorithm 3's prediction step: run every applicable model, fanned out
+    /// over the worker pool. Each model's prediction is a pure function of
+    /// the token sequence and the assembly below consumes results in the
+    /// fixed job order, so output is identical to the serial loop.
+    pub fn infer(&self, db: &Database, plan: &PlanNode) -> Prediction {
+        let toks = self.encode_plan_cached(db, plan);
+
+        enum PredJob<'a> {
+            Separate(ObjectId, &'a ObjectModel),
+            Combined(&'a CombinedModel),
+        }
+        enum PredOut {
+            Separate(ObjectId, Vec<u32>),
+            Combined { table: ObjectId, tp: Vec<u32>, index: ObjectId, ip: Vec<u32> },
+        }
+        let jobs: Vec<PredJob<'_>> = self
+            .models
+            .iter()
+            .map(|(obj, m)| PredJob::Separate(*obj, m))
+            .chain(self.combined.iter().map(PredJob::Combined))
+            .collect();
+        let outs = parallel_map(&jobs, |_, job| match job {
+            PredJob::Separate(obj, model) => PredOut::Separate(*obj, model.predict(&toks)),
+            PredJob::Combined(c) => {
+                let (tp, ip) = c.predict(&toks);
+                PredOut::Combined { table: c.table, tp, index: c.index, ip }
             }
-            if !ip.is_empty() {
-                pages.entry(c.index).or_insert_with(Vec::new).extend(ip);
+        });
+
+        let mut pages = BTreeMap::new();
+        for out in outs {
+            match out {
+                PredOut::Separate(obj, p) => {
+                    if !p.is_empty() {
+                        pages.insert(obj, p);
+                    }
+                }
+                PredOut::Combined { table, tp, index, ip } => {
+                    if !tp.is_empty() {
+                        pages.entry(table).or_insert_with(Vec::new).extend(tp);
+                    }
+                    if !ip.is_empty() {
+                        pages.entry(index).or_insert_with(Vec::new).extend(ip);
+                    }
+                }
             }
         }
         for v in pages.values_mut() {
@@ -269,10 +359,17 @@ impl TrainedWorkload {
         let page_sets: Vec<BTreeMap<ObjectId, Vec<u32>>> =
             traces.iter().map(|t| t.non_sequential_sets()).collect();
         let cfg = self.cfg.clone();
-        for (obj, model) in self.models.iter_mut() {
-            let examples = object_examples(&token_seqs, &page_sets, *obj);
+        // Fan the independent per-object refinements out on the worker pool;
+        // ownership moves through `parallel_map_vec` and the map is rebuilt
+        // from the in-order results (BTreeMap, so order is immaterial anyway).
+        let owned: Vec<(ObjectId, ObjectModel)> =
+            std::mem::take(&mut self.models).into_iter().collect();
+        let retrained = parallel_map_vec(owned, |_, (obj, mut model)| {
+            let examples = object_examples(&token_seqs, &page_sets, obj);
             model.refine(&cfg, &examples);
-        }
+            (obj, model)
+        });
+        self.models = retrained.into_iter().collect();
         for p in plans {
             self.object_union.extend(p.objects(db));
         }

@@ -22,7 +22,7 @@ pub enum AggFunc {
 ///
 /// Join outputs concatenate the streaming side's columns first:
 /// `IndexNLJoin` emits `outer ++ inner`, `HashJoin` emits `probe ++ build`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum PlanNode {
     /// Full sequential scan of a table with an optional filter.
     SeqScan { table: TableId, pred: Option<Pred> },

@@ -5,10 +5,11 @@ use pythia_experiments::*;
 fn main() {
     let cfg = ExpConfig::from_env();
     eprintln!(
-        "[pythia] running {} suite (scale={}, {} queries/workload)",
+        "[pythia] running {} suite (scale={}, {} queries/workload, {} worker threads)",
         if cfg.quick { "quick" } else { "FULL" },
         cfg.scale,
-        cfg.n_queries
+        cfg.n_queries,
+        pythia_nn::pool::configured_threads()
     );
     let t0 = std::time::Instant::now();
     let env = Env::new(cfg.clone());

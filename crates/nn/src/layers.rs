@@ -34,10 +34,10 @@ impl Linear {
         Linear { w, b, in_dim, out_dim }
     }
 
-    /// Forward `[m, in_dim] -> [m, out_dim]`.
+    /// Forward `[m, in_dim] -> [m, out_dim]` via the fused matmul+bias op
+    /// (one tape node, transpose-free backward).
     pub fn forward(&self, tape: &mut Tape, vars: &[Var], x: Var) -> Var {
-        let xw = tape.matmul(x, vars[self.w.0]);
-        tape.add_row(xw, vars[self.b.0])
+        tape.linear(x, vars[self.w.0], vars[self.b.0])
     }
 }
 

@@ -20,9 +20,16 @@
 //! optimizer. No graph caching, no aliasing — simple and easy to verify
 //! against finite differences (see the property tests).
 
+//!
+//! Parallelism: [`pool`] owns the workspace-wide thread-count policy
+//! (`PYTHIA_THREADS`, runtime-overridable) and a deterministic scoped
+//! map used by both the matmul row bands here and the per-object model
+//! fleet in `pythia-core`.
+
 pub mod init;
 pub mod layers;
 pub mod optim;
+pub mod pool;
 pub mod tape;
 pub mod tensor;
 

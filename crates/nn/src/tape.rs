@@ -89,7 +89,7 @@ impl ParamSet {
     /// Copy all parameters onto `tape` as leaves; `result[i]` is the var for
     /// `ParamId(i)`.
     pub fn inject(&self, tape: &mut Tape) -> Vec<Var> {
-        self.tensors.iter().map(|t| tape.leaf(t.clone())).collect()
+        self.tensors.iter().map(|t| tape.leaf_copy(t)).collect()
     }
 
     /// Iterate `(id, tensor)` pairs.
@@ -102,6 +102,9 @@ impl ParamSet {
 enum Op {
     Leaf,
     MatMul(Var, Var),
+    /// Fused `x·w + bias` (`[m,k]×[k,n] + [1,n]`): one kernel forward,
+    /// transpose-free backward.
+    Linear(Var, Var, Var),
     Add(Var, Var),
     /// `[m,n] + [1,n]` row broadcast.
     AddRow(Var, Var),
@@ -178,6 +181,11 @@ impl Gradients {
 #[derive(Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+    /// Recycled `f32` buffers. [`Tape::reset`] and [`Tape::absorb`] return
+    /// node/gradient storage here so steady-state training (same graph shape
+    /// every minibatch) reuses allocations instead of hitting the allocator
+    /// per op.
+    pool: Vec<Vec<f32>>,
 }
 
 const LN_EPS: f32 = 1e-5;
@@ -213,10 +221,58 @@ impl Tape {
         self.push(t, Op::Leaf)
     }
 
+    /// Record a leaf holding a copy of `t`, reusing a pooled buffer.
+    pub fn leaf_copy(&mut self, t: &Tensor) -> Var {
+        let (r, c) = t.shape();
+        let v = pooled_from_slice(&mut self.pool, r, c, t.as_slice());
+        self.push(v, Op::Leaf)
+    }
+
+    /// Clear all recorded nodes, recycling their buffers. The tape is then
+    /// ready for the next minibatch's graph without reallocating.
+    pub fn reset(&mut self) {
+        for node in self.nodes.drain(..) {
+            self.pool.push(node.value.into_data());
+            if let Op::BceWithLogits { targets, .. } = node.op {
+                self.pool.push(targets.into_data());
+            }
+        }
+    }
+
+    /// Recycle gradient buffers into the pool once the optimizer is done
+    /// with them.
+    pub fn absorb(&mut self, grads: Gradients) {
+        for g in grads.grads.into_iter().flatten() {
+            self.pool.push(g.into_data());
+        }
+    }
+
     /// `a × b`.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
         let v = self.value(a).matmul(self.value(b));
         self.push(v, Op::MatMul(a, b))
+    }
+
+    /// Fused `x·w + bias` where `bias` is `[1,n]`, broadcast over rows: the
+    /// whole affine layer as one tape node. Forward adds the bias into the
+    /// matmul output in place (no intermediate node); backward uses the
+    /// transpose-free kernels [`Tensor::matmul_a_bt`] / [`Tensor::matmul_at_b`].
+    pub fn linear(&mut self, x: Var, w: Var, bias: Var) -> Var {
+        let n = self.nodes[w.0].value.cols();
+        assert_eq!(
+            self.nodes[x.0].value.cols(),
+            self.nodes[w.0].value.rows(),
+            "linear inner-dim mismatch"
+        );
+        assert_eq!(self.nodes[bias.0].value.shape(), (1, n), "linear bias shape mismatch");
+        let mut v = self.nodes[x.0].value.matmul(&self.nodes[w.0].value);
+        let b = &self.nodes[bias.0].value;
+        for r in 0..v.rows() {
+            for (o, &bv) in v.row_mut(r).iter_mut().zip(b.row(0)) {
+                *o += bv;
+            }
+        }
+        self.push(v, Op::Linear(x, w, bias))
     }
 
     /// `a + b` (same shape).
@@ -227,13 +283,13 @@ impl Tape {
 
     /// `[m,n] + [1,n]`: add `row` to every row of `a` (bias add).
     pub fn add_row(&mut self, a: Var, row: Var) -> Var {
-        let (m, n) = self.value(a).shape();
-        assert_eq!(self.value(row).shape(), (1, n), "add_row shape mismatch");
-        let rt = self.value(row).clone();
-        let mut v = self.value(a).clone();
-        let bias = rt.row(0);
+        let (m, n) = self.nodes[a.0].value.shape();
+        assert_eq!(self.nodes[row.0].value.shape(), (1, n), "add_row shape mismatch");
+        let mut v =
+            pooled_from_slice(&mut self.pool, m, n, self.nodes[a.0].value.as_slice());
+        let rt = &self.nodes[row.0].value;
         for r in 0..m {
-            for (x, b) in v.row_mut(r).iter_mut().zip(bias) {
+            for (x, b) in v.row_mut(r).iter_mut().zip(rt.row(0)) {
                 *x += b;
             }
         }
@@ -254,15 +310,20 @@ impl Tape {
 
     /// Elementwise ReLU.
     pub fn relu(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(|x| x.max(0.0));
+        let (m, n) = self.nodes[a.0].value.shape();
+        let mut v =
+            pooled_from_slice(&mut self.pool, m, n, self.nodes[a.0].value.as_slice());
+        for x in v.as_mut_slice() {
+            *x = x.max(0.0);
+        }
         self.push(v, Op::Relu(a))
     }
 
     /// Row-wise softmax (attention weights).
     pub fn softmax_rows(&mut self, a: Var) -> Var {
-        let x = self.value(a);
-        let (m, n) = x.shape();
-        let mut v = Tensor::zeros(m, n);
+        let (m, n) = self.nodes[a.0].value.shape();
+        let mut v = pooled_zeros(&mut self.pool, m, n);
+        let x = &self.nodes[a.0].value;
         for r in 0..m {
             let row = x.row(r);
             let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
@@ -283,13 +344,13 @@ impl Tape {
 
     /// Row-wise layer normalization with learned gain/bias (`[1,n]` each).
     pub fn layer_norm(&mut self, x: Var, gain: Var, bias: Var) -> Var {
-        let xv = self.value(x);
-        let (m, n) = xv.shape();
-        assert_eq!(self.value(gain).shape(), (1, n));
-        assert_eq!(self.value(bias).shape(), (1, n));
-        let g = self.value(gain).clone();
-        let b = self.value(bias).clone();
-        let mut v = Tensor::zeros(m, n);
+        let (m, n) = self.nodes[x.0].value.shape();
+        assert_eq!(self.nodes[gain.0].value.shape(), (1, n));
+        assert_eq!(self.nodes[bias.0].value.shape(), (1, n));
+        let mut v = pooled_zeros(&mut self.pool, m, n);
+        let xv = &self.nodes[x.0].value;
+        let g = &self.nodes[gain.0].value;
+        let b = &self.nodes[bias.0].value;
         for r in 0..m {
             let row = xv.row(r);
             let mean = row.iter().sum::<f32>() / n as f32;
@@ -306,9 +367,9 @@ impl Tape {
 
     /// Gather rows `ids` from embedding `table` (`[vocab, dim]` → `[len, dim]`).
     pub fn embed(&mut self, table: Var, ids: &[usize]) -> Var {
-        let t = self.value(table);
-        let dim = t.cols();
-        let mut v = Tensor::zeros(ids.len(), dim);
+        let dim = self.nodes[table.0].value.cols();
+        let mut v = pooled_zeros(&mut self.pool, ids.len(), dim);
+        let t = &self.nodes[table.0].value;
         for (r, &id) in ids.iter().enumerate() {
             assert!(id < t.rows(), "embedding id {id} out of vocab {}", t.rows());
             v.row_mut(r).copy_from_slice(t.row(id));
@@ -324,10 +385,10 @@ impl Tape {
 
     /// Columns `[start, start+len)` of `x` (attention head split).
     pub fn slice_cols(&mut self, x: Var, start: usize, len: usize) -> Var {
-        let xv = self.value(x);
-        let (m, n) = xv.shape();
+        let (m, n) = self.nodes[x.0].value.shape();
         assert!(start + len <= n, "slice_cols out of range");
-        let mut v = Tensor::zeros(m, len);
+        let mut v = pooled_zeros(&mut self.pool, m, len);
+        let xv = &self.nodes[x.0].value;
         for r in 0..m {
             v.row_mut(r).copy_from_slice(&xv.row(r)[start..start + len]);
         }
@@ -337,12 +398,12 @@ impl Tape {
     /// Concatenate along columns (attention head merge).
     pub fn concat_cols(&mut self, xs: &[Var]) -> Var {
         assert!(!xs.is_empty());
-        let m = self.value(xs[0]).rows();
-        let total: usize = xs.iter().map(|&v| self.value(v).cols()).sum();
-        let mut v = Tensor::zeros(m, total);
+        let m = self.nodes[xs[0].0].value.rows();
+        let total: usize = xs.iter().map(|&v| self.nodes[v.0].value.cols()).sum();
+        let mut v = pooled_zeros(&mut self.pool, m, total);
         let mut off = 0;
         for &x in xs {
-            let xv = self.value(x);
+            let xv = &self.nodes[x.0].value;
             assert_eq!(xv.rows(), m, "concat_cols row mismatch");
             for r in 0..m {
                 v.row_mut(r)[off..off + xv.cols()].copy_from_slice(xv.row(r));
@@ -355,10 +416,10 @@ impl Tape {
     /// Rows `[start, start+len)` of `x` (per-sample views into a packed
     /// batch).
     pub fn slice_rows(&mut self, x: Var, start: usize, len: usize) -> Var {
-        let xv = self.value(x);
-        let (m, n) = xv.shape();
+        let (m, n) = self.nodes[x.0].value.shape();
         assert!(start + len <= m, "slice_rows out of range");
-        let mut v = Tensor::zeros(len, n);
+        let mut v = pooled_zeros(&mut self.pool, len, n);
+        let xv = &self.nodes[x.0].value;
         for r in 0..len {
             v.row_mut(r).copy_from_slice(xv.row(start + r));
         }
@@ -369,12 +430,12 @@ impl Tape {
     /// into the batch matrix).
     pub fn concat_rows(&mut self, xs: &[Var]) -> Var {
         assert!(!xs.is_empty());
-        let n = self.value(xs[0]).cols();
-        let total: usize = xs.iter().map(|&v| self.value(v).rows()).sum();
-        let mut v = Tensor::zeros(total, n);
+        let n = self.nodes[xs[0].0].value.cols();
+        let total: usize = xs.iter().map(|&v| self.nodes[v.0].value.rows()).sum();
+        let mut v = pooled_zeros(&mut self.pool, total, n);
         let mut off = 0;
         for &x in xs {
-            let xv = self.value(x);
+            let xv = &self.nodes[x.0].value;
             assert_eq!(xv.cols(), n, "concat_rows col mismatch");
             for r in 0..xv.rows() {
                 v.row_mut(off + r).copy_from_slice(xv.row(r));
@@ -387,9 +448,9 @@ impl Tape {
     /// Gather rows `idxs` from `x` (extracting each sequence's last-token
     /// representation from a packed batch). Duplicate indices are allowed.
     pub fn gather_rows(&mut self, x: Var, idxs: &[usize]) -> Var {
-        let xv = self.value(x);
-        let n = xv.cols();
-        let mut v = Tensor::zeros(idxs.len(), n);
+        let n = self.nodes[x.0].value.cols();
+        let mut v = pooled_zeros(&mut self.pool, idxs.len(), n);
+        let xv = &self.nodes[x.0].value;
         for (r, &i) in idxs.iter().enumerate() {
             assert!(i < xv.rows(), "gather_rows index {i} out of range");
             v.row_mut(r).copy_from_slice(xv.row(i));
@@ -401,10 +462,10 @@ impl Tape {
     /// for the decoder).
     pub fn stack_rows(&mut self, xs: &[Var]) -> Var {
         assert!(!xs.is_empty());
-        let n = self.value(xs[0]).cols();
-        let mut v = Tensor::zeros(xs.len(), n);
+        let n = self.nodes[xs[0].0].value.cols();
+        let mut v = pooled_zeros(&mut self.pool, xs.len(), n);
         for (r, &x) in xs.iter().enumerate() {
-            let xv = self.value(x);
+            let xv = &self.nodes[x.0].value;
             assert_eq!(xv.shape(), (1, n), "stack_rows expects [1,n] inputs");
             v.row_mut(r).copy_from_slice(xv.row(0));
         }
@@ -413,9 +474,14 @@ impl Tape {
 
     /// Run reverse-mode accumulation from `loss` (seeded with ones).
     pub fn backward(&mut self, loss: Var) -> Gradients {
+        // Gradient work buffers come from (and interior grads return to) the
+        // tape's pool; `take` sidesteps the simultaneous `&self.nodes` borrow.
+        let mut pool = std::mem::take(&mut self.pool);
         let mut grads: Vec<Option<Tensor>> = (0..self.nodes.len()).map(|_| None).collect();
         let (lr, lc) = self.nodes[loss.0].value.shape();
-        grads[loss.0] = Some(Tensor::full(lr, lc, 1.0));
+        let mut seed = pooled_zeros(&mut pool, lr, lc);
+        seed.as_mut_slice().fill(1.0);
+        grads[loss.0] = Some(seed);
 
         for i in (0..=loss.0).rev() {
             let Some(g) = grads[i].take() else { continue };
@@ -426,10 +492,21 @@ impl Tape {
                 }
                 Op::MatMul(a, b) => {
                     let (a, b) = (*a, *b);
-                    let ga = g.matmul(&self.nodes[b.0].value.transpose());
-                    let gb = self.nodes[a.0].value.transpose().matmul(&g);
+                    let ga = g.matmul_a_bt(&self.nodes[b.0].value);
+                    let gb = self.nodes[a.0].value.matmul_at_b(&g);
                     accum(&mut grads, a, ga);
                     accum(&mut grads, b, gb);
+                    pool.push(g.into_data());
+                }
+                Op::Linear(x, w, b) => {
+                    let (x, w, b) = (*x, *w, *b);
+                    let gx = g.matmul_a_bt(&self.nodes[w.0].value);
+                    let gw = self.nodes[x.0].value.matmul_at_b(&g);
+                    let gb = g.col_sums();
+                    accum(&mut grads, x, gx);
+                    accum(&mut grads, w, gw);
+                    accum(&mut grads, b, gb);
+                    pool.push(g.into_data());
                 }
                 Op::Add(a, b) => {
                     let (a, b) = (*a, *b);
@@ -444,6 +521,7 @@ impl Tape {
                 Op::Scale(a, s) => {
                     let (a, s) = (*a, *s);
                     accum(&mut grads, a, g.scale(s));
+                    pool.push(g.into_data());
                 }
                 Op::AddConst(a) => {
                     let a = *a;
@@ -464,7 +542,7 @@ impl Tape {
                     let a = *a;
                     let y = &self.nodes[i].value;
                     let (m, n) = y.shape();
-                    let mut gx = Tensor::zeros(m, n);
+                    let mut gx = pooled_zeros(&mut pool, m, n);
                     for r in 0..m {
                         let dot: f32 = (0..n).map(|c| g.get(r, c) * y.get(r, c)).sum();
                         for c in 0..n {
@@ -472,6 +550,7 @@ impl Tape {
                         }
                     }
                     accum(&mut grads, a, gx);
+                    pool.push(g.into_data());
                 }
                 Op::LayerNorm { x, gain, bias } => {
                     let (x, gain, bias) = (*x, *gain, *bias);
@@ -479,9 +558,9 @@ impl Tape {
                     let gv = &self.nodes[gain.0].value;
                     let (m, n) = xv.shape();
                     let nf = n as f32;
-                    let mut gx = Tensor::zeros(m, n);
-                    let mut ggain = Tensor::zeros(1, n);
-                    let mut gbias = Tensor::zeros(1, n);
+                    let mut gx = pooled_zeros(&mut pool, m, n);
+                    let mut ggain = pooled_zeros(&mut pool, 1, n);
+                    let mut gbias = pooled_zeros(&mut pool, 1, n);
                     for r in 0..m {
                         let row = xv.row(r);
                         let mean = row.iter().sum::<f32>() / nf;
@@ -510,75 +589,82 @@ impl Tape {
                     accum(&mut grads, x, gx);
                     accum(&mut grads, gain, ggain);
                     accum(&mut grads, bias, gbias);
+                    pool.push(g.into_data());
                 }
                 Op::Embed { table, ids } => {
                     let table = *table;
                     let ids = ids.clone();
                     let dim = self.nodes[table.0].value.cols();
                     let vocab = self.nodes[table.0].value.rows();
-                    let mut gt = Tensor::zeros(vocab, dim);
+                    let mut gt = pooled_zeros(&mut pool, vocab, dim);
                     for (r, id) in ids.iter().enumerate() {
-                        let grow = g.row(r).to_vec();
+                        let grow = g.row(r);
                         for (c, gvv) in grow.iter().enumerate() {
                             let cur = gt.get(*id, c);
                             gt.set(*id, c, cur + gvv);
                         }
                     }
                     accum(&mut grads, table, gt);
+                    pool.push(g.into_data());
                 }
                 Op::Transpose(a) => {
                     let a = *a;
                     accum(&mut grads, a, g.transpose());
+                    pool.push(g.into_data());
                 }
                 Op::SliceCols { x, start, len } => {
                     let (x, start, len) = (*x, *start, *len);
                     let (m, n) = self.nodes[x.0].value.shape();
-                    let mut gx = Tensor::zeros(m, n);
+                    let mut gx = pooled_zeros(&mut pool, m, n);
                     for r in 0..m {
                         gx.row_mut(r)[start..start + len].copy_from_slice(g.row(r));
                     }
                     accum(&mut grads, x, gx);
+                    pool.push(g.into_data());
                 }
                 Op::ConcatCols(xs) => {
                     let xs = xs.clone();
                     let mut off = 0;
                     for xvar in xs {
                         let (m, w) = self.nodes[xvar.0].value.shape();
-                        let mut gx = Tensor::zeros(m, w);
+                        let mut gx = pooled_zeros(&mut pool, m, w);
                         for r in 0..m {
                             gx.row_mut(r).copy_from_slice(&g.row(r)[off..off + w]);
                         }
                         off += w;
                         accum(&mut grads, xvar, gx);
                     }
+                    pool.push(g.into_data());
                 }
                 Op::SliceRows { x, start, len } => {
                     let (x, start, len) = (*x, *start, *len);
                     let (m, n) = self.nodes[x.0].value.shape();
-                    let mut gx = Tensor::zeros(m, n);
+                    let mut gx = pooled_zeros(&mut pool, m, n);
                     for r in 0..len {
                         gx.row_mut(start + r).copy_from_slice(g.row(r));
                     }
                     accum(&mut grads, x, gx);
+                    pool.push(g.into_data());
                 }
                 Op::ConcatRows(xs) => {
                     let xs = xs.clone();
                     let mut off = 0;
                     for xvar in xs {
                         let (h, n) = self.nodes[xvar.0].value.shape();
-                        let mut gx = Tensor::zeros(h, n);
+                        let mut gx = pooled_zeros(&mut pool, h, n);
                         for r in 0..h {
                             gx.row_mut(r).copy_from_slice(g.row(off + r));
                         }
                         off += h;
                         accum(&mut grads, xvar, gx);
                     }
+                    pool.push(g.into_data());
                 }
                 Op::GatherRows { x, idxs } => {
                     let x = *x;
                     let idxs = idxs.clone();
                     let (m, n) = self.nodes[x.0].value.shape();
-                    let mut gx = Tensor::zeros(m, n);
+                    let mut gx = pooled_zeros(&mut pool, m, n);
                     for (r, &i) in idxs.iter().enumerate() {
                         for c in 0..n {
                             let cur = gx.get(i, c);
@@ -586,14 +672,16 @@ impl Tape {
                         }
                     }
                     accum(&mut grads, x, gx);
+                    pool.push(g.into_data());
                 }
                 Op::StackRows(xs) => {
                     let xs = xs.clone();
                     for (r, xvar) in xs.into_iter().enumerate() {
                         let n = g.cols();
-                        let gx = Tensor::from_vec(1, n, g.row(r).to_vec());
+                        let gx = pooled_from_slice(&mut pool, 1, n, g.row(r));
                         accum(&mut grads, xvar, gx);
                     }
+                    pool.push(g.into_data());
                 }
                 Op::BceWithLogits { logits, targets, pos_weight } => {
                     let (logits, p) = (*logits, *pos_weight);
@@ -601,7 +689,7 @@ impl Tape {
                     let z = &self.nodes[logits.0].value;
                     let (m, n) = z.shape();
                     let scale = g.get(0, 0) / (m * n) as f32;
-                    let mut gz = Tensor::zeros(m, n);
+                    let mut gz = pooled_zeros(&mut pool, m, n);
                     for ((o, &zv), &t) in
                         gz.as_mut_slice().iter_mut().zip(z.as_slice()).zip(targets.as_slice())
                     {
@@ -610,13 +698,14 @@ impl Tape {
                         *o = (t * p * (s - 1.0) + (1.0 - t) * s) * scale;
                     }
                     accum(&mut grads, logits, gz);
+                    pool.push(g.into_data());
                 }
             }
             grads[i] = None; // interior grad no longer needed
         }
-        // Restore leaf grads taken above (accum writes them back as we go,
-        // but the `take` at loop start cleared visited leaves). Rebuild:
-        // leaves are handled by the `continue` branch which re-inserts.
+        self.pool = pool;
+        // Leaf grads survive: the `continue` branch re-inserts them after the
+        // `take` at loop start.
         Gradients { grads }
     }
 }
@@ -626,6 +715,22 @@ fn accum(grads: &mut [Option<Tensor>], var: Var, delta: Tensor) {
         Some(g) => g.add_scaled(&delta, 1.0),
         slot @ None => *slot = Some(delta),
     }
+}
+
+/// Pop a recycled buffer (or allocate one) and shape it into a zeroed tensor.
+fn pooled_zeros(pool: &mut Vec<Vec<f32>>, rows: usize, cols: usize) -> Tensor {
+    let mut data = pool.pop().unwrap_or_default();
+    data.clear();
+    data.resize(rows * cols, 0.0);
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Pop a recycled buffer and fill it with a copy of `src`.
+fn pooled_from_slice(pool: &mut Vec<Vec<f32>>, rows: usize, cols: usize, src: &[f32]) -> Tensor {
+    let mut data = pool.pop().unwrap_or_default();
+    data.clear();
+    data.extend_from_slice(src);
+    Tensor::from_vec(rows, cols, data)
 }
 
 #[inline]
@@ -743,6 +848,87 @@ mod tests {
             let y = tape.matmul(a, x);
             to_scalar(tape, y)
         });
+    }
+
+    #[test]
+    fn grad_linear_input() {
+        gradcheck(test_input(2, 3), |tape, x| {
+            let w = tape.leaf(Tensor::from_fn(3, 2, |r, c| 0.2 * (r as f32) - 0.1 * c as f32));
+            let b = tape.leaf(Tensor::from_fn(1, 2, |_, c| 0.3 - 0.2 * c as f32));
+            let y = tape.linear(x, w, b);
+            to_scalar(tape, y)
+        });
+    }
+
+    #[test]
+    fn grad_linear_weight() {
+        gradcheck(test_input(3, 2), |tape, w| {
+            let x = tape.leaf(Tensor::from_fn(2, 3, |r, c| 0.3 * (r + c) as f32 - 0.2));
+            let b = tape.leaf(Tensor::from_fn(1, 2, |_, c| 0.1 * c as f32));
+            let y = tape.linear(x, w, b);
+            to_scalar(tape, y)
+        });
+    }
+
+    #[test]
+    fn grad_linear_bias() {
+        gradcheck(test_input(1, 2), |tape, b| {
+            let x = tape.leaf(test_input(3, 4));
+            let w = tape.leaf(Tensor::from_fn(4, 2, |r, c| 0.15 * (r as f32) - 0.1 * c as f32));
+            let y = tape.linear(x, w, b);
+            to_scalar(tape, y)
+        });
+    }
+
+    #[test]
+    fn linear_matches_matmul_add_row() {
+        let xv = test_input(3, 4);
+        let wv = Tensor::from_fn(4, 2, |r, c| 0.07 * (r as f32) - 0.11 * c as f32);
+        let bv = Tensor::from_fn(1, 2, |_, c| 0.4 - 0.3 * c as f32);
+
+        let mut t1 = Tape::new();
+        let (x1, w1, b1) = (t1.leaf(xv.clone()), t1.leaf(wv.clone()), t1.leaf(bv.clone()));
+        let y1 = t1.linear(x1, w1, b1);
+        let l1 = to_scalar(&mut t1, y1);
+        let g1 = t1.backward(l1);
+
+        let mut t2 = Tape::new();
+        let (x2, w2, b2) = (t2.leaf(xv), t2.leaf(wv), t2.leaf(bv));
+        let xw = t2.matmul(x2, w2);
+        let y2 = t2.add_row(xw, b2);
+        let l2 = to_scalar(&mut t2, y2);
+        let g2 = t2.backward(l2);
+
+        assert_eq!(t1.value(y1), t2.value(y2));
+        assert_eq!(g1.get(x1), g2.get(x2));
+        assert_eq!(g1.get(w1), g2.get(w2));
+        assert_eq!(g1.get(b1), g2.get(b2));
+    }
+
+    #[test]
+    fn tape_reuse_after_reset_matches_fresh() {
+        // Two minibatches through one reused tape must equal two fresh tapes.
+        let run = |tape: &mut Tape, shift: f32| {
+            let x = tape.leaf(Tensor::from_fn(3, 4, |r, c| 0.2 * (r * 4 + c) as f32 - shift));
+            let w = tape.leaf(Tensor::from_fn(4, 2, |r, c| 0.1 * (r as f32) - 0.05 * c as f32));
+            let b = tape.leaf(Tensor::from_fn(1, 2, |_, c| 0.2 * c as f32));
+            let h = tape.linear(x, w, b);
+            let a = tape.relu(h);
+            let loss = to_scalar(tape, a);
+            let grads = tape.backward(loss);
+            let (gw, gb) = (grads.get(w).clone(), grads.get(b).clone());
+            tape.absorb(grads);
+            (tape.value(loss).get(0, 0), gw, gb)
+        };
+        let mut reused = Tape::new();
+        let first_reused = run(&mut reused, 0.8);
+        reused.reset();
+        let second_reused = run(&mut reused, 0.3);
+
+        let mut f1 = Tape::new();
+        let mut f2 = Tape::new();
+        assert_eq!(first_reused, run(&mut f1, 0.8));
+        assert_eq!(second_reused, run(&mut f2, 0.3));
     }
 
     #[test]

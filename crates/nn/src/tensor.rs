@@ -40,6 +40,11 @@ impl Tensor {
         Tensor { data, rows, cols }
     }
 
+    /// Take the flat row-major buffer (tape buffer recycling).
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
     /// Build by evaluating `f(row, col)`.
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Tensor {
         let mut data = Vec::with_capacity(rows * cols);
@@ -169,7 +174,7 @@ impl Tensor {
         if work < PAR_THRESHOLD || self.rows < 2 {
             matmul_band(&self.data, &other.data, &mut out.data, self.cols, other.cols, 0, self.rows);
         } else {
-            let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
+            let threads = crate::pool::configured_threads();
             let band = self.rows.div_ceil(threads);
             let a = &self.data;
             let b = &other.data;
@@ -186,6 +191,88 @@ impl Tensor {
                     let rows_here = chunk.len() / n;
                     scope.spawn(move || {
                         matmul_band(a, b, chunk, k, n, start_row, rows_here);
+                    });
+                }
+            });
+        }
+        out
+    }
+
+    /// `selfᵀ × other` without materializing the transpose — the backward
+    /// pass's `gW = xᵀ·g`. `self: [m,k]`, `other: [m,n]` → `[k,n]`, summed in
+    /// the same order as `self.transpose().matmul(other)` (bit-identical).
+    ///
+    /// # Panics
+    /// Panics if the row counts disagree.
+    pub fn matmul_at_b(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_at_b shape mismatch: {:?}ᵀ x {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Tensor::zeros(k, n);
+        let work = m * k * n;
+        if work < PAR_THRESHOLD || k < 2 {
+            at_b_band(&self.data, &other.data, &mut out.data, m, k, n, 0, k);
+        } else {
+            let threads = crate::pool::configured_threads();
+            let band = k.div_ceil(threads);
+            let a = &self.data;
+            let b = &other.data;
+            let chunks: Vec<(usize, &mut [f32])> = out
+                .data
+                .chunks_mut(band * n)
+                .enumerate()
+                .map(|(i, c)| (i * band, c))
+                .collect();
+            std::thread::scope(|scope| {
+                for (start, chunk) in chunks {
+                    let rows_here = chunk.len() / n;
+                    scope.spawn(move || {
+                        at_b_band(a, b, chunk, m, k, n, start, rows_here);
+                    });
+                }
+            });
+        }
+        out
+    }
+
+    /// `self × otherᵀ` without materializing the transpose — the backward
+    /// pass's `gx = g·Wᵀ`. `self: [m,k]`, `other: [n,k]` → `[m,n]`, summed in
+    /// the same order as `self.matmul(&other.transpose())` (bit-identical).
+    ///
+    /// # Panics
+    /// Panics if the column counts disagree.
+    pub fn matmul_a_bt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_a_bt shape mismatch: {:?} x {:?}ᵀ",
+            self.shape(),
+            other.shape()
+        );
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        let mut out = Tensor::zeros(m, n);
+        let work = m * k * n;
+        if work < PAR_THRESHOLD || m < 2 {
+            a_bt_band(&self.data, &other.data, &mut out.data, k, n, 0, m);
+        } else {
+            let threads = crate::pool::configured_threads();
+            let band = m.div_ceil(threads);
+            let a = &self.data;
+            let b = &other.data;
+            let chunks: Vec<(usize, &mut [f32])> = out
+                .data
+                .chunks_mut(band * n)
+                .enumerate()
+                .map(|(i, c)| (i * band, c))
+                .collect();
+            std::thread::scope(|scope| {
+                for (start, chunk) in chunks {
+                    let rows_here = chunk.len() / n;
+                    scope.spawn(move || {
+                        a_bt_band(a, b, chunk, k, n, start, rows_here);
                     });
                 }
             });
@@ -256,6 +343,66 @@ fn matmul_band(
     }
 }
 
+/// Compute out rows `[start, start+rows_here)` of `AᵀB` into `out_band`.
+/// `A: [m,k]` row-major, `B: [m,n]`; out row `r` is `sum_i A[i,r] * B[i,:]`,
+/// accumulated in ascending `i` — the same addition order as
+/// `A.transpose().matmul(B)`.
+fn at_b_band(
+    a: &[f32],
+    b: &[f32],
+    out_band: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    start: usize,
+    rows_here: usize,
+) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let b_row = &b[i * n..(i + 1) * n];
+        for r in 0..rows_here {
+            let v = a_row[start + r];
+            if v == 0.0 {
+                continue;
+            }
+            let out_row = &mut out_band[r * n..(r + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += v * bv;
+            }
+        }
+    }
+}
+
+/// Compute out rows `[start, start+rows_here)` of `ABᵀ` into `out_band`.
+/// `A: [m,k]`, `B: [n,k]`; `out[i,j] = dot(A.row(i), B.row(j))`, accumulated
+/// in ascending column order — the same addition order as
+/// `A.matmul(&B.transpose())`.
+fn a_bt_band(
+    a: &[f32],
+    b: &[f32],
+    out_band: &mut [f32],
+    k: usize,
+    n: usize,
+    start: usize,
+    rows_here: usize,
+) {
+    for i in 0..rows_here {
+        let a_row = &a[(start + i) * k..(start + i + 1) * k];
+        let out_row = &mut out_band[i * n..(i + 1) * n];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                if av == 0.0 {
+                    continue;
+                }
+                acc += av * bv;
+            }
+            *o += acc;
+        }
+    }
+}
+
 impl fmt::Debug for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Tensor[{}x{}]", self.rows, self.cols)?;
@@ -318,6 +465,44 @@ mod tests {
             }
         }
         assert!(big.max_abs_diff(&reference) < 1e-3);
+    }
+
+    #[test]
+    fn at_b_matches_explicit_transpose() {
+        let a = Tensor::from_fn(5, 3, |r, c| ((r * 7 + c * 3) % 11) as f32 - 4.0);
+        let b = Tensor::from_fn(5, 4, |r, c| ((r * 5 + c) % 9) as f32 - 3.0);
+        assert_eq!(a.matmul_at_b(&b), a.transpose().matmul(&b));
+    }
+
+    #[test]
+    fn a_bt_matches_explicit_transpose() {
+        let a = Tensor::from_fn(4, 6, |r, c| ((r * 3 + c * 5) % 13) as f32 - 5.0);
+        let b = Tensor::from_fn(3, 6, |r, c| ((r * 11 + c * 2) % 7) as f32 - 2.0);
+        assert_eq!(a.matmul_a_bt(&b), a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    fn fused_kernels_parallel_match_serial() {
+        // Large enough to cross PAR_THRESHOLD so the banded paths run.
+        let a = Tensor::from_fn(128, 96, |r, c| ((r * 31 + c * 17) % 13) as f32 - 6.0);
+        let b = Tensor::from_fn(128, 96, |r, c| ((r * 7 + c * 3) % 11) as f32 - 5.0);
+        crate::pool::set_thread_override(1);
+        let at_b_serial = a.matmul_at_b(&b);
+        let a_bt_serial = a.matmul_a_bt(&b);
+        crate::pool::set_thread_override(6);
+        let at_b_par = a.matmul_at_b(&b);
+        let a_bt_par = a.matmul_a_bt(&b);
+        crate::pool::set_thread_override(0);
+        assert_eq!(at_b_serial, at_b_par);
+        assert_eq!(a_bt_serial, a_bt_par);
+        assert_eq!(at_b_par, a.transpose().matmul(&b));
+        assert_eq!(a_bt_par, a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    #[should_panic]
+    fn at_b_shape_mismatch_panics() {
+        Tensor::zeros(2, 3).matmul_at_b(&Tensor::zeros(3, 2));
     }
 
     #[test]
