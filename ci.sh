@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 gate for the workspace: formatting, lints, release build, tests.
+#
+#   ./ci.sh            # run everything
+#   ./ci.sh --fast     # skip the release build (fmt + clippy + tests)
+#
+# Every step must pass; clippy warnings are errors.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+fast=0
+if [[ "${1:-}" == "--fast" ]]; then
+  fast=1
+fi
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "$fast" -eq 0 ]]; then
+  echo "==> cargo build --release"
+  cargo build --release
+fi
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> ci.sh: all gates passed"

@@ -43,9 +43,29 @@ fn inference(c: &mut Criterion) {
     });
 }
 
+/// Serial per-query loop vs one batched forward over the same plan set —
+/// the tradeoff `pythia_prefetch_batch` and the suite harness rely on.
+fn batched_inference(c: &mut Criterion) {
+    let (db, plans, traces) = star_workload(4, 24);
+    let tw = train_workload(&db, "bench", &plans, &traces, None, &bench_cfg());
+    let refs: Vec<&pythia_db::plan::PlanNode> = plans.iter().collect();
+    // Prewarm the plan-encoding memo so iterations measure model forwards.
+    let _ = tw.infer_batch(&db, &refs);
+    c.bench_function("predictor/infer_24_queries_one_by_one", |b| {
+        b.iter(|| {
+            for p in &plans {
+                black_box(tw.infer(&db, p));
+            }
+        })
+    });
+    c.bench_function("predictor/infer_24_queries_batched", |b| {
+        b.iter(|| black_box(tw.infer_batch(&db, &refs)))
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = training, inference
+    targets = training, inference, batched_inference
 }
 criterion_main!(benches);

@@ -68,6 +68,26 @@ fn main() {
          pooled {infer_parallel_ms:.2} ms/query"
     );
 
+    // --- batched inference: whole workload through one forward sweep ------
+    // Correctness first (batched must equal serial bit for bit), then the
+    // amortized per-query latency of the batched path on the pool.
+    let plan_refs: Vec<&pythia_db::plan::PlanNode> = plans.iter().collect();
+    let batched = tw_parallel.infer_batch(&db, &plan_refs);
+    for (q, p) in plans.iter().enumerate() {
+        assert_eq!(
+            batched[q].pages,
+            tw_parallel.infer(&db, p).pages,
+            "batched inference diverged from serial on query {q}"
+        );
+    }
+    let infer_batched_ms = time_infer_batched(&tw_parallel, &db, &plan_refs);
+    eprintln!(
+        "[perf_snapshot] batched infer (batch {}): {infer_batched_ms:.2} ms/query \
+         ({:.2}x vs per-query pooled)",
+        plans.len(),
+        infer_parallel_ms / infer_batched_ms
+    );
+
     let suite_wall_s = suite_t0.elapsed().as_secs_f64();
     let out = serde_json::json!({
         "generated_by": "cargo run --release -p pythia-bench --bin perf_snapshot",
@@ -80,6 +100,9 @@ fn main() {
         "infer_serial_ms_per_query": round3(infer_serial_ms),
         "infer_parallel_ms_per_query": round3(infer_parallel_ms),
         "infer_speedup": round3(infer_serial_ms / infer_parallel_ms),
+        "infer_batched_ms_per_query": round3(infer_batched_ms),
+        "infer_batched_speedup_vs_serial": round3(infer_serial_ms / infer_batched_ms),
+        "infer_batch_size": N_QUERIES,
         "bit_identical": bit_identical,
         "suite_wall_s": round3(suite_wall_s),
     });
@@ -101,6 +124,22 @@ fn time_infer(tw: &TrainedWorkload, db: &pythia_db::catalog::Database, plans: &[
         for p in plans {
             total_pages += tw.infer(db, p).len();
         }
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    std::hint::black_box(total_pages);
+    elapsed * 1e3 / (INFER_REPS * plans.len()) as f64
+}
+
+/// Amortized milliseconds per query of `infer_batch` over the whole plan set.
+fn time_infer_batched(
+    tw: &TrainedWorkload,
+    db: &pythia_db::catalog::Database,
+    plans: &[&pythia_db::plan::PlanNode],
+) -> f64 {
+    let t0 = Instant::now();
+    let mut total_pages = 0usize;
+    for _ in 0..INFER_REPS {
+        total_pages += tw.infer_batch(db, plans).iter().map(|p| p.len()).sum::<usize>();
     }
     let elapsed = t0.elapsed().as_secs_f64();
     std::hint::black_box(total_pages);

@@ -16,7 +16,9 @@
 //!
 //! I/O is issued through the [`IoWorkerPool`]; a prefetched page becomes
 //! readable at its scheduled completion instant. Reads that arrive earlier
-//! wait for the in-flight I/O (accounted as `prefetch_waits`).
+//! wait for the in-flight I/O — the database runtime (`pythia-db`'s
+//! `runtime` module) accounts those stalls as `prefetch_waits` when it
+//! serves the read; the prefetcher itself keeps no wait counters.
 
 use std::collections::VecDeque;
 
@@ -121,6 +123,17 @@ impl AioPrefetcher {
                 pool.stats_mut().prefetch_already_resident += 1;
                 continue;
             }
+            // Reserve a frame *before* touching the OS cache or the I/O
+            // workers: when every frame is pinned the page must go back on
+            // the queue with zero side effects, otherwise the failed attempt
+            // burns a worker slot and skews OS-cache stats — and the retry
+            // double-counts both.
+            let Some(fid) = pool.load(pid, true, now) else {
+                // Every frame pinned: put the page back and stop — the
+                // window will advance as the query consumes pages.
+                self.queue.push_front(pid);
+                break;
+            };
             // The prefetcher's own reads go through the OS cache — and,
             // because the queue is in file storage order, they benefit from
             // kernel readahead just like Postgres' I/O workers do (§3.3
@@ -128,26 +141,20 @@ impl AioPrefetcher {
             let outcome = os.read(pid, self.file_len(pid));
             let latency = if outcome.cache_hit { cost.os_cache_copy } else { cost.disk_read };
             let arrival = io.schedule(now, latency);
-            match pool.load(pid, true, arrival) {
-                Some(fid) => {
-                    pool.pin(fid);
-                    pool.stats_mut().prefetch_issued += 1;
-                    self.window.push_back(InFlight { frame: fid, arrival });
-                }
-                None => {
-                    // Every frame pinned: put the page back and stop — the
-                    // window will advance as the query consumes pages.
-                    self.queue.push_front(pid);
-                    break;
-                }
-            }
+            pool.set_available_at(fid, arrival);
+            pool.pin(fid);
+            pool.stats_mut().prefetch_issued += 1;
+            self.window.push_back(InFlight { frame: fid, arrival });
         }
     }
 
-    /// Dummy request: called once per ordinary query page read. If the oldest
-    /// window entry's I/O has completed, its pin is released (the page stays
-    /// in the buffer, subject to normal replacement) and the next prefetch is
-    /// issued.
+    /// Dummy request: called once per ordinary query page read. Every
+    /// already-completed entry at the front of the window is released (the
+    /// pages stay in the buffer, subject to normal replacement) and the freed
+    /// slots are refilled. Draining *all* arrived front entries — not just
+    /// one — matters with ≥ 2 I/O workers: completions land out of order, so
+    /// a single-entry advance would leave arrived pages pinned behind the
+    /// consumption rate and stall the window.
     pub fn on_query_read(
         &mut self,
         pool: &mut BufferPool,
@@ -156,12 +163,17 @@ impl AioPrefetcher {
         cost: &CostModel,
         now: SimTime,
     ) {
-        if let Some(front) = self.window.front() {
-            if front.arrival <= now {
-                let fl = self.window.pop_front().expect("front exists");
-                pool.unpin(fl.frame);
-                self.pump(pool, os, io, cost, now);
+        let mut advanced = false;
+        while let Some(front) = self.window.front() {
+            if front.arrival > now {
+                break;
             }
+            let fl = self.window.pop_front().expect("front exists");
+            pool.unpin(fl.frame);
+            advanced = true;
+        }
+        if advanced {
+            self.pump(pool, os, io, cost, now);
         }
     }
 
@@ -178,6 +190,7 @@ impl AioPrefetcher {
 mod tests {
     use super::*;
     use crate::policy::PolicyKind;
+    use pythia_sim::oscache::OsCacheStats;
     use pythia_sim::{FileId, SimDuration};
 
     fn pid(p: u32) -> PageId {
@@ -243,12 +256,15 @@ mod tests {
         // Before arrival: no advance.
         aio.on_query_read(&mut pool, &mut os, &mut io, &cost, SimTime::from_micros(100));
         assert_eq!(aio.in_window(), 2);
-        // After arrival of the first page (500us): front unpinned, next issued.
+        // After both in-flight pages arrive (500us each on 2 workers), one
+        // dummy request drains them both and refills the window.
         aio.on_query_read(&mut pool, &mut os, &mut io, &cost, SimTime::from_micros(600));
         assert_eq!(aio.in_window(), 2);
-        assert_eq!(aio.pending(), 2);
-        let f0 = pool.lookup(pid(0)).unwrap();
-        assert_eq!(pool.frame(f0).pin_count, 0, "consumed window slot unpinned");
+        assert_eq!(aio.pending(), 1);
+        for p in 0..2 {
+            let f = pool.lookup(pid(p)).unwrap();
+            assert_eq!(pool.frame(f).pin_count, 0, "consumed window slot unpinned");
+        }
         assert!(pool.lookup(pid(0)).is_some(), "page stays resident");
     }
 
@@ -259,10 +275,69 @@ mod tests {
         // Only 2 frames: window holds 2, rest stay queued.
         assert_eq!(aio.in_window(), 2);
         assert_eq!(aio.pending(), 4);
-        // Advancing after arrival frees a pin and issues one more.
+        // Advancing after arrival frees both pins and refills both frames.
         aio.on_query_read(&mut pool, &mut os, &mut io, &cost, SimTime::from_micros(1_000_000));
         assert_eq!(aio.in_window(), 2);
-        assert_eq!(aio.pending(), 3);
+        assert_eq!(aio.pending(), 2);
+    }
+
+    #[test]
+    fn failed_load_leaves_os_and_io_untouched() {
+        // Regression: `pump` used to issue the OS read and burn an I/O worker
+        // slot *before* discovering every frame was pinned, so the pushed-back
+        // page skewed OS-cache miss/readahead stats and the worker timeline —
+        // and was double-counted when retried.
+        let (mut pool, mut os, mut io, cost, mut aio) = setup(2, 8);
+        for p in 0..2 {
+            let f = pool.load(pid(100 + p), false, SimTime::ZERO).unwrap();
+            pool.pin(f);
+        }
+        aio.start([pid(0), pid(1)], &mut pool, &mut os, &mut io, &cost, SimTime::ZERO);
+        assert_eq!(aio.in_window(), 0);
+        assert_eq!(aio.pending(), 2, "pages stay queued for retry");
+        assert_eq!(os.stats(), OsCacheStats::default(), "no OS-cache traffic on failed load");
+        assert_eq!(io.issued(), 0, "no I/O worker slot consumed");
+        assert_eq!(io.earliest_free(), SimTime::ZERO, "worker timeline untouched");
+        assert_eq!(io.drained_at(), SimTime::ZERO);
+        assert_eq!(pool.stats().prefetch_issued, 0);
+        // After the pins release, the retry accounts each page exactly once.
+        for p in 0..2 {
+            let f = pool.lookup(pid(100 + p)).unwrap();
+            pool.unpin(f);
+        }
+        aio.start(std::iter::empty(), &mut pool, &mut os, &mut io, &cost, SimTime::ZERO);
+        assert_eq!(aio.in_window(), 2);
+        assert_eq!(aio.pending(), 0);
+        assert_eq!(os.stats().hits + os.stats().misses, 2, "one OS read per page");
+        assert_eq!(io.issued(), 2, "one worker slot per page");
+        assert_eq!(pool.stats().prefetch_issued, 2);
+    }
+
+    #[test]
+    fn out_of_order_arrivals_do_not_stall_window() {
+        // Regression: with 2 I/O workers a cold 500us disk read at the front
+        // of the window completes *after* the 50us OS-cache copies queued
+        // behind it. A single dummy request once all three have arrived must
+        // release every arrived entry; the old single-entry advance left the
+        // later arrivals pinned, stalling the window behind the consumption
+        // rate.
+        let (mut pool, mut os, mut io, cost, mut aio) = setup(16, 3);
+        os.insert(pid(1));
+        os.insert(pid(2));
+        aio.start((0..5).map(pid), &mut pool, &mut os, &mut io, &cost, SimTime::ZERO);
+        // Arrivals: page 0 -> 500us (cold, worker 0); page 1 -> 50us (cache
+        // copy, worker 1); page 2 -> 100us (cache copy, queued on worker 1).
+        let arrivals: Vec<u64> = (0..3)
+            .map(|p| pool.frame(pool.lookup(pid(p)).unwrap()).available_at.as_micros())
+            .collect();
+        assert_eq!(arrivals, vec![500, 50, 100], "later entries arrive first");
+        aio.on_query_read(&mut pool, &mut os, &mut io, &cost, SimTime::from_micros(600));
+        for p in 0..3 {
+            let f = pool.lookup(pid(p)).unwrap();
+            assert_eq!(pool.frame(f).pin_count, 0, "arrived page {p} must be released");
+        }
+        assert_eq!(aio.in_window(), 2, "freed slots refilled from the queue");
+        assert_eq!(aio.pending(), 0);
     }
 
     #[test]

@@ -153,6 +153,14 @@ impl BufferPool {
         f.referenced = false;
     }
 
+    /// Update a resident frame's I/O completion instant. The AIO prefetcher
+    /// reserves a frame first — so a pin-saturated pool causes no OS-cache or
+    /// I/O-worker side effects — and only then schedules the I/O that
+    /// determines the real arrival time.
+    pub fn set_available_at(&mut self, fid: FrameId, at: SimTime) {
+        self.frames[fid.0 as usize].available_at = at;
+    }
+
     /// Account still-resident never-referenced prefetched pages as wasted.
     /// Call once at end of a run before reading [`Self::stats`].
     pub fn finish_accounting(&mut self) {

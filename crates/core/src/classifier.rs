@@ -161,12 +161,48 @@ impl PlanClassifier {
             .collect()
     }
 
+    /// Per-label sigmoid scores for a whole batch of serialized plans in one
+    /// forward pass: parameters are injected once and every projection runs
+    /// as a single batch-major matmul over the packed `[batch*seq_len, dim]`
+    /// input. Row `q` of the result is bit-identical to `scores(toks_list[q])`
+    /// — every op in the packed forward (linear, layer-norm, per-sample
+    /// masked attention, relu) computes each row independently, in the same
+    /// accumulation order as the serial path.
+    pub fn scores_batch(&self, toks_list: &[&[usize]]) -> Vec<Vec<f32>> {
+        if toks_list.is_empty() {
+            return Vec::new();
+        }
+        let mut tape = Tape::new();
+        let vars = self.params.inject(&mut tape);
+        let clipped: Vec<&[usize]> = toks_list.iter().map(|t| self.clip(t)).collect();
+        let reps = self.encoder.encode_batch(&mut tape, &vars, &clipped, Vocab::PAD);
+        let h = self.fc1.forward(&mut tape, &vars, reps);
+        let h = tape.relu(h);
+        let logits = self.fc2.forward(&mut tape, &vars, h);
+        let vals = tape.value(logits);
+        (0..vals.rows())
+            .map(|r| vals.row(r).iter().map(|&z| 1.0 / (1.0 + (-z).exp())).collect())
+            .collect()
+    }
+
     /// Labels whose score exceeds the threshold.
     pub fn predict(&self, toks: &[usize]) -> Vec<usize> {
-        self.scores(toks)
+        Self::threshold_labels(self.scores(toks), self.threshold)
+    }
+
+    /// [`Self::predict`] for a batch of plans through one forward pass.
+    pub fn predict_batch(&self, toks_list: &[&[usize]]) -> Vec<Vec<usize>> {
+        self.scores_batch(toks_list)
+            .into_iter()
+            .map(|s| Self::threshold_labels(s, self.threshold))
+            .collect()
+    }
+
+    fn threshold_labels(scores: Vec<f32>, threshold: f32) -> Vec<usize> {
+        scores
             .into_iter()
             .enumerate()
-            .filter(|(_, s)| *s > self.threshold)
+            .filter(|(_, s)| *s > threshold)
             .map(|(i, _)| i)
             .collect()
     }
@@ -243,6 +279,36 @@ mod tests {
         let big = PlanClassifier::new(&cfg, 50, 1000);
         assert!(big.size_bytes() > small.size_bytes());
         assert_eq!(big.n_labels(), 1000);
+    }
+
+    #[test]
+    fn batched_scores_bit_identical_to_serial() {
+        // The tentpole contract: one packed forward over N plans must produce
+        // exactly the floats the serial per-plan forward produces — including
+        // for batches of mixed sequence lengths (padding + attention masking
+        // must be invisible to the real rows).
+        let cfg = tiny_cfg();
+        let owned = block_task();
+        let data = as_examples(&owned);
+        let mut clf = PlanClassifier::new(&cfg, 10, 12);
+        clf.train(&data, &cfg);
+        let seqs: Vec<Vec<usize>> =
+            vec![vec![2, 5], vec![3, 5, 6, 7, 8], vec![4], vec![2, 6, 7]];
+        let refs: Vec<&[usize]> = seqs.iter().map(|s| s.as_slice()).collect();
+        let batched = clf.scores_batch(&refs);
+        assert_eq!(batched.len(), seqs.len());
+        for (q, s) in seqs.iter().enumerate() {
+            let serial = clf.scores(s);
+            assert_eq!(
+                batched[q], serial,
+                "batch row {q} diverged from the serial forward"
+            );
+        }
+        // Thresholding commutes with batching.
+        let pb = clf.predict_batch(&refs);
+        for (q, s) in seqs.iter().enumerate() {
+            assert_eq!(pb[q], clf.predict(s));
+        }
     }
 
     #[test]

@@ -180,6 +180,34 @@ impl ObjectModel {
         out
     }
 
+    /// [`Self::predict`] for a batch of plans: each partition's classifier
+    /// runs one packed forward over every plan in `toks_list` instead of one
+    /// forward per query. Element `q` is exactly `self.predict(toks_list[q])`
+    /// — partitions are visited in the same order and each per-query page
+    /// list gets the same final sort.
+    pub fn predict_batch(&self, toks_list: &[&[usize]]) -> Vec<Vec<u32>> {
+        let mut out: Vec<Vec<u32>> = vec![Vec::new(); toks_list.len()];
+        match &self.kind {
+            ModelKind::Partitioned { classifiers, partition_pages } => {
+                for (part, c) in classifiers.iter().enumerate() {
+                    let base = part * partition_pages;
+                    for (q, labels) in c.predict_batch(toks_list).into_iter().enumerate() {
+                        out[q].extend(labels.into_iter().map(|l| (base + l) as u32));
+                    }
+                }
+            }
+            ModelKind::TopK { classifier, page_map } => {
+                for (q, labels) in classifier.predict_batch(toks_list).into_iter().enumerate() {
+                    out[q].extend(labels.into_iter().map(|l| page_map[l]));
+                }
+            }
+        }
+        for pages in &mut out {
+            pages.sort_unstable();
+        }
+        out
+    }
+
     /// Per-page scores over the whole object (top-k models score only their
     /// modeled pages; others are 0).
     pub fn scores(&self, toks: &[usize]) -> Vec<f32> {
@@ -267,6 +295,26 @@ impl CombinedModel {
             }
         }
         (tp, ip)
+    }
+
+    /// [`Self::predict`] for a batch of plans through one packed forward.
+    pub fn predict_batch(&self, toks_list: &[&[usize]]) -> Vec<(Vec<u32>, Vec<u32>)> {
+        self.classifier
+            .predict_batch(toks_list)
+            .into_iter()
+            .map(|labels| {
+                let mut tp = Vec::new();
+                let mut ip = Vec::new();
+                for l in labels {
+                    if (l as u32) < self.table_pages {
+                        tp.push(l as u32);
+                    } else {
+                        ip.push(l as u32 - self.table_pages);
+                    }
+                }
+                (tp, ip)
+            })
+            .collect()
     }
 
     /// Model size in bytes.
@@ -358,6 +406,44 @@ mod tests {
         assert_eq!(tp, vec![4, 5]);
         assert_eq!(ip, vec![2]);
         assert!(m.size_bytes() > 0);
+    }
+
+    #[test]
+    fn batched_predict_matches_serial_across_partitions() {
+        let c = PythiaConfig { partition_pages: 4, ..cfg() };
+        let owned = examples();
+        let m = ObjectModel::train(&c, 10, ObjectId(0), 10, &as_refs(&owned));
+        let plans: Vec<Vec<usize>> = vec![vec![2, 5], vec![3, 5], vec![2, 6], vec![3, 6]];
+        let refs: Vec<&[usize]> = plans.iter().map(|p| p.as_slice()).collect();
+        let batched = m.predict_batch(&refs);
+        assert_eq!(batched.len(), plans.len());
+        for (q, p) in plans.iter().enumerate() {
+            assert_eq!(batched[q], m.predict(p), "query {q}");
+        }
+    }
+
+    #[test]
+    fn combined_batched_predict_matches_serial() {
+        let owned: Vec<(Vec<usize>, Vec<u32>, Vec<u32>)> = (0..12)
+            .map(|i| {
+                if i % 2 == 0 {
+                    (vec![2, 5 + i % 3], vec![0, 1], vec![0])
+                } else {
+                    (vec![3, 5 + i % 3], vec![4, 5], vec![2])
+                }
+            })
+            .collect();
+        let data: Vec<CombinedExample<'_>> = owned
+            .iter()
+            .map(|(t, tp, ip)| (t.as_slice(), tp.as_slice(), ip.as_slice()))
+            .collect();
+        let m = CombinedModel::train(&cfg(), 10, ObjectId(0), ObjectId(1), 6, 3, &data);
+        let plans: Vec<Vec<usize>> = vec![vec![2, 5], vec![3, 5], vec![2, 7]];
+        let refs: Vec<&[usize]> = plans.iter().map(|p| p.as_slice()).collect();
+        let batched = m.predict_batch(&refs);
+        for (q, p) in plans.iter().enumerate() {
+            assert_eq!(batched[q], m.predict(p), "query {q}");
+        }
     }
 
     #[test]

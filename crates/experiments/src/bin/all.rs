@@ -1,6 +1,34 @@
 //! Run the entire experiment suite (every table and figure of the paper).
 //! `PYTHIA_FULL=1` switches to the full-size configuration.
+//!
+//! Independent artifacts fan out over the shared deterministic worker pool
+//! (`pythia_nn::pool`): the workloads and default models every figure shares
+//! are prepared once up front (the `Env` caches them behind `Arc`s), then the
+//! figure jobs run concurrently and the finished tables are emitted serially
+//! in the paper's order — output is byte-identical to the old sequential run.
 use pythia_experiments::*;
+use pythia_nn::pool::parallel_map;
+use pythia_workloads::templates::Template;
+
+/// One independent artifact of the suite.
+#[derive(Clone, Copy)]
+enum Job {
+    Table1,
+    Fig01,
+    Fig0506,
+    Fig0708,
+    Fig09,
+    Fig1011,
+    Fig12A,
+    Fig12B,
+    Fig12C,
+    Fig12D,
+    Fig12E,
+    Fig12F,
+    Fig12G,
+    Fig12H,
+    Fig13,
+}
 
 fn main() {
     let cfg = ExpConfig::from_env();
@@ -15,31 +43,53 @@ fn main() {
     let env = Env::new(cfg.clone());
     eprintln!("[pythia] database built: {} pages", env.bench.db.disk.total_pages());
 
-    table1::run(&env).emit("table1");
-    fig01::run(&env).emit("fig01");
-    let r = fig05_06::run(&env);
-    r.f1.emit("fig05");
-    r.speedup.emit("fig06");
-    let r = fig07_08::run(&env);
-    r.f1.emit("fig07");
-    r.speedup.emit("fig08");
-    fig09::run(&env).emit("fig09");
-    let r = fig10_11::run(&env);
-    r.f1.emit("fig10");
-    r.speedup.emit("fig11");
-    fig12::run_a(&cfg).emit("fig12a");
-    fig12::run_b(&env).emit("fig12b");
-    fig12::run_c(&env).emit("fig12c");
-    fig12::run_d(&env).emit("fig12d");
-    fig12::run_e(&env).emit("fig12e");
-    fig12::run_f(&env).emit("fig12f");
-    fig12::run_g(&env).emit("fig12g");
-    fig12::run_h(&env).emit("fig12h");
-    let r = fig13::run(&env);
-    r.a.emit("fig13a");
-    r.b.emit("fig13b");
-    r.c.emit("fig13c");
-    r.d.emit("fig13d");
+    // Warm the shared caches before fanning out: training itself spreads
+    // over the pool, and warmed caches keep the figure jobs lock-free.
+    for template in Template::ALL {
+        env.prepare(template);
+        env.trained_default(template);
+    }
+    eprintln!("[pythia] workloads sampled and models trained ({:.1}s)", t0.elapsed().as_secs_f64());
+
+    use Job::*;
+    let jobs = [
+        Table1, Fig01, Fig0506, Fig0708, Fig09, Fig1011, Fig12A, Fig12B, Fig12C, Fig12D,
+        Fig12E, Fig12F, Fig12G, Fig12H, Fig13,
+    ];
+    let groups: Vec<Vec<(&'static str, Table)>> = parallel_map(&jobs, |_, job| match job {
+        Table1 => vec![("table1", table1::run(&env))],
+        Fig01 => vec![("fig01", fig01::run(&env))],
+        Fig0506 => {
+            let r = fig05_06::run(&env);
+            vec![("fig05", r.f1), ("fig06", r.speedup)]
+        }
+        Fig0708 => {
+            let r = fig07_08::run(&env);
+            vec![("fig07", r.f1), ("fig08", r.speedup)]
+        }
+        Fig09 => vec![("fig09", fig09::run(&env))],
+        Fig1011 => {
+            let r = fig10_11::run(&env);
+            vec![("fig10", r.f1), ("fig11", r.speedup)]
+        }
+        Fig12A => vec![("fig12a", fig12::run_a(&cfg))],
+        Fig12B => vec![("fig12b", fig12::run_b(&env))],
+        Fig12C => vec![("fig12c", fig12::run_c(&env))],
+        Fig12D => vec![("fig12d", fig12::run_d(&env))],
+        Fig12E => vec![("fig12e", fig12::run_e(&env))],
+        Fig12F => vec![("fig12f", fig12::run_f(&env))],
+        Fig12G => vec![("fig12g", fig12::run_g(&env))],
+        Fig12H => vec![("fig12h", fig12::run_h(&env))],
+        Fig13 => {
+            let r = fig13::run(&env);
+            vec![("fig13a", r.a), ("fig13b", r.b), ("fig13c", r.c), ("fig13d", r.d)]
+        }
+    });
+    for group in groups {
+        for (id, table) in group {
+            table.emit(id);
+        }
+    }
 
     eprintln!("[pythia] suite finished in {:.1}s; CSVs in results/", t0.elapsed().as_secs_f64());
 }

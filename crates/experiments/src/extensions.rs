@@ -34,10 +34,10 @@ pub fn run_scheduler(env: &Env) -> Table {
             continue;
         }
         // Predict (cheap, no execution) and schedule on predictions alone.
-        let engagements: Vec<_> = chunk
-            .iter()
-            .map(|&qi| env.pythia_prefetch(&env.run_cfg, &tw, &w.queries[qi].plan))
-            .collect();
+        // The queued batch is exactly the batched-inference shape: one
+        // forward sweep predicts for the whole queue.
+        let plans: Vec<_> = chunk.iter().map(|&qi| &w.queries[qi].plan).collect();
+        let engagements = env.pythia_prefetch_batch(&env.run_cfg, &tw, &plans);
         let predictions: Vec<_> = engagements.iter().map(|(p, _)| p.clone()).collect();
         let order = pythia_core::scheduler::schedule_by_overlap(&predictions);
 
@@ -82,14 +82,16 @@ pub fn run_replacement(env: &Env) -> Table {
             readahead_window: (env.run_cfg.pool_frames / 12).max(16),
             ..env.run_cfg.clone()
         };
+        let plans: Vec<_> = queries.iter().map(|&qi| &w.queries[qi].plan).collect();
+        let prefetches = env.pythia_prefetch_batch(&run_cfg, &tw, &plans);
         let makespan_of = |prefetch: bool| {
             let mut rt = env.runtime_with(&run_cfg);
             let runs: Vec<QueryRun<'_>> = queries
                 .iter()
-                .map(|&qi| {
+                .enumerate()
+                .map(|(k, &qi)| {
                     if prefetch {
-                        let (pf, inf) =
-                            env.pythia_prefetch(&run_cfg, &tw, &w.queries[qi].plan);
+                        let (pf, inf) = prefetches[k].clone();
                         QueryRun::with_prefetch(&w.traces[qi], pf, inf)
                     } else {
                         QueryRun::default_run(&w.traces[qi])

@@ -75,18 +75,21 @@ pub fn run(env: &Env) -> Fig0506 {
         let mut orcl_sp = Vec::new();
         let mut nn_sp = Vec::new();
 
-        for (plan, trace) in w.test_queries() {
+        // One batched forward sweep serves every held-out test query.
+        let plans = w.test_plans();
+        let preds = tw.infer_batch(&env.bench.db, &plans);
+        let prefetches = env.pythia_prefetch_batch(&env.run_cfg, &tw, &plans);
+        for (q, (_, trace)) in w.test_queries().enumerate() {
             // --- F1 ---
-            let pred = tw.infer(&env.bench.db, plan);
             let truth = ground_truth(trace, &modeled);
-            pythia_f1.push(f1_score(&pred.as_set(), &truth).f1);
+            pythia_f1.push(f1_score(&preds[q].as_set(), &truth).f1);
 
             let (nn_pages, _, _) = nn.prefetch_for(trace);
             let nn_set: BTreeSet<PageId> = nn_pages.iter().copied().collect();
             nn_f1.push(f1_of_pageid_sets(&nn_set, &pageid_set(trace)));
 
             // --- speedup ---
-            let (pf, inference) = env.pythia_prefetch(&env.run_cfg, &tw, plan);
+            let (pf, inference) = prefetches[q].clone();
             pythia_sp.push(env.speedup(&env.run_cfg, trace, pf, inference));
 
             let orcl = oracle_prefetch(trace, OracleScope::All);

@@ -37,15 +37,18 @@ pub fn run(env: &Env) -> Fig0708 {
         let modeled = tw.modeled_objects();
         let nn = NearestNeighbor::new(&w.train_traces());
 
+        // One batched forward sweep over all held-out test queries.
+        let plans = w.test_plans();
+        let preds = tw.infer_batch(&env.bench.db, &plans);
+        let prefetches = env.pythia_prefetch_batch(&env.run_cfg, &tw, &plans);
         let mut sims = Vec::new();
         let mut f1s = Vec::new();
         let mut sps = Vec::new();
-        for (plan, trace) in w.test_queries() {
+        for (q, (_, trace)) in w.test_queries().enumerate() {
             sims.push(nn.mean_similarity(trace));
-            let pred = tw.infer(&env.bench.db, plan);
             let truth = ground_truth(trace, &modeled);
-            f1s.push(f1_score(&pred.as_set(), &truth).f1);
-            let (pf, inference) = env.pythia_prefetch(&env.run_cfg, &tw, plan);
+            f1s.push(f1_score(&preds[q].as_set(), &truth).f1);
+            let (pf, inference) = prefetches[q].clone();
             sps.push(env.speedup(&env.run_cfg, trace, pf, inference));
         }
         let buckets = quartile_buckets(&sims);

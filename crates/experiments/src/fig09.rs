@@ -52,9 +52,9 @@ pub fn run(env: &Env) -> Table {
     let tw = env.train(&w);
     let pythia_train_s = t0.elapsed().as_secs_f64();
     let modeled = tw.modeled_objects();
+    let preds = tw.infer_batch(&env.bench.db, &w.test_plans());
     let mut f1s = Vec::new();
-    for (plan, trace) in w.test_queries() {
-        let pred = tw.infer(&env.bench.db, plan);
+    for (pred, (_, trace)) in preds.iter().zip(w.test_queries()) {
         f1s.push(f1_score(&pred.as_set(), &ground_truth(trace, &modeled)).f1);
     }
     let pd = Distribution::of(&f1s);

@@ -13,23 +13,21 @@ use crate::output::{f2, f3, Table};
 
 fn mean_f1(env: &Env, w: &PreparedWorkload, tw: &pythia_core::predictor::TrainedWorkload) -> f64 {
     let modeled = tw.modeled_objects();
-    let f1s: Vec<f64> = w
-        .test_queries()
-        .map(|(plan, trace)| {
-            let pred = tw.infer(&env.bench.db, plan);
-            f1_score(&pred.as_set(), &ground_truth(trace, &modeled)).f1
-        })
+    let preds = tw.infer_batch(&env.bench.db, &w.test_plans());
+    let f1s: Vec<f64> = preds
+        .iter()
+        .zip(w.test_queries())
+        .map(|(pred, (_, trace))| f1_score(&pred.as_set(), &ground_truth(trace, &modeled)).f1)
         .collect();
     mean(&f1s)
 }
 
 fn mean_speedup(env: &Env, run_cfg: &RunConfig, w: &PreparedWorkload, tw: &pythia_core::predictor::TrainedWorkload) -> f64 {
-    let sps: Vec<f64> = w
-        .test_queries()
-        .map(|(plan, trace)| {
-            let (pf, inference) = env.pythia_prefetch(run_cfg, tw, plan);
-            env.speedup(run_cfg, trace, pf, inference)
-        })
+    let prefetches = env.pythia_prefetch_batch(run_cfg, tw, &w.test_plans());
+    let sps: Vec<f64> = prefetches
+        .into_iter()
+        .zip(w.test_queries())
+        .map(|((pf, inference), (_, trace))| env.speedup(run_cfg, trace, pf, inference))
         .collect();
     mean(&sps)
 }
@@ -122,12 +120,11 @@ pub fn run_c(env: &Env) -> Table {
     );
     let modeled = mixed.modeled_objects();
     let f1_on = |w: &PreparedWorkload| -> f64 {
-        let f1s: Vec<f64> = w
-            .test_queries()
-            .map(|(plan, trace)| {
-                let pred = mixed.infer(&env.bench.db, plan);
-                f1_score(&pred.as_set(), &ground_truth(trace, &modeled)).f1
-            })
+        let preds = mixed.infer_batch(&env.bench.db, &w.test_plans());
+        let f1s: Vec<f64> = preds
+            .iter()
+            .zip(w.test_queries())
+            .map(|(pred, (_, trace))| f1_score(&pred.as_set(), &ground_truth(trace, &modeled)).f1)
             .collect();
         mean(&f1s)
     };

@@ -9,7 +9,7 @@ use pythia_core::predictor::TrainedWorkload;
 use pythia_db::plan::PlanNode;
 use pythia_db::runtime::QueryRun;
 use pythia_db::trace::Trace;
-use pythia_sim::{SimDuration, SimTime};
+use pythia_sim::{PageId, SimDuration, SimTime};
 use pythia_workloads::templates::Template;
 
 use crate::harness::{mean, Env, PreparedWorkload};
@@ -30,11 +30,11 @@ impl<'a> Batch<'a> {
     /// Total latency of the batch run warm-sequentially (each query starts
     /// when the previous one ends; buffers are NOT cleared in between).
     fn sequential_total(&self, env: &Env, variant: &Variant) -> SimDuration {
+        let prefetches = self.prefetches(env, variant);
         let mut rt = env.runtime();
         let mut total = SimDuration::ZERO;
-        for (plan, trace, tw) in &self.items {
-            let run = self.make_run(env, plan, trace, tw, variant);
-            let res = rt.run(&[run]);
+        for (&(_, trace, _), pf) in self.items.iter().zip(prefetches) {
+            let res = rt.run(&[Self::make_run(trace, pf)]);
             total += res.timings[0].elapsed();
         }
         total
@@ -47,44 +47,70 @@ impl<'a> Batch<'a> {
         variant: &Variant,
         arrivals: &[SimTime],
     ) -> SimDuration {
+        let prefetches = self.prefetches(env, variant);
         let mut rt = env.runtime();
         let runs: Vec<QueryRun<'_>> = self
             .items
             .iter()
+            .zip(prefetches)
             .zip(arrivals)
-            .map(|((plan, trace, tw), &arr)| QueryRun {
+            .map(|((&(_, trace, _), pf), &arr)| QueryRun {
                 arrival: arr,
-                ..self.make_run(env, plan, trace, tw, variant)
+                ..Self::make_run(trace, pf)
             })
             .collect();
         rt.run(&runs).makespan()
     }
 
-    fn make_run<'t>(
-        &self,
-        env: &Env,
-        plan: &PlanNode,
-        trace: &'t Trace,
-        tw: &TrainedWorkload,
-        variant: &Variant,
-    ) -> QueryRun<'t> {
+    /// Per-item prefetch list + charged inference latency (`None` = DFLT).
+    /// Pythia items are grouped by model and each group goes through one
+    /// batched forward pass — the multi-query serving path a deployed
+    /// batching predictor would use.
+    fn prefetches(&self, env: &Env, variant: &Variant) -> Vec<Option<(Vec<PageId>, SimDuration)>> {
         match variant {
-            Variant::Dflt => QueryRun::default_run(trace),
-            Variant::Orcl => QueryRun::with_prefetch(
-                trace,
-                oracle_prefetch(trace, OracleScope::All),
-                SimDuration::ZERO,
-            ),
+            Variant::Dflt => vec![None; self.items.len()],
+            Variant::Orcl => self
+                .items
+                .iter()
+                .map(|(_, trace, _)| {
+                    Some((oracle_prefetch(trace, OracleScope::All), SimDuration::ZERO))
+                })
+                .collect(),
             Variant::Pythia => {
-                let (pf, inference) = env.pythia_prefetch(&env.run_cfg, tw, plan);
-                QueryRun::with_prefetch(trace, pf, inference)
+                let mut out: Vec<Option<(Vec<PageId>, SimDuration)>> =
+                    vec![None; self.items.len()];
+                let mut grouped = vec![false; self.items.len()];
+                for i in 0..self.items.len() {
+                    if grouped[i] {
+                        continue;
+                    }
+                    let tw = self.items[i].2;
+                    let idxs: Vec<usize> = (i..self.items.len())
+                        .filter(|&j| !grouped[j] && std::ptr::eq(self.items[j].2, tw))
+                        .collect();
+                    let plans: Vec<&PlanNode> =
+                        idxs.iter().map(|&j| self.items[j].0).collect();
+                    let batched = env.pythia_prefetch_batch(&env.run_cfg, tw, &plans);
+                    for (&j, pf) in idxs.iter().zip(batched) {
+                        out[j] = Some(pf);
+                        grouped[j] = true;
+                    }
+                }
+                out
             }
+        }
+    }
+
+    fn make_run(trace: &Trace, prefetch: Option<(Vec<PageId>, SimDuration)>) -> QueryRun<'_> {
+        match prefetch {
+            None => QueryRun::default_run(trace),
+            Some((pf, inference)) => QueryRun::with_prefetch(trace, pf, inference),
         }
     }
 }
 
 struct Fleet {
-    workloads: Vec<(std::rc::Rc<PreparedWorkload>, std::rc::Rc<TrainedWorkload>)>,
+    workloads: Vec<(std::sync::Arc<PreparedWorkload>, std::sync::Arc<TrainedWorkload>)>,
 }
 
 impl Fleet {

@@ -41,19 +41,28 @@ impl PreparedWorkload {
     pub fn test_queries(&self) -> impl Iterator<Item = (&PlanNode, &Trace)> {
         self.test_idx.iter().map(|&i| (&self.queries[i].plan, &self.traces[i]))
     }
+
+    /// Borrowed test-query plans, in [`Self::test_queries`] order — the
+    /// input shape batched inference wants.
+    pub fn test_plans(&self) -> Vec<&PlanNode> {
+        self.test_idx.iter().map(|&i| &self.queries[i].plan).collect()
+    }
 }
 
 /// The experiment environment: database + sized replay configuration.
 ///
 /// Preparing a workload (sampling + tracing) and training the default models
 /// are expensive; both are cached per template so the figure modules can
-/// share them within one suite run.
+/// share them within one suite run. The caches are mutex-guarded and hand out
+/// `Arc`s, so one `Env` is shared by figure jobs running concurrently on the
+/// worker pool; a miss computes under the lock (each key exactly once), which
+/// is why `bin/all.rs` warms the caches before fanning out.
 pub struct Env {
     pub cfg: ExpConfig,
     pub bench: BenchmarkDb,
     pub run_cfg: RunConfig,
-    prepared: std::cell::RefCell<std::collections::HashMap<(Template, usize), std::rc::Rc<PreparedWorkload>>>,
-    trained: std::cell::RefCell<std::collections::HashMap<Template, std::rc::Rc<TrainedWorkload>>>,
+    prepared: std::sync::Mutex<std::collections::HashMap<(Template, usize), std::sync::Arc<PreparedWorkload>>>,
+    trained: std::sync::Mutex<std::collections::HashMap<Template, std::sync::Arc<TrainedWorkload>>>,
 }
 
 impl Env {
@@ -85,29 +94,34 @@ impl Env {
 
     /// Sample `n_queries` instances of `template`, execute them for traces,
     /// and split off the unseen test queries (random, seeded). Cached.
-    pub fn prepare(&self, template: Template) -> std::rc::Rc<PreparedWorkload> {
+    pub fn prepare(&self, template: Template) -> std::sync::Arc<PreparedWorkload> {
         self.prepare_n(template, self.cfg.n_queries)
     }
 
     /// [`Env::prepare`] with an explicit workload size. Cached per
-    /// `(template, n)`.
-    pub fn prepare_n(&self, template: Template, n: usize) -> std::rc::Rc<PreparedWorkload> {
-        if let Some(w) = self.prepared.borrow().get(&(template, n)) {
+    /// `(template, n)`; the lock is held across a miss so each workload is
+    /// sampled exactly once even under concurrent callers.
+    pub fn prepare_n(&self, template: Template, n: usize) -> std::sync::Arc<PreparedWorkload> {
+        let mut cache = self.prepared.lock().unwrap();
+        if let Some(w) = cache.get(&(template, n)) {
             return w.clone();
         }
-        let w = std::rc::Rc::new(self.prepare_uncached(template, n));
-        self.prepared.borrow_mut().insert((template, n), w.clone());
+        let w = std::sync::Arc::new(self.prepare_uncached(template, n));
+        cache.insert((template, n), w.clone());
         w
     }
 
     /// Train (once, cached) the default-config models for a template.
-    pub fn trained_default(&self, template: Template) -> std::rc::Rc<TrainedWorkload> {
-        if let Some(tw) = self.trained.borrow().get(&template) {
+    /// Training fans out internally on the worker pool; the lock only
+    /// guarantees a single trainer per template.
+    pub fn trained_default(&self, template: Template) -> std::sync::Arc<TrainedWorkload> {
+        let mut cache = self.trained.lock().unwrap();
+        if let Some(tw) = cache.get(&template) {
             return tw.clone();
         }
         let w = self.prepare(template);
-        let tw = std::rc::Rc::new(self.train_with(&w, &self.cfg.pythia));
-        self.trained.borrow_mut().insert(template, tw.clone());
+        let tw = std::sync::Arc::new(self.train_with(&w, &self.cfg.pythia));
+        cache.insert(template, tw.clone());
         tw
     }
 
@@ -213,6 +227,35 @@ impl Env {
         let budget = run_cfg.pool_frames * 3 / 4;
         (cap_to_budget(list, budget), inference)
     }
+
+    /// [`Env::pythia_prefetch`] for a whole batch of plans: one batched
+    /// forward pass per model serves every query, and each query is charged
+    /// an equal share of the measured wall-clock latency (the amortized cost
+    /// a deployed batching server would see). Page lists are identical to
+    /// the per-query path — batched inference is bit-identical to serial.
+    pub fn pythia_prefetch_batch(
+        &self,
+        run_cfg: &RunConfig,
+        tw: &TrainedWorkload,
+        plans: &[&PlanNode],
+    ) -> Vec<(Vec<PageId>, SimDuration)> {
+        if plans.is_empty() {
+            return Vec::new();
+        }
+        let t0 = std::time::Instant::now();
+        let preds = tw.infer_batch(&self.bench.db, plans);
+        let inference = SimDuration::from_micros(
+            t0.elapsed().as_micros() as u64 / plans.len() as u64,
+        );
+        let budget = run_cfg.pool_frames * 3 / 4;
+        preds
+            .into_iter()
+            .map(|pred| {
+                let list = prefetch_list(&self.bench.db, &pred);
+                (cap_to_budget(list, budget), inference)
+            })
+            .collect()
+    }
 }
 
 /// Mean of a sample (0 for empty).
@@ -314,5 +357,32 @@ mod tests {
     fn mean_of_empty_is_zero() {
         assert_eq!(mean(&[]), 0.0);
         assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn batched_prefetch_matches_serial_pages() {
+        let env = tiny_env();
+        let w = env.prepare_n(Template::T91, 8);
+        let pythia = PythiaConfig { epochs: 6, ..env.cfg.pythia.clone() };
+        let tw = env.train_with(&w, &pythia);
+        let plans = w.test_plans();
+        assert!(!plans.is_empty());
+        let batched = env.pythia_prefetch_batch(&env.run_cfg, &tw, &plans);
+        assert_eq!(batched.len(), plans.len());
+        for (q, plan) in plans.iter().enumerate() {
+            let (serial_pages, _) = env.pythia_prefetch(&env.run_cfg, &tw, plan);
+            assert_eq!(batched[q].0, serial_pages, "query {q}");
+        }
+        assert!(env.pythia_prefetch_batch(&env.run_cfg, &tw, &[]).is_empty());
+    }
+
+    #[test]
+    fn env_caches_shared_across_threads() {
+        let env = tiny_env();
+        let first = env.prepare_n(Template::T91, 4);
+        let again = pythia_nn::pool::parallel_map(&[(); 3], |_, _| env.prepare_n(Template::T91, 4));
+        for w in &again {
+            assert!(std::sync::Arc::ptr_eq(w, &first), "cache must hand out one workload");
+        }
     }
 }

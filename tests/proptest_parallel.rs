@@ -116,4 +116,49 @@ proptest! {
             "pooled refinement diverged from serial"
         );
     }
+
+    /// Batched inference must be bit-identical to the serial one-query-at-a-
+    /// time path for any batch size and thread count — checked on a model
+    /// that went through a full serde roundtrip (the deployed shape: loaded
+    /// weights, empty plan-encoding cache), in both model designs.
+    #[test]
+    fn batched_inference_is_bit_identical_to_serial(
+        seed in 0u64..1000,
+        combined in prop::bool::ANY,
+    ) {
+        let _guard = RestoreThreads;
+        let (db, plans, traces) = tiny_star();
+        let cfg = PythiaConfig {
+            epochs: 2,
+            batch_size: 4,
+            lr: 5e-3,
+            seed,
+            combined_index_base: combined,
+            ..PythiaConfig::fast()
+        };
+        let tw = train_workload(&db, "tiny", &plans[..9], &traces[..9], None, &cfg);
+        let tw: pythia::core::predictor::TrainedWorkload =
+            serde_json::from_str(&serde_json::to_string(&tw).unwrap()).unwrap();
+
+        // Serial single-thread reference: one forward pass per plan.
+        set_thread_override(1);
+        let serial: Vec<_> = plans.iter().map(|p| tw.infer(&db, p)).collect();
+
+        for &threads in &[1usize, 4] {
+            for &batch in &[1usize, 3, 17] {
+                set_thread_override(threads);
+                let batch_plans: Vec<&PlanNode> = plans.iter().cycle().take(batch).collect();
+                let preds = tw.infer_batch(&db, &batch_plans);
+                prop_assert_eq!(preds.len(), batch);
+                for (q, pred) in preds.iter().enumerate() {
+                    prop_assert_eq!(
+                        &pred.pages,
+                        &serial[q % plans.len()].pages,
+                        "batch size {} / {} threads: query {} diverged",
+                        batch, threads, q
+                    );
+                }
+            }
+        }
+    }
 }
