@@ -43,7 +43,9 @@ impl NearestNeighbor {
     /// Index the training traces (stores each query's distinct non-sequential
     /// block set).
     pub fn new(train_traces: &[Trace]) -> Self {
-        NearestNeighbor { train_sets: train_traces.iter().map(nonseq_page_set).collect() }
+        NearestNeighbor {
+            train_sets: train_traces.iter().map(nonseq_page_set).collect(),
+        }
     }
 
     /// Number of stored training queries.
@@ -68,8 +70,11 @@ impl NearestNeighbor {
             .map(|(i, s)| (i, jaccard(&test_set, s)))
             .max_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"))
             .unwrap_or((0, 0.0));
-        let mut pages: Vec<PageId> =
-            self.train_sets.get(best_idx).map(|s| s.iter().copied().collect()).unwrap_or_default();
+        let mut pages: Vec<PageId> = self
+            .train_sets
+            .get(best_idx)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
         pages.sort_unstable();
         (pages, best_idx, best_sim)
     }
@@ -81,7 +86,10 @@ impl NearestNeighbor {
             return 0.0;
         }
         let test_set = nonseq_page_set(test_trace);
-        self.train_sets.iter().map(|s| jaccard(&test_set, s)).sum::<f64>()
+        self.train_sets
+            .iter()
+            .map(|s| jaccard(&test_set, s))
+            .sum::<f64>()
             / self.train_sets.len() as f64
     }
 }
@@ -116,7 +124,10 @@ mod tests {
         let (pages, idx, sim) = nn.prefetch_for(&trace_of(&[2, 3, 4, 5]));
         assert_eq!(idx, 2);
         assert!(sim > 0.5);
-        assert_eq!(pages.iter().map(|p| p.page_no).collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(
+            pages.iter().map(|p| p.page_no).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
     }
 
     #[test]
@@ -147,7 +158,10 @@ mod tests {
         };
         let nn = NearestNeighbor::new(&[seq_trace.clone()]);
         let (pages, _, _) = nn.prefetch_for(&seq_trace);
-        assert!(pages.is_empty(), "sequential pages are not the prefetch target");
+        assert!(
+            pages.is_empty(),
+            "sequential pages are not the prefetch target"
+        );
     }
 
     #[test]

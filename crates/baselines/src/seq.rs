@@ -193,7 +193,11 @@ impl SeqModel {
     /// One inference step: most likely next token given a context.
     fn next_token(&self, ctx: &[usize]) -> usize {
         let lo = ctx.len().saturating_sub(self.cfg.context);
-        let window: Vec<usize> = if ctx[lo..].is_empty() { vec![BOS] } else { ctx[lo..].to_vec() };
+        let window: Vec<usize> = if ctx[lo..].is_empty() {
+            vec![BOS]
+        } else {
+            ctx[lo..].to_vec()
+        };
         let mut tape = Tape::new();
         let vars = self.params.inject(&mut tape);
         let rep = self.encoder.encode(&mut tape, &vars, &window);
@@ -286,7 +290,12 @@ mod tests {
     }
 
     fn quick_cfg() -> SeqModelConfig {
-        SeqModelConfig { epochs: 30, context: 8, max_windows: 400, ..Default::default() }
+        SeqModelConfig {
+            epochs: 30,
+            context: 8,
+            max_windows: 400,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -310,8 +319,18 @@ mod tests {
     #[test]
     fn dedup_variant_shrinks_token_stream() {
         let t = stride_trace(30); // each page repeated 3 times
-        let cfg_raw = SeqModelConfig { dedup: false, epochs: 1, max_windows: 10, ..quick_cfg() };
-        let cfg_dedup = SeqModelConfig { dedup: true, epochs: 1, max_windows: 10, ..quick_cfg() };
+        let cfg_raw = SeqModelConfig {
+            dedup: false,
+            epochs: 1,
+            max_windows: 10,
+            ..quick_cfg()
+        };
+        let cfg_dedup = SeqModelConfig {
+            dedup: true,
+            epochs: 1,
+            max_windows: 10,
+            ..quick_cfg()
+        };
         let m_raw = SeqModel::train(&cfg_raw, std::slice::from_ref(&t));
         let m_dedup = SeqModel::train(&cfg_dedup, std::slice::from_ref(&t));
         assert_eq!(m_raw.tokens_of(&t).len(), 30);
@@ -321,7 +340,11 @@ mod tests {
     #[test]
     fn records_training_time() {
         let traces = vec![stride_trace(20)];
-        let cfg = SeqModelConfig { epochs: 1, max_windows: 20, ..quick_cfg() };
+        let cfg = SeqModelConfig {
+            epochs: 1,
+            max_windows: 20,
+            ..quick_cfg()
+        };
         let m = SeqModel::train(&cfg, &traces);
         assert!(m.train_seconds > 0.0);
     }

@@ -30,14 +30,18 @@ fn hit_path(c: &mut Criterion) {
 fn eviction_cycle(c: &mut Criterion) {
     let mut group = c.benchmark_group("buffer/eviction_cycle");
     for policy in PolicyKind::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(policy), &policy, |b, &policy| {
-            let mut pool = BufferPool::new(256, policy);
-            let mut p = 0u32;
-            b.iter(|| {
-                p += 1; // always a fresh page: forces an eviction when full
-                black_box(pool.load(pid(p), false, SimTime::ZERO))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy),
+            &policy,
+            |b, &policy| {
+                let mut pool = BufferPool::new(256, policy);
+                let mut p = 0u32;
+                b.iter(|| {
+                    p += 1; // always a fresh page: forces an eviction when full
+                    black_box(pool.load(pid(p), false, SimTime::ZERO))
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -50,7 +54,14 @@ fn aio_pump(c: &mut Criterion) {
             let mut io = IoWorkerPool::new(8);
             let cost = CostModel::default();
             let mut aio = AioPrefetcher::new(256);
-            aio.start((0..1000).map(pid), &mut pool, &mut os, &mut io, &cost, SimTime::ZERO);
+            aio.start(
+                (0..1000).map(pid),
+                &mut pool,
+                &mut os,
+                &mut io,
+                &cost,
+                SimTime::ZERO,
+            );
             let mut now = SimTime::ZERO;
             for _ in 0..1000 {
                 now = now + pythia_sim::SimDuration::from_micros(100);

@@ -22,7 +22,9 @@ fn matmul(c: &mut Criterion) {
     // The decoder's dominant shape: [batch, hidden] x [hidden, pages].
     let a = Initializer::new(3).uniform(32, 800, 1.0);
     let b = Initializer::new(4).uniform(800, 2000, 1.0);
-    group.bench_function("decoder_32x800x2000", |bch| bch.iter(|| black_box(a.matmul(&b))));
+    group.bench_function("decoder_32x800x2000", |bch| {
+        bch.iter(|| black_box(a.matmul(&b)))
+    });
     group.finish();
 }
 
@@ -52,7 +54,11 @@ fn training_step(c: &mut Criterion) {
     let seqs: Vec<Vec<usize>> = (0..32)
         .map(|s| (0..60).map(|i| 2 + (s * 31 + i * 7) % 700).collect())
         .collect();
-    let targets = Tensor::from_fn(32, 2000, |r, c| if (r * 97 + c) % 200 == 0 { 1.0 } else { 0.0 });
+    let targets = Tensor::from_fn(
+        32,
+        2000,
+        |r, c| if (r * 97 + c) % 200 == 0 { 1.0 } else { 0.0 },
+    );
     let mut adam = Adam::new(&params, 1e-3);
     c.bench_function("nn/train_step_batch32_paper_dims", |b| {
         b.iter(|| {

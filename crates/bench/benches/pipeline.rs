@@ -11,7 +11,10 @@ use pythia_workloads::templates::{sample_workload, Template};
 use pythia_workloads::{build_benchmark, GeneratorConfig};
 
 fn serialization(c: &mut Criterion) {
-    let bench = build_benchmark(&GeneratorConfig { scale: 0.05, seed: 1 });
+    let bench = build_benchmark(&GeneratorConfig {
+        scale: 0.05,
+        seed: 1,
+    });
     let binner = ValueBinner::from_database(&bench.db);
     let q = sample_workload(&bench, Template::T18, 1, 2).remove(0);
     c.bench_function("pipeline/serialize_t18_plan", |b| {
@@ -23,13 +26,19 @@ fn inference_latency(c: &mut Criterion) {
     // Train a small-but-real model set once, then measure per-query
     // inference (all object models) — the number the paper reports as
     // 1–1.5 s on their hardware / page counts.
-    let bench = build_benchmark(&GeneratorConfig { scale: 0.05, seed: 1 });
+    let bench = build_benchmark(&GeneratorConfig {
+        scale: 0.05,
+        seed: 1,
+    });
     let queries = sample_workload(&bench, Template::T91, 24, 3);
     let traces: Vec<_> = queries
         .iter()
         .map(|q| pythia_db::exec::execute(&q.plan, &bench.db).1)
         .collect();
-    let cfg = PythiaConfig { epochs: 2, ..PythiaConfig::fast() };
+    let cfg = PythiaConfig {
+        epochs: 2,
+        ..PythiaConfig::fast()
+    };
     let plans: Vec<_> = queries.iter().map(|q| q.plan.clone()).collect();
     let tw = train_workload(&bench.db, "t91", &plans, &traces, None, &cfg);
     let test = &plans[0];
@@ -39,7 +48,10 @@ fn inference_latency(c: &mut Criterion) {
 }
 
 fn replay_throughput(c: &mut Criterion) {
-    let bench = build_benchmark(&GeneratorConfig { scale: 0.05, seed: 1 });
+    let bench = build_benchmark(&GeneratorConfig {
+        scale: 0.05,
+        seed: 1,
+    });
     let q = sample_workload(&bench, Template::T18, 1, 9).remove(0);
     let (_, trace) = pythia_db::exec::execute(&q.plan, &bench.db);
     let cfg = RunConfig::default();

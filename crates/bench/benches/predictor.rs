@@ -11,7 +11,12 @@ use pythia_core::{train_workload, PythiaConfig};
 use pythia_nn::pool::set_thread_override;
 
 fn bench_cfg() -> PythiaConfig {
-    PythiaConfig { epochs: 2, batch_size: 8, lr: 5e-3, ..PythiaConfig::fast() }
+    PythiaConfig {
+        epochs: 2,
+        batch_size: 8,
+        lr: 5e-3,
+        ..PythiaConfig::fast()
+    }
 }
 
 fn training(c: &mut Criterion) {

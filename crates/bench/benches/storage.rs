@@ -12,7 +12,15 @@ use pythia_sim::SimDisk;
 
 fn btree_build(c: &mut Criterion) {
     let entries: Vec<(i64, RecordId)> = (0..100_000)
-        .map(|i| ((i * 7919) % 100_000, RecordId { page_no: i as u32, slot: 0 }))
+        .map(|i| {
+            (
+                (i * 7919) % 100_000,
+                RecordId {
+                    page_no: i as u32,
+                    slot: 0,
+                },
+            )
+        })
         .collect();
     c.bench_function("btree/bulk_build_100k", |b| {
         b.iter_batched(
@@ -25,8 +33,17 @@ fn btree_build(c: &mut Criterion) {
 
 fn btree_probe(c: &mut Criterion) {
     let mut disk = SimDisk::new();
-    let entries: Vec<(i64, RecordId)> =
-        (0..100_000).map(|i| (i, RecordId { page_no: i as u32, slot: 0 })).collect();
+    let entries: Vec<(i64, RecordId)> = (0..100_000)
+        .map(|i| {
+            (
+                i,
+                RecordId {
+                    page_no: i as u32,
+                    slot: 0,
+                },
+            )
+        })
+        .collect();
     let tree = BTree::bulk_build(&mut disk, entries);
     let mut k = 0i64;
     c.bench_function("btree/point_search", |b| {

@@ -16,7 +16,12 @@ use std::time::Instant;
 use pythia_bench::star_workload;
 use pythia_core::config::PythiaConfig;
 use pythia_core::predictor::{train_workload, TrainedWorkload};
+use pythia_core::server::{
+    InferenceCharge, PrefetchServer, QueuePolicy, ServerConfig, ServerRequest,
+};
+use pythia_db::runtime::RunConfig;
 use pythia_nn::pool::{configured_threads, set_thread_override};
+use pythia_sim::SimDuration;
 
 const N_DIMS: usize = 4;
 const N_QUERIES: usize = 48;
@@ -27,7 +32,12 @@ fn main() {
     let threads = configured_threads();
     eprintln!("[perf_snapshot] building {N_DIMS}-dim star workload ({N_QUERIES} queries)...");
     let (db, plans, traces) = star_workload(N_DIMS, N_QUERIES);
-    let cfg = PythiaConfig { epochs: 12, batch_size: 8, lr: 5e-3, ..PythiaConfig::fast() };
+    let cfg = PythiaConfig {
+        epochs: 12,
+        batch_size: 8,
+        lr: 5e-3,
+        ..PythiaConfig::fast()
+    };
 
     // --- training: serial vs pooled -------------------------------------
     set_thread_override(1);
@@ -50,7 +60,10 @@ fn main() {
     let a = serde_json::to_string(&tw_serial).expect("serialize serial model");
     let b = serde_json::to_string(&tw_parallel).expect("serialize parallel model");
     let bit_identical = a == b;
-    assert!(bit_identical, "pooled training diverged from the serial run");
+    assert!(
+        bit_identical,
+        "pooled training diverged from the serial run"
+    );
     eprintln!("[perf_snapshot] serial and pooled runs are bit-identical");
 
     // --- inference: serial vs pooled ------------------------------------
@@ -88,6 +101,42 @@ fn main() {
         infer_parallel_ms / infer_batched_ms
     );
 
+    // --- serving loop: the whole workload through admission control -------
+    // Staggered arrivals at a fixed cadence; concurrency-4 waves with
+    // per-wave batched inference. The virtual throughput is deterministic;
+    // the wall clock measures the serving loop's host-side overhead
+    // (inference + replay bookkeeping).
+    let server_cfg = ServerConfig {
+        concurrency: 4,
+        policy: QueuePolicy::Fifo,
+        charge: InferenceCharge::Measured,
+        prefetch_budget: None,
+    };
+    let requests: Vec<ServerRequest<'_>> = plans
+        .iter()
+        .zip(&traces)
+        .enumerate()
+        .map(|(i, (plan, trace))| ServerRequest {
+            plan,
+            trace,
+            arrival: SimDuration::from_micros(i as u64 * 200),
+        })
+        .collect();
+    let mut server =
+        PrefetchServer::new(&db, &RunConfig::default(), server_cfg).with_predictor(&tw_parallel);
+    let t0 = Instant::now();
+    let report = server.serve(&requests);
+    let server_wall_s = t0.elapsed().as_secs_f64();
+    let server_qps = report.throughput_qps();
+    eprintln!(
+        "[perf_snapshot] serving loop: {} queries in {} waves, {:.1} q/s virtual \
+         (mean wait {}, wall {server_wall_s:.2}s)",
+        report.queries.len(),
+        report.waves.len(),
+        server_qps,
+        report.mean_admission_wait()
+    );
+
     let suite_wall_s = suite_t0.elapsed().as_secs_f64();
     let out = serde_json::json!({
         "generated_by": "cargo run --release -p pythia-bench --bin perf_snapshot",
@@ -104,11 +153,19 @@ fn main() {
         "infer_batched_speedup_vs_serial": round3(infer_serial_ms / infer_batched_ms),
         "infer_batch_size": N_QUERIES,
         "bit_identical": bit_identical,
+        "server_queries": report.queries.len(),
+        "server_waves": report.waves.len(),
+        "server_throughput_qps": round3(server_qps),
+        "server_mean_admission_wait_us": report.mean_admission_wait().as_micros(),
+        "server_wall_s": round3(server_wall_s),
         "suite_wall_s": round3(suite_wall_s),
     });
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_nn.json");
-    std::fs::write(path, format!("{}\n", serde_json::to_string_pretty(&out).unwrap()))
-        .expect("write BENCH_nn.json");
+    std::fs::write(
+        path,
+        format!("{}\n", serde_json::to_string_pretty(&out).unwrap()),
+    )
+    .expect("write BENCH_nn.json");
     eprintln!(
         "[perf_snapshot] wrote {path} (train speedup {:.2}x, suite {:.1}s)",
         train_serial_s / train_parallel_s,
@@ -117,7 +174,11 @@ fn main() {
 }
 
 /// Mean milliseconds per `infer` call over `INFER_REPS` passes of the plans.
-fn time_infer(tw: &TrainedWorkload, db: &pythia_db::catalog::Database, plans: &[pythia_db::plan::PlanNode]) -> f64 {
+fn time_infer(
+    tw: &TrainedWorkload,
+    db: &pythia_db::catalog::Database,
+    plans: &[pythia_db::plan::PlanNode],
+) -> f64 {
     let t0 = Instant::now();
     let mut total_pages = 0usize;
     for _ in 0..INFER_REPS {
@@ -139,7 +200,11 @@ fn time_infer_batched(
     let t0 = Instant::now();
     let mut total_pages = 0usize;
     for _ in 0..INFER_REPS {
-        total_pages += tw.infer_batch(db, plans).iter().map(|p| p.len()).sum::<usize>();
+        total_pages += tw
+            .infer_batch(db, plans)
+            .iter()
+            .map(|p| p.len())
+            .sum::<usize>();
     }
     let elapsed = t0.elapsed().as_secs_f64();
     std::hint::black_box(total_pages);

@@ -18,12 +18,21 @@ use pythia_db::trace::Trace;
 use pythia_db::types::Schema;
 
 /// A small fact/dim pair with an index, used by several benches.
-pub fn bench_db(rows: i64) -> (Database, pythia_db::catalog::TableId, pythia_db::catalog::ObjectId) {
+pub fn bench_db(
+    rows: i64,
+) -> (
+    Database,
+    pythia_db::catalog::TableId,
+    pythia_db::catalog::ObjectId,
+) {
     let mut db = Database::new();
     let fact = db.create_table("fact", Schema::ints(&["id", "day", "k"]));
     let dim = db.create_table("dim", Schema::ints(&["d_id", "attr"]));
     for i in 0..rows {
-        db.insert(fact, Database::row(&[i, i / 8, (i * 13) % (rows / 4).max(1)]));
+        db.insert(
+            fact,
+            Database::row(&[i, i / 8, (i * 13) % (rows / 4).max(1)]),
+        );
     }
     for d in 0..(rows / 4).max(1) {
         db.insert(dim, Database::row(&[d, d % 9]));
@@ -86,7 +95,11 @@ pub fn star_workload(n_dims: usize, n_queries: usize) -> (Database, Vec<PlanNode
             outer_key: 2 + d,
             inner: dim,
             inner_index: idx,
-            inner_pred: Some(Pred::Cmp { col: 1, op: CmpOp::Ge, lit: 0 }),
+            inner_pred: Some(Pred::Cmp {
+                col: 1,
+                op: CmpOp::Ge,
+                lit: 0,
+            }),
         };
         let (_, trace) = execute(&plan, &db);
         plans.push(plan);

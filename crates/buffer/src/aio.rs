@@ -22,7 +22,7 @@
 
 use std::collections::VecDeque;
 
-use pythia_sim::{CostModel, IoWorkerPool, OsPageCache, PageId, SimTime};
+use pythia_sim::{CostModel, IoWorkerPool, OsPageCache, PageId, SimTime, StreamId};
 
 use crate::frame::FrameId;
 use crate::pool::BufferPool;
@@ -43,31 +43,49 @@ pub struct AioPrefetcher {
     /// clamping on the prefetcher's own reads). Missing entries are treated
     /// as unbounded.
     file_lens: Vec<u32>,
+    /// The OS-cache stream (open-fd analogue) the prefetcher's own reads run
+    /// under. Distinct from the query's demand stream, so the prefetcher's
+    /// storage-order reads and the query's interleaved demand reads each keep
+    /// their own kernel-readahead run alive.
+    stream: StreamId,
 }
 
 impl AioPrefetcher {
-    /// An idle prefetcher with readahead window `R` (pages pinned at once).
+    /// An idle prefetcher with readahead window `R` (pages pinned at once),
+    /// reading under OS-cache stream 0 (unit-test convenience; real callers
+    /// should allocate a distinct stream via [`Self::with_file_lens`]).
     ///
     /// # Panics
     /// Panics if `window_size == 0`.
     pub fn new(window_size: usize) -> Self {
-        Self::with_file_lens(window_size, Vec::new())
+        Self::with_file_lens(window_size, Vec::new(), StreamId(0))
     }
 
     /// Like [`Self::new`] but with the per-file page counts used to clamp
-    /// the OS readahead the prefetcher's sequential reads trigger.
-    pub fn with_file_lens(window_size: usize, file_lens: Vec<u32>) -> Self {
+    /// the OS readahead the prefetcher's sequential reads trigger, and the
+    /// OS-cache stream identity those reads run under.
+    pub fn with_file_lens(window_size: usize, file_lens: Vec<u32>, stream: StreamId) -> Self {
         assert!(window_size > 0, "readahead window must be >= 1");
         AioPrefetcher {
             queue: VecDeque::new(),
             window: VecDeque::new(),
             window_size,
             file_lens,
+            stream,
         }
     }
 
     fn file_len(&self, pid: PageId) -> u32 {
-        self.file_lens.get(pid.file.0 as usize).copied().unwrap_or(u32::MAX)
+        self.file_lens
+            .get(pid.file.0 as usize)
+            .copied()
+            .unwrap_or(u32::MAX)
+    }
+
+    /// The OS-cache stream the prefetcher reads under (so the owner can
+    /// retire it when the query finishes).
+    pub fn stream(&self) -> StreamId {
+        self.stream
     }
 
     /// Readahead window size `R`.
@@ -116,7 +134,9 @@ impl AioPrefetcher {
         now: SimTime,
     ) {
         while self.window.len() < self.window_size {
-            let Some(pid) = self.queue.pop_front() else { break };
+            let Some(pid) = self.queue.pop_front() else {
+                break;
+            };
             if let Some(fid) = pool.lookup(pid) {
                 // Already in the buffer: just bump its use count.
                 pool.touch(fid);
@@ -138,13 +158,20 @@ impl AioPrefetcher {
             // because the queue is in file storage order, they benefit from
             // kernel readahead just like Postgres' I/O workers do (§3.3
             // "This also helps the prefetcher with the OS readahead").
-            let outcome = os.read(pid, self.file_len(pid));
-            let latency = if outcome.cache_hit { cost.os_cache_copy } else { cost.disk_read };
+            let outcome = os.read(self.stream, pid, self.file_len(pid));
+            let latency = if outcome.cache_hit {
+                cost.os_cache_copy
+            } else {
+                cost.disk_read
+            };
             let arrival = io.schedule(now, latency);
             pool.set_available_at(fid, arrival);
             pool.pin(fid);
             pool.stats_mut().prefetch_issued += 1;
-            self.window.push_back(InFlight { frame: fid, arrival });
+            self.window.push_back(InFlight {
+                frame: fid,
+                arrival,
+            });
         }
     }
 
@@ -197,7 +224,16 @@ mod tests {
         PageId::new(FileId(0), p)
     }
 
-    fn setup(frames: usize, window: usize) -> (BufferPool, OsPageCache, IoWorkerPool, CostModel, AioPrefetcher) {
+    fn setup(
+        frames: usize,
+        window: usize,
+    ) -> (
+        BufferPool,
+        OsPageCache,
+        IoWorkerPool,
+        CostModel,
+        AioPrefetcher,
+    ) {
         let cost = CostModel {
             disk_read: SimDuration::from_micros(500),
             ..CostModel::default()
@@ -214,26 +250,48 @@ mod tests {
     #[test]
     fn start_fills_window_and_pins() {
         let (mut pool, mut os, mut io, cost, mut aio) = setup(16, 4);
-        aio.start((0..10).map(pid), &mut pool, &mut os, &mut io, &cost, SimTime::ZERO);
+        aio.start(
+            (0..10).map(pid),
+            &mut pool,
+            &mut os,
+            &mut io,
+            &cost,
+            SimTime::ZERO,
+        );
         assert_eq!(aio.in_window(), 4);
         assert_eq!(aio.pending(), 6);
         assert_eq!(pool.stats().prefetch_issued, 4);
         // All four window pages are pinned.
-        let pinned = (0..4).filter(|&p| {
-            pool.lookup(pid(p)).map(|f| pool.frame(f).pin_count > 0).unwrap_or(false)
-        }).count();
+        let pinned = (0..4)
+            .filter(|&p| {
+                pool.lookup(pid(p))
+                    .map(|f| pool.frame(f).pin_count > 0)
+                    .unwrap_or(false)
+            })
+            .count();
         assert_eq!(pinned, 4);
     }
 
     #[test]
     fn arrival_times_respect_io_parallelism() {
         let (mut pool, mut os, mut io, cost, mut aio) = setup(16, 4);
-        aio.start((0..4).map(pid), &mut pool, &mut os, &mut io, &cost, SimTime::ZERO);
+        aio.start(
+            (0..4).map(pid),
+            &mut pool,
+            &mut os,
+            &mut io,
+            &cost,
+            SimTime::ZERO,
+        );
         // 2 workers, disk_read=500us. Pages 0 and 1 are cold disk reads; the
         // prefetcher's own sequential pattern triggers OS readahead, so
         // pages 2 and 3 are OS-cache copies (50us) queued behind them.
         let arrivals: Vec<u64> = (0..4)
-            .map(|p| pool.frame(pool.lookup(pid(p)).unwrap()).available_at.as_micros())
+            .map(|p| {
+                pool.frame(pool.lookup(pid(p)).unwrap())
+                    .available_at
+                    .as_micros()
+            })
             .collect();
         assert_eq!(arrivals, vec![500, 500, 550, 550]);
     }
@@ -242,7 +300,14 @@ mod tests {
     fn resident_pages_are_skipped() {
         let (mut pool, mut os, mut io, cost, mut aio) = setup(16, 4);
         pool.load(pid(1), false, SimTime::ZERO).unwrap();
-        aio.start([pid(0), pid(1), pid(2)], &mut pool, &mut os, &mut io, &cost, SimTime::ZERO);
+        aio.start(
+            [pid(0), pid(1), pid(2)],
+            &mut pool,
+            &mut os,
+            &mut io,
+            &cost,
+            SimTime::ZERO,
+        );
         assert_eq!(pool.stats().prefetch_already_resident, 1);
         assert_eq!(pool.stats().prefetch_issued, 2);
         assert_eq!(aio.in_window(), 2);
@@ -251,14 +316,33 @@ mod tests {
     #[test]
     fn dummy_request_advances_window() {
         let (mut pool, mut os, mut io, cost, mut aio) = setup(16, 2);
-        aio.start((0..5).map(pid), &mut pool, &mut os, &mut io, &cost, SimTime::ZERO);
+        aio.start(
+            (0..5).map(pid),
+            &mut pool,
+            &mut os,
+            &mut io,
+            &cost,
+            SimTime::ZERO,
+        );
         assert_eq!(aio.in_window(), 2);
         // Before arrival: no advance.
-        aio.on_query_read(&mut pool, &mut os, &mut io, &cost, SimTime::from_micros(100));
+        aio.on_query_read(
+            &mut pool,
+            &mut os,
+            &mut io,
+            &cost,
+            SimTime::from_micros(100),
+        );
         assert_eq!(aio.in_window(), 2);
         // After both in-flight pages arrive (500us each on 2 workers), one
         // dummy request drains them both and refills the window.
-        aio.on_query_read(&mut pool, &mut os, &mut io, &cost, SimTime::from_micros(600));
+        aio.on_query_read(
+            &mut pool,
+            &mut os,
+            &mut io,
+            &cost,
+            SimTime::from_micros(600),
+        );
         assert_eq!(aio.in_window(), 2);
         assert_eq!(aio.pending(), 1);
         for p in 0..2 {
@@ -271,12 +355,25 @@ mod tests {
     #[test]
     fn full_pool_of_pins_stalls_gracefully() {
         let (mut pool, mut os, mut io, cost, mut aio) = setup(2, 8);
-        aio.start((0..6).map(pid), &mut pool, &mut os, &mut io, &cost, SimTime::ZERO);
+        aio.start(
+            (0..6).map(pid),
+            &mut pool,
+            &mut os,
+            &mut io,
+            &cost,
+            SimTime::ZERO,
+        );
         // Only 2 frames: window holds 2, rest stay queued.
         assert_eq!(aio.in_window(), 2);
         assert_eq!(aio.pending(), 4);
         // Advancing after arrival frees both pins and refills both frames.
-        aio.on_query_read(&mut pool, &mut os, &mut io, &cost, SimTime::from_micros(1_000_000));
+        aio.on_query_read(
+            &mut pool,
+            &mut os,
+            &mut io,
+            &cost,
+            SimTime::from_micros(1_000_000),
+        );
         assert_eq!(aio.in_window(), 2);
         assert_eq!(aio.pending(), 2);
     }
@@ -292,12 +389,27 @@ mod tests {
             let f = pool.load(pid(100 + p), false, SimTime::ZERO).unwrap();
             pool.pin(f);
         }
-        aio.start([pid(0), pid(1)], &mut pool, &mut os, &mut io, &cost, SimTime::ZERO);
+        aio.start(
+            [pid(0), pid(1)],
+            &mut pool,
+            &mut os,
+            &mut io,
+            &cost,
+            SimTime::ZERO,
+        );
         assert_eq!(aio.in_window(), 0);
         assert_eq!(aio.pending(), 2, "pages stay queued for retry");
-        assert_eq!(os.stats(), OsCacheStats::default(), "no OS-cache traffic on failed load");
+        assert_eq!(
+            os.stats(),
+            OsCacheStats::default(),
+            "no OS-cache traffic on failed load"
+        );
         assert_eq!(io.issued(), 0, "no I/O worker slot consumed");
-        assert_eq!(io.earliest_free(), SimTime::ZERO, "worker timeline untouched");
+        assert_eq!(
+            io.earliest_free(),
+            SimTime::ZERO,
+            "worker timeline untouched"
+        );
         assert_eq!(io.drained_at(), SimTime::ZERO);
         assert_eq!(pool.stats().prefetch_issued, 0);
         // After the pins release, the retry accounts each page exactly once.
@@ -305,10 +417,21 @@ mod tests {
             let f = pool.lookup(pid(100 + p)).unwrap();
             pool.unpin(f);
         }
-        aio.start(std::iter::empty(), &mut pool, &mut os, &mut io, &cost, SimTime::ZERO);
+        aio.start(
+            std::iter::empty(),
+            &mut pool,
+            &mut os,
+            &mut io,
+            &cost,
+            SimTime::ZERO,
+        );
         assert_eq!(aio.in_window(), 2);
         assert_eq!(aio.pending(), 0);
-        assert_eq!(os.stats().hits + os.stats().misses, 2, "one OS read per page");
+        assert_eq!(
+            os.stats().hits + os.stats().misses,
+            2,
+            "one OS read per page"
+        );
         assert_eq!(io.issued(), 2, "one worker slot per page");
         assert_eq!(pool.stats().prefetch_issued, 2);
     }
@@ -324,17 +447,38 @@ mod tests {
         let (mut pool, mut os, mut io, cost, mut aio) = setup(16, 3);
         os.insert(pid(1));
         os.insert(pid(2));
-        aio.start((0..5).map(pid), &mut pool, &mut os, &mut io, &cost, SimTime::ZERO);
+        aio.start(
+            (0..5).map(pid),
+            &mut pool,
+            &mut os,
+            &mut io,
+            &cost,
+            SimTime::ZERO,
+        );
         // Arrivals: page 0 -> 500us (cold, worker 0); page 1 -> 50us (cache
         // copy, worker 1); page 2 -> 100us (cache copy, queued on worker 1).
         let arrivals: Vec<u64> = (0..3)
-            .map(|p| pool.frame(pool.lookup(pid(p)).unwrap()).available_at.as_micros())
+            .map(|p| {
+                pool.frame(pool.lookup(pid(p)).unwrap())
+                    .available_at
+                    .as_micros()
+            })
             .collect();
         assert_eq!(arrivals, vec![500, 50, 100], "later entries arrive first");
-        aio.on_query_read(&mut pool, &mut os, &mut io, &cost, SimTime::from_micros(600));
+        aio.on_query_read(
+            &mut pool,
+            &mut os,
+            &mut io,
+            &cost,
+            SimTime::from_micros(600),
+        );
         for p in 0..3 {
             let f = pool.lookup(pid(p)).unwrap();
-            assert_eq!(pool.frame(f).pin_count, 0, "arrived page {p} must be released");
+            assert_eq!(
+                pool.frame(f).pin_count,
+                0,
+                "arrived page {p} must be released"
+            );
         }
         assert_eq!(aio.in_window(), 2, "freed slots refilled from the queue");
         assert_eq!(aio.pending(), 0);
@@ -356,7 +500,14 @@ mod tests {
     #[test]
     fn finish_releases_everything() {
         let (mut pool, mut os, mut io, cost, mut aio) = setup(16, 4);
-        aio.start((0..10).map(pid), &mut pool, &mut os, &mut io, &cost, SimTime::ZERO);
+        aio.start(
+            (0..10).map(pid),
+            &mut pool,
+            &mut os,
+            &mut io,
+            &cost,
+            SimTime::ZERO,
+        );
         aio.finish(&mut pool);
         assert!(aio.is_idle());
         for p in 0..4 {
@@ -368,7 +519,9 @@ mod tests {
     #[test]
     fn duration_sanity() {
         // The default cost model is disk-bound: random reads dwarf copies.
-        assert!(CostModel::default().disk_read > CostModel::default().os_cache_copy.saturating_mul(10));
+        assert!(
+            CostModel::default().disk_read > CostModel::default().os_cache_copy.saturating_mul(10)
+        );
         assert_eq!(SimDuration::from_micros(500), SimDuration::from_micros(500));
     }
 }

@@ -91,7 +91,11 @@ pub struct ClockPolicy {
 
 impl ClockPolicy {
     pub fn new(frames: usize) -> Self {
-        ClockPolicy { hand: 0, n: frames, usage: vec![0; frames] }
+        ClockPolicy {
+            hand: 0,
+            n: frames,
+            usage: vec![0; frames],
+        }
     }
 }
 
@@ -148,7 +152,10 @@ pub struct LruPolicy {
 
 impl LruPolicy {
     pub fn new(frames: usize) -> Self {
-        LruPolicy { stamp: vec![0; frames], tick: 0 }
+        LruPolicy {
+            stamp: vec![0; frames],
+            tick: 0,
+        }
     }
 
     fn touch(&mut self, frame: FrameId) {
@@ -201,7 +208,10 @@ pub struct MruPolicy {
 
 impl MruPolicy {
     pub fn new(frames: usize) -> Self {
-        MruPolicy { stamp: vec![0; frames], tick: 0 }
+        MruPolicy {
+            stamp: vec![0; frames],
+            tick: 0,
+        }
     }
 
     fn touch(&mut self, frame: FrameId) {
@@ -251,7 +261,9 @@ pub struct PrefetchAwareClock {
 
 impl PrefetchAwareClock {
     pub fn new(frames: usize) -> Self {
-        PrefetchAwareClock { inner: ClockPolicy::new(frames) }
+        PrefetchAwareClock {
+            inner: ClockPolicy::new(frames),
+        }
     }
 }
 

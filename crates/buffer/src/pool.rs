@@ -97,7 +97,12 @@ impl BufferPool {
     /// `available_at` is when the page's I/O completes (readers before that
     /// instant must wait). Returns `None` when every frame is pinned, in
     /// which case the caller serves the read pass-through.
-    pub fn load(&mut self, pid: PageId, prefetched: bool, available_at: SimTime) -> Option<FrameId> {
+    pub fn load(
+        &mut self,
+        pid: PageId,
+        prefetched: bool,
+        available_at: SimTime,
+    ) -> Option<FrameId> {
         self.load_with(pid, prefetched, available_at, false)
     }
 
@@ -113,7 +118,10 @@ impl BufferPool {
         available_at: SimTime,
         transient: bool,
     ) -> Option<FrameId> {
-        debug_assert!(self.lookup(pid).is_none(), "load of already-resident page {pid}");
+        debug_assert!(
+            self.lookup(pid).is_none(),
+            "load of already-resident page {pid}"
+        );
         let fid = match self.free.pop() {
             Some(fid) => fid,
             None => {
@@ -316,6 +324,9 @@ mod tests {
             b.touch(f1);
         }
         b.load(pid(9), false, SimTime::ZERO).unwrap();
-        assert!(b.lookup(pid(2)).is_none(), "unreferenced page evicted first");
+        assert!(
+            b.lookup(pid(2)).is_none(),
+            "unreferenced page evicted first"
+        );
     }
 }

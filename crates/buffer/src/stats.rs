@@ -54,6 +54,26 @@ impl BufferStats {
         }
     }
 
+    /// Counters accumulated since an earlier snapshot `before` (saturating).
+    /// The serving loop uses this to attribute the shared pool's cumulative
+    /// counters to individual admission waves.
+    pub fn diff(&self, before: &BufferStats) -> BufferStats {
+        BufferStats {
+            hits: self.hits.saturating_sub(before.hits),
+            os_copies: self.os_copies.saturating_sub(before.os_copies),
+            disk_reads: self.disk_reads.saturating_sub(before.disk_reads),
+            prefetch_waits: self.prefetch_waits.saturating_sub(before.prefetch_waits),
+            prefetch_issued: self.prefetch_issued.saturating_sub(before.prefetch_issued),
+            prefetch_already_resident: self
+                .prefetch_already_resident
+                .saturating_sub(before.prefetch_already_resident),
+            prefetch_useful: self.prefetch_useful.saturating_sub(before.prefetch_useful),
+            prefetch_wasted: self.prefetch_wasted.saturating_sub(before.prefetch_wasted),
+            evictions: self.evictions.saturating_sub(before.evictions),
+            pass_through: self.pass_through.saturating_sub(before.pass_through),
+        }
+    }
+
     /// Merge counters from another run (for concurrent-query aggregation).
     pub fn merge(&mut self, other: &BufferStats) {
         self.hits += other.hits;
@@ -75,7 +95,13 @@ mod tests {
 
     #[test]
     fn totals_and_rates() {
-        let s = BufferStats { hits: 3, os_copies: 1, disk_reads: 1, pass_through: 1, ..Default::default() };
+        let s = BufferStats {
+            hits: 3,
+            os_copies: 1,
+            disk_reads: 1,
+            pass_through: 1,
+            ..Default::default()
+        };
         assert_eq!(s.total_reads(), 5, "pass_through is not an extra class");
         assert!((s.hit_rate() - 0.6).abs() < 1e-12);
     }
@@ -89,14 +115,46 @@ mod tests {
 
     #[test]
     fn prefetch_precision() {
-        let s = BufferStats { prefetch_issued: 10, prefetch_useful: 7, ..Default::default() };
+        let s = BufferStats {
+            prefetch_issued: 10,
+            prefetch_useful: 7,
+            ..Default::default()
+        };
         assert!((s.prefetch_precision() - 0.7).abs() < 1e-12);
     }
 
     #[test]
+    fn diff_undoes_merge() {
+        let before = BufferStats {
+            hits: 2,
+            disk_reads: 1,
+            evictions: 4,
+            ..Default::default()
+        };
+        let wave = BufferStats {
+            hits: 3,
+            os_copies: 5,
+            prefetch_issued: 7,
+            ..Default::default()
+        };
+        let mut after = before;
+        after.merge(&wave);
+        assert_eq!(after.diff(&before), wave);
+        assert_eq!(after.diff(&after), BufferStats::default());
+    }
+
+    #[test]
     fn merge_adds_fields() {
-        let mut a = BufferStats { hits: 1, evictions: 2, ..Default::default() };
-        let b = BufferStats { hits: 4, disk_reads: 3, ..Default::default() };
+        let mut a = BufferStats {
+            hits: 1,
+            evictions: 2,
+            ..Default::default()
+        };
+        let b = BufferStats {
+            hits: 4,
+            disk_reads: 3,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.hits, 5);
         assert_eq!(a.disk_reads, 3);

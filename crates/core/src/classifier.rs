@@ -63,7 +63,13 @@ impl PlanClassifier {
             cfg.layers,
             cfg.max_seq_len,
         );
-        let fc1 = Linear::new(&mut params, &mut init, "fc1", cfg.embed_dim, cfg.decoder_hidden);
+        let fc1 = Linear::new(
+            &mut params,
+            &mut init,
+            "fc1",
+            cfg.embed_dim,
+            cfg.decoder_hidden,
+        );
         let fc2 = Linear::new(&mut params, &mut init, "fc2", cfg.decoder_hidden, n_labels);
         PlanClassifier {
             params,
@@ -107,8 +113,7 @@ impl PlanClassifier {
         for _epoch in 0..cfg.epochs {
             order.shuffle(&mut rng);
             for chunk in order.chunks(cfg.batch_size) {
-                let seqs: Vec<&[usize]> =
-                    chunk.iter().map(|&i| self.clip(data[i].0)).collect();
+                let seqs: Vec<&[usize]> = chunk.iter().map(|&i| self.clip(data[i].0)).collect();
                 let mut targets = Tensor::zeros(chunk.len(), self.n_labels);
                 for (r, &i) in chunk.iter().enumerate() {
                     for &lbl in &data[i].1 {
@@ -118,7 +123,9 @@ impl PlanClassifier {
                 }
                 tape.reset();
                 let vars = self.params.inject(&mut tape);
-                let reps = self.encoder.encode_batch(&mut tape, &vars, &seqs, Vocab::PAD);
+                let reps = self
+                    .encoder
+                    .encode_batch(&mut tape, &vars, &seqs, Vocab::PAD);
                 let h = self.fc1.forward(&mut tape, &vars, reps);
                 let h = tape.relu(h);
                 let logits = self.fc2.forward(&mut tape, &vars, h);
@@ -134,7 +141,12 @@ impl PlanClassifier {
                 steps += 1;
             }
         }
-        TrainReport { epochs: cfg.epochs, steps, first_loss, final_loss }
+        TrainReport {
+            epochs: cfg.epochs,
+            steps,
+            first_loss,
+            final_loss,
+        }
     }
 
     /// Continue training from the current parameters on additional examples
@@ -175,13 +187,20 @@ impl PlanClassifier {
         let mut tape = Tape::new();
         let vars = self.params.inject(&mut tape);
         let clipped: Vec<&[usize]> = toks_list.iter().map(|t| self.clip(t)).collect();
-        let reps = self.encoder.encode_batch(&mut tape, &vars, &clipped, Vocab::PAD);
+        let reps = self
+            .encoder
+            .encode_batch(&mut tape, &vars, &clipped, Vocab::PAD);
         let h = self.fc1.forward(&mut tape, &vars, reps);
         let h = tape.relu(h);
         let logits = self.fc2.forward(&mut tape, &vars, h);
         let vals = tape.value(logits);
         (0..vals.rows())
-            .map(|r| vals.row(r).iter().map(|&z| 1.0 / (1.0 + (-z).exp())).collect())
+            .map(|r| {
+                vals.row(r)
+                    .iter()
+                    .map(|&z| 1.0 / (1.0 + (-z).exp()))
+                    .collect()
+            })
             .collect()
     }
 
@@ -227,7 +246,10 @@ mod tests {
     }
 
     fn as_examples(owned: &[(Vec<usize>, Vec<usize>)]) -> Vec<Example<'_>> {
-        owned.iter().map(|(t, l)| (t.as_slice(), l.clone())).collect()
+        owned
+            .iter()
+            .map(|(t, l)| (t.as_slice(), l.clone()))
+            .collect()
     }
 
     fn tiny_cfg() -> PythiaConfig {
@@ -265,7 +287,10 @@ mod tests {
 
     #[test]
     fn long_inputs_are_clipped() {
-        let cfg = PythiaConfig { max_seq_len: 8, ..PythiaConfig::fast() };
+        let cfg = PythiaConfig {
+            max_seq_len: 8,
+            ..PythiaConfig::fast()
+        };
         let clf = PlanClassifier::new(&cfg, 10, 3);
         let long: Vec<usize> = (0..100).map(|i| 2 + i % 8).collect();
         let s = clf.scores(&long);
@@ -292,8 +317,7 @@ mod tests {
         let data = as_examples(&owned);
         let mut clf = PlanClassifier::new(&cfg, 10, 12);
         clf.train(&data, &cfg);
-        let seqs: Vec<Vec<usize>> =
-            vec![vec![2, 5], vec![3, 5, 6, 7, 8], vec![4], vec![2, 6, 7]];
+        let seqs: Vec<Vec<usize>> = vec![vec![2, 5], vec![3, 5, 6, 7, 8], vec![4], vec![2, 6, 7]];
         let refs: Vec<&[usize]> = seqs.iter().map(|s| s.as_slice()).collect();
         let batched = clf.scores_batch(&refs);
         assert_eq!(batched.len(), seqs.len());

@@ -91,7 +91,10 @@ impl PythiaConfig {
     /// Validate invariants.
     pub fn validate(&self) -> Result<(), String> {
         if !self.embed_dim.is_multiple_of(self.heads) {
-            return Err(format!("embed_dim {} not divisible by heads {}", self.embed_dim, self.heads));
+            return Err(format!(
+                "embed_dim {} not divisible by heads {}",
+                self.embed_dim, self.heads
+            ));
         }
         if self.epochs == 0 || self.batch_size == 0 {
             return Err("epochs and batch_size must be positive".into());
@@ -127,7 +130,11 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_heads() {
-        let c = PythiaConfig { embed_dim: 100, heads: 7, ..Default::default() };
+        let c = PythiaConfig {
+            embed_dim: 100,
+            heads: 7,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 }

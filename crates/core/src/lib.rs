@@ -22,9 +22,11 @@
 //!   model, and hand the union of predicted pages to the prefetcher in file
 //!   storage order ([`prefetch`]).
 //!
-//! Beyond the paper's evaluated system, two §7 extensions are implemented:
+//! Beyond the paper's evaluated system, two §7 extensions are implemented —
 //! prefetch-aware query scheduling ([`scheduler`]) and incremental model
-//! refinement ([`predictor::TrainedWorkload::refine`]).
+//! refinement ([`predictor::TrainedWorkload::refine`]) — plus an
+//! admission-controlled serving loop ([`server`]) that batches inference per
+//! admission wave and makes scheduling policies one-flag variants.
 //!
 //! Model architecture (§5.1): tokens → 100-d embeddings (+ sinusoidal
 //! positions) → 2 transformer encoder layers with 10 heads → last-token query
@@ -42,6 +44,7 @@ pub mod prefetch;
 pub mod scheduler;
 pub mod serde_utils;
 pub mod serialize;
+pub mod server;
 pub mod vocab;
 pub mod workload;
 
@@ -49,5 +52,9 @@ pub use config::PythiaConfig;
 pub use metrics::{f1_score, SetMetrics};
 pub use predictor::{train_workload, Prediction, TrainedWorkload};
 pub use serialize::{serialize_plan, ValueBinner};
+pub use server::{
+    InferenceCharge, PrefetchServer, QueryOutcome, QueuePolicy, ServeReport, ServerConfig,
+    ServerRequest, WaveStats,
+};
 pub use vocab::Vocab;
 pub use workload::WorkloadRegistry;

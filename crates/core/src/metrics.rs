@@ -36,8 +36,16 @@ pub fn f1_score(predicted: &BTreeSet<ObjPage>, actual: &BTreeSet<ObjPage>) -> Se
         recall = 1.0;
         f1 = 1.0;
     } else {
-        precision = if predicted.is_empty() { 0.0 } else { correct as f64 / predicted.len() as f64 };
-        recall = if actual.is_empty() { 0.0 } else { correct as f64 / actual.len() as f64 };
+        precision = if predicted.is_empty() {
+            0.0
+        } else {
+            correct as f64 / predicted.len() as f64
+        };
+        recall = if actual.is_empty() {
+            0.0
+        } else {
+            correct as f64 / actual.len() as f64
+        };
         f1 = if precision + recall == 0.0 {
             0.0
         } else {
@@ -71,7 +79,15 @@ impl Distribution {
     /// Summarize a sample (empty samples yield all-zero stats).
     pub fn of(values: &[f64]) -> Distribution {
         if values.is_empty() {
-            return Distribution { mean: 0.0, median: 0.0, q25: 0.0, q75: 0.0, min: 0.0, max: 0.0, n: 0 };
+            return Distribution {
+                mean: 0.0,
+                median: 0.0,
+                q25: 0.0,
+                q75: 0.0,
+                min: 0.0,
+                max: 0.0,
+                n: 0,
+            };
         }
         let mut v = values.to_vec();
         v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
@@ -136,7 +152,11 @@ mod tests {
     fn object_ids_disambiguate_pages() {
         let a: BTreeSet<ObjPage> = [(ObjectId(0), 1)].into_iter().collect();
         let b: BTreeSet<ObjPage> = [(ObjectId(1), 1)].into_iter().collect();
-        assert_eq!(f1_score(&a, &b).f1, 0.0, "same page number, different object");
+        assert_eq!(
+            f1_score(&a, &b).f1,
+            0.0,
+            "same page number, different object"
+        );
     }
 
     #[test]

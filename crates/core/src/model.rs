@@ -35,10 +35,16 @@ pub type CombinedExample<'a> = (&'a [usize], &'a [u32], &'a [u32]);
 #[allow(clippy::large_enum_variant)] // both variants are model-sized; boxing buys nothing
 enum ModelKind {
     /// One classifier per page-range partition.
-    Partitioned { classifiers: Vec<PlanClassifier>, partition_pages: usize },
+    Partitioned {
+        classifiers: Vec<PlanClassifier>,
+        partition_pages: usize,
+    },
     /// One classifier over the k most popular pages; `page_map[label]` is the
     /// real page number.
-    TopK { classifier: PlanClassifier, page_map: Vec<u32> },
+    TopK {
+        classifier: PlanClassifier,
+        page_map: Vec<u32>,
+    },
 }
 
 /// A trained page predictor for one database object.
@@ -71,22 +77,30 @@ impl ObjectModel {
             }
             let mut ranked: Vec<(u32, u32)> = freq.into_iter().collect();
             ranked.sort_unstable_by_key(|&(p, c)| (std::cmp::Reverse(c), p));
-            let page_map: Vec<u32> =
-                ranked.into_iter().take(k.max(1)).map(|(p, _)| p).collect();
-            let page_map = if page_map.is_empty() { vec![0] } else { page_map };
+            let page_map: Vec<u32> = ranked.into_iter().take(k.max(1)).map(|(p, _)| p).collect();
+            let page_map = if page_map.is_empty() {
+                vec![0]
+            } else {
+                page_map
+            };
             let index_of: HashMap<u32, usize> =
                 page_map.iter().enumerate().map(|(i, &p)| (p, i)).collect();
             let data: Vec<Example<'_>> = examples
                 .iter()
                 .map(|&(toks, pages)| {
-                    let labels =
-                        pages.iter().filter_map(|p| index_of.get(p).copied()).collect();
+                    let labels = pages
+                        .iter()
+                        .filter_map(|p| index_of.get(p).copied())
+                        .collect();
                     (toks, labels)
                 })
                 .collect();
             let mut classifier = PlanClassifier::new(cfg, vocab_size, page_map.len());
             classifier.train(&data, cfg);
-            ModelKind::TopK { classifier, page_map }
+            ModelKind::TopK {
+                classifier,
+                page_map,
+            }
         } else {
             let pp = cfg.partition_pages;
             let n_parts = (n_pages as usize).div_ceil(pp);
@@ -106,16 +120,26 @@ impl ObjectModel {
                     })
                     .collect();
                 let mut c = PlanClassifier::new(
-                    &PythiaConfig { seed: cfg.seed.wrapping_add(part as u64), ..cfg.clone() },
+                    &PythiaConfig {
+                        seed: cfg.seed.wrapping_add(part as u64),
+                        ..cfg.clone()
+                    },
                     vocab_size,
                     labels_here,
                 );
                 c.train(&data, cfg);
                 classifiers.push(c);
             }
-            ModelKind::Partitioned { classifiers, partition_pages: pp }
+            ModelKind::Partitioned {
+                classifiers,
+                partition_pages: pp,
+            }
         };
-        ObjectModel { object, n_pages, kind }
+        ObjectModel {
+            object,
+            n_pages,
+            kind,
+        }
     }
 
     /// Continue training this model on additional examples — incremental
@@ -124,7 +148,10 @@ impl ObjectModel {
     /// every partition.
     pub fn refine(&mut self, cfg: &PythiaConfig, examples: &[ObjectExample<'_>]) {
         match &mut self.kind {
-            ModelKind::Partitioned { classifiers, partition_pages } => {
+            ModelKind::Partitioned {
+                classifiers,
+                partition_pages,
+            } => {
                 let pp = *partition_pages;
                 for (part, c) in classifiers.iter_mut().enumerate() {
                     let base = part * pp;
@@ -145,14 +172,19 @@ impl ObjectModel {
                     c.refine(&data, cfg);
                 }
             }
-            ModelKind::TopK { classifier, page_map } => {
+            ModelKind::TopK {
+                classifier,
+                page_map,
+            } => {
                 let index_of: HashMap<u32, usize> =
                     page_map.iter().enumerate().map(|(i, &p)| (p, i)).collect();
                 let data: Vec<Example<'_>> = examples
                     .iter()
                     .map(|&(toks, pages)| {
-                        let labels =
-                            pages.iter().filter_map(|p| index_of.get(p).copied()).collect();
+                        let labels = pages
+                            .iter()
+                            .filter_map(|p| index_of.get(p).copied())
+                            .collect();
                         (toks, labels)
                     })
                     .collect();
@@ -164,7 +196,10 @@ impl ObjectModel {
     /// Predicted pages (sorted ascending — the prefetcher contract).
     pub fn predict(&self, toks: &[usize]) -> Vec<u32> {
         let mut out = match &self.kind {
-            ModelKind::Partitioned { classifiers, partition_pages } => {
+            ModelKind::Partitioned {
+                classifiers,
+                partition_pages,
+            } => {
                 let mut pages = Vec::new();
                 for (part, c) in classifiers.iter().enumerate() {
                     let base = part * partition_pages;
@@ -172,9 +207,14 @@ impl ObjectModel {
                 }
                 pages
             }
-            ModelKind::TopK { classifier, page_map } => {
-                classifier.predict(toks).into_iter().map(|l| page_map[l]).collect()
-            }
+            ModelKind::TopK {
+                classifier,
+                page_map,
+            } => classifier
+                .predict(toks)
+                .into_iter()
+                .map(|l| page_map[l])
+                .collect(),
         };
         out.sort_unstable();
         out
@@ -188,7 +228,10 @@ impl ObjectModel {
     pub fn predict_batch(&self, toks_list: &[&[usize]]) -> Vec<Vec<u32>> {
         let mut out: Vec<Vec<u32>> = vec![Vec::new(); toks_list.len()];
         match &self.kind {
-            ModelKind::Partitioned { classifiers, partition_pages } => {
+            ModelKind::Partitioned {
+                classifiers,
+                partition_pages,
+            } => {
                 for (part, c) in classifiers.iter().enumerate() {
                     let base = part * partition_pages;
                     for (q, labels) in c.predict_batch(toks_list).into_iter().enumerate() {
@@ -196,7 +239,10 @@ impl ObjectModel {
                     }
                 }
             }
-            ModelKind::TopK { classifier, page_map } => {
+            ModelKind::TopK {
+                classifier,
+                page_map,
+            } => {
                 for (q, labels) in classifier.predict_batch(toks_list).into_iter().enumerate() {
                     out[q].extend(labels.into_iter().map(|l| page_map[l]));
                 }
@@ -219,7 +265,10 @@ impl ObjectModel {
                 }
                 all
             }
-            ModelKind::TopK { classifier, page_map } => {
+            ModelKind::TopK {
+                classifier,
+                page_map,
+            } => {
                 let mut all = vec![0.0; self.n_pages as usize];
                 for (l, s) in classifier.scores(toks).into_iter().enumerate() {
                     all[page_map[l] as usize] = s;
@@ -280,7 +329,12 @@ impl CombinedModel {
             .collect();
         let mut classifier = PlanClassifier::new(cfg, vocab_size, n_labels.max(1));
         classifier.train(&data, cfg);
-        CombinedModel { table, index, table_pages, classifier }
+        CombinedModel {
+            table,
+            index,
+            table_pages,
+            classifier,
+        }
     }
 
     /// Predict `(table pages, index pages)`, each sorted.
@@ -328,7 +382,12 @@ mod tests {
     use super::*;
 
     fn cfg() -> PythiaConfig {
-        PythiaConfig { epochs: 80, batch_size: 8, lr: 5e-3, ..PythiaConfig::fast() }
+        PythiaConfig {
+            epochs: 80,
+            batch_size: 8,
+            lr: 5e-3,
+            ..PythiaConfig::fast()
+        }
     }
 
     /// Token 2/3 selects low/high page block. Owned data; borrow with
@@ -343,7 +402,10 @@ mod tests {
     }
 
     fn as_refs(owned: &[(Vec<usize>, Vec<u32>)]) -> Vec<ObjectExample<'_>> {
-        owned.iter().map(|(t, p)| (t.as_slice(), p.as_slice())).collect()
+        owned
+            .iter()
+            .map(|(t, p)| (t.as_slice(), p.as_slice()))
+            .collect()
     }
 
     #[test]
@@ -357,11 +419,14 @@ mod tests {
 
     #[test]
     fn partitioned_model_spans_ranges() {
-        let c = PythiaConfig { partition_pages: 4, ..cfg() };
+        let c = PythiaConfig {
+            partition_pages: 4,
+            ..cfg()
+        };
         let owned = examples();
         let m = ObjectModel::train(&c, 10, ObjectId(0), 10, &as_refs(&owned));
         assert_eq!(m.partition_count(), 3); // 4+4+2
-        // Pages 7-9 live in partitions 1 and 2; prediction must still work.
+                                            // Pages 7-9 live in partitions 1 and 2; prediction must still work.
         assert_eq!(m.predict(&[3, 5]), vec![7, 8, 9]);
         assert_eq!(m.predict(&[2, 5]), vec![0, 1, 2]);
         assert_eq!(m.scores(&[2, 5]).len(), 10);
@@ -369,7 +434,10 @@ mod tests {
 
     #[test]
     fn top_k_limits_label_space() {
-        let c = PythiaConfig { top_k: Some(3), ..cfg() };
+        let c = PythiaConfig {
+            top_k: Some(3),
+            ..cfg()
+        };
         // Make pages 0,1,2 far more frequent than 7,8,9.
         let mut ex = examples();
         for _ in 0..10 {
@@ -380,7 +448,10 @@ mod tests {
         assert_eq!(pred, vec![0, 1, 2]);
         // Pages outside the top-3 can never be predicted.
         let pred_high = m.predict(&[3, 5]);
-        assert!(pred_high.iter().all(|p| [0, 1, 2].contains(p)), "{pred_high:?}");
+        assert!(
+            pred_high.iter().all(|p| [0, 1, 2].contains(p)),
+            "{pred_high:?}"
+        );
     }
 
     #[test]
@@ -410,7 +481,10 @@ mod tests {
 
     #[test]
     fn batched_predict_matches_serial_across_partitions() {
-        let c = PythiaConfig { partition_pages: 4, ..cfg() };
+        let c = PythiaConfig {
+            partition_pages: 4,
+            ..cfg()
+        };
         let owned = examples();
         let m = ObjectModel::train(&c, 10, ObjectId(0), 10, &as_refs(&owned));
         let plans: Vec<Vec<usize>> = vec![vec![2, 5], vec![3, 5], vec![2, 6], vec![3, 6]];

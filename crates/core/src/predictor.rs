@@ -149,8 +149,16 @@ pub fn train_workload(
     // Each fit is a pure function of (cfg, vocab size, pages, examples) with
     // a self-contained RNG, so results are bit-identical to a serial run.
     enum TrainJob {
-        Separate { obj: ObjectId, n_pages: u32 },
-        Combined { table: ObjectId, index: ObjectId, table_pages: u32, index_pages: u32 },
+        Separate {
+            obj: ObjectId,
+            n_pages: u32,
+        },
+        Combined {
+            table: ObjectId,
+            index: ObjectId,
+            table_pages: u32,
+            index_pages: u32,
+        },
     }
     enum TrainOut {
         Separate(ObjectId, ObjectModel),
@@ -183,12 +191,18 @@ pub fn train_workload(
         }
         for &obj in &selected {
             if !used.contains(&obj) {
-                jobs.push(TrainJob::Separate { obj, n_pages: db.object_pages(obj) });
+                jobs.push(TrainJob::Separate {
+                    obj,
+                    n_pages: db.object_pages(obj),
+                });
             }
         }
     } else {
         for &obj in &selected {
-            jobs.push(TrainJob::Separate { obj, n_pages: db.object_pages(obj) });
+            jobs.push(TrainJob::Separate {
+                obj,
+                n_pages: db.object_pages(obj),
+            });
         }
     }
 
@@ -196,9 +210,17 @@ pub fn train_workload(
     let results = parallel_map(&jobs, |_, job| match *job {
         TrainJob::Separate { obj, n_pages } => {
             let examples = object_examples(&token_seqs, &page_sets, obj);
-            TrainOut::Separate(obj, ObjectModel::train(cfg, vocab_len, obj, n_pages, &examples))
+            TrainOut::Separate(
+                obj,
+                ObjectModel::train(cfg, vocab_len, obj, n_pages, &examples),
+            )
         }
-        TrainJob::Combined { table, index, table_pages, index_pages } => {
+        TrainJob::Combined {
+            table,
+            index,
+            table_pages,
+            index_pages,
+        } => {
             let examples: Vec<CombinedExample<'_>> = token_seqs
                 .iter()
                 .zip(&page_sets)
@@ -211,7 +233,13 @@ pub fn train_workload(
                 })
                 .collect();
             TrainOut::Combined(CombinedModel::train(
-                cfg, vocab_len, table, index, table_pages, index_pages, &examples,
+                cfg,
+                vocab_len,
+                table,
+                index,
+                table_pages,
+                index_pages,
+                &examples,
             ))
         }
     });
@@ -252,7 +280,10 @@ fn object_examples<'a>(
         .iter()
         .zip(page_sets)
         .map(|(toks, sets)| {
-            (toks.as_slice(), sets.get(&obj).map(Vec::as_slice).unwrap_or(&[]))
+            (
+                toks.as_slice(),
+                sets.get(&obj).map(Vec::as_slice).unwrap_or(&[]),
+            )
         })
         .collect()
 }
@@ -302,7 +333,12 @@ impl TrainedWorkload {
         }
         enum PredOut {
             Separate(ObjectId, Vec<u32>),
-            Combined { table: ObjectId, tp: Vec<u32>, index: ObjectId, ip: Vec<u32> },
+            Combined {
+                table: ObjectId,
+                tp: Vec<u32>,
+                index: ObjectId,
+                ip: Vec<u32>,
+            },
         }
         let jobs: Vec<PredJob<'_>> = self
             .models
@@ -314,7 +350,12 @@ impl TrainedWorkload {
             PredJob::Separate(obj, model) => PredOut::Separate(*obj, model.predict(&toks)),
             PredJob::Combined(c) => {
                 let (tp, ip) = c.predict(&toks);
-                PredOut::Combined { table: c.table, tp, index: c.index, ip }
+                PredOut::Combined {
+                    table: c.table,
+                    tp,
+                    index: c.index,
+                    ip,
+                }
             }
         });
 
@@ -326,7 +367,12 @@ impl TrainedWorkload {
                         pages.insert(obj, p);
                     }
                 }
-                PredOut::Combined { table, tp, index, ip } => {
+                PredOut::Combined {
+                    table,
+                    tp,
+                    index,
+                    ip,
+                } => {
                     if !tp.is_empty() {
                         pages.entry(table).or_insert_with(Vec::new).extend(tp);
                     }
@@ -355,8 +401,10 @@ impl TrainedWorkload {
         if plans.is_empty() {
             return Vec::new();
         }
-        let toks: Vec<Vec<usize>> =
-            plans.iter().map(|p| self.encode_plan_cached(db, p)).collect();
+        let toks: Vec<Vec<usize>> = plans
+            .iter()
+            .map(|p| self.encode_plan_cached(db, p))
+            .collect();
         let toks_refs: Vec<&[usize]> = toks.iter().map(Vec::as_slice).collect();
 
         enum PredJob<'a> {
@@ -365,7 +413,11 @@ impl TrainedWorkload {
         }
         enum PredOut {
             Separate(ObjectId, Vec<Vec<u32>>),
-            Combined { table: ObjectId, index: ObjectId, preds: Vec<(Vec<u32>, Vec<u32>)> },
+            Combined {
+                table: ObjectId,
+                index: ObjectId,
+                preds: Vec<(Vec<u32>, Vec<u32>)>,
+            },
         }
         let jobs: Vec<PredJob<'_>> = self
             .models
@@ -395,13 +447,25 @@ impl TrainedWorkload {
                         }
                     }
                 }
-                PredOut::Combined { table, index, preds } => {
+                PredOut::Combined {
+                    table,
+                    index,
+                    preds,
+                } => {
                     for (q, (tp, ip)) in preds.into_iter().enumerate() {
                         if !tp.is_empty() {
-                            results[q].pages.entry(table).or_insert_with(Vec::new).extend(tp);
+                            results[q]
+                                .pages
+                                .entry(table)
+                                .or_insert_with(Vec::new)
+                                .extend(tp);
                         }
                         if !ip.is_empty() {
-                            results[q].pages.entry(index).or_insert_with(Vec::new).extend(ip);
+                            results[q]
+                                .pages
+                                .entry(index)
+                                .or_insert_with(Vec::new)
+                                .extend(ip);
                         }
                     }
                 }
@@ -427,8 +491,7 @@ impl TrainedWorkload {
         if plans.is_empty() {
             return;
         }
-        let token_seqs: Vec<Vec<usize>> =
-            plans.iter().map(|p| self.encode_plan(db, p)).collect();
+        let token_seqs: Vec<Vec<usize>> = plans.iter().map(|p| self.encode_plan(db, p)).collect();
         let page_sets: Vec<BTreeMap<ObjectId, Vec<u32>>> =
             traces.iter().map(|t| t.non_sequential_sets()).collect();
         let cfg = self.cfg.clone();
@@ -466,8 +529,15 @@ impl TrainedWorkload {
 
     /// Total model size in bytes (paper §5.1 reports this per template).
     pub fn size_bytes(&self) -> usize {
-        self.models.values().map(ObjectModel::size_bytes).sum::<usize>()
-            + self.combined.iter().map(CombinedModel::size_bytes).sum::<usize>()
+        self.models
+            .values()
+            .map(ObjectModel::size_bytes)
+            .sum::<usize>()
+            + self
+                .combined
+                .iter()
+                .map(CombinedModel::size_bytes)
+                .sum::<usize>()
     }
 }
 
@@ -509,7 +579,11 @@ mod tests {
                 outer_key: 2,
                 inner: dim,
                 inner_index: idx,
-                inner_pred: Some(Pred::Cmp { col: 1, op: CmpOp::Ge, lit: 0 }),
+                inner_pred: Some(Pred::Cmp {
+                    col: 1,
+                    op: CmpOp::Ge,
+                    lit: 0,
+                }),
             };
             let (_, trace) = execute(&plan, &db);
             plans.push(plan);
@@ -519,13 +593,21 @@ mod tests {
     }
 
     fn cfg() -> PythiaConfig {
-        PythiaConfig { epochs: 40, batch_size: 8, lr: 5e-3, ..PythiaConfig::fast() }
+        PythiaConfig {
+            epochs: 40,
+            batch_size: 8,
+            lr: 5e-3,
+            ..PythiaConfig::fast()
+        }
     }
 
     /// Interleaved train/test split: every 6th query is held out, so test
     /// parameters fall *inside* the trained range (the paper's unseen
     /// queries are from the same workload distribution, not extrapolations).
-    fn split(plans: &[PlanNode], traces: &[Trace]) -> (Vec<PlanNode>, Vec<Trace>, Vec<PlanNode>, Vec<Trace>) {
+    fn split(
+        plans: &[PlanNode],
+        traces: &[Trace],
+    ) -> (Vec<PlanNode>, Vec<Trace>, Vec<PlanNode>, Vec<Trace>) {
         let mut tr_p = Vec::new();
         let mut tr_t = Vec::new();
         let mut te_p = Vec::new();
@@ -582,15 +664,24 @@ mod tests {
                 break;
             }
         }
-        assert!(mean > 0.4, "held-out F1 too low even at max epochs: {mean:.3}");
+        assert!(
+            mean > 0.4,
+            "held-out F1 too low even at max epochs: {mean:.3}"
+        );
     }
 
     #[test]
     fn restrict_objects_limits_models() {
         let (db, plans, traces) = mini_star();
         let dim_obj = db.table_info(db.table("dim").unwrap()).object;
-        let tw =
-            train_workload(&db, "mini", &plans[..12], &traces[..12], Some(&[dim_obj]), &cfg());
+        let tw = train_workload(
+            &db,
+            "mini",
+            &plans[..12],
+            &traces[..12],
+            Some(&[dim_obj]),
+            &cfg(),
+        );
         assert_eq!(tw.models.len(), 1);
         assert!(tw.models.contains_key(&dim_obj));
     }
@@ -598,7 +689,10 @@ mod tests {
     #[test]
     fn combined_mode_builds_joint_models() {
         let (db, plans, traces) = mini_star();
-        let c = PythiaConfig { combined_index_base: true, ..cfg() };
+        let c = PythiaConfig {
+            combined_index_base: true,
+            ..cfg()
+        };
         let tw = train_workload(&db, "mini", &plans[..12], &traces[..12], None, &c);
         assert_eq!(tw.combined.len(), 1, "dim heap + dim index pair");
         assert!(tw.models.is_empty());
@@ -636,8 +730,9 @@ mod tests {
         let high_train: Vec<usize> = (0..36)
             .filter(|&q| (q as i64 * 31) % 900 >= 450 && q % 6 != 5)
             .collect();
-        let high_test: Vec<usize> =
-            (0..36).filter(|&q| (q as i64 * 31) % 900 >= 450 && q % 6 == 5).collect();
+        let high_test: Vec<usize> = (0..36)
+            .filter(|&q| (q as i64 * 31) % 900 >= 450 && q % 6 == 5)
+            .collect();
         assert!(!high_test.is_empty());
 
         let pick = |idx: &[usize]| -> (Vec<PlanNode>, Vec<Trace>) {

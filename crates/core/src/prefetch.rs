@@ -25,7 +25,10 @@ pub fn prefetch_list(db: &Database, prediction: &Prediction) -> Vec<PageId> {
     for obj in objs {
         let file = db.object_file(obj);
         let pages = &prediction.pages[&obj];
-        debug_assert!(pages.windows(2).all(|w| w[0] <= w[1]), "pages must be sorted");
+        debug_assert!(
+            pages.windows(2).all(|w| w[0] <= w[1]),
+            "pages must be sorted"
+        );
         out.extend(pages.iter().map(|&p| PageId::new(file, p)));
     }
     out
@@ -43,7 +46,11 @@ mod tests {
     use pythia_db::catalog::Database;
     use pythia_db::types::Schema;
 
-    fn db_with_index() -> (Database, pythia_db::catalog::ObjectId, pythia_db::catalog::ObjectId) {
+    fn db_with_index() -> (
+        Database,
+        pythia_db::catalog::ObjectId,
+        pythia_db::catalog::ObjectId,
+    ) {
         let mut db = Database::new();
         let t = db.create_table("t", Schema::ints(&["a", "b"]));
         for i in 0..2000 {

@@ -30,22 +30,34 @@ fn jaccard(a: &BTreeSet<PageId>, b: &BTreeSet<PageId>) -> f64 {
 /// of `0..n`: start from the query with the largest prediction (the best
 /// "seed" for the buffer pool), then repeatedly append the unscheduled query
 /// most similar to the last scheduled one.
+///
+/// Ties break toward the lowest query index (i.e. arrival order), so the
+/// permutation is a deterministic function of the prediction sets — the
+/// serving loop relies on this to keep replays reproducible. In particular,
+/// all-empty prediction sets (every pair has Jaccard 1.0) degrade to FIFO.
 pub fn schedule_by_overlap(predictions: &[Vec<PageId>]) -> Vec<usize> {
     let n = predictions.len();
     if n == 0 {
         return Vec::new();
     }
-    let sets: Vec<BTreeSet<PageId>> =
-        predictions.iter().map(|p| p.iter().copied().collect()).collect();
+    let sets: Vec<BTreeSet<PageId>> = predictions
+        .iter()
+        .map(|p| p.iter().copied().collect())
+        .collect();
 
+    // `remaining` stays sorted by query index (we use `remove`, never
+    // `swap_remove`), so "first maximal element" == "lowest query index".
     let mut remaining: Vec<usize> = (0..n).collect();
     let seed_pos = remaining
         .iter()
         .enumerate()
-        .max_by_key(|(_, &i)| sets[i].len())
+        .max_by(|(pa, &a), (pb, &b)| sets[a].len().cmp(&sets[b].len()).then(pb.cmp(pa)))
+        // `Iterator::max_by` keeps the LAST maximal element; the `.then`
+        // position tie-break above inverts that to "first maximal", i.e.
+        // lowest index.
         .map(|(pos, _)| pos)
         .expect("non-empty");
-    let mut order = vec![remaining.swap_remove(seed_pos)];
+    let mut order = vec![remaining.remove(seed_pos)];
 
     while !remaining.is_empty() {
         let last = *order.last().expect("non-empty order");
@@ -53,17 +65,19 @@ pub fn schedule_by_overlap(predictions: &[Vec<PageId>]) -> Vec<usize> {
             .iter()
             .enumerate()
             .map(|(pos, &i)| (pos, jaccard(&sets[last], &sets[i])))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN").then(b.0.cmp(&a.0)))
             .expect("non-empty remaining");
-        order.push(remaining.swap_remove(pos));
+        order.push(remaining.remove(pos));
     }
     order
 }
 
 /// Total consecutive-pair overlap of an ordering (diagnostics / tests).
 pub fn consecutive_overlap(predictions: &[Vec<PageId>], order: &[usize]) -> f64 {
-    let sets: Vec<BTreeSet<PageId>> =
-        predictions.iter().map(|p| p.iter().copied().collect()).collect();
+    let sets: Vec<BTreeSet<PageId>> = predictions
+        .iter()
+        .map(|p| p.iter().copied().collect())
+        .collect();
     order
         .windows(2)
         .map(|w| jaccard(&sets[w[0]], &sets[w[1]]))
@@ -91,8 +105,9 @@ mod tests {
         let order = schedule_by_overlap(&preds);
         assert_eq!(order.len(), 4);
         // Cluster members must be adjacent.
-        let pos: Vec<usize> =
-            (0..4).map(|q| order.iter().position(|&x| x == q).unwrap()).collect();
+        let pos: Vec<usize> = (0..4)
+            .map(|q| order.iter().position(|&x| x == q).unwrap())
+            .collect();
         assert_eq!((pos[0] as i64 - pos[2] as i64).abs(), 1, "{order:?}");
         assert_eq!((pos[1] as i64 - pos[3] as i64).abs(), 1, "{order:?}");
     }
@@ -127,5 +142,47 @@ mod tests {
     fn empty_and_single() {
         assert!(schedule_by_overlap(&[]).is_empty());
         assert_eq!(schedule_by_overlap(&[pages(&[1])]), vec![0]);
+    }
+
+    #[test]
+    fn ties_break_toward_arrival_order() {
+        // Four identical sets: every seed candidate and every chain step is a
+        // tie, so the schedule must be exactly FIFO — not whatever internal
+        // iteration order `max_by` happens to keep.
+        let preds = vec![pages(&[7, 8]); 4];
+        assert_eq!(schedule_by_overlap(&preds), vec![0, 1, 2, 3]);
+
+        // Two equally-similar candidates after a distinct seed: lowest index
+        // wins the tie.
+        let preds = vec![
+            pages(&[1, 2]),       // ties with 2 for the chain step
+            pages(&[1, 2, 3, 4]), // unique largest set: the seed
+            pages(&[3, 4]),       // same Jaccard to the seed as 0
+        ];
+        assert_eq!(schedule_by_overlap(&preds), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn all_empty_sets_degrade_to_fifo() {
+        // Empty predictions (e.g. a cold registry) have pairwise Jaccard 1.0
+        // everywhere; the schedule must still be deterministic: FIFO.
+        let preds = vec![pages(&[]); 5];
+        assert_eq!(schedule_by_overlap(&preds), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn schedule_is_reproducible() {
+        let preds = vec![
+            pages(&[1, 2, 3]),
+            pages(&[]),
+            pages(&[2, 3]),
+            pages(&[9]),
+            pages(&[1, 9]),
+            pages(&[]),
+        ];
+        let first = schedule_by_overlap(&preds);
+        for _ in 0..10 {
+            assert_eq!(schedule_by_overlap(&preds), first);
+        }
     }
 }

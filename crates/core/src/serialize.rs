@@ -44,7 +44,8 @@ const PYRAMID: [i64; 3] = [8, 64, 512];
 /// so a test query's value tokens are never `[UNK]` even when the exact
 /// parameter value was absent from training.
 pub fn standard_value_tokens() -> Vec<String> {
-    let mut out = Vec::with_capacity(PYRAMID.iter().sum::<i64>() as usize + EXACT_DOMAIN as usize + 1);
+    let mut out =
+        Vec::with_capacity(PYRAMID.iter().sum::<i64>() as usize + EXACT_DOMAIN as usize + 1);
     for &levels in &PYRAMID {
         for b in 0..levels {
             out.push(format!("b{levels}:{b}"));
@@ -90,7 +91,13 @@ impl ValueBinner {
             }
             for c in 0..arity {
                 if mins[c] <= maxs[c] {
-                    stats.insert((t.object, c), ColumnStats { min: mins[c], max: maxs[c] });
+                    stats.insert(
+                        (t.object, c),
+                        ColumnStats {
+                            min: mins[c],
+                            max: maxs[c],
+                        },
+                    );
                 }
             }
         }
@@ -133,8 +140,28 @@ fn emit_pred(
             binner.value_tokens(obj, *col, *lit, out);
         }
         Pred::Between { col, lo, hi } => {
-            emit_pred(db, binner, table, &Pred::Cmp { col: *col, op: CmpOp::Ge, lit: *lo }, out);
-            emit_pred(db, binner, table, &Pred::Cmp { col: *col, op: CmpOp::Le, lit: *hi }, out);
+            emit_pred(
+                db,
+                binner,
+                table,
+                &Pred::Cmp {
+                    col: *col,
+                    op: CmpOp::Ge,
+                    lit: *lo,
+                },
+                out,
+            );
+            emit_pred(
+                db,
+                binner,
+                table,
+                &Pred::Cmp {
+                    col: *col,
+                    op: CmpOp::Le,
+                    lit: *hi,
+                },
+                out,
+            );
         }
         Pred::In { col, set } => {
             out.push("[PRED]".into());
@@ -162,7 +189,13 @@ fn walk(db: &Database, binner: &ValueBinner, node: &PlanNode, out: &mut Vec<Stri
                 emit_pred(db, binner, *table, p, out);
             }
         }
-        PlanNode::IndexScan { table, index, lo, hi, residual } => {
+        PlanNode::IndexScan {
+            table,
+            index,
+            lo,
+            hi,
+            residual,
+        } => {
             out.push("[IDX]".into());
             out.push(format!("idx:{}", db.index_info(*index).name));
             out.push(format!("rel:{}", db.table_info(*table).name));
@@ -171,14 +204,24 @@ fn walk(db: &Database, binner: &ValueBinner, node: &PlanNode, out: &mut Vec<Stri
                 db,
                 binner,
                 *table,
-                &Pred::Between { col: key_col, lo: *lo, hi: *hi },
+                &Pred::Between {
+                    col: key_col,
+                    lo: *lo,
+                    hi: *hi,
+                },
                 out,
             );
             if let Some(p) = residual {
                 emit_pred(db, binner, *table, p, out);
             }
         }
-        PlanNode::IndexNLJoin { outer, inner, inner_index, inner_pred, .. } => {
+        PlanNode::IndexNLJoin {
+            outer,
+            inner,
+            inner_index,
+            inner_pred,
+            ..
+        } => {
             out.push("[NLJ]".into());
             walk(db, binner, outer, out);
             out.push("[IDX]".into());
@@ -299,12 +342,19 @@ mod tests {
             input: Box::new(PlanNode::IndexNLJoin {
                 outer: Box::new(PlanNode::SeqScan {
                     table: fact,
-                    pred: Some(Pred::Between { col: 1, lo: 100, hi: 200 }),
+                    pred: Some(Pred::Between {
+                        col: 1,
+                        lo: 100,
+                        hi: 200,
+                    }),
                 }),
                 outer_key: 2,
                 inner: dim,
                 inner_index: idx,
-                inner_pred: Some(Pred::In { col: 1, set: vec![1, 3] }),
+                inner_pred: Some(Pred::In {
+                    col: 1,
+                    set: vec![1, 3],
+                }),
             }),
             group_col: None,
             agg: AggFunc::CountStar,
@@ -325,7 +375,11 @@ mod tests {
                 &b,
                 &PlanNode::SeqScan {
                     table: fact,
-                    pred: Some(Pred::Cmp { col: 1, op: CmpOp::Ge, lit: lo }),
+                    pred: Some(Pred::Cmp {
+                        col: 1,
+                        op: CmpOp::Ge,
+                        lit: lo,
+                    }),
                 },
             )
         };
@@ -333,7 +387,10 @@ mod tests {
         let c = mk(900);
         assert_eq!(a.len(), c.len());
         let diffs = a.iter().zip(&c).filter(|(x, y)| x != y).count();
-        assert!(diffs >= 1 && diffs <= 3, "only value tokens differ: {diffs}");
+        assert!(
+            diffs >= 1 && diffs <= 3,
+            "only value tokens differ: {diffs}"
+        );
     }
 
     #[test]
@@ -342,7 +399,10 @@ mod tests {
         let b = ValueBinner::from_database(&db);
         let plan = PlanNode::SeqScan {
             table: fact,
-            pred: Some(Pred::In { col: 2, set: (0..20).collect() }),
+            pred: Some(Pred::In {
+                col: 2,
+                set: (0..20).collect(),
+            }),
         };
         let toks = serialize_plan(&db, &b, &plan);
         // dkey's domain (0..49) exceeds EXACT_DOMAIN, so each of the capped
@@ -357,7 +417,10 @@ mod tests {
         let (db, fact, _dim, _idx) = sample_db();
         let b = ValueBinner::from_database(&db);
         let plan = PlanNode::Sort {
-            input: Box::new(PlanNode::SeqScan { table: fact, pred: None }),
+            input: Box::new(PlanNode::SeqScan {
+                table: fact,
+                pred: None,
+            }),
             col: 0,
         };
         let toks = serialize_plan(&db, &b, &plan);

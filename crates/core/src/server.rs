@@ -1,0 +1,732 @@
+//! Admission-controlled prefetch serving loop.
+//!
+//! The paper's §5.4 experiments replay *pre-built* batches of concurrent
+//! queries. A deployed Pythia sits in front of a live queue instead: queries
+//! arrive on their own schedule, the database admits at most a configurable
+//! number of them at once, and the model is invoked per *admission wave* so
+//! inference batches naturally with load (the batched forward pass of
+//! [`TrainedWorkload::infer_batch`] amortizes across everything queued).
+//!
+//! [`PrefetchServer`] is that loop over the virtual-clock stack:
+//!
+//! 1. requests arrive as offsets on the stack's clock ([`ServerRequest`]);
+//! 2. when the queue is non-empty, one batched inference covers every queued
+//!    query that has no prediction yet, and each covered query is charged the
+//!    amortized per-query latency ([`InferenceCharge`]);
+//! 3. up to `concurrency` queries are admitted under the [`QueuePolicy`] —
+//!    FIFO, or the §7 overlap scheduler ([`schedule_by_overlap`]) so
+//!    consecutive admissions share predicted pages;
+//! 4. the wave replays concurrently through [`Runtime::run`] with its capped
+//!    prefetch plans, and the shared pool's counters are attributed to the
+//!    wave by snapshot diff ([`BufferStats::diff`]).
+//!
+//! With `concurrency = 1`, FIFO policy and a fixed inference charge, the
+//! serving loop is *bit-identical* to calling [`Runtime::run`] serially per
+//! query on one warm stack — the property the proptest in
+//! `tests/proptest_server.rs` pins down. Scheduling extensions are therefore
+//! one-flag variants of the same loop, not separate harnesses.
+
+use pythia_buffer::BufferStats;
+use pythia_db::catalog::Database;
+use pythia_db::plan::PlanNode;
+use pythia_db::runtime::{QueryRun, RunConfig, Runtime};
+use pythia_db::trace::Trace;
+use pythia_sim::{PageId, SimDuration, SimTime};
+
+use crate::predictor::TrainedWorkload;
+use crate::prefetch::{cap_to_budget, prefetch_list};
+use crate::scheduler::schedule_by_overlap;
+
+/// How the serving loop picks the next admission wave from the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueuePolicy {
+    /// Admit in arrival order.
+    Fifo,
+    /// Order the whole queue with [`schedule_by_overlap`] on the predicted
+    /// page sets and admit the head of that chain, so consecutive waves find
+    /// their working sets resident. Degrades to FIFO when predictions are
+    /// absent or empty (the scheduler's all-empty tie-break).
+    Overlap,
+}
+
+/// How model-inference latency is charged to admitted queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InferenceCharge {
+    /// Measure the actual wall-clock time of the batched forward pass and
+    /// charge each covered query the amortized share (wall / batch size).
+    Measured,
+    /// Charge every covered query this fixed latency. Use this in tests:
+    /// virtual timings become independent of host speed.
+    Fixed(SimDuration),
+}
+
+/// Serving-loop configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Maximum queries admitted per wave (values below 1 behave as 1).
+    pub concurrency: usize,
+    /// Queue ordering policy.
+    pub policy: QueuePolicy,
+    /// Inference-latency accounting.
+    pub charge: InferenceCharge,
+    /// Prefetch budget in pages per query; `None` uses 3/4 of the pool
+    /// (limited prefetching, §5.1).
+    pub prefetch_budget: Option<usize>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            concurrency: 4,
+            policy: QueuePolicy::Fifo,
+            charge: InferenceCharge::Measured,
+            prefetch_budget: None,
+        }
+    }
+}
+
+/// One incoming query: its plan (for inference), its recorded trace (for
+/// replay) and its arrival offset from the instant [`PrefetchServer::serve`]
+/// is called (i.e. from the stack's current clock).
+#[derive(Debug, Clone, Copy)]
+pub struct ServerRequest<'a> {
+    pub plan: &'a PlanNode,
+    pub trace: &'a Trace,
+    pub arrival: SimDuration,
+}
+
+/// Per-query serving outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryOutcome {
+    /// When the query arrived (absolute virtual time).
+    pub arrival: SimTime,
+    /// When its admission wave was dispatched.
+    pub admitted: SimTime,
+    /// When replay began (admission + inference charge).
+    pub start: SimTime,
+    /// When replay finished.
+    pub end: SimTime,
+    /// Index of the admission wave that served it.
+    pub wave: usize,
+    /// Inference latency charged to this query.
+    pub inference: SimDuration,
+}
+
+impl QueryOutcome {
+    /// Time spent queued before admission.
+    pub fn admission_wait(&self) -> SimDuration {
+        self.admitted.since(self.arrival)
+    }
+
+    /// End-to-end latency: arrival to completion (includes queueing and
+    /// inference).
+    pub fn latency(&self) -> SimDuration {
+        self.end.since(self.arrival)
+    }
+}
+
+/// Per-wave serving metrics.
+#[derive(Debug, Clone, Copy)]
+pub struct WaveStats {
+    /// When the wave was dispatched.
+    pub admitted_at: SimTime,
+    /// Queries admitted in this wave (≤ `concurrency`).
+    pub occupancy: usize,
+    /// Queue depth at dispatch (admitted + still waiting).
+    pub queue_depth: usize,
+    /// Queries covered by this wave's batched inference call.
+    pub inferred: usize,
+    /// Total inference latency charged to this wave's queries.
+    pub inference: SimDuration,
+    /// Buffer/prefetch counters accumulated during this wave's replay.
+    pub stats: BufferStats,
+}
+
+/// Result of serving one request stream.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Outcomes in the same order as the input requests.
+    pub queries: Vec<QueryOutcome>,
+    /// One entry per admission wave, in dispatch order.
+    pub waves: Vec<WaveStats>,
+    /// Counters accumulated across the whole serve call.
+    pub stats: BufferStats,
+}
+
+impl ServeReport {
+    /// Wall time from first arrival to last completion.
+    pub fn makespan(&self) -> SimDuration {
+        let first = self
+            .queries
+            .iter()
+            .map(|q| q.arrival)
+            .min()
+            .unwrap_or(SimTime::ZERO);
+        let last = self.queries.iter().map(|q| q.end).max().unwrap_or(first);
+        last.since(first)
+    }
+
+    /// Mean time queries spent queued before admission.
+    pub fn mean_admission_wait(&self) -> SimDuration {
+        if self.queries.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let total: u64 = self
+            .queries
+            .iter()
+            .map(|q| q.admission_wait().as_micros())
+            .sum();
+        SimDuration::from_micros(total / self.queries.len() as u64)
+    }
+
+    /// Mean queries admitted per wave.
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.waves.is_empty() {
+            return 0.0;
+        }
+        self.waves.iter().map(|w| w.occupancy).sum::<usize>() as f64 / self.waves.len() as f64
+    }
+
+    /// Largest queue depth seen at any dispatch.
+    pub fn max_queue_depth(&self) -> usize {
+        self.waves.iter().map(|w| w.queue_depth).max().unwrap_or(0)
+    }
+
+    /// Completed queries per virtual second.
+    pub fn throughput_qps(&self) -> f64 {
+        let secs = self.makespan().as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.queries.len() as f64 / secs
+        }
+    }
+
+    /// Serving report: admission metrics, per-wave occupancy and the buffer
+    /// manager's read-class breakdown.
+    pub fn report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Serving report ({} queries, {} waves)",
+            self.queries.len(),
+            self.waves.len()
+        );
+        for (i, w) in self.waves.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  wave {i}: at {} occupancy {} queue depth {} inferred {} inference {}",
+                w.admitted_at, w.occupancy, w.queue_depth, w.inferred, w.inference
+            );
+        }
+        let _ = writeln!(out, "  makespan: {}", self.makespan());
+        let _ = writeln!(out, "  throughput: {:.2} q/s", self.throughput_qps());
+        let _ = writeln!(
+            out,
+            "  admission: mean wait {}, mean occupancy {:.2}, max queue depth {}",
+            self.mean_admission_wait(),
+            self.mean_occupancy(),
+            self.max_queue_depth()
+        );
+        let s = &self.stats;
+        let _ = writeln!(
+            out,
+            "  reads: {} total = {} buffer hits ({:.1}%) + {} OS-cache copies + {} disk reads",
+            s.total_reads(),
+            s.hits,
+            s.hit_rate() * 100.0,
+            s.os_copies,
+            s.disk_reads
+        );
+        let _ = writeln!(
+            out,
+            "  prefetch: {} issued, {} useful ({:.1}% precision), {} wasted",
+            s.prefetch_issued,
+            s.prefetch_useful,
+            s.prefetch_precision() * 100.0,
+            s.prefetch_wasted
+        );
+        out
+    }
+}
+
+/// A computed prediction for a queued query: its ordered prefetch list and
+/// the inference latency it was charged.
+#[derive(Debug, Clone)]
+struct PredEntry {
+    list: Vec<PageId>,
+    charge: SimDuration,
+}
+
+/// The admission-controlled serving loop over one warm replay stack.
+pub struct PrefetchServer<'d> {
+    db: &'d Database,
+    rt: Runtime,
+    cfg: ServerConfig,
+    predictor: Option<&'d TrainedWorkload>,
+}
+
+impl<'d> PrefetchServer<'d> {
+    /// Build a server over a cold stack, with no predictor (the DFLT
+    /// baseline: every query replays without prefetching).
+    pub fn new(db: &'d Database, run_cfg: &RunConfig, cfg: ServerConfig) -> Self {
+        PrefetchServer {
+            db,
+            rt: Runtime::new(run_cfg, db.file_lengths()),
+            cfg,
+            predictor: None,
+        }
+    }
+
+    /// Attach a trained Pythia instance: admitted queries get capped prefetch
+    /// plans, with inference batched per admission wave.
+    pub fn with_predictor(mut self, tw: &'d TrainedWorkload) -> Self {
+        self.predictor = Some(tw);
+        self
+    }
+
+    /// The underlying replay stack (clock and cumulative counters).
+    pub fn runtime(&self) -> &Runtime {
+        &self.rt
+    }
+
+    /// Cold restart of the underlying stack.
+    pub fn reset(&mut self) {
+        self.rt.reset();
+    }
+
+    /// Serve a stream of requests to completion and report per-query,
+    /// per-wave and aggregate metrics. The stack stays warm across calls.
+    pub fn serve(&mut self, requests: &[ServerRequest<'_>]) -> ServeReport {
+        let base = self.rt.now();
+        let start_stats = self.rt.stats();
+        let n = requests.len();
+        let abs: Vec<SimTime> = requests.iter().map(|r| base + r.arrival).collect();
+        // Arrival order, stable by request index.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| (abs[i], i));
+
+        let budget = self
+            .cfg
+            .prefetch_budget
+            .unwrap_or(self.rt.pool_frames() * 3 / 4);
+        let mut preds: Vec<Option<PredEntry>> = vec![None; n];
+        let mut outcomes: Vec<Option<QueryOutcome>> = vec![None; n];
+        let mut waves: Vec<WaveStats> = Vec::new();
+        let mut queue: Vec<usize> = Vec::new();
+        let mut next = 0usize;
+
+        while next < n || !queue.is_empty() {
+            // Pull in everything that has arrived by the current clock.
+            while next < n && abs[order[next]] <= self.rt.now() {
+                queue.push(order[next]);
+                next += 1;
+            }
+            if queue.is_empty() {
+                // Idle until the next arrival.
+                self.rt.advance_to(abs[order[next]]);
+                continue;
+            }
+            let admitted_at = self.rt.now();
+            let queue_depth = queue.len();
+
+            // One batched inference over every queued query lacking a
+            // prediction: the whole queue, not just this wave, so the overlap
+            // policy can schedule over everything it has seen.
+            let mut inferred = 0usize;
+            if let Some(tw) = self.predictor {
+                let missing: Vec<usize> = queue
+                    .iter()
+                    .copied()
+                    .filter(|&i| preds[i].is_none())
+                    .collect();
+                if !missing.is_empty() {
+                    let plans: Vec<&PlanNode> = missing.iter().map(|&i| requests[i].plan).collect();
+                    let t0 = std::time::Instant::now();
+                    let batch = tw.infer_batch(self.db, &plans);
+                    let charge = match self.cfg.charge {
+                        InferenceCharge::Fixed(d) => d,
+                        InferenceCharge::Measured => SimDuration::from_micros(
+                            t0.elapsed().as_micros() as u64 / missing.len() as u64,
+                        ),
+                    };
+                    inferred = missing.len();
+                    for (&i, pred) in missing.iter().zip(batch) {
+                        preds[i] = Some(PredEntry {
+                            list: prefetch_list(self.db, &pred),
+                            charge,
+                        });
+                    }
+                }
+            }
+
+            // Select this wave's members under the queue policy.
+            let take = self.cfg.concurrency.max(1).min(queue.len());
+            let members: Vec<usize> = match self.cfg.policy {
+                QueuePolicy::Fifo => queue[..take].to_vec(),
+                QueuePolicy::Overlap => {
+                    let sets: Vec<Vec<PageId>> = queue
+                        .iter()
+                        .map(|&i| {
+                            preds[i]
+                                .as_ref()
+                                .map(|e| e.list.clone())
+                                .unwrap_or_default()
+                        })
+                        .collect();
+                    let perm = schedule_by_overlap(&sets);
+                    perm[..take].iter().map(|&p| queue[p]).collect()
+                }
+            };
+            queue.retain(|i| !members.contains(i));
+
+            // Dispatch the wave into concurrent replay; new arrivals wait for
+            // the wave to drain.
+            let runs: Vec<QueryRun<'_>> = members
+                .iter()
+                .map(|&i| {
+                    let (prefetch, inference) = match &preds[i] {
+                        Some(e) if !e.list.is_empty() => {
+                            (Some(cap_to_budget(e.list.clone(), budget)), e.charge)
+                        }
+                        Some(e) => (None, e.charge),
+                        None => (None, SimDuration::ZERO),
+                    };
+                    QueryRun {
+                        trace: requests[i].trace,
+                        prefetch,
+                        arrival: SimDuration::ZERO,
+                        inference_latency: inference,
+                    }
+                })
+                .collect();
+            let before = self.rt.stats();
+            let res = self.rt.run(&runs);
+            let wave_idx = waves.len();
+            let mut wave_inference = SimDuration::ZERO;
+            for (k, &i) in members.iter().enumerate() {
+                let t = res.timings[k];
+                wave_inference += runs[k].inference_latency;
+                outcomes[i] = Some(QueryOutcome {
+                    arrival: abs[i],
+                    admitted: admitted_at,
+                    start: t.start,
+                    end: t.end,
+                    wave: wave_idx,
+                    inference: runs[k].inference_latency,
+                });
+            }
+            waves.push(WaveStats {
+                admitted_at,
+                occupancy: members.len(),
+                queue_depth,
+                inferred,
+                inference: wave_inference,
+                stats: res.stats.diff(&before),
+            });
+        }
+
+        let queries = outcomes
+            .into_iter()
+            .map(|o| o.expect("every request was dispatched"))
+            .collect();
+        ServeReport {
+            queries,
+            waves,
+            stats: self.rt.stats().diff(&start_stats),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PythiaConfig;
+    use crate::predictor::train_workload;
+    use pythia_db::exec::execute;
+    use pythia_db::expr::Pred;
+    use pythia_db::trace::{AccessKind, TraceEvent};
+    use pythia_db::types::Schema;
+    use pythia_sim::FileId;
+
+    fn read_ev(p: u32) -> TraceEvent {
+        TraceEvent::Read {
+            obj: pythia_db::catalog::ObjectId(0),
+            page: PageId::new(FileId(0), p),
+            kind: AccessKind::HeapFetch,
+        }
+    }
+
+    /// `n` random heap reads with CPU work between them.
+    fn random_trace(n: u32) -> Trace {
+        let mut events = Vec::new();
+        for i in 0..n {
+            events.push(read_ev((i * 37) % 10_000));
+            events.push(TraceEvent::Cpu { units: 2 });
+        }
+        Trace { events }
+    }
+
+    fn run_cfg() -> RunConfig {
+        RunConfig {
+            pool_frames: 2048,
+            os_cache_pages: 16384,
+            ..Default::default()
+        }
+    }
+
+    /// A database whose file 0 is big enough for the synthetic traces, plus a
+    /// trivial plan (the predictor-less tests never run inference, but
+    /// [`ServerRequest`] still wants a plan).
+    fn dummy_db_and_plan() -> (Database, PlanNode) {
+        let mut db = Database::new();
+        let t = db.create_table("t", Schema::ints(&["a"]));
+        for i in 0..60_000i64 {
+            db.insert(t, Database::row(&[i]));
+        }
+        let plan = PlanNode::SeqScan {
+            table: t,
+            pred: None,
+        };
+        (db, plan)
+    }
+
+    fn fixed_cfg(concurrency: usize, policy: QueuePolicy) -> ServerConfig {
+        ServerConfig {
+            concurrency,
+            policy,
+            charge: InferenceCharge::Fixed(SimDuration::ZERO),
+            prefetch_budget: None,
+        }
+    }
+
+    #[test]
+    fn empty_request_stream() {
+        let (db, _) = dummy_db_and_plan();
+        let mut srv = PrefetchServer::new(&db, &run_cfg(), ServerConfig::default());
+        let rep = srv.serve(&[]);
+        assert!(rep.queries.is_empty());
+        assert!(rep.waves.is_empty());
+        assert_eq!(rep.makespan(), SimDuration::ZERO);
+        assert_eq!(rep.throughput_qps(), 0.0);
+    }
+
+    #[test]
+    fn admission_respects_concurrency_limit() {
+        let (db, plan) = dummy_db_and_plan();
+        let t = random_trace(40);
+        // Three simultaneous arrivals, then one far in the future.
+        let late = SimDuration::from_secs(3600);
+        let reqs: Vec<ServerRequest<'_>> = [
+            SimDuration::ZERO,
+            SimDuration::ZERO,
+            SimDuration::ZERO,
+            late,
+        ]
+        .iter()
+        .map(|&arrival| ServerRequest {
+            plan: &plan,
+            trace: &t,
+            arrival,
+        })
+        .collect();
+
+        let mut srv = PrefetchServer::new(&db, &run_cfg(), fixed_cfg(2, QueuePolicy::Fifo));
+        let rep = srv.serve(&reqs);
+
+        // Wave 0 admits two of the three simultaneous arrivals (queue depth
+        // 3), wave 1 the leftover, wave 2 the late one after idling forward.
+        assert_eq!(rep.waves.len(), 3);
+        assert_eq!(rep.waves[0].occupancy, 2);
+        assert_eq!(rep.waves[0].queue_depth, 3);
+        assert_eq!(rep.waves[1].occupancy, 1);
+        assert_eq!(rep.waves[2].occupancy, 1);
+        assert!(rep.waves[2].admitted_at >= SimTime::ZERO + late);
+        assert_eq!(rep.max_queue_depth(), 3);
+
+        // FIFO: the third arrival waited for the first wave to drain.
+        assert_eq!(rep.queries[2].wave, 1);
+        assert!(rep.queries[2].admission_wait() > SimDuration::ZERO);
+        // The late arrival never queued.
+        assert_eq!(rep.queries[3].admission_wait(), SimDuration::ZERO);
+        // Wave stats sum to the aggregate.
+        let mut sum = BufferStats::default();
+        for w in &rep.waves {
+            sum.merge(&w.stats);
+        }
+        assert_eq!(sum, rep.stats);
+    }
+
+    #[test]
+    fn c1_fifo_matches_serial_runtime_runs() {
+        // The determinism contract the proptest generalizes: concurrency 1 +
+        // FIFO + fixed charge ≡ serial Runtime::run calls on one warm stack.
+        let (db, plan) = dummy_db_and_plan();
+        let traces: Vec<Trace> = vec![random_trace(60), random_trace(25), random_trace(40)];
+        let arrivals = [
+            SimDuration::ZERO,
+            SimDuration::from_micros(300),
+            SimDuration::from_secs(30),
+        ];
+        let reqs: Vec<ServerRequest<'_>> = traces
+            .iter()
+            .zip(arrivals)
+            .map(|(t, arrival)| ServerRequest {
+                plan: &plan,
+                trace: t,
+                arrival,
+            })
+            .collect();
+
+        let mut srv = PrefetchServer::new(&db, &run_cfg(), fixed_cfg(1, QueuePolicy::Fifo));
+        let rep = srv.serve(&reqs);
+
+        let mut rt = Runtime::new(&run_cfg(), db.file_lengths());
+        for ((t, arrival), q) in traces.iter().zip(arrivals).zip(&rep.queries) {
+            rt.advance_to(SimTime::ZERO + arrival);
+            let res = rt.run(&[QueryRun::default_run(t)]);
+            assert_eq!(q.start, res.timings[0].start);
+            assert_eq!(q.end, res.timings[0].end);
+        }
+        assert_eq!(rep.stats, rt.stats());
+        // Each query ran alone, in arrival order, back to back.
+        assert_eq!(rep.waves.len(), 3);
+        assert!(rep.queries[1].start >= rep.queries[0].end);
+        assert!(rep.queries[2].start >= rep.queries[1].end);
+    }
+
+    #[test]
+    fn overlap_policy_without_predictions_degrades_to_fifo() {
+        let (db, plan) = dummy_db_and_plan();
+        let traces: Vec<Trace> = (0..4).map(|_| random_trace(30)).collect();
+        let reqs: Vec<ServerRequest<'_>> = traces
+            .iter()
+            .map(|t| ServerRequest {
+                plan: &plan,
+                trace: t,
+                arrival: SimDuration::ZERO,
+            })
+            .collect();
+
+        let mut fifo = PrefetchServer::new(&db, &run_cfg(), fixed_cfg(2, QueuePolicy::Fifo));
+        let mut ovlp = PrefetchServer::new(&db, &run_cfg(), fixed_cfg(2, QueuePolicy::Overlap));
+        let a = fifo.serve(&reqs);
+        let b = ovlp.serve(&reqs);
+        assert_eq!(a.stats, b.stats);
+        for (qa, qb) in a.queries.iter().zip(&b.queries) {
+            assert_eq!(qa.wave, qb.wave);
+            assert_eq!(qa.start, qb.start);
+            assert_eq!(qa.end, qb.end);
+        }
+    }
+
+    #[test]
+    fn report_mentions_admission_metrics() {
+        let (db, plan) = dummy_db_and_plan();
+        let t = random_trace(20);
+        let reqs = [
+            ServerRequest {
+                plan: &plan,
+                trace: &t,
+                arrival: SimDuration::ZERO,
+            },
+            ServerRequest {
+                plan: &plan,
+                trace: &t,
+                arrival: SimDuration::from_micros(5),
+            },
+        ];
+        let mut srv = PrefetchServer::new(&db, &run_cfg(), fixed_cfg(1, QueuePolicy::Fifo));
+        let rep = srv.serve(&reqs).report();
+        for needle in [
+            "Serving report",
+            "wave 0",
+            "queue depth",
+            "throughput",
+            "admission",
+            "prefetch",
+        ] {
+            assert!(rep.contains(needle), "missing '{needle}' in:\n{rep}");
+        }
+    }
+
+    /// End-to-end with a trained model: a tiny star schema, a handful of
+    /// index-probe queries, Poisson-ish staggered arrivals.
+    #[test]
+    fn serves_with_trained_predictor_and_charges_inference() {
+        let mut db = Database::new();
+        let fact = db.create_table("fact", Schema::ints(&["id", "date", "dkey"]));
+        let dim = db.create_table("dim", Schema::ints(&["d_id", "attr"]));
+        for i in 0..800i64 {
+            let date = i / 2;
+            let dkey = (date * 300 / 400 + i % 3).min(299);
+            db.insert(fact, Database::row(&[i, date, dkey]));
+        }
+        for d in 0..300i64 {
+            db.insert(dim, Database::row(&[d, d % 9]));
+        }
+        let idx = db.create_index("dim_pk", dim, 0);
+
+        let mut plans = Vec::new();
+        let mut traces = Vec::new();
+        for q in 0..12i64 {
+            let lo = (q * 37) % 300;
+            let plan = PlanNode::IndexNLJoin {
+                outer: Box::new(PlanNode::SeqScan {
+                    table: fact,
+                    pred: Some(Pred::Between {
+                        col: 1,
+                        lo,
+                        hi: lo + 40,
+                    }),
+                }),
+                outer_key: 2,
+                inner: dim,
+                inner_index: idx,
+                inner_pred: None,
+            };
+            let (_, trace) = execute(&plan, &db);
+            plans.push(plan);
+            traces.push(trace);
+        }
+        let cfg = PythiaConfig {
+            epochs: 6,
+            batch_size: 8,
+            ..PythiaConfig::fast()
+        };
+        let tw = train_workload(&db, "mini", &plans[..8], &traces[..8], None, &cfg);
+
+        let inf = SimDuration::from_millis(2);
+        let server_cfg = ServerConfig {
+            concurrency: 2,
+            policy: QueuePolicy::Overlap,
+            charge: InferenceCharge::Fixed(inf),
+            prefetch_budget: None,
+        };
+        let reqs: Vec<ServerRequest<'_>> = plans[8..]
+            .iter()
+            .zip(&traces[8..])
+            .enumerate()
+            .map(|(i, (p, t))| ServerRequest {
+                plan: p,
+                trace: t,
+                arrival: SimDuration::from_micros(i as u64 * 40),
+            })
+            .collect();
+        let mut srv = PrefetchServer::new(&db, &run_cfg(), server_cfg).with_predictor(&tw);
+        let rep = srv.serve(&reqs);
+
+        assert_eq!(rep.queries.len(), 4);
+        assert!(
+            rep.stats.prefetch_issued > 0,
+            "predictor must drive prefetching"
+        );
+        let covered: usize = rep.waves.iter().map(|w| w.inferred).sum();
+        assert_eq!(covered, 4, "every query inferred exactly once");
+        for q in &rep.queries {
+            assert_eq!(q.inference, inf);
+            assert_eq!(q.start, q.admitted + inf);
+        }
+    }
+}

@@ -22,7 +22,10 @@ impl Vocab {
 
     /// A vocabulary containing only the reserved tokens.
     pub fn new() -> Self {
-        let mut v = Vocab { map: HashMap::new(), tokens: Vec::new() };
+        let mut v = Vocab {
+            map: HashMap::new(),
+            tokens: Vec::new(),
+        };
         v.intern("[UNK]");
         v.intern("[PAD]");
         v
@@ -46,7 +49,9 @@ impl Vocab {
 
     /// Encode a token sequence, mapping unknown tokens to `[UNK]`.
     pub fn encode(&self, toks: &[String]) -> Vec<usize> {
-        toks.iter().map(|t| self.get(t).unwrap_or(Vocab::UNK)).collect()
+        toks.iter()
+            .map(|t| self.get(t).unwrap_or(Vocab::UNK))
+            .collect()
     }
 
     /// Intern every token of a sequence and return the ids (training-time).

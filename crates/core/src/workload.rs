@@ -61,7 +61,11 @@ impl WorkloadRegistry {
         for tw in &self.entries {
             let inter = objs.intersection(&tw.object_union).count();
             let union = objs.union(&tw.object_union).count();
-            let j = if union == 0 { 0.0 } else { inter as f64 / union as f64 };
+            let j = if union == 0 {
+                0.0
+            } else {
+                inter as f64 / union as f64
+            };
             if j >= MATCH_THRESHOLD && best.map(|(bj, _)| j > bj).unwrap_or(true) {
                 best = Some((j, tw));
             }
@@ -75,10 +79,10 @@ mod tests {
     use super::*;
     use crate::config::PythiaConfig;
     use crate::predictor::train_workload;
+    use pythia_db::catalog::TableId;
     use pythia_db::exec::execute;
     use pythia_db::expr::Pred;
     use pythia_db::types::Schema;
-    use pythia_db::catalog::TableId;
 
     fn setup() -> (Database, TableId, TableId, pythia_db::catalog::ObjectId) {
         let mut db = Database::new();
@@ -95,12 +99,22 @@ mod tests {
         (db, fact, dim, idx)
     }
 
-    fn star_plan(db: &Database, fact: TableId, dim: TableId, idx: pythia_db::catalog::ObjectId, lo: i64) -> PlanNode {
+    fn star_plan(
+        db: &Database,
+        fact: TableId,
+        dim: TableId,
+        idx: pythia_db::catalog::ObjectId,
+        lo: i64,
+    ) -> PlanNode {
         let _ = db;
         PlanNode::IndexNLJoin {
             outer: Box::new(PlanNode::SeqScan {
                 table: fact,
-                pred: Some(Pred::Between { col: 1, lo, hi: lo + 10 }),
+                pred: Some(Pred::Between {
+                    col: 1,
+                    lo,
+                    hi: lo + 10,
+                }),
             }),
             outer_key: 2,
             inner: dim,
@@ -112,9 +126,14 @@ mod tests {
     #[test]
     fn matches_same_shape_rejects_foreign() {
         let (db, fact, dim, idx) = setup();
-        let plans: Vec<PlanNode> = (0..8).map(|i| star_plan(&db, fact, dim, idx, i * 7)).collect();
+        let plans: Vec<PlanNode> = (0..8)
+            .map(|i| star_plan(&db, fact, dim, idx, i * 7))
+            .collect();
         let traces: Vec<_> = plans.iter().map(|p| execute(p, &db).1).collect();
-        let cfg = PythiaConfig { epochs: 2, ..PythiaConfig::fast() };
+        let cfg = PythiaConfig {
+            epochs: 2,
+            ..PythiaConfig::fast()
+        };
         let tw = train_workload(&db, "star", &plans, &traces, None, &cfg);
 
         let mut reg = WorkloadRegistry::new();
@@ -127,7 +146,10 @@ mod tests {
 
         // A query over an unrelated table does not.
         let other = db.table("other").unwrap();
-        let foreign = PlanNode::SeqScan { table: other, pred: None };
+        let foreign = PlanNode::SeqScan {
+            table: other,
+            pred: None,
+        };
         assert!(reg.match_plan(&db, &foreign).is_none());
     }
 
@@ -143,15 +165,24 @@ mod tests {
     #[test]
     fn best_of_multiple_workloads_wins() {
         let (db, fact, dim, idx) = setup();
-        let cfg = PythiaConfig { epochs: 2, ..PythiaConfig::fast() };
+        let cfg = PythiaConfig {
+            epochs: 2,
+            ..PythiaConfig::fast()
+        };
 
         // Workload A: the star join. Workload B: fact-only scans.
-        let plans_a: Vec<PlanNode> = (0..6).map(|i| star_plan(&db, fact, dim, idx, i * 5)).collect();
+        let plans_a: Vec<PlanNode> = (0..6)
+            .map(|i| star_plan(&db, fact, dim, idx, i * 5))
+            .collect();
         let traces_a: Vec<_> = plans_a.iter().map(|p| execute(p, &db).1).collect();
         let plans_b: Vec<PlanNode> = (0..6)
             .map(|i| PlanNode::SeqScan {
                 table: fact,
-                pred: Some(Pred::Between { col: 1, lo: i, hi: i + 5 }),
+                pred: Some(Pred::Between {
+                    col: 1,
+                    lo: i,
+                    hi: i + 5,
+                }),
             })
             .collect();
         let traces_b: Vec<_> = plans_b.iter().map(|p| execute(p, &db).1).collect();
@@ -164,7 +195,10 @@ mod tests {
         let m = reg.match_plan(&db, &q).expect("matches");
         assert_eq!(m.name, "star");
 
-        let q2 = PlanNode::SeqScan { table: fact, pred: None };
+        let q2 = PlanNode::SeqScan {
+            table: fact,
+            pred: None,
+        };
         let m2 = reg.match_plan(&db, &q2).expect("matches");
         assert_eq!(m2.name, "scan");
     }

@@ -119,7 +119,12 @@ impl BTree {
             buf[0] = 0;
             put_u16(buf, 1, 0);
             put_u32(buf, 4, NO_LEAF);
-            return BTree { file, root: pid.page_no, height: 1, entry_count: 0 };
+            return BTree {
+                file,
+                root: pid.page_no,
+                height: 1,
+                entry_count: 0,
+            };
         }
 
         // Level 0: leaves.
@@ -132,7 +137,11 @@ impl BTree {
                 let buf = disk.write(pid);
                 buf[0] = 0;
                 put_u16(buf, 1, chunk.len() as u16);
-                let next = if ci + 1 < chunks.len() { first_page + ci as u32 + 1 } else { NO_LEAF };
+                let next = if ci + 1 < chunks.len() {
+                    first_page + ci as u32 + 1
+                } else {
+                    NO_LEAF
+                };
                 put_u32(buf, 4, next);
                 for (i, (k, rid)) in chunk.iter().enumerate() {
                     let off = LEAF_HDR + i * LEAF_ENTRY;
@@ -165,7 +174,12 @@ impl BTree {
             level = next_level;
         }
 
-        BTree { file, root: level[0].0, height, entry_count: n }
+        BTree {
+            file,
+            root: level[0].0,
+            height,
+            entry_count: n,
+        }
     }
 
     /// Root page number.
@@ -190,12 +204,7 @@ impl BTree {
 
     /// Descend to the leftmost leaf that could contain `key`, reporting every
     /// node visited. Returns the leaf page number.
-    fn descend(
-        &self,
-        disk: &SimDisk,
-        key: i64,
-        visit: &mut impl FnMut(PageId, NodeKind),
-    ) -> u32 {
+    fn descend(&self, disk: &SimDisk, key: i64, visit: &mut impl FnMut(PageId, NodeKind)) -> u32 {
         let mut page_no = self.root;
         loop {
             let pid = PageId::new(self.file, page_no);
@@ -265,7 +274,10 @@ impl BTree {
         key: i64,
         visit: &mut impl FnMut(PageId, NodeKind),
     ) -> Vec<RecordId> {
-        self.range(disk, key, key, visit).into_iter().map(|(_, rid)| rid).collect()
+        self.range(disk, key, key, visit)
+            .into_iter()
+            .map(|(_, rid)| rid)
+            .collect()
     }
 }
 
@@ -274,12 +286,19 @@ mod tests {
     use super::*;
 
     fn rid(n: u32) -> RecordId {
-        RecordId { page_no: n, slot: (n % 7) as u16 }
+        RecordId {
+            page_no: n,
+            slot: (n % 7) as u16,
+        }
     }
 
     fn build(keys: impl IntoIterator<Item = i64>) -> (SimDisk, BTree) {
         let mut disk = SimDisk::new();
-        let entries: Vec<_> = keys.into_iter().enumerate().map(|(i, k)| (k, rid(i as u32))).collect();
+        let entries: Vec<_> = keys
+            .into_iter()
+            .enumerate()
+            .map(|(i, k)| (k, rid(i as u32)))
+            .collect();
         let t = BTree::bulk_build(&mut disk, entries);
         (disk, t)
     }
@@ -348,7 +367,9 @@ mod tests {
         assert_eq!(path.last().unwrap().1, NodeKind::Leaf);
         // Internal prefix then leaves.
         let first_leaf = path.iter().position(|(_, k)| *k == NodeKind::Leaf).unwrap();
-        assert!(path[..first_leaf].iter().all(|(_, k)| *k == NodeKind::Internal));
+        assert!(path[..first_leaf]
+            .iter()
+            .all(|(_, k)| *k == NodeKind::Internal));
         assert!(path[first_leaf..].iter().all(|(_, k)| *k == NodeKind::Leaf));
     }
 

@@ -14,7 +14,9 @@ use crate::tuple::Tuple;
 use crate::types::{Datum, Schema};
 
 /// Identifier of a database object (base table or index).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct ObjectId(pub u32);
 
 /// Identifier of a table (indexes into the table list).
@@ -90,7 +92,10 @@ impl Database {
     /// # Panics
     /// Panics if the name is already taken.
     pub fn create_table(&mut self, name: &str, schema: Schema) -> TableId {
-        assert!(!self.by_name.contains_key(name), "table {name} already exists");
+        assert!(
+            !self.by_name.contains_key(name),
+            "table {name} already exists"
+        );
         let heap = HeapFile::create(&mut self.disk);
         let object = self.register_object(name.to_owned(), ObjectKind::Table, heap.file);
         let tid = TableId(self.tables.len() as u32);
@@ -108,7 +113,12 @@ impl Database {
     /// Insert a row into `table`.
     pub fn insert(&mut self, table: TableId, row: Tuple) {
         let t = &mut self.tables[table.0 as usize];
-        debug_assert_eq!(row.len(), t.schema.arity(), "arity mismatch inserting into {}", t.name);
+        debug_assert_eq!(
+            row.len(),
+            t.schema.arity(),
+            "arity mismatch inserting into {}",
+            t.name
+        );
         t.heap.insert(&mut self.disk, &row);
     }
 
@@ -302,6 +312,9 @@ mod tests {
         let lens = db.file_lengths();
         assert_eq!(lens.len(), db.disk.file_count());
         let tbl_obj = db.table_info(t).object;
-        assert_eq!(lens[db.object_file(tbl_obj).0 as usize], db.object_pages(tbl_obj));
+        assert_eq!(
+            lens[db.object_file(tbl_obj).0 as usize],
+            db.object_pages(tbl_obj)
+        );
     }
 }

@@ -31,14 +31,20 @@ pub struct ExecContext<'a> {
 impl<'a> ExecContext<'a> {
     /// Fresh context over `db`.
     pub fn new(db: &'a Database) -> Self {
-        ExecContext { db, trace: Trace::new(), cpu_pending: 0 }
+        ExecContext {
+            db,
+            trace: Trace::new(),
+            cpu_pending: 0,
+        }
     }
 
     /// Record a page request (flushes pending CPU work first so the trace
     /// interleaves CPU and I/O in execution order).
     pub fn record_read(&mut self, obj: ObjectId, page: PageId, kind: AccessKind) {
         if self.cpu_pending > 0 {
-            self.trace.events.push(TraceEvent::Cpu { units: self.cpu_pending });
+            self.trace.events.push(TraceEvent::Cpu {
+                units: self.cpu_pending,
+            });
             self.cpu_pending = 0;
         }
         self.trace.events.push(TraceEvent::Read { obj, page, kind });
@@ -52,7 +58,9 @@ impl<'a> ExecContext<'a> {
     /// Finish and take the trace.
     pub fn into_trace(mut self) -> Trace {
         if self.cpu_pending > 0 {
-            self.trace.events.push(TraceEvent::Cpu { units: self.cpu_pending });
+            self.trace.events.push(TraceEvent::Cpu {
+                units: self.cpu_pending,
+            });
         }
         self.trace
     }
@@ -87,8 +95,12 @@ impl Op for SeqScanOp {
             let info = ctx.db.table_info(self.table);
             let pid = PageId::new(info.heap.file, self.page);
             ctx.record_read(info.object, pid, AccessKind::SeqScan);
-            self.buffer
-                .extend(info.heap.read_page(&ctx.db.disk, self.page).into_iter().map(|(_, t)| t));
+            self.buffer.extend(
+                info.heap
+                    .read_page(&ctx.db.disk, self.page)
+                    .into_iter()
+                    .map(|(_, t)| t),
+            );
             self.page += 1;
         }
     }
@@ -376,7 +388,13 @@ fn build_op(plan: &PlanNode, db: &Database) -> Box<dyn Op> {
             total_pages: db.table_info(*table).heap.page_count(&db.disk),
             buffer: VecDeque::new(),
         }),
-        PlanNode::IndexScan { table, index, lo, hi, residual } => Box::new(IndexScanOp {
+        PlanNode::IndexScan {
+            table,
+            index,
+            lo,
+            hi,
+            residual,
+        } => Box::new(IndexScanOp {
             table: *table,
             index: *index,
             lo: *lo,
@@ -385,18 +403,27 @@ fn build_op(plan: &PlanNode, db: &Database) -> Box<dyn Op> {
             started: false,
             rids: VecDeque::new(),
         }),
-        PlanNode::IndexNLJoin { outer, outer_key, inner, inner_index, inner_pred } => {
-            Box::new(IndexNLJoinOp {
-                outer: build_op(outer, db),
-                outer_key: *outer_key,
-                inner: *inner,
-                inner_index: *inner_index,
-                inner_pred: inner_pred.clone(),
-                current_outer: None,
-                pending: VecDeque::new(),
-            })
-        }
-        PlanNode::HashJoin { build, probe, build_key, probe_key } => Box::new(HashJoinOp {
+        PlanNode::IndexNLJoin {
+            outer,
+            outer_key,
+            inner,
+            inner_index,
+            inner_pred,
+        } => Box::new(IndexNLJoinOp {
+            outer: build_op(outer, db),
+            outer_key: *outer_key,
+            inner: *inner,
+            inner_index: *inner_index,
+            inner_pred: inner_pred.clone(),
+            current_outer: None,
+            pending: VecDeque::new(),
+        }),
+        PlanNode::HashJoin {
+            build,
+            probe,
+            build_key,
+            probe_key,
+        } => Box::new(HashJoinOp {
             build: build_op(build, db),
             probe: build_op(probe, db),
             build_key: *build_key,
@@ -408,7 +435,11 @@ fn build_op(plan: &PlanNode, db: &Database) -> Box<dyn Op> {
             input: build_op(input, db),
             pred: pred.clone(),
         }),
-        PlanNode::Aggregate { input, group_col, agg } => Box::new(AggregateOp {
+        PlanNode::Aggregate {
+            input,
+            group_col,
+            agg,
+        } => Box::new(AggregateOp {
             input: build_op(input, db),
             group_col: *group_col,
             agg: *agg,
@@ -465,7 +496,13 @@ mod tests {
     #[test]
     fn seq_scan_returns_all_rows() {
         let (db, fact, _, _) = star_db();
-        let (rows, trace) = execute(&PlanNode::SeqScan { table: fact, pred: None }, &db);
+        let (rows, trace) = execute(
+            &PlanNode::SeqScan {
+                table: fact,
+                pred: None,
+            },
+            &db,
+        );
         assert_eq!(rows.len(), 2000);
         let pages = db.table_info(fact).heap.page_count(&db.disk);
         assert_eq!(trace.read_count(), pages as usize);
@@ -477,7 +514,11 @@ mod tests {
         let (db, fact, _, _) = star_db();
         let plan = PlanNode::SeqScan {
             table: fact,
-            pred: Some(Pred::Cmp { col: 1, op: CmpOp::Eq, lit: 7 }),
+            pred: Some(Pred::Cmp {
+                col: 1,
+                op: CmpOp::Eq,
+                lit: 7,
+            }),
         };
         let (rows, _) = execute(&plan, &db);
         assert_eq!(rows.len(), 20); // 2000/100
@@ -491,7 +532,13 @@ mod tests {
             (db, d, d, i)
         };
         let idx = db.index_on(dim, 0).unwrap().object;
-        let plan = PlanNode::IndexScan { table: dim, index: idx, lo: 10, hi: 19, residual: None };
+        let plan = PlanNode::IndexScan {
+            table: dim,
+            index: idx,
+            lo: 10,
+            hi: 19,
+            residual: None,
+        };
         let (rows, trace) = execute(&plan, &db);
         assert_eq!(rows.len(), 10);
         // Index pages + heap fetches, all non-sequential.
@@ -505,7 +552,11 @@ mod tests {
         let nlj = PlanNode::IndexNLJoin {
             outer: Box::new(PlanNode::SeqScan {
                 table: fact,
-                pred: Some(Pred::Cmp { col: 0, op: CmpOp::Lt, lit: 500 }),
+                pred: Some(Pred::Cmp {
+                    col: 0,
+                    op: CmpOp::Lt,
+                    lit: 500,
+                }),
             }),
             outer_key: 1,
             inner: dim,
@@ -513,10 +564,17 @@ mod tests {
             inner_pred: None,
         };
         let hj = PlanNode::HashJoin {
-            build: Box::new(PlanNode::SeqScan { table: dim, pred: None }),
+            build: Box::new(PlanNode::SeqScan {
+                table: dim,
+                pred: None,
+            }),
             probe: Box::new(PlanNode::SeqScan {
                 table: fact,
-                pred: Some(Pred::Cmp { col: 0, op: CmpOp::Lt, lit: 500 }),
+                pred: Some(Pred::Cmp {
+                    col: 0,
+                    op: CmpOp::Lt,
+                    lit: 500,
+                }),
             }),
             build_key: 0,
             probe_key: 1,
@@ -536,7 +594,10 @@ mod tests {
     fn nl_join_trace_interleaves_seq_and_probes() {
         let (db, fact, dim, idx) = star_db();
         let plan = PlanNode::IndexNLJoin {
-            outer: Box::new(PlanNode::SeqScan { table: fact, pred: None }),
+            outer: Box::new(PlanNode::SeqScan {
+                table: fact,
+                pred: None,
+            }),
             outer_key: 1,
             inner: dim,
             inner_index: idx,
@@ -566,7 +627,10 @@ mod tests {
     fn aggregate_count() {
         let (db, fact, _, _) = star_db();
         let plan = PlanNode::Aggregate {
-            input: Box::new(PlanNode::SeqScan { table: fact, pred: None }),
+            input: Box::new(PlanNode::SeqScan {
+                table: fact,
+                pred: None,
+            }),
             group_col: None,
             agg: AggFunc::CountStar,
         };
@@ -580,13 +644,23 @@ mod tests {
         let plan = PlanNode::Aggregate {
             input: Box::new(PlanNode::SeqScan {
                 table: fact,
-                pred: Some(Pred::Cmp { col: 1, op: CmpOp::Lt, lit: 2 }),
+                pred: Some(Pred::Cmp {
+                    col: 1,
+                    op: CmpOp::Lt,
+                    lit: 2,
+                }),
             }),
             group_col: Some(1),
             agg: AggFunc::CountStar,
         };
         let (rows, _) = execute(&plan, &db);
-        assert_eq!(rows, vec![vec![Datum::Int(0), Datum::Int(20)], vec![Datum::Int(1), Datum::Int(20)]]);
+        assert_eq!(
+            rows,
+            vec![
+                vec![Datum::Int(0), Datum::Int(20)],
+                vec![Datum::Int(1), Datum::Int(20)]
+            ]
+        );
     }
 
     #[test]
@@ -594,7 +668,10 @@ mod tests {
         let (db, fact, _, _) = star_db();
         let plan = PlanNode::Limit {
             input: Box::new(PlanNode::Sort {
-                input: Box::new(PlanNode::SeqScan { table: fact, pred: None }),
+                input: Box::new(PlanNode::SeqScan {
+                    table: fact,
+                    pred: None,
+                }),
                 col: 1,
             }),
             n: 5,
@@ -609,7 +686,10 @@ mod tests {
         let (db, fact, _, _) = star_db();
         for (agg, expect) in [(AggFunc::Min(0), 0i64), (AggFunc::Max(0), 1999)] {
             let plan = PlanNode::Aggregate {
-                input: Box::new(PlanNode::SeqScan { table: fact, pred: None }),
+                input: Box::new(PlanNode::SeqScan {
+                    table: fact,
+                    pred: None,
+                }),
                 group_col: None,
                 agg,
             };
@@ -622,8 +702,15 @@ mod tests {
     fn filter_node() {
         let (db, fact, _, _) = star_db();
         let plan = PlanNode::Filter {
-            input: Box::new(PlanNode::SeqScan { table: fact, pred: None }),
-            pred: Pred::Between { col: 0, lo: 100, hi: 109 },
+            input: Box::new(PlanNode::SeqScan {
+                table: fact,
+                pred: None,
+            }),
+            pred: Pred::Between {
+                col: 0,
+                lo: 100,
+                hi: 109,
+            },
         };
         let (rows, _) = execute(&plan, &db);
         assert_eq!(rows.len(), 10);
@@ -637,7 +724,11 @@ mod tests {
             index: idx,
             lo: 0,
             hi: 49,
-            residual: Some(Pred::Cmp { col: 1, op: CmpOp::Ge, lit: 90 }),
+            residual: Some(Pred::Cmp {
+                col: 1,
+                op: CmpOp::Ge,
+                lit: 90,
+            }),
         };
         let (rows, trace) = execute(&plan, &db);
         // dim attr = id*3; ids 0..=49 with attr >= 90 -> ids 30..=49.
@@ -649,7 +740,15 @@ mod tests {
         let heap_fetches = trace
             .events
             .iter()
-            .filter(|e| matches!(e, TraceEvent::Read { kind: AccessKind::HeapFetch, .. }))
+            .filter(|e| {
+                matches!(
+                    e,
+                    TraceEvent::Read {
+                        kind: AccessKind::HeapFetch,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(heap_fetches, 50);
     }
@@ -657,10 +756,20 @@ mod tests {
     #[test]
     fn limit_stops_scanning_early() {
         let (db, fact, _, _) = star_db();
-        let full = execute(&PlanNode::SeqScan { table: fact, pred: None }, &db).1;
+        let full = execute(
+            &PlanNode::SeqScan {
+                table: fact,
+                pred: None,
+            },
+            &db,
+        )
+        .1;
         let limited = execute(
             &PlanNode::Limit {
-                input: Box::new(PlanNode::SeqScan { table: fact, pred: None }),
+                input: Box::new(PlanNode::SeqScan {
+                    table: fact,
+                    pred: None,
+                }),
                 n: 5,
             },
             &db,
@@ -676,19 +785,34 @@ mod tests {
     #[test]
     fn empty_index_range_reads_only_index_pages() {
         let (db, _, dim, idx) = star_db();
-        let plan = PlanNode::IndexScan { table: dim, index: idx, lo: 1000, hi: 2000, residual: None };
+        let plan = PlanNode::IndexScan {
+            table: dim,
+            index: idx,
+            lo: 1000,
+            hi: 2000,
+            residual: None,
+        };
         let (rows, trace) = execute(&plan, &db);
         assert!(rows.is_empty());
-        assert!(trace
-            .events
-            .iter()
-            .all(|e| !matches!(e, TraceEvent::Read { kind: AccessKind::HeapFetch, .. })));
+        assert!(trace.events.iter().all(|e| !matches!(
+            e,
+            TraceEvent::Read {
+                kind: AccessKind::HeapFetch,
+                ..
+            }
+        )));
     }
 
     #[test]
     fn trace_has_cpu_events() {
         let (db, fact, _, _) = star_db();
-        let (_, trace) = execute(&PlanNode::SeqScan { table: fact, pred: None }, &db);
+        let (_, trace) = execute(
+            &PlanNode::SeqScan {
+                table: fact,
+                pred: None,
+            },
+            &db,
+        );
         assert!(trace.cpu_units() >= 2000, "at least one unit per tuple");
     }
 }

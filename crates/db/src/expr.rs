@@ -82,11 +82,20 @@ impl Pred {
     /// join output).
     pub fn shift_cols(&self, offset: usize) -> Pred {
         match self {
-            Pred::Cmp { col, op, lit } => Pred::Cmp { col: col + offset, op: *op, lit: *lit },
-            Pred::In { col, set } => Pred::In { col: col + offset, set: set.clone() },
-            Pred::Between { col, lo, hi } => {
-                Pred::Between { col: col + offset, lo: *lo, hi: *hi }
-            }
+            Pred::Cmp { col, op, lit } => Pred::Cmp {
+                col: col + offset,
+                op: *op,
+                lit: *lit,
+            },
+            Pred::In { col, set } => Pred::In {
+                col: col + offset,
+                set: set.clone(),
+            },
+            Pred::Between { col, lo, hi } => Pred::Between {
+                col: col + offset,
+                lo: *lo,
+                hi: *hi,
+            },
             Pred::And(ps) => Pred::And(ps.iter().map(|p| p.shift_cols(offset)).collect()),
         }
     }
@@ -104,7 +113,11 @@ impl Pred {
         match self {
             Pred::Cmp { col, op, lit } => out.push((*col, op.sql().to_owned(), lit.to_string())),
             Pred::In { col, set } => {
-                let vals = set.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(",");
+                let vals = set
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",");
                 out.push((*col, "IN".to_owned(), vals));
             }
             Pred::Between { col, lo, hi } => {
@@ -146,23 +159,57 @@ mod tests {
     #[test]
     fn in_and_between() {
         let r = row(&[5, 10]);
-        assert!(Pred::In { col: 0, set: vec![1, 5, 9] }.eval(&r));
-        assert!(!Pred::In { col: 0, set: vec![1, 9] }.eval(&r));
-        assert!(Pred::Between { col: 1, lo: 10, hi: 20 }.eval(&r));
-        assert!(!Pred::Between { col: 1, lo: 11, hi: 20 }.eval(&r));
+        assert!(Pred::In {
+            col: 0,
+            set: vec![1, 5, 9]
+        }
+        .eval(&r));
+        assert!(!Pred::In {
+            col: 0,
+            set: vec![1, 9]
+        }
+        .eval(&r));
+        assert!(Pred::Between {
+            col: 1,
+            lo: 10,
+            hi: 20
+        }
+        .eval(&r));
+        assert!(!Pred::Between {
+            col: 1,
+            lo: 11,
+            hi: 20
+        }
+        .eval(&r));
     }
 
     #[test]
     fn and_conjunction() {
         let r = row(&[5, 10]);
         let p = Pred::And(vec![
-            Pred::Cmp { col: 0, op: CmpOp::Eq, lit: 5 },
-            Pred::Cmp { col: 1, op: CmpOp::Ge, lit: 10 },
+            Pred::Cmp {
+                col: 0,
+                op: CmpOp::Eq,
+                lit: 5,
+            },
+            Pred::Cmp {
+                col: 1,
+                op: CmpOp::Ge,
+                lit: 10,
+            },
         ]);
         assert!(p.eval(&r));
         let p2 = Pred::And(vec![
-            Pred::Cmp { col: 0, op: CmpOp::Eq, lit: 5 },
-            Pred::Cmp { col: 1, op: CmpOp::Gt, lit: 10 },
+            Pred::Cmp {
+                col: 0,
+                op: CmpOp::Eq,
+                lit: 5,
+            },
+            Pred::Cmp {
+                col: 1,
+                op: CmpOp::Gt,
+                lit: 10,
+            },
         ]);
         assert!(!p2.eval(&r));
     }
@@ -170,15 +217,32 @@ mod tests {
     #[test]
     fn null_compares_false() {
         let r = vec![Datum::Null];
-        assert!(!Pred::Cmp { col: 0, op: CmpOp::Eq, lit: 0 }.eval(&r));
-        assert!(!Pred::In { col: 0, set: vec![0] }.eval(&r));
+        assert!(!Pred::Cmp {
+            col: 0,
+            op: CmpOp::Eq,
+            lit: 0
+        }
+        .eval(&r));
+        assert!(!Pred::In {
+            col: 0,
+            set: vec![0]
+        }
+        .eval(&r));
     }
 
     #[test]
     fn shift_cols_moves_references() {
         let p = Pred::And(vec![
-            Pred::Cmp { col: 1, op: CmpOp::Eq, lit: 3 },
-            Pred::Between { col: 0, lo: 1, hi: 2 },
+            Pred::Cmp {
+                col: 1,
+                op: CmpOp::Eq,
+                lit: 3,
+            },
+            Pred::Between {
+                col: 0,
+                lo: 1,
+                hi: 2,
+            },
         ]);
         let shifted = p.shift_cols(4);
         assert!(shifted.eval(&row(&[9, 9, 9, 9, 1, 3])));
@@ -187,9 +251,20 @@ mod tests {
     #[test]
     fn atoms_flatten_in_order() {
         let p = Pred::And(vec![
-            Pred::Cmp { col: 2, op: CmpOp::Ge, lit: 7 },
-            Pred::In { col: 0, set: vec![1, 2] },
-            Pred::Between { col: 1, lo: 5, hi: 6 },
+            Pred::Cmp {
+                col: 2,
+                op: CmpOp::Ge,
+                lit: 7,
+            },
+            Pred::In {
+                col: 0,
+                set: vec![1, 2],
+            },
+            Pred::Between {
+                col: 1,
+                lo: 5,
+                hi: 6,
+            },
         ]);
         let atoms = p.atoms();
         assert_eq!(atoms.len(), 4); // Between expands to two

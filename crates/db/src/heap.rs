@@ -23,7 +23,10 @@ pub struct HeapFile {
 impl HeapFile {
     /// Create an empty heap in a fresh file.
     pub fn create(disk: &mut SimDisk) -> Self {
-        HeapFile { file: disk.create_file(), tuple_count: 0 }
+        HeapFile {
+            file: disk.create_file(),
+            tuple_count: 0,
+        }
     }
 
     /// Number of tuples inserted.
@@ -61,7 +64,10 @@ impl HeapFile {
         });
         let slot = SlottedPage::insert(disk.write(pid), &buf);
         self.tuple_count += 1;
-        RecordId { page_no: pid.page_no, slot }
+        RecordId {
+            page_no: pid.page_no,
+            slot,
+        }
     }
 
     /// Fetch the tuple at `rid`.
@@ -81,7 +87,10 @@ impl HeapFile {
         let n = SlottedPage::slot_count(page);
         (0..n)
             .map(|slot| {
-                (RecordId { page_no, slot }, tuple::decode(SlottedPage::record(page, slot)))
+                (
+                    RecordId { page_no, slot },
+                    tuple::decode(SlottedPage::record(page, slot)),
+                )
             })
             .collect()
     }

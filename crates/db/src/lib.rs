@@ -38,7 +38,7 @@ pub use catalog::{Database, ObjectId, ObjectKind, TableId};
 pub use exec::{execute, ExecContext};
 pub use expr::{CmpOp, Pred};
 pub use plan::{AggFunc, PlanNode};
-pub use runtime::{QueryRun, QueryTiming, RunConfig, RunResult};
+pub use runtime::{QueryRun, QueryTiming, RunConfig, RunResult, Runtime};
 pub use trace::{AccessKind, Trace, TraceEvent};
 pub use tuple::Tuple;
 pub use types::{Datum, Schema};

@@ -100,7 +100,9 @@ impl PlanNode {
                 out.push(db.table_info(*table).object);
                 out.push(*index);
             }
-            PlanNode::IndexNLJoin { inner, inner_index, .. } => {
+            PlanNode::IndexNLJoin {
+                inner, inner_index, ..
+            } => {
                 out.push(db.table_info(*inner).object);
                 out.push(*inner_index);
             }
@@ -124,14 +126,24 @@ impl PlanNode {
             PlanNode::SeqScan { table, pred } => format!(
                 "Seq Scan on {}{}",
                 db.table_info(*table).name,
-                pred.as_ref().map(|p| format!(" filter={p:?}")).unwrap_or_default()
+                pred.as_ref()
+                    .map(|p| format!(" filter={p:?}"))
+                    .unwrap_or_default()
             ),
-            PlanNode::IndexScan { table, index, lo, hi, .. } => format!(
+            PlanNode::IndexScan {
+                table,
+                index,
+                lo,
+                hi,
+                ..
+            } => format!(
                 "Index Scan using {} on {} key in [{lo},{hi}]",
                 db.index_info(*index).name,
                 db.table_info(*table).name
             ),
-            PlanNode::IndexNLJoin { inner, inner_index, .. } => format!(
+            PlanNode::IndexNLJoin {
+                inner, inner_index, ..
+            } => format!(
                 "Nested Loop (index probe {} on {})",
                 db.index_info(*inner_index).name,
                 db.table_info(*inner).name
@@ -175,7 +187,10 @@ mod tests {
         let (db, fact, dim, idx) = db_with_two_tables();
         let plan = PlanNode::Aggregate {
             input: Box::new(PlanNode::IndexNLJoin {
-                outer: Box::new(PlanNode::SeqScan { table: fact, pred: None }),
+                outer: Box::new(PlanNode::SeqScan {
+                    table: fact,
+                    pred: None,
+                }),
                 outer_key: 1,
                 inner: dim,
                 inner_index: idx,
@@ -199,7 +214,10 @@ mod tests {
     fn explain_contains_names() {
         let (db, fact, dim, idx) = db_with_two_tables();
         let plan = PlanNode::IndexNLJoin {
-            outer: Box::new(PlanNode::SeqScan { table: fact, pred: None }),
+            outer: Box::new(PlanNode::SeqScan {
+                table: fact,
+                pred: None,
+            }),
             outer_key: 1,
             inner: dim,
             inner_index: idx,
@@ -214,8 +232,14 @@ mod tests {
     #[test]
     fn hash_join_children_probe_first() {
         let (_db, fact, dim, _idx) = db_with_two_tables();
-        let build = PlanNode::SeqScan { table: dim, pred: None };
-        let probe = PlanNode::SeqScan { table: fact, pred: None };
+        let build = PlanNode::SeqScan {
+            table: dim,
+            pred: None,
+        };
+        let probe = PlanNode::SeqScan {
+            table: fact,
+            pred: None,
+        };
         let plan = PlanNode::HashJoin {
             build: Box::new(build.clone()),
             probe: Box::new(probe.clone()),

@@ -15,7 +15,7 @@
 //! the paper's §5.4 experiments measure.
 
 use pythia_buffer::{AioPrefetcher, BufferPool, BufferStats, PolicyKind};
-use pythia_sim::{CostModel, IoWorkerPool, OsPageCache, PageId, SimDuration, SimTime};
+use pythia_sim::{CostModel, IoWorkerPool, OsPageCache, PageId, SimDuration, SimTime, StreamId};
 
 use crate::trace::{Trace, TraceEvent};
 
@@ -56,30 +56,33 @@ pub struct QueryRun<'a> {
     /// Pages to prefetch (ascending storage order), or `None` for the
     /// default (no-prefetch) path.
     pub prefetch: Option<Vec<PageId>>,
-    /// When the query arrives.
-    pub arrival: SimTime,
+    /// When the query arrives, as an offset from the start of the batch
+    /// (i.e. from the stack's clock when [`Runtime::run`] is called). A
+    /// duration — not an instant — so arrivals cannot be double-shifted when
+    /// warm batches are chained and the stack's clock is already nonzero.
+    pub arrival: SimDuration,
     /// Serialized-plan encoding + model inference latency charged before
     /// execution starts (zero for DFLT/ORCL/NN baselines).
     pub inference_latency: SimDuration,
 }
 
 impl<'a> QueryRun<'a> {
-    /// A query with no prefetching arriving at time zero.
+    /// A query with no prefetching arriving at batch start.
     pub fn default_run(trace: &'a Trace) -> Self {
         QueryRun {
             trace,
             prefetch: None,
-            arrival: SimTime::ZERO,
+            arrival: SimDuration::ZERO,
             inference_latency: SimDuration::ZERO,
         }
     }
 
-    /// A query with a prefetch plan arriving at time zero.
+    /// A query with a prefetch plan arriving at batch start.
     pub fn with_prefetch(trace: &'a Trace, pages: Vec<PageId>, inference: SimDuration) -> Self {
         QueryRun {
             trace,
             prefetch: Some(pages),
-            arrival: SimTime::ZERO,
+            arrival: SimDuration::ZERO,
             inference_latency: inference,
         }
     }
@@ -110,8 +113,18 @@ pub struct RunResult {
 impl RunResult {
     /// Wall time from first arrival to last completion.
     pub fn makespan(&self) -> SimDuration {
-        let first = self.timings.iter().map(|t| t.arrival).min().unwrap_or(SimTime::ZERO);
-        let last = self.timings.iter().map(|t| t.end).max().unwrap_or(SimTime::ZERO);
+        let first = self
+            .timings
+            .iter()
+            .map(|t| t.arrival)
+            .min()
+            .unwrap_or(SimTime::ZERO);
+        let last = self
+            .timings
+            .iter()
+            .map(|t| t.end)
+            .max()
+            .unwrap_or(SimTime::ZERO);
         last.since(first)
     }
 
@@ -174,6 +187,9 @@ struct QState<'a> {
     aio: Option<AioPrefetcher>,
     done: bool,
     start: SimTime,
+    /// OS-cache stream (open-fd analogue) the query's demand reads run
+    /// under; its AIO prefetcher gets a second, distinct stream.
+    stream: StreamId,
 }
 
 /// The replay stack: shared buffer pool, OS cache and I/O workers.
@@ -187,6 +203,10 @@ pub struct Runtime {
     /// The stack's continuing clock: each `run` batch starts here, so warm
     /// state (frame availability, I/O lanes) stays consistent across batches.
     now: SimTime,
+    /// Next OS-cache stream id to hand out. Every query backend and every
+    /// AIO prefetcher gets its own stream, so concurrent sequential scans of
+    /// one file keep independent kernel-readahead runs (per-fd semantics).
+    next_stream: u64,
 }
 
 impl Runtime {
@@ -202,6 +222,7 @@ impl Runtime {
             window: config.readahead_window,
             file_lens,
             now: SimTime::ZERO,
+            next_stream: 0,
         }
     }
 
@@ -213,11 +234,39 @@ impl Runtime {
         self.os.reset();
         self.io.reset();
         self.now = SimTime::ZERO;
+        self.next_stream = 0;
     }
 
     /// Buffer pool capacity in frames.
     pub fn pool_frames(&self) -> usize {
         self.pool.capacity()
+    }
+
+    /// The stack's continuing clock (the instant the next `run` batch would
+    /// start at). Serving loops use this to translate absolute arrival times
+    /// into per-batch offsets.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advance the stack's clock to `t` (no-op if `t` is in the past): idle
+    /// time between admission waves when the queue has drained but the next
+    /// query has not arrived yet.
+    pub fn advance_to(&mut self, t: SimTime) {
+        self.now = self.now.max(t);
+    }
+
+    /// Snapshot of the shared pool's cumulative counters (what the next
+    /// [`Self::run`] result's `stats` will have accumulated on top of).
+    pub fn stats(&self) -> BufferStats {
+        *self.pool.stats()
+    }
+
+    /// Allocate a fresh OS-cache stream (open-fd analogue).
+    fn alloc_stream(&mut self) -> StreamId {
+        let s = StreamId(self.next_stream);
+        self.next_stream += 1;
+        s
     }
 
     /// Replay a batch of queries (possibly overlapping in time).
@@ -231,7 +280,7 @@ impl Runtime {
         let mut states: Vec<QState<'_>> = queries
             .iter()
             .map(|q| {
-                let arrival = base + SimDuration::from_micros(q.arrival.as_micros());
+                let arrival = base + q.arrival;
                 let start = arrival + q.inference_latency;
                 QState {
                     run: q.clone(),
@@ -242,6 +291,7 @@ impl Runtime {
                     aio: None,
                     done: q.trace.events.is_empty(),
                     start,
+                    stream: self.alloc_stream(),
                 }
             })
             .collect();
@@ -262,24 +312,41 @@ impl Runtime {
         self.now = states.iter().map(|s| s.t).max().unwrap_or(base).max(base);
         let timings = states
             .iter()
-            .map(|s| QueryTiming { arrival: s.arrival, start: s.start, end: s.t })
+            .map(|s| QueryTiming {
+                arrival: s.arrival,
+                start: s.start,
+                end: s.t,
+            })
             .collect();
-        RunResult { timings, stats: *self.pool.stats() }
+        RunResult {
+            timings,
+            stats: *self.pool.stats(),
+        }
     }
 
     fn step(&mut self, states: &mut [QState<'_>], qi: usize) {
-        let s = &mut states[qi];
-
         // Start the prefetcher the first time this query's timeline runs.
-        if !s.started_prefetch {
-            s.started_prefetch = true;
-            if let Some(pages) = s.run.prefetch.clone() {
-                let mut aio = AioPrefetcher::with_file_lens(self.window, self.file_lens.clone());
-                aio.start(pages, &mut self.pool, &mut self.os, &mut self.io, &self.cost, s.t);
-                s.aio = Some(aio);
+        // (Two-phase so `alloc_stream` doesn't overlap the `states` borrow.)
+        if !states[qi].started_prefetch {
+            states[qi].started_prefetch = true;
+            if let Some(pages) = states[qi].run.prefetch.clone() {
+                let stream = self.alloc_stream();
+                let mut aio =
+                    AioPrefetcher::with_file_lens(self.window, self.file_lens.clone(), stream);
+                let t = states[qi].t;
+                aio.start(
+                    pages,
+                    &mut self.pool,
+                    &mut self.os,
+                    &mut self.io,
+                    &self.cost,
+                    t,
+                );
+                states[qi].aio = Some(aio);
             }
         }
 
+        let s = &mut states[qi];
         match s.run.trace.events[s.cursor] {
             TraceEvent::Cpu { units } => {
                 s.t += self.cost.cpu_per_tuple.saturating_mul(units as u64);
@@ -288,12 +355,17 @@ impl Runtime {
                 self.serve_read(s, page, kind.is_sequential());
             }
         }
+        let s = &mut states[qi];
         s.cursor += 1;
         if s.cursor >= s.run.trace.events.len() {
             s.done = true;
             if let Some(aio) = s.aio.as_mut() {
                 aio.finish(&mut self.pool);
+                self.os.retire_stream(aio.stream());
             }
+            // Close the query's own "fd" too: detector state must not
+            // accumulate over the lifetime of a long-running serving stack.
+            self.os.retire_stream(s.stream);
         }
     }
 
@@ -315,7 +387,7 @@ impl Runtime {
                 .get(page.file.0 as usize)
                 .copied()
                 .unwrap_or(u32::MAX);
-            let outcome = self.os.read(page, file_len);
+            let outcome = self.os.read(s.stream, page, file_len);
             if outcome.cache_hit {
                 s.t += self.cost.os_cache_copy;
                 self.pool.stats_mut().os_copies += 1;
@@ -349,7 +421,11 @@ mod tests {
     }
 
     fn read_ev(p: u32, kind: AccessKind) -> TraceEvent {
-        TraceEvent::Read { obj: ObjectId(0), page: pid(p), kind }
+        TraceEvent::Read {
+            obj: ObjectId(0),
+            page: pid(p),
+            kind,
+        }
     }
 
     /// A trace of `n` random (non-sequential) heap reads with CPU work
@@ -418,8 +494,7 @@ mod tests {
         let mut pages = t.page_sequence();
         pages.sort_unstable();
         pages.dedup();
-        let (pref, stats) =
-            single(&cfg, QueryRun::with_prefetch(&t, pages, SimDuration::ZERO));
+        let (pref, stats) = single(&cfg, QueryRun::with_prefetch(&t, pages, SimDuration::ZERO));
 
         assert!(stats.prefetch_issued > 0);
         assert!(stats.hits > 250, "most reads served from prefetched pages");
@@ -434,8 +509,7 @@ mod tests {
         let (base, _) = single(&cfg, QueryRun::default_run(&t));
         // Prefetch 200 pages the query never touches.
         let junk: Vec<PageId> = (11_000..11_200).map(pid).collect();
-        let (pref, stats) =
-            single(&cfg, QueryRun::with_prefetch(&t, junk, SimDuration::ZERO));
+        let (pref, stats) = single(&cfg, QueryRun::with_prefetch(&t, junk, SimDuration::ZERO));
         assert_eq!(stats.prefetch_useful, 0);
         // Paper: "even if PYTHIA does not predict any page correctly, we can
         // expect the regression to be within the margin of error".
@@ -451,7 +525,12 @@ mod tests {
         let inf = SimDuration::from_millis(100);
         let (with_inf, _) = single(
             &cfg,
-            QueryRun { trace: &t, prefetch: None, arrival: SimTime::ZERO, inference_latency: inf },
+            QueryRun {
+                trace: &t,
+                prefetch: None,
+                arrival: SimDuration::ZERO,
+                inference_latency: inf,
+            },
         );
         assert_eq!(with_inf.as_micros(), base.as_micros() + inf.as_micros());
     }
@@ -466,7 +545,10 @@ mod tests {
         let second = rt.run(&[QueryRun::default_run(&t)]);
         let t1 = first.timings[0].elapsed();
         let t2 = second.timings[0].end.since(second.timings[0].arrival);
-        assert!(t2.as_micros() * 10 < t1.as_micros(), "warm run {t2} vs cold {t1}");
+        assert!(
+            t2.as_micros() * 10 < t1.as_micros(),
+            "warm run {t2} vs cold {t1}"
+        );
     }
 
     #[test]
@@ -503,13 +585,91 @@ mod tests {
         let cfg = config();
         let t = random_trace(50, 2);
         let mut rt = Runtime::new(&cfg, vec![20_000]);
-        let late = SimTime::from_micros(1_000_000);
+        let late = SimDuration::from_micros(1_000_000);
         let res = rt.run(&[
             QueryRun::default_run(&t),
-            QueryRun { trace: &t, prefetch: None, arrival: late, inference_latency: SimDuration::ZERO },
+            QueryRun {
+                trace: &t,
+                prefetch: None,
+                arrival: late,
+                inference_latency: SimDuration::ZERO,
+            },
         ]);
-        assert!(res.timings[1].start >= late);
+        assert!(res.timings[1].start >= SimTime::ZERO + late);
         assert!(res.timings[1].end > res.timings[0].end);
+    }
+
+    #[test]
+    fn arrivals_are_offsets_from_the_warm_clock() {
+        // `QueryRun::arrival` is a duration relative to the batch start, so
+        // chaining warm batches cannot double-shift it: the second batch's
+        // offset lands exactly `gap` after wherever the clock is.
+        let cfg = config();
+        let t = random_trace(20, 2);
+        let mut rt = Runtime::new(&cfg, vec![20_000]);
+        let first = rt.run(&[QueryRun::default_run(&t)]);
+        let clock = first.timings[0].end;
+        let gap = SimDuration::from_micros(777);
+        let second = rt.run(&[QueryRun {
+            trace: &t,
+            prefetch: None,
+            arrival: gap,
+            inference_latency: SimDuration::ZERO,
+        }]);
+        assert_eq!(second.timings[0].arrival, clock + gap);
+    }
+
+    #[test]
+    fn interleaved_sequential_scans_keep_readahead() {
+        // Regression: two concurrent sequential scans over disjoint ranges of
+        // one file. The OS readahead detector is keyed per (stream, file) —
+        // per open fd, like the kernel — so each scan's run survives the
+        // other's interleaved reads and nearly all reads become OS-cache
+        // copies. The old per-file detector saw an alternating page sequence,
+        // never fired, and every read went to disk.
+        fn scan(start: u32, n: u32) -> Trace {
+            let mut events = Vec::new();
+            for i in 0..n {
+                events.push(read_ev(start + i, AccessKind::SeqScan));
+                events.push(TraceEvent::Cpu { units: 2 });
+            }
+            Trace { events }
+        }
+        let cfg = config();
+        let a = scan(0, 300);
+        let b = scan(5_000, 300);
+        let mut rt = Runtime::new(&cfg, vec![20_000]);
+        let res = rt.run(&[QueryRun::default_run(&a), QueryRun::default_run(&b)]);
+        assert!(
+            res.stats.os_copies > 550,
+            "interleaved scans must both get readahead: os_copies={}",
+            res.stats.os_copies
+        );
+        assert!(
+            res.stats.disk_reads < 50,
+            "disk_reads={}",
+            res.stats.disk_reads
+        );
+    }
+
+    #[test]
+    fn runtime_clock_hooks() {
+        let cfg = config();
+        let t = random_trace(10, 1);
+        let mut rt = Runtime::new(&cfg, vec![20_000]);
+        assert_eq!(rt.now(), SimTime::ZERO);
+        rt.advance_to(SimTime::from_micros(500));
+        assert_eq!(rt.now(), SimTime::from_micros(500));
+        rt.advance_to(SimTime::from_micros(100)); // no going backwards
+        assert_eq!(rt.now(), SimTime::from_micros(500));
+        let res = rt.run(&[QueryRun::default_run(&t)]);
+        assert_eq!(res.timings[0].arrival, SimTime::from_micros(500));
+        assert!(rt.now() >= res.timings[0].end);
+        assert_eq!(
+            rt.stats(),
+            res.stats,
+            "stats snapshot matches the last result"
+        );
     }
 
     #[test]
@@ -536,7 +696,11 @@ mod tests {
     fn prefetch_wait_accounting() {
         // A query that reads its first prefetched page immediately must wait
         // for the in-flight I/O.
-        let cfg = RunConfig { pool_frames: 64, os_cache_pages: 256, ..Default::default() };
+        let cfg = RunConfig {
+            pool_frames: 64,
+            os_cache_pages: 256,
+            ..Default::default()
+        };
         let t = Trace {
             events: vec![read_ev(7, AccessKind::HeapFetch)],
         };
@@ -557,7 +721,14 @@ mod tests {
         let pages = t.page_sequence();
         let res = rt.run(&[QueryRun::with_prefetch(&t, pages, SimDuration::ZERO)]);
         let rpt = res.report();
-        for needle in ["Replay report", "query 0", "makespan", "buffer hits", "prefetch", "evictions"] {
+        for needle in [
+            "Replay report",
+            "query 0",
+            "makespan",
+            "buffer hits",
+            "prefetch",
+            "evictions",
+        ] {
             assert!(rpt.contains(needle), "missing '{needle}' in:\n{rpt}");
         }
     }

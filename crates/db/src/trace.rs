@@ -40,7 +40,11 @@ impl AccessKind {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceEvent {
     /// A page request to the buffer manager.
-    Read { obj: ObjectId, page: PageId, kind: AccessKind },
+    Read {
+        obj: ObjectId,
+        page: PageId,
+        kind: AccessKind,
+    },
     /// `units` tuples' worth of CPU work since the previous event.
     Cpu { units: u32 },
 }
@@ -169,7 +173,10 @@ mod tests {
         assert_eq!(sets.len(), 2);
         assert_eq!(sets[&ObjectId(1)], vec![2, 3, 5]);
         assert_eq!(sets[&ObjectId(2)], vec![9]);
-        assert!(!sets.contains_key(&ObjectId(0)), "sequential-only object excluded");
+        assert!(
+            !sets.contains_key(&ObjectId(0)),
+            "sequential-only object excluded"
+        );
         assert_eq!(t.distinct_non_sequential(), 4);
     }
 

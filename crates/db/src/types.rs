@@ -85,7 +85,10 @@ impl Schema {
         Schema {
             columns: names
                 .iter()
-                .map(|n| Column { name: n.as_ref().to_owned(), ty: DataType::Int })
+                .map(|n| Column {
+                    name: n.as_ref().to_owned(),
+                    ty: DataType::Int,
+                })
                 .collect(),
         }
     }

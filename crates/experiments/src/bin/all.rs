@@ -28,6 +28,7 @@ enum Job {
     Fig12G,
     Fig12H,
     Fig13,
+    Serving,
 }
 
 fn main() {
@@ -41,7 +42,10 @@ fn main() {
     );
     let t0 = std::time::Instant::now();
     let env = Env::new(cfg.clone());
-    eprintln!("[pythia] database built: {} pages", env.bench.db.disk.total_pages());
+    eprintln!(
+        "[pythia] database built: {} pages",
+        env.bench.db.disk.total_pages()
+    );
 
     // Warm the shared caches before fanning out: training itself spreads
     // over the pool, and warmed caches keep the figure jobs lock-free.
@@ -49,12 +53,15 @@ fn main() {
         env.prepare(template);
         env.trained_default(template);
     }
-    eprintln!("[pythia] workloads sampled and models trained ({:.1}s)", t0.elapsed().as_secs_f64());
+    eprintln!(
+        "[pythia] workloads sampled and models trained ({:.1}s)",
+        t0.elapsed().as_secs_f64()
+    );
 
     use Job::*;
     let jobs = [
-        Table1, Fig01, Fig0506, Fig0708, Fig09, Fig1011, Fig12A, Fig12B, Fig12C, Fig12D,
-        Fig12E, Fig12F, Fig12G, Fig12H, Fig13,
+        Table1, Fig01, Fig0506, Fig0708, Fig09, Fig1011, Fig12A, Fig12B, Fig12C, Fig12D, Fig12E,
+        Fig12F, Fig12G, Fig12H, Fig13, Serving,
     ];
     let groups: Vec<Vec<(&'static str, Table)>> = parallel_map(&jobs, |_, job| match job {
         Table1 => vec![("table1", table1::run(&env))],
@@ -82,8 +89,14 @@ fn main() {
         Fig12H => vec![("fig12h", fig12::run_h(&env))],
         Fig13 => {
             let r = fig13::run(&env);
-            vec![("fig13a", r.a), ("fig13b", r.b), ("fig13c", r.c), ("fig13d", r.d)]
+            vec![
+                ("fig13a", r.a),
+                ("fig13b", r.b),
+                ("fig13c", r.c),
+                ("fig13d", r.d),
+            ]
         }
+        Serving => vec![("serving", serving::run(&env))],
     });
     for group in groups {
         for (id, table) in group {
@@ -91,5 +104,8 @@ fn main() {
         }
     }
 
-    eprintln!("[pythia] suite finished in {:.1}s; CSVs in results/", t0.elapsed().as_secs_f64());
+    eprintln!(
+        "[pythia] suite finished in {:.1}s; CSVs in results/",
+        t0.elapsed().as_secs_f64()
+    );
 }

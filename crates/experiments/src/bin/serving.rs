@@ -1,0 +1,21 @@
+//! Run the serving-loop experiment (Figure 13d through admission control)
+//! and print one full serving report for illustration.
+use pythia_core::server::QueuePolicy;
+use pythia_experiments::{serving, Env, ExpConfig};
+use pythia_workloads::templates::Template;
+
+fn main() {
+    let env = Env::new(ExpConfig::from_env());
+    serving::run(&env).emit("serving");
+
+    let tw = env.trained_default(Template::T18);
+    let rep = serving::serve_poisson(
+        &env,
+        Template::T18,
+        Some(tw.as_ref()),
+        QueuePolicy::Overlap,
+        0.75,
+        env.cfg.seed ^ 0x5E4B,
+    );
+    println!("{}", rep.report());
+}

@@ -14,7 +14,6 @@
 
 use pythia_buffer::PolicyKind;
 use pythia_db::runtime::{QueryRun, RunConfig};
-use pythia_sim::SimTime;
 use pythia_workloads::templates::Template;
 
 use crate::harness::Env;
@@ -59,7 +58,10 @@ pub fn run_scheduler(env: &Env) -> Table {
             format!("batch {} ({} queries)", bi + 1, chunk.len()),
             fifo.to_string(),
             sched.to_string(),
-            format!("{:.1}%", (1.0 - sched.as_micros() as f64 / fifo.as_micros() as f64) * 100.0),
+            format!(
+                "{:.1}%",
+                (1.0 - sched.as_micros() as f64 / fifo.as_micros() as f64) * 100.0
+            ),
         ]);
     }
     t
@@ -97,7 +99,6 @@ pub fn run_replacement(env: &Env) -> Table {
                         QueryRun::default_run(&w.traces[qi])
                     }
                 })
-                .map(|r| QueryRun { arrival: SimTime::ZERO, ..r })
                 .collect();
             let res = rt.run(&runs);
             (res.makespan(), res.stats)

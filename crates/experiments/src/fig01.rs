@@ -46,7 +46,11 @@ mod tests {
     fn nonseq_prefetch_dominates_seq_prefetch() {
         // Needs a scale where queries are non-sequential-I/O-bound, as in
         // the paper's SF100 setup (a toy database is seq-scan dominated).
-        let cfg = ExpConfig { scale: 0.12, n_queries: 12, ..ExpConfig::quick() };
+        let cfg = ExpConfig {
+            scale: 0.12,
+            n_queries: 12,
+            ..ExpConfig::quick()
+        };
         let env = Env::new(cfg);
         let t = run(&env);
         assert_eq!(t.rows.len(), 3);
@@ -57,7 +61,11 @@ mod tests {
             let nonseq: f64 = row[2].parse().unwrap();
             seq_mean += seq / 3.0;
             nonseq_mean += nonseq / 3.0;
-            assert!(nonseq > 1.2, "{}: non-seq oracle should clearly win: {nonseq}", row[0]);
+            assert!(
+                nonseq > 1.2,
+                "{}: non-seq oracle should clearly win: {nonseq}",
+                row[0]
+            );
         }
         assert!(
             nonseq_mean > seq_mean,

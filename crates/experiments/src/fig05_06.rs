@@ -56,7 +56,13 @@ pub struct Fig0506 {
 pub fn run(env: &Env) -> Fig0506 {
     let mut f1_table = Table::new(
         "Figure 5: F1 score, Pythia vs NN baseline",
-        &["workload", "pythia median F1", "pythia q25", "pythia q75", "NN median F1"],
+        &[
+            "workload",
+            "pythia median F1",
+            "pythia q25",
+            "pythia q75",
+            "NN median F1",
+        ],
     );
     let mut sp_table = Table::new(
         "Figure 6: Speedup over DFLT, Pythia vs ORCL vs NN",
@@ -114,7 +120,10 @@ pub fn run(env: &Env) -> Fig0506 {
             f2(mean(&nn_sp)),
         ]);
     }
-    Fig0506 { f1: f1_table, speedup: sp_table }
+    Fig0506 {
+        f1: f1_table,
+        speedup: sp_table,
+    }
 }
 
 #[cfg(test)]
@@ -125,8 +134,9 @@ mod tests {
     fn pageid_f1_edge_cases() {
         let empty = BTreeSet::new();
         assert_eq!(f1_of_pageid_sets(&empty, &empty), 1.0);
-        let one: BTreeSet<PageId> =
-            [PageId::new(pythia_sim::FileId(0), 1)].into_iter().collect();
+        let one: BTreeSet<PageId> = [PageId::new(pythia_sim::FileId(0), 1)]
+            .into_iter()
+            .collect();
         assert_eq!(f1_of_pageid_sets(&one, &empty), 0.0);
         assert_eq!(f1_of_pageid_sets(&one, &one), 1.0);
     }

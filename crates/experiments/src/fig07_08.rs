@@ -24,11 +24,21 @@ pub struct Fig0708 {
 pub fn run(env: &Env) -> Fig0708 {
     let mut f1_table = Table::new(
         "Figure 7: F1 by test-query/workload similarity bucket",
-        &["workload", BUCKET_NAMES[0], BUCKET_NAMES[1], BUCKET_NAMES[2]],
+        &[
+            "workload",
+            BUCKET_NAMES[0],
+            BUCKET_NAMES[1],
+            BUCKET_NAMES[2],
+        ],
     );
     let mut sp_table = Table::new(
         "Figure 8: Speedup by test-query/workload similarity bucket",
-        &["workload", BUCKET_NAMES[0], BUCKET_NAMES[1], BUCKET_NAMES[2]],
+        &[
+            "workload",
+            BUCKET_NAMES[0],
+            BUCKET_NAMES[1],
+            BUCKET_NAMES[2],
+        ],
     );
 
     for template in Template::ALL {
@@ -72,5 +82,8 @@ pub fn run(env: &Env) -> Fig0708 {
             f2(mean(&collect(&sps, 2))),
         ]);
     }
-    Fig0708 { f1: f1_table, speedup: sp_table }
+    Fig0708 {
+        f1: f1_table,
+        speedup: sp_table,
+    }
 }

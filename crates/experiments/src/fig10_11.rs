@@ -22,11 +22,21 @@ pub struct Fig1011 {
 pub fn run(env: &Env) -> Fig1011 {
     let mut f1_table = Table::new(
         "Figure 10: F1 by number of distinct non-sequential reads",
-        &["workload", BUCKET_NAMES[0], BUCKET_NAMES[1], BUCKET_NAMES[2]],
+        &[
+            "workload",
+            BUCKET_NAMES[0],
+            BUCKET_NAMES[1],
+            BUCKET_NAMES[2],
+        ],
     );
     let mut sp_table = Table::new(
         "Figure 11: Speedup by number of distinct non-sequential reads",
-        &["workload", BUCKET_NAMES[0], BUCKET_NAMES[1], BUCKET_NAMES[2]],
+        &[
+            "workload",
+            BUCKET_NAMES[0],
+            BUCKET_NAMES[1],
+            BUCKET_NAMES[2],
+        ],
     );
 
     for template in Template::ALL {
@@ -69,5 +79,8 @@ pub fn run(env: &Env) -> Fig1011 {
             f2(mean(&collect(&sps, 2))),
         ]);
     }
-    Fig1011 { f1: f1_table, speedup: sp_table }
+    Fig1011 {
+        f1: f1_table,
+        speedup: sp_table,
+    }
 }

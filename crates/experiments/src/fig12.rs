@@ -1,10 +1,10 @@
 //! Figure 12: the eight factor studies, all on Template 18 (paper §5.3).
 
+use pythia_buffer::PolicyKind;
 use pythia_core::metrics::f1_score;
 use pythia_core::predictor::ground_truth;
 use pythia_core::PythiaConfig;
 use pythia_db::runtime::RunConfig;
-use pythia_buffer::PolicyKind;
 use pythia_workloads::templates::Template;
 
 use crate::config::ExpConfig;
@@ -22,7 +22,12 @@ fn mean_f1(env: &Env, w: &PreparedWorkload, tw: &pythia_core::predictor::Trained
     mean(&f1s)
 }
 
-fn mean_speedup(env: &Env, run_cfg: &RunConfig, w: &PreparedWorkload, tw: &pythia_core::predictor::TrainedWorkload) -> f64 {
+fn mean_speedup(
+    env: &Env,
+    run_cfg: &RunConfig,
+    w: &PreparedWorkload,
+    tw: &pythia_core::predictor::TrainedWorkload,
+) -> f64 {
     let prefetches = env.pythia_prefetch_batch(run_cfg, tw, &w.test_plans());
     let sps: Vec<f64> = prefetches
         .into_iter()
@@ -74,7 +79,11 @@ pub fn run_b(env: &Env) -> Table {
             test_idx: w.test_idx.clone(),
         };
         let tw = env.train(&sub);
-        t.row(vec![format!("{:.0}%", frac * 100.0), k.to_string(), f3(mean_f1(env, &sub, &tw))]);
+        t.row(vec![
+            format!("{:.0}%", frac * 100.0),
+            k.to_string(),
+            f3(mean_f1(env, &sub, &tw)),
+        ]);
     }
     t
 }
@@ -83,7 +92,11 @@ pub fn run_b(env: &Env) -> Table {
 pub fn run_c(env: &Env) -> Table {
     let mut t = Table::new(
         "Figure 12c: homogeneous vs heterogeneous workload (T18 + T19)",
-        &["workload type", "mean F1 on T18 tests", "mean F1 on T19 tests"],
+        &[
+            "workload type",
+            "mean F1 on T18 tests",
+            "mean F1 on T19 tests",
+        ],
     );
     let w18 = env.prepare(Template::T18);
     let w19 = env.prepare(Template::T19);
@@ -149,7 +162,10 @@ pub fn run_d(env: &Env) -> Table {
         f3(mean_f1(env, &w, &separate)),
         f2(separate.size_bytes() as f64 / 1e6),
     ]);
-    let combined_cfg = PythiaConfig { combined_index_base: true, ..env.cfg.pythia.clone() };
+    let combined_cfg = PythiaConfig {
+        combined_index_base: true,
+        ..env.cfg.pythia.clone()
+    };
     let combined = env.train_with(&w, &combined_cfg);
     t.row(vec![
         "combined".into(),
@@ -173,10 +189,17 @@ pub fn run_e(env: &Env) -> Table {
         let run_cfg = RunConfig {
             policy,
             pool_frames: (env.run_cfg.pool_frames / 2).max(64),
-            readahead_window: env.run_cfg.readahead_window.min(env.run_cfg.pool_frames / 4).max(16),
+            readahead_window: env
+                .run_cfg
+                .readahead_window
+                .min(env.run_cfg.pool_frames / 4)
+                .max(16),
             ..env.run_cfg.clone()
         };
-        t.row(vec![policy.to_string(), f2(mean_speedup(env, &run_cfg, &w, &tw))]);
+        t.row(vec![
+            policy.to_string(),
+            f2(mean_speedup(env, &run_cfg, &w, &tw)),
+        ]);
     }
     t
 }
@@ -196,7 +219,10 @@ pub fn run_f(env: &Env) -> Table {
             readahead_window: env.run_cfg.readahead_window.min(frames / 2).max(16),
             ..env.run_cfg.clone()
         };
-        t.row(vec![frames.to_string(), f2(mean_speedup(env, &run_cfg, &w, &tw))]);
+        t.row(vec![
+            frames.to_string(),
+            f2(mean_speedup(env, &run_cfg, &w, &tw)),
+        ]);
     }
     t
 }
@@ -211,8 +237,14 @@ pub fn run_g(env: &Env) -> Table {
     let tw = env.trained_default(Template::T18);
     for r in [16usize, 64, 256, 1024] {
         let r = r.min(env.run_cfg.pool_frames / 2).max(8);
-        let run_cfg = RunConfig { readahead_window: r, ..env.run_cfg.clone() };
-        t.row(vec![r.to_string(), f2(mean_speedup(env, &run_cfg, &w, &tw))]);
+        let run_cfg = RunConfig {
+            readahead_window: r,
+            ..env.run_cfg.clone()
+        };
+        t.row(vec![
+            r.to_string(),
+            f2(mean_speedup(env, &run_cfg, &w, &tw)),
+        ]);
     }
     t
 }
@@ -226,12 +258,7 @@ pub fn run_h(env: &Env) -> Table {
     let w = env.prepare(Template::T18);
     // k relative to the largest modeled object.
     let full = env.trained_default(Template::T18);
-    let max_pages = full
-        .models
-        .values()
-        .map(|m| m.n_pages)
-        .max()
-        .unwrap_or(64) as usize;
+    let max_pages = full.models.values().map(|m| m.n_pages).max().unwrap_or(64) as usize;
     for (label, k) in [
         ("top 1/16 of pages", Some(max_pages / 16)),
         ("top 1/4 of pages", Some(max_pages / 4)),
@@ -243,7 +270,10 @@ pub fn run_h(env: &Env) -> Table {
             // Reuse the already-trained full model.
             None => full.as_ref(),
             Some(kv) => {
-                let cfg = PythiaConfig { top_k: Some(kv.max(8)), ..env.cfg.pythia.clone() };
+                let cfg = PythiaConfig {
+                    top_k: Some(kv.max(8)),
+                    ..env.cfg.pythia.clone()
+                };
                 trained = env.train_with(&w, &cfg);
                 &trained
             }

@@ -9,7 +9,7 @@ use pythia_core::predictor::TrainedWorkload;
 use pythia_db::plan::PlanNode;
 use pythia_db::runtime::QueryRun;
 use pythia_db::trace::Trace;
-use pythia_sim::{PageId, SimDuration, SimTime};
+use pythia_sim::{PageId, SimDuration};
 use pythia_workloads::templates::Template;
 
 use crate::harness::{mean, Env, PreparedWorkload};
@@ -40,12 +40,12 @@ impl<'a> Batch<'a> {
         total
     }
 
-    /// Makespan of the batch run concurrently with the given arrivals.
+    /// Makespan of the batch run concurrently with the given arrival offsets.
     fn concurrent_makespan(
         &self,
         env: &Env,
         variant: &Variant,
-        arrivals: &[SimTime],
+        arrivals: &[SimDuration],
     ) -> SimDuration {
         let prefetches = self.prefetches(env, variant);
         let mut rt = env.runtime();
@@ -77,8 +77,7 @@ impl<'a> Batch<'a> {
                 })
                 .collect(),
             Variant::Pythia => {
-                let mut out: Vec<Option<(Vec<PageId>, SimDuration)>> =
-                    vec![None; self.items.len()];
+                let mut out: Vec<Option<(Vec<PageId>, SimDuration)>> = vec![None; self.items.len()];
                 let mut grouped = vec![false; self.items.len()];
                 for i in 0..self.items.len() {
                     if grouped[i] {
@@ -88,8 +87,7 @@ impl<'a> Batch<'a> {
                     let idxs: Vec<usize> = (i..self.items.len())
                         .filter(|&j| !grouped[j] && std::ptr::eq(self.items[j].2, tw))
                         .collect();
-                    let plans: Vec<&PlanNode> =
-                        idxs.iter().map(|&j| self.items[j].0).collect();
+                    let plans: Vec<&PlanNode> = idxs.iter().map(|&j| self.items[j].0).collect();
                     let batched = env.pythia_prefetch_batch(&env.run_cfg, tw, &plans);
                     for (&j, pf) in idxs.iter().zip(batched) {
                         out[j] = Some(pf);
@@ -110,7 +108,10 @@ impl<'a> Batch<'a> {
 }
 
 struct Fleet {
-    workloads: Vec<(std::sync::Arc<PreparedWorkload>, std::sync::Arc<TrainedWorkload>)>,
+    workloads: Vec<(
+        std::sync::Arc<PreparedWorkload>,
+        std::sync::Arc<TrainedWorkload>,
+    )>,
 }
 
 impl Fleet {
@@ -146,9 +147,9 @@ impl Fleet {
             let wi = which[i % which.len()];
             let (w, tw) = &self.workloads[wi];
             let pool = &mut cursors[wi];
-            let qi = pool.pop().unwrap_or_else(|| {
-                w.test_idx[rng.gen_range(0..w.test_idx.len())]
-            });
+            let qi = pool
+                .pop()
+                .unwrap_or_else(|| w.test_idx[rng.gen_range(0..w.test_idx.len())]);
             items.push((&w.queries[qi].plan, &w.traces[qi], tw.as_ref()));
         }
         Batch { items }
@@ -191,10 +192,9 @@ pub fn run(env: &Env) -> Fig13 {
     );
     for &n in &[1usize, 2, 4, 8] {
         let batch = fleet.sample(&[0], n, env.cfg.seed ^ 0xB0 ^ n as u64);
-        let arrivals = vec![SimTime::ZERO; n];
+        let arrivals = vec![SimDuration::ZERO; n];
         let dflt = batch.concurrent_makespan(env, &Variant::Dflt, &arrivals);
-        let pythia =
-            batch.concurrent_makespan(env, &Variant::Pythia, &arrivals);
+        let pythia = batch.concurrent_makespan(env, &Variant::Pythia, &arrivals);
         b.row(vec![
             n.to_string(),
             f2(dflt.as_micros() as f64 / pythia.as_micros().max(1) as f64),
@@ -208,10 +208,9 @@ pub fn run(env: &Env) -> Fig13 {
     );
     for &n in &[2usize, 4, 8] {
         let batch = fleet.sample(&[0, 1, 2], n, env.cfg.seed ^ 0xC0 ^ n as u64);
-        let arrivals = vec![SimTime::ZERO; n];
+        let arrivals = vec![SimDuration::ZERO; n];
         let dflt = batch.concurrent_makespan(env, &Variant::Dflt, &arrivals);
-        let pythia =
-            batch.concurrent_makespan(env, &Variant::Pythia, &arrivals);
+        let pythia = batch.concurrent_makespan(env, &Variant::Pythia, &arrivals);
         c.row(vec![
             n.to_string(),
             f2(dflt.as_micros() as f64 / pythia.as_micros().max(1) as f64),
@@ -227,8 +226,10 @@ pub fn run(env: &Env) -> Fig13 {
     let probe = fleet.sample(&[0], 3, env.cfg.seed ^ 0xD0);
     let mut runtimes = Vec::new();
     for (_, trace, _) in &probe.items {
-        runtimes
-            .push(env.cold_time(&env.run_cfg, trace, None, SimDuration::ZERO).as_micros() as f64);
+        runtimes.push(
+            env.cold_time(&env.run_cfg, trace, None, SimDuration::ZERO)
+                .as_micros() as f64,
+        );
     }
     let expected_rt = mean(&runtimes);
     let mut rng = StdRng::seed_from_u64(env.cfg.seed ^ 0xDD);
@@ -244,11 +245,10 @@ pub fn run(env: &Env) -> Fig13 {
                 let u: f64 = rng.gen_range(f64::EPSILON..1.0);
                 t += -mean_gap * u.ln();
             }
-            arrivals.push(SimTime::from_micros(t as u64));
+            arrivals.push(SimDuration::from_micros(t as u64));
         }
         let dflt = batch.concurrent_makespan(env, &Variant::Dflt, &arrivals);
-        let pythia =
-            batch.concurrent_makespan(env, &Variant::Pythia, &arrivals);
+        let pythia = batch.concurrent_makespan(env, &Variant::Pythia, &arrivals);
         d.row(vec![
             format!("{:.0}%", overlap * 100.0),
             f2(dflt.as_micros() as f64 / pythia.as_micros().max(1) as f64),

@@ -11,7 +11,7 @@ use pythia_core::{train_workload, PythiaConfig};
 use pythia_db::plan::PlanNode;
 use pythia_db::runtime::{QueryRun, RunConfig, Runtime};
 use pythia_db::trace::Trace;
-use pythia_sim::{PageId, SimDuration, SimTime};
+use pythia_sim::{PageId, SimDuration};
 use pythia_workloads::templates::{sample_workload, QueryInstance, Template};
 use pythia_workloads::{build_benchmark, BenchmarkDb, GeneratorConfig};
 
@@ -29,23 +29,34 @@ pub struct PreparedWorkload {
 impl PreparedWorkload {
     /// Training plans (cloned).
     pub fn train_plans(&self) -> Vec<PlanNode> {
-        self.train_idx.iter().map(|&i| self.queries[i].plan.clone()).collect()
+        self.train_idx
+            .iter()
+            .map(|&i| self.queries[i].plan.clone())
+            .collect()
     }
 
     /// Training traces (cloned).
     pub fn train_traces(&self) -> Vec<Trace> {
-        self.train_idx.iter().map(|&i| self.traces[i].clone()).collect()
+        self.train_idx
+            .iter()
+            .map(|&i| self.traces[i].clone())
+            .collect()
     }
 
     /// Iterate `(plan, trace)` of the held-out test queries.
     pub fn test_queries(&self) -> impl Iterator<Item = (&PlanNode, &Trace)> {
-        self.test_idx.iter().map(|&i| (&self.queries[i].plan, &self.traces[i]))
+        self.test_idx
+            .iter()
+            .map(|&i| (&self.queries[i].plan, &self.traces[i]))
     }
 
     /// Borrowed test-query plans, in [`Self::test_queries`] order — the
     /// input shape batched inference wants.
     pub fn test_plans(&self) -> Vec<&PlanNode> {
-        self.test_idx.iter().map(|&i| &self.queries[i].plan).collect()
+        self.test_idx
+            .iter()
+            .map(|&i| &self.queries[i].plan)
+            .collect()
     }
 }
 
@@ -61,14 +72,19 @@ pub struct Env {
     pub cfg: ExpConfig,
     pub bench: BenchmarkDb,
     pub run_cfg: RunConfig,
-    prepared: std::sync::Mutex<std::collections::HashMap<(Template, usize), std::sync::Arc<PreparedWorkload>>>,
+    prepared: std::sync::Mutex<
+        std::collections::HashMap<(Template, usize), std::sync::Arc<PreparedWorkload>>,
+    >,
     trained: std::sync::Mutex<std::collections::HashMap<Template, std::sync::Arc<TrainedWorkload>>>,
 }
 
 impl Env {
     /// Build the benchmark database at the configured scale.
     pub fn new(cfg: ExpConfig) -> Env {
-        let bench = build_benchmark(&GeneratorConfig { scale: cfg.scale, seed: cfg.seed });
+        let bench = build_benchmark(&GeneratorConfig {
+            scale: cfg.scale,
+            seed: cfg.seed,
+        });
         let run_cfg = cfg.sized_run(bench.db.disk.total_pages());
         Env {
             cfg,
@@ -81,7 +97,10 @@ impl Env {
 
     /// Like [`Env::new`] but at an explicit scale (Figure 12a).
     pub fn at_scale(cfg: ExpConfig, scale: f64) -> Env {
-        let bench = build_benchmark(&GeneratorConfig { scale, seed: cfg.seed });
+        let bench = build_benchmark(&GeneratorConfig {
+            scale,
+            seed: cfg.seed,
+        });
         let run_cfg = cfg.sized_run(bench.db.disk.total_pages());
         Env {
             cfg,
@@ -191,7 +210,7 @@ impl Env {
         let res = rt.run(&[QueryRun {
             trace,
             prefetch,
-            arrival: SimTime::ZERO,
+            arrival: SimDuration::ZERO,
             inference_latency: inference,
         }]);
         res.timings[0].elapsed()
@@ -244,9 +263,8 @@ impl Env {
         }
         let t0 = std::time::Instant::now();
         let preds = tw.infer_batch(&self.bench.db, plans);
-        let inference = SimDuration::from_micros(
-            t0.elapsed().as_micros() as u64 / plans.len() as u64,
-        );
+        let inference =
+            SimDuration::from_micros(t0.elapsed().as_micros() as u64 / plans.len() as u64);
         let budget = run_cfg.pool_frames * 3 / 4;
         preds
             .into_iter()
@@ -363,7 +381,10 @@ mod tests {
     fn batched_prefetch_matches_serial_pages() {
         let env = tiny_env();
         let w = env.prepare_n(Template::T91, 8);
-        let pythia = PythiaConfig { epochs: 6, ..env.cfg.pythia.clone() };
+        let pythia = PythiaConfig {
+            epochs: 6,
+            ..env.cfg.pythia.clone()
+        };
         let tw = env.train_with(&w, &pythia);
         let plans = w.test_plans();
         assert!(!plans.is_empty());
@@ -382,7 +403,10 @@ mod tests {
         let first = env.prepare_n(Template::T91, 4);
         let again = pythia_nn::pool::parallel_map(&[(); 3], |_, _| env.prepare_n(Template::T91, 4));
         for w in &again {
-            assert!(std::sync::Arc::ptr_eq(w, &first), "cache must hand out one workload");
+            assert!(
+                std::sync::Arc::ptr_eq(w, &first),
+                "cache must hand out one workload"
+            );
         }
     }
 }

@@ -24,6 +24,7 @@ pub mod fig12;
 pub mod fig13;
 pub mod harness;
 pub mod output;
+pub mod serving;
 pub mod table1;
 
 pub use config::ExpConfig;

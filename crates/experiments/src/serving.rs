@@ -1,0 +1,177 @@
+//! Figure 13d through the serving loop: Poisson arrivals against the
+//! admission-controlled prefetch server.
+//!
+//! The original Figure 13d replays a pre-built batch with Poisson arrival
+//! offsets through one [`pythia_db::runtime::Runtime::run`] call — every
+//! query is "admitted" the moment it arrives. A deployed database instead
+//! admits under a concurrency limit, so this experiment re-expresses the
+//! sweep through [`PrefetchServer`]: queries arrive on the same Poisson
+//! process, queue, get batch-inferred per admission wave, and replay
+//! concurrently up to the admission limit. Scheduling extensions are then
+//! one-flag variants of the same loop — the table compares DFLT (no
+//! predictor) against Pythia under FIFO and under the §7 overlap scheduler.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pythia_core::predictor::TrainedWorkload;
+use pythia_core::server::{
+    InferenceCharge, PrefetchServer, QueuePolicy, ServeReport, ServerConfig, ServerRequest,
+};
+use pythia_sim::SimDuration;
+use pythia_workloads::templates::Template;
+
+use crate::harness::{mean, Env};
+use crate::output::{f2, Table};
+
+/// Queries admitted concurrently per wave (the paper's machine runs a small
+/// number of backends at once; 2 keeps contention visible at quick scale).
+const CONCURRENCY: usize = 2;
+/// Queries in each served stream.
+const N_QUERIES: usize = 6;
+
+/// Poisson arrival offsets: exponential inter-arrival gaps with the given
+/// mean (first arrival at zero).
+fn poisson_arrivals(n: usize, mean_gap_us: f64, rng: &mut StdRng) -> Vec<SimDuration> {
+    let mut arrivals = Vec::with_capacity(n);
+    let mut t = 0.0f64;
+    for i in 0..n {
+        if i > 0 {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            t += -mean_gap_us * u.ln();
+        }
+        arrivals.push(SimDuration::from_micros(t as u64));
+    }
+    arrivals
+}
+
+/// Serve one Poisson-arrival stream of `template` test queries end to end.
+///
+/// `overlap` is the expected consecutive overlap fraction (Figure 13d's
+/// x-axis): the mean inter-arrival gap is `(1 - overlap) ×` the expected
+/// DFLT runtime. `tw = None` is the DFLT baseline (no prefetching).
+pub fn serve_poisson(
+    env: &Env,
+    template: Template,
+    tw: Option<&TrainedWorkload>,
+    policy: QueuePolicy,
+    overlap: f64,
+    seed: u64,
+) -> ServeReport {
+    let w = env.prepare(template);
+    let idxs: Vec<usize> = (0..N_QUERIES)
+        .map(|i| w.test_idx[i % w.test_idx.len()])
+        .collect();
+
+    // Expected single-query DFLT runtime calibrates the arrival rate.
+    let probes: Vec<f64> = idxs
+        .iter()
+        .take(3)
+        .map(|&qi| {
+            env.cold_time(&env.run_cfg, &w.traces[qi], None, SimDuration::ZERO)
+                .as_micros() as f64
+        })
+        .collect();
+    let mean_gap = (1.0 - overlap) * mean(&probes);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let arrivals = poisson_arrivals(idxs.len(), mean_gap, &mut rng);
+
+    let requests: Vec<ServerRequest<'_>> = idxs
+        .iter()
+        .zip(&arrivals)
+        .map(|(&qi, &arrival)| ServerRequest {
+            plan: &w.queries[qi].plan,
+            trace: &w.traces[qi],
+            arrival,
+        })
+        .collect();
+    let cfg = ServerConfig {
+        concurrency: CONCURRENCY,
+        policy,
+        charge: InferenceCharge::Measured,
+        prefetch_budget: None,
+    };
+    let mut server = PrefetchServer::new(&env.bench.db, &env.run_cfg, cfg);
+    if let Some(tw) = tw {
+        server = server.with_predictor(tw);
+    }
+    server.serve(&requests)
+}
+
+/// The serving-loop sweep: Figure 13d's overlap axis × serving policy.
+pub fn run(env: &Env) -> Table {
+    let mut t = Table::new(
+        "Serving loop: Poisson arrivals through admission control (Fig 13d re-expressed) — T18",
+        &[
+            "expected overlap",
+            "policy",
+            "makespan speedup vs DFLT",
+            "mean admission wait",
+            "mean occupancy",
+            "max queue depth",
+        ],
+    );
+    let tw = env.trained_default(Template::T18);
+
+    for &overlap in &[0.25f64, 0.5, 0.75, 1.0] {
+        let seed = env.cfg.seed ^ 0x5E ^ (overlap * 100.0) as u64;
+        let dflt = serve_poisson(env, Template::T18, None, QueuePolicy::Fifo, overlap, seed);
+        let variants = [
+            ("pythia FIFO", QueuePolicy::Fifo),
+            ("pythia overlap-sched", QueuePolicy::Overlap),
+        ];
+        for (name, policy) in variants {
+            let rep = serve_poisson(env, Template::T18, Some(tw.as_ref()), policy, overlap, seed);
+            t.row(vec![
+                format!("{:.0}%", overlap * 100.0),
+                name.to_string(),
+                f2(dflt.makespan().as_micros() as f64 / rep.makespan().as_micros().max(1) as f64),
+                rep.mean_admission_wait().to_string(),
+                f2(rep.mean_occupancy()),
+                rep.max_queue_depth().to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExpConfig;
+
+    #[test]
+    fn dflt_serving_reports_admission_metrics() {
+        let cfg = ExpConfig {
+            scale: 0.05,
+            n_queries: 12,
+            test_frac: 0.25,
+            ..ExpConfig::quick()
+        };
+        let env = Env::new(cfg);
+        // High overlap → arrivals bunch up → the concurrency limit must
+        // actually queue some queries.
+        let rep = serve_poisson(&env, Template::T91, None, QueuePolicy::Fifo, 1.0, 7);
+        assert_eq!(rep.queries.len(), N_QUERIES);
+        assert!(!rep.waves.is_empty());
+        assert!(rep.waves.iter().all(|w| w.occupancy <= CONCURRENCY));
+        assert!(
+            rep.max_queue_depth() >= CONCURRENCY,
+            "simultaneous arrivals must queue"
+        );
+        assert!(rep.makespan() > SimDuration::ZERO);
+        let report = rep.report();
+        assert!(report.contains("admission"), "{report}");
+    }
+
+    #[test]
+    fn poisson_gaps_are_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        assert_eq!(
+            poisson_arrivals(5, 1000.0, &mut a),
+            poisson_arrivals(5, 1000.0, &mut b)
+        );
+        assert_eq!(poisson_arrivals(3, 0.0, &mut a), vec![SimDuration::ZERO; 3]);
+    }
+}

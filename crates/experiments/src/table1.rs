@@ -41,7 +41,11 @@ mod tests {
 
     #[test]
     fn table1_has_four_workloads() {
-        let cfg = ExpConfig { scale: 0.05, n_queries: 8, ..ExpConfig::quick() };
+        let cfg = ExpConfig {
+            scale: 0.05,
+            n_queries: 8,
+            ..ExpConfig::quick()
+        };
         let env = Env::new(cfg);
         let t = run(&env);
         assert_eq!(t.rows.len(), 4);

@@ -13,7 +13,9 @@ pub struct Initializer {
 impl Initializer {
     /// Seeded initializer.
     pub fn new(seed: u64) -> Self {
-        Initializer { rng: StdRng::seed_from_u64(seed) }
+        Initializer {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Uniform in `[-a, a]`.
@@ -92,7 +94,12 @@ mod tests {
         let t = Initializer::new(3).normal(100, 100, 0.5);
         let n = t.len() as f32;
         let mean = t.sum() / n;
-        let var = t.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+        let var = t
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / n;
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var.sqrt() - 0.5).abs() < 0.05, "std {}", var.sqrt());
     }

@@ -31,7 +31,12 @@ impl Linear {
     ) -> Self {
         let w = params.add(&format!("{name}.w"), init.xavier(in_dim, out_dim));
         let b = params.add(&format!("{name}.b"), Tensor::zeros(1, out_dim));
-        Linear { w, b, in_dim, out_dim }
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Forward `[m, in_dim] -> [m, out_dim]` via the fused matmul+bias op
@@ -62,7 +67,12 @@ impl Embedding {
         max_len: usize,
     ) -> Self {
         let table = params.add(&format!("{name}.table"), init.normal(vocab, dim, 0.02));
-        Embedding { table, pe: positional_encoding(max_len, dim), vocab, dim }
+        Embedding {
+            table,
+            pe: positional_encoding(max_len, dim),
+            vocab,
+            dim,
+        }
     }
 
     /// Embed a token sequence: `[len] -> [len, dim]` (with positions added).
@@ -79,12 +89,21 @@ impl Embedding {
 
     /// Embed a packed batch of `batch` sequences of equal `seq_len`
     /// (`ids.len() == batch * seq_len`); positions restart per sequence.
-    pub fn forward_packed(&self, tape: &mut Tape, vars: &[Var], ids: &[usize], seq_len: usize) -> Var {
+    pub fn forward_packed(
+        &self,
+        tape: &mut Tape,
+        vars: &[Var],
+        ids: &[usize],
+        seq_len: usize,
+    ) -> Var {
         assert!(seq_len <= self.pe.rows(), "sequence longer than max_len");
-        assert_eq!(ids.len() % seq_len, 0, "packed batch not a multiple of seq_len");
+        assert_eq!(
+            ids.len() % seq_len,
+            0,
+            "packed batch not a multiple of seq_len"
+        );
         let emb = tape.embed(vars[self.table.0], ids);
-        let pe_tiled =
-            Tensor::from_fn(ids.len(), self.dim, |r, c| self.pe.get(r % seq_len, c));
+        let pe_tiled = Tensor::from_fn(ids.len(), self.dim, |r, c| self.pe.get(r % seq_len, c));
         tape.add_const(emb, &pe_tiled)
     }
 }
@@ -176,7 +195,11 @@ impl MultiHeadSelfAttention {
         lens: &[usize],
     ) -> Var {
         let batch = lens.len();
-        assert_eq!(tape.value(x).rows(), batch * seq_len, "packed shape mismatch");
+        assert_eq!(
+            tape.value(x).rows(),
+            batch * seq_len,
+            "packed shape mismatch"
+        );
         let dh = self.dim / self.heads;
         let q = self.wq.forward(tape, vars, x);
         let k = self.wk.forward(tape, vars, x);
@@ -189,13 +212,7 @@ impl MultiHeadSelfAttention {
             let vb = tape.slice_rows(v, b * seq_len, seq_len);
             // Mask: -1e9 on key columns past the sample's real length.
             let real = blen.min(seq_len).max(1);
-            let mask = Tensor::from_fn(seq_len, seq_len, |_, c| {
-                if c < real {
-                    0.0
-                } else {
-                    -1e9
-                }
-            });
+            let mask = Tensor::from_fn(seq_len, seq_len, |_, c| if c < real { 0.0 } else { -1e9 });
             let mut head_outs = Vec::with_capacity(self.heads);
             for h in 0..self.heads {
                 let qh = tape.slice_cols(qb, h * dh, dh);
@@ -298,8 +315,7 @@ impl TransformerEncoder {
         n_layers: usize,
         max_len: usize,
     ) -> Self {
-        let embedding =
-            Embedding::new(params, init, &format!("{name}.emb"), vocab, dim, max_len);
+        let embedding = Embedding::new(params, init, &format!("{name}.emb"), vocab, dim, max_len);
         let layers = (0..n_layers)
             .map(|l| {
                 TransformerEncoderLayer::new(
@@ -312,7 +328,11 @@ impl TransformerEncoder {
                 )
             })
             .collect();
-        TransformerEncoder { embedding, layers, dim }
+        TransformerEncoder {
+            embedding,
+            layers,
+            dim,
+        }
     }
 
     /// Encode a token sequence to its `[len, dim]` contextual embeddings.
@@ -343,7 +363,12 @@ impl TransformerEncoder {
         pad_id: usize,
     ) -> Var {
         assert!(!seqs.is_empty());
-        let seq_len = seqs.iter().map(|s| s.len()).max().expect("non-empty").max(1);
+        let seq_len = seqs
+            .iter()
+            .map(|s| s.len())
+            .max()
+            .expect("non-empty")
+            .max(1);
         let lens: Vec<usize> = seqs.iter().map(|s| s.len().max(1)).collect();
         let mut packed = Vec::with_capacity(seqs.len() * seq_len);
         for s in seqs {
@@ -354,8 +379,11 @@ impl TransformerEncoder {
         for layer in &self.layers {
             x = layer.forward_packed(tape, vars, x, seq_len, &lens);
         }
-        let last_idxs: Vec<usize> =
-            lens.iter().enumerate().map(|(b, &l)| b * seq_len + l - 1).collect();
+        let last_idxs: Vec<usize> = lens
+            .iter()
+            .enumerate()
+            .map(|(b, &l)| b * seq_len + l - 1)
+            .collect();
         tape.gather_rows(x, &last_idxs)
     }
 }
@@ -498,8 +526,10 @@ mod tests {
         for epoch in 0..120 {
             let mut tape = Tape::new();
             let vars = p.inject(&mut tape);
-            let reps: Vec<Var> =
-                data.iter().map(|(ids, _)| enc.encode(&mut tape, &vars, ids)).collect();
+            let reps: Vec<Var> = data
+                .iter()
+                .map(|(ids, _)| enc.encode(&mut tape, &vars, ids))
+                .collect();
             let batch = tape.stack_rows(&reps);
             let logits = head.forward(&mut tape, &vars, batch);
             let targets = Tensor::from_vec(2, 1, data.iter().map(|(_, t)| *t).collect());

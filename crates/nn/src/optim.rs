@@ -47,7 +47,9 @@ impl Adam {
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         for i in 0..params.len() {
-            let Some(g) = grads.try_get(param_vars[i]) else { continue };
+            let Some(g) = grads.try_get(param_vars[i]) else {
+                continue;
+            };
             let m = &mut self.m[i];
             let v = &mut self.v[i];
             let p = params.get_mut(crate::tape::ParamId(i));
@@ -82,8 +84,12 @@ impl Sgd {
     #[allow(clippy::needless_range_loop)] // parallel arrays indexed together
     pub fn step(&self, params: &mut ParamSet, param_vars: &[Var], grads: &Gradients) {
         for i in 0..params.len() {
-            let Some(g) = grads.try_get(param_vars[i]) else { continue };
-            params.get_mut(crate::tape::ParamId(i)).add_scaled(g, -self.lr);
+            let Some(g) = grads.try_get(param_vars[i]) else {
+                continue;
+            };
+            params
+                .get_mut(crate::tape::ParamId(i))
+                .add_scaled(g, -self.lr);
         }
     }
 }

@@ -38,11 +38,15 @@ pub fn configured_threads() -> usize {
         return over;
     }
     let env = ENV_THREADS.get_or_init(|| {
-        std::env::var("PYTHIA_THREADS").ok().and_then(|s| s.trim().parse::<usize>().ok())
+        std::env::var("PYTHIA_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
     });
     match env {
         Some(n) if *n > 0 => *n,
-        _ => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
     }
 }
 
@@ -60,10 +64,13 @@ where
     let n = items.len();
     let threads = configured_threads().min(n);
     if threads <= 1 {
-        return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
     }
-    let inputs: Vec<Mutex<Option<T>>> =
-        items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let inputs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let outputs: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
     std::thread::scope(|scope| {

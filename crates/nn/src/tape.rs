@@ -94,7 +94,10 @@ impl ParamSet {
 
     /// Iterate `(id, tensor)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Tensor)> {
-        self.tensors.iter().enumerate().map(|(i, t)| (ParamId(i), t))
+        self.tensors
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (ParamId(i), t))
     }
 }
 
@@ -168,7 +171,9 @@ impl Gradients {
     /// # Panics
     /// Panics if no gradient reached `var` (it did not influence the loss).
     pub fn get(&self, var: Var) -> &Tensor {
-        self.grads[var.0].as_ref().unwrap_or_else(|| panic!("no gradient for {var:?}"))
+        self.grads[var.0]
+            .as_ref()
+            .unwrap_or_else(|| panic!("no gradient for {var:?}"))
     }
 
     /// Gradient if any reached `var`.
@@ -264,7 +269,11 @@ impl Tape {
             self.nodes[w.0].value.rows(),
             "linear inner-dim mismatch"
         );
-        assert_eq!(self.nodes[bias.0].value.shape(), (1, n), "linear bias shape mismatch");
+        assert_eq!(
+            self.nodes[bias.0].value.shape(),
+            (1, n),
+            "linear bias shape mismatch"
+        );
         let mut v = self.nodes[x.0].value.matmul(&self.nodes[w.0].value);
         let b = &self.nodes[bias.0].value;
         for r in 0..v.rows() {
@@ -284,9 +293,12 @@ impl Tape {
     /// `[m,n] + [1,n]`: add `row` to every row of `a` (bias add).
     pub fn add_row(&mut self, a: Var, row: Var) -> Var {
         let (m, n) = self.nodes[a.0].value.shape();
-        assert_eq!(self.nodes[row.0].value.shape(), (1, n), "add_row shape mismatch");
-        let mut v =
-            pooled_from_slice(&mut self.pool, m, n, self.nodes[a.0].value.as_slice());
+        assert_eq!(
+            self.nodes[row.0].value.shape(),
+            (1, n),
+            "add_row shape mismatch"
+        );
+        let mut v = pooled_from_slice(&mut self.pool, m, n, self.nodes[a.0].value.as_slice());
         let rt = &self.nodes[row.0].value;
         for r in 0..m {
             for (x, b) in v.row_mut(r).iter_mut().zip(rt.row(0)) {
@@ -311,8 +323,7 @@ impl Tape {
     /// Elementwise ReLU.
     pub fn relu(&mut self, a: Var) -> Var {
         let (m, n) = self.nodes[a.0].value.shape();
-        let mut v =
-            pooled_from_slice(&mut self.pool, m, n, self.nodes[a.0].value.as_slice());
+        let mut v = pooled_from_slice(&mut self.pool, m, n, self.nodes[a.0].value.as_slice());
         for x in v.as_mut_slice() {
             *x = x.max(0.0);
         }
@@ -374,7 +385,13 @@ impl Tape {
             assert!(id < t.rows(), "embedding id {id} out of vocab {}", t.rows());
             v.row_mut(r).copy_from_slice(t.row(id));
         }
-        self.push(v, Op::Embed { table, ids: ids.to_vec() })
+        self.push(
+            v,
+            Op::Embed {
+                table,
+                ids: ids.to_vec(),
+            },
+        )
     }
 
     /// Transpose.
@@ -455,7 +472,13 @@ impl Tape {
             assert!(i < xv.rows(), "gather_rows index {i} out of range");
             v.row_mut(r).copy_from_slice(xv.row(i));
         }
-        self.push(v, Op::GatherRows { x, idxs: idxs.to_vec() })
+        self.push(
+            v,
+            Op::GatherRows {
+                x,
+                idxs: idxs.to_vec(),
+            },
+        )
     }
 
     /// Stack `[1,n]` vars into `[k,n]` (batching per-sample query embeddings
@@ -564,8 +587,7 @@ impl Tape {
                     for r in 0..m {
                         let row = xv.row(r);
                         let mean = row.iter().sum::<f32>() / nf;
-                        let var =
-                            row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / nf;
+                        let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / nf;
                         let inv = 1.0 / (var + LN_EPS).sqrt();
                         // xhat and dxhat for this row.
                         let mut sum_dxhat = 0.0;
@@ -581,8 +603,8 @@ impl Tape {
                             gbias.set(0, c, gbias.get(0, c) + g.get(r, c));
                         }
                         for c in 0..n {
-                            let v = inv
-                                * (dxhat[c] - sum_dxhat / nf - xhat[c] * sum_dxhat_xhat / nf);
+                            let v =
+                                inv * (dxhat[c] - sum_dxhat / nf - xhat[c] * sum_dxhat_xhat / nf);
                             gx.set(r, c, v);
                         }
                     }
@@ -683,15 +705,22 @@ impl Tape {
                     }
                     pool.push(g.into_data());
                 }
-                Op::BceWithLogits { logits, targets, pos_weight } => {
+                Op::BceWithLogits {
+                    logits,
+                    targets,
+                    pos_weight,
+                } => {
                     let (logits, p) = (*logits, *pos_weight);
                     let targets = targets.clone();
                     let z = &self.nodes[logits.0].value;
                     let (m, n) = z.shape();
                     let scale = g.get(0, 0) / (m * n) as f32;
                     let mut gz = pooled_zeros(&mut pool, m, n);
-                    for ((o, &zv), &t) in
-                        gz.as_mut_slice().iter_mut().zip(z.as_slice()).zip(targets.as_slice())
+                    for ((o, &zv), &t) in gz
+                        .as_mut_slice()
+                        .iter_mut()
+                        .zip(z.as_slice())
+                        .zip(targets.as_slice())
                     {
                         let s = sigmoid(zv);
                         // d/dz of  t*p*softplus(-z) + (1-t)*(z + softplus(-z))
@@ -762,7 +791,14 @@ pub fn bce_with_logits(tape: &mut Tape, logits: Var, targets: Tensor, pos_weight
 
 impl Tape {
     fn push_bce(&mut self, value: Tensor, logits: Var, targets: Tensor, pos_weight: f32) -> Var {
-        self.push(value, Op::BceWithLogits { logits, targets, pos_weight })
+        self.push(
+            value,
+            Op::BceWithLogits {
+                logits,
+                targets,
+                pos_weight,
+            },
+        )
     }
 }
 
@@ -834,7 +870,9 @@ mod tests {
     #[test]
     fn grad_matmul() {
         gradcheck(test_input(2, 3), |tape, x| {
-            let w = tape.leaf(Tensor::from_fn(3, 2, |r, c| 0.2 * (r as f32) - 0.1 * c as f32));
+            let w = tape.leaf(Tensor::from_fn(3, 2, |r, c| {
+                0.2 * (r as f32) - 0.1 * c as f32
+            }));
             let y = tape.matmul(x, w);
             to_scalar(tape, y)
         });
@@ -853,7 +891,9 @@ mod tests {
     #[test]
     fn grad_linear_input() {
         gradcheck(test_input(2, 3), |tape, x| {
-            let w = tape.leaf(Tensor::from_fn(3, 2, |r, c| 0.2 * (r as f32) - 0.1 * c as f32));
+            let w = tape.leaf(Tensor::from_fn(3, 2, |r, c| {
+                0.2 * (r as f32) - 0.1 * c as f32
+            }));
             let b = tape.leaf(Tensor::from_fn(1, 2, |_, c| 0.3 - 0.2 * c as f32));
             let y = tape.linear(x, w, b);
             to_scalar(tape, y)
@@ -874,7 +914,9 @@ mod tests {
     fn grad_linear_bias() {
         gradcheck(test_input(1, 2), |tape, b| {
             let x = tape.leaf(test_input(3, 4));
-            let w = tape.leaf(Tensor::from_fn(4, 2, |r, c| 0.15 * (r as f32) - 0.1 * c as f32));
+            let w = tape.leaf(Tensor::from_fn(4, 2, |r, c| {
+                0.15 * (r as f32) - 0.1 * c as f32
+            }));
             let y = tape.linear(x, w, b);
             to_scalar(tape, y)
         });
@@ -887,7 +929,11 @@ mod tests {
         let bv = Tensor::from_fn(1, 2, |_, c| 0.4 - 0.3 * c as f32);
 
         let mut t1 = Tape::new();
-        let (x1, w1, b1) = (t1.leaf(xv.clone()), t1.leaf(wv.clone()), t1.leaf(bv.clone()));
+        let (x1, w1, b1) = (
+            t1.leaf(xv.clone()),
+            t1.leaf(wv.clone()),
+            t1.leaf(bv.clone()),
+        );
         let y1 = t1.linear(x1, w1, b1);
         let l1 = to_scalar(&mut t1, y1);
         let g1 = t1.backward(l1);
@@ -909,8 +955,12 @@ mod tests {
     fn tape_reuse_after_reset_matches_fresh() {
         // Two minibatches through one reused tape must equal two fresh tapes.
         let run = |tape: &mut Tape, shift: f32| {
-            let x = tape.leaf(Tensor::from_fn(3, 4, |r, c| 0.2 * (r * 4 + c) as f32 - shift));
-            let w = tape.leaf(Tensor::from_fn(4, 2, |r, c| 0.1 * (r as f32) - 0.05 * c as f32));
+            let x = tape.leaf(Tensor::from_fn(3, 4, |r, c| {
+                0.2 * (r * 4 + c) as f32 - shift
+            }));
+            let w = tape.leaf(Tensor::from_fn(4, 2, |r, c| {
+                0.1 * (r as f32) - 0.05 * c as f32
+            }));
             let b = tape.leaf(Tensor::from_fn(1, 2, |_, c| 0.2 * c as f32));
             let h = tape.linear(x, w, b);
             let a = tape.relu(h);
@@ -1041,8 +1091,12 @@ mod tests {
     fn grad_attention_like_composite() {
         // A miniature attention head end-to-end.
         gradcheck(test_input(3, 4), |tape, x| {
-            let wq = tape.leaf(Tensor::from_fn(4, 2, |r, c| 0.1 * (r as f32) - 0.15 * c as f32));
-            let wk = tape.leaf(Tensor::from_fn(4, 2, |r, c| 0.12 * (c as f32) - 0.05 * r as f32));
+            let wq = tape.leaf(Tensor::from_fn(4, 2, |r, c| {
+                0.1 * (r as f32) - 0.15 * c as f32
+            }));
+            let wk = tape.leaf(Tensor::from_fn(4, 2, |r, c| {
+                0.12 * (c as f32) - 0.05 * r as f32
+            }));
             let wv = tape.leaf(Tensor::from_fn(4, 2, |r, c| 0.2 - 0.03 * (r + c) as f32));
             let q = tape.matmul(x, wq);
             let k = tape.matmul(x, wk);

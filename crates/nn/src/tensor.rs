@@ -23,12 +23,20 @@ const PAR_THRESHOLD: usize = 1 << 20;
 impl Tensor {
     /// A `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Tensor {
-        Tensor { data: vec![0.0; rows * cols], rows, cols }
+        Tensor {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
     }
 
     /// A matrix filled with `v`.
     pub fn full(rows: usize, cols: usize, v: f32) -> Tensor {
-        Tensor { data: vec![v; rows * cols], rows, cols }
+        Tensor {
+            data: vec![v; rows * cols],
+            rows,
+            cols,
+        }
     }
 
     /// Build from a flat row-major vector.
@@ -130,8 +138,17 @@ impl Tensor {
     /// Panics on shape mismatch.
     pub fn add(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.shape(), other.shape(), "add shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
-        Tensor { data, rows: self.rows, cols: self.cols }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Tensor {
+            data,
+            rows: self.rows,
+            cols: self.cols,
+        }
     }
 
     /// In-place `self += scale * other`.
@@ -164,7 +181,8 @@ impl Tensor {
     /// Panics if inner dimensions disagree.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         assert_eq!(
-            self.cols, other.rows,
+            self.cols,
+            other.rows,
             "matmul shape mismatch: {:?} x {:?}",
             self.shape(),
             other.shape()
@@ -172,7 +190,15 @@ impl Tensor {
         let mut out = Tensor::zeros(self.rows, other.cols);
         let work = self.rows * self.cols * other.cols;
         if work < PAR_THRESHOLD || self.rows < 2 {
-            matmul_band(&self.data, &other.data, &mut out.data, self.cols, other.cols, 0, self.rows);
+            matmul_band(
+                &self.data,
+                &other.data,
+                &mut out.data,
+                self.cols,
+                other.cols,
+                0,
+                self.rows,
+            );
         } else {
             let threads = crate::pool::configured_threads();
             let band = self.rows.div_ceil(threads);
@@ -206,7 +232,8 @@ impl Tensor {
     /// Panics if the row counts disagree.
     pub fn matmul_at_b(&self, other: &Tensor) -> Tensor {
         assert_eq!(
-            self.rows, other.rows,
+            self.rows,
+            other.rows,
             "matmul_at_b shape mismatch: {:?}ᵀ x {:?}",
             self.shape(),
             other.shape()
@@ -247,7 +274,8 @@ impl Tensor {
     /// Panics if the column counts disagree.
     pub fn matmul_a_bt(&self, other: &Tensor) -> Tensor {
         assert_eq!(
-            self.cols, other.cols,
+            self.cols,
+            other.cols,
             "matmul_a_bt shape mismatch: {:?} x {:?}ᵀ",
             self.shape(),
             other.shape()

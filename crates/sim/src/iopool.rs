@@ -130,7 +130,10 @@ mod tests {
         // 64 fetches of 1ms: 8 workers should finish 8x sooner than 1.
         let finish = |workers: usize| {
             let mut p = IoWorkerPool::new(workers);
-            (0..64).map(|_| p.schedule(SimTime::ZERO, MS)).max().unwrap()
+            (0..64)
+                .map(|_| p.schedule(SimTime::ZERO, MS))
+                .max()
+                .unwrap()
         };
         assert_eq!(finish(1).as_micros(), 64_000);
         assert_eq!(finish(8).as_micros(), 8_000);

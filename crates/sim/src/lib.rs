@@ -30,5 +30,5 @@ pub mod time;
 pub use cost::CostModel;
 pub use disk::{FileId, PageId, SimDisk, PAGE_SIZE};
 pub use iopool::IoWorkerPool;
-pub use oscache::OsPageCache;
+pub use oscache::{OsPageCache, StreamId};
 pub use time::{SimDuration, SimTime};

@@ -10,10 +10,24 @@
 //! The cache is a capacity-bounded LRU set of [`PageId`]s backed by an
 //! intrusive doubly-linked list over a slab, giving O(1) access / insert /
 //! evict.
+//!
+//! Sequential-pattern detection is keyed per **(stream, file)**, mirroring
+//! the kernel, which keeps its readahead state in `struct file` — per open
+//! file descriptor, not per inode. Two concurrent sequential scans of the
+//! same file (two backends, or a query and the prefetcher's own reads) each
+//! keep their run alive; keying by file alone would let the interleaved
+//! accesses destroy both runs.
 
 use std::collections::HashMap;
 
 use crate::disk::{FileId, PageId};
+
+/// Identifies one reader of the OS cache — the analogue of an open file
+/// descriptor, whose `struct file` owns the kernel's readahead state.
+/// Allocate one per query backend / prefetcher and retire it with
+/// [`OsPageCache::retire_stream`] when the reader closes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StreamId(pub u64);
 
 const NIL: usize = usize::MAX;
 
@@ -103,11 +117,19 @@ impl LruSet {
         };
         let idx = match self.free.pop() {
             Some(i) => {
-                self.slab[i] = Node { key, prev: NIL, next: NIL };
+                self.slab[i] = Node {
+                    key,
+                    prev: NIL,
+                    next: NIL,
+                };
                 i
             }
             None => {
-                self.slab.push(Node { key, prev: NIL, next: NIL });
+                self.slab.push(Node {
+                    key,
+                    prev: NIL,
+                    next: NIL,
+                });
                 self.slab.len() - 1
             }
         };
@@ -140,8 +162,9 @@ pub struct OsCacheStats {
 #[derive(Debug)]
 pub struct OsPageCache {
     lru: LruSet,
-    /// Per-file sequential-pattern detector: (last page read, run length).
-    seq_state: HashMap<FileId, (u32, u32)>,
+    /// Per-(stream, file) sequential-pattern detector:
+    /// (last page read, run length).
+    seq_state: HashMap<(StreamId, FileId), (u32, u32)>,
     readahead_window: u32,
     stats: OsCacheStats,
 }
@@ -187,12 +210,12 @@ impl OsPageCache {
         self.stats
     }
 
-    /// Record a read of `pid` from a file with `file_len` pages.
+    /// Record a read of `pid` by `stream` from a file with `file_len` pages.
     ///
-    /// Updates LRU state, runs the sequential-pattern detector, and performs
-    /// readahead. The caller translates the outcome into latency via the cost
-    /// model.
-    pub fn read(&mut self, pid: PageId, file_len: u32) -> OsReadOutcome {
+    /// Updates LRU state, runs the sequential-pattern detector for the given
+    /// stream, and performs readahead. The caller translates the outcome into
+    /// latency via the cost model.
+    pub fn read(&mut self, stream: StreamId, pid: PageId, file_len: u32) -> OsReadOutcome {
         let cache_hit = self.lru.contains(pid);
         if cache_hit {
             self.stats.hits += 1;
@@ -203,16 +226,23 @@ impl OsPageCache {
 
         // Sequential detection: a run of >= 2 consecutive pages triggers
         // readahead of the next window, like the kernel's ondemand readahead.
-        let run = match self.seq_state.get(&pid.file) {
+        let run = match self.seq_state.get(&(stream, pid.file)) {
             Some(&(last, run)) if pid.page_no == last.wrapping_add(1) => run + 1,
             _ => 1,
         };
-        self.seq_state.insert(pid.file, (pid.page_no, run));
+        self.seq_state
+            .insert((stream, pid.file), (pid.page_no, run));
 
+        // Fan-out is capped at capacity - 1 so readahead can never evict the
+        // demand page just read (or wrap around and evict its own earlier
+        // insertions) when the window rivals the LRU capacity.
+        let fanout = self
+            .readahead_window
+            .min(self.lru.capacity.saturating_sub(1) as u32);
         let mut readahead_pages = 0u32;
-        if run >= 2 && file_len > 0 {
+        if run >= 2 && file_len > 0 && fanout > 0 {
             let start = pid.page_no.saturating_add(1);
-            let end = pid.page_no.saturating_add(self.readahead_window).min(file_len - 1);
+            let end = pid.page_no.saturating_add(fanout).min(file_len - 1);
             let mut p = start;
             while p <= end {
                 let ra = PageId::new(pid.file, p);
@@ -224,7 +254,18 @@ impl OsPageCache {
             }
         }
         self.stats.readahead_pages += readahead_pages as u64;
-        OsReadOutcome { cache_hit, readahead_pages }
+        OsReadOutcome {
+            cache_hit,
+            readahead_pages,
+        }
+    }
+
+    /// Drop the sequential-pattern state a stream accumulated — the analogue
+    /// of closing the file descriptor. Cached pages are unaffected. Call this
+    /// when a query backend or prefetcher finishes so detector state doesn't
+    /// accumulate across the lifetime of a long-running serving stack.
+    pub fn retire_stream(&mut self, stream: StreamId) {
+        self.seq_state.retain(|&(s, _), _| s != stream);
     }
 
     /// Insert `pid` without readahead (used when the prefetcher's disk read
@@ -247,6 +288,9 @@ mod tests {
     use super::*;
     use crate::disk::FileId;
 
+    /// Default stream for single-reader tests.
+    const S: StreamId = StreamId(0);
+
     fn pid(f: u32, p: u32) -> PageId {
         PageId::new(FileId(f), p)
     }
@@ -254,8 +298,8 @@ mod tests {
     #[test]
     fn miss_then_hit() {
         let mut c = OsPageCache::new(16, 4);
-        assert!(!c.read(pid(0, 5), 100).cache_hit);
-        assert!(c.read(pid(0, 5), 100).cache_hit);
+        assert!(!c.read(S, pid(0, 5), 100).cache_hit);
+        assert!(c.read(S, pid(0, 5), 100).cache_hit);
         assert_eq!(c.stats().hits, 1);
         assert_eq!(c.stats().misses, 1);
     }
@@ -263,33 +307,33 @@ mod tests {
     #[test]
     fn sequential_run_triggers_readahead() {
         let mut c = OsPageCache::new(64, 4);
-        let o0 = c.read(pid(0, 0), 100);
+        let o0 = c.read(S, pid(0, 0), 100);
         assert_eq!(o0.readahead_pages, 0, "first read: no pattern yet");
-        let o1 = c.read(pid(0, 1), 100);
+        let o1 = c.read(S, pid(0, 1), 100);
         assert_eq!(o1.readahead_pages, 4, "second consecutive read fans out");
         // Pages 2..=5 should now be cached, page 6 not yet.
         assert!(c.contains(pid(0, 2)));
         assert!(c.contains(pid(0, 5)));
         assert!(!c.contains(pid(0, 6)));
         // Continuing the run hits the readahead pages and extends the window.
-        assert!(c.read(pid(0, 2), 100).cache_hit);
+        assert!(c.read(S, pid(0, 2), 100).cache_hit);
         assert!(c.contains(pid(0, 6)));
     }
 
     #[test]
     fn random_reads_do_not_trigger_readahead() {
         let mut c = OsPageCache::new(64, 8);
-        assert_eq!(c.read(pid(0, 10), 100).readahead_pages, 0);
-        assert_eq!(c.read(pid(0, 50), 100).readahead_pages, 0);
-        assert_eq!(c.read(pid(0, 3), 100).readahead_pages, 0);
+        assert_eq!(c.read(S, pid(0, 10), 100).readahead_pages, 0);
+        assert_eq!(c.read(S, pid(0, 50), 100).readahead_pages, 0);
+        assert_eq!(c.read(S, pid(0, 3), 100).readahead_pages, 0);
         assert_eq!(c.len(), 3);
     }
 
     #[test]
     fn readahead_stops_at_eof() {
         let mut c = OsPageCache::new(64, 8);
-        c.read(pid(0, 3), 6);
-        let o = c.read(pid(0, 4), 6);
+        c.read(S, pid(0, 3), 6);
+        let o = c.read(S, pid(0, 4), 6);
         assert_eq!(o.readahead_pages, 1, "only page 5 exists past page 4");
         assert!(c.contains(pid(0, 5)));
     }
@@ -297,19 +341,101 @@ mod tests {
     #[test]
     fn runs_are_per_file() {
         let mut c = OsPageCache::new(64, 4);
-        c.read(pid(0, 0), 100);
-        c.read(pid(1, 1), 100);
+        c.read(S, pid(0, 0), 100);
+        c.read(S, pid(1, 1), 100);
         // File 0's run was broken by nothing, but page 1 of file 0 continues it.
-        let o = c.read(pid(0, 1), 100);
+        let o = c.read(S, pid(0, 1), 100);
         assert_eq!(o.readahead_pages, 4);
+    }
+
+    #[test]
+    fn interleaved_streams_keep_their_runs() {
+        // Regression: two concurrent sequential scans of the SAME file — the
+        // kernel keeps readahead state per open fd, so each scan detects its
+        // own run. The old per-file detector saw 0, 50, 1, 51, ... and never
+        // fired for either scan.
+        let mut c = OsPageCache::new(256, 4);
+        let (a, b) = (StreamId(1), StreamId(2));
+        c.read(a, pid(0, 0), 200);
+        c.read(b, pid(0, 50), 200);
+        let oa = c.read(a, pid(0, 1), 200);
+        assert_eq!(
+            oa.readahead_pages, 4,
+            "stream A's run survives B's interleaved read"
+        );
+        let ob = c.read(b, pid(0, 51), 200);
+        assert_eq!(
+            ob.readahead_pages, 4,
+            "stream B's run survives A's interleaved read"
+        );
+        // Both scans keep extending their windows as they continue.
+        assert!(c.read(a, pid(0, 2), 200).cache_hit);
+        assert!(c.read(b, pid(0, 52), 200).cache_hit);
+    }
+
+    #[test]
+    fn one_stream_interleaving_two_offsets_gets_no_readahead() {
+        // The fd semantics cut the other way too: a single stream seeking
+        // back and forth between two offsets never forms a run.
+        let mut c = OsPageCache::new(256, 4);
+        c.read(S, pid(0, 0), 200);
+        c.read(S, pid(0, 50), 200);
+        assert_eq!(c.read(S, pid(0, 1), 200).readahead_pages, 0);
+        assert_eq!(c.read(S, pid(0, 51), 200).readahead_pages, 0);
+    }
+
+    #[test]
+    fn retire_stream_drops_detector_state_only() {
+        let mut c = OsPageCache::new(64, 4);
+        c.read(S, pid(0, 0), 100);
+        c.retire_stream(S);
+        // The run restarts from scratch, but cached pages survive.
+        assert_eq!(
+            c.read(S, pid(0, 1), 100).readahead_pages,
+            0,
+            "run was forgotten"
+        );
+        assert!(c.contains(pid(0, 0)), "cached pages are unaffected");
+        // A different stream's state is untouched by retiring S.
+        let b = StreamId(9);
+        c.read(b, pid(1, 0), 100);
+        c.retire_stream(S);
+        assert_eq!(c.read(b, pid(1, 1), 100).readahead_pages, 4);
+    }
+
+    #[test]
+    fn readahead_never_evicts_demand_page() {
+        // Regression: window >= capacity used to wrap the LRU and evict the
+        // demand page that was just read (and earlier readahead insertions).
+        let mut c = OsPageCache::new(3, 8);
+        c.read(S, pid(0, 0), 100);
+        let o = c.read(S, pid(0, 1), 100);
+        assert_eq!(o.readahead_pages, 2, "fan-out capped at capacity - 1");
+        assert!(
+            c.contains(pid(0, 1)),
+            "demand page survives its own readahead"
+        );
+        assert!(c.contains(pid(0, 2)));
+        assert!(c.contains(pid(0, 3)));
+        assert!(!c.contains(pid(0, 4)), "no insert past the cap");
+    }
+
+    #[test]
+    fn capacity_one_disables_readahead() {
+        let mut c = OsPageCache::new(1, 8);
+        c.read(S, pid(0, 0), 100);
+        let o = c.read(S, pid(0, 1), 100);
+        assert_eq!(o.readahead_pages, 0);
+        assert!(c.contains(pid(0, 1)), "demand page is the sole resident");
+        assert_eq!(c.len(), 1);
     }
 
     #[test]
     fn lru_evicts_oldest() {
         let mut c = OsPageCache::new(2, 4);
-        c.read(pid(0, 10), 100);
-        c.read(pid(0, 20), 100);
-        c.read(pid(0, 30), 100); // evicts page 10
+        c.read(S, pid(0, 10), 100);
+        c.read(S, pid(0, 20), 100);
+        c.read(S, pid(0, 30), 100); // evicts page 10
         assert!(!c.contains(pid(0, 10)));
         assert!(c.contains(pid(0, 20)));
         assert!(c.contains(pid(0, 30)));
@@ -319,10 +445,10 @@ mod tests {
     #[test]
     fn touch_refreshes_recency() {
         let mut c = OsPageCache::new(2, 4);
-        c.read(pid(0, 1), 100);
-        c.read(pid(0, 7), 100);
-        c.read(pid(0, 1), 100); // page 1 is now MRU
-        c.read(pid(0, 9), 100); // evicts page 7, not page 1
+        c.read(S, pid(0, 1), 100);
+        c.read(S, pid(0, 7), 100);
+        c.read(S, pid(0, 1), 100); // page 1 is now MRU
+        c.read(S, pid(0, 9), 100); // evicts page 7, not page 1
         assert!(c.contains(pid(0, 1)));
         assert!(!c.contains(pid(0, 7)));
     }
@@ -330,13 +456,13 @@ mod tests {
     #[test]
     fn reset_clears_everything() {
         let mut c = OsPageCache::new(16, 4);
-        c.read(pid(0, 0), 100);
-        c.read(pid(0, 1), 100);
+        c.read(S, pid(0, 0), 100);
+        c.read(S, pid(0, 1), 100);
         c.reset();
         assert!(c.is_empty());
         assert_eq!(c.stats(), OsCacheStats::default());
         // Pattern detector must also be clear: next read is "first".
-        assert_eq!(c.read(pid(0, 2), 100).readahead_pages, 0);
+        assert_eq!(c.read(S, pid(0, 2), 100).readahead_pages, 0);
     }
 
     #[test]
@@ -350,8 +476,8 @@ mod tests {
     #[test]
     fn lru_capacity_one() {
         let mut c = OsPageCache::new(1, 4);
-        c.read(pid(0, 1), 10);
-        c.read(pid(0, 5), 10);
+        c.read(S, pid(0, 1), 10);
+        c.read(S, pid(0, 5), 10);
         assert!(!c.contains(pid(0, 1)));
         assert!(c.contains(pid(0, 5)));
     }

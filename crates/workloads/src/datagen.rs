@@ -87,7 +87,10 @@ mod tests {
         assert!(counts[0] > 20 * counts[500].max(1));
         // Head (top 1%) holds a large share.
         let head: u32 = counts[..10].iter().sum();
-        assert!(head as f64 > 0.25 * 20_000.0 * 0.9, "head share too small: {head}");
+        assert!(
+            head as f64 > 0.25 * 20_000.0 * 0.9,
+            "head share too small: {head}"
+        );
     }
 
     #[test]

@@ -24,7 +24,10 @@ pub struct GeneratorConfig {
 
 impl Default for GeneratorConfig {
     fn default() -> Self {
-        GeneratorConfig { scale: 1.0, seed: 0xDB }
+        GeneratorConfig {
+            scale: 1.0,
+            seed: 0xDB,
+        }
     }
 }
 
@@ -119,7 +122,10 @@ pub fn build_benchmark(cfg: &GeneratorConfig) -> BenchmarkDb {
     for d in 0..n_dates {
         let year = 2000 + d / 365;
         let doy = d % 365;
-        db.insert(date_dim, Database::row(&[d, year, doy / 30 + 1, doy / 91 + 1]));
+        db.insert(
+            date_dim,
+            Database::row(&[d, year, doy / 30 + 1, doy / 91 + 1]),
+        );
     }
 
     let customer = db.create_table(
@@ -158,12 +164,21 @@ pub fn build_benchmark(cfg: &GeneratorConfig) -> BenchmarkDb {
         );
         let birth_month = 1 + uniform(&mut rng, 12);
         let birth_year = 1940 + uniform(&mut rng, 60);
-        db.insert(customer, Database::row(&[c, cdemo, hdemo, addr, birth_month, birth_year]));
+        db.insert(
+            customer,
+            Database::row(&[c, cdemo, hdemo, addr, birth_month, birth_year]),
+        );
     }
 
     let customer_demographics = db.create_table(
         "customer_demographics",
-        Schema::ints(&["cd_demo_sk", "cd_gender", "cd_marital", "cd_education", "cd_dep_count"]),
+        Schema::ints(&[
+            "cd_demo_sk",
+            "cd_gender",
+            "cd_marital",
+            "cd_education",
+            "cd_dep_count",
+        ]),
     );
     for d in 0..n_cdemo {
         db.insert(
@@ -185,7 +200,12 @@ pub fn build_benchmark(cfg: &GeneratorConfig) -> BenchmarkDb {
     for d in 0..n_hdemo {
         db.insert(
             household_demographics,
-            Database::row(&[d, uniform(&mut rng, 20), uniform(&mut rng, 8), uniform(&mut rng, 4)]),
+            Database::row(&[
+                d,
+                uniform(&mut rng, 20),
+                uniform(&mut rng, 8),
+                uniform(&mut rng, 4),
+            ]),
         );
     }
 
@@ -194,7 +214,10 @@ pub fn build_benchmark(cfg: &GeneratorConfig) -> BenchmarkDb {
         Schema::ints(&["ca_address_sk", "ca_state", "ca_gmt"]),
     );
     for a in 0..n_caddr {
-        db.insert(customer_address, Database::row(&[a, uniform(&mut rng, 50), -uniform(&mut rng, 12)]));
+        db.insert(
+            customer_address,
+            Database::row(&[a, uniform(&mut rng, 50), -uniform(&mut rng, 12)]),
+        );
     }
 
     let item = db.create_table(
@@ -204,16 +227,27 @@ pub fn build_benchmark(cfg: &GeneratorConfig) -> BenchmarkDb {
     for i in 0..n_items {
         // Category correlates with the item key (catalog sections).
         let cat = (i * 10 / n_items).min(9);
-        db.insert(item, Database::row(&[i, cat, uniform(&mut rng, 100), uniform(&mut rng, 20)]));
+        db.insert(
+            item,
+            Database::row(&[i, cat, uniform(&mut rng, 100), uniform(&mut rng, 20)]),
+        );
     }
 
-    let store = db.create_table("store", Schema::ints(&["s_store_sk", "s_state", "s_market"]));
+    let store = db.create_table(
+        "store",
+        Schema::ints(&["s_store_sk", "s_state", "s_market"]),
+    );
     for st in 0..n_stores {
-        db.insert(store, Database::row(&[st, uniform(&mut rng, 50), uniform(&mut rng, 10)]));
+        db.insert(
+            store,
+            Database::row(&[st, uniform(&mut rng, 50), uniform(&mut rng, 10)]),
+        );
     }
 
-    let call_center =
-        db.create_table("call_center", Schema::ints(&["cc_call_center_sk", "cc_class"]));
+    let call_center = db.create_table(
+        "call_center",
+        Schema::ints(&["cc_call_center_sk", "cc_class"]),
+    );
     for c in 0..n_cc {
         db.insert(call_center, Database::row(&[c, uniform(&mut rng, 3)]));
     }
@@ -265,7 +299,10 @@ pub fn build_benchmark(cfg: &GeneratorConfig) -> BenchmarkDb {
         let st = uniform(&mut rng, n_stores as usize);
         let qty = 1 + uniform(&mut rng, 100);
         let price = 1 + uniform(&mut rng, 1000);
-        db.insert(store_sales, Database::row(&[i, date, cust, cdemo, hdemo, it, st, qty, price]));
+        db.insert(
+            store_sales,
+            Database::row(&[i, date, cust, cdemo, hdemo, it, st, qty, price]),
+        );
     }
 
     let catalog_returns = db.create_table(
@@ -291,12 +328,17 @@ pub fn build_benchmark(cfg: &GeneratorConfig) -> BenchmarkDb {
         let cc = uniform(&mut rng, n_cc as usize);
         let it = item_zipf.sample(&mut rng) as i64;
         let amount = 1 + uniform(&mut rng, 500);
-        db.insert(catalog_returns, Database::row(&[i, date, cust, cc, it, amount]));
+        db.insert(
+            catalog_returns,
+            Database::row(&[i, date, cust, cc, it, amount]),
+        );
     }
 
     // --- IMDB-like ---
-    let title =
-        db.create_table("title", Schema::ints(&["t_id", "t_production_year", "t_kind_id"]));
+    let title = db.create_table(
+        "title",
+        Schema::ints(&["t_id", "t_production_year", "t_kind_id"]),
+    );
     {
         // Titles are chronological (id maps to year 1920..2020) but stored in
         // shuffled order, like a real dump: a year-range scan therefore
@@ -340,7 +382,12 @@ pub fn build_benchmark(cfg: &GeneratorConfig) -> BenchmarkDb {
 
     let movie_companies = db.create_table(
         "movie_companies",
-        Schema::ints(&["mc_id", "mc_movie_id", "mc_company_id", "mc_company_type_id"]),
+        Schema::ints(&[
+            "mc_id",
+            "mc_movie_id",
+            "mc_company_id",
+            "mc_company_type_id",
+        ]),
     );
     {
         let n_mc = scaled(60_000, s) as i64;
@@ -418,7 +465,10 @@ mod tests {
     use super::*;
 
     fn tiny() -> BenchmarkDb {
-        build_benchmark(&GeneratorConfig { scale: 0.05, seed: 1 })
+        build_benchmark(&GeneratorConfig {
+            scale: 0.05,
+            seed: 1,
+        })
     }
 
     #[test]
@@ -440,14 +490,24 @@ mod tests {
             b.movie_companies,
             b.company_type,
         ] {
-            assert!(b.db.table_info(t).heap.tuple_count() > 0, "{} empty", b.db.table_info(t).name);
+            assert!(
+                b.db.table_info(t).heap.tuple_count() > 0,
+                "{} empty",
+                b.db.table_info(t).name
+            );
         }
     }
 
     #[test]
     fn deterministic_given_seed() {
-        let a = build_benchmark(&GeneratorConfig { scale: 0.05, seed: 7 });
-        let b = build_benchmark(&GeneratorConfig { scale: 0.05, seed: 7 });
+        let a = build_benchmark(&GeneratorConfig {
+            scale: 0.05,
+            seed: 7,
+        });
+        let b = build_benchmark(&GeneratorConfig {
+            scale: 0.05,
+            seed: 7,
+        });
         assert_eq!(a.db.disk.total_pages(), b.db.disk.total_pages());
         // Spot-check a row.
         let ra = a.db.table_info(a.store_sales).heap.read_page(&a.db.disk, 0);
@@ -457,8 +517,14 @@ mod tests {
 
     #[test]
     fn scale_changes_size() {
-        let small = build_benchmark(&GeneratorConfig { scale: 0.05, seed: 1 });
-        let big = build_benchmark(&GeneratorConfig { scale: 0.1, seed: 1 });
+        let small = build_benchmark(&GeneratorConfig {
+            scale: 0.05,
+            seed: 1,
+        });
+        let big = build_benchmark(&GeneratorConfig {
+            scale: 0.1,
+            seed: 1,
+        });
         assert!(big.db.disk.total_pages() > small.db.disk.total_pages());
     }
 
@@ -506,8 +572,11 @@ mod tests {
     fn cast_info_grouped_by_movie() {
         let b = tiny();
         let info = b.db.table_info(b.cast_info);
-        let movies: Vec<i64> =
-            info.heap.scan(&b.db.disk).map(|(_, r)| r[1].as_int().unwrap()).collect();
+        let movies: Vec<i64> = info
+            .heap
+            .scan(&b.db.disk)
+            .map(|(_, r)| r[1].as_int().unwrap())
+            .collect();
         // Non-decreasing movie ids (grouped storage).
         assert!(movies.windows(2).all(|w| w[0] <= w[1]));
     }

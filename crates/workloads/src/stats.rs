@@ -36,9 +36,9 @@ pub fn plan_shape(q: &QueryInstance) -> String {
         match n {
             SeqScan { table, .. } => s.push_str(&format!("S{},", table.0)),
             IndexScan { index, .. } => s.push_str(&format!("I{},", index.0)),
-            IndexNLJoin { inner, inner_index, .. } => {
-                s.push_str(&format!("N{}i{},", inner.0, inner_index.0))
-            }
+            IndexNLJoin {
+                inner, inner_index, ..
+            } => s.push_str(&format!("N{}i{},", inner.0, inner_index.0)),
             HashJoin { .. } => s.push_str("H,"),
             Filter { .. } => s.push_str("F,"),
             Aggregate { .. } => s.push_str("A,"),
@@ -101,7 +101,11 @@ pub fn workload_stats(
     WorkloadStats {
         template,
         sequential_io,
-        min_distinct_nonseq: if min_nonseq == usize::MAX { 0 } else { min_nonseq },
+        min_distinct_nonseq: if min_nonseq == usize::MAX {
+            0
+        } else {
+            min_nonseq
+        },
         max_distinct_nonseq: max_nonseq,
         distinct_plans: shapes.len(),
         relations_joined,
@@ -123,7 +127,10 @@ mod tests {
 
     #[test]
     fn table1_shape_for_t18() {
-        let b = build_benchmark(&GeneratorConfig { scale: 0.08, seed: 2 });
+        let b = build_benchmark(&GeneratorConfig {
+            scale: 0.08,
+            seed: 2,
+        });
         let w = sample_workload(&b, Template::T18, 12, 4);
         let traces = collect_traces(&b, &w);
         let s = workload_stats(&b, Template::T18, &w, &traces);
@@ -137,7 +144,10 @@ mod tests {
 
     #[test]
     fn t91_joins_seven_relations() {
-        let b = build_benchmark(&GeneratorConfig { scale: 0.08, seed: 2 });
+        let b = build_benchmark(&GeneratorConfig {
+            scale: 0.08,
+            seed: 2,
+        });
         let w = sample_workload(&b, Template::T91, 6, 5);
         let traces = collect_traces(&b, &w);
         let s = workload_stats(&b, Template::T91, &w, &traces);
@@ -147,11 +157,17 @@ mod tests {
 
     #[test]
     fn plan_shape_ignores_parameters() {
-        let b = build_benchmark(&GeneratorConfig { scale: 0.08, seed: 2 });
+        let b = build_benchmark(&GeneratorConfig {
+            scale: 0.08,
+            seed: 2,
+        });
         // Two T91 narrow queries share a shape even with different params.
         let w = sample_workload(&b, Template::T91, 30, 6);
         let shapes: HashSet<String> = w.iter().map(plan_shape).collect();
-        assert!(shapes.len() < w.len(), "shapes collapse parameter variation");
+        assert!(
+            shapes.len() < w.len(),
+            "shapes collapse parameter variation"
+        );
         assert!(shapes.len() <= 3, "T91 has few shapes (paper: 2)");
     }
 }

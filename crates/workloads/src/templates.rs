@@ -42,7 +42,12 @@ pub enum Template {
 
 impl Template {
     /// All templates, DSB ones first.
-    pub const ALL: [Template; 4] = [Template::T18, Template::T19, Template::T91, Template::Imdb1a];
+    pub const ALL: [Template; 4] = [
+        Template::T18,
+        Template::T19,
+        Template::T91,
+        Template::Imdb1a,
+    ];
 
     /// The three DSB templates used in most experiments.
     pub const DSB: [Template; 3] = [Template::T18, Template::T19, Template::T91];
@@ -62,10 +67,7 @@ impl Template {
     /// IMDB 1a to `cast_info` ("we only prefetch the table cast_info").
     pub fn prefetch_objects(&self, b: &BenchmarkDb) -> Option<Vec<ObjectId>> {
         match self {
-            Template::Imdb1a => Some(vec![
-                b.db.table_info(b.cast_info).object,
-                b.idx_cast_movie,
-            ]),
+            Template::Imdb1a => Some(vec![b.db.table_info(b.cast_info).object, b.idx_cast_movie]),
             _ => None,
         }
     }
@@ -107,7 +109,10 @@ fn sample_t18(b: &BenchmarkDb, rng: &mut StdRng) -> PlanNode {
     let year = 2000 + year_idx;
     let q0 = rng.gen_range(0..50);
     let q1 = q0 + 50;
-    let months = pick_distinct(rng, 12, 3).iter().map(|m| m + 1).collect::<Vec<_>>();
+    let months = pick_distinct(rng, 12, 3)
+        .iter()
+        .map(|m| m + 1)
+        .collect::<Vec<_>>();
     let edu = rng.gen_range(0..7);
     let incomes = pick_distinct(rng, 20, 5);
     let n_cats = rng.gen_range(1..=3usize);
@@ -116,8 +121,16 @@ fn sample_t18(b: &BenchmarkDb, rng: &mut StdRng) -> PlanNode {
     let fact = PlanNode::SeqScan {
         table: b.store_sales,
         pred: Some(Pred::And(vec![
-            Pred::Between { col: 1, lo: d0, hi: d1 },
-            Pred::Between { col: 7, lo: q0, hi: q1 },
+            Pred::Between {
+                col: 1,
+                lo: d0,
+                hi: d1,
+            },
+            Pred::Between {
+                col: 7,
+                lo: q0,
+                hi: q1,
+            },
         ])),
     };
 
@@ -126,10 +139,16 @@ fn sample_t18(b: &BenchmarkDb, rng: &mut StdRng) -> PlanNode {
     let item_first = n_cats == 1; // very selective item filter: probe it early
 
     let join_customer = |outer: PlanNode| -> PlanNode {
-        let pred = Pred::In { col: 4, set: months.clone() };
+        let pred = Pred::In {
+            col: 4,
+            set: months.clone(),
+        };
         if customer_hash {
             PlanNode::HashJoin {
-                build: Box::new(PlanNode::SeqScan { table: b.customer, pred: Some(pred) }),
+                build: Box::new(PlanNode::SeqScan {
+                    table: b.customer,
+                    pred: Some(pred),
+                }),
                 probe: Box::new(outer),
                 build_key: 0,
                 probe_key: 2,
@@ -149,21 +168,31 @@ fn sample_t18(b: &BenchmarkDb, rng: &mut StdRng) -> PlanNode {
         outer_key: 5,
         inner: b.item,
         inner_index: b.idx_item,
-        inner_pred: Some(Pred::In { col: 1, set: cats.clone() }),
+        inner_pred: Some(Pred::In {
+            col: 1,
+            set: cats.clone(),
+        }),
     };
     let join_cdemo = |outer: PlanNode| PlanNode::IndexNLJoin {
         outer: Box::new(outer),
         outer_key: 3,
         inner: b.customer_demographics,
         inner_index: b.idx_cdemo,
-        inner_pred: Some(Pred::Cmp { col: 3, op: CmpOp::Eq, lit: edu }),
+        inner_pred: Some(Pred::Cmp {
+            col: 3,
+            op: CmpOp::Eq,
+            lit: edu,
+        }),
     };
     let join_hdemo = |outer: PlanNode| PlanNode::IndexNLJoin {
         outer: Box::new(outer),
         outer_key: 4,
         inner: b.household_demographics,
         inner_index: b.idx_hdemo,
-        inner_pred: Some(Pred::In { col: 1, set: incomes.clone() }),
+        inner_pred: Some(Pred::In {
+            col: 1,
+            set: incomes.clone(),
+        }),
     };
 
     let joined = if item_first {
@@ -181,13 +210,21 @@ fn sample_t18(b: &BenchmarkDb, rng: &mut StdRng) -> PlanNode {
     let hj = PlanNode::HashJoin {
         build: Box::new(PlanNode::SeqScan {
             table: b.date_dim,
-            pred: Some(Pred::Cmp { col: 1, op: CmpOp::Eq, lit: year }),
+            pred: Some(Pred::Cmp {
+                col: 1,
+                op: CmpOp::Eq,
+                lit: year,
+            }),
         }),
         probe: Box::new(joined),
         build_key: 0,
         probe_key: 1,
     };
-    PlanNode::Aggregate { input: Box::new(hj), group_col: None, agg: AggFunc::CountStar }
+    PlanNode::Aggregate {
+        input: Box::new(hj),
+        group_col: None,
+        agg: AggFunc::CountStar,
+    }
 }
 
 fn sample_t19(b: &BenchmarkDb, rng: &mut StdRng) -> PlanNode {
@@ -206,16 +243,30 @@ fn sample_t19(b: &BenchmarkDb, rng: &mut StdRng) -> PlanNode {
     let fact = PlanNode::SeqScan {
         table: b.store_sales,
         pred: Some(Pred::And(vec![
-            Pred::Between { col: 1, lo: d0, hi: d1 },
-            Pred::Cmp { col: 8, op: CmpOp::Ge, lit: price },
+            Pred::Between {
+                col: 1,
+                lo: d0,
+                hi: d1,
+            },
+            Pred::Cmp {
+                col: 8,
+                op: CmpOp::Ge,
+                lit: price,
+            },
         ])),
     };
 
-    let item_pred = Pred::In { col: 2, set: brands.clone() };
+    let item_pred = Pred::In {
+        col: 2,
+        set: brands.clone(),
+    };
     let j1 = if n_brands >= 4 {
         // Loose brand filter: hash-join item instead of probing.
         PlanNode::HashJoin {
-            build: Box::new(PlanNode::SeqScan { table: b.item, pred: Some(item_pred) }),
+            build: Box::new(PlanNode::SeqScan {
+                table: b.item,
+                pred: Some(item_pred),
+            }),
             probe: Box::new(fact),
             build_key: 0,
             probe_key: 5,
@@ -243,7 +294,10 @@ fn sample_t19(b: &BenchmarkDb, rng: &mut StdRng) -> PlanNode {
         outer_key: 16,
         inner: b.customer_address,
         inner_index: b.idx_caddr,
-        inner_pred: Some(Pred::In { col: 1, set: states }),
+        inner_pred: Some(Pred::In {
+            col: 1,
+            set: states,
+        }),
     };
     // ca at 19-21
     let j4 = PlanNode::IndexNLJoin {
@@ -251,18 +305,30 @@ fn sample_t19(b: &BenchmarkDb, rng: &mut StdRng) -> PlanNode {
         outer_key: 6,
         inner: b.store,
         inner_index: b.idx_store,
-        inner_pred: Some(Pred::Cmp { col: 2, op: CmpOp::Eq, lit: market }),
+        inner_pred: Some(Pred::Cmp {
+            col: 2,
+            op: CmpOp::Eq,
+            lit: market,
+        }),
     };
     let hj = PlanNode::HashJoin {
         build: Box::new(PlanNode::SeqScan {
             table: b.date_dim,
-            pred: Some(Pred::Cmp { col: 1, op: CmpOp::Eq, lit: year }),
+            pred: Some(Pred::Cmp {
+                col: 1,
+                op: CmpOp::Eq,
+                lit: year,
+            }),
         }),
         probe: Box::new(j4),
         build_key: 0,
         probe_key: 1,
     };
-    PlanNode::Aggregate { input: Box::new(hj), group_col: None, agg: AggFunc::Sum(8) }
+    PlanNode::Aggregate {
+        input: Box::new(hj),
+        group_col: None,
+        agg: AggFunc::Sum(8),
+    }
 }
 
 fn sample_t91(b: &BenchmarkDb, rng: &mut StdRng) -> PlanNode {
@@ -278,8 +344,16 @@ fn sample_t91(b: &BenchmarkDb, rng: &mut StdRng) -> PlanNode {
     let fact = PlanNode::SeqScan {
         table: b.catalog_returns,
         pred: Some(Pred::And(vec![
-            Pred::Between { col: 1, lo: d0, hi: d1 },
-            Pred::Cmp { col: 5, op: CmpOp::Ge, lit: amount },
+            Pred::Between {
+                col: 1,
+                lo: d0,
+                hi: d1,
+            },
+            Pred::Cmp {
+                col: 5,
+                op: CmpOp::Ge,
+                lit: amount,
+            },
         ])),
     };
     let j1 = PlanNode::IndexNLJoin {
@@ -295,7 +369,11 @@ fn sample_t91(b: &BenchmarkDb, rng: &mut StdRng) -> PlanNode {
         outer_key: 7, // c_cdemo_sk
         inner: b.customer_demographics,
         inner_index: b.idx_cdemo,
-        inner_pred: Some(Pred::Cmp { col: 1, op: CmpOp::Eq, lit: gender }),
+        inner_pred: Some(Pred::Cmp {
+            col: 1,
+            op: CmpOp::Eq,
+            lit: gender,
+        }),
     };
     // cd at 12-16
     let j3 = PlanNode::IndexNLJoin {
@@ -303,10 +381,16 @@ fn sample_t91(b: &BenchmarkDb, rng: &mut StdRng) -> PlanNode {
         outer_key: 8, // c_hdemo_sk
         inner: b.household_demographics,
         inner_index: b.idx_hdemo,
-        inner_pred: Some(Pred::In { col: 1, set: incomes }),
+        inner_pred: Some(Pred::In {
+            col: 1,
+            set: incomes,
+        }),
     };
     // hd at 17-20
-    let ca_pred = Pred::In { col: 1, set: states };
+    let ca_pred = Pred::In {
+        col: 1,
+        set: states,
+    };
     let j4 = if width > 200 {
         PlanNode::HashJoin {
             build: Box::new(PlanNode::SeqScan {
@@ -332,15 +416,26 @@ fn sample_t91(b: &BenchmarkDb, rng: &mut StdRng) -> PlanNode {
         outer_key: 3, // cr_call_center_sk
         inner: b.call_center,
         inner_index: b.idx_cc,
-        inner_pred: Some(Pred::Cmp { col: 1, op: CmpOp::Eq, lit: class }),
+        inner_pred: Some(Pred::Cmp {
+            col: 1,
+            op: CmpOp::Eq,
+            lit: class,
+        }),
     };
     let hj = PlanNode::HashJoin {
-        build: Box::new(PlanNode::SeqScan { table: b.date_dim, pred: None }),
+        build: Box::new(PlanNode::SeqScan {
+            table: b.date_dim,
+            pred: None,
+        }),
         probe: Box::new(j5),
         build_key: 0,
         probe_key: 1,
     };
-    PlanNode::Aggregate { input: Box::new(hj), group_col: None, agg: AggFunc::Sum(5) }
+    PlanNode::Aggregate {
+        input: Box::new(hj),
+        group_col: None,
+        agg: AggFunc::Sum(5),
+    }
 }
 
 fn sample_imdb1a(b: &BenchmarkDb, rng: &mut StdRng) -> PlanNode {
@@ -355,7 +450,11 @@ fn sample_imdb1a(b: &BenchmarkDb, rng: &mut StdRng) -> PlanNode {
     let title = PlanNode::SeqScan {
         table: b.title,
         pred: Some(Pred::And(vec![
-            Pred::Between { col: 1, lo: y0, hi: y1 },
+            Pred::Between {
+                col: 1,
+                lo: y0,
+                hi: y1,
+            },
             Pred::In { col: 2, set: kinds },
         ])),
     };
@@ -364,12 +463,19 @@ fn sample_imdb1a(b: &BenchmarkDb, rng: &mut StdRng) -> PlanNode {
         outer_key: 0,
         inner: b.cast_info,
         inner_index: b.idx_cast_movie,
-        inner_pred: Some(Pred::Cmp { col: 3, op: CmpOp::Eq, lit: role }),
+        inner_pred: Some(Pred::Cmp {
+            col: 3,
+            op: CmpOp::Eq,
+            lit: role,
+        }),
     };
     // cast_info at 3-6
     let j2 = if width > 12 {
         PlanNode::HashJoin {
-            build: Box::new(PlanNode::SeqScan { table: b.movie_companies, pred: None }),
+            build: Box::new(PlanNode::SeqScan {
+                table: b.movie_companies,
+                pred: None,
+            }),
             probe: Box::new(j1),
             build_key: 1,
             probe_key: 0,
@@ -384,10 +490,17 @@ fn sample_imdb1a(b: &BenchmarkDb, rng: &mut StdRng) -> PlanNode {
         }
     };
     // movie_companies at 7-10
-    let ct_pred = Pred::Cmp { col: 1, op: CmpOp::Eq, lit: ct_kind };
+    let ct_pred = Pred::Cmp {
+        col: 1,
+        op: CmpOp::Eq,
+        lit: ct_kind,
+    };
     let j3 = if n_kinds == 1 {
         PlanNode::HashJoin {
-            build: Box::new(PlanNode::SeqScan { table: b.company_type, pred: Some(ct_pred) }),
+            build: Box::new(PlanNode::SeqScan {
+                table: b.company_type,
+                pred: Some(ct_pred),
+            }),
             probe: Box::new(j2),
             build_key: 0,
             probe_key: 10, // mc_company_type_id
@@ -401,7 +514,11 @@ fn sample_imdb1a(b: &BenchmarkDb, rng: &mut StdRng) -> PlanNode {
             inner_pred: Some(ct_pred),
         }
     };
-    PlanNode::Aggregate { input: Box::new(j3), group_col: None, agg: AggFunc::CountStar }
+    PlanNode::Aggregate {
+        input: Box::new(j3),
+        group_col: None,
+        agg: AggFunc::CountStar,
+    }
 }
 
 /// Sample one query instance from `template`.
@@ -424,7 +541,9 @@ pub fn sample_workload(
     seed: u64,
 ) -> Vec<QueryInstance> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| sample_query(b, template, &mut rng)).collect()
+    (0..n)
+        .map(|_| sample_query(b, template, &mut rng))
+        .collect()
 }
 
 #[cfg(test)]
@@ -436,7 +555,10 @@ mod tests {
     use pythia_db::trace::TraceEvent;
 
     fn bench() -> BenchmarkDb {
-        build_benchmark(&GeneratorConfig { scale: 0.08, seed: 2 })
+        build_benchmark(&GeneratorConfig {
+            scale: 0.08,
+            seed: 2,
+        })
     }
 
     #[test]
@@ -463,7 +585,10 @@ mod tests {
                 trace.read_count() > trace.sequential_reads(),
                 "{t}: no non-sequential reads"
             );
-            assert!(trace.distinct_non_sequential() > 10, "{t}: too few distinct non-seq pages");
+            assert!(
+                trace.distinct_non_sequential() > 10,
+                "{t}: too few distinct non-seq pages"
+            );
         }
     }
 
@@ -483,7 +608,10 @@ mod tests {
         let w = sample_workload(&b, Template::T18, 10, 11);
         let distinct: std::collections::HashSet<String> =
             w.iter().map(|q| format!("{:?}", q.plan)).collect();
-        assert!(distinct.len() >= 9, "parameters should differ across instances");
+        assert!(
+            distinct.len() >= 9,
+            "parameters should differ across instances"
+        );
     }
 
     #[test]
@@ -492,7 +620,11 @@ mod tests {
         let w = sample_workload(&b, Template::T18, 60, 3);
         let shapes: std::collections::HashSet<String> =
             w.iter().map(crate::stats::plan_shape).collect();
-        assert!(shapes.len() >= 2, "expected multiple plan shapes, got {}", shapes.len());
+        assert!(
+            shapes.len() >= 2,
+            "expected multiple plan shapes, got {}",
+            shapes.len()
+        );
     }
 
     #[test]
@@ -504,7 +636,10 @@ mod tests {
         let sets = trace.non_sequential_sets();
         let cast_obj = b.db.table_info(b.cast_info).object;
         let cast_pages = sets.get(&cast_obj).map(Vec::len).unwrap_or(0);
-        assert!(cast_pages > 5, "cast_info should dominate non-seq reads: {cast_pages}");
+        assert!(
+            cast_pages > 5,
+            "cast_info should dominate non-seq reads: {cast_pages}"
+        );
         let objs = Template::Imdb1a.prefetch_objects(&b).unwrap();
         assert!(objs.contains(&cast_obj));
     }
@@ -517,7 +652,11 @@ mod tests {
         let mk = |d0: i64, d1: i64| {
             let fact = PlanNode::SeqScan {
                 table: b.store_sales,
-                pred: Some(Pred::Between { col: 1, lo: d0, hi: d1 }),
+                pred: Some(Pred::Between {
+                    col: 1,
+                    lo: d0,
+                    hi: d1,
+                }),
             };
             let j = PlanNode::IndexNLJoin {
                 outer: Box::new(fact),
@@ -534,10 +673,12 @@ mod tests {
         let a: std::collections::HashSet<u32> = mk(100, 160).into_iter().collect();
         let near: std::collections::HashSet<u32> = mk(110, 170).into_iter().collect();
         let far: std::collections::HashSet<u32> = mk(1800, 1860).into_iter().collect();
-        let j_near = a.intersection(&near).count() as f64
-            / a.union(&near).count().max(1) as f64;
+        let j_near = a.intersection(&near).count() as f64 / a.union(&near).count().max(1) as f64;
         let j_far = a.intersection(&far).count() as f64 / a.union(&far).count().max(1) as f64;
-        assert!(j_near > 0.4, "near ranges should overlap heavily: {j_near:.2}");
+        assert!(
+            j_near > 0.4,
+            "near ranges should overlap heavily: {j_near:.2}"
+        );
         assert!(j_far < 0.35, "far ranges should barely overlap: {j_far:.2}");
         assert!(j_near > 1.5 * j_far.max(0.01));
     }
@@ -548,10 +689,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(10);
         let q = sample_query(&b, Template::T18, &mut rng);
         let (_, trace) = execute(&q.plan, &b.db);
-        assert!(trace.events.iter().any(|e| matches!(e, TraceEvent::Cpu { .. })));
         assert!(trace
             .events
             .iter()
-            .any(|e| matches!(e, TraceEvent::Read { kind, .. } if *kind == AccessKind::IndexInternal)));
+            .any(|e| matches!(e, TraceEvent::Cpu { .. })));
+        assert!(trace.events.iter().any(
+            |e| matches!(e, TraceEvent::Read { kind, .. } if *kind == AccessKind::IndexInternal)
+        ));
     }
 }

@@ -12,13 +12,16 @@
 
 use pythia::core::PythiaConfig;
 use pythia::db::runtime::{QueryRun, RunConfig, Runtime};
-use pythia::sim::SimTime;
+use pythia::sim::SimDuration;
 use pythia::workloads::templates::{sample_workload, Template};
 use pythia::workloads::{build_benchmark, GeneratorConfig};
 use pythia::PythiaSystem;
 
 fn main() {
-    let bench = build_benchmark(&GeneratorConfig { scale: 0.2, seed: 5 });
+    let bench = build_benchmark(&GeneratorConfig {
+        scale: 0.2,
+        seed: 5,
+    });
     let n = 120;
     let queries = sample_workload(&bench, Template::T18, n, 21);
     let traces: Vec<_> = queries
@@ -29,13 +32,25 @@ fn main() {
     let (test_t, train_t) = traces.split_at(8);
 
     let pool_frames = (bench.db.disk.total_pages() as usize / 8).max(256);
-    let cfg = PythiaConfig { epochs: 40, batch_size: 32, lr: 3e-3, pos_weight: 2.0, ..PythiaConfig::fast() };
+    let cfg = PythiaConfig {
+        epochs: 40,
+        batch_size: 32,
+        lr: 3e-3,
+        pos_weight: 2.0,
+        ..PythiaConfig::fast()
+    };
     let mut pythia = PythiaSystem::new(cfg, pool_frames * 3 / 4);
     let train_plans: Vec<_> = train_q.iter().map(|q| q.plan.clone()).collect();
     pythia.learn_workload(&bench.db, "dsb-t18", &train_plans, train_t, None);
-    println!("trained on {} queries; evaluating concurrent batches\n", train_q.len());
+    println!(
+        "trained on {} queries; evaluating concurrent batches\n",
+        train_q.len()
+    );
 
-    let run_cfg = RunConfig { pool_frames, ..RunConfig::default() };
+    let run_cfg = RunConfig {
+        pool_frames,
+        ..RunConfig::default()
+    };
     println!(
         "{:<12} {:>14} {:>14} {:>9} {:>10} {:>10}",
         "concurrency", "DFLT makespan", "pythia makespan", "speedup", "hit rate", "pf useful"
@@ -43,20 +58,25 @@ fn main() {
     for &k in &[1usize, 2, 4, 8] {
         // DFLT batch.
         let mut rt = Runtime::new(&run_cfg, bench.db.file_lengths());
-        let runs: Vec<QueryRun<'_>> =
-            (0..k).map(|i| QueryRun::default_run(&test_t[i % test_t.len()])).collect();
+        let runs: Vec<QueryRun<'_>> = (0..k)
+            .map(|i| QueryRun::default_run(&test_t[i % test_t.len()]))
+            .collect();
         let dflt = rt.run(&runs);
 
         // Pythia batch: each query gets its own prediction + AIO prefetcher.
         let mut rt = Runtime::new(&run_cfg, bench.db.file_lengths());
         let engagements: Vec<_> = (0..k)
-            .map(|i| pythia.engage(&bench.db, &test_q[i % test_q.len()].plan).expect("match"))
+            .map(|i| {
+                pythia
+                    .engage(&bench.db, &test_q[i % test_q.len()].plan)
+                    .expect("match")
+            })
             .collect();
         let runs: Vec<QueryRun<'_>> = (0..k)
             .map(|i| QueryRun {
                 trace: &test_t[i % test_t.len()],
                 prefetch: Some(engagements[i].prefetch.clone()),
-                arrival: SimTime::ZERO,
+                arrival: SimDuration::ZERO,
                 inference_latency: engagements[i].inference,
             })
             .collect();

@@ -22,8 +22,17 @@ use pythia::workloads::templates::{sample_workload, Template};
 use pythia::workloads::{build_benchmark, GeneratorConfig};
 
 fn main() {
-    let bench = build_benchmark(&GeneratorConfig { scale: 0.15, seed: 23 });
-    let cfg = PythiaConfig { epochs: 25, batch_size: 32, lr: 3e-3, pos_weight: 2.0, ..PythiaConfig::fast() };
+    let bench = build_benchmark(&GeneratorConfig {
+        scale: 0.15,
+        seed: 23,
+    });
+    let cfg = PythiaConfig {
+        epochs: 25,
+        batch_size: 32,
+        lr: 3e-3,
+        pos_weight: 2.0,
+        ..PythiaConfig::fast()
+    };
 
     // ---- 1. Train + persist ----
     let queries = sample_workload(&bench, Template::T91, 80, 4);
@@ -48,13 +57,22 @@ fn main() {
     let service = Arc::new(PythiaService::new(Arc::clone(&db), cfg.clone(), 512));
     service.install_trained(TrainedWorkload::load_json(&path).expect("load"));
     let _ = std::fs::remove_file(&path);
-    println!("service loaded persisted models; workloads = {}", service.workload_count());
+    println!(
+        "service loaded persisted models; workloads = {}",
+        service.workload_count()
+    );
 
     // Rebuild a cheap second workload request and train it in the background
     // while readers keep engaging.
-    let bench2 = build_benchmark(&GeneratorConfig { scale: 0.15, seed: 23 });
+    let bench2 = build_benchmark(&GeneratorConfig {
+        scale: 0.15,
+        seed: 23,
+    });
     let q2 = sample_workload(&bench2, Template::Imdb1a, 30, 8);
-    let t2: Vec<_> = q2.iter().map(|q| pythia::db::exec::execute(&q.plan, &db).1).collect();
+    let t2: Vec<_> = q2
+        .iter()
+        .map(|q| pythia::db::exec::execute(&q.plan, &db).1)
+        .collect();
     let (tx, trainer) = service.spawn_trainer();
     tx.send(TrainRequest {
         name: "imdb-1a".into(),
@@ -76,7 +94,10 @@ fn main() {
                         engaged += 1;
                     }
                 }
-                println!("reader {r}: engaged {engaged}/{} queries during training", probe.len());
+                println!(
+                    "reader {r}: engaged {engaged}/{} queries during training",
+                    probe.len()
+                );
             })
         })
         .collect();
@@ -84,7 +105,10 @@ fn main() {
         r.join().unwrap();
     }
     trainer.join().unwrap();
-    println!("background trainer done; workloads = {}", service.workload_count());
+    println!(
+        "background trainer done; workloads = {}",
+        service.workload_count()
+    );
 
     // ---- 3. Incremental refinement ----
     // Train on a small initial workload, then fold in newly observed queries

@@ -19,8 +19,13 @@ use pythia::workloads::{build_benchmark, GeneratorConfig};
 use pythia::PythiaSystem;
 
 fn main() {
-    let bench = build_benchmark(&GeneratorConfig { scale: 0.25, seed: 11 });
-    let cast_pages = bench.db.object_pages(bench.db.table_info(bench.cast_info).object);
+    let bench = build_benchmark(&GeneratorConfig {
+        scale: 0.25,
+        seed: 11,
+    });
+    let cast_pages = bench
+        .db
+        .object_pages(bench.db.table_info(bench.cast_info).object);
     println!(
         "IMDB-like data: {} titles, {} cast_info rows over {} pages",
         bench.n_titles, bench.n_cast, cast_pages
@@ -41,7 +46,13 @@ fn main() {
     let budget = pool_frames * 3 / 4;
     println!("buffer pool: {pool_frames} frames; prefetch budget: {budget} pages");
 
-    let cfg = PythiaConfig { epochs: 40, batch_size: 32, lr: 3e-3, pos_weight: 2.0, ..PythiaConfig::fast() };
+    let cfg = PythiaConfig {
+        epochs: 40,
+        batch_size: 32,
+        lr: 3e-3,
+        pos_weight: 2.0,
+        ..PythiaConfig::fast()
+    };
     let mut pythia = PythiaSystem::new(cfg, budget);
     let train_plans: Vec<_> = train_q.iter().map(|q| q.plan.clone()).collect();
     // Only cast_info (heap + its movie_id index) gets models.
@@ -55,7 +66,10 @@ fn main() {
         tw.size_bytes() as f64 / 1e6
     );
 
-    let run_cfg = RunConfig { pool_frames, ..RunConfig::default() };
+    let run_cfg = RunConfig {
+        pool_frames,
+        ..RunConfig::default()
+    };
     let modeled = tw.modeled_objects();
     let mut capped = 0;
     for (i, (q, trace)) in test_q.iter().zip(test_t).enumerate() {
@@ -64,13 +78,20 @@ fn main() {
         if eng.prefetch.len() < predicted_total {
             capped += 1;
         }
-        let m = f1_score(&tw.infer(&bench.db, &q.plan).as_set(), &ground_truth(trace, &modeled));
+        let m = f1_score(
+            &tw.infer(&bench.db, &q.plan).as_set(),
+            &ground_truth(trace, &modeled),
+        );
 
         let mut rt = Runtime::new(&run_cfg, bench.db.file_lengths());
         let dflt = rt.run(&[QueryRun::default_run(trace)]).timings[0].elapsed();
         rt.reset();
         let pyth = rt
-            .run(&[QueryRun::with_prefetch(trace, eng.prefetch.clone(), eng.inference)])
+            .run(&[QueryRun::with_prefetch(
+                trace,
+                eng.prefetch.clone(),
+                eng.inference,
+            )])
             .timings[0]
             .elapsed();
         println!(

@@ -22,8 +22,15 @@ use pythia::PythiaSystem;
 
 fn main() {
     // ---- warehouse + workload ----
-    let bench = build_benchmark(&GeneratorConfig { scale: 0.25, seed: 7 });
-    println!("warehouse built: {} pages across {} objects", bench.db.disk.total_pages(), bench.db.object_count());
+    let bench = build_benchmark(&GeneratorConfig {
+        scale: 0.25,
+        seed: 7,
+    });
+    println!(
+        "warehouse built: {} pages across {} objects",
+        bench.db.disk.total_pages(),
+        bench.db.object_count()
+    );
 
     let n = 160;
     let queries = sample_workload(&bench, Template::T18, n, 42);
@@ -41,7 +48,13 @@ fn main() {
     let (test_t, train_t) = traces.split_at(n_test);
 
     // ---- train ----
-    let cfg = PythiaConfig { epochs: 40, batch_size: 32, lr: 3e-3, pos_weight: 2.0, ..PythiaConfig::fast() };
+    let cfg = PythiaConfig {
+        epochs: 40,
+        batch_size: 32,
+        lr: 3e-3,
+        pos_weight: 2.0,
+        ..PythiaConfig::fast()
+    };
     let pool_frames = (bench.db.disk.total_pages() as usize / 8).max(256);
     let mut pythia = PythiaSystem::new(cfg, pool_frames * 3 / 4);
     let train_plans: Vec<_> = train_q.iter().map(|q| q.plan.clone()).collect();
@@ -55,14 +68,23 @@ fn main() {
 
     // ---- evaluate held-out queries ----
     let nn = NearestNeighbor::new(train_t);
-    let run_cfg = RunConfig { pool_frames, ..RunConfig::default() };
+    let run_cfg = RunConfig {
+        pool_frames,
+        ..RunConfig::default()
+    };
     let modeled = tw.modeled_objects();
 
-    println!("\n{:<6} {:>6} {:>10} {:>10} {:>10} {:>10}", "query", "F1", "DFLT", "pythia", "ORCL", "NN");
+    println!(
+        "\n{:<6} {:>6} {:>10} {:>10} {:>10} {:>10}",
+        "query", "F1", "DFLT", "pythia", "ORCL", "NN"
+    );
     let mut speedups = Vec::new();
     for (i, (q, trace)) in test_q.iter().zip(test_t).enumerate() {
         let eng = pythia.engage(&bench.db, &q.plan).expect("in-distribution");
-        let m = f1_score(&tw.infer(&bench.db, &q.plan).as_set(), &ground_truth(trace, &modeled));
+        let m = f1_score(
+            &tw.infer(&bench.db, &q.plan).as_set(),
+            &ground_truth(trace, &modeled),
+        );
 
         let time = |prefetch: Option<Vec<_>>, inf: SimDuration| {
             let mut rt = Runtime::new(&run_cfg, bench.db.file_lengths());
@@ -74,7 +96,10 @@ fn main() {
         };
         let dflt = time(None, SimDuration::ZERO);
         let pyth = time(Some(eng.prefetch), eng.inference);
-        let orcl = time(Some(oracle_prefetch(trace, OracleScope::All)), SimDuration::ZERO);
+        let orcl = time(
+            Some(oracle_prefetch(trace, OracleScope::All)),
+            SimDuration::ZERO,
+        );
         let (nn_pages, _, _) = nn.prefetch_for(trace);
         let nnt = time(Some(nn_pages), SimDuration::ZERO);
 

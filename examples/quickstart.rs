@@ -91,7 +91,9 @@ fn main() {
     let unseen = template(411, 531);
     let (_rows, unseen_trace) = execute(&unseen, &db);
 
-    let engagement = pythia.engage(&db, &unseen).expect("query matches the workload");
+    let engagement = pythia
+        .engage(&db, &unseen)
+        .expect("query matches the workload");
     println!(
         "engaged workload '{}': predicted {} pages, inference {}",
         engagement.workload,
@@ -110,7 +112,10 @@ fn main() {
     );
 
     // ---- 6. Replay: default vs Pythia-prefetched execution (cold cache).
-    let run_cfg = RunConfig { pool_frames: 512, ..RunConfig::default() };
+    let run_cfg = RunConfig {
+        pool_frames: 512,
+        ..RunConfig::default()
+    };
     let mut rt = Runtime::new(&run_cfg, db.file_lengths());
     let base = rt.run(&[QueryRun::default_run(&unseen_trace)]).timings[0].elapsed();
     rt.reset();
@@ -124,10 +129,16 @@ fn main() {
         .elapsed();
     println!("default execution: {base}");
     println!("with Pythia      : {with}");
-    println!("speedup          : {:.2}x", base.as_micros() as f64 / with.as_micros() as f64);
+    println!(
+        "speedup          : {:.2}x",
+        base.as_micros() as f64 / with.as_micros() as f64
+    );
 
     // ---- 7. A query Pythia has never seen the shape of: it stays out.
-    let foreign = PlanNode::SeqScan { table: customers, pred: None };
+    let foreign = PlanNode::SeqScan {
+        table: customers,
+        pred: None,
+    };
     assert!(pythia.engage(&db, &foreign).is_none());
     println!("out-of-distribution query: Pythia falls back to default execution");
 }

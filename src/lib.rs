@@ -76,7 +76,11 @@ pub struct PythiaSystem {
 impl PythiaSystem {
     /// A system with no trained workloads yet.
     pub fn new(cfg: PythiaConfig, prefetch_budget: usize) -> Self {
-        PythiaSystem { registry: WorkloadRegistry::new(), cfg, prefetch_budget }
+        PythiaSystem {
+            registry: WorkloadRegistry::new(),
+            cfg,
+            prefetch_budget,
+        }
     }
 
     /// Train models for a workload (Algorithm 1) and register them.

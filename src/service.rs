@@ -95,7 +95,9 @@ impl PythiaService {
     /// returned channel; each finished workload is installed atomically.
     /// Dropping the sender shuts the trainer down; `join` the handle to wait
     /// for in-flight training.
-    pub fn spawn_trainer(self: &Arc<Self>) -> (Sender<TrainRequest>, std::thread::JoinHandle<usize>) {
+    pub fn spawn_trainer(
+        self: &Arc<Self>,
+    ) -> (Sender<TrainRequest>, std::thread::JoinHandle<usize>) {
         let (tx, rx) = unbounded::<TrainRequest>();
         let service = Arc::clone(self);
         let handle = std::thread::spawn(move || {
@@ -117,7 +119,12 @@ mod tests {
     use pythia_db::expr::Pred;
     use pythia_db::types::Schema;
 
-    fn tiny_db() -> (Arc<Database>, pythia_db::catalog::TableId, pythia_db::catalog::TableId, ObjectId) {
+    fn tiny_db() -> (
+        Arc<Database>,
+        pythia_db::catalog::TableId,
+        pythia_db::catalog::TableId,
+        ObjectId,
+    ) {
         let mut db = Database::new();
         let fact = db.create_table("fact", Schema::ints(&["id", "day", "k"]));
         let dim = db.create_table("dim", Schema::ints(&["d_id", "v"]));
@@ -129,11 +136,20 @@ mod tests {
         (Arc::new(db), fact, dim, idx)
     }
 
-    fn plan(fact: pythia_db::catalog::TableId, dim: pythia_db::catalog::TableId, idx: ObjectId, lo: i64) -> PlanNode {
+    fn plan(
+        fact: pythia_db::catalog::TableId,
+        dim: pythia_db::catalog::TableId,
+        idx: ObjectId,
+        lo: i64,
+    ) -> PlanNode {
         PlanNode::IndexNLJoin {
             outer: Box::new(PlanNode::SeqScan {
                 table: fact,
-                pred: Some(Pred::Between { col: 1, lo, hi: lo + 10 }),
+                pred: Some(Pred::Between {
+                    col: 1,
+                    lo,
+                    hi: lo + 10,
+                }),
             }),
             outer_key: 2,
             inner: dim,
@@ -142,14 +158,27 @@ mod tests {
         }
     }
 
-    fn request(db: &Database, fact: pythia_db::catalog::TableId, dim: pythia_db::catalog::TableId, idx: ObjectId) -> TrainRequest {
+    fn request(
+        db: &Database,
+        fact: pythia_db::catalog::TableId,
+        dim: pythia_db::catalog::TableId,
+        idx: ObjectId,
+    ) -> TrainRequest {
         let plans: Vec<PlanNode> = (0..8).map(|i| plan(fact, dim, idx, i * 9)).collect();
         let traces = plans.iter().map(|p| execute(p, db).1).collect();
-        TrainRequest { name: "w".into(), plans, traces, restrict_objects: None }
+        TrainRequest {
+            name: "w".into(),
+            plans,
+            traces,
+            restrict_objects: None,
+        }
     }
 
     fn cfg() -> PythiaConfig {
-        PythiaConfig { epochs: 3, ..PythiaConfig::fast() }
+        PythiaConfig {
+            epochs: 3,
+            ..PythiaConfig::fast()
+        }
     }
 
     #[test]
@@ -157,7 +186,10 @@ mod tests {
         let (db, fact, dim, idx) = tiny_db();
         let service = Arc::new(PythiaService::new(Arc::clone(&db), cfg(), 256));
         assert_eq!(service.workload_count(), 0);
-        assert!(service.engage(&plan(fact, dim, idx, 3)).is_none(), "nothing installed yet");
+        assert!(
+            service.engage(&plan(fact, dim, idx, 3)).is_none(),
+            "nothing installed yet"
+        );
 
         let (tx, handle) = service.spawn_trainer();
         tx.send(request(&db, fact, dim, idx)).unwrap();
@@ -165,7 +197,9 @@ mod tests {
         assert_eq!(handle.join().unwrap(), 1);
 
         assert_eq!(service.workload_count(), 1);
-        let eng = service.engage(&plan(fact, dim, idx, 3)).expect("now engages");
+        let eng = service
+            .engage(&plan(fact, dim, idx, 3))
+            .expect("now engages");
         assert_eq!(eng.workload, "w");
     }
 

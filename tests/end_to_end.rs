@@ -12,11 +12,20 @@ use pythia::workloads::{build_benchmark, BenchmarkDb, GeneratorConfig};
 use pythia::PythiaSystem;
 
 fn small_bench() -> BenchmarkDb {
-    build_benchmark(&GeneratorConfig { scale: 0.1, seed: 99 })
+    build_benchmark(&GeneratorConfig {
+        scale: 0.1,
+        seed: 99,
+    })
 }
 
 fn quick_cfg() -> PythiaConfig {
-    PythiaConfig { epochs: 25, batch_size: 16, lr: 3e-3, pos_weight: 2.0, ..PythiaConfig::fast() }
+    PythiaConfig {
+        epochs: 25,
+        batch_size: 16,
+        lr: 3e-3,
+        pos_weight: 2.0,
+        ..PythiaConfig::fast()
+    }
 }
 
 #[test]
@@ -41,12 +50,20 @@ fn pipeline_learns_and_speeds_up_t91() {
     let modeled = tw.modeled_objects();
     assert!(modeled.len() >= 4, "T91 probes several dims: {modeled:?}");
 
-    let run_cfg = RunConfig { pool_frames, ..RunConfig::default() };
+    let run_cfg = RunConfig {
+        pool_frames,
+        ..RunConfig::default()
+    };
     let mut f1s = Vec::new();
     let mut speedups = Vec::new();
     for (q, trace) in test_q.iter().zip(test_t) {
-        let eng = system.engage(&bench.db, &q.plan).expect("in-distribution query engages");
-        let m = f1_score(&tw.infer(&bench.db, &q.plan).as_set(), &ground_truth(trace, &modeled));
+        let eng = system
+            .engage(&bench.db, &q.plan)
+            .expect("in-distribution query engages");
+        let m = f1_score(
+            &tw.infer(&bench.db, &q.plan).as_set(),
+            &ground_truth(trace, &modeled),
+        );
         f1s.push(m.f1);
 
         let mut rt = Runtime::new(&run_cfg, bench.db.file_lengths());
@@ -60,8 +77,14 @@ fn pipeline_learns_and_speeds_up_t91() {
     }
     let mean_f1 = f1s.iter().sum::<f64>() / f1s.len() as f64;
     let mean_sp = speedups.iter().sum::<f64>() / speedups.len() as f64;
-    assert!(mean_f1 > 0.35, "held-out F1 too low: {mean_f1:.3} ({f1s:?})");
-    assert!(mean_sp > 1.2, "Pythia should speed up T91: {mean_sp:.2} ({speedups:?})");
+    assert!(
+        mean_f1 > 0.35,
+        "held-out F1 too low: {mean_f1:.3} ({f1s:?})"
+    );
+    assert!(
+        mean_sp > 1.2,
+        "Pythia should speed up T91: {mean_sp:.2} ({speedups:?})"
+    );
 }
 
 #[test]
@@ -72,13 +95,19 @@ fn out_of_distribution_query_falls_back() {
         .iter()
         .map(|q| pythia::db::exec::execute(&q.plan, &bench.db).1)
         .collect();
-    let cfg = PythiaConfig { epochs: 2, ..PythiaConfig::fast() };
+    let cfg = PythiaConfig {
+        epochs: 2,
+        ..PythiaConfig::fast()
+    };
     let mut system = PythiaSystem::new(cfg, 512);
     let plans: Vec<_> = queries.iter().map(|q| q.plan.clone()).collect();
     system.learn_workload(&bench.db, "t91", &plans, &traces, None);
 
     // A full scan of an unrelated table must not engage Pythia.
-    let foreign = PlanNode::SeqScan { table: bench.title, pred: None };
+    let foreign = PlanNode::SeqScan {
+        table: bench.title,
+        pred: None,
+    };
     assert!(system.engage(&bench.db, &foreign).is_none());
     // An IMDB template query also does not match the T91 workload.
     let imdb = sample_workload(&bench, Template::Imdb1a, 1, 3).remove(0);
@@ -98,8 +127,12 @@ fn wrong_predictions_cause_no_meaningful_regression() {
     let base = rt.run(&[QueryRun::default_run(&trace)]).timings[0].elapsed();
 
     // Prefetch garbage: pages of a file the query never touches.
-    let junk_file = bench.db.object_file(bench.db.table_info(bench.title).object);
-    let junk: Vec<_> = (0..200).map(|p| pythia::sim::PageId::new(junk_file, p)).collect();
+    let junk_file = bench
+        .db
+        .object_file(bench.db.table_info(bench.title).object);
+    let junk: Vec<_> = (0..200)
+        .map(|p| pythia::sim::PageId::new(junk_file, p))
+        .collect();
     let mut rt = Runtime::new(&run_cfg, bench.db.file_lengths());
     let with = rt
         .run(&[QueryRun::with_prefetch(&trace, junk, SimDuration::ZERO)])
@@ -112,7 +145,10 @@ fn wrong_predictions_cause_no_meaningful_regression() {
 #[test]
 fn multiple_workloads_route_correctly() {
     let bench = small_bench();
-    let cfg = PythiaConfig { epochs: 2, ..PythiaConfig::fast() };
+    let cfg = PythiaConfig {
+        epochs: 2,
+        ..PythiaConfig::fast()
+    };
     let mut system = PythiaSystem::new(cfg, 512);
     for (name, template) in [("t18", Template::T18), ("imdb", Template::Imdb1a)] {
         let queries = sample_workload(&bench, template, 16, 4);
@@ -129,5 +165,8 @@ fn multiple_workloads_route_correctly() {
     let t18 = sample_workload(&bench, Template::T18, 1, 77).remove(0);
     assert_eq!(system.engage(&bench.db, &t18.plan).unwrap().workload, "t18");
     let imdb = sample_workload(&bench, Template::Imdb1a, 1, 77).remove(0);
-    assert_eq!(system.engage(&bench.db, &imdb.plan).unwrap().workload, "imdb");
+    assert_eq!(
+        system.engage(&bench.db, &imdb.plan).unwrap().workload,
+        "imdb"
+    );
 }

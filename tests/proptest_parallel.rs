@@ -50,12 +50,20 @@ fn tiny_star() -> (Database, Vec<PlanNode>, Vec<Trace>) {
         let plan = PlanNode::IndexNLJoin {
             outer: Box::new(PlanNode::SeqScan {
                 table: fact,
-                pred: Some(Pred::Between { col: 1, lo, hi: lo + 40 }),
+                pred: Some(Pred::Between {
+                    col: 1,
+                    lo,
+                    hi: lo + 40,
+                }),
             }),
             outer_key: 2,
             inner: dim,
             inner_index: idx,
-            inner_pred: Some(Pred::Cmp { col: 1, op: CmpOp::Ge, lit: 0 }),
+            inner_pred: Some(Pred::Cmp {
+                col: 1,
+                op: CmpOp::Ge,
+                lit: 0,
+            }),
         };
         let (_, trace) = execute(&plan, &db);
         plans.push(plan);

@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 
 use pythia::core::scheduler::{consecutive_overlap, schedule_by_overlap};
-use pythia::core::{serialize_plan, Vocab, ValueBinner};
+use pythia::core::{serialize_plan, ValueBinner, Vocab};
 use pythia::db::catalog::Database;
 use pythia::db::expr::{CmpOp, Pred};
 use pythia::db::plan::PlanNode;

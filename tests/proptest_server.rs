@@ -1,0 +1,125 @@
+//! Property test for the admission-controlled serving loop: with concurrency
+//! limit 1, FIFO admission and a fixed inference charge, serving a request
+//! stream must be **bit-identical** — per-query start/end instants, final
+//! clock and every buffer counter — to replaying the same queries serially
+//! through `Runtime::run` on one warm stack, across random traces, arrival
+//! patterns and stack sizings.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use pythia::core::server::{
+    InferenceCharge, PrefetchServer, QueuePolicy, ServerConfig, ServerRequest,
+};
+use pythia::db::catalog::{Database, ObjectId};
+use pythia::db::plan::PlanNode;
+use pythia::db::runtime::{QueryRun, RunConfig, Runtime};
+use pythia::db::trace::{AccessKind, Trace, TraceEvent};
+use pythia::db::types::Schema;
+use pythia::sim::{FileId, PageId, SimDuration, SimTime};
+
+/// One shared database: the serving loop only uses it for file lengths (no
+/// predictor is attached), so a single small fixture serves every case.
+fn db() -> &'static Database {
+    static DB: OnceLock<Database> = OnceLock::new();
+    DB.get_or_init(|| {
+        let mut db = Database::new();
+        let t = db.create_table("t", Schema::ints(&["a"]));
+        for i in 0..2000i64 {
+            db.insert(t, Database::row(&[i]));
+        }
+        db
+    })
+}
+
+fn plan() -> PlanNode {
+    PlanNode::SeqScan {
+        table: pythia::db::catalog::TableId(0),
+        pred: None,
+    }
+}
+
+/// Build a trace from `(selector, page, cpu)` triples: selector picks the
+/// access kind (sequential runs vs strided heap fetches), `cpu` inserts
+/// think-time between reads.
+fn build_trace(spec: &[(u8, u16, u8)]) -> Trace {
+    let mut events = Vec::with_capacity(spec.len() * 2);
+    for &(sel, page, cpu) in spec {
+        let kind = if sel % 2 == 0 {
+            AccessKind::HeapFetch
+        } else {
+            AccessKind::SeqScan
+        };
+        events.push(TraceEvent::Read {
+            obj: ObjectId(0),
+            page: PageId::new(FileId(0), page as u32),
+            kind,
+        });
+        if cpu > 0 {
+            events.push(TraceEvent::Cpu { units: cpu as u32 });
+        }
+    }
+    Trace { events }
+}
+
+fn trace_strategy() -> impl Strategy<Value = Vec<(u8, u16, u8)>> {
+    prop::collection::vec((any::<u8>(), 0u16..3000, 0u8..4), 1..60)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn c1_fifo_server_is_bit_identical_to_serial_runs(
+        specs in prop::collection::vec(trace_strategy(), 1..5),
+        arrivals in prop::collection::vec(0u64..2_000_000, 5),
+        pool_frames in prop::sample::select(vec![64usize, 256, 1024]),
+        os_cache_pages in prop::sample::select(vec![512usize, 4096]),
+        charge_us in 0u64..5_000,
+    ) {
+        let db = db();
+        let traces: Vec<Trace> = specs.iter().map(|s| build_trace(s)).collect();
+        let run_cfg = RunConfig { pool_frames, os_cache_pages, ..Default::default() };
+        let plan = plan();
+
+        let requests: Vec<ServerRequest<'_>> = traces
+            .iter()
+            .zip(&arrivals)
+            .map(|(trace, &us)| ServerRequest {
+                plan: &plan,
+                trace,
+                arrival: SimDuration::from_micros(us),
+            })
+            .collect();
+        let cfg = ServerConfig {
+            concurrency: 1,
+            policy: QueuePolicy::Fifo,
+            // No predictor is attached, so nothing is ever charged — but the
+            // config must not leak into the timings either way.
+            charge: InferenceCharge::Fixed(SimDuration::from_micros(charge_us)),
+            prefetch_budget: None,
+        };
+        let mut server = PrefetchServer::new(db, &run_cfg, cfg);
+        let report = server.serve(&requests);
+
+        // Serial comparator: same queries, one warm stack, arrival order
+        // (ties broken by request index — the server's queue order).
+        let mut order: Vec<usize> = (0..requests.len()).collect();
+        order.sort_by_key(|&i| (requests[i].arrival, i));
+        let mut rt = Runtime::new(&run_cfg, db.file_lengths());
+        for &i in &order {
+            rt.advance_to(SimTime::ZERO + requests[i].arrival);
+            let res = rt.run(&[QueryRun::default_run(&traces[i])]);
+            prop_assert_eq!(report.queries[i].start, res.timings[0].start, "start of query {}", i);
+            prop_assert_eq!(report.queries[i].end, res.timings[0].end, "end of query {}", i);
+            prop_assert_eq!(report.queries[i].inference, SimDuration::ZERO);
+        }
+        prop_assert_eq!(report.stats, rt.stats());
+        prop_assert_eq!(server.runtime().now(), rt.now());
+        prop_assert_eq!(report.waves.len(), requests.len(), "one wave per query at C=1");
+        for w in &report.waves {
+            prop_assert_eq!(w.occupancy, 1);
+        }
+    }
+}

@@ -9,7 +9,10 @@ use pythia::workloads::templates::{sample_workload, Template};
 use pythia::workloads::{build_benchmark, BenchmarkDb, GeneratorConfig};
 
 fn setup() -> (BenchmarkDb, Vec<Trace>) {
-    let bench = build_benchmark(&GeneratorConfig { scale: 0.08, seed: 31 });
+    let bench = build_benchmark(&GeneratorConfig {
+        scale: 0.08,
+        seed: 31,
+    });
     let queries = sample_workload(&bench, Template::T18, 4, 13);
     let traces = queries
         .iter()
@@ -77,9 +80,7 @@ fn scoped_oracles_bracket_the_full_oracle() {
         let mut rt = Runtime::new(&cfg, bench.db.file_lengths());
         let run = match scope {
             None => QueryRun::default_run(trace),
-            Some(s) => {
-                QueryRun::with_prefetch(trace, oracle_prefetch(trace, s), SimDuration::ZERO)
-            }
+            Some(s) => QueryRun::with_prefetch(trace, oracle_prefetch(trace, s), SimDuration::ZERO),
         };
         rt.run(&[run]).timings[0].elapsed()
     };
@@ -104,7 +105,9 @@ fn concurrent_makespan_bounded_by_serial_sum() {
         .iter()
         .map(|t| {
             let mut rt = Runtime::new(&cfg, bench.db.file_lengths());
-            rt.run(&[QueryRun::default_run(t)]).timings[0].elapsed().as_micros()
+            rt.run(&[QueryRun::default_run(t)]).timings[0]
+                .elapsed()
+                .as_micros()
         })
         .sum();
     // All four at once sharing the stack.
