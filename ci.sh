@@ -27,4 +27,15 @@ fi
 echo "==> cargo test -q"
 cargo test -q
 
+if [[ "$fast" -eq 0 ]]; then
+  echo "==> traced mini serving run (Perfetto trace -> results/serving_trace.json)"
+  mkdir -p results
+  cargo run --release -q -p pythia-experiments --bin serving -- \
+    --mini --trace-out results/serving_trace.json
+  # The trace-event schema itself is asserted in tests/trace_obs.rs; here we
+  # only sanity-check that the run produced a non-empty JSON array.
+  head -c 2 results/serving_trace.json | grep -q '\[' \
+    || { echo "serving_trace.json is not a JSON array" >&2; exit 1; }
+fi
+
 echo "==> ci.sh: all gates passed"

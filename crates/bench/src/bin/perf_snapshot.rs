@@ -3,7 +3,9 @@
 //! Trains a multi-dimension star workload twice — once pinned to a single
 //! worker thread, once on the configured pool — verifies the two runs are
 //! bit-identical, and records wall-clock numbers to `BENCH_nn.json` at the
-//! repository root.
+//! repository root. A final section serves the workload with and without a
+//! trace recorder installed and records the observability overhead plus the
+//! traced run's metrics snapshot.
 //!
 //! ```text
 //! cargo run --release -p pythia-bench --bin perf_snapshot
@@ -26,6 +28,9 @@ use pythia_sim::SimDuration;
 const N_DIMS: usize = 4;
 const N_QUERIES: usize = 48;
 const INFER_REPS: usize = 4;
+/// Repetitions of the traced/untraced serving comparison (best-of wins, so
+/// one noisy rep doesn't fake an observability regression).
+const OBS_REPS: usize = 3;
 
 fn main() {
     let suite_t0 = Instant::now();
@@ -137,7 +142,50 @@ fn main() {
         report.mean_admission_wait()
     );
 
+    // --- observability overhead: traced vs untraced serving ---------------
+    // Same requests on both sides, fixed inference charge so the comparison
+    // is not polluted by NN wall-time variance. The disabled recorder is the
+    // default (one predictable branch per event site), so the untraced run
+    // here is the production configuration.
+    let obs_cfg = ServerConfig {
+        charge: InferenceCharge::Fixed(SimDuration::from_micros(150)),
+        ..server_cfg
+    };
+    let serve_wall = |traced: bool| -> (f64, pythia_obs::Recorder) {
+        let mut best = f64::INFINITY;
+        let mut rec = pythia_obs::Recorder::disabled();
+        for _ in 0..OBS_REPS {
+            let mut server = PrefetchServer::new(&db, &RunConfig::default(), obs_cfg)
+                .with_predictor(&tw_parallel);
+            if traced {
+                server.set_recorder(pythia_obs::Recorder::enabled());
+                pythia_obs::wall::drain();
+                pythia_obs::wall::set_enabled(true);
+            }
+            let t0 = Instant::now();
+            let rep = server.serve(&requests);
+            best = best.min(t0.elapsed().as_secs_f64());
+            std::hint::black_box(rep.queries.len());
+            rec = server.take_recorder();
+            if traced {
+                pythia_obs::wall::set_enabled(false);
+                rec.absorb_wall_tasks(pythia_obs::wall::drain());
+            }
+        }
+        (best, rec)
+    };
+    let (obs_off_s, _) = serve_wall(false);
+    let (obs_on_s, traced_rec) = serve_wall(true);
+    let obs_overhead_pct = (obs_on_s - obs_off_s) / obs_off_s * 100.0;
+    eprintln!(
+        "[perf_snapshot] obs overhead: untraced {obs_off_s:.3}s, traced {obs_on_s:.3}s \
+         ({obs_overhead_pct:+.1}%, {} events)",
+        traced_rec.events().len()
+    );
+
     let suite_wall_s = suite_t0.elapsed().as_secs_f64();
+    let obs_metrics: serde_json::Value = serde_json::from_str(&traced_rec.snapshot().to_json())
+        .expect("recorder snapshot is valid JSON");
     let out = serde_json::json!({
         "generated_by": "cargo run --release -p pythia-bench --bin perf_snapshot",
         "threads": threads,
@@ -158,6 +206,11 @@ fn main() {
         "server_throughput_qps": round3(server_qps),
         "server_mean_admission_wait_us": report.mean_admission_wait().as_micros(),
         "server_wall_s": round3(server_wall_s),
+        "obs_serve_untraced_s": round3(obs_off_s),
+        "obs_serve_traced_s": round3(obs_on_s),
+        "obs_overhead_pct": round3(obs_overhead_pct),
+        "obs_trace_events": traced_rec.events().len(),
+        "obs_metrics": obs_metrics,
         "suite_wall_s": round3(suite_wall_s),
     });
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_nn.json");

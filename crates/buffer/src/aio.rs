@@ -22,6 +22,7 @@
 
 use std::collections::VecDeque;
 
+use pythia_obs::{tid, Track};
 use pythia_sim::{CostModel, IoWorkerPool, OsPageCache, PageId, SimTime, StreamId};
 
 use crate::frame::FrameId;
@@ -141,6 +142,7 @@ impl AioPrefetcher {
                 // Already in the buffer: just bump its use count.
                 pool.touch(fid);
                 pool.stats_mut().prefetch_already_resident += 1;
+                pool.recorder_mut().add("prefetch.already_resident", 1);
                 continue;
             }
             // Reserve a frame *before* touching the OS cache or the I/O
@@ -164,10 +166,44 @@ impl AioPrefetcher {
             } else {
                 cost.disk_read
             };
-            let arrival = io.schedule(now, latency);
+            let sched = io.schedule_detailed(now, latency);
+            let arrival = sched.completes;
             pool.set_available_at(fid, arrival);
             pool.pin(fid);
             pool.stats_mut().prefetch_issued += 1;
+            let stream_id = self.stream.0;
+            let rec = pool.recorder_mut();
+            rec.add("prefetch.issued", 1);
+            if rec.is_enabled() {
+                let stream_track = Track::virt(tid::PREFETCH_BASE + stream_id as u32);
+                let lane_track = Track::virt(tid::IO_BASE + sched.lane as u32);
+                rec.declare_track(stream_track, || format!("prefetch-stream-{stream_id}"));
+                rec.declare_track(lane_track, || format!("io-lane-{}", sched.lane));
+                // Issue → arrival on the stream's track; lane occupancy on
+                // the worker's track (the two differ when the fetch queues
+                // behind earlier I/O).
+                rec.span(
+                    stream_track,
+                    "prefetch",
+                    "prefetch.io",
+                    now.as_micros(),
+                    arrival.as_micros(),
+                    &[
+                        ("page", pid.trace_key()),
+                        ("lane", sched.lane as u64),
+                        ("os_hit", outcome.cache_hit as u64),
+                    ],
+                );
+                rec.span(
+                    lane_track,
+                    "io",
+                    "io.read",
+                    sched.start.as_micros(),
+                    arrival.as_micros(),
+                    &[("page", pid.trace_key()), ("prefetch", 1)],
+                );
+                rec.observe("prefetch.io_latency_us", arrival.since(now).as_micros());
+            }
             self.window.push_back(InFlight {
                 frame: fid,
                 arrival,
@@ -197,6 +233,10 @@ impl AioPrefetcher {
             }
             let fl = self.window.pop_front().expect("front exists");
             pool.unpin(fl.frame);
+            // How long the arrived page sat pinned before the query's read
+            // rate released it — the window-sizing signal (Fig 12g).
+            pool.recorder_mut()
+                .observe("prefetch.window_hold_us", now.since(fl.arrival).as_micros());
             advanced = true;
         }
         if advanced {

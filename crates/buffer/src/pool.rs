@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 
+use pythia_obs::{tid, Recorder, Track};
 use pythia_sim::{PageId, SimTime};
 
 use crate::frame::{Frame, FrameId};
@@ -21,6 +22,11 @@ pub struct BufferPool {
     free: Vec<FrameId>,
     policy: Box<dyn ReplacementPolicy>,
     stats: BufferStats,
+    /// Trace/metrics sink. Lives here because every layer that stamps
+    /// virtual-time events (the replay runtime, the AIO prefetcher, the
+    /// serving loop) already holds a `&mut` path to the pool; disabled by
+    /// default so the hot read path pays a single branch.
+    recorder: Recorder,
 }
 
 impl BufferPool {
@@ -36,7 +42,28 @@ impl BufferPool {
             free: (0..capacity as u32).rev().map(FrameId).collect(),
             policy: policy.build(capacity),
             stats: BufferStats::default(),
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Install a trace/metrics recorder (replacing the previous one).
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
+    /// The recorder (disabled by default).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Mutable access for layers that stamp events through the pool.
+    pub fn recorder_mut(&mut self) -> &mut Recorder {
+        &mut self.recorder
+    }
+
+    /// Remove and return the recorder, leaving a disabled one behind.
+    pub fn take_recorder(&mut self) -> Recorder {
+        std::mem::take(&mut self.recorder)
     }
 
     /// Number of frames.
@@ -71,6 +98,7 @@ impl BufferPool {
         f.usage_count = (f.usage_count + 1).min(Frame::MAX_USAGE);
         if f.prefetched && !f.referenced {
             self.stats.prefetch_useful += 1;
+            self.recorder.add("prefetch.useful", 1);
         }
         f.referenced = true;
         self.policy.on_access(fid);
@@ -126,7 +154,7 @@ impl BufferPool {
             Some(fid) => fid,
             None => {
                 let victim = self.policy.pick_victim(&self.frames)?;
-                self.evict(victim);
+                self.evict(victim, available_at);
                 victim
             }
         };
@@ -146,14 +174,27 @@ impl BufferPool {
         Some(fid)
     }
 
-    fn evict(&mut self, fid: FrameId) {
+    fn evict(&mut self, fid: FrameId, at: SimTime) {
         let f = &mut self.frames[fid.0 as usize];
         debug_assert_eq!(f.pin_count, 0, "evicting pinned frame");
         if let Some(pid) = f.page.take() {
             self.page_table.remove(&pid);
             self.stats.evictions += 1;
+            self.recorder.add("buffer.evictions", 1);
             if f.prefetched && !f.referenced {
                 self.stats.prefetch_wasted += 1;
+                if self.recorder.is_enabled() {
+                    self.recorder.add("prefetch.evicted_unused", 1);
+                    self.recorder
+                        .declare_track(Track::virt(tid::BUFFER), || "buffer-manager".to_owned());
+                    self.recorder.instant(
+                        Track::virt(tid::BUFFER),
+                        "prefetch",
+                        "prefetch.evicted_unused",
+                        at.as_micros(),
+                        &[("page", pid.trace_key())],
+                    );
+                }
             }
         }
         f.usage_count = 0;

@@ -54,23 +54,49 @@ impl BufferStats {
         }
     }
 
-    /// Counters accumulated since an earlier snapshot `before` (saturating).
+    /// Counters accumulated since an earlier snapshot `before`.
     /// The serving loop uses this to attribute the shared pool's cumulative
     /// counters to individual admission waves.
+    ///
+    /// Counters are monotone, so every field of `self` must be ≥ the
+    /// corresponding field of `before`; passing snapshots in the wrong order
+    /// is a caller bug. Debug builds assert on it; release builds saturate
+    /// to zero rather than wrapping into garbage statistics.
     pub fn diff(&self, before: &BufferStats) -> BufferStats {
+        fn sub(after: u64, before: u64, field: &str) -> u64 {
+            debug_assert!(
+                after >= before,
+                "BufferStats::diff: snapshots in wrong order ({field}: {after} < {before})"
+            );
+            after.saturating_sub(before)
+        }
         BufferStats {
-            hits: self.hits.saturating_sub(before.hits),
-            os_copies: self.os_copies.saturating_sub(before.os_copies),
-            disk_reads: self.disk_reads.saturating_sub(before.disk_reads),
-            prefetch_waits: self.prefetch_waits.saturating_sub(before.prefetch_waits),
-            prefetch_issued: self.prefetch_issued.saturating_sub(before.prefetch_issued),
-            prefetch_already_resident: self
-                .prefetch_already_resident
-                .saturating_sub(before.prefetch_already_resident),
-            prefetch_useful: self.prefetch_useful.saturating_sub(before.prefetch_useful),
-            prefetch_wasted: self.prefetch_wasted.saturating_sub(before.prefetch_wasted),
-            evictions: self.evictions.saturating_sub(before.evictions),
-            pass_through: self.pass_through.saturating_sub(before.pass_through),
+            hits: sub(self.hits, before.hits, "hits"),
+            os_copies: sub(self.os_copies, before.os_copies, "os_copies"),
+            disk_reads: sub(self.disk_reads, before.disk_reads, "disk_reads"),
+            prefetch_waits: sub(self.prefetch_waits, before.prefetch_waits, "prefetch_waits"),
+            prefetch_issued: sub(
+                self.prefetch_issued,
+                before.prefetch_issued,
+                "prefetch_issued",
+            ),
+            prefetch_already_resident: sub(
+                self.prefetch_already_resident,
+                before.prefetch_already_resident,
+                "prefetch_already_resident",
+            ),
+            prefetch_useful: sub(
+                self.prefetch_useful,
+                before.prefetch_useful,
+                "prefetch_useful",
+            ),
+            prefetch_wasted: sub(
+                self.prefetch_wasted,
+                before.prefetch_wasted,
+                "prefetch_wasted",
+            ),
+            evictions: sub(self.evictions, before.evictions, "evictions"),
+            pass_through: sub(self.pass_through, before.pass_through, "pass_through"),
         }
     }
 
@@ -141,6 +167,24 @@ mod tests {
         after.merge(&wave);
         assert_eq!(after.diff(&before), wave);
         assert_eq!(after.diff(&after), BufferStats::default());
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "wrong order"))]
+    fn diff_in_wrong_order_asserts_in_debug() {
+        let before = BufferStats {
+            hits: 2,
+            ..Default::default()
+        };
+        let after = BufferStats {
+            hits: 5,
+            ..Default::default()
+        };
+        // Arguments swapped: `before.diff(&after)` asks for counters
+        // accumulated "since" a later snapshot. Debug builds panic; release
+        // builds saturate to zero instead of wrapping around.
+        let d = before.diff(&after);
+        assert_eq!(d.hits, 0, "release builds saturate");
     }
 
     #[test]

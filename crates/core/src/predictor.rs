@@ -11,7 +11,7 @@ use pythia_db::catalog::{Database, ObjectId};
 use pythia_db::plan::PlanNode;
 use pythia_db::trace::Trace;
 
-use pythia_nn::pool::{parallel_map, parallel_map_vec};
+use pythia_nn::pool::{parallel_map_labeled, parallel_map_vec_labeled};
 
 use crate::config::PythiaConfig;
 use crate::metrics::ObjPage;
@@ -207,7 +207,7 @@ pub fn train_workload(
     }
 
     let vocab_len = vocab.len();
-    let results = parallel_map(&jobs, |_, job| match *job {
+    let results = parallel_map_labeled("nn.train", &jobs, |_, job| match *job {
         TrainJob::Separate { obj, n_pages } => {
             let examples = object_examples(&token_seqs, &page_sets, obj);
             TrainOut::Separate(
@@ -346,7 +346,7 @@ impl TrainedWorkload {
             .map(|(obj, m)| PredJob::Separate(*obj, m))
             .chain(self.combined.iter().map(PredJob::Combined))
             .collect();
-        let outs = parallel_map(&jobs, |_, job| match job {
+        let outs = parallel_map_labeled("nn.infer", &jobs, |_, job| match job {
             PredJob::Separate(obj, model) => PredOut::Separate(*obj, model.predict(&toks)),
             PredJob::Combined(c) => {
                 let (tp, ip) = c.predict(&toks);
@@ -425,7 +425,7 @@ impl TrainedWorkload {
             .map(|(obj, m)| PredJob::Separate(*obj, m))
             .chain(self.combined.iter().map(PredJob::Combined))
             .collect();
-        let outs = parallel_map(&jobs, |_, job| match job {
+        let outs = parallel_map_labeled("nn.infer_batch", &jobs, |_, job| match job {
             PredJob::Separate(obj, model) => {
                 PredOut::Separate(*obj, model.predict_batch(&toks_refs))
             }
@@ -496,11 +496,11 @@ impl TrainedWorkload {
             traces.iter().map(|t| t.non_sequential_sets()).collect();
         let cfg = self.cfg.clone();
         // Fan the independent per-object refinements out on the worker pool;
-        // ownership moves through `parallel_map_vec` and the map is rebuilt
+        // ownership moves through `parallel_map_vec_labeled` and the map is rebuilt
         // from the in-order results (BTreeMap, so order is immaterial anyway).
         let owned: Vec<(ObjectId, ObjectModel)> =
             std::mem::take(&mut self.models).into_iter().collect();
-        let retrained = parallel_map_vec(owned, |_, (obj, mut model)| {
+        let retrained = parallel_map_vec_labeled("nn.refine", owned, |_, (obj, mut model)| {
             let examples = object_examples(&token_seqs, &page_sets, obj);
             model.refine(&cfg, &examples);
             (obj, model)

@@ -31,6 +31,7 @@ use pythia_db::catalog::Database;
 use pythia_db::plan::PlanNode;
 use pythia_db::runtime::{QueryRun, RunConfig, Runtime};
 use pythia_db::trace::Trace;
+use pythia_obs::{tid, Recorder, Track};
 use pythia_sim::{PageId, SimDuration, SimTime};
 
 use crate::predictor::TrainedWorkload;
@@ -291,6 +292,27 @@ impl<'d> PrefetchServer<'d> {
         &self.rt
     }
 
+    /// Install a trace/metrics recorder on the serving stack.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.rt.set_recorder(recorder);
+    }
+
+    /// The stack's recorder (disabled by default).
+    pub fn recorder(&self) -> &Recorder {
+        self.rt.recorder()
+    }
+
+    /// Mutable access to the stack's recorder (e.g. to absorb wall-clock NN
+    /// task spans after serving).
+    pub fn recorder_mut(&mut self) -> &mut Recorder {
+        self.rt.recorder_mut()
+    }
+
+    /// Remove and return the recorder, leaving a disabled one behind.
+    pub fn take_recorder(&mut self) -> Recorder {
+        self.rt.take_recorder()
+    }
+
     /// Cold restart of the underlying stack.
     pub fn reset(&mut self) {
         self.rt.reset();
@@ -316,11 +338,25 @@ impl<'d> PrefetchServer<'d> {
         let mut waves: Vec<WaveStats> = Vec::new();
         let mut queue: Vec<usize> = Vec::new();
         let mut next = 0usize;
+        let server_track = Track::virt(tid::SERVER);
+        self.rt
+            .recorder_mut()
+            .declare_track(server_track, || "serving-loop".to_owned());
 
         while next < n || !queue.is_empty() {
             // Pull in everything that has arrived by the current clock.
             while next < n && abs[order[next]] <= self.rt.now() {
-                queue.push(order[next]);
+                let i = order[next];
+                let rec = self.rt.recorder_mut();
+                rec.add("server.arrivals", 1);
+                rec.instant(
+                    server_track,
+                    "server",
+                    "server.arrive",
+                    abs[i].as_micros(),
+                    &[("query", i as u64)],
+                );
+                queue.push(i);
                 next += 1;
             }
             if queue.is_empty() {
@@ -358,6 +394,21 @@ impl<'d> PrefetchServer<'d> {
                             charge,
                         });
                     }
+                    let rec = self.rt.recorder_mut();
+                    rec.add("server.inferred", inferred as u64);
+                    // The batch's virtual-time cost is the amortized per-query
+                    // charge (each covered query pays it before replay).
+                    rec.span(
+                        server_track,
+                        "server",
+                        "server.infer_batch",
+                        admitted_at.as_micros(),
+                        (admitted_at + charge).as_micros(),
+                        &[
+                            ("batch", inferred as u64),
+                            ("charge_us", charge.as_micros()),
+                        ],
+                    );
                 }
             }
 
@@ -401,6 +452,23 @@ impl<'d> PrefetchServer<'d> {
                     }
                 })
                 .collect();
+            if self.rt.recorder().is_enabled() {
+                let rec = self.rt.recorder_mut();
+                rec.add("server.admitted", members.len() as u64);
+                for &i in &members {
+                    rec.instant(
+                        server_track,
+                        "server",
+                        "server.admit",
+                        admitted_at.as_micros(),
+                        &[("query", i as u64)],
+                    );
+                    rec.observe(
+                        "server.admission_wait_us",
+                        admitted_at.since(abs[i]).as_micros(),
+                    );
+                }
+            }
             let before = self.rt.stats();
             let res = self.rt.run(&runs);
             let wave_idx = waves.len();
@@ -417,13 +485,30 @@ impl<'d> PrefetchServer<'d> {
                     inference: runs[k].inference_latency,
                 });
             }
+            let wave_stats = res.stats.diff(&before);
+            let wave_end = self.rt.now();
+            let rec = self.rt.recorder_mut();
+            rec.add("server.waves", 1);
+            rec.span(
+                server_track,
+                "server",
+                "server.wave",
+                admitted_at.as_micros(),
+                wave_end.as_micros(),
+                &[
+                    ("wave", wave_idx as u64),
+                    ("occupancy", members.len() as u64),
+                    ("queue_depth", queue_depth as u64),
+                    ("inferred", inferred as u64),
+                ],
+            );
             waves.push(WaveStats {
                 admitted_at,
                 occupancy: members.len(),
                 queue_depth,
                 inferred,
                 inference: wave_inference,
-                stats: res.stats.diff(&before),
+                stats: wave_stats,
             });
         }
 

@@ -15,6 +15,7 @@
 //! the paper's §5.4 experiments measure.
 
 use pythia_buffer::{AioPrefetcher, BufferPool, BufferStats, PolicyKind};
+use pythia_obs::{tid, Recorder, Track};
 use pythia_sim::{CostModel, IoWorkerPool, OsPageCache, PageId, SimDuration, SimTime, StreamId};
 
 use crate::trace::{Trace, TraceEvent};
@@ -190,6 +191,9 @@ struct QState<'a> {
     /// OS-cache stream (open-fd analogue) the query's demand reads run
     /// under; its AIO prefetcher gets a second, distinct stream.
     stream: StreamId,
+    /// Trace track for this query's replay timeline (`tid::QUERY_BASE + id`,
+    /// allocated from the runtime's monotone query counter).
+    track: Track,
 }
 
 /// The replay stack: shared buffer pool, OS cache and I/O workers.
@@ -207,6 +211,8 @@ pub struct Runtime {
     /// AIO prefetcher gets its own stream, so concurrent sequential scans of
     /// one file keep independent kernel-readahead runs (per-fd semantics).
     next_stream: u64,
+    /// Monotone query counter: each replayed query gets its own trace track.
+    next_query: u64,
 }
 
 impl Runtime {
@@ -223,18 +229,43 @@ impl Runtime {
             file_lens,
             now: SimTime::ZERO,
             next_stream: 0,
+            next_query: 0,
         }
     }
 
     /// Cold restart: drop buffer pool, OS cache and in-flight I/O — the
     /// paper's "Postgres is restarted between every different query execution
-    /// along with cleaning OS page cache".
+    /// along with cleaning OS page cache". The recorder (and its accumulated
+    /// trace) survives, so a traced experiment can span restarts.
     pub fn reset(&mut self) {
         self.pool.reset();
         self.os.reset();
         self.io.reset();
         self.now = SimTime::ZERO;
         self.next_stream = 0;
+        self.next_query = 0;
+    }
+
+    /// Install a trace/metrics recorder on the stack (it lives inside the
+    /// buffer pool, where the replay loop, the AIO prefetchers and the
+    /// serving loop all reach it through existing borrows).
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.pool.set_recorder(recorder);
+    }
+
+    /// The stack's recorder (disabled by default).
+    pub fn recorder(&self) -> &Recorder {
+        self.pool.recorder()
+    }
+
+    /// Mutable access to the stack's recorder.
+    pub fn recorder_mut(&mut self) -> &mut Recorder {
+        self.pool.recorder_mut()
+    }
+
+    /// Remove and return the recorder, leaving a disabled one behind.
+    pub fn take_recorder(&mut self) -> Recorder {
+        self.pool.take_recorder()
     }
 
     /// Buffer pool capacity in frames.
@@ -269,6 +300,17 @@ impl Runtime {
         s
     }
 
+    /// Allocate (and name) the trace track for the next replayed query.
+    fn alloc_query_track(&mut self) -> Track {
+        let qid = self.next_query;
+        self.next_query += 1;
+        let track = Track::virt(tid::QUERY_BASE + qid as u32);
+        self.pool
+            .recorder_mut()
+            .declare_track(track, || format!("query-{qid}"));
+        track
+    }
+
     /// Replay a batch of queries (possibly overlapping in time).
     /// State (buffer contents) carries over from previous `run` calls unless
     /// [`Self::reset`] is called — that is how the warm-cache multi-query
@@ -292,6 +334,7 @@ impl Runtime {
                     done: q.trace.events.is_empty(),
                     start,
                     stream: self.alloc_stream(),
+                    track: self.alloc_query_track(),
                 }
             })
             .collect();
@@ -310,6 +353,33 @@ impl Runtime {
 
         self.pool.finish_accounting();
         self.now = states.iter().map(|s| s.t).max().unwrap_or(base).max(base);
+        if self.pool.recorder().is_enabled() {
+            let rec = self.pool.recorder_mut();
+            for s in &states {
+                rec.add("queries.replayed", 1);
+                if s.start > s.arrival {
+                    rec.span(
+                        s.track,
+                        "query",
+                        "query.infer_charge",
+                        s.arrival.as_micros(),
+                        s.start.as_micros(),
+                        &[],
+                    );
+                }
+                // The span end (`ts + dur`) is the query's completion time —
+                // exactly the `end` in the returned timings.
+                rec.span(
+                    s.track,
+                    "query",
+                    "query.replay",
+                    s.start.as_micros(),
+                    s.t.as_micros(),
+                    &[("reads", s.run.trace.read_count() as u64)],
+                );
+                rec.observe("query.latency_us", s.t.since(s.arrival).as_micros());
+            }
+        }
         let timings = states
             .iter()
             .map(|s| QueryTiming {
@@ -370,17 +440,35 @@ impl Runtime {
     }
 
     fn serve_read(&mut self, s: &mut QState<'_>, page: PageId, sequential: bool) {
+        let t0 = s.t;
         if let Some(fid) = self.pool.lookup(page) {
             let avail = self.pool.frame(fid).available_at;
+            let mut waited = 0u64;
             if avail > s.t {
                 // Prefetch still in flight: wait for it (still cheaper than
                 // issuing a fresh synchronous read in almost all cases).
                 self.pool.stats_mut().prefetch_waits += 1;
+                waited = avail.since(s.t).as_micros();
                 s.t = avail;
             }
             s.t += self.cost.buffer_hit;
             self.pool.stats_mut().hits += 1;
             self.pool.touch(fid);
+            let rec = self.pool.recorder_mut();
+            if rec.is_enabled() {
+                rec.add("reads.hit", 1);
+                if waited > 0 {
+                    rec.add("reads.prefetch_wait", 1);
+                    rec.observe("read.prefetch_wait_us", waited);
+                }
+                rec.instant(
+                    s.track,
+                    "read",
+                    "read.hit",
+                    t0.as_micros(),
+                    &[("page", page.trace_key()), ("wait_us", waited)],
+                );
+            }
         } else {
             let file_len = self
                 .file_lens
@@ -388,20 +476,57 @@ impl Runtime {
                 .copied()
                 .unwrap_or(u32::MAX);
             let outcome = self.os.read(s.stream, page, file_len);
-            if outcome.cache_hit {
+            let name = if outcome.cache_hit {
                 s.t += self.cost.os_cache_copy;
                 self.pool.stats_mut().os_copies += 1;
+                "read.os_copy"
             } else {
                 s.t += self.cost.disk_read;
                 self.pool.stats_mut().disk_reads += 1;
-            }
+                "read.disk"
+            };
             // Sequential-scan pages go through the buffer-ring path
             // (Postgres BAS_BULKREAD): resident but evicted first, so bulk
             // scans don't wash out the working set or prefetched pages.
-            if self.pool.load_with(page, false, s.t, sequential).is_none() {
+            let passed_through = self.pool.load_with(page, false, s.t, sequential).is_none();
+            if passed_through {
                 self.pool.stats_mut().pass_through += 1;
             }
+            let rec = self.pool.recorder_mut();
+            if rec.is_enabled() {
+                rec.add(
+                    if outcome.cache_hit {
+                        "reads.os_copy"
+                    } else {
+                        "reads.disk"
+                    },
+                    1,
+                );
+                if passed_through {
+                    rec.add("reads.pass_through", 1);
+                }
+                if outcome.readahead_pages > 0 {
+                    rec.add("os.readahead_pages", outcome.readahead_pages as u64);
+                    rec.instant(
+                        s.track,
+                        "os",
+                        "os.readahead",
+                        t0.as_micros(),
+                        &[("pages", outcome.readahead_pages as u64)],
+                    );
+                }
+                rec.instant(
+                    s.track,
+                    "read",
+                    name,
+                    t0.as_micros(),
+                    &[("page", page.trace_key())],
+                );
+            }
         }
+        self.pool
+            .recorder_mut()
+            .observe("read.service_us", s.t.since(t0).as_micros());
         // Dummy request: the AIO structure tracks the query's read rate.
         if let Some(aio) = s.aio.as_mut() {
             aio.on_query_read(&mut self.pool, &mut self.os, &mut self.io, &self.cost, s.t);

@@ -1,5 +1,7 @@
 //! Run the entire experiment suite (every table and figure of the paper).
-//! `PYTHIA_FULL=1` switches to the full-size configuration.
+//! `PYTHIA_FULL=1` switches to the full-size configuration. With
+//! `--trace-out <path>`, a traced serving run is appended and its Chrome
+//! trace JSON written to the given path (open in ui.perfetto.dev).
 //!
 //! Independent artifacts fan out over the shared deterministic worker pool
 //! (`pythia_nn::pool`): the workloads and default models every figure shares
@@ -102,6 +104,10 @@ fn main() {
         for (id, table) in group {
             table.emit(id);
         }
+    }
+
+    if let Some(path) = serving::trace_out_arg() {
+        serving::dump_trace(&env, &path);
     }
 
     eprintln!(

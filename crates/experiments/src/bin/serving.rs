@@ -1,12 +1,41 @@
 //! Run the serving-loop experiment (Figure 13d through admission control)
 //! and print one full serving report for illustration.
+//!
+//! Flags:
+//!
+//! * `--trace-out <path>` — trace the illustrative run and write a
+//!   Perfetto-loadable Chrome trace of the whole serving stack (admission
+//!   waves, query replays, buffer events, prefetch I/O, NN tasks) to the
+//!   given path.
+//! * `--mini` — CI-sized configuration (tiny database, 12 queries) and skip
+//!   the overlap sweep; combined with `--trace-out` this is the tier-1
+//!   traced mini-serving run.
 use pythia_core::server::QueuePolicy;
 use pythia_experiments::{serving, Env, ExpConfig};
 use pythia_workloads::templates::Template;
 
 fn main() {
-    let env = Env::new(ExpConfig::from_env());
-    serving::run(&env).emit("serving");
+    let mini = std::env::args().any(|a| a == "--mini");
+    let cfg = if mini {
+        ExpConfig {
+            scale: 0.05,
+            n_queries: 12,
+            test_frac: 0.25,
+            ..ExpConfig::quick()
+        }
+    } else {
+        ExpConfig::from_env()
+    };
+    let env = Env::new(cfg);
+    if !mini {
+        serving::run(&env).emit("serving");
+    }
+
+    if let Some(path) = serving::trace_out_arg() {
+        let rep = serving::dump_trace(&env, &path);
+        println!("{}", rep.report());
+        return;
+    }
 
     let tw = env.trained_default(Template::T18);
     let rep = serving::serve_poisson(

@@ -18,6 +18,7 @@ use pythia_core::predictor::TrainedWorkload;
 use pythia_core::server::{
     InferenceCharge, PrefetchServer, QueuePolicy, ServeReport, ServerConfig, ServerRequest,
 };
+use pythia_obs::Recorder;
 use pythia_sim::SimDuration;
 use pythia_workloads::templates::Template;
 
@@ -58,6 +59,62 @@ pub fn serve_poisson(
     overlap: f64,
     seed: u64,
 ) -> ServeReport {
+    let (rep, _) = serve_poisson_inner(
+        env,
+        template,
+        tw,
+        policy,
+        overlap,
+        seed,
+        InferenceCharge::Measured,
+        Recorder::disabled(),
+    );
+    rep
+}
+
+/// Inference charge used by traced runs: a fixed virtual cost keeps every
+/// timestamp in the trace independent of host speed, so two same-seed runs
+/// produce byte-identical virtual-time traces ([`InferenceCharge::Measured`]
+/// would leak wall-clock noise into admission times).
+pub const TRACED_INFER_CHARGE_US: u64 = 150;
+
+/// [`serve_poisson`] with a structured-trace [`Recorder`] installed on the
+/// serving stack and NN wall-task capture on for the duration of the call.
+/// Returns the report together with the recorder holding the run's events,
+/// counters, and histograms — dump [`Recorder::chrome_trace_json`] for
+/// Perfetto, or [`Recorder::virtual_trace_json`] for the deterministic
+/// virtual-clock subset.
+pub fn serve_poisson_traced(
+    env: &Env,
+    template: Template,
+    tw: Option<&TrainedWorkload>,
+    policy: QueuePolicy,
+    overlap: f64,
+    seed: u64,
+) -> (ServeReport, Recorder) {
+    serve_poisson_inner(
+        env,
+        template,
+        tw,
+        policy,
+        overlap,
+        seed,
+        InferenceCharge::Fixed(SimDuration::from_micros(TRACED_INFER_CHARGE_US)),
+        Recorder::enabled(),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn serve_poisson_inner(
+    env: &Env,
+    template: Template,
+    tw: Option<&TrainedWorkload>,
+    policy: QueuePolicy,
+    overlap: f64,
+    seed: u64,
+    charge: InferenceCharge,
+    recorder: Recorder,
+) -> (ServeReport, Recorder) {
     let w = env.prepare(template);
     let idxs: Vec<usize> = (0..N_QUERIES)
         .map(|i| w.test_idx[i % w.test_idx.len()])
@@ -88,14 +145,66 @@ pub fn serve_poisson(
     let cfg = ServerConfig {
         concurrency: CONCURRENCY,
         policy,
-        charge: InferenceCharge::Measured,
+        charge,
         prefetch_budget: None,
     };
     let mut server = PrefetchServer::new(&env.bench.db, &env.run_cfg, cfg);
     if let Some(tw) = tw {
         server = server.with_predictor(tw);
     }
-    server.serve(&requests)
+    server.set_recorder(recorder);
+    let capture_wall = server.recorder().is_enabled();
+    if capture_wall {
+        // Capture NN pool task spans (wall clock, separate trace process)
+        // for the duration of the serve call.
+        pythia_obs::wall::drain();
+        pythia_obs::wall::set_enabled(true);
+    }
+    let rep = server.serve(&requests);
+    let mut rec = server.take_recorder();
+    if capture_wall {
+        pythia_obs::wall::set_enabled(false);
+        rec.absorb_wall_tasks(pythia_obs::wall::drain());
+    }
+    (rep, rec)
+}
+
+/// Value of the `--trace-out <path>` (or `--trace-out=<path>`) command-line
+/// flag, if present. Experiment binaries use this to dump a Perfetto-loadable
+/// Chrome trace of one traced serving run.
+pub fn trace_out_arg() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace-out" {
+            return args.next();
+        }
+        if let Some(p) = a.strip_prefix("--trace-out=") {
+            return Some(p.to_owned());
+        }
+    }
+    None
+}
+
+/// Run the canonical traced serving run (Fig 13d's 75%-overlap point under
+/// the overlap scheduler) and write its Chrome trace JSON to `path`.
+pub fn dump_trace(env: &Env, path: &str) -> ServeReport {
+    let tw = env.trained_default(Template::T18);
+    let (rep, rec) = serve_poisson_traced(
+        env,
+        Template::T18,
+        Some(tw.as_ref()),
+        QueuePolicy::Overlap,
+        0.75,
+        env.cfg.seed ^ 0x5E4B,
+    );
+    std::fs::write(path, rec.chrome_trace_json())
+        .unwrap_or_else(|e| panic!("writing trace to {path}: {e}"));
+    eprintln!(
+        "[pythia] wrote Perfetto trace ({} events, {} queries) to {path}",
+        rec.events().len(),
+        rep.queries.len()
+    );
+    rep
 }
 
 /// The serving-loop sweep: Figure 13d's overlap axis × serving policy.
@@ -162,6 +271,29 @@ mod tests {
         assert!(rep.makespan() > SimDuration::ZERO);
         let report = rep.report();
         assert!(report.contains("admission"), "{report}");
+    }
+
+    #[test]
+    fn traced_serving_reconciles_and_is_deterministic() {
+        let cfg = ExpConfig {
+            scale: 0.05,
+            n_queries: 12,
+            test_frac: 0.25,
+            ..ExpConfig::quick()
+        };
+        let env = Env::new(cfg);
+        let serve = || serve_poisson_traced(&env, Template::T91, None, QueuePolicy::Fifo, 1.0, 7);
+        let (rep, rec) = serve();
+        // Trace counters must reconcile exactly with the report's counters.
+        assert_eq!(rec.counter("reads.hit"), rep.stats.hits);
+        assert_eq!(rec.counter("reads.os_copy"), rep.stats.os_copies);
+        assert_eq!(rec.counter("reads.disk"), rep.stats.disk_reads);
+        assert_eq!(rec.counter("prefetch.issued"), rep.stats.prefetch_issued);
+        assert_eq!(rec.counter("server.waves"), rep.waves.len() as u64);
+        assert_eq!(rec.counter("queries.replayed"), rep.queries.len() as u64);
+        // Same seed, same env → byte-identical virtual-clock traces.
+        let (_, rec2) = serve();
+        assert_eq!(rec.virtual_trace_json(), rec2.virtual_trace_json());
     }
 
     #[test]

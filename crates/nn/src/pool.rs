@@ -61,27 +61,58 @@ where
     R: Send,
     F: Fn(usize, T) -> R + Sync,
 {
+    parallel_map_vec_labeled("nn.task", items, f)
+}
+
+/// [`parallel_map_vec`] with a static task label: when wall-task capture is
+/// on ([`pythia_obs::wall::set_enabled`]), every item's execution is recorded
+/// as a `(label, worker, item, start, duration)` span for the trace's
+/// wall-clock process. Wall capture never affects the returned values or
+/// their order — the determinism contract is unchanged.
+pub fn parallel_map_vec_labeled<T, R, F>(label: &'static str, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
     let n = items.len();
     let threads = configured_threads().min(n);
+    let capture = pythia_obs::wall::enabled();
+    let timed = |worker: u32, i: usize, item: T| {
+        if !capture {
+            return f(i, item);
+        }
+        let start_us = pythia_obs::wall::now_us();
+        let r = f(i, item);
+        pythia_obs::wall::record(pythia_obs::wall::WallTask {
+            label,
+            worker,
+            item: i as u64,
+            start_us,
+            dur_us: pythia_obs::wall::now_us().saturating_sub(start_us),
+        });
+        r
+    };
     if threads <= 1 {
         return items
             .into_iter()
             .enumerate()
-            .map(|(i, t)| f(i, t))
+            .map(|(i, t)| timed(0, i, t))
             .collect();
     }
     let inputs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let outputs: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
+        for w in 0..threads {
+            let (timed, cursor, inputs, outputs) = (&timed, &cursor, &inputs, &outputs);
+            scope.spawn(move || loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
                 let item = inputs[i].lock().unwrap().take().expect("item claimed once");
-                let r = f(i, item);
+                let r = timed(w as u32, i, item);
                 *outputs[i].lock().unwrap() = Some(r);
             });
         }
@@ -100,6 +131,17 @@ where
     F: Fn(usize, &T) -> R + Sync,
 {
     parallel_map_vec(items.iter().collect(), |i, t: &T| f(i, t))
+}
+
+/// [`parallel_map`] with a static wall-task label (see
+/// [`parallel_map_vec_labeled`]).
+pub fn parallel_map_labeled<T, R, F>(label: &'static str, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    parallel_map_vec_labeled(label, items.iter().collect(), |i, t: &T| f(i, t))
 }
 
 #[cfg(test)]
@@ -144,5 +186,24 @@ mod tests {
     #[test]
     fn configured_threads_is_positive() {
         assert!(configured_threads() >= 1);
+    }
+
+    #[test]
+    fn labeled_map_records_wall_tasks_without_changing_results() {
+        let items: Vec<u64> = (0..5).collect();
+        pythia_obs::wall::set_enabled(true);
+        let out = parallel_map_labeled("nn.pool_test", &items, |i, &x| x + i as u64);
+        pythia_obs::wall::set_enabled(false);
+        assert_eq!(out, vec![0, 2, 4, 6, 8]);
+        // Other tests in this process may have recorded tasks while capture
+        // was on; ours are identified by the unique label.
+        let mine: Vec<_> = pythia_obs::wall::drain()
+            .into_iter()
+            .filter(|t| t.label == "nn.pool_test")
+            .collect();
+        assert_eq!(mine.len(), 5, "one wall task per item");
+        let mut covered: Vec<u64> = mine.iter().map(|t| t.item).collect();
+        covered.sort_unstable();
+        assert_eq!(covered, vec![0, 1, 2, 3, 4]);
     }
 }

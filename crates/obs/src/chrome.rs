@@ -1,0 +1,203 @@
+//! Chrome trace-event JSON emission.
+//!
+//! The output is the Trace Event Format's "JSON Array Format": a `[` line,
+//! one event object per line (comma-terminated except the last), and a `]`
+//! line. Perfetto (<https://ui.perfetto.dev>) and `chrome://tracing` both
+//! load it directly, and the one-event-per-line layout keeps traces
+//! line-diffable — the determinism guarantee is checked by comparing the
+//! emitted bytes of two same-seed runs.
+//!
+//! Emitted phases:
+//!
+//! * `M` — metadata (`process_name`, `thread_name`) for every declared track;
+//! * `X` — complete spans (`ts` + `dur`);
+//! * `i` — instant events (thread scope).
+
+use crate::{Event, Track, VIRTUAL_PID, WALL_PID};
+
+/// Escape a string for a JSON string literal.
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_args(out: &mut String, args: &[(&'static str, u64)]) {
+    out.push('{');
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_into(out, k);
+        out.push_str("\":");
+        out.push_str(&v.to_string());
+    }
+    out.push('}');
+}
+
+fn push_meta(lines: &mut Vec<String>, track: Track, key: &str, name: &str) {
+    let mut s = String::new();
+    s.push_str("{\"ph\":\"M\",\"pid\":");
+    s.push_str(&track.pid.to_string());
+    s.push_str(",\"tid\":");
+    s.push_str(&track.tid.to_string());
+    s.push_str(",\"name\":\"");
+    s.push_str(key);
+    s.push_str("\",\"args\":{\"name\":\"");
+    escape_into(&mut s, name);
+    s.push_str("\"}}");
+    lines.push(s);
+}
+
+fn process_name(pid: u32) -> &'static str {
+    match pid {
+        VIRTUAL_PID => "pythia-virtual (sim time)",
+        WALL_PID => "pythia-wall (host time)",
+        _ => "pythia",
+    }
+}
+
+/// Render `events` (+ track name metadata) as Chrome trace-event JSON.
+/// `pid_filter` restricts the output to one process (used to export the
+/// deterministic virtual-time trace on its own).
+pub fn trace_json(events: &[Event], tracks: &[(Track, String)], pid_filter: Option<u32>) -> String {
+    let keep = |pid: u32| pid_filter.map(|f| f == pid).unwrap_or(true);
+    let mut lines: Vec<String> = Vec::new();
+
+    // Process metadata for every pid that appears, in pid order.
+    let mut pids: Vec<u32> = tracks
+        .iter()
+        .map(|(t, _)| t.pid)
+        .chain(events.iter().map(|e| e.track.pid))
+        .filter(|&p| keep(p))
+        .collect();
+    pids.sort_unstable();
+    pids.dedup();
+    for pid in pids {
+        push_meta(
+            &mut lines,
+            Track { pid, tid: 0 },
+            "process_name",
+            process_name(pid),
+        );
+    }
+    for (track, name) in tracks {
+        if keep(track.pid) {
+            push_meta(&mut lines, *track, "thread_name", name);
+        }
+    }
+
+    for e in events {
+        if !keep(e.track.pid) {
+            continue;
+        }
+        let mut s = String::new();
+        s.push_str("{\"ph\":\"");
+        s.push_str(if e.dur_us.is_some() { "X" } else { "i" });
+        s.push_str("\",\"pid\":");
+        s.push_str(&e.track.pid.to_string());
+        s.push_str(",\"tid\":");
+        s.push_str(&e.track.tid.to_string());
+        s.push_str(",\"ts\":");
+        s.push_str(&e.ts_us.to_string());
+        if let Some(dur) = e.dur_us {
+            s.push_str(",\"dur\":");
+            s.push_str(&dur.to_string());
+        } else {
+            s.push_str(",\"s\":\"t\"");
+        }
+        s.push_str(",\"cat\":\"");
+        escape_into(&mut s, e.cat);
+        s.push_str("\",\"name\":\"");
+        escape_into(&mut s, e.name);
+        s.push_str("\",\"args\":");
+        push_args(&mut s, &e.args);
+        s.push('}');
+        lines.push(s);
+    }
+
+    let mut out = String::with_capacity(lines.iter().map(|l| l.len() + 2).sum::<usize>() + 4);
+    out.push_str("[\n");
+    let n = lines.len();
+    for (i, line) in lines.into_iter().enumerate() {
+        out.push_str(&line);
+        if i + 1 < n {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(tid: u32, name: &'static str, ts: u64, dur: Option<u64>) -> Event {
+        Event {
+            track: Track::virt(tid),
+            cat: "test",
+            name,
+            ts_us: ts,
+            dur_us: dur,
+            args: vec![("k", 7)],
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_a_valid_array() {
+        assert_eq!(trace_json(&[], &[], None), "[\n]\n");
+    }
+
+    #[test]
+    fn span_and_instant_shapes() {
+        let events = [ev(3, "s", 10, Some(5)), ev(3, "i", 12, None)];
+        let tracks = [(Track::virt(3), "q0".to_owned())];
+        let json = trace_json(&events, &tracks, None);
+        assert!(json.contains(
+            "{\"ph\":\"X\",\"pid\":1,\"tid\":3,\"ts\":10,\"dur\":5,\"cat\":\"test\",\"name\":\"s\",\"args\":{\"k\":7}}"
+        ));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"s\":\"t\""));
+        assert!(json.contains("thread_name"));
+        assert!(json.contains("process_name"));
+        // Valid array: every line but the last ends with a comma.
+        let lines: Vec<&str> = json.lines().collect();
+        assert_eq!(lines.first(), Some(&"["));
+        assert_eq!(lines.last(), Some(&"]"));
+        for l in &lines[1..lines.len() - 2] {
+            assert!(l.ends_with(','), "line must be comma-terminated: {l}");
+        }
+        assert!(!lines[lines.len() - 2].ends_with(','));
+    }
+
+    #[test]
+    fn pid_filter_drops_other_processes() {
+        let mut wall = ev(1, "w", 0, Some(1));
+        wall.track = Track::wall(1);
+        let events = [ev(1, "v", 0, Some(1)), wall];
+        let json = trace_json(&events, &[], Some(VIRTUAL_PID));
+        assert!(json.contains("\"name\":\"v\""));
+        assert!(!json.contains("\"name\":\"w\""));
+        assert!(!json.contains("pythia-wall"));
+    }
+
+    #[test]
+    fn escaping_is_applied() {
+        let tracks = [(Track::virt(1), "a\"b\\c\nd".to_owned())];
+        let json = trace_json(&[], &tracks, None);
+        assert!(json.contains("a\\\"b\\\\c\\nd"));
+    }
+}

@@ -1,0 +1,410 @@
+//! # pythia-obs
+//!
+//! Zero-dependency structured tracing and metrics for the whole
+//! reproduction — the introspection layer the ROADMAP's scaling steps
+//! (sharded fleets, preemptive admission, socket front-ends) are debugged
+//! through.
+//!
+//! The central type is [`Recorder`]: a sink for
+//!
+//! * **counters** — monotonic named totals (`reads.hit`, `prefetch.issued`);
+//! * **histograms** — fixed log₂-bucket latency distributions
+//!   ([`hist::Histogram`]), so recording is O(1) with no allocation;
+//! * **events** — timestamped spans and instants on named *tracks*
+//!   (Chrome trace-event model: a track is a `(pid, tid)` pair).
+//!
+//! Two clock domains coexist in one trace:
+//!
+//! * [`VIRTUAL_PID`] — events stamped with the simulator's deterministic
+//!   microsecond clock (`pythia-sim`'s `SimTime`). Given the same seed and a
+//!   fixed inference charge these are **byte-identical across runs** —
+//!   traces are diffable artifacts.
+//! * [`WALL_PID`] — real wall-clock task spans from the shared NN worker
+//!   pool ([`wall`]), inherently non-deterministic and therefore kept on a
+//!   separate process track (and excluded from [`Recorder::virtual_trace_json`]).
+//!
+//! A disabled recorder (the default) is a `None`: every record call is one
+//! branch and no allocation, so hot paths (the per-page-read path of the
+//! replay runtime) can call it unconditionally.
+//!
+//! Export formats:
+//!
+//! * [`Recorder::chrome_trace_json`] — Chrome trace-event JSON (an array,
+//!   one event per line), loadable in Perfetto (<https://ui.perfetto.dev>)
+//!   or `chrome://tracing`.
+//! * [`Recorder::snapshot`] → [`snapshot::MetricsSnapshot`] — counters and
+//!   histogram summaries as deterministic JSON, merged into
+//!   `perf_snapshot`'s `BENCH_nn.json`.
+
+pub mod chrome;
+pub mod hist;
+pub mod snapshot;
+pub mod wall;
+
+use std::collections::BTreeSet;
+
+use hist::Histogram;
+use snapshot::MetricsSnapshot;
+
+/// Process id for deterministic virtual-time tracks.
+pub const VIRTUAL_PID: u32 = 1;
+/// Process id for wall-clock tracks (NN worker pool).
+pub const WALL_PID: u32 = 2;
+
+/// Well-known thread ids within [`VIRTUAL_PID`]. Per-entity tracks are
+/// allocated as `BASE + index`; the bases are spaced far apart and the
+/// allocators are monotone, so collisions would need ~10⁵ entities of one
+/// kind in a single trace.
+pub mod tid {
+    /// The serving loop's admission track.
+    pub const SERVER: u32 = 0;
+    /// Buffer-manager-wide events (evictions of unused prefetched pages).
+    pub const BUFFER: u32 = 1;
+    /// `IO_BASE + lane` — one track per async I/O worker lane.
+    pub const IO_BASE: u32 = 10;
+    /// `QUERY_BASE + n` — one track per replayed query (monotone counter).
+    pub const QUERY_BASE: u32 = 1_000;
+    /// `PREFETCH_BASE + stream` — one track per AIO prefetcher stream.
+    pub const PREFETCH_BASE: u32 = 1_000_000;
+}
+
+/// One timeline in the trace: a Chrome trace-event `(pid, tid)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Track {
+    pub pid: u32,
+    pub tid: u32,
+}
+
+impl Track {
+    /// A track in the deterministic virtual-time process.
+    pub const fn virt(tid: u32) -> Track {
+        Track {
+            pid: VIRTUAL_PID,
+            tid,
+        }
+    }
+
+    /// A track in the wall-clock process.
+    pub const fn wall(tid: u32) -> Track {
+        Track { pid: WALL_PID, tid }
+    }
+}
+
+/// One recorded trace event. Spans carry a duration; instants do not.
+/// Arguments are `(key, value)` pairs; keys are static so recording never
+/// allocates strings on the hot path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    pub track: Track,
+    /// Chrome trace category (groups related events in the UI).
+    pub cat: &'static str,
+    pub name: &'static str,
+    /// Event timestamp (span start for spans), in microseconds.
+    pub ts_us: u64,
+    /// Span duration in microseconds; `None` marks an instant event.
+    pub dur_us: Option<u64>,
+    pub args: Vec<(&'static str, u64)>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    events: Vec<Event>,
+    /// Track metadata in declaration order: `(track, human name)`.
+    tracks: Vec<(Track, String)>,
+    declared: BTreeSet<Track>,
+    counters: std::collections::BTreeMap<&'static str, u64>,
+    hists: std::collections::BTreeMap<&'static str, Histogram>,
+}
+
+/// The recording sink threaded through the stack. Disabled by default:
+/// every method on a disabled recorder is a single branch.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    inner: Option<Box<Inner>>,
+}
+
+impl Recorder {
+    /// A recorder that drops everything (the default).
+    pub fn disabled() -> Recorder {
+        Recorder { inner: None }
+    }
+
+    /// A recorder that keeps events, counters and histograms.
+    pub fn enabled() -> Recorder {
+        Recorder {
+            inner: Some(Box::default()),
+        }
+    }
+
+    /// Whether this recorder keeps anything. Hot paths with non-trivial
+    /// argument preparation should check this first.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Give `track` a human-readable name in the trace (Perfetto shows it as
+    /// the thread name). The name is built lazily so callers can pass a
+    /// `format!` closure without paying for it on repeat declarations — the
+    /// first declaration wins, later ones are no-ops.
+    pub fn declare_track(&mut self, track: Track, name: impl FnOnce() -> String) {
+        let Some(inner) = self.inner.as_mut() else {
+            return;
+        };
+        if inner.declared.insert(track) {
+            inner.tracks.push((track, name()));
+        }
+    }
+
+    /// Record a span `[start_us, end_us]` (saturating if reversed).
+    #[inline]
+    pub fn span(
+        &mut self,
+        track: Track,
+        cat: &'static str,
+        name: &'static str,
+        start_us: u64,
+        end_us: u64,
+        args: &[(&'static str, u64)],
+    ) {
+        let Some(inner) = self.inner.as_mut() else {
+            return;
+        };
+        inner.events.push(Event {
+            track,
+            cat,
+            name,
+            ts_us: start_us,
+            dur_us: Some(end_us.saturating_sub(start_us)),
+            args: args.to_vec(),
+        });
+    }
+
+    /// Record an instant event at `ts_us`.
+    #[inline]
+    pub fn instant(
+        &mut self,
+        track: Track,
+        cat: &'static str,
+        name: &'static str,
+        ts_us: u64,
+        args: &[(&'static str, u64)],
+    ) {
+        let Some(inner) = self.inner.as_mut() else {
+            return;
+        };
+        inner.events.push(Event {
+            track,
+            cat,
+            name,
+            ts_us,
+            dur_us: None,
+            args: args.to_vec(),
+        });
+    }
+
+    /// Add `delta` to a named monotonic counter.
+    #[inline]
+    pub fn add(&mut self, counter: &'static str, delta: u64) {
+        let Some(inner) = self.inner.as_mut() else {
+            return;
+        };
+        *inner.counters.entry(counter).or_insert(0) += delta;
+    }
+
+    /// Record `value` into a named histogram.
+    #[inline]
+    pub fn observe(&mut self, hist: &'static str, value: u64) {
+        let Some(inner) = self.inner.as_mut() else {
+            return;
+        };
+        inner.hists.entry(hist).or_default().record(value);
+    }
+
+    /// Current value of a counter (0 if never touched or disabled).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner
+            .as_ref()
+            .and_then(|i| i.counters.get(name).copied())
+            .unwrap_or(0)
+    }
+
+    /// All recorded events in insertion order (empty when disabled).
+    pub fn events(&self) -> &[Event] {
+        self.inner
+            .as_ref()
+            .map(|i| i.events.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Number of recorded events with the given name.
+    pub fn event_count(&self, name: &str) -> usize {
+        self.events().iter().filter(|e| e.name == name).count()
+    }
+
+    /// Fold wall-clock NN-pool task spans (from [`wall::drain`]) into the
+    /// trace on [`WALL_PID`] tracks, one per worker. Tasks are sorted by
+    /// `(start, worker, item)` for a stable layout, but wall timestamps are
+    /// inherently non-deterministic — they never appear in
+    /// [`Self::virtual_trace_json`].
+    pub fn absorb_wall_tasks(&mut self, mut tasks: Vec<wall::WallTask>) {
+        if self.inner.is_none() {
+            return;
+        }
+        tasks.sort_by_key(|t| (t.start_us, t.worker, t.item));
+        for t in tasks {
+            let track = Track::wall(t.worker);
+            self.declare_track(track, || format!("nn-worker-{}", t.worker));
+            self.span(
+                track,
+                "nn",
+                t.label,
+                t.start_us,
+                t.start_us + t.dur_us,
+                &[("item", t.item)],
+            );
+        }
+    }
+
+    /// The full trace (virtual + wall events) as Chrome trace-event JSON.
+    pub fn chrome_trace_json(&self) -> String {
+        self.trace_json(None)
+    }
+
+    /// Only the deterministic virtual-time events — byte-identical across
+    /// runs with the same seed (and a fixed inference charge).
+    pub fn virtual_trace_json(&self) -> String {
+        self.trace_json(Some(VIRTUAL_PID))
+    }
+
+    fn trace_json(&self, pid_filter: Option<u32>) -> String {
+        let (events, tracks): (&[Event], &[(Track, String)]) = match self.inner.as_ref() {
+            Some(i) => (&i.events, &i.tracks),
+            None => (&[], &[]),
+        };
+        chrome::trace_json(events, tracks, pid_filter)
+    }
+
+    /// Snapshot of counters and histogram summaries.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        match self.inner.as_ref() {
+            None => MetricsSnapshot::default(),
+            Some(i) => MetricsSnapshot {
+                counters: i
+                    .counters
+                    .iter()
+                    .map(|(&k, &v)| (k.to_owned(), v))
+                    .collect(),
+                hists: i
+                    .hists
+                    .iter()
+                    .map(|(&k, h)| (k.to_owned(), h.summary()))
+                    .collect(),
+            },
+        }
+    }
+
+    /// Drop all recorded data, keeping the enabled/disabled state.
+    pub fn clear(&mut self) {
+        if let Some(inner) = self.inner.as_mut() {
+            **inner = Inner::default();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let mut r = Recorder::disabled();
+        assert!(!r.is_enabled());
+        r.declare_track(Track::virt(1), || unreachable!("lazy name not built"));
+        r.span(Track::virt(1), "c", "s", 0, 10, &[]);
+        r.instant(Track::virt(1), "c", "i", 5, &[("k", 1)]);
+        r.add("n", 3);
+        r.observe("h", 7);
+        assert!(r.events().is_empty());
+        assert_eq!(r.counter("n"), 0);
+        assert_eq!(r.chrome_trace_json(), "[\n]\n");
+    }
+
+    #[test]
+    fn enabled_recorder_keeps_everything() {
+        let mut r = Recorder::enabled();
+        r.declare_track(Track::virt(5), || "q".to_owned());
+        r.span(Track::virt(5), "query", "replay", 10, 30, &[("q", 0)]);
+        r.instant(Track::virt(5), "read", "read.hit", 12, &[("page", 9)]);
+        r.add("reads.hit", 1);
+        r.add("reads.hit", 2);
+        r.observe("lat", 20);
+        assert_eq!(r.events().len(), 2);
+        assert_eq!(r.event_count("read.hit"), 1);
+        assert_eq!(r.counter("reads.hit"), 3);
+        let e = &r.events()[0];
+        assert_eq!(e.dur_us, Some(20));
+        assert_eq!(r.events()[1].dur_us, None);
+    }
+
+    #[test]
+    fn declare_track_is_first_wins() {
+        let mut r = Recorder::enabled();
+        r.declare_track(Track::virt(1), || "first".to_owned());
+        r.declare_track(Track::virt(1), || "second".to_owned());
+        let json = r.chrome_trace_json();
+        assert!(json.contains("first"));
+        assert!(!json.contains("second"));
+    }
+
+    #[test]
+    fn span_saturates_reversed_interval() {
+        let mut r = Recorder::enabled();
+        r.span(Track::virt(0), "c", "s", 50, 30, &[]);
+        assert_eq!(r.events()[0].dur_us, Some(0));
+    }
+
+    #[test]
+    fn virtual_filter_excludes_wall_events() {
+        let mut r = Recorder::enabled();
+        r.span(Track::virt(0), "c", "virtual_span", 0, 1, &[]);
+        r.absorb_wall_tasks(vec![wall::WallTask {
+            label: "nn.train",
+            worker: 2,
+            item: 7,
+            start_us: 100,
+            dur_us: 5,
+        }]);
+        let full = r.chrome_trace_json();
+        let virt = r.virtual_trace_json();
+        assert!(full.contains("nn.train") && full.contains("virtual_span"));
+        assert!(!virt.contains("nn.train"));
+        assert!(virt.contains("virtual_span"));
+    }
+
+    #[test]
+    fn clear_keeps_enabled_state() {
+        let mut r = Recorder::enabled();
+        r.add("n", 1);
+        r.clear();
+        assert!(r.is_enabled());
+        assert_eq!(r.counter("n"), 0);
+        assert!(r.events().is_empty());
+    }
+
+    #[test]
+    fn snapshot_collects_counters_and_hists() {
+        let mut r = Recorder::enabled();
+        r.add("b", 2);
+        r.add("a", 1);
+        r.observe("h", 10);
+        let s = r.snapshot();
+        assert_eq!(
+            s.counters,
+            vec![("a".to_owned(), 1), ("b".to_owned(), 2)],
+            "counters are sorted by name"
+        );
+        assert_eq!(s.hists.len(), 1);
+        assert_eq!(s.hists[0].1.count, 1);
+    }
+}

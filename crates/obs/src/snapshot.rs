@@ -1,0 +1,123 @@
+//! Metrics snapshots: the counter/histogram side of a [`crate::Recorder`],
+//! exported as deterministic hand-rolled JSON (sorted keys, integer-only
+//! values) so it can be merged verbatim into `perf_snapshot`'s
+//! `BENCH_nn.json` without pulling a JSON dependency into this crate.
+
+use crate::hist::HistSummary;
+
+/// Counters and histogram summaries at one point in time. Both vectors are
+/// sorted by name (the recorder stores them in `BTreeMap`s).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<(String, u64)>,
+    pub hists: Vec<(String, HistSummary)>,
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+impl MetricsSnapshot {
+    /// Value of a counter, 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    }
+
+    /// Summary of a histogram, if recorded.
+    pub fn hist(&self, name: &str) -> Option<&HistSummary> {
+        self.hists.iter().find(|(k, _)| k == name).map(|(_, h)| h)
+    }
+
+    /// Deterministic JSON object:
+    /// `{"counters":{...},"histograms_us":{name:{count,sum,min,max,p50,p90,p99}}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_into(&mut out, k);
+            out.push_str("\":");
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"histograms_us\":{");
+        for (i, (k, h)) in self.hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_into(&mut out, k);
+            out.push_str("\":{\"count\":");
+            out.push_str(&h.count.to_string());
+            out.push_str(",\"sum\":");
+            out.push_str(&h.sum.to_string());
+            out.push_str(",\"min\":");
+            out.push_str(&h.min.to_string());
+            out.push_str(",\"max\":");
+            out.push_str(&h.max.to_string());
+            out.push_str(",\"p50\":");
+            out.push_str(&h.p50.to_string());
+            out.push_str(",\"p90\":");
+            out.push_str(&h.p90.to_string());
+            out.push_str(",\"p99\":");
+            out.push_str(&h.p99.to_string());
+            out.push('}');
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_snapshot_json() {
+        assert_eq!(
+            MetricsSnapshot::default().to_json(),
+            "{\"counters\":{},\"histograms_us\":{}}"
+        );
+    }
+
+    #[test]
+    fn json_shape_and_lookups() {
+        let snap = MetricsSnapshot {
+            counters: vec![("a".into(), 1), ("b".into(), 2)],
+            hists: vec![(
+                "lat".into(),
+                HistSummary {
+                    count: 3,
+                    sum: 30,
+                    min: 5,
+                    max: 20,
+                    p50: 7,
+                    p90: 15,
+                    p99: 20,
+                },
+            )],
+        };
+        assert_eq!(snap.counter("b"), 2);
+        assert_eq!(snap.counter("missing"), 0);
+        assert_eq!(snap.hist("lat").unwrap().count, 3);
+        assert_eq!(
+            snap.to_json(),
+            "{\"counters\":{\"a\":1,\"b\":2},\"histograms_us\":{\"lat\":{\"count\":3,\"sum\":30,\"min\":5,\"max\":20,\"p50\":7,\"p90\":15,\"p99\":20}}}"
+        );
+    }
+}

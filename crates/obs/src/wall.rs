@@ -1,0 +1,101 @@
+//! Wall-clock task recording for the shared NN worker pool.
+//!
+//! The pool's worker closures run on scoped threads deep inside
+//! `pythia_nn::pool`, far from any `Recorder`; threading a `&mut Recorder`
+//! through the parallel map would serialize the workers. Instead workers
+//! append to a small global ring guarded by a mutex, gated by one relaxed
+//! atomic load when disabled, and the owner of a `Recorder` drains the
+//! buffer into `WALL_PID` tracks afterwards
+//! ([`crate::Recorder::absorb_wall_tasks`]).
+//!
+//! Timestamps are microseconds since a process-wide epoch (the first call to
+//! [`now_us`]) — monotonic, comparable across workers, and explicitly *not*
+//! deterministic across runs.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// One completed task span on a pool worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WallTask {
+    /// Static task label (`nn.train`, `nn.infer`, ...).
+    pub label: &'static str,
+    /// Worker index within the pool (becomes the trace `tid`).
+    pub worker: u32,
+    /// Which work item the task processed (model index, batch index, ...).
+    pub item: u64,
+    pub start_us: u64,
+    pub dur_us: u64,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static TASKS: Mutex<Vec<WallTask>> = Mutex::new(Vec::new());
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Turn wall-task capture on or off process-wide. Off by default; the pool
+/// pays one relaxed atomic load per task when off.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether capture is currently on.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Microseconds since the process-wide capture epoch.
+pub fn now_us() -> u64 {
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    Instant::now().duration_since(epoch).as_micros() as u64
+}
+
+/// Record one completed task (no-op unless [`enabled`]).
+pub fn record(task: WallTask) {
+    if !enabled() {
+        return;
+    }
+    TASKS.lock().expect("wall task buffer poisoned").push(task);
+}
+
+/// Take every buffered task, leaving the buffer empty.
+pub fn drain() -> Vec<WallTask> {
+    std::mem::take(&mut *TASKS.lock().expect("wall task buffer poisoned"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test only: the buffer and the enabled flag are process-global, so
+    // concurrent #[test] threads would interleave. All behavior fits here.
+    #[test]
+    fn capture_is_gated_and_drain_empties() {
+        let t = WallTask {
+            label: "nn.test",
+            worker: 0,
+            item: 1,
+            start_us: 10,
+            dur_us: 2,
+        };
+        drain(); // isolate from any earlier state
+        record(t); // disabled → dropped
+        assert!(drain().is_empty());
+
+        set_enabled(true);
+        record(t);
+        record(WallTask { item: 2, ..t });
+        set_enabled(false);
+        record(WallTask { item: 3, ..t }); // disabled again → dropped
+        let got = drain();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].item, 1);
+        assert_eq!(got[1].item, 2);
+        assert!(drain().is_empty());
+
+        let a = now_us();
+        let b = now_us();
+        assert!(b >= a);
+    }
+}

@@ -38,6 +38,12 @@ impl PageId {
     pub fn new(file: FileId, page_no: u32) -> Self {
         PageId { file, page_no }
     }
+
+    /// Pack this address into one `u64` (`file` in the high half, `page_no`
+    /// in the low half) — the form trace events carry as an argument.
+    pub fn trace_key(self) -> u64 {
+        ((self.file.0 as u64) << 32) | self.page_no as u64
+    }
 }
 
 impl fmt::Display for PageId {

@@ -19,6 +19,19 @@ pub struct IoWorkerPool {
     issued: u64,
 }
 
+/// Full placement of one scheduled fetch: which lane ran it and when it
+/// occupied the lane. `schedule` returns only `completes`; tracing callers
+/// use [`IoWorkerPool::schedule_detailed`] to draw the lane-occupancy span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoSchedule {
+    /// Index of the lane that ran the fetch.
+    pub lane: usize,
+    /// When the fetch began occupying the lane (`max(now, lane free time)`).
+    pub start: SimTime,
+    /// When the fetch completes.
+    pub completes: SimTime,
+}
+
 impl IoWorkerPool {
     /// A pool of `workers` lanes, all idle at time zero.
     ///
@@ -45,6 +58,12 @@ impl IoWorkerPool {
     /// Schedule an asynchronous fetch costing `latency`, requested at `now`.
     /// Returns the virtual time at which the fetch completes.
     pub fn schedule(&mut self, now: SimTime, latency: SimDuration) -> SimTime {
+        self.schedule_detailed(now, latency).completes
+    }
+
+    /// Like [`Self::schedule`], but also reports the lane and start time so
+    /// callers can attribute the fetch to a specific I/O worker.
+    pub fn schedule_detailed(&mut self, now: SimTime, latency: SimDuration) -> IoSchedule {
         let (idx, _) = self
             .free_at
             .iter()
@@ -55,7 +74,11 @@ impl IoWorkerPool {
         let done = start + latency;
         self.free_at[idx] = done;
         self.issued += 1;
-        done
+        IoSchedule {
+            lane: idx,
+            start,
+            completes: done,
+        }
     }
 
     /// Earliest time at which any lane is free (i.e. when a newly scheduled
@@ -143,5 +166,18 @@ mod tests {
     #[should_panic]
     fn zero_workers_panics() {
         IoWorkerPool::new(0);
+    }
+
+    #[test]
+    fn schedule_detailed_reports_lane_and_start() {
+        let mut p = IoWorkerPool::new(2);
+        let a = p.schedule_detailed(SimTime::ZERO, MS);
+        let b = p.schedule_detailed(SimTime::ZERO, MS);
+        let c = p.schedule_detailed(SimTime::ZERO, MS);
+        assert_ne!(a.lane, b.lane, "second fetch takes the other lane");
+        assert_eq!(a.start, SimTime::ZERO);
+        assert_eq!(c.start.as_micros(), 1_000, "third queues behind a lane");
+        assert_eq!(c.completes.as_micros(), 2_000);
+        assert_eq!(p.issued(), 3);
     }
 }

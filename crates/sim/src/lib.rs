@@ -29,6 +29,6 @@ pub mod time;
 
 pub use cost::CostModel;
 pub use disk::{FileId, PageId, SimDisk, PAGE_SIZE};
-pub use iopool::IoWorkerPool;
+pub use iopool::{IoSchedule, IoWorkerPool};
 pub use oscache::{OsPageCache, StreamId};
 pub use time::{SimDuration, SimTime};

@@ -21,6 +21,9 @@
 //! * [`baselines`] — DFLT / ORCL / nearest-neighbour / sequence-transformer
 //!   baselines.
 //! * [`workloads`] — DSB-like and IMDB/CEB-like benchmark generators.
+//! * [`obs`] — zero-dependency structured tracing and metrics: counters,
+//!   log₂ histograms and virtual-clock span/instant events, exported as
+//!   Perfetto-loadable Chrome trace JSON (see `DESIGN.md` §Observability).
 //!
 //! ## Quickstart
 //!
@@ -41,6 +44,7 @@ pub use pythia_buffer as buffer;
 pub use pythia_core as core;
 pub use pythia_db as db;
 pub use pythia_nn as nn;
+pub use pythia_obs as obs;
 pub use pythia_sim as sim;
 pub use pythia_workloads as workloads;
 

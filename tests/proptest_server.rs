@@ -122,4 +122,81 @@ proptest! {
             prop_assert_eq!(w.occupancy, 1);
         }
     }
+
+    /// `ServeReport` wave metrics stay internally consistent under the
+    /// overlap queue policy across random traces, arrival streams and
+    /// concurrency limits: occupancy is bounded by the admission limit and
+    /// the recorded queue depth, every query is admitted exactly once, wave
+    /// dispatch times are monotone, the per-wave buffer counters merge back
+    /// to the report-level totals, and the summary helpers agree with the
+    /// raw per-wave data.
+    #[test]
+    fn overlap_policy_wave_metrics_are_consistent(
+        specs in prop::collection::vec(trace_strategy(), 1..7),
+        arrivals in prop::collection::vec(0u64..1_500_000, 7),
+        concurrency in 1usize..4,
+        pool_frames in prop::sample::select(vec![64usize, 512]),
+        charge_us in 0u64..3_000,
+    ) {
+        let db = db();
+        let traces: Vec<Trace> = specs.iter().map(|s| build_trace(s)).collect();
+        let n = traces.len();
+        let run_cfg = RunConfig { pool_frames, ..Default::default() };
+        let plan = plan();
+        let requests: Vec<ServerRequest<'_>> = traces
+            .iter()
+            .zip(&arrivals)
+            .map(|(trace, &us)| ServerRequest {
+                plan: &plan,
+                trace,
+                arrival: SimDuration::from_micros(us),
+            })
+            .collect();
+        let cfg = ServerConfig {
+            concurrency,
+            policy: QueuePolicy::Overlap,
+            charge: InferenceCharge::Fixed(SimDuration::from_micros(charge_us)),
+            prefetch_budget: None,
+        };
+        let mut server = PrefetchServer::new(db, &run_cfg, cfg);
+        let report = server.serve(&requests);
+
+        prop_assert_eq!(report.queries.len(), n);
+        prop_assert!(!report.waves.is_empty());
+
+        // Wave-level invariants.
+        let mut admitted_total = 0usize;
+        let mut merged = pythia::buffer::BufferStats::default();
+        let mut prev_dispatch = SimTime::ZERO;
+        for (i, w) in report.waves.iter().enumerate() {
+            prop_assert!(w.occupancy >= 1, "wave {} admitted nothing", i);
+            prop_assert!(w.occupancy <= concurrency, "wave {} over the limit", i);
+            prop_assert!(
+                w.occupancy <= w.queue_depth,
+                "wave {}: occupancy {} > queue depth {}", i, w.occupancy, w.queue_depth
+            );
+            prop_assert!(w.queue_depth <= n);
+            prop_assert!(w.admitted_at >= prev_dispatch, "wave {} dispatched out of order", i);
+            prev_dispatch = w.admitted_at;
+            admitted_total += w.occupancy;
+            merged.merge(&w.stats);
+        }
+        prop_assert_eq!(admitted_total, n, "every query admitted exactly once");
+        prop_assert_eq!(merged, report.stats, "per-wave stats must partition the totals");
+
+        // Query-level invariants tie back to the wave that served each query.
+        for (i, q) in report.queries.iter().enumerate() {
+            prop_assert!(q.wave < report.waves.len());
+            prop_assert_eq!(q.admitted, report.waves[q.wave].admitted_at, "query {}", i);
+            prop_assert!(q.arrival <= q.admitted, "query {} admitted before arriving", i);
+            prop_assert!(q.admitted <= q.start);
+            prop_assert!(q.start <= q.end);
+        }
+
+        // Summary helpers agree with the raw per-wave data.
+        let max_depth = report.waves.iter().map(|w| w.queue_depth).max().unwrap();
+        prop_assert_eq!(report.max_queue_depth(), max_depth);
+        let mean_occ = n as f64 / report.waves.len() as f64;
+        prop_assert!((report.mean_occupancy() - mean_occ).abs() < 1e-9);
+    }
 }
