@@ -28,14 +28,39 @@ echo "==> cargo test -q"
 cargo test -q
 
 if [[ "$fast" -eq 0 ]]; then
-  echo "==> traced mini serving run (Perfetto trace -> results/serving_trace.json)"
+  echo "==> traced mini serving runs (trace-diff regression gate)"
   mkdir -p results
   cargo run --release -q -p pythia-experiments --bin serving -- \
-    --mini --trace-out results/serving_trace.json
-  # The trace-event schema itself is asserted in tests/trace_obs.rs; here we
-  # only sanity-check that the run produced a non-empty JSON array.
-  head -c 2 results/serving_trace.json | grep -q '\[' \
-    || { echo "serving_trace.json is not a JSON array" >&2; exit 1; }
+    --mini --trace-out results/serving_trace.json \
+    --metrics-out results/metrics_snapshot.json
+  cargo run --release -q -p pythia-experiments --bin serving -- \
+    --mini --trace-out results/serving_trace_rerun.json
+
+  # An empty or non-JSON trace (a silently broken recorder) fails outright.
+  cargo run --release -q -p pythia-experiments --bin trace_diff -- \
+    --validate results/serving_trace.json
+  cargo run --release -q -p pythia-experiments --bin trace_diff -- \
+    --validate results/serving_trace_rerun.json
+
+  # Same seed + fixed inference charge => the two runs' virtual-clock traces
+  # must be structurally AND byte-for-byte identical. Any drift is a
+  # determinism regression in the serving stack.
+  cargo run --release -q -p pythia-experiments --bin trace_diff -- \
+    results/serving_trace.json results/serving_trace_rerun.json
+
+  # Structural compare against the checked-in golden summary, with the
+  # allowlist marking intentional drift (regenerate the golden with
+  # `trace_diff --summary` after reviewing a deliberate change).
+  cargo run --release -q -p pythia-experiments --bin trace_diff -- \
+    --summary results/serving_trace.json > results/serving_trace_summary.txt
+  if [[ -f tests/golden/serving_trace_summary.txt ]]; then
+    cargo run --release -q -p pythia-experiments --bin trace_diff -- \
+      tests/golden/serving_trace_summary.txt results/serving_trace.json \
+      --allow-file tests/golden/trace_allowlist.txt
+  else
+    echo "    (no golden summary checked in; copy" \
+      "results/serving_trace_summary.txt to tests/golden/ to enable)"
+  fi
 fi
 
 echo "==> ci.sh: all gates passed"

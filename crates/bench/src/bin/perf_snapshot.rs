@@ -121,10 +121,8 @@ fn main() {
         .iter()
         .zip(&traces)
         .enumerate()
-        .map(|(i, (plan, trace))| ServerRequest {
-            plan,
-            trace,
-            arrival: SimDuration::from_micros(i as u64 * 200),
+        .map(|(i, (plan, trace))| {
+            ServerRequest::new(plan, trace, SimDuration::from_micros(i as u64 * 200))
         })
         .collect();
     let mut server =

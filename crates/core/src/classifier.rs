@@ -14,7 +14,7 @@ use rand::SeedableRng;
 use pythia_nn::init::Initializer;
 use pythia_nn::layers::{Linear, TransformerEncoder};
 use pythia_nn::tape::{bce_with_logits, ParamSet, Tape};
-use pythia_nn::{Adam, Tensor};
+use pythia_nn::{grad_l2_norm, Adam, Tensor};
 
 use crate::config::PythiaConfig;
 use crate::vocab::Vocab;
@@ -102,6 +102,30 @@ impl PlanClassifier {
     /// node buffer and `absorb` returns gradient buffers to the pool, so
     /// steady-state steps run allocation-free in the graph machinery.
     pub fn train(&mut self, data: &[Example<'_>], cfg: &PythiaConfig) -> TrainReport {
+        self.train_phase(data, cfg, false)
+    }
+
+    /// Continue training from the current parameters on additional examples
+    /// (fresh Adam state). This is the paper's incremental-training path:
+    /// "Every new query run can be used as a new training data point to
+    /// improve Pythia models" (§5.3).
+    pub fn refine(&mut self, data: &[Example<'_>], cfg: &PythiaConfig) -> TrainReport {
+        self.train_phase(data, cfg, true)
+    }
+
+    /// The shared train/refine loop. `refine` only matters for telemetry:
+    /// with capture on ([`pythia_obs::train::set_enabled`]) every epoch emits
+    /// one record carrying its mean minibatch loss, mean gradient L2 norm,
+    /// step count, and wall timing, tagged with the `(worker, model)` context
+    /// the pool set for this thread. With capture off (the default) the only
+    /// cost is one atomic load per call — the optimizer math is untouched
+    /// either way, so trained weights are bit-identical.
+    fn train_phase(
+        &mut self,
+        data: &[Example<'_>],
+        cfg: &PythiaConfig,
+        refine: bool,
+    ) -> TrainReport {
         assert!(!data.is_empty(), "no training data");
         let mut adam = Adam::new(&self.params, cfg.lr);
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7e57);
@@ -110,7 +134,16 @@ impl PlanClassifier {
         let mut final_loss = f32::NAN;
         let mut steps = 0;
         let mut tape = Tape::new();
-        for _epoch in 0..cfg.epochs {
+        let telemetry = pythia_obs::train::enabled();
+        for epoch in 0..cfg.epochs {
+            let epoch_start = if telemetry {
+                pythia_obs::wall::now_us()
+            } else {
+                0
+            };
+            let mut epoch_loss = 0.0f64;
+            let mut epoch_grad_norm = 0.0f64;
+            let mut epoch_steps = 0u32;
             order.shuffle(&mut rng);
             for chunk in order.chunks(cfg.batch_size) {
                 let seqs: Vec<&[usize]> = chunk.iter().map(|&i| self.clip(data[i].0)).collect();
@@ -136,9 +169,28 @@ impl PlanClassifier {
                 }
                 final_loss = loss_val;
                 let grads = tape.backward(loss);
+                if telemetry {
+                    epoch_loss += loss_val as f64;
+                    epoch_grad_norm += grad_l2_norm(&grads, &vars) as f64;
+                    epoch_steps += 1;
+                }
                 adam.step(&mut self.params, &vars, &grads);
                 tape.absorb(grads);
                 steps += 1;
+            }
+            if telemetry && epoch_steps > 0 {
+                let (worker, model) = pythia_obs::train::context();
+                pythia_obs::train::record_epoch(pythia_obs::train::EpochRec {
+                    refine,
+                    worker,
+                    model,
+                    epoch: epoch as u32,
+                    steps: epoch_steps,
+                    loss_e6: pythia_obs::train::to_e6(epoch_loss / epoch_steps as f64),
+                    grad_norm_e6: pythia_obs::train::to_e6(epoch_grad_norm / epoch_steps as f64),
+                    start_us: epoch_start,
+                    dur_us: pythia_obs::wall::now_us().saturating_sub(epoch_start),
+                });
             }
         }
         TrainReport {
@@ -147,14 +199,6 @@ impl PlanClassifier {
             first_loss,
             final_loss,
         }
-    }
-
-    /// Continue training from the current parameters on additional examples
-    /// (fresh Adam state). This is the paper's incremental-training path:
-    /// "Every new query run can be used as a new training data point to
-    /// improve Pythia models" (§5.3).
-    pub fn refine(&mut self, data: &[Example<'_>], cfg: &PythiaConfig) -> TrainReport {
-        self.train(data, cfg)
     }
 
     /// Per-label sigmoid scores for one serialized plan.
@@ -332,6 +376,62 @@ mod tests {
         let pb = clf.predict_batch(&refs);
         for (q, s) in seqs.iter().enumerate() {
             assert_eq!(pb[q], clf.predict(s));
+        }
+    }
+
+    // One test covers all telemetry behavior: the capture flag is
+    // process-global, so two #[test]s toggling it would race each other.
+    #[test]
+    fn training_telemetry_records_epochs_and_never_changes_weights() {
+        use pythia_obs::train as tt;
+        let cfg = PythiaConfig {
+            epochs: 5,
+            batch_size: 8,
+            lr: 5e-3,
+            ..PythiaConfig::fast()
+        };
+        let owned = block_task();
+        let data = as_examples(&owned);
+        // Baseline run through the same train + refine sequence, capture off.
+        let mut plain = PlanClassifier::new(&cfg, 10, 12);
+        plain.train(&data, &cfg);
+        plain.refine(&data, &cfg);
+
+        let mut clf = PlanClassifier::new(&cfg, 10, 12);
+        // Other tests may train concurrently while the flag is on; a unique
+        // context tag isolates our records in the shared buffer.
+        tt::set_context(0, 424_242);
+        tt::set_enabled(true);
+        clf.train(&data, &cfg);
+        clf.refine(&data, &cfg);
+        tt::set_enabled(false);
+        tt::set_context(0, 0);
+
+        let mine: Vec<tt::EpochRec> = tt::drain()
+            .into_iter()
+            .filter_map(|r| match r {
+                tt::TrainRec::Epoch(e) if e.model == 424_242 => Some(e),
+                _ => None,
+            })
+            .collect();
+        let trained: Vec<&tt::EpochRec> = mine.iter().filter(|e| !e.refine).collect();
+        let refined: Vec<&tt::EpochRec> = mine.iter().filter(|e| e.refine).collect();
+        assert_eq!(trained.len(), cfg.epochs, "one record per train epoch");
+        assert_eq!(refined.len(), cfg.epochs, "one record per refine epoch");
+        assert_eq!(
+            trained.iter().map(|e| e.epoch).collect::<Vec<_>>(),
+            (0..cfg.epochs as u32).collect::<Vec<_>>()
+        );
+        // 18 examples at batch size 8 → 3 minibatches per epoch.
+        assert!(trained.iter().all(|e| e.steps == 3));
+        assert!(trained.iter().all(|e| e.grad_norm_e6 > 0));
+        assert!(
+            trained.last().unwrap().loss_e6 < trained.first().unwrap().loss_e6,
+            "mean epoch loss must fall on this learnable task"
+        );
+        // Capture is observation-only: same weights as the baseline run.
+        for t in 2..5usize {
+            assert_eq!(plain.scores(&[t, 5]), clf.scores(&[t, 5]));
         }
     }
 

@@ -94,6 +94,22 @@ pub struct ServerRequest<'a> {
     pub plan: &'a PlanNode,
     pub trace: &'a Trace,
     pub arrival: SimDuration,
+    /// Trace span name for this query's replay (see
+    /// [`QueryRun::span_name`]); callers that know the query's template pass
+    /// `Template::replay_span()` so Perfetto groups repeated templates.
+    pub span_name: &'static str,
+}
+
+impl<'a> ServerRequest<'a> {
+    /// A request arriving at `arrival` with the default replay span name.
+    pub fn new(plan: &'a PlanNode, trace: &'a Trace, arrival: SimDuration) -> Self {
+        ServerRequest {
+            plan,
+            trace,
+            arrival,
+            span_name: pythia_db::runtime::DEFAULT_REPLAY_SPAN,
+        }
+    }
 }
 
 /// Per-query serving outcome.
@@ -180,6 +196,17 @@ impl ServeReport {
         SimDuration::from_micros(total / self.queries.len() as u64)
     }
 
+    /// Log₂-bucket histogram of per-query admission waits in microseconds —
+    /// the same estimator the recorder's `server.admission_wait_us`
+    /// histogram uses, so the report and the live metrics endpoint agree.
+    pub fn admission_wait_hist(&self) -> pythia_obs::hist::Histogram {
+        let mut h = pythia_obs::hist::Histogram::new();
+        for q in &self.queries {
+            h.record(q.admission_wait().as_micros());
+        }
+        h
+    }
+
     /// Mean queries admitted per wave.
     pub fn mean_occupancy(&self) -> f64 {
         if self.waves.is_empty() {
@@ -229,6 +256,14 @@ impl ServeReport {
             self.mean_admission_wait(),
             self.mean_occupancy(),
             self.max_queue_depth()
+        );
+        let aw = self.admission_wait_hist();
+        let _ = writeln!(
+            out,
+            "  admission wait percentiles: p50 {}us p95 {}us p99 {}us",
+            aw.p50(),
+            aw.p95(),
+            aw.p99()
         );
         let s = &self.stats;
         let _ = writeln!(
@@ -449,6 +484,7 @@ impl<'d> PrefetchServer<'d> {
                         prefetch,
                         arrival: SimDuration::ZERO,
                         inference_latency: inference,
+                        span_name: requests[i].span_name,
                     }
                 })
                 .collect();
@@ -510,12 +546,16 @@ impl<'d> PrefetchServer<'d> {
                 inference: wave_inference,
                 stats: wave_stats,
             });
+            // Refresh the live metrics endpoint between waves — the only
+            // point where the counters are consistent mid-serve.
+            self.rt.recorder().publish();
         }
 
         let queries = outcomes
             .into_iter()
             .map(|o| o.expect("every request was dispatched"))
             .collect();
+        self.rt.recorder().publish();
         ServeReport {
             queries,
             waves,
@@ -610,11 +650,7 @@ mod tests {
             late,
         ]
         .iter()
-        .map(|&arrival| ServerRequest {
-            plan: &plan,
-            trace: &t,
-            arrival,
-        })
+        .map(|&arrival| ServerRequest::new(&plan, &t, arrival))
         .collect();
 
         let mut srv = PrefetchServer::new(&db, &run_cfg(), fixed_cfg(2, QueuePolicy::Fifo));
@@ -657,11 +693,7 @@ mod tests {
         let reqs: Vec<ServerRequest<'_>> = traces
             .iter()
             .zip(arrivals)
-            .map(|(t, arrival)| ServerRequest {
-                plan: &plan,
-                trace: t,
-                arrival,
-            })
+            .map(|(t, arrival)| ServerRequest::new(&plan, t, arrival))
             .collect();
 
         let mut srv = PrefetchServer::new(&db, &run_cfg(), fixed_cfg(1, QueuePolicy::Fifo));
@@ -687,11 +719,7 @@ mod tests {
         let traces: Vec<Trace> = (0..4).map(|_| random_trace(30)).collect();
         let reqs: Vec<ServerRequest<'_>> = traces
             .iter()
-            .map(|t| ServerRequest {
-                plan: &plan,
-                trace: t,
-                arrival: SimDuration::ZERO,
-            })
+            .map(|t| ServerRequest::new(&plan, t, SimDuration::ZERO))
             .collect();
 
         let mut fifo = PrefetchServer::new(&db, &run_cfg(), fixed_cfg(2, QueuePolicy::Fifo));
@@ -711,16 +739,8 @@ mod tests {
         let (db, plan) = dummy_db_and_plan();
         let t = random_trace(20);
         let reqs = [
-            ServerRequest {
-                plan: &plan,
-                trace: &t,
-                arrival: SimDuration::ZERO,
-            },
-            ServerRequest {
-                plan: &plan,
-                trace: &t,
-                arrival: SimDuration::from_micros(5),
-            },
+            ServerRequest::new(&plan, &t, SimDuration::ZERO),
+            ServerRequest::new(&plan, &t, SimDuration::from_micros(5)),
         ];
         let mut srv = PrefetchServer::new(&db, &run_cfg(), fixed_cfg(1, QueuePolicy::Fifo));
         let rep = srv.serve(&reqs).report();
@@ -734,6 +754,43 @@ mod tests {
         ] {
             assert!(rep.contains(needle), "missing '{needle}' in:\n{rep}");
         }
+    }
+
+    #[test]
+    fn report_pins_hand_computed_admission_wait_percentiles() {
+        // Waits in µs: eighteen of 10 (log₂ bucket [8,16) → bound 15), one of
+        // 100 (bucket [64,128) → bound 127), one of 1000 (rank 20 lands in
+        // its bucket, whose bound 1023 clamps to the observed max).
+        let mut waits = vec![10u64; 18];
+        waits.push(100);
+        waits.push(1000);
+        let queries: Vec<QueryOutcome> = waits
+            .iter()
+            .map(|&w| {
+                let admitted = SimTime::ZERO + SimDuration::from_micros(w);
+                QueryOutcome {
+                    arrival: SimTime::ZERO,
+                    admitted,
+                    start: admitted,
+                    end: admitted + SimDuration::from_micros(1),
+                    wave: 0,
+                    inference: SimDuration::ZERO,
+                }
+            })
+            .collect();
+        let rep = ServeReport {
+            queries,
+            waves: Vec::new(),
+            stats: BufferStats::default(),
+        };
+        let aw = rep.admission_wait_hist();
+        assert_eq!((aw.p50(), aw.p95(), aw.p99()), (15, 127, 1000));
+        assert!(
+            rep.report()
+                .contains("admission wait percentiles: p50 15us p95 127us p99 1000us"),
+            "percentile line drifted:\n{}",
+            rep.report()
+        );
     }
 
     /// End-to-end with a trained model: a tiny star schema, a handful of
@@ -793,11 +850,7 @@ mod tests {
             .iter()
             .zip(&traces[8..])
             .enumerate()
-            .map(|(i, (p, t))| ServerRequest {
-                plan: p,
-                trace: t,
-                arrival: SimDuration::from_micros(i as u64 * 40),
-            })
+            .map(|(i, (p, t))| ServerRequest::new(p, t, SimDuration::from_micros(i as u64 * 40)))
             .collect();
         let mut srv = PrefetchServer::new(&db, &run_cfg(), server_cfg).with_predictor(&tw);
         let rep = srv.serve(&reqs);

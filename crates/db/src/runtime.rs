@@ -65,7 +65,14 @@ pub struct QueryRun<'a> {
     /// Serialized-plan encoding + model inference latency charged before
     /// execution starts (zero for DFLT/ORCL/NN baselines).
     pub inference_latency: SimDuration,
+    /// Trace span name for this query's replay. Must be `'static` (trace
+    /// event names never allocate); callers that know the query's template
+    /// pass `Template::replay_span()` so Perfetto groups repeated templates.
+    pub span_name: &'static str,
 }
+
+/// Span name for replays whose template is unknown.
+pub const DEFAULT_REPLAY_SPAN: &str = "query.replay";
 
 impl<'a> QueryRun<'a> {
     /// A query with no prefetching arriving at batch start.
@@ -75,6 +82,7 @@ impl<'a> QueryRun<'a> {
             prefetch: None,
             arrival: SimDuration::ZERO,
             inference_latency: SimDuration::ZERO,
+            span_name: DEFAULT_REPLAY_SPAN,
         }
     }
 
@@ -85,6 +93,7 @@ impl<'a> QueryRun<'a> {
             prefetch: Some(pages),
             arrival: SimDuration::ZERO,
             inference_latency: inference,
+            span_name: DEFAULT_REPLAY_SPAN,
         }
     }
 }
@@ -372,7 +381,7 @@ impl Runtime {
                 rec.span(
                     s.track,
                     "query",
-                    "query.replay",
+                    s.run.span_name,
                     s.start.as_micros(),
                     s.t.as_micros(),
                     &[("reads", s.run.trace.read_count() as u64)],
@@ -651,10 +660,8 @@ mod tests {
         let (with_inf, _) = single(
             &cfg,
             QueryRun {
-                trace: &t,
-                prefetch: None,
-                arrival: SimDuration::ZERO,
                 inference_latency: inf,
+                ..QueryRun::default_run(&t)
             },
         );
         assert_eq!(with_inf.as_micros(), base.as_micros() + inf.as_micros());
@@ -714,10 +721,8 @@ mod tests {
         let res = rt.run(&[
             QueryRun::default_run(&t),
             QueryRun {
-                trace: &t,
-                prefetch: None,
                 arrival: late,
-                inference_latency: SimDuration::ZERO,
+                ..QueryRun::default_run(&t)
             },
         ]);
         assert!(res.timings[1].start >= SimTime::ZERO + late);
@@ -736,10 +741,8 @@ mod tests {
         let clock = first.timings[0].end;
         let gap = SimDuration::from_micros(777);
         let second = rt.run(&[QueryRun {
-            trace: &t,
-            prefetch: None,
             arrival: gap,
-            inference_latency: SimDuration::ZERO,
+            ..QueryRun::default_run(&t)
         }]);
         assert_eq!(second.timings[0].arrival, clock + gap);
     }

@@ -107,7 +107,9 @@ fn main() {
     }
 
     if let Some(path) = serving::trace_out_arg() {
-        serving::dump_trace(&env, &path);
+        let metrics_addr = serving::metrics_addr_arg();
+        let metrics_out = serving::metrics_out_arg();
+        serving::dump_trace(&env, &path, metrics_addr.as_deref(), metrics_out.as_deref());
     }
 
     eprintln!(

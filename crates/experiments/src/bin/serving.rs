@@ -5,8 +5,13 @@
 //!
 //! * `--trace-out <path>` — trace the illustrative run and write a
 //!   Perfetto-loadable Chrome trace of the whole serving stack (admission
-//!   waves, query replays, buffer events, prefetch I/O, NN tasks) to the
-//!   given path.
+//!   waves, query replays, buffer events, prefetch I/O, NN tasks, training
+//!   epochs) to the given path.
+//! * `--metrics-addr <host:port>` — with `--trace-out`, serve the live
+//!   metrics snapshot at `http://<addr>/metrics` (Prometheus text; the
+//!   endpoint stays up until the process exits).
+//! * `--metrics-out <path>` — with `--trace-out`, write the final metrics
+//!   snapshot JSON to the given path (CI uploads it as an artifact).
 //! * `--mini` — CI-sized configuration (tiny database, 12 queries) and skip
 //!   the overlap sweep; combined with `--trace-out` this is the tier-1
 //!   traced mini-serving run.
@@ -32,7 +37,9 @@ fn main() {
     }
 
     if let Some(path) = serving::trace_out_arg() {
-        let rep = serving::dump_trace(&env, &path);
+        let metrics_addr = serving::metrics_addr_arg();
+        let metrics_out = serving::metrics_out_arg();
+        let rep = serving::dump_trace(&env, &path, metrics_addr.as_deref(), metrics_out.as_deref());
         println!("{}", rep.report());
         return;
     }

@@ -212,6 +212,7 @@ impl Env {
             prefetch,
             arrival: SimDuration::ZERO,
             inference_latency: inference,
+            span_name: pythia_db::runtime::DEFAULT_REPLAY_SPAN,
         }]);
         res.timings[0].elapsed()
     }

@@ -140,6 +140,8 @@ fn serve_poisson_inner(
             plan: &w.queries[qi].plan,
             trace: &w.traces[qi],
             arrival,
+            // Template-derived span name: repeated shapes group in Perfetto.
+            span_name: template.replay_span(),
         })
         .collect();
     let cfg = ServerConfig {
@@ -153,50 +155,133 @@ fn serve_poisson_inner(
         server = server.with_predictor(tw);
     }
     server.set_recorder(recorder);
-    let capture_wall = server.recorder().is_enabled();
-    if capture_wall {
-        // Capture NN pool task spans (wall clock, separate trace process)
-        // for the duration of the serve call.
+    let capture = server.recorder().is_enabled();
+    // NN capture (pool task spans + training telemetry) may already be on:
+    // [`dump_trace`] enables it *before* training so the epoch ladder lands
+    // in the same trace. Only toggle the flags this call turned on itself;
+    // absorbing drains whatever accumulated either way.
+    let was_on = pythia_obs::wall::enabled();
+    if capture && !was_on {
         pythia_obs::wall::drain();
+        pythia_obs::train::drain();
         pythia_obs::wall::set_enabled(true);
+        pythia_obs::train::set_enabled(true);
     }
     let rep = server.serve(&requests);
     let mut rec = server.take_recorder();
-    if capture_wall {
-        pythia_obs::wall::set_enabled(false);
+    if capture {
+        if !was_on {
+            pythia_obs::wall::set_enabled(false);
+            pythia_obs::train::set_enabled(false);
+        }
         rec.absorb_wall_tasks(pythia_obs::wall::drain());
+        rec.absorb_train_telemetry(pythia_obs::train::drain());
     }
     (rep, rec)
 }
 
-/// Value of the `--trace-out <path>` (or `--trace-out=<path>`) command-line
-/// flag, if present. Experiment binaries use this to dump a Perfetto-loadable
-/// Chrome trace of one traced serving run.
-pub fn trace_out_arg() -> Option<String> {
+/// Value of a `--<name> <value>` (or `--<name>=<value>`) command-line flag,
+/// if present.
+fn flag_value(name: &str) -> Option<String> {
+    let long = format!("--{name}");
+    let prefixed = format!("--{name}=");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        if a == "--trace-out" {
+        if a == long {
             return args.next();
         }
-        if let Some(p) = a.strip_prefix("--trace-out=") {
+        if let Some(p) = a.strip_prefix(&prefixed) {
             return Some(p.to_owned());
         }
     }
     None
 }
 
+/// Value of the `--trace-out <path>` (or `--trace-out=<path>`) command-line
+/// flag, if present. Experiment binaries use this to dump a Perfetto-loadable
+/// Chrome trace of one traced serving run.
+pub fn trace_out_arg() -> Option<String> {
+    flag_value("trace-out")
+}
+
+/// Value of `--metrics-addr <host:port>`: serve the live metrics snapshot
+/// over HTTP for the duration of the traced run (`curl <addr>/metrics`).
+pub fn metrics_addr_arg() -> Option<String> {
+    flag_value("metrics-addr")
+}
+
+/// Value of `--metrics-out <path>`: write the final metrics snapshot JSON
+/// next to the trace (what CI uploads as an artifact).
+pub fn metrics_out_arg() -> Option<String> {
+    flag_value("metrics-out")
+}
+
+/// Score the trained workload on its held-out test queries (one batched
+/// inference) and buffer one `nn.heldout_f1` telemetry record per query.
+fn record_heldout_f1(env: &Env, template: Template, tw: &TrainedWorkload) {
+    let w = env.prepare(template);
+    let modeled = tw.modeled_objects();
+    let preds = tw.infer_batch(&env.bench.db, &w.test_plans());
+    for (qi, ((_, trace), pred)) in w.test_queries().zip(&preds).enumerate() {
+        let truth = pythia_core::predictor::ground_truth(trace, &modeled);
+        let f1 = pythia_core::f1_score(&pred.as_set(), &truth).f1;
+        pythia_obs::train::record_f1(qi as u64, pythia_obs::train::to_e6(f1));
+    }
+}
+
 /// Run the canonical traced serving run (Fig 13d's 75%-overlap point under
 /// the overlap scheduler) and write its Chrome trace JSON to `path`.
-pub fn dump_trace(env: &Env, path: &str) -> ServeReport {
+///
+/// Training-telemetry capture is turned on *before* the (cached) model
+/// training, so a cold `Env` contributes its whole epoch ladder — per-epoch
+/// `nn.epoch` spans, loss/grad-norm histograms, held-out F1 instants — to
+/// the exported trace. With `metrics_addr`, the run's metrics snapshot is
+/// served live at `http://<addr>/metrics` (Prometheus text) until the
+/// process exits; with `metrics_out`, the final snapshot JSON is written to
+/// that path.
+pub fn dump_trace(
+    env: &Env,
+    path: &str,
+    metrics_addr: Option<&str>,
+    metrics_out: Option<&str>,
+) -> ServeReport {
+    // Enable NN capture up front so training (if this Env hasn't trained
+    // T18 yet) is observed; serve_poisson_inner sees the flag already on
+    // and leaves lifecycle management to us.
+    pythia_obs::wall::drain();
+    pythia_obs::train::drain();
+    pythia_obs::wall::set_enabled(true);
+    pythia_obs::train::set_enabled(true);
+
+    let shared = pythia_obs::serve::SharedSnapshot::new();
+    let metrics_server = metrics_addr.map(|addr| {
+        let srv = pythia_obs::serve::MetricsServer::start(addr, shared.clone())
+            .unwrap_or_else(|e| panic!("binding metrics endpoint {addr}: {e}"));
+        eprintln!("[pythia] metrics live at http://{}/metrics", srv.addr());
+        srv
+    });
+    let mut recorder = Recorder::enabled();
+    if metrics_server.is_some() {
+        recorder.set_publisher(shared);
+    }
+
     let tw = env.trained_default(Template::T18);
-    let (rep, rec) = serve_poisson_traced(
+    record_heldout_f1(env, Template::T18, tw.as_ref());
+
+    let (rep, rec) = serve_poisson_inner(
         env,
         Template::T18,
         Some(tw.as_ref()),
         QueuePolicy::Overlap,
         0.75,
         env.cfg.seed ^ 0x5E4B,
+        InferenceCharge::Fixed(SimDuration::from_micros(TRACED_INFER_CHARGE_US)),
+        recorder,
     );
+    pythia_obs::wall::set_enabled(false);
+    pythia_obs::train::set_enabled(false);
+    rec.publish();
+
     std::fs::write(path, rec.chrome_trace_json())
         .unwrap_or_else(|e| panic!("writing trace to {path}: {e}"));
     eprintln!(
@@ -204,6 +289,16 @@ pub fn dump_trace(env: &Env, path: &str) -> ServeReport {
         rec.events().len(),
         rep.queries.len()
     );
+    if let Some(out) = metrics_out {
+        std::fs::write(out, rec.snapshot().to_json())
+            .unwrap_or_else(|e| panic!("writing metrics snapshot to {out}: {e}"));
+        eprintln!("[pythia] wrote metrics snapshot to {out}");
+    }
+    // The endpoint (if any) stays up until the process exits; leaking the
+    // handle keeps the accept thread alive without blocking shutdown.
+    if let Some(srv) = metrics_server {
+        std::mem::forget(srv);
+    }
     rep
 }
 

@@ -33,6 +33,6 @@ pub mod pool;
 pub mod tape;
 pub mod tensor;
 
-pub use optim::{Adam, Sgd};
+pub use optim::{grad_l2_norm, Adam, Sgd};
 pub use tape::{bce_with_logits, ParamSet, Tape, Var};
 pub use tensor::Tensor;

@@ -70,6 +70,22 @@ impl Adam {
     }
 }
 
+/// Global L2 norm of the gradients that reached `vars` — the scalar the
+/// training-telemetry epoch records carry. Accumulates in `f64` so tiny
+/// per-element squares don't vanish. Not on any hot path: the classifier
+/// only calls it when telemetry capture is enabled.
+pub fn grad_l2_norm(grads: &Gradients, vars: &[Var]) -> f32 {
+    let mut sq = 0.0f64;
+    for &v in vars {
+        if let Some(g) = grads.try_get(v) {
+            for &x in g.as_slice() {
+                sq += (x as f64) * (x as f64);
+            }
+        }
+    }
+    sq.sqrt() as f32
+}
+
 /// Plain SGD (tests and ablations).
 pub struct Sgd {
     lr: f32,
@@ -149,6 +165,28 @@ mod tests {
         adam.step(&mut params, &vars, &grads);
         assert_eq!(params.get(unused).get(0, 0), 5.0);
         assert_ne!(params.get(used).get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn grad_l2_norm_matches_hand_computation() {
+        let mut params = ParamSet::new();
+        let w = params.add("w", Tensor::zeros(1, 2));
+        let unused = params.add("unused", Tensor::zeros(1, 3));
+        let mut tape = Tape::new();
+        let vars = params.inject(&mut tape);
+        // BCE-with-logits at logit 0 / target 1 has gradient sigmoid(0)-1 =
+        // -0.5 per element (mean-reduced over the 2 elements → -0.25 each).
+        let loss = bce_with_logits(&mut tape, vars[w.0], Tensor::full(1, 2, 1.0), 1.0);
+        let grads = tape.backward(loss);
+        let norm = grad_l2_norm(&grads, &vars);
+        let per_elem = 0.25f32;
+        let expected = (2.0 * per_elem * per_elem).sqrt();
+        assert!(
+            (norm - expected).abs() < 1e-5,
+            "norm {norm} vs expected {expected}"
+        );
+        // The unused parameter has no gradient and contributes nothing.
+        assert_eq!(grad_l2_norm(&grads, &[vars[unused.0]]), 0.0);
     }
 
     #[test]

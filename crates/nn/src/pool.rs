@@ -78,7 +78,14 @@ where
     let n = items.len();
     let threads = configured_threads().min(n);
     let capture = pythia_obs::wall::enabled();
+    let train_capture = pythia_obs::train::enabled();
     let timed = |worker: u32, i: usize, item: T| {
+        if train_capture {
+            // Tag the worker thread so training telemetry recorded inside
+            // `f` (per-epoch loss/grad-norm records from the classifier)
+            // knows which fleet item and worker it belongs to.
+            pythia_obs::train::set_context(worker, i as u64);
+        }
         if !capture {
             return f(i, item);
         }

@@ -38,6 +38,7 @@ pub struct HistSummary {
     pub max: u64,
     pub p50: u64,
     pub p90: u64,
+    pub p95: u64,
     pub p99: u64,
 }
 
@@ -86,15 +87,47 @@ impl Histogram {
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
+                // Bucket 64 holds values in [2^63, u64::MAX]; its upper bound
+                // must not be computed as `1 << 64` (shift overflow).
                 let upper = if i == 0 {
                     0
+                } else if i >= 64 {
+                    u64::MAX
                 } else {
-                    (1u64 << i).saturating_sub(1)
+                    (1u64 << i) - 1
                 };
                 return upper.min(self.max).max(self.min.min(self.max));
             }
         }
         self.max
+    }
+
+    /// Median estimate ([`Histogram::quantile`] at 0.50).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate ([`Histogram::quantile`] at 0.95).
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate ([`Histogram::quantile`] at 0.99).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Fold `other` into `self`, bucket by bucket. Equivalent to having
+    /// recorded both value streams into one histogram (sum saturates the
+    /// same way [`Histogram::record`] does).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, &o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
     }
 
     /// Summary statistics for export.
@@ -106,6 +139,7 @@ impl Histogram {
             max: self.max,
             p50: self.quantile(0.50),
             p90: self.quantile(0.90),
+            p95: self.quantile(0.95),
             p99: self.quantile(0.99),
         }
     }
@@ -176,5 +210,79 @@ mod tests {
         h.record(0);
         assert_eq!(h.quantile(0.5), 0);
         assert_eq!(h.summary().max, 0);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_and_accessors_are_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!((h.p50(), h.p95(), h.p99()), (0, 0, 0));
+        assert_eq!(h.quantile(1.0), 0);
+        let s = h.summary();
+        assert_eq!((s.min, s.max, s.p50, s.p95, s.p99), (0, 0, 0, 0, 0));
+    }
+
+    #[test]
+    fn single_bucket_quantiles_collapse_to_observed_range() {
+        // All values land in bucket [8, 16); every quantile is the bucket's
+        // upper bound clamped to the observed max.
+        let mut h = Histogram::new();
+        for v in [8u64, 9, 11, 15] {
+            h.record(v);
+        }
+        assert_eq!((h.p50(), h.p95(), h.p99()), (15, 15, 15));
+        let mut tight = Histogram::new();
+        tight.record(10);
+        tight.record(10);
+        // Observed max below the bucket bound clamps the estimate.
+        assert_eq!((tight.p50(), tight.p95(), tight.p99()), (10, 10, 10));
+    }
+
+    #[test]
+    fn max_value_saturates_without_overflow() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        // Bucket 64's upper bound cannot be computed as `1 << 64`; the
+        // quantile must come back as the observed max, and the sum saturates.
+        assert_eq!(h.quantile(0.5), u64::MAX);
+        let s = h.summary();
+        assert_eq!(s.sum, u64::MAX);
+        assert_eq!(
+            (s.min, s.max, s.p50, s.p99),
+            (u64::MAX, u64::MAX, u64::MAX, u64::MAX)
+        );
+    }
+
+    #[test]
+    fn merge_of_disjoint_histograms_matches_combined_recording() {
+        let mut low = Histogram::new();
+        let mut high = Histogram::new();
+        let mut combined = Histogram::new();
+        for v in [1u64, 2, 3, 3] {
+            low.record(v);
+            combined.record(v);
+        }
+        for v in [1000u64, 2000, 4000] {
+            high.record(v);
+            combined.record(v);
+        }
+        low.merge(&high);
+        assert_eq!(low.count(), combined.count());
+        assert_eq!(low.sum(), combined.sum());
+        assert_eq!(low.summary(), combined.summary());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_in_both_directions() {
+        let mut h = Histogram::new();
+        h.record(42);
+        let before = h.summary();
+        h.merge(&Histogram::new());
+        assert_eq!(h.summary(), before, "merging in an empty histogram");
+        let mut empty = Histogram::new();
+        empty.merge(&h);
+        assert_eq!(empty.summary(), before, "merging into an empty histogram");
     }
 }

@@ -34,11 +34,22 @@
 //!   or `chrome://tracing`.
 //! * [`Recorder::snapshot`] → [`snapshot::MetricsSnapshot`] — counters and
 //!   histogram summaries as deterministic JSON, merged into
-//!   `perf_snapshot`'s `BENCH_nn.json`.
+//!   `perf_snapshot`'s `BENCH_nn.json`, and as Prometheus text exposition
+//!   ([`snapshot::MetricsSnapshot::to_prometheus`]) behind the live
+//!   [`serve::MetricsServer`] endpoint.
+//!
+//! Two more capture channels feed a recorder after the fact: [`wall`]
+//! (worker-pool task spans) and [`train`] (per-epoch training telemetry +
+//! held-out F1), both drained via `absorb_*` methods. [`diff`] reduces an
+//! exported trace back into a structural summary so CI can gate on
+//! virtual-trace drift.
 
 pub mod chrome;
+pub mod diff;
 pub mod hist;
+pub mod serve;
 pub mod snapshot;
+pub mod train;
 pub mod wall;
 
 use std::collections::BTreeSet;
@@ -121,18 +132,21 @@ struct Inner {
 #[derive(Debug, Default)]
 pub struct Recorder {
     inner: Option<Box<Inner>>,
+    /// Live publication target for [`Recorder::publish`], if attached.
+    publisher: Option<serve::SharedSnapshot>,
 }
 
 impl Recorder {
     /// A recorder that drops everything (the default).
     pub fn disabled() -> Recorder {
-        Recorder { inner: None }
+        Recorder::default()
     }
 
     /// A recorder that keeps events, counters and histograms.
     pub fn enabled() -> Recorder {
         Recorder {
             inner: Some(Box::default()),
+            publisher: None,
         }
     }
 
@@ -266,6 +280,97 @@ impl Recorder {
         }
     }
 
+    /// Fold training-telemetry records (from [`train::drain`]) into the
+    /// trace: per-epoch spans on the training worker's wall track, held-out
+    /// F1 instants on a dedicated evaluation track, plus epoch counters
+    /// (`nn.train.epochs` / `nn.refine.epochs`, models trained/refined) and
+    /// loss / gradient-norm / F1 histograms. Records are sorted by
+    /// `(start, worker, model, epoch)` for a stable layout; like wall tasks
+    /// they never appear in [`Self::virtual_trace_json`].
+    pub fn absorb_train_telemetry(&mut self, mut recs: Vec<train::TrainRec>) {
+        if self.inner.is_none() {
+            return;
+        }
+        fn key(r: &train::TrainRec) -> (u64, u32, u64, u32) {
+            match r {
+                train::TrainRec::Epoch(e) => (e.start_us, e.worker, e.model, e.epoch),
+                train::TrainRec::HeldoutF1(f) => (f.at_us, u32::MAX, f.query, 0),
+            }
+        }
+        recs.sort_by_key(key);
+        let mut trained = BTreeSet::new();
+        let mut refined = BTreeSet::new();
+        for r in recs {
+            match r {
+                train::TrainRec::Epoch(e) => {
+                    let track = Track::wall(e.worker);
+                    self.declare_track(track, || format!("nn-worker-{}", e.worker));
+                    self.span(
+                        track,
+                        "nn",
+                        if e.refine {
+                            "nn.refine.epoch"
+                        } else {
+                            "nn.epoch"
+                        },
+                        e.start_us,
+                        e.start_us + e.dur_us,
+                        &[
+                            ("model", e.model),
+                            ("epoch", e.epoch as u64),
+                            ("steps", e.steps as u64),
+                            ("loss_e6", e.loss_e6),
+                            ("grad_norm_e6", e.grad_norm_e6),
+                        ],
+                    );
+                    let (counter, models) = if e.refine {
+                        ("nn.refine.epochs", &mut refined)
+                    } else {
+                        ("nn.train.epochs", &mut trained)
+                    };
+                    self.add(counter, 1);
+                    models.insert(e.model);
+                    self.observe("nn.epoch_loss_e6", e.loss_e6);
+                    self.observe("nn.grad_norm_e6", e.grad_norm_e6);
+                }
+                train::TrainRec::HeldoutF1(f) => {
+                    let track = Track::wall(train::EVAL_TID);
+                    self.declare_track(track, || "nn-heldout-eval".to_owned());
+                    self.instant(
+                        track,
+                        "nn",
+                        "nn.heldout_f1",
+                        f.at_us,
+                        &[("query", f.query), ("f1_e6", f.f1_e6)],
+                    );
+                    self.add("nn.heldout.evals", 1);
+                    self.observe("nn.heldout_f1_e6", f.f1_e6);
+                }
+            }
+        }
+        if !trained.is_empty() {
+            self.add("nn.models_trained", trained.len() as u64);
+        }
+        if !refined.is_empty() {
+            self.add("nn.models_refined", refined.len() as u64);
+        }
+    }
+
+    /// Attach a live publication target: [`Recorder::publish`] will copy
+    /// snapshots into `shared`, which a [`serve::MetricsServer`] exposes.
+    pub fn set_publisher(&mut self, shared: serve::SharedSnapshot) {
+        self.publisher = Some(shared);
+    }
+
+    /// Copy the current snapshot to the attached publisher, if any. One
+    /// branch when nothing is attached; intended for warm points (per
+    /// admission wave), not per-event hot paths.
+    pub fn publish(&self) {
+        if let Some(p) = &self.publisher {
+            p.publish(self.snapshot());
+        }
+    }
+
     /// The full trace (virtual + wall events) as Chrome trace-event JSON.
     pub fn chrome_trace_json(&self) -> String {
         self.trace_json(None)
@@ -390,6 +495,66 @@ mod tests {
         assert!(r.is_enabled());
         assert_eq!(r.counter("n"), 0);
         assert!(r.events().is_empty());
+    }
+
+    #[test]
+    fn absorb_train_telemetry_builds_spans_counters_and_hists() {
+        let mut r = Recorder::enabled();
+        let epoch = |model: u64, epoch: u32, refine: bool, loss_e6: u64| {
+            train::TrainRec::Epoch(train::EpochRec {
+                refine,
+                worker: 1,
+                model,
+                epoch,
+                steps: 4,
+                loss_e6,
+                grad_norm_e6: 10 * loss_e6,
+                start_us: 100 * (epoch as u64 + 1),
+                dur_us: 50,
+            })
+        };
+        r.absorb_train_telemetry(vec![
+            epoch(7, 1, false, 400_000),
+            epoch(7, 0, false, 800_000), // out of order: absorb sorts by start
+            epoch(3, 0, true, 200_000),
+            train::TrainRec::HeldoutF1(train::F1Rec {
+                query: 5,
+                f1_e6: 875_000,
+                at_us: 999,
+            }),
+        ]);
+        assert_eq!(r.event_count("nn.epoch"), 2);
+        assert_eq!(r.event_count("nn.refine.epoch"), 1);
+        assert_eq!(r.event_count("nn.heldout_f1"), 1);
+        assert_eq!(r.counter("nn.train.epochs"), 2);
+        assert_eq!(r.counter("nn.refine.epochs"), 1);
+        assert_eq!(r.counter("nn.models_trained"), 1);
+        assert_eq!(r.counter("nn.models_refined"), 1);
+        assert_eq!(r.counter("nn.heldout.evals"), 1);
+        let spans: Vec<&Event> = r.events().iter().filter(|e| e.name == "nn.epoch").collect();
+        assert!(spans[0].ts_us <= spans[1].ts_us, "sorted by start");
+        assert!(spans[0].args.contains(&("loss_e6", 800_000)));
+        let snap = r.snapshot();
+        assert_eq!(snap.hist("nn.epoch_loss_e6").unwrap().count, 3);
+        assert_eq!(snap.hist("nn.heldout_f1_e6").unwrap().max, 875_000);
+        // Training telemetry is wall-clock: the virtual trace stays clean.
+        assert!(!r.virtual_trace_json().contains("nn.epoch"));
+        assert!(r.chrome_trace_json().contains("nn.epoch"));
+        assert!(r.chrome_trace_json().contains("nn-heldout-eval"));
+    }
+
+    #[test]
+    fn publish_copies_snapshot_to_shared_cell() {
+        let shared = serve::SharedSnapshot::new();
+        let mut r = Recorder::enabled();
+        r.set_publisher(shared.clone());
+        r.add("reads.hit", 4);
+        assert_eq!(shared.get().counter("reads.hit"), 0, "not yet published");
+        r.publish();
+        assert_eq!(shared.get().counter("reads.hit"), 4);
+        // A recorder with no publisher attached is a no-op.
+        Recorder::enabled().publish();
+        Recorder::disabled().publish();
     }
 
     #[test]

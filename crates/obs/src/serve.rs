@@ -1,0 +1,215 @@
+//! A zero-dependency live metrics endpoint.
+//!
+//! [`MetricsServer`] binds a std [`TcpListener`] on a background thread and
+//! answers `GET /metrics` with the latest published
+//! [`MetricsSnapshot`] rendered as Prometheus text exposition
+//! ([`MetricsSnapshot::to_prometheus`]). The serving loop publishes through a
+//! [`SharedSnapshot`] — a mutex-guarded cell the recorder's owner overwrites
+//! at convenient points (per admission wave), so scrapes never contend with
+//! the hot recording path.
+//!
+//! There is no HTTP library here on purpose: the whole protocol surface is
+//! "read one request head, write one `200 text/plain` (or `404`) response,
+//! close" — the same stance that keeps the rest of `pythia-obs`
+//! dependency-free.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::snapshot::MetricsSnapshot;
+
+/// The cell a serving loop publishes snapshots into and the endpoint reads
+/// from. Cheap to clone (an `Arc`); cloning shares the cell.
+#[derive(Debug, Clone, Default)]
+pub struct SharedSnapshot {
+    cell: Arc<Mutex<MetricsSnapshot>>,
+}
+
+impl SharedSnapshot {
+    /// A fresh cell holding an empty snapshot.
+    pub fn new() -> SharedSnapshot {
+        SharedSnapshot::default()
+    }
+
+    /// Replace the published snapshot.
+    pub fn publish(&self, snap: MetricsSnapshot) {
+        *self.cell.lock().expect("snapshot cell poisoned") = snap;
+    }
+
+    /// The most recently published snapshot (cloned out of the cell).
+    pub fn get(&self) -> MetricsSnapshot {
+        self.cell.lock().expect("snapshot cell poisoned").clone()
+    }
+}
+
+/// A background thread serving `GET /metrics` from a [`SharedSnapshot`].
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:9184`, or port `0` for an ephemeral
+    /// port) and start answering scrapes. The bound address is available via
+    /// [`MetricsServer::addr`].
+    pub fn start(addr: &str, shared: SharedSnapshot) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("pythia-metrics".to_owned())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop_flag.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if let Ok(mut stream) = conn {
+                        let _ = answer(&mut stream, &shared);
+                    }
+                }
+            })?;
+        Ok(MetricsServer {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The address the listener actually bound (resolves port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the listener thread and wait for it to exit.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // The accept loop only observes the flag on its next connection;
+        // poke it so shutdown doesn't wait for an external scrape.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        // Best effort: detach rather than block in drop. Explicit shutdown
+        // (which joins) is preferred; tests use it.
+        self.stop.store(true, Ordering::Relaxed);
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// Read one request head and write the response. Any I/O error just drops
+/// the connection — a scraper retries, and the endpoint is diagnostic.
+fn answer(stream: &mut TcpStream, shared: &SharedSnapshot) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(500)))?;
+    let path = read_request_path(stream)?;
+    let (status, body) = match path.as_deref() {
+        Some("/metrics") => ("200 OK", shared.get().to_prometheus()),
+        Some("/metrics.json") => ("200 OK", shared.get().to_json()),
+        _ => ("404 Not Found", String::from("try /metrics\n")),
+    };
+    let content_type = if path.as_deref() == Some("/metrics.json") {
+        "application/json"
+    } else {
+        // The 0.0.4 text exposition content type Prometheus expects.
+        "text/plain; version=0.0.4; charset=utf-8"
+    };
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Parse the request line's path from the head of an HTTP/1.x request.
+/// Returns `None` for anything that isn't a simple `GET <path> ...` line.
+fn read_request_path(stream: &mut TcpStream) -> std::io::Result<Option<String>> {
+    let mut buf = [0u8; 1024];
+    let mut head = Vec::new();
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&buf[..n]);
+        if head.windows(2).any(|w| w == b"\r\n") || head.len() >= 8 * 1024 {
+            break;
+        }
+    }
+    let line_end = head
+        .windows(2)
+        .position(|w| w == b"\r\n")
+        .unwrap_or(head.len());
+    let line = String::from_utf8_lossy(&head[..line_end]);
+    let mut parts = line.split_whitespace();
+    match (parts.next(), parts.next()) {
+        (Some("GET"), Some(path)) => Ok(Some(path.to_owned())),
+        _ => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    fn scrape(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect to metrics endpoint");
+        let req = format!("GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n");
+        stream.write_all(req.as_bytes()).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_published_snapshot_as_prometheus_text() {
+        let shared = SharedSnapshot::new();
+        let server = MetricsServer::start("127.0.0.1:0", shared.clone()).expect("bind");
+
+        let mut h = Histogram::new();
+        h.record(100);
+        h.record(200);
+        shared.publish(MetricsSnapshot {
+            counters: vec![("reads.hit".into(), 41)],
+            hists: vec![("server.admission_wait_us".into(), h.summary())],
+        });
+
+        let resp = scrape(server.addr(), "/metrics");
+        assert!(resp.starts_with("HTTP/1.1 200 OK\r\n"), "{resp}");
+        assert!(resp.contains("text/plain; version=0.0.4"));
+        assert!(resp.contains("pythia_reads_hit 41\n"));
+        assert!(resp.contains("pythia_server_admission_wait_us_count 2\n"));
+        assert!(resp.contains("pythia_server_admission_wait_us{quantile=\"0.95\"}"));
+
+        // Publishing again replaces what the next scrape sees.
+        shared.publish(MetricsSnapshot {
+            counters: vec![("reads.hit".into(), 42)],
+            hists: vec![],
+        });
+        let resp = scrape(server.addr(), "/metrics");
+        assert!(resp.contains("pythia_reads_hit 42\n"));
+
+        let json = scrape(server.addr(), "/metrics.json");
+        assert!(json.contains("application/json"));
+        assert!(json.contains("{\"counters\":{\"reads.hit\":42}"));
+
+        let missing = scrape(server.addr(), "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+        server.shutdown();
+    }
+}

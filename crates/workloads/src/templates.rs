@@ -62,6 +62,19 @@ impl Template {
         }
     }
 
+    /// Trace span name for replays of this template's queries. Event names
+    /// must be `&'static str`, so each template carries its own literal —
+    /// Perfetto then groups repeated instances of a template together
+    /// instead of scattering them across anonymous query indexes.
+    pub fn replay_span(&self) -> &'static str {
+        match self {
+            Template::T18 => "query.replay.T18",
+            Template::T19 => "query.replay.T19",
+            Template::T91 => "query.replay.T91",
+            Template::Imdb1a => "query.replay.imdb1a",
+        }
+    }
+
     /// Objects Pythia should build models for / prefetch on this template.
     /// `None` means every non-sequentially accessed object; the paper limits
     /// IMDB 1a to `cast_info` ("we only prefetch the table cast_info").

@@ -78,6 +78,7 @@ fn main() {
                 prefetch: Some(engagements[i].prefetch.clone()),
                 arrival: SimDuration::ZERO,
                 inference_latency: engagements[i].inference,
+                span_name: pythia::db::runtime::DEFAULT_REPLAY_SPAN,
             })
             .collect();
         let pyth = rt.run(&runs);

@@ -86,11 +86,7 @@ proptest! {
         let requests: Vec<ServerRequest<'_>> = traces
             .iter()
             .zip(&arrivals)
-            .map(|(trace, &us)| ServerRequest {
-                plan: &plan,
-                trace,
-                arrival: SimDuration::from_micros(us),
-            })
+            .map(|(trace, &us)| ServerRequest::new(&plan, trace, SimDuration::from_micros(us)))
             .collect();
         let cfg = ServerConfig {
             concurrency: 1,
@@ -146,11 +142,7 @@ proptest! {
         let requests: Vec<ServerRequest<'_>> = traces
             .iter()
             .zip(&arrivals)
-            .map(|(trace, &us)| ServerRequest {
-                plan: &plan,
-                trace,
-                arrival: SimDuration::from_micros(us),
-            })
+            .map(|(trace, &us)| ServerRequest::new(&plan, trace, SimDuration::from_micros(us)))
             .collect();
         let cfg = ServerConfig {
             concurrency,

@@ -4,8 +4,9 @@
 //! * trace counters and instant events reconcile **exactly** with the
 //!   `BufferStats` the runtime reports (hits / OS copies / disk reads /
 //!   prefetch issued),
-//! * per-query `query.replay` span ends reconcile exactly with the
-//!   runtime's and server's reported end times,
+//! * per-query `query.replay*` span ends reconcile exactly with the
+//!   runtime's and server's reported end times (the server test names its
+//!   spans per template, e.g. `query.replay.T18`),
 //! * two same-seed runs produce **byte-identical** virtual-time traces,
 //! * the emitted Chrome trace JSON is schema-valid (the exact shape
 //!   Perfetto's legacy JSON importer accepts), and
@@ -21,6 +22,7 @@ use pythia::db::trace::{AccessKind, Trace, TraceEvent};
 use pythia::db::types::Schema;
 use pythia::obs::Recorder;
 use pythia::sim::{FileId, PageId, SimDuration};
+use pythia::workloads::templates::Template;
 
 fn fixture_db() -> Database {
     let mut db = Database::new();
@@ -133,6 +135,8 @@ fn traced_server_reconciles_and_virtual_trace_is_deterministic() {
                 },
                 trace,
                 arrival: SimDuration::from_micros(150 * i as u64),
+                // Alternate templates so the trace groups repeated shapes.
+                span_name: [Template::T18, Template::T91][i % 2].replay_span(),
             })
             .collect();
         let mut server = PrefetchServer::new(&db, &run_cfg, cfg);
@@ -150,11 +154,25 @@ fn traced_server_reconciles_and_virtual_trace_is_deterministic() {
     assert_eq!(rec.counter("server.waves"), report.waves.len() as u64);
     assert_eq!(rec.counter("server.arrivals"), report.queries.len() as u64);
 
-    // Per-query replay span ends == ServeReport end times.
-    let mut span_ends: Vec<u64> = rec
+    // Per-query replay span ends == ServeReport end times. Spans carry
+    // template-derived names, so match on the shared prefix.
+    let replay_spans: Vec<_> = rec
         .events()
         .iter()
-        .filter(|e| e.name == "query.replay")
+        .filter(|e| e.name.starts_with("query.replay."))
+        .collect();
+    for t in [Template::T18, Template::T91] {
+        assert_eq!(
+            replay_spans
+                .iter()
+                .filter(|e| e.name == t.replay_span())
+                .count(),
+            3,
+            "three queries per template in the fixture"
+        );
+    }
+    let mut span_ends: Vec<u64> = replay_spans
+        .iter()
         .map(|e| e.ts_us + e.dur_us.unwrap())
         .collect();
     span_ends.sort_unstable();
@@ -224,7 +242,7 @@ fn metrics_snapshot_json_parses_with_documented_shape() {
     let hists = v["histograms_us"].as_object().expect("histograms object");
     assert!(hists.contains_key("read.service_us"));
     for (name, h) in hists {
-        for field in ["count", "sum", "min", "max", "p50", "p90", "p99"] {
+        for field in ["count", "sum", "min", "max", "p50", "p90", "p95", "p99"] {
             assert!(h[field].is_u64(), "histogram {name} missing {field}");
         }
     }
