@@ -27,6 +27,13 @@ fi
 echo "==> cargo test -q"
 cargo test -q
 
+# Run the suite again with SIMD dispatch forced off so the scalar fallback
+# arm of every GEMM kernel is exercised end to end (the proptests also pin
+# dispatched == scalar bit-identity, but this covers whole-stack behaviour
+# under the fallback).
+echo "==> PYTHIA_SIMD=off cargo test -q"
+PYTHIA_SIMD=off cargo test -q
+
 if [[ "$fast" -eq 0 ]]; then
   echo "==> traced mini serving runs (trace-diff regression gate)"
   mkdir -p results

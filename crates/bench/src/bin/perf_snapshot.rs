@@ -22,7 +22,10 @@ use pythia_core::server::{
     InferenceCharge, PrefetchServer, QueuePolicy, ServerConfig, ServerRequest,
 };
 use pythia_db::runtime::RunConfig;
+use pythia_nn::init::Initializer;
+use pythia_nn::kernels::{detected_isa_label, set_simd_override, SimdOverride};
 use pythia_nn::pool::{configured_threads, set_thread_override};
+use pythia_nn::Tensor;
 use pythia_sim::SimDuration;
 
 const N_DIMS: usize = 4;
@@ -32,9 +35,77 @@ const INFER_REPS: usize = 4;
 /// one noisy rep doesn't fake an observability regression).
 const OBS_REPS: usize = 3;
 
+/// GEMM kernel section: scalar vs dispatched GFLOP/s on one thread at two
+/// representative shapes, with a bit-identity cross-check between the arms.
+struct KernelReport {
+    isa: &'static str,
+    scalar_256_gflops: f64,
+    dispatched_256_gflops: f64,
+    scalar_decoder_gflops: f64,
+    dispatched_decoder_gflops: f64,
+}
+
+fn kernel_snapshot() -> KernelReport {
+    /// Best-of-`reps` GFLOP/s for `a.matmul(&b)` under the current override.
+    fn gflops(a: &Tensor, b: &Tensor, reps: usize) -> f64 {
+        let mut best = f64::INFINITY;
+        let _ = a.matmul(b); // warmup
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let out = a.matmul(b);
+            best = best.min(t0.elapsed().as_secs_f64());
+            std::hint::black_box(out);
+        }
+        let (m, k) = a.shape();
+        2.0 * m as f64 * k as f64 * b.cols() as f64 / best / 1e9
+    }
+
+    // Pin to one thread so the numbers are kernel throughput, not banding.
+    set_thread_override(1);
+    let a256 = Initializer::new(21).uniform(256, 256, 1.0);
+    let b256 = Initializer::new(22).uniform(256, 256, 1.0);
+    let adec = Initializer::new(23).uniform(32, 800, 1.0);
+    let bdec = Initializer::new(24).uniform(800, 2000, 1.0);
+
+    set_simd_override(SimdOverride::ForceScalar);
+    let scalar_out = a256.matmul(&b256);
+    let scalar_256 = gflops(&a256, &b256, 20);
+    let scalar_dec = gflops(&adec, &bdec, 10);
+    set_simd_override(SimdOverride::ForceDetect);
+    assert_eq!(
+        a256.matmul(&b256),
+        scalar_out,
+        "dispatched kernel diverged from forced-scalar"
+    );
+    let disp_256 = gflops(&a256, &b256, 20);
+    let disp_dec = gflops(&adec, &bdec, 10);
+    set_simd_override(SimdOverride::Env);
+    set_thread_override(0);
+
+    KernelReport {
+        isa: detected_isa_label(),
+        scalar_256_gflops: scalar_256,
+        dispatched_256_gflops: disp_256,
+        scalar_decoder_gflops: scalar_dec,
+        dispatched_decoder_gflops: disp_dec,
+    }
+}
+
 fn main() {
     let suite_t0 = Instant::now();
     let threads = configured_threads();
+
+    // --- GEMM kernels: scalar vs dispatched ------------------------------
+    let kernels = kernel_snapshot();
+    eprintln!(
+        "[perf_snapshot] kernels ({}): 256^3 scalar {:.2} vs dispatched {:.2} GFLOP/s, \
+         decoder 32x800x2000 scalar {:.2} vs dispatched {:.2} GFLOP/s",
+        kernels.isa,
+        kernels.scalar_256_gflops,
+        kernels.dispatched_256_gflops,
+        kernels.scalar_decoder_gflops,
+        kernels.dispatched_decoder_gflops,
+    );
     eprintln!("[perf_snapshot] building {N_DIMS}-dim star workload ({N_QUERIES} queries)...");
     let (db, plans, traces) = star_workload(N_DIMS, N_QUERIES);
     let cfg = PythiaConfig {
@@ -199,6 +270,15 @@ fn main() {
         "infer_batched_speedup_vs_serial": round3(infer_serial_ms / infer_batched_ms),
         "infer_batch_size": N_QUERIES,
         "bit_identical": bit_identical,
+        "kernel_isa": kernels.isa,
+        "kernel_scalar_256_gflops": round3(kernels.scalar_256_gflops),
+        "kernel_dispatched_256_gflops": round3(kernels.dispatched_256_gflops),
+        "kernel_scalar_decoder_gflops": round3(kernels.scalar_decoder_gflops),
+        "kernel_dispatched_decoder_gflops": round3(kernels.dispatched_decoder_gflops),
+        "kernel_speedup_256": round3(kernels.dispatched_256_gflops / kernels.scalar_256_gflops),
+        "kernel_speedup_decoder": round3(
+            kernels.dispatched_decoder_gflops / kernels.scalar_decoder_gflops
+        ),
         "server_queries": report.queries.len(),
         "server_waves": report.waves.len(),
         "server_throughput_qps": round3(server_qps),

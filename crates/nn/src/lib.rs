@@ -7,6 +7,10 @@
 //! Model"). This crate provides exactly those pieces:
 //!
 //! * [`Tensor`] — dense row-major `f32` matrices with a threaded matmul.
+//! * [`kernels`] — cache-blocked, register-tiled GEMM microkernels with
+//!   runtime ISA dispatch (AVX2 / NEON / portable scalar, `PYTHIA_SIMD`
+//!   override); every path accumulates in the same fixed order so outputs
+//!   are bit-identical across ISA and thread count.
 //! * [`Tape`] / [`Var`] — eager tape-based reverse-mode autograd.
 //! * [`layers`] — `Linear`, `Embedding`, `LayerNorm`, multi-head
 //!   self-attention, transformer encoder layers, positional encodings.
@@ -27,6 +31,7 @@
 //! fleet in `pythia-core`.
 
 pub mod init;
+pub mod kernels;
 pub mod layers;
 pub mod optim;
 pub mod pool;

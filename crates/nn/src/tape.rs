@@ -259,28 +259,20 @@ impl Tape {
     }
 
     /// Fused `x·w + bias` where `bias` is `[1,n]`, broadcast over rows: the
-    /// whole affine layer as one tape node. Forward adds the bias into the
-    /// matmul output in place (no intermediate node); backward uses the
-    /// transpose-free kernels [`Tensor::matmul_a_bt`] / [`Tensor::matmul_at_b`].
+    /// whole affine layer as one tape node. Forward runs the dispatched
+    /// [`Tensor::matmul_bias`] kernel (bias added after the matmul is fully
+    /// accumulated, so rounding order matches `matmul` + `add_row`); backward
+    /// uses the transpose-free kernels [`Tensor::matmul_a_bt`] /
+    /// [`Tensor::matmul_at_b`].
     pub fn linear(&mut self, x: Var, w: Var, bias: Var) -> Var {
-        let n = self.nodes[w.0].value.cols();
         assert_eq!(
             self.nodes[x.0].value.cols(),
             self.nodes[w.0].value.rows(),
             "linear inner-dim mismatch"
         );
-        assert_eq!(
-            self.nodes[bias.0].value.shape(),
-            (1, n),
-            "linear bias shape mismatch"
-        );
-        let mut v = self.nodes[x.0].value.matmul(&self.nodes[w.0].value);
-        let b = &self.nodes[bias.0].value;
-        for r in 0..v.rows() {
-            for (o, &bv) in v.row_mut(r).iter_mut().zip(b.row(0)) {
-                *o += bv;
-            }
-        }
+        let v = self.nodes[x.0]
+            .value
+            .matmul_bias(&self.nodes[w.0].value, &self.nodes[bias.0].value);
         self.push(v, Op::Linear(x, w, bias))
     }
 

@@ -2,10 +2,14 @@
 //!
 //! Everything the Pythia model needs is rank-2 (sequences are `[len, dim]`,
 //! batches are `[batch, dim]`), so this is deliberately a matrix type rather
-//! than a general tensor. The hot operation is [`Tensor::matmul`]: a blocked
-//! i-k-j kernel, parallelized over row bands with scoped threads once the
-//! work is large enough to amortize spawning.
+//! than a general tensor. The hot operations are [`Tensor::matmul`] and the
+//! transpose-free variants: each splits its output into row bands,
+//! parallelized with scoped threads once the work is large enough to
+//! amortize spawning, and every band is computed by the cache-blocked,
+//! runtime-dispatched SIMD microkernels in [`crate::kernels`] — bit-identical
+//! to the scalar reference at any ISA, thread count, or band split.
 
+use crate::kernels::{a_bt_band, at_b_band, matmul_band};
 use std::fmt;
 
 /// A dense row-major matrix of `f32`.
@@ -308,6 +312,25 @@ impl Tensor {
         out
     }
 
+    /// Fused `self × w + bias` (`bias: [1,n]`, broadcast over rows) — the
+    /// Linear layer forward as one call. The matmul runs through the
+    /// dispatched kernels; the bias lands *after* the full accumulation, so
+    /// the result is bit-identical to `matmul` followed by a row add.
+    ///
+    /// # Panics
+    /// Panics if inner dimensions disagree or `bias` is not `[1, w.cols]`.
+    pub fn matmul_bias(&self, w: &Tensor, bias: &Tensor) -> Tensor {
+        assert_eq!(bias.shape(), (1, w.cols), "matmul_bias bias shape mismatch");
+        let mut out = self.matmul(w);
+        let b = bias.row(0);
+        for r in 0..out.rows {
+            for (o, &bv) in out.row_mut(r).iter_mut().zip(b) {
+                *o += bv;
+            }
+        }
+        out
+    }
+
     /// Sum of all elements.
     pub fn sum(&self) -> f32 {
         self.data.iter().sum()
@@ -342,92 +365,6 @@ impl Tensor {
             .zip(&other.data)
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f32::max)
-    }
-}
-
-/// Compute rows `[start, start+rows_here)` of `A×B` into `out_band`.
-/// `out_band` is the destination slice for exactly those rows.
-fn matmul_band(
-    a: &[f32],
-    b: &[f32],
-    out_band: &mut [f32],
-    k: usize,
-    n: usize,
-    start: usize,
-    rows_here: usize,
-) {
-    for i in 0..rows_here {
-        let a_row = &a[(start + i) * k..(start + i + 1) * k];
-        let out_row = &mut out_band[i * n..(i + 1) * n];
-        for (kk, &a_ik) in a_row.iter().enumerate() {
-            if a_ik == 0.0 {
-                continue;
-            }
-            let b_row = &b[kk * n..(kk + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                *o += a_ik * bv;
-            }
-        }
-    }
-}
-
-/// Compute out rows `[start, start+rows_here)` of `AᵀB` into `out_band`.
-/// `A: [m,k]` row-major, `B: [m,n]`; out row `r` is `sum_i A[i,r] * B[i,:]`,
-/// accumulated in ascending `i` — the same addition order as
-/// `A.transpose().matmul(B)`.
-fn at_b_band(
-    a: &[f32],
-    b: &[f32],
-    out_band: &mut [f32],
-    m: usize,
-    k: usize,
-    n: usize,
-    start: usize,
-    rows_here: usize,
-) {
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let b_row = &b[i * n..(i + 1) * n];
-        for r in 0..rows_here {
-            let v = a_row[start + r];
-            if v == 0.0 {
-                continue;
-            }
-            let out_row = &mut out_band[r * n..(r + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                *o += v * bv;
-            }
-        }
-    }
-}
-
-/// Compute out rows `[start, start+rows_here)` of `ABᵀ` into `out_band`.
-/// `A: [m,k]`, `B: [n,k]`; `out[i,j] = dot(A.row(i), B.row(j))`, accumulated
-/// in ascending column order — the same addition order as
-/// `A.matmul(&B.transpose())`.
-fn a_bt_band(
-    a: &[f32],
-    b: &[f32],
-    out_band: &mut [f32],
-    k: usize,
-    n: usize,
-    start: usize,
-    rows_here: usize,
-) {
-    for i in 0..rows_here {
-        let a_row = &a[(start + i) * k..(start + i + 1) * k];
-        let out_row = &mut out_band[i * n..(i + 1) * n];
-        for (j, o) in out_row.iter_mut().enumerate() {
-            let b_row = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (&av, &bv) in a_row.iter().zip(b_row) {
-                if av == 0.0 {
-                    continue;
-                }
-                acc += av * bv;
-            }
-            *o += acc;
-        }
     }
 }
 
@@ -558,6 +495,54 @@ mod tests {
         assert_eq!(a.sum(), 10.0);
         assert_eq!(a.col_sums().as_slice(), &[4., 6.]);
         assert!((a.norm() - 30.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn matmul_bias_matches_matmul_plus_row_add() {
+        let x = Tensor::from_fn(5, 3, |r, c| ((r * 7 + c * 3) % 11) as f32 - 4.0);
+        let w = Tensor::from_fn(3, 4, |r, c| ((r * 5 + c) % 9) as f32 - 3.0);
+        let b = Tensor::from_vec(1, 4, vec![0.5, -1.5, 2.0, 0.0]);
+        let fused = x.matmul_bias(&w, &b);
+        let mut reference = x.matmul(&w);
+        for r in 0..reference.rows() {
+            for c in 0..reference.cols() {
+                let v = reference.get(r, c) + b.get(0, c);
+                reference.set(r, c, v);
+            }
+        }
+        assert_eq!(fused, reference);
+    }
+
+    #[test]
+    #[should_panic]
+    fn matmul_bias_shape_mismatch_panics() {
+        Tensor::zeros(2, 3).matmul_bias(&Tensor::zeros(3, 4), &Tensor::zeros(1, 3));
+    }
+
+    /// Regression: the band kernels used to skip zero multipliers, which
+    /// dropped `0.0 * inf = NaN` / `0.0 * NaN` propagation. All three
+    /// variants must now propagate non-finite operands like the naive
+    /// triple loop.
+    #[test]
+    fn zero_times_nonfinite_propagates_nan() {
+        // matmul: [0, 1] × [inf; 2] → 0·inf + 1·2 = NaN.
+        let a = Tensor::from_vec(1, 2, vec![0.0, 1.0]);
+        let b = Tensor::from_vec(2, 1, vec![f32::INFINITY, 2.0]);
+        assert!(a.matmul(&b).get(0, 0).is_nan(), "matmul dropped 0*inf");
+
+        // at_b: A = [0; 1] (a [2,1] column), B rows [NaN], [2].
+        let a = Tensor::from_vec(2, 1, vec![0.0, 1.0]);
+        let b = Tensor::from_vec(2, 1, vec![f32::NAN, 2.0]);
+        assert!(a.matmul_at_b(&b).get(0, 0).is_nan(), "at_b dropped 0*NaN");
+        assert!(
+            a.transpose().matmul(&b).get(0, 0).is_nan(),
+            "transpose reference disagrees"
+        );
+
+        // a_bt: [0, 1] × [inf, 2]ᵀ → NaN.
+        let a = Tensor::from_vec(1, 2, vec![0.0, 1.0]);
+        let b = Tensor::from_vec(1, 2, vec![f32::INFINITY, 2.0]);
+        assert!(a.matmul_a_bt(&b).get(0, 0).is_nan(), "a_bt dropped 0*inf");
     }
 
     #[test]
