@@ -19,9 +19,10 @@ use pythia_bench::star_workload;
 use pythia_core::config::PythiaConfig;
 use pythia_core::predictor::{train_workload, TrainedWorkload};
 use pythia_core::server::{
-    InferenceCharge, PrefetchServer, QueuePolicy, ServerConfig, ServerRequest,
+    AdmissionMode, InferenceCharge, PrefetchServer, QueuePolicy, ServerConfig, ServerRequest,
 };
 use pythia_db::runtime::RunConfig;
+use pythia_db::trace::Trace;
 use pythia_nn::init::Initializer;
 use pythia_nn::kernels::{detected_isa_label, set_simd_override, SimdOverride};
 use pythia_nn::pool::{configured_threads, set_thread_override};
@@ -184,6 +185,9 @@ fn main() {
     // (inference + replay bookkeeping).
     let server_cfg = ServerConfig {
         concurrency: 4,
+        // Wave mode keeps this section's numbers comparable with earlier
+        // snapshots; the admission-mode comparison has its own section.
+        admission: AdmissionMode::Wave,
         policy: QueuePolicy::Fifo,
         charge: InferenceCharge::Measured,
         prefetch_budget: None,
@@ -209,6 +213,57 @@ fn main() {
         report.waves.len(),
         server_qps,
         report.mean_admission_wait()
+    );
+
+    // --- admission modes: wave barrier vs admit-on-completion -------------
+    // A deliberately skewed request mix — one "whale" (the longest trace,
+    // repeated to dominate) plus short companions, all arriving at once
+    // under a tight concurrency limit. The wave barrier strands a slot
+    // behind the whale; continuous admission backfills it, so its virtual
+    // throughput should come out at least as high. Fixed inference charge
+    // and no predictor keep both runs fully deterministic.
+    let mut by_len: Vec<usize> = (0..traces.len()).collect();
+    by_len.sort_by_key(|&q| std::cmp::Reverse(traces[q].events.len()));
+    let whale = Trace {
+        events: std::iter::repeat(traces[by_len[0]].events.clone())
+            .take(8)
+            .flatten()
+            .collect(),
+    };
+    let minnow_idxs: Vec<usize> = by_len.iter().rev().take(6).copied().collect();
+    let mut skew_requests = vec![ServerRequest::new(
+        &plans[by_len[0]],
+        &whale,
+        SimDuration::ZERO,
+    )];
+    skew_requests.extend(
+        minnow_idxs
+            .iter()
+            .map(|&q| ServerRequest::new(&plans[q], &traces[q], SimDuration::ZERO)),
+    );
+    let serve_mode = |admission: AdmissionMode| {
+        let cfg = ServerConfig {
+            concurrency: 2,
+            admission,
+            policy: QueuePolicy::Fifo,
+            charge: InferenceCharge::Fixed(SimDuration::from_micros(150)),
+            prefetch_budget: None,
+        };
+        let mut server = PrefetchServer::new(&db, &RunConfig::default(), cfg);
+        server.serve(&skew_requests)
+    };
+    let wave_rep = serve_mode(AdmissionMode::Wave);
+    let cont_rep = serve_mode(AdmissionMode::Continuous);
+    let cont_speedup =
+        wave_rep.makespan().as_micros() as f64 / cont_rep.makespan().as_micros().max(1) as f64;
+    eprintln!(
+        "[perf_snapshot] admission (skewed mix, C=2): wave {} vs continuous {} makespan \
+         ({:.2}x, {:.1} vs {:.1} q/s)",
+        wave_rep.makespan(),
+        cont_rep.makespan(),
+        cont_speedup,
+        wave_rep.throughput_qps(),
+        cont_rep.throughput_qps(),
     );
 
     // --- observability overhead: traced vs untraced serving ---------------
@@ -284,6 +339,14 @@ fn main() {
         "server_throughput_qps": round3(server_qps),
         "server_mean_admission_wait_us": report.mean_admission_wait().as_micros(),
         "server_wall_s": round3(server_wall_s),
+        "server_skew_queries": skew_requests.len(),
+        "server_skew_wave_makespan_us": wave_rep.makespan().as_micros(),
+        "server_continuous_makespan_us": cont_rep.makespan().as_micros(),
+        "server_skew_wave_throughput_qps": round3(wave_rep.throughput_qps()),
+        "server_continuous_throughput_qps": round3(cont_rep.throughput_qps()),
+        "server_continuous_speedup": round3(cont_speedup),
+        "server_continuous_mean_admission_wait_us":
+            cont_rep.mean_admission_wait().as_micros(),
         "obs_serve_untraced_s": round3(obs_off_s),
         "obs_serve_traced_s": round3(obs_on_s),
         "obs_overhead_pct": round3(obs_overhead_pct),

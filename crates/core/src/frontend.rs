@@ -1,0 +1,612 @@
+//! A zero-dependency TCP front-end for the serving loop.
+//!
+//! [`Frontend`] binds a std [`TcpListener`] on a background accept thread
+//! (the pattern proven by `pythia_obs::serve`) and translates wire requests
+//! into [`Arrival`] events on a bounded queue:
+//!
+//! - `GET /query/<idx>` — enqueue catalog query `idx`. The connection stays
+//!   open; whoever drains the queue replays the query through
+//!   [`PrefetchServer`](crate::server::PrefetchServer) and answers through
+//!   the arrival's [`Responder`] with the virtual-time outcome as JSON
+//!   ([`outcome_json`]). When the queue is already at the configured depth
+//!   target the request is **load-shed** instead: an immediate
+//!   `503 Service Unavailable` with a `Retry-After` header, and the queue
+//!   never grows past the bound (backpressure by rejection, the only kind a
+//!   connectionless-budget front can apply).
+//! - `GET /healthz` — liveness probe, answered inline.
+//! - `GET /stats` — accepted/shed/rejected counters and current depth, JSON.
+//! - `GET /shutdown` — acknowledge and set a flag the serving loop can poll
+//!   ([`Frontend::shutdown_requested`]) for a clean drain-then-exit.
+//!
+//! Anything else (unknown path, non-GET, unparsable index, index outside the
+//! catalog) gets `400`/`404`. There is deliberately no HTTP library and no
+//! async runtime: one short-lived thread, blocking sockets with timeouts,
+//! `Connection: close` semantics.
+//!
+//! The wall-clock side (sockets, thread wakeups) never feeds back into the
+//! virtual clock: arrivals carry no wall timestamps, and the serving loop
+//! assigns them virtual arrival instants when it drains a batch — so two
+//! identical request sequences still produce bit-identical virtual-time
+//! outcomes regardless of network timing. `examples/serve_demo.rs` wires
+//! this to a real trained predictor; `EXPERIMENTS.md` has the curl recipe.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use pythia_obs::Recorder;
+
+use crate::server::QueryOutcome;
+
+/// Front-end configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FrontendConfig {
+    /// Number of queries in the catalog: `/query/<idx>` accepts `idx` in
+    /// `0..catalog` and rejects the rest with `400`.
+    pub catalog: usize,
+    /// Queue depth target: a `/query` request that finds this many arrivals
+    /// already queued is shed with `503` instead of enqueued, so the queue
+    /// never holds more than `shed_depth` entries.
+    pub shed_depth: usize,
+}
+
+impl FrontendConfig {
+    /// Config for a `catalog`-query workload with the default depth target.
+    pub fn new(catalog: usize) -> Self {
+        FrontendConfig {
+            catalog,
+            shed_depth: 64,
+        }
+    }
+}
+
+/// Monotonic front-end counters plus the instantaneous queue depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FrontendStats {
+    /// Requests enqueued as arrivals.
+    pub accepted: u64,
+    /// Requests load-shed with `503` at the depth target.
+    pub shed: u64,
+    /// Malformed requests answered `400` (bad path, bad index).
+    pub rejected: u64,
+    /// Arrivals currently queued.
+    pub depth: usize,
+}
+
+impl FrontendStats {
+    /// JSON rendering (the `/stats` endpoint body).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"accepted\":{},\"shed\":{},\"rejected\":{},\"depth\":{}}}\n",
+            self.accepted, self.shed, self.rejected, self.depth
+        )
+    }
+}
+
+/// The deferred half of an accepted connection: answer it once the query has
+/// been served (or refuse it if serving is impossible). Dropping a responder
+/// unanswered just closes the socket.
+#[derive(Debug)]
+pub struct Responder {
+    stream: Option<TcpStream>,
+}
+
+impl Responder {
+    /// Answer `200 OK` with a JSON body. Write errors are ignored — the
+    /// client may have gone away, which does not concern the serving loop.
+    pub fn ok_json(mut self, body: &str) {
+        if let Some(mut stream) = self.stream.take() {
+            let _ = respond(&mut stream, "200 OK", "application/json", body, None);
+        }
+    }
+
+    /// Answer an error status with a plain-text body.
+    pub fn error(mut self, status: &str, body: &str) {
+        if let Some(mut stream) = self.stream.take() {
+            let _ = respond(&mut stream, status, "text/plain", body, None);
+        }
+    }
+}
+
+/// One accepted wire request, waiting in the queue for the serving loop.
+#[derive(Debug)]
+pub struct Arrival {
+    /// Catalog index of the requested query.
+    pub query: usize,
+    /// The connection to answer once served.
+    pub responder: Responder,
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<Arrival>>,
+    ready: Condvar,
+    accepted: AtomicU64,
+    shed: AtomicU64,
+    rejected: AtomicU64,
+    shutdown_req: AtomicBool,
+}
+
+/// The accept loop: background thread, bounded queue, shed-above-target.
+pub struct Frontend {
+    addr: SocketAddr,
+    cfg: FrontendConfig,
+    shared: Arc<Shared>,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Frontend {
+    /// Bind `addr` (e.g. `127.0.0.1:7878`, or port `0` for an ephemeral
+    /// port) and start accepting. The bound address is available via
+    /// [`Frontend::addr`].
+    pub fn start(addr: &str, cfg: FrontendConfig) -> std::io::Result<Frontend> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            accepted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            shutdown_req: AtomicBool::new(false),
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let (shared_bg, stop_bg) = (Arc::clone(&shared), Arc::clone(&stop));
+        let handle = std::thread::Builder::new()
+            .name("pythia-frontend".to_owned())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop_bg.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if let Ok(stream) = conn {
+                        let _ = answer(stream, &shared_bg, &cfg);
+                    }
+                }
+            })?;
+        Ok(Frontend {
+            addr: local,
+            cfg,
+            shared,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The address the listener actually bound (resolves port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The config the front was started with.
+    pub fn config(&self) -> FrontendConfig {
+        self.cfg
+    }
+
+    /// Arrivals currently queued.
+    pub fn depth(&self) -> usize {
+        self.shared.queue.lock().expect("queue poisoned").len()
+    }
+
+    /// Counter snapshot plus current depth.
+    pub fn stats(&self) -> FrontendStats {
+        FrontendStats {
+            accepted: self.shared.accepted.load(Ordering::Relaxed),
+            shed: self.shared.shed.load(Ordering::Relaxed),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            depth: self.depth(),
+        }
+    }
+
+    /// True once a client has requested `/shutdown`; the serving loop polls
+    /// this for a clean drain-then-exit.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown_req.load(Ordering::Relaxed)
+    }
+
+    /// Pop one queued arrival without waiting.
+    pub fn try_recv(&self) -> Option<Arrival> {
+        self.shared
+            .queue
+            .lock()
+            .expect("queue poisoned")
+            .pop_front()
+    }
+
+    /// Wait up to `wait` for the queue to be non-empty, then drain
+    /// *everything* queued at that instant — the opportunistic batch the
+    /// serving loop re-batches inference over. Returns an empty vec on
+    /// timeout.
+    pub fn drain_batch(&self, wait: Duration) -> Vec<Arrival> {
+        let mut queue = self.shared.queue.lock().expect("queue poisoned");
+        if queue.is_empty() {
+            let (guard, _) = self
+                .shared
+                .ready
+                .wait_timeout(queue, wait)
+                .expect("queue poisoned");
+            queue = guard;
+        }
+        queue.drain(..).collect()
+    }
+
+    /// Fold the front-end counters into a recorder (as `frontend.*`
+    /// counters). Call once, after serving — `Recorder::add` accumulates.
+    pub fn fold_into(&self, rec: &mut Recorder) {
+        let s = self.stats();
+        rec.add("frontend.accepted", s.accepted);
+        rec.add("frontend.shed", s.shed);
+        rec.add("frontend.rejected", s.rejected);
+    }
+
+    /// Stop the accept thread and wait for it to exit. Arrivals still queued
+    /// are dropped (their sockets close unanswered).
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // The accept loop only observes the flag on its next connection;
+        // poke it so shutdown doesn't wait for an external request.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Frontend {
+    fn drop(&mut self) {
+        // Best effort: detach rather than block in drop. Explicit shutdown
+        // (which joins) is preferred; tests use it.
+        self.stop.store(true, Ordering::Relaxed);
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// Render a served query's virtual-time outcome as the response body.
+pub fn outcome_json(query: usize, q: &QueryOutcome) -> String {
+    format!(
+        "{{\"query\":{query},\"arrival_us\":{},\"admitted_us\":{},\"start_us\":{},\"end_us\":{},\
+         \"wait_us\":{},\"latency_us\":{},\"admission\":{}}}\n",
+        q.arrival.as_micros(),
+        q.admitted.as_micros(),
+        q.start.as_micros(),
+        q.end.as_micros(),
+        q.admission_wait().as_micros(),
+        q.latency().as_micros(),
+        q.wave
+    )
+}
+
+/// Handle one accepted connection: parse the request head, then either
+/// answer inline or enqueue the connection as an [`Arrival`].
+fn answer(mut stream: TcpStream, shared: &Shared, cfg: &FrontendConfig) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(500)))?;
+    let path = match read_request_path(&mut stream)? {
+        Some(p) => p,
+        None => {
+            shared.rejected.fetch_add(1, Ordering::Relaxed);
+            return respond(
+                &mut stream,
+                "400 Bad Request",
+                "text/plain",
+                "expected GET <path>\n",
+                None,
+            );
+        }
+    };
+    if path == "/healthz" {
+        return respond(&mut stream, "200 OK", "text/plain", "ok\n", None);
+    }
+    if path == "/stats" {
+        let stats = FrontendStats {
+            accepted: shared.accepted.load(Ordering::Relaxed),
+            shed: shared.shed.load(Ordering::Relaxed),
+            rejected: shared.rejected.load(Ordering::Relaxed),
+            depth: shared.queue.lock().expect("queue poisoned").len(),
+        };
+        return respond(
+            &mut stream,
+            "200 OK",
+            "application/json",
+            &stats.to_json(),
+            None,
+        );
+    }
+    if path == "/shutdown" {
+        shared.shutdown_req.store(true, Ordering::Relaxed);
+        return respond(&mut stream, "200 OK", "text/plain", "shutting down\n", None);
+    }
+    if let Some(rest) = path.strip_prefix("/query/") {
+        match rest.parse::<usize>() {
+            Ok(idx) if idx < cfg.catalog => {
+                let mut queue = shared.queue.lock().expect("queue poisoned");
+                if queue.len() >= cfg.shed_depth {
+                    drop(queue);
+                    shared.shed.fetch_add(1, Ordering::Relaxed);
+                    return respond(
+                        &mut stream,
+                        "503 Service Unavailable",
+                        "text/plain",
+                        "queue full, retry later\n",
+                        Some("Retry-After: 1"),
+                    );
+                }
+                queue.push_back(Arrival {
+                    query: idx,
+                    responder: Responder {
+                        stream: Some(stream),
+                    },
+                });
+                drop(queue);
+                shared.accepted.fetch_add(1, Ordering::Relaxed);
+                shared.ready.notify_one();
+                // Response deferred to the serving loop via the Responder.
+                return Ok(());
+            }
+            _ => {
+                shared.rejected.fetch_add(1, Ordering::Relaxed);
+                return respond(
+                    &mut stream,
+                    "400 Bad Request",
+                    "text/plain",
+                    &format!("bad query index; catalog has {} queries\n", cfg.catalog),
+                    None,
+                );
+            }
+        }
+    }
+    respond(
+        &mut stream,
+        "404 Not Found",
+        "text/plain",
+        "try /query/<idx>, /healthz, /stats or /shutdown\n",
+        None,
+    )
+}
+
+/// Write one `Connection: close` HTTP response.
+fn respond(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+    extra_header: Option<&str>,
+) -> std::io::Result<()> {
+    let extra = extra_header.map(|h| format!("{h}\r\n")).unwrap_or_default();
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n{extra}Connection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Parse the request line's path from the head of an HTTP/1.x request.
+/// Returns `None` for anything that isn't a simple `GET <path> ...` line.
+fn read_request_path(stream: &mut TcpStream) -> std::io::Result<Option<String>> {
+    let mut buf = [0u8; 1024];
+    let mut head = Vec::new();
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&buf[..n]);
+        if head.windows(2).any(|w| w == b"\r\n") || head.len() >= 8 * 1024 {
+            break;
+        }
+    }
+    let line_end = head
+        .windows(2)
+        .position(|w| w == b"\r\n")
+        .unwrap_or(head.len());
+    let line = String::from_utf8_lossy(&head[..line_end]);
+    let mut parts = line.split_whitespace();
+    match (parts.next(), parts.next()) {
+        (Some("GET"), Some(path)) => Ok(Some(path.to_owned())),
+        _ => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{
+        AdmissionMode, InferenceCharge, PrefetchServer, QueuePolicy, ServerConfig, ServerRequest,
+    };
+    use pythia_db::catalog::Database;
+    use pythia_db::plan::PlanNode;
+    use pythia_db::runtime::RunConfig;
+    use pythia_db::trace::Trace;
+    use pythia_db::types::Schema;
+    use pythia_sim::SimDuration;
+
+    /// Blocking one-shot HTTP GET against the front.
+    fn http_get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect to frontend");
+        let req = format!("GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n");
+        stream.write_all(req.as_bytes()).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    /// Spin until `cond` holds (bounded) — accept-thread effects are async.
+    fn wait_for(mut cond: impl FnMut() -> bool) {
+        for _ in 0..500 {
+            if cond() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        panic!("condition not reached within 1s");
+    }
+
+    #[test]
+    fn healthz_stats_and_unknown_paths() {
+        let fe = Frontend::start("127.0.0.1:0", FrontendConfig::new(4)).expect("bind");
+        let ok = http_get(fe.addr(), "/healthz");
+        assert!(ok.starts_with("HTTP/1.1 200 OK\r\n"), "{ok}");
+        assert!(ok.ends_with("ok\n"), "{ok}");
+
+        let stats = http_get(fe.addr(), "/stats");
+        assert!(stats.contains("\"accepted\":0"), "{stats}");
+        assert!(stats.contains("\"depth\":0"), "{stats}");
+
+        let missing = http_get(fe.addr(), "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+        // Bad query indices and malformed request lines are 400s.
+        let bad = http_get(fe.addr(), "/query/99");
+        assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
+        let worse = http_get(fe.addr(), "/query/banana");
+        assert!(worse.starts_with("HTTP/1.1 400"), "{worse}");
+        {
+            let mut raw = TcpStream::connect(fe.addr()).unwrap();
+            raw.write_all(b"BLAH\r\n\r\n").unwrap();
+            let mut out = String::new();
+            raw.read_to_string(&mut out).unwrap();
+            assert!(out.starts_with("HTTP/1.1 400"), "{out}");
+        }
+        wait_for(|| fe.stats().rejected == 3);
+        fe.shutdown();
+    }
+
+    #[test]
+    fn queue_bounds_and_load_shedding() {
+        // Depth target 2: the first two requests queue (responses deferred),
+        // the third is shed with 503 + Retry-After while the queue is full.
+        let cfg = FrontendConfig {
+            catalog: 8,
+            shed_depth: 2,
+        };
+        let fe = Frontend::start("127.0.0.1:0", cfg).expect("bind");
+
+        let mut open = Vec::new();
+        for i in 0..2 {
+            let mut s = TcpStream::connect(fe.addr()).unwrap();
+            s.write_all(format!("GET /query/{i} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+                .unwrap();
+            open.push(s);
+        }
+        wait_for(|| fe.depth() == 2);
+
+        let shed = http_get(fe.addr(), "/query/2");
+        assert!(shed.starts_with("HTTP/1.1 503"), "{shed}");
+        assert!(shed.contains("Retry-After: 1"), "{shed}");
+        assert_eq!(fe.stats().shed, 1);
+        assert_eq!(fe.stats().accepted, 2);
+        assert_eq!(fe.depth(), 2, "shed request must not grow the queue");
+
+        // Drain and answer the two queued arrivals; their clients get the
+        // deferred responses.
+        for want in 0..2 {
+            let a = fe.try_recv().expect("queued arrival");
+            assert_eq!(a.query, want, "FIFO queue order");
+            a.responder.ok_json(&format!("{{\"query\":{want}}}\n"));
+        }
+        assert!(fe.try_recv().is_none());
+        for (i, mut s) in open.into_iter().enumerate() {
+            let mut out = String::new();
+            s.read_to_string(&mut out).unwrap();
+            assert!(out.starts_with("HTTP/1.1 200 OK"), "{out}");
+            assert!(out.contains(&format!("\"query\":{i}")), "{out}");
+        }
+
+        // Capacity freed: the next request is accepted again.
+        let mut s = TcpStream::connect(fe.addr()).unwrap();
+        s.write_all(b"GET /query/3 HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        wait_for(|| fe.depth() == 1);
+        fe.try_recv()
+            .unwrap()
+            .responder
+            .error("500 Internal Server Error", "sorry\n");
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 500"), "{out}");
+
+        fe.shutdown();
+    }
+
+    #[test]
+    fn end_to_end_socket_serving_with_continuous_admission() {
+        // A real (tiny) catalog served over the socket by a continuous-
+        // admission server: request → queue → drain_batch → serve → JSON
+        // outcome on the wire.
+        let mut db = Database::new();
+        let t = db.create_table("t", Schema::ints(&["a"]));
+        for i in 0..20_000i64 {
+            db.insert(t, Database::row(&[i]));
+        }
+        let plans: Vec<PlanNode> = (0..3)
+            .map(|_| PlanNode::SeqScan {
+                table: t,
+                pred: None,
+            })
+            .collect();
+        let traces: Vec<Trace> = plans
+            .iter()
+            .map(|p| pythia_db::exec::execute(p, &db).1)
+            .collect();
+
+        let fe = Frontend::start("127.0.0.1:0", FrontendConfig::new(plans.len())).expect("bind");
+        let addr = fe.addr();
+        std::thread::scope(|scope| {
+            let fe_ref = &fe;
+            let db_ref = &db;
+            let plans_ref = &plans;
+            let traces_ref = &traces;
+            scope.spawn(move || {
+                let cfg = ServerConfig {
+                    concurrency: 2,
+                    admission: AdmissionMode::Continuous,
+                    policy: QueuePolicy::Fifo,
+                    charge: InferenceCharge::Fixed(SimDuration::ZERO),
+                    prefetch_budget: None,
+                };
+                let mut srv = PrefetchServer::new(db_ref, &RunConfig::default(), cfg);
+                loop {
+                    let batch = fe_ref.drain_batch(Duration::from_millis(20));
+                    if batch.is_empty() {
+                        if fe_ref.shutdown_requested() && fe_ref.depth() == 0 {
+                            break;
+                        }
+                        continue;
+                    }
+                    let reqs: Vec<ServerRequest<'_>> = batch
+                        .iter()
+                        .map(|a| {
+                            ServerRequest::new(
+                                &plans_ref[a.query],
+                                &traces_ref[a.query],
+                                SimDuration::ZERO,
+                            )
+                        })
+                        .collect();
+                    let rep = srv.serve(&reqs);
+                    for (a, q) in batch.into_iter().zip(&rep.queries) {
+                        a.responder.ok_json(&outcome_json(a.query, q));
+                    }
+                }
+            });
+
+            let resp = http_get(addr, "/query/1");
+            assert!(resp.starts_with("HTTP/1.1 200 OK"), "{resp}");
+            assert!(resp.contains("application/json"), "{resp}");
+            assert!(resp.contains("\"query\":1"), "{resp}");
+            assert!(resp.contains("\"latency_us\":"), "{resp}");
+            assert!(resp.contains("\"admission\":0"), "{resp}");
+
+            let bye = http_get(addr, "/shutdown");
+            assert!(bye.starts_with("HTTP/1.1 200"), "{bye}");
+        });
+        assert_eq!(fe.stats().accepted, 1);
+        fe.shutdown();
+    }
+}

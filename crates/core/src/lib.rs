@@ -37,6 +37,7 @@
 
 pub mod classifier;
 pub mod config;
+pub mod frontend;
 pub mod metrics;
 pub mod model;
 pub mod predictor;
@@ -49,12 +50,13 @@ pub mod vocab;
 pub mod workload;
 
 pub use config::PythiaConfig;
+pub use frontend::{Arrival, Frontend, FrontendConfig, FrontendStats, Responder};
 pub use metrics::{f1_score, SetMetrics};
 pub use predictor::{train_workload, Prediction, TrainedWorkload};
 pub use serialize::{serialize_plan, ValueBinner};
 pub use server::{
-    InferenceCharge, PrefetchServer, QueryOutcome, QueuePolicy, ServeReport, ServerConfig,
-    ServerRequest, WaveStats,
+    AdmissionMode, InferenceCharge, PrefetchServer, QueryOutcome, QueuePolicy, ServeReport,
+    ServerConfig, ServerRequest, WaveStats,
 };
 pub use vocab::Vocab;
 pub use workload::WorkloadRegistry;

@@ -72,6 +72,28 @@ pub fn schedule_by_overlap(predictions: &[Vec<PageId>]) -> Vec<usize> {
     order
 }
 
+/// Pick the single next query to admit: the candidate whose predicted page
+/// set is most similar (Jaccard) to `prev`, the prediction of the most
+/// recently admitted query — the admit-on-completion counterpart of one
+/// [`schedule_by_overlap`] chain step.
+///
+/// Returns an index into `candidates` (which must be non-empty). Ties break
+/// toward the lowest index, i.e. arrival order when the caller keeps its
+/// queue FIFO-ordered; with `prev` and all candidates empty every pair ties
+/// at Jaccard 1.0, so the pick degrades to FIFO — the same determinism
+/// contract as the batch scheduler.
+pub fn pick_next_by_overlap(prev: &[PageId], candidates: &[Vec<PageId>]) -> usize {
+    assert!(!candidates.is_empty(), "no candidates to pick from");
+    let prev_set: BTreeSet<PageId> = prev.iter().copied().collect();
+    candidates
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (i, jaccard(&prev_set, &c.iter().copied().collect())))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN").then(b.0.cmp(&a.0)))
+        .map(|(i, _)| i)
+        .expect("non-empty candidates")
+}
+
 /// Total consecutive-pair overlap of an ordering (diagnostics / tests).
 pub fn consecutive_overlap(predictions: &[Vec<PageId>], order: &[usize]) -> f64 {
     let sets: Vec<BTreeSet<PageId>> = predictions
@@ -168,6 +190,52 @@ mod tests {
         // everywhere; the schedule must still be deterministic: FIFO.
         let preds = vec![pages(&[]); 5];
         assert_eq!(schedule_by_overlap(&preds), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn pick_next_prefers_highest_overlap() {
+        let prev = pages(&[1, 2, 3]);
+        let cands = vec![
+            pages(&[50, 51]),   // disjoint
+            pages(&[2, 3, 4]),  // 2/4 overlap — best
+            pages(&[3, 9, 10]), // 1/5 overlap
+        ];
+        assert_eq!(pick_next_by_overlap(&prev, &cands), 1);
+    }
+
+    #[test]
+    fn pick_next_ties_break_toward_arrival_order() {
+        // Identical candidates: lowest index wins.
+        let prev = pages(&[1, 2]);
+        let cands = vec![pages(&[1, 2]); 3];
+        assert_eq!(pick_next_by_overlap(&prev, &cands), 0);
+        // All empty (prev included): everything ties at Jaccard 1.0 → FIFO.
+        let cands = vec![pages(&[]); 4];
+        assert_eq!(pick_next_by_overlap(&[], &cands), 0);
+        // Empty prev vs non-empty candidates: all Jaccard 0 → still FIFO.
+        let cands = vec![pages(&[5]), pages(&[6])];
+        assert_eq!(pick_next_by_overlap(&[], &cands), 0);
+    }
+
+    #[test]
+    fn pick_next_agrees_with_batch_chain_step() {
+        // One chain step of the batch scheduler and the incremental pick must
+        // choose the same query given the same "last admitted" set.
+        let cands = vec![
+            pages(&[11, 12, 13]),
+            pages(&[99]),
+            pages(&[10, 11, 12]),
+            pages(&[12, 40]),
+        ];
+        // Batch scheduler with prev as element 0 (largest? not necessarily —
+        // feed it as the seed by making it strictly largest).
+        let mut batch = vec![pages(&[9, 10, 11, 12, 13])];
+        batch.extend(cands.clone());
+        let order = schedule_by_overlap(&batch);
+        assert_eq!(order[0], 0, "seed is the largest set");
+        let chain_pick = order[1] - 1; // shift out the seed slot
+        let incr_pick = pick_next_by_overlap(&pages(&[9, 10, 11, 12, 13]), &cands);
+        assert_eq!(chain_pick, incr_pick);
     }
 
     #[test]

@@ -2,51 +2,82 @@
 //!
 //! The paper's §5.4 experiments replay *pre-built* batches of concurrent
 //! queries. A deployed Pythia sits in front of a live queue instead: queries
-//! arrive on their own schedule, the database admits at most a configurable
-//! number of them at once, and the model is invoked per *admission wave* so
+//! arrive on their own schedule, the database admits at most `concurrency` of
+//! them at once, and the model is invoked over whatever is queued so
 //! inference batches naturally with load (the batched forward pass of
 //! [`TrainedWorkload::infer_batch`] amortizes across everything queued).
 //!
-//! [`PrefetchServer`] is that loop over the virtual-clock stack:
+//! [`PrefetchServer`] is that loop over the virtual-clock stack, in one of
+//! two [`AdmissionMode`]s:
 //!
-//! 1. requests arrive as offsets on the stack's clock ([`ServerRequest`]);
-//! 2. when the queue is non-empty, one batched inference covers every queued
-//!    query that has no prediction yet, and each covered query is charged the
-//!    amortized per-query latency ([`InferenceCharge`]);
-//! 3. up to `concurrency` queries are admitted under the [`QueuePolicy`] —
-//!    FIFO, or the §7 overlap scheduler ([`schedule_by_overlap`]) so
-//!    consecutive admissions share predicted pages;
-//! 4. the wave replays concurrently through [`Runtime::run`] with its capped
-//!    prefetch plans, and the shared pool's counters are attributed to the
-//!    wave by snapshot diff ([`BufferStats::diff`]).
+//! - **Continuous** (the default): admit-on-completion. Arrivals and
+//!   completions are processed in global virtual-time order over one
+//!   incremental [`ReplaySession`]. An arrival that finds a free slot is
+//!   admitted at its arrival instant; otherwise it queues, and the moment any
+//!   running query completes the scheduler picks the next queued query —
+//!   FIFO, or the most page-overlapping candidate
+//!   ([`pick_next_by_overlap`]) — and injects it at the completion instant.
+//!   Each admission instant first runs one batched inference over every
+//!   queued query lacking a prediction (opportunistic re-batching), charging
+//!   each covered query the amortized latency ([`InferenceCharge`]). No
+//!   barrier: a long query never stalls short ones queued behind it.
+//! - **Wave**: the original barrier loop. Up to `concurrency` queries are
+//!   admitted per wave under the [`QueuePolicy`] (FIFO, or the §7 overlap
+//!   scheduler [`schedule_by_overlap`]), the wave replays to completion
+//!   through [`Runtime::run`], and only then is the queue examined again.
+//!   Kept for comparison — the wave-vs-continuous gap under skewed per-query
+//!   cost is exactly what the `perf_snapshot` serving section measures.
 //!
-//! With `concurrency = 1`, FIFO policy and a fixed inference charge, the
-//! serving loop is *bit-identical* to calling [`Runtime::run`] serially per
-//! query on one warm stack — the property the proptest in
-//! `tests/proptest_server.rs` pins down. Scheduling extensions are therefore
+//! In both modes the shared pool's counters are attributed to each admission
+//! event by snapshot diff ([`BufferStats::diff`]), so the per-event
+//! [`WaveStats`] always partition the aggregate report.
+//!
+//! With `concurrency = 1`, FIFO policy and a fixed inference charge, *both*
+//! modes are *bit-identical* to calling [`Runtime::run`] serially per query
+//! on one warm stack — the property the proptests in
+//! `tests/proptest_server.rs` pin down. Scheduling extensions are therefore
 //! one-flag variants of the same loop, not separate harnesses.
+//!
+//! A socket front-end for this loop — bounded queue, load shedding, the
+//! `serve_demo` example binary — lives in [`crate::frontend`].
 
 use pythia_buffer::BufferStats;
 use pythia_db::catalog::Database;
 use pythia_db::plan::PlanNode;
-use pythia_db::runtime::{QueryRun, RunConfig, Runtime};
+use pythia_db::runtime::{QueryRun, ReplaySession, RunConfig, Runtime};
 use pythia_db::trace::Trace;
 use pythia_obs::{tid, Recorder, Track};
 use pythia_sim::{PageId, SimDuration, SimTime};
 
 use crate::predictor::TrainedWorkload;
 use crate::prefetch::{cap_to_budget, prefetch_list};
-use crate::scheduler::schedule_by_overlap;
+use crate::scheduler::{pick_next_by_overlap, schedule_by_overlap};
 
-/// How the serving loop picks the next admission wave from the queue.
+/// How queries are admitted from the queue into the replay stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionMode {
+    /// Admit-on-completion (the default): the moment a slot frees, the
+    /// scheduler picks the next queued query and injects it at the completion
+    /// instant. Work-conserving — a long query never stalls short ones queued
+    /// behind it.
+    Continuous,
+    /// Barrier waves: admit up to `concurrency` queries, replay the whole
+    /// wave to completion, then look at the queue again. Kept for comparison.
+    Wave,
+}
+
+/// How the serving loop picks the next admission from the queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QueuePolicy {
     /// Admit in arrival order.
     Fifo,
-    /// Order the whole queue with [`schedule_by_overlap`] on the predicted
-    /// page sets and admit the head of that chain, so consecutive waves find
-    /// their working sets resident. Degrades to FIFO when predictions are
-    /// absent or empty (the scheduler's all-empty tie-break).
+    /// Prefer page overlap: in wave mode, order the whole queue with
+    /// [`schedule_by_overlap`] on the predicted page sets and admit the head
+    /// of that chain; in continuous mode, pick the queued query most
+    /// overlapping the previously admitted one ([`pick_next_by_overlap`]) —
+    /// so consecutive admissions find their working sets resident. Degrades
+    /// to FIFO when predictions are absent or empty (the schedulers'
+    /// all-empty tie-break).
     Overlap,
 }
 
@@ -64,8 +95,11 @@ pub enum InferenceCharge {
 /// Serving-loop configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
-    /// Maximum queries admitted per wave (values below 1 behave as 1).
+    /// Maximum queries replaying at once (values below 1 behave as 1 — the
+    /// clamp is regression-tested in this module).
     pub concurrency: usize,
+    /// How slots are refilled from the queue.
+    pub admission: AdmissionMode,
     /// Queue ordering policy.
     pub policy: QueuePolicy,
     /// Inference-latency accounting.
@@ -79,6 +113,7 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             concurrency: 4,
+            admission: AdmissionMode::Continuous,
             policy: QueuePolicy::Fifo,
             charge: InferenceCharge::Measured,
             prefetch_budget: None,
@@ -117,13 +152,15 @@ impl<'a> ServerRequest<'a> {
 pub struct QueryOutcome {
     /// When the query arrived (absolute virtual time).
     pub arrival: SimTime,
-    /// When its admission wave was dispatched.
+    /// When it was admitted into the replay stack (its wave's dispatch in
+    /// wave mode; its own admission instant in continuous mode).
     pub admitted: SimTime,
     /// When replay began (admission + inference charge).
     pub start: SimTime,
     /// When replay finished.
     pub end: SimTime,
-    /// Index of the admission wave that served it.
+    /// Index into [`ServeReport::waves`] of the admission event that served
+    /// it.
     pub wave: usize,
     /// Inference latency charged to this query.
     pub inference: SimDuration,
@@ -142,20 +179,26 @@ impl QueryOutcome {
     }
 }
 
-/// Per-wave serving metrics.
+/// Per-admission-event serving metrics. In wave mode, one entry per barrier
+/// wave; in continuous mode, one entry per admission (so exactly one per
+/// query).
 #[derive(Debug, Clone, Copy)]
 pub struct WaveStats {
-    /// When the wave was dispatched.
+    /// When the admission was dispatched.
     pub admitted_at: SimTime,
-    /// Queries admitted in this wave (≤ `concurrency`).
+    /// Queries in flight right after this admission (the wave's size in wave
+    /// mode; the slot occupancy including the admitted query in continuous
+    /// mode). Always within `1..=concurrency`.
     pub occupancy: usize,
     /// Queue depth at dispatch (admitted + still waiting).
     pub queue_depth: usize,
-    /// Queries covered by this wave's batched inference call.
+    /// Queries covered by this admission's batched inference call.
     pub inferred: usize,
-    /// Total inference latency charged to this wave's queries.
+    /// Total inference latency charged to the queries admitted here.
     pub inference: SimDuration,
-    /// Buffer/prefetch counters accumulated during this wave's replay.
+    /// Buffer/prefetch counters accumulated between this admission and the
+    /// next (or the end of the serve call) — the per-event entries always
+    /// partition [`ServeReport::stats`].
     pub stats: BufferStats,
 }
 
@@ -164,7 +207,7 @@ pub struct WaveStats {
 pub struct ServeReport {
     /// Outcomes in the same order as the input requests.
     pub queries: Vec<QueryOutcome>,
-    /// One entry per admission wave, in dispatch order.
+    /// One entry per admission event, in dispatch order.
     pub waves: Vec<WaveStats>,
     /// Counters accumulated across the whole serve call.
     pub stats: BufferStats,
@@ -354,8 +397,106 @@ impl<'d> PrefetchServer<'d> {
     }
 
     /// Serve a stream of requests to completion and report per-query,
-    /// per-wave and aggregate metrics. The stack stays warm across calls.
+    /// per-admission and aggregate metrics. The stack stays warm across
+    /// calls. Dispatches on [`ServerConfig::admission`].
     pub fn serve(&mut self, requests: &[ServerRequest<'_>]) -> ServeReport {
+        match self.cfg.admission {
+            AdmissionMode::Wave => self.serve_wave(requests),
+            AdmissionMode::Continuous => self.serve_continuous(requests),
+        }
+    }
+
+    /// Declare (idempotently) and return the serving-loop trace track.
+    fn server_track(&mut self) -> Track {
+        let track = Track::virt(tid::SERVER);
+        self.rt
+            .recorder_mut()
+            .declare_track(track, || "serving-loop".to_owned());
+        track
+    }
+
+    /// One batched inference at virtual instant `at` over every queued query
+    /// lacking a prediction — the whole queue, not just the next admission,
+    /// so the overlap policy can schedule over everything it has seen and
+    /// later admissions reuse cached predictions. Returns the batch size.
+    fn batch_infer_missing(
+        &mut self,
+        requests: &[ServerRequest<'_>],
+        queue: &[usize],
+        preds: &mut [Option<PredEntry>],
+        at: SimTime,
+        server_track: Track,
+    ) -> usize {
+        let Some(tw) = self.predictor else {
+            return 0;
+        };
+        let missing: Vec<usize> = queue
+            .iter()
+            .copied()
+            .filter(|&i| preds[i].is_none())
+            .collect();
+        if missing.is_empty() {
+            return 0;
+        }
+        let plans: Vec<&PlanNode> = missing.iter().map(|&i| requests[i].plan).collect();
+        let t0 = std::time::Instant::now();
+        let batch = tw.infer_batch(self.db, &plans);
+        let charge = match self.cfg.charge {
+            InferenceCharge::Fixed(d) => d,
+            InferenceCharge::Measured => {
+                SimDuration::from_micros(t0.elapsed().as_micros() as u64 / missing.len() as u64)
+            }
+        };
+        let inferred = missing.len();
+        for (&i, pred) in missing.iter().zip(batch) {
+            preds[i] = Some(PredEntry {
+                list: prefetch_list(self.db, &pred),
+                charge,
+            });
+        }
+        let rec = self.rt.recorder_mut();
+        rec.add("server.inferred", inferred as u64);
+        // The batch's virtual-time cost is the amortized per-query charge
+        // (each covered query pays it before replay).
+        rec.span(
+            server_track,
+            "server",
+            "server.infer_batch",
+            at.as_micros(),
+            (at + charge).as_micros(),
+            &[
+                ("batch", inferred as u64),
+                ("charge_us", charge.as_micros()),
+            ],
+        );
+        inferred
+    }
+
+    /// Build the replay run for request `i`: capped prefetch plan plus the
+    /// inference latency its prediction was charged.
+    fn build_run<'q>(
+        req: &ServerRequest<'q>,
+        pred: &Option<PredEntry>,
+        budget: usize,
+    ) -> QueryRun<'q> {
+        let (prefetch, inference) = match pred {
+            Some(e) if !e.list.is_empty() => {
+                (Some(cap_to_budget(e.list.clone(), budget)), e.charge)
+            }
+            Some(e) => (None, e.charge),
+            None => (None, SimDuration::ZERO),
+        };
+        QueryRun {
+            trace: req.trace,
+            prefetch,
+            arrival: SimDuration::ZERO,
+            inference_latency: inference,
+            span_name: req.span_name,
+        }
+    }
+
+    /// Barrier-wave admission (see the module doc).
+    fn serve_wave(&mut self, requests: &[ServerRequest<'_>]) -> ServeReport {
         let base = self.rt.now();
         let start_stats = self.rt.stats();
         let n = requests.len();
@@ -373,10 +514,7 @@ impl<'d> PrefetchServer<'d> {
         let mut waves: Vec<WaveStats> = Vec::new();
         let mut queue: Vec<usize> = Vec::new();
         let mut next = 0usize;
-        let server_track = Track::virt(tid::SERVER);
-        self.rt
-            .recorder_mut()
-            .declare_track(server_track, || "serving-loop".to_owned());
+        let server_track = self.server_track();
 
         while next < n || !queue.is_empty() {
             // Pull in everything that has arrived by the current clock.
@@ -401,51 +539,8 @@ impl<'d> PrefetchServer<'d> {
             }
             let admitted_at = self.rt.now();
             let queue_depth = queue.len();
-
-            // One batched inference over every queued query lacking a
-            // prediction: the whole queue, not just this wave, so the overlap
-            // policy can schedule over everything it has seen.
-            let mut inferred = 0usize;
-            if let Some(tw) = self.predictor {
-                let missing: Vec<usize> = queue
-                    .iter()
-                    .copied()
-                    .filter(|&i| preds[i].is_none())
-                    .collect();
-                if !missing.is_empty() {
-                    let plans: Vec<&PlanNode> = missing.iter().map(|&i| requests[i].plan).collect();
-                    let t0 = std::time::Instant::now();
-                    let batch = tw.infer_batch(self.db, &plans);
-                    let charge = match self.cfg.charge {
-                        InferenceCharge::Fixed(d) => d,
-                        InferenceCharge::Measured => SimDuration::from_micros(
-                            t0.elapsed().as_micros() as u64 / missing.len() as u64,
-                        ),
-                    };
-                    inferred = missing.len();
-                    for (&i, pred) in missing.iter().zip(batch) {
-                        preds[i] = Some(PredEntry {
-                            list: prefetch_list(self.db, &pred),
-                            charge,
-                        });
-                    }
-                    let rec = self.rt.recorder_mut();
-                    rec.add("server.inferred", inferred as u64);
-                    // The batch's virtual-time cost is the amortized per-query
-                    // charge (each covered query pays it before replay).
-                    rec.span(
-                        server_track,
-                        "server",
-                        "server.infer_batch",
-                        admitted_at.as_micros(),
-                        (admitted_at + charge).as_micros(),
-                        &[
-                            ("batch", inferred as u64),
-                            ("charge_us", charge.as_micros()),
-                        ],
-                    );
-                }
-            }
+            let inferred =
+                self.batch_infer_missing(requests, &queue, &mut preds, admitted_at, server_track);
 
             // Select this wave's members under the queue policy.
             let take = self.cfg.concurrency.max(1).min(queue.len());
@@ -471,22 +566,7 @@ impl<'d> PrefetchServer<'d> {
             // the wave to drain.
             let runs: Vec<QueryRun<'_>> = members
                 .iter()
-                .map(|&i| {
-                    let (prefetch, inference) = match &preds[i] {
-                        Some(e) if !e.list.is_empty() => {
-                            (Some(cap_to_budget(e.list.clone(), budget)), e.charge)
-                        }
-                        Some(e) => (None, e.charge),
-                        None => (None, SimDuration::ZERO),
-                    };
-                    QueryRun {
-                        trace: requests[i].trace,
-                        prefetch,
-                        arrival: SimDuration::ZERO,
-                        inference_latency: inference,
-                        span_name: requests[i].span_name,
-                    }
-                })
+                .map(|&i| Self::build_run(&requests[i], &preds[i], budget))
                 .collect();
             if self.rt.recorder().is_enabled() {
                 let rec = self.rt.recorder_mut();
@@ -562,6 +642,233 @@ impl<'d> PrefetchServer<'d> {
             stats: self.rt.stats().diff(&start_stats),
         }
     }
+
+    /// Admit-on-completion (see the module doc): arrivals and completions are
+    /// processed in global virtual-time order over one incremental
+    /// [`ReplaySession`]; ties go arrival-first (the admission decision then
+    /// sees the fresh arrival in the queue, matching what wave mode's
+    /// pull-then-admit does at the same instant).
+    fn serve_continuous(&mut self, requests: &[ServerRequest<'_>]) -> ServeReport {
+        /// Admission bookkeeping for one in-flight query.
+        struct AdmitInfo {
+            at: SimTime,
+            event: usize,
+            inference: SimDuration,
+        }
+
+        let base = self.rt.now();
+        let start_stats = self.rt.stats();
+        let n = requests.len();
+        let abs: Vec<SimTime> = requests.iter().map(|r| base + r.arrival).collect();
+        // Arrival order, stable by request index.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| (abs[i], i));
+
+        let budget = self
+            .cfg
+            .prefetch_budget
+            .unwrap_or(self.rt.pool_frames() * 3 / 4);
+        let cap = self.cfg.concurrency.max(1);
+        let mut preds: Vec<Option<PredEntry>> = vec![None; n];
+        let mut outcomes: Vec<Option<QueryOutcome>> = vec![None; n];
+        let mut admits: Vec<Option<AdmitInfo>> = (0..n).map(|_| None).collect();
+        let mut waves: Vec<WaveStats> = Vec::new();
+        // Pool-counter snapshot at the latest admission event: each event's
+        // `stats` covers the interval up to the next event, so the entries
+        // partition the aggregate.
+        let mut last_stats = start_stats;
+        let mut queue: Vec<usize> = Vec::new();
+        let mut next = 0usize;
+        // Predicted pages of the most recent admission — what the overlap
+        // policy chains on.
+        let mut last_admitted_pages: Vec<PageId> = Vec::new();
+        let server_track = self.server_track();
+
+        let mut sess = ReplaySession::new();
+        // Session slot (injection order) → request index.
+        let mut slot_req: Vec<usize> = Vec::new();
+
+        // The two event kinds the driver interleaves in virtual-time order.
+        enum Event {
+            Arrival,
+            Step,
+        }
+
+        loop {
+            let next_arrival = if next < n {
+                Some(abs[order[next]])
+            } else {
+                None
+            };
+            let event = match (next_arrival, sess.next_event_time()) {
+                (None, None) => break,
+                (Some(_), None) => Event::Arrival,
+                (Some(a), Some(e)) if a <= e => Event::Arrival,
+                (_, Some(_)) => Event::Step,
+            };
+
+            // `Some(t)` after the event if a slot may be refilled at `t`.
+            let mut refill_at: Option<SimTime> = None;
+            match event {
+                Event::Arrival => {
+                    let i = order[next];
+                    next += 1;
+                    let rec = self.rt.recorder_mut();
+                    rec.add("server.arrivals", 1);
+                    rec.instant(
+                        server_track,
+                        "server",
+                        "server.arrive",
+                        abs[i].as_micros(),
+                        &[("query", i as u64)],
+                    );
+                    queue.push(i);
+                    refill_at = Some(abs[i]);
+                }
+                Event::Step => {
+                    if let Some(c) = sess.step(&mut self.rt) {
+                        let i = slot_req[c.slot];
+                        let info = admits[i].as_ref().expect("completed query was admitted");
+                        outcomes[i] = Some(QueryOutcome {
+                            arrival: abs[i],
+                            admitted: info.at,
+                            start: c.timing.start,
+                            end: c.timing.end,
+                            wave: info.event,
+                            inference: info.inference,
+                        });
+                        let rec = self.rt.recorder_mut();
+                        rec.add("server.completions", 1);
+                        rec.instant(
+                            server_track,
+                            "server",
+                            "server.complete",
+                            c.timing.end.as_micros(),
+                            &[("query", i as u64)],
+                        );
+                        refill_at = Some(c.timing.end);
+                        // Counters are consistent at completions — refresh the
+                        // live metrics endpoint (wave mode does so per wave).
+                        self.rt.recorder().publish();
+                    }
+                }
+            }
+
+            // Refill freed capacity from the queue at the event instant. The
+            // loop (rather than a single admission) only matters when an
+            // admitted query completes instantly (empty trace): its slot
+            // frees at `start + charge` and the next queued query follows.
+            while let Some(t) = refill_at {
+                refill_at = None;
+                if queue.is_empty() || sess.live() >= cap {
+                    break;
+                }
+                let inferred =
+                    self.batch_infer_missing(requests, &queue, &mut preds, t, server_track);
+                let pick = match self.cfg.policy {
+                    QueuePolicy::Fifo => 0,
+                    QueuePolicy::Overlap => {
+                        let sets: Vec<Vec<PageId>> = queue
+                            .iter()
+                            .map(|&i| {
+                                preds[i]
+                                    .as_ref()
+                                    .map(|e| e.list.clone())
+                                    .unwrap_or_default()
+                            })
+                            .collect();
+                        pick_next_by_overlap(&last_admitted_pages, &sets)
+                    }
+                };
+                let queue_depth = queue.len();
+                let i = queue.remove(pick);
+                last_admitted_pages = preds[i]
+                    .as_ref()
+                    .map(|e| e.list.clone())
+                    .unwrap_or_default();
+                let run = Self::build_run(&requests[i], &preds[i], budget);
+                let inference = run.inference_latency;
+                let event_idx = waves.len();
+                if self.rt.recorder().is_enabled() {
+                    let rec = self.rt.recorder_mut();
+                    rec.add("server.admitted", 1);
+                    rec.instant(
+                        server_track,
+                        "server",
+                        "server.admit",
+                        t.as_micros(),
+                        &[("query", i as u64)],
+                    );
+                    rec.observe("server.admission_wait_us", t.since(abs[i]).as_micros());
+                }
+                let occupancy = sess.live() + 1;
+                let (slot, done) = sess.inject(&mut self.rt, run, t);
+                debug_assert_eq!(slot, slot_req.len());
+                slot_req.push(i);
+                admits[i] = Some(AdmitInfo {
+                    at: t,
+                    event: event_idx,
+                    inference,
+                });
+                // Close the previous admission's stats interval and open this
+                // one's.
+                let now_stats = self.rt.stats();
+                if let Some(prev) = waves.last_mut() {
+                    prev.stats = now_stats.diff(&last_stats);
+                }
+                last_stats = now_stats;
+                waves.push(WaveStats {
+                    admitted_at: t,
+                    occupancy,
+                    queue_depth,
+                    inferred,
+                    inference,
+                    stats: BufferStats::default(),
+                });
+                if let Some(c) = done {
+                    // Empty trace: completed the instant it was admitted.
+                    let info = admits[i].as_ref().expect("just admitted");
+                    outcomes[i] = Some(QueryOutcome {
+                        arrival: abs[i],
+                        admitted: info.at,
+                        start: c.timing.start,
+                        end: c.timing.end,
+                        wave: info.event,
+                        inference: info.inference,
+                    });
+                    let rec = self.rt.recorder_mut();
+                    rec.add("server.completions", 1);
+                    rec.instant(
+                        server_track,
+                        "server",
+                        "server.complete",
+                        c.timing.end.as_micros(),
+                        &[("query", i as u64)],
+                    );
+                    refill_at = Some(c.timing.end);
+                }
+            }
+        }
+
+        debug_assert!(queue.is_empty(), "drained queue at exit");
+        let _ = sess.finish(&mut self.rt);
+        // The tail interval (after the last admission) absorbs the remaining
+        // counters, end-of-session prefetch-waste accounting included.
+        let final_stats = self.rt.stats();
+        if let Some(last) = waves.last_mut() {
+            last.stats = final_stats.diff(&last_stats);
+        }
+        let queries = outcomes
+            .into_iter()
+            .map(|o| o.expect("every request was dispatched"))
+            .collect();
+        self.rt.recorder().publish();
+        ServeReport {
+            queries,
+            waves,
+            stats: final_stats.diff(&start_stats),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -617,12 +924,22 @@ mod tests {
         (db, plan)
     }
 
+    /// Wave-mode config with a zero fixed charge.
     fn fixed_cfg(concurrency: usize, policy: QueuePolicy) -> ServerConfig {
         ServerConfig {
             concurrency,
+            admission: AdmissionMode::Wave,
             policy,
             charge: InferenceCharge::Fixed(SimDuration::ZERO),
             prefetch_budget: None,
+        }
+    }
+
+    /// Continuous-mode config with a zero fixed charge.
+    fn cont_cfg(concurrency: usize, policy: QueuePolicy) -> ServerConfig {
+        ServerConfig {
+            admission: AdmissionMode::Continuous,
+            ..fixed_cfg(concurrency, policy)
         }
     }
 
@@ -681,8 +998,9 @@ mod tests {
 
     #[test]
     fn c1_fifo_matches_serial_runtime_runs() {
-        // The determinism contract the proptest generalizes: concurrency 1 +
-        // FIFO + fixed charge ≡ serial Runtime::run calls on one warm stack.
+        // The determinism contract the proptests generalize: concurrency 1 +
+        // FIFO + fixed charge ≡ serial Runtime::run calls on one warm stack —
+        // in BOTH admission modes.
         let (db, plan) = dummy_db_and_plan();
         let traces: Vec<Trace> = vec![random_trace(60), random_trace(25), random_trace(40)];
         let arrivals = [
@@ -696,21 +1014,26 @@ mod tests {
             .map(|(t, arrival)| ServerRequest::new(&plan, t, arrival))
             .collect();
 
-        let mut srv = PrefetchServer::new(&db, &run_cfg(), fixed_cfg(1, QueuePolicy::Fifo));
-        let rep = srv.serve(&reqs);
+        for cfg in [
+            fixed_cfg(1, QueuePolicy::Fifo),
+            cont_cfg(1, QueuePolicy::Fifo),
+        ] {
+            let mut srv = PrefetchServer::new(&db, &run_cfg(), cfg);
+            let rep = srv.serve(&reqs);
 
-        let mut rt = Runtime::new(&run_cfg(), db.file_lengths());
-        for ((t, arrival), q) in traces.iter().zip(arrivals).zip(&rep.queries) {
-            rt.advance_to(SimTime::ZERO + arrival);
-            let res = rt.run(&[QueryRun::default_run(t)]);
-            assert_eq!(q.start, res.timings[0].start);
-            assert_eq!(q.end, res.timings[0].end);
+            let mut rt = Runtime::new(&run_cfg(), db.file_lengths());
+            for ((t, arrival), q) in traces.iter().zip(arrivals).zip(&rep.queries) {
+                rt.advance_to(SimTime::ZERO + arrival);
+                let res = rt.run(&[QueryRun::default_run(t)]);
+                assert_eq!(q.start, res.timings[0].start, "{:?}", cfg.admission);
+                assert_eq!(q.end, res.timings[0].end, "{:?}", cfg.admission);
+            }
+            assert_eq!(rep.stats, rt.stats(), "{:?}", cfg.admission);
+            // Each query ran alone, in arrival order, back to back.
+            assert_eq!(rep.waves.len(), 3);
+            assert!(rep.queries[1].start >= rep.queries[0].end);
+            assert!(rep.queries[2].start >= rep.queries[1].end);
         }
-        assert_eq!(rep.stats, rt.stats());
-        // Each query ran alone, in arrival order, back to back.
-        assert_eq!(rep.waves.len(), 3);
-        assert!(rep.queries[1].start >= rep.queries[0].end);
-        assert!(rep.queries[2].start >= rep.queries[1].end);
     }
 
     #[test]
@@ -722,16 +1045,178 @@ mod tests {
             .map(|t| ServerRequest::new(&plan, t, SimDuration::ZERO))
             .collect();
 
-        let mut fifo = PrefetchServer::new(&db, &run_cfg(), fixed_cfg(2, QueuePolicy::Fifo));
-        let mut ovlp = PrefetchServer::new(&db, &run_cfg(), fixed_cfg(2, QueuePolicy::Overlap));
-        let a = fifo.serve(&reqs);
-        let b = ovlp.serve(&reqs);
-        assert_eq!(a.stats, b.stats);
-        for (qa, qb) in a.queries.iter().zip(&b.queries) {
-            assert_eq!(qa.wave, qb.wave);
-            assert_eq!(qa.start, qb.start);
-            assert_eq!(qa.end, qb.end);
+        for (fifo_cfg, ovlp_cfg) in [
+            (
+                fixed_cfg(2, QueuePolicy::Fifo),
+                fixed_cfg(2, QueuePolicy::Overlap),
+            ),
+            (
+                cont_cfg(2, QueuePolicy::Fifo),
+                cont_cfg(2, QueuePolicy::Overlap),
+            ),
+        ] {
+            let mut fifo = PrefetchServer::new(&db, &run_cfg(), fifo_cfg);
+            let mut ovlp = PrefetchServer::new(&db, &run_cfg(), ovlp_cfg);
+            let a = fifo.serve(&reqs);
+            let b = ovlp.serve(&reqs);
+            assert_eq!(a.stats, b.stats, "{:?}", fifo_cfg.admission);
+            for (qa, qb) in a.queries.iter().zip(&b.queries) {
+                assert_eq!(qa.wave, qb.wave);
+                assert_eq!(qa.start, qb.start);
+                assert_eq!(qa.end, qb.end);
+            }
         }
+    }
+
+    #[test]
+    fn continuous_admits_on_completion_and_beats_waves_under_skew() {
+        // One long query plus four short ones, all arriving together, two
+        // slots. Wave mode barriers on the long query; continuous streams the
+        // shorts through the freed slot while the long one is still running.
+        let (db, plan) = dummy_db_and_plan();
+        let long = random_trace(400);
+        let shorts: Vec<Trace> = (0..4).map(|_| random_trace(30)).collect();
+        let mut reqs = vec![ServerRequest::new(&plan, &long, SimDuration::ZERO)];
+        reqs.extend(
+            shorts
+                .iter()
+                .map(|t| ServerRequest::new(&plan, t, SimDuration::ZERO)),
+        );
+
+        let mut wave_srv = PrefetchServer::new(&db, &run_cfg(), fixed_cfg(2, QueuePolicy::Fifo));
+        let mut cont_srv = PrefetchServer::new(&db, &run_cfg(), cont_cfg(2, QueuePolicy::Fifo));
+        let wave = wave_srv.serve(&reqs);
+        let cont = cont_srv.serve(&reqs);
+
+        // Admit-on-completion: the third query is admitted the moment the
+        // first short completes — long before the long query finishes. Wave
+        // mode cannot admit it until the whole first wave drains.
+        assert!(cont.queries[2].admitted < cont.queries[0].end);
+        assert!(wave.queries[2].admitted >= wave.queries[0].end);
+        // One admission event per query in continuous mode.
+        assert_eq!(cont.waves.len(), reqs.len());
+        assert!(cont.waves.iter().all(|w| (1..=2).contains(&w.occupancy)));
+        // Work conservation shows up as makespan/throughput: the acceptance
+        // bar "continuous ≥ wave throughput under skewed per-query costs".
+        assert!(
+            cont.makespan() < wave.makespan(),
+            "continuous {} vs wave {}",
+            cont.makespan(),
+            wave.makespan()
+        );
+        assert!(cont.throughput_qps() > wave.throughput_qps());
+        // Both modes serve every query exactly once, with consistent stats
+        // partitions.
+        for rep in [&wave, &cont] {
+            let mut sum = BufferStats::default();
+            for w in &rep.waves {
+                sum.merge(&w.stats);
+            }
+            assert_eq!(sum, rep.stats);
+        }
+    }
+
+    #[test]
+    fn concurrency_zero_behaves_as_one() {
+        // The documented clamp: "values below 1 behave as 1" — in both
+        // admission modes, concurrency 0 must serve bit-identically to 1.
+        let (db, plan) = dummy_db_and_plan();
+        let traces: Vec<Trace> = vec![random_trace(40), random_trace(20), random_trace(30)];
+        let reqs: Vec<ServerRequest<'_>> = traces
+            .iter()
+            .enumerate()
+            .map(|(i, t)| ServerRequest::new(&plan, t, SimDuration::from_micros(i as u64 * 100)))
+            .collect();
+
+        for make in [fixed_cfg, cont_cfg] {
+            let mut zero = PrefetchServer::new(&db, &run_cfg(), make(0, QueuePolicy::Fifo));
+            let mut one = PrefetchServer::new(&db, &run_cfg(), make(1, QueuePolicy::Fifo));
+            let a = zero.serve(&reqs);
+            let b = one.serve(&reqs);
+            assert_eq!(a.stats, b.stats);
+            assert_eq!(a.waves.len(), b.waves.len());
+            for (qa, qb) in a.queries.iter().zip(&b.queries) {
+                assert_eq!(qa.admitted, qb.admitted);
+                assert_eq!(qa.start, qb.start);
+                assert_eq!(qa.end, qb.end);
+                assert_eq!(qa.wave, qb.wave);
+            }
+            // Occupancy respects the clamped limit.
+            assert!(a.waves.iter().all(|w| w.occupancy == 1));
+        }
+    }
+
+    #[test]
+    fn continuous_serves_empty_traces_at_their_admission_instant() {
+        // Empty-trace queries complete the instant they are admitted; the
+        // refill chain must still admit everything exactly once (this is the
+        // instant-completion path of the continuous driver).
+        let (db, plan) = dummy_db_and_plan();
+        let empty = Trace::new();
+        let real = random_trace(25);
+        let reqs = [
+            ServerRequest::new(&plan, &empty, SimDuration::ZERO),
+            ServerRequest::new(&plan, &empty, SimDuration::ZERO),
+            ServerRequest::new(&plan, &real, SimDuration::ZERO),
+            ServerRequest::new(&plan, &empty, SimDuration::ZERO),
+        ];
+        let mut srv = PrefetchServer::new(&db, &run_cfg(), cont_cfg(1, QueuePolicy::Fifo));
+        let rep = srv.serve(&reqs);
+        assert_eq!(rep.queries.len(), 4);
+        assert_eq!(rep.waves.len(), 4);
+        for (i, q) in rep.queries.iter().enumerate() {
+            if i != 2 {
+                assert_eq!(q.start, q.admitted);
+                assert_eq!(q.end, q.start, "empty trace replays in zero time");
+            }
+        }
+        // FIFO: the two leading empties chain at t=0, the real query runs,
+        // the trailing empty completes at the real query's end.
+        assert_eq!(rep.queries[0].end, SimTime::ZERO);
+        assert_eq!(rep.queries[1].end, SimTime::ZERO);
+        assert_eq!(rep.queries[3].admitted, rep.queries[2].end);
+    }
+
+    #[test]
+    fn serve_report_is_nan_free_on_empty_and_degenerate_inputs() {
+        // Satellite pin: no panics, NaNs or divisions by zero on empty or
+        // zero-duration inputs.
+        let empty = ServeReport {
+            queries: Vec::new(),
+            waves: Vec::new(),
+            stats: BufferStats::default(),
+        };
+        assert_eq!(empty.makespan(), SimDuration::ZERO);
+        assert_eq!(empty.mean_admission_wait(), SimDuration::ZERO);
+        assert_eq!(empty.mean_occupancy(), 0.0);
+        assert_eq!(empty.max_queue_depth(), 0);
+        assert_eq!(empty.throughput_qps(), 0.0);
+        assert!(!empty.throughput_qps().is_nan());
+        let aw = empty.admission_wait_hist();
+        assert_eq!((aw.p50(), aw.p95(), aw.p99()), (0, 0, 0));
+        let text = empty.report();
+        assert!(text.contains("0 queries, 0 waves"), "{text}");
+
+        // Zero-duration queries (arrival == end): makespan 0 with a non-zero
+        // query count must yield throughput 0, not infinity or NaN.
+        let t = SimTime::from_micros(50);
+        let degenerate = ServeReport {
+            queries: vec![QueryOutcome {
+                arrival: t,
+                admitted: t,
+                start: t,
+                end: t,
+                wave: 0,
+                inference: SimDuration::ZERO,
+            }],
+            // A queries/waves mismatch must not trip any indexing either.
+            waves: Vec::new(),
+            stats: BufferStats::default(),
+        };
+        assert_eq!(degenerate.makespan(), SimDuration::ZERO);
+        assert_eq!(degenerate.throughput_qps(), 0.0);
+        assert!(!degenerate.mean_occupancy().is_nan());
+        assert!(degenerate.report().contains("1 queries, 0 waves"));
     }
 
     #[test]
@@ -842,6 +1327,7 @@ mod tests {
         let inf = SimDuration::from_millis(2);
         let server_cfg = ServerConfig {
             concurrency: 2,
+            admission: AdmissionMode::Continuous,
             policy: QueuePolicy::Overlap,
             charge: InferenceCharge::Fixed(inf),
             prefetch_budget: None,

@@ -38,7 +38,9 @@ pub use catalog::{Database, ObjectId, ObjectKind, TableId};
 pub use exec::{execute, ExecContext};
 pub use expr::{CmpOp, Pred};
 pub use plan::{AggFunc, PlanNode};
-pub use runtime::{QueryRun, QueryTiming, RunConfig, RunResult, Runtime};
+pub use runtime::{
+    QueryRun, QueryTiming, ReplaySession, RunConfig, RunResult, Runtime, SessionCompletion,
+};
 pub use trace::{AccessKind, Trace, TraceEvent};
 pub use tuple::Tuple;
 pub use types::{Datum, Schema};

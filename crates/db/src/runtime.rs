@@ -324,79 +324,22 @@ impl Runtime {
     /// State (buffer contents) carries over from previous `run` calls unless
     /// [`Self::reset`] is called — that is how the warm-cache multi-query
     /// experiments (§5.4) are expressed.
+    ///
+    /// This is the one-shot form of [`ReplaySession`]: every query is
+    /// injected up front (arrivals are offsets within the batch, shifted onto
+    /// the stack's continuing clock), then the session is stepped dry and
+    /// finished. A serving loop that wants to *add* queries while others are
+    /// mid-replay drives the session directly instead.
     pub fn run(&mut self, queries: &[QueryRun<'_>]) -> RunResult {
-        // Query arrivals are offsets within the batch; shift them onto the
-        // stack's continuing clock.
         let base = self.now;
-        let mut states: Vec<QState<'_>> = queries
-            .iter()
-            .map(|q| {
-                let arrival = base + q.arrival;
-                let start = arrival + q.inference_latency;
-                QState {
-                    run: q.clone(),
-                    arrival,
-                    cursor: 0,
-                    t: start,
-                    started_prefetch: false,
-                    aio: None,
-                    done: q.trace.events.is_empty(),
-                    start,
-                    stream: self.alloc_stream(),
-                    track: self.alloc_query_track(),
-                }
-            })
-            .collect();
-
-        // Event loop: always advance the live query with the smallest
-        // current time.
-        while let Some(qi) = states
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| !s.done)
-            .min_by_key(|(_, s)| s.t)
-            .map(|(i, _)| i)
-        {
-            self.step(&mut states, qi);
+        let mut session = ReplaySession::new();
+        for q in queries {
+            session.inject(self, q.clone(), base + q.arrival);
         }
-
-        self.pool.finish_accounting();
-        self.now = states.iter().map(|s| s.t).max().unwrap_or(base).max(base);
-        if self.pool.recorder().is_enabled() {
-            let rec = self.pool.recorder_mut();
-            for s in &states {
-                rec.add("queries.replayed", 1);
-                if s.start > s.arrival {
-                    rec.span(
-                        s.track,
-                        "query",
-                        "query.infer_charge",
-                        s.arrival.as_micros(),
-                        s.start.as_micros(),
-                        &[],
-                    );
-                }
-                // The span end (`ts + dur`) is the query's completion time —
-                // exactly the `end` in the returned timings.
-                rec.span(
-                    s.track,
-                    "query",
-                    s.run.span_name,
-                    s.start.as_micros(),
-                    s.t.as_micros(),
-                    &[("reads", s.run.trace.read_count() as u64)],
-                );
-                rec.observe("query.latency_us", s.t.since(s.arrival).as_micros());
-            }
+        while session.live() > 0 {
+            session.step(self);
         }
-        let timings = states
-            .iter()
-            .map(|s| QueryTiming {
-                arrival: s.arrival,
-                start: s.start,
-                end: s.t,
-            })
-            .collect();
+        let timings = session.finish(self);
         RunResult {
             timings,
             stats: *self.pool.stats(),
@@ -540,6 +483,189 @@ impl Runtime {
         if let Some(aio) = s.aio.as_mut() {
             aio.on_query_read(&mut self.pool, &mut self.os, &mut self.io, &self.cost, s.t);
         }
+    }
+}
+
+/// A query's completion, as reported by [`ReplaySession::step`] (or by
+/// [`ReplaySession::inject`] for an empty-trace query that finishes the
+/// instant it is admitted).
+#[derive(Debug, Clone, Copy)]
+pub struct SessionCompletion {
+    /// Slot index assigned at injection (0-based injection order).
+    pub slot: usize,
+    /// The completed query's timing.
+    pub timing: QueryTiming,
+}
+
+/// Incremental replay: the engine behind [`Runtime::run`] and the serving
+/// loop's admit-on-completion path.
+///
+/// A session owns the per-query timelines while the shared stack (buffer
+/// pool / OS cache / I/O lanes) stays in the [`Runtime`]. Unlike `run`,
+/// queries can be [injected](Self::inject) while earlier ones are mid-replay:
+/// an admission at virtual time `t` is causally sound as long as `t` is no
+/// later than the session's next pending event
+/// ([`Self::next_event_time`]) — exactly the invariant an event-ordered
+/// serving loop maintains by processing arrivals and completions in global
+/// virtual-time order.
+///
+/// Lifecycle: any interleaving of `inject` / `step` until nothing is live,
+/// then one [`finish`](Self::finish), which settles prefetch-waste
+/// accounting, advances the stack clock past the last completion, and emits
+/// the per-query replay spans in injection order (matching `run`'s trace
+/// layout byte for byte).
+#[derive(Default)]
+pub struct ReplaySession<'a> {
+    states: Vec<QState<'a>>,
+    live: usize,
+}
+
+impl<'a> ReplaySession<'a> {
+    /// An empty session.
+    pub fn new() -> Self {
+        ReplaySession::default()
+    }
+
+    /// Number of injected queries still replaying.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Total number of queries injected so far (completed ones included).
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True if no query was ever injected.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The earliest pending event instant across live queries, or `None`
+    /// when nothing is live. A serving loop admits an arrival at time `a`
+    /// directly iff `a <= next_event_time()` (or nothing is live).
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.states.iter().filter(|s| !s.done).map(|s| s.t).min()
+    }
+
+    /// Admit one query at absolute virtual time `arrival` (the `run.arrival`
+    /// *offset* field is ignored here — sessions deal in instants). Allocates
+    /// the query's OS-cache stream and trace track, charges its inference
+    /// latency, and returns the assigned slot plus an immediate completion if
+    /// the trace is empty.
+    pub fn inject(
+        &mut self,
+        rt: &mut Runtime,
+        run: QueryRun<'a>,
+        arrival: SimTime,
+    ) -> (usize, Option<SessionCompletion>) {
+        let start = arrival + run.inference_latency;
+        let done = run.trace.events.is_empty();
+        let state = QState {
+            run,
+            arrival,
+            cursor: 0,
+            t: start,
+            started_prefetch: false,
+            aio: None,
+            done,
+            start,
+            stream: rt.alloc_stream(),
+            track: rt.alloc_query_track(),
+        };
+        let slot = self.states.len();
+        self.states.push(state);
+        if done {
+            (
+                slot,
+                Some(SessionCompletion {
+                    slot,
+                    timing: QueryTiming {
+                        arrival,
+                        start,
+                        end: start,
+                    },
+                }),
+            )
+        } else {
+            self.live += 1;
+            (slot, None)
+        }
+    }
+
+    /// Advance the live query with the smallest current time by one trace
+    /// event (first-minimal tie-break, same as `run`). Returns the completion
+    /// if that event finished the query. Must not be called with
+    /// `live() == 0` (returns `None` without advancing anything).
+    pub fn step(&mut self, rt: &mut Runtime) -> Option<SessionCompletion> {
+        let qi = self
+            .states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.done)
+            .min_by_key(|(_, s)| s.t)
+            .map(|(i, _)| i)?;
+        rt.step(&mut self.states, qi);
+        let s = &self.states[qi];
+        if s.done {
+            self.live -= 1;
+            Some(SessionCompletion {
+                slot: qi,
+                timing: QueryTiming {
+                    arrival: s.arrival,
+                    start: s.start,
+                    end: s.t,
+                },
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Close the session: settle end-of-run prefetch-waste accounting,
+    /// advance the stack clock to the last completion, emit per-query replay
+    /// spans (injection order), and return all timings in slot order.
+    pub fn finish(self, rt: &mut Runtime) -> Vec<QueryTiming> {
+        debug_assert!(self.live == 0, "finish() with {} queries live", self.live);
+        rt.pool.finish_accounting();
+        if let Some(end) = self.states.iter().map(|s| s.t).max() {
+            rt.now = rt.now.max(end);
+        }
+        if rt.pool.recorder().is_enabled() {
+            let rec = rt.pool.recorder_mut();
+            for s in &self.states {
+                rec.add("queries.replayed", 1);
+                if s.start > s.arrival {
+                    rec.span(
+                        s.track,
+                        "query",
+                        "query.infer_charge",
+                        s.arrival.as_micros(),
+                        s.start.as_micros(),
+                        &[],
+                    );
+                }
+                // The span end (`ts + dur`) is the query's completion time —
+                // exactly the `end` in the returned timings.
+                rec.span(
+                    s.track,
+                    "query",
+                    s.run.span_name,
+                    s.start.as_micros(),
+                    s.t.as_micros(),
+                    &[("reads", s.run.trace.read_count() as u64)],
+                );
+                rec.observe("query.latency_us", s.t.since(s.arrival).as_micros());
+            }
+        }
+        self.states
+            .iter()
+            .map(|s| QueryTiming {
+                arrival: s.arrival,
+                start: s.start,
+                end: s.t,
+            })
+            .collect()
     }
 }
 
@@ -868,5 +994,104 @@ mod tests {
         let mut rt = Runtime::new(&cfg, vec![20_000]);
         let res = rt.run(&[QueryRun::default_run(&t)]);
         assert_eq!(res.timings[0].elapsed(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn session_batch_injection_is_bit_identical_to_run() {
+        // `run` is a thin wrapper over ReplaySession; driving the session by
+        // hand with the same up-front injections must reproduce it exactly.
+        let cfg = config();
+        let a = random_trace(100, 2);
+        let b = random_trace(60, 3);
+        let gap = SimDuration::from_micros(500);
+
+        let mut rt1 = Runtime::new(&cfg, vec![20_000]);
+        let res = rt1.run(&[
+            QueryRun::default_run(&a),
+            QueryRun {
+                arrival: gap,
+                ..QueryRun::default_run(&b)
+            },
+        ]);
+
+        let mut rt2 = Runtime::new(&cfg, vec![20_000]);
+        let mut sess = ReplaySession::new();
+        let (s0, c0) = sess.inject(&mut rt2, QueryRun::default_run(&a), SimTime::ZERO);
+        let (s1, c1) = sess.inject(&mut rt2, QueryRun::default_run(&b), SimTime::ZERO + gap);
+        assert_eq!((s0, s1), (0, 1));
+        assert!(c0.is_none() && c1.is_none());
+        let mut completions = Vec::new();
+        while sess.live() > 0 {
+            if let Some(c) = sess.step(&mut rt2) {
+                completions.push(c);
+            }
+        }
+        let timings = sess.finish(&mut rt2);
+
+        assert_eq!(completions.len(), 2, "each query completes exactly once");
+        assert_eq!(timings.len(), res.timings.len());
+        for (got, want) in timings.iter().zip(res.timings.iter()) {
+            assert_eq!(got.arrival, want.arrival);
+            assert_eq!(got.start, want.start);
+            assert_eq!(got.end, want.end);
+        }
+        assert_eq!(rt2.stats(), res.stats);
+        assert_eq!(rt2.now(), rt1.now());
+    }
+
+    #[test]
+    fn session_late_injection_matches_chained_runs() {
+        // Admit-on-completion at concurrency 1: injecting the second query at
+        // the first one's completion instant must equal two chained `run`
+        // batches (which is how the serial comparator in the serving
+        // proptests is phrased).
+        let cfg = config();
+        let a = random_trace(80, 2);
+        let b = random_trace(40, 2);
+
+        let mut rt1 = Runtime::new(&cfg, vec![20_000]);
+        let first = rt1.run(&[QueryRun::default_run(&a)]);
+        let second = rt1.run(&[QueryRun::default_run(&b)]);
+
+        let mut rt2 = Runtime::new(&cfg, vec![20_000]);
+        let mut sess = ReplaySession::new();
+        sess.inject(&mut rt2, QueryRun::default_run(&a), SimTime::ZERO);
+        let done = loop {
+            if let Some(c) = sess.step(&mut rt2) {
+                break c;
+            }
+        };
+        assert_eq!(done.slot, 0);
+        assert_eq!(done.timing.end, first.timings[0].end);
+        // The slot freed: admit the next query at the completion instant.
+        sess.inject(&mut rt2, QueryRun::default_run(&b), done.timing.end);
+        while sess.live() > 0 {
+            sess.step(&mut rt2);
+        }
+        let timings = sess.finish(&mut rt2);
+        assert_eq!(timings[1].arrival, second.timings[0].arrival);
+        assert_eq!(timings[1].start, second.timings[0].start);
+        assert_eq!(timings[1].end, second.timings[0].end);
+        assert_eq!(rt2.stats(), rt1.stats());
+        assert_eq!(rt2.now(), rt1.now());
+    }
+
+    #[test]
+    fn session_empty_trace_completes_at_injection() {
+        let cfg = config();
+        let t = Trace::new();
+        let mut rt = Runtime::new(&cfg, vec![20_000]);
+        let mut sess = ReplaySession::new();
+        let at = SimTime::from_micros(123);
+        let (slot, done) = sess.inject(&mut rt, QueryRun::default_run(&t), at);
+        let done = done.expect("empty trace completes instantly");
+        assert_eq!((slot, done.slot), (0, 0));
+        assert_eq!(done.timing.start, at);
+        assert_eq!(done.timing.end, at);
+        assert_eq!(sess.live(), 0);
+        assert!(sess.step(&mut rt).is_none(), "nothing live to step");
+        let timings = sess.finish(&mut rt);
+        assert_eq!(timings.len(), 1);
+        assert_eq!(rt.now(), at);
     }
 }

@@ -12,10 +12,13 @@
 //!   endpoint stays up until the process exits).
 //! * `--metrics-out <path>` — with `--trace-out`, write the final metrics
 //!   snapshot JSON to the given path (CI uploads it as an artifact).
+//! * `--admission-out <path>` — write the wave-vs-continuous admission
+//!   comparison (skewed request mix, simultaneous arrivals) as JSON to the
+//!   given path; CI uploads it alongside the trace artifacts.
 //! * `--mini` — CI-sized configuration (tiny database, 12 queries) and skip
 //!   the overlap sweep; combined with `--trace-out` this is the tier-1
 //!   traced mini-serving run.
-use pythia_core::server::QueuePolicy;
+use pythia_core::server::{AdmissionMode, QueuePolicy};
 use pythia_experiments::{serving, Env, ExpConfig};
 use pythia_workloads::templates::Template;
 
@@ -36,6 +39,13 @@ fn main() {
         serving::run(&env).emit("serving");
     }
 
+    if let Some(path) = serving::admission_out_arg() {
+        let json = serving::admission_snapshot(&env);
+        std::fs::write(&path, &json)
+            .unwrap_or_else(|e| panic!("writing admission snapshot to {path}: {e}"));
+        eprintln!("[pythia] wrote wave-vs-continuous admission snapshot to {path}");
+    }
+
     if let Some(path) = serving::trace_out_arg() {
         let metrics_addr = serving::metrics_addr_arg();
         let metrics_out = serving::metrics_out_arg();
@@ -49,6 +59,7 @@ fn main() {
         &env,
         Template::T18,
         Some(tw.as_ref()),
+        AdmissionMode::Continuous,
         QueuePolicy::Overlap,
         0.75,
         env.cfg.seed ^ 0x5E4B,

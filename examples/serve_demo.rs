@@ -1,0 +1,152 @@
+//! A live prefetch-serving endpoint you can hit with `curl` or netcat.
+//!
+//! ```bash
+//! cargo run --release --example serve_demo -- --addr 127.0.0.1:7878
+//! # then, from another shell:
+//! curl http://127.0.0.1:7878/healthz
+//! curl http://127.0.0.1:7878/query/0
+//! curl http://127.0.0.1:7878/stats
+//! curl http://127.0.0.1:7878/shutdown
+//! ```
+//!
+//! Builds a small DSB-like benchmark database and a catalog of Template-18
+//! queries, then puts the zero-dependency TCP [`Frontend`] in front of a
+//! continuous-admission [`PrefetchServer`]: each `GET /query/<idx>` becomes
+//! an arrival event, queued requests are drained in opportunistic batches,
+//! admitted the moment a replay slot frees (no wave barrier), and answered
+//! with the query's virtual-time outcome as JSON. Requests beyond the queue
+//! depth target are load-shed with `503 Retry-After`.
+//!
+//! Flags:
+//!
+//! * `--addr <host:port>` — listen address (default `127.0.0.1:0`, i.e. an
+//!   ephemeral port; the bound address is printed on startup).
+//! * `--shed-depth <n>` — queue depth target above which requests are shed
+//!   (default 32).
+//! * `--train` — train a Pythia predictor on the catalog first (slower
+//!   startup; admitted queries then replay with learned prefetching).
+//!
+//! `/shutdown` drains the queue and exits cleanly — that is how the CI
+//! smoke test stops the demo.
+
+use std::time::Duration;
+
+use pythia::core::frontend::outcome_json;
+use pythia::core::{
+    AdmissionMode, Frontend, FrontendConfig, InferenceCharge, PrefetchServer, PythiaConfig,
+    QueuePolicy, ServerConfig, ServerRequest,
+};
+use pythia::db::runtime::RunConfig;
+use pythia::sim::SimDuration;
+use pythia::workloads::templates::{sample_workload, Template};
+use pythia::workloads::{build_benchmark, GeneratorConfig};
+use pythia::PythiaSystem;
+
+/// Value of a `--<name> <value>` (or `--<name>=<value>`) flag, if present.
+fn flag_value(name: &str) -> Option<String> {
+    let long = format!("--{name}");
+    let prefixed = format!("--{name}=");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == long {
+            return args.next();
+        }
+        if let Some(p) = a.strip_prefix(&prefixed) {
+            return Some(p.to_owned());
+        }
+    }
+    None
+}
+
+fn main() {
+    let addr = flag_value("addr").unwrap_or_else(|| "127.0.0.1:0".to_owned());
+    let shed_depth: usize = flag_value("shed-depth")
+        .map(|v| v.parse().expect("--shed-depth takes an integer"))
+        .unwrap_or(32);
+    let train = std::env::args().any(|a| a == "--train");
+
+    eprintln!("[serve_demo] building benchmark database + query catalog...");
+    let bench = build_benchmark(&GeneratorConfig {
+        scale: 0.05,
+        seed: 7,
+    });
+    let queries = sample_workload(&bench, Template::T18, 12, 42);
+    let traces: Vec<_> = queries
+        .iter()
+        .map(|q| pythia::db::exec::execute(&q.plan, &bench.db).1)
+        .collect();
+
+    // Optionally train Pythia on the catalog so served queries replay with
+    // learned prefetching; without --train the demo serves the DFLT baseline
+    // (instant startup, which is what the CI smoke test wants).
+    let system = train.then(|| {
+        eprintln!("[serve_demo] training predictor on the catalog (--train)...");
+        let budget = (bench.db.disk.total_pages() as usize / 8).max(256) * 3 / 4;
+        let mut sys = PythiaSystem::new(PythiaConfig::fast(), budget);
+        let plans: Vec<_> = queries.iter().map(|q| q.plan.clone()).collect();
+        sys.learn_workload(&bench.db, "demo-t18", &plans, &traces, None);
+        sys
+    });
+
+    let fe = Frontend::start(
+        &addr,
+        FrontendConfig {
+            catalog: queries.len(),
+            shed_depth,
+        },
+    )
+    .unwrap_or_else(|e| panic!("binding {addr}: {e}"));
+    println!("serve_demo listening on http://{}", fe.addr());
+    println!(
+        "  catalog: {} Template-18 queries; predictor: {}",
+        queries.len(),
+        if train { "trained" } else { "none (DFLT)" }
+    );
+    println!("  try: curl http://{}/query/0", fe.addr());
+    println!("  stop: curl http://{}/shutdown", fe.addr());
+
+    let cfg = ServerConfig {
+        concurrency: 2,
+        admission: AdmissionMode::Continuous,
+        policy: QueuePolicy::Fifo,
+        charge: InferenceCharge::Fixed(SimDuration::from_micros(150)),
+        prefetch_budget: None,
+    };
+    let mut srv = PrefetchServer::new(&bench.db, &RunConfig::default(), cfg);
+    if let Some(sys) = system.as_ref() {
+        srv = srv.with_predictor(&sys.workloads()[0]);
+    }
+
+    loop {
+        let batch = fe.drain_batch(Duration::from_millis(50));
+        if batch.is_empty() {
+            if fe.shutdown_requested() && fe.depth() == 0 {
+                break;
+            }
+            continue;
+        }
+        let reqs: Vec<ServerRequest<'_>> = batch
+            .iter()
+            .map(|a| {
+                ServerRequest::new(&queries[a.query].plan, &traces[a.query], SimDuration::ZERO)
+            })
+            .collect();
+        let rep = srv.serve(&reqs);
+        eprintln!(
+            "[serve_demo] served batch of {}: makespan {}, throughput {:.1} q/s",
+            rep.queries.len(),
+            rep.makespan(),
+            rep.throughput_qps()
+        );
+        for (a, q) in batch.into_iter().zip(&rep.queries) {
+            a.responder.ok_json(&outcome_json(a.query, q));
+        }
+    }
+
+    let stats = fe.stats();
+    println!(
+        "serve_demo done: accepted {} shed {} rejected {}",
+        stats.accepted, stats.shed, stats.rejected
+    );
+    fe.shutdown();
+}

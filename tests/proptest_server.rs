@@ -1,16 +1,18 @@
-//! Property test for the admission-controlled serving loop: with concurrency
-//! limit 1, FIFO admission and a fixed inference charge, serving a request
-//! stream must be **bit-identical** — per-query start/end instants, final
-//! clock and every buffer counter — to replaying the same queries serially
-//! through `Runtime::run` on one warm stack, across random traces, arrival
-//! patterns and stack sizings.
+//! Property tests for the admission-controlled serving loop: with
+//! concurrency limit 1, FIFO admission and a fixed inference charge, serving
+//! a request stream must be **bit-identical** — per-query start/end
+//! instants, final clock and every buffer counter — to replaying the same
+//! queries serially through `Runtime::run` on one warm stack, across random
+//! traces, arrival patterns and stack sizings. The pin holds for BOTH
+//! admission modes: the wave-barrier loop and the admit-on-completion
+//! continuous scheduler degenerate to the same serial schedule at C=1.
 
 use std::sync::OnceLock;
 
 use proptest::prelude::*;
 
 use pythia::core::server::{
-    InferenceCharge, PrefetchServer, QueuePolicy, ServerConfig, ServerRequest,
+    AdmissionMode, InferenceCharge, PrefetchServer, QueuePolicy, ServerConfig, ServerRequest,
 };
 use pythia::db::catalog::{Database, ObjectId};
 use pythia::db::plan::PlanNode;
@@ -88,34 +90,47 @@ proptest! {
             .zip(&arrivals)
             .map(|(trace, &us)| ServerRequest::new(&plan, trace, SimDuration::from_micros(us)))
             .collect();
-        let cfg = ServerConfig {
-            concurrency: 1,
-            policy: QueuePolicy::Fifo,
-            // No predictor is attached, so nothing is ever charged — but the
-            // config must not leak into the timings either way.
-            charge: InferenceCharge::Fixed(SimDuration::from_micros(charge_us)),
-            prefetch_budget: None,
-        };
-        let mut server = PrefetchServer::new(db, &run_cfg, cfg);
-        let report = server.serve(&requests);
 
-        // Serial comparator: same queries, one warm stack, arrival order
-        // (ties broken by request index — the server's queue order).
-        let mut order: Vec<usize> = (0..requests.len()).collect();
-        order.sort_by_key(|&i| (requests[i].arrival, i));
-        let mut rt = Runtime::new(&run_cfg, db.file_lengths());
-        for &i in &order {
-            rt.advance_to(SimTime::ZERO + requests[i].arrival);
-            let res = rt.run(&[QueryRun::default_run(&traces[i])]);
-            prop_assert_eq!(report.queries[i].start, res.timings[0].start, "start of query {}", i);
-            prop_assert_eq!(report.queries[i].end, res.timings[0].end, "end of query {}", i);
-            prop_assert_eq!(report.queries[i].inference, SimDuration::ZERO);
-        }
-        prop_assert_eq!(report.stats, rt.stats());
-        prop_assert_eq!(server.runtime().now(), rt.now());
-        prop_assert_eq!(report.waves.len(), requests.len(), "one wave per query at C=1");
-        for w in &report.waves {
-            prop_assert_eq!(w.occupancy, 1);
+        for admission in [AdmissionMode::Wave, AdmissionMode::Continuous] {
+            let cfg = ServerConfig {
+                concurrency: 1,
+                admission,
+                policy: QueuePolicy::Fifo,
+                // No predictor is attached, so nothing is ever charged — but
+                // the config must not leak into the timings either way.
+                charge: InferenceCharge::Fixed(SimDuration::from_micros(charge_us)),
+                prefetch_budget: None,
+            };
+            let mut server = PrefetchServer::new(db, &run_cfg, cfg);
+            let report = server.serve(&requests);
+
+            // Serial comparator: same queries, one warm stack, arrival order
+            // (ties broken by request index — the server's queue order).
+            let mut order: Vec<usize> = (0..requests.len()).collect();
+            order.sort_by_key(|&i| (requests[i].arrival, i));
+            let mut rt = Runtime::new(&run_cfg, db.file_lengths());
+            for &i in &order {
+                rt.advance_to(SimTime::ZERO + requests[i].arrival);
+                let res = rt.run(&[QueryRun::default_run(&traces[i])]);
+                prop_assert_eq!(
+                    report.queries[i].start, res.timings[0].start,
+                    "start of query {} ({:?})", i, admission
+                );
+                prop_assert_eq!(
+                    report.queries[i].end, res.timings[0].end,
+                    "end of query {} ({:?})", i, admission
+                );
+                prop_assert_eq!(report.queries[i].inference, SimDuration::ZERO);
+            }
+            prop_assert_eq!(report.stats, rt.stats());
+            prop_assert_eq!(server.runtime().now(), rt.now());
+            prop_assert_eq!(
+                report.waves.len(), requests.len(),
+                "one admission event per query at C=1 ({:?})", admission
+            );
+            for w in &report.waves {
+                prop_assert_eq!(w.occupancy, 1);
+            }
         }
     }
 
@@ -146,6 +161,7 @@ proptest! {
             .collect();
         let cfg = ServerConfig {
             concurrency,
+            admission: AdmissionMode::Wave,
             policy: QueuePolicy::Overlap,
             charge: InferenceCharge::Fixed(SimDuration::from_micros(charge_us)),
             prefetch_budget: None,
@@ -190,5 +206,69 @@ proptest! {
         prop_assert_eq!(report.max_queue_depth(), max_depth);
         let mean_occ = n as f64 / report.waves.len() as f64;
         prop_assert!((report.mean_occupancy() - mean_occ).abs() < 1e-9);
+    }
+
+    /// Continuous-admission metrics invariants across random traces,
+    /// arrivals, policies and concurrency limits: exactly one admission
+    /// event per query, occupancy within `1..=concurrency`, monotone
+    /// admission instants, causally ordered per-query timelines, and
+    /// per-admission buffer counters that partition the report totals.
+    #[test]
+    fn continuous_admission_metrics_are_consistent(
+        specs in prop::collection::vec(trace_strategy(), 1..7),
+        arrivals in prop::collection::vec(0u64..1_500_000, 7),
+        concurrency in 1usize..4,
+        overlap_policy in any::<bool>(),
+        pool_frames in prop::sample::select(vec![64usize, 512]),
+        charge_us in 0u64..3_000,
+    ) {
+        let db = db();
+        let traces: Vec<Trace> = specs.iter().map(|s| build_trace(s)).collect();
+        let n = traces.len();
+        let run_cfg = RunConfig { pool_frames, ..Default::default() };
+        let plan = plan();
+        let requests: Vec<ServerRequest<'_>> = traces
+            .iter()
+            .zip(&arrivals)
+            .map(|(trace, &us)| ServerRequest::new(&plan, trace, SimDuration::from_micros(us)))
+            .collect();
+        let cfg = ServerConfig {
+            concurrency,
+            admission: AdmissionMode::Continuous,
+            policy: if overlap_policy { QueuePolicy::Overlap } else { QueuePolicy::Fifo },
+            charge: InferenceCharge::Fixed(SimDuration::from_micros(charge_us)),
+            prefetch_budget: None,
+        };
+        let mut server = PrefetchServer::new(db, &run_cfg, cfg);
+        let report = server.serve(&requests);
+
+        prop_assert_eq!(report.queries.len(), n);
+        // Continuous admission dispatches queries one at a time: exactly one
+        // admission event per query.
+        prop_assert_eq!(report.waves.len(), n);
+
+        let mut merged = pythia::buffer::BufferStats::default();
+        let mut prev_dispatch = SimTime::ZERO;
+        for (i, w) in report.waves.iter().enumerate() {
+            prop_assert!(w.occupancy >= 1, "admission {} with empty slots only", i);
+            prop_assert!(w.occupancy <= concurrency, "admission {} over the limit", i);
+            prop_assert!(w.queue_depth >= 1, "admission {} from an empty queue", i);
+            prop_assert!(w.queue_depth <= n);
+            prop_assert!(w.admitted_at >= prev_dispatch, "admission {} out of order", i);
+            prev_dispatch = w.admitted_at;
+            merged.merge(&w.stats);
+        }
+        prop_assert_eq!(merged, report.stats, "per-admission stats must partition the totals");
+
+        for (i, q) in report.queries.iter().enumerate() {
+            prop_assert!(q.wave < report.waves.len());
+            prop_assert_eq!(q.admitted, report.waves[q.wave].admitted_at, "query {}", i);
+            prop_assert!(q.arrival <= q.admitted, "query {} admitted before arriving", i);
+            prop_assert!(q.admitted <= q.start);
+            prop_assert!(q.start <= q.end);
+        }
+
+        let max_depth = report.waves.iter().map(|w| w.queue_depth).max().unwrap();
+        prop_assert_eq!(report.max_queue_depth(), max_depth);
     }
 }

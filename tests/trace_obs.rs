@@ -13,7 +13,7 @@
 //! * the metrics snapshot JSON parses with the documented structure.
 
 use pythia::core::server::{
-    InferenceCharge, PrefetchServer, QueuePolicy, ServerConfig, ServerRequest,
+    AdmissionMode, InferenceCharge, PrefetchServer, QueuePolicy, ServerConfig, ServerRequest,
 };
 use pythia::db::catalog::{Database, ObjectId};
 use pythia::db::plan::PlanNode;
@@ -120,6 +120,10 @@ fn traced_server_reconciles_and_virtual_trace_is_deterministic() {
         };
         let cfg = ServerConfig {
             concurrency: 2,
+            // Wave mode: this test pins the wave-barrier trace vocabulary
+            // (the `server.waves` counter below); the continuous-admission
+            // vocabulary is reconciled in pythia-experiments' traced test.
+            admission: AdmissionMode::Wave,
             policy: QueuePolicy::Overlap,
             charge: InferenceCharge::Fixed(SimDuration::from_micros(40)),
             prefetch_budget: Some(16),
