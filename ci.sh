@@ -70,11 +70,18 @@ if [[ "$fast" -eq 0 ]]; then
     # A missing golden is never silent: bless the fresh summary into the
     # golden directory and shout until it gets committed. (The summary is a
     # run artifact, so it cannot be hand-authored — this is the only way to
-    # create it.)
+    # create it.) Under CI ($CI set) the blessed file would never reach the
+    # repo, silently turning the trace-diff gate into a no-op on every
+    # subsequent run — so auto-blessing there is a hard failure instead.
     cp results/serving_trace_summary.txt tests/golden/serving_trace_summary.txt
     echo "!!> no golden serving-trace summary was checked in." >&2
     echo "!!> auto-blessed results/serving_trace_summary.txt into tests/golden/." >&2
     echo "!!> COMMIT tests/golden/serving_trace_summary.txt to pin the serving trace." >&2
+    if [[ -n "${CI:-}" ]]; then
+      echo "!!> refusing to continue under CI with an unpinned serving trace." >&2
+      echo "!!> bless the golden locally (run ci.sh, commit the file) first." >&2
+      exit 1
+    fi
   fi
 
   echo "==> serve_demo socket smoke test"

@@ -20,8 +20,12 @@
 //!
 //! Anything else (unknown path, non-GET, unparsable index, index outside the
 //! catalog) gets `400`/`404`. There is deliberately no HTTP library and no
-//! async runtime: one short-lived thread, blocking sockets with timeouts,
-//! `Connection: close` semantics.
+//! async runtime: blocking sockets with timeouts and `Connection: close`
+//! semantics. The accept thread hands each connection to a short-lived
+//! handler thread, so an idle or byte-trickling client never stalls other
+//! requests (`/healthz` included); a connection that has not produced a full
+//! request line within [`FrontendConfig::read_deadline`] is answered `408`
+//! and closed, which also bounds every handler thread's lifetime.
 //!
 //! The wall-clock side (sockets, thread wakeups) never feeds back into the
 //! virtual clock: arrivals carry no wall timestamps, and the serving loop
@@ -52,14 +56,21 @@ pub struct FrontendConfig {
     /// already queued is shed with `503` instead of enqueued, so the queue
     /// never holds more than `shed_depth` entries.
     pub shed_depth: usize,
+    /// Total time a connection gets to produce a complete request line.
+    /// A client that stays idle or trickles bytes past this deadline is
+    /// answered `408 Request Timeout` and closed. This bounds the lifetime
+    /// of each per-connection handler thread.
+    pub read_deadline: Duration,
 }
 
 impl FrontendConfig {
-    /// Config for a `catalog`-query workload with the default depth target.
+    /// Config for a `catalog`-query workload with the default depth target
+    /// and a 2s request-line deadline.
     pub fn new(catalog: usize) -> Self {
         FrontendConfig {
             catalog,
             shed_depth: 64,
+            read_deadline: Duration::from_secs(2),
         }
     }
 }
@@ -164,7 +175,21 @@ impl Frontend {
                         break;
                     }
                     if let Ok(stream) = conn {
-                        let _ = answer(stream, &shared_bg, &cfg);
+                        // One short-lived thread per connection, so a slow
+                        // or idle client cannot stall the accept loop (and
+                        // with it every other request). The thread's
+                        // lifetime is bounded by `cfg.read_deadline` plus
+                        // one response write; it is detached — `shutdown`
+                        // only joins the accept thread, and any handler
+                        // still in flight just answers its own socket.
+                        let shared_conn = Arc::clone(&shared_bg);
+                        // If spawning fails (thread exhaustion) the closure
+                        // is dropped and the connection just closes.
+                        let _ = std::thread::Builder::new()
+                            .name("pythia-frontend-conn".to_owned())
+                            .spawn(move || {
+                                let _ = answer(stream, &shared_conn, &cfg);
+                            });
                     }
                 }
             })?;
@@ -283,11 +308,20 @@ pub fn outcome_json(query: usize, q: &QueryOutcome) -> String {
 /// Handle one accepted connection: parse the request head, then either
 /// answer inline or enqueue the connection as an [`Arrival`].
 fn answer(mut stream: TcpStream, shared: &Shared, cfg: &FrontendConfig) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
     stream.set_write_timeout(Some(Duration::from_millis(500)))?;
-    let path = match read_request_path(&mut stream)? {
-        Some(p) => p,
-        None => {
+    let path = match read_request_path(&mut stream, cfg.read_deadline)? {
+        RequestHead::Path(p) => p,
+        RequestHead::TimedOut => {
+            shared.rejected.fetch_add(1, Ordering::Relaxed);
+            return respond(
+                &mut stream,
+                "408 Request Timeout",
+                "text/plain",
+                "no complete request line before the deadline\n",
+                None,
+            );
+        }
+        RequestHead::Malformed => {
             shared.rejected.fetch_add(1, Ordering::Relaxed);
             return respond(
                 &mut stream,
@@ -386,13 +420,42 @@ fn respond(
     stream.flush()
 }
 
-/// Parse the request line's path from the head of an HTTP/1.x request.
-/// Returns `None` for anything that isn't a simple `GET <path> ...` line.
-fn read_request_path(stream: &mut TcpStream) -> std::io::Result<Option<String>> {
+/// The outcome of reading a request head from a connection.
+enum RequestHead {
+    /// A well-formed `GET <path> ...` request line.
+    Path(String),
+    /// The client closed or sent something that isn't a simple GET line.
+    Malformed,
+    /// No complete request line arrived within the deadline.
+    TimedOut,
+}
+
+/// Parse the request line's path from the head of an HTTP/1.x request,
+/// giving the client at most `deadline` of total wall time to produce a
+/// complete line. A byte-trickling or idle client therefore cannot hold its
+/// handler thread for longer than the deadline.
+fn read_request_path(stream: &mut TcpStream, deadline: Duration) -> std::io::Result<RequestHead> {
+    let started = std::time::Instant::now();
     let mut buf = [0u8; 1024];
     let mut head = Vec::new();
     loop {
-        let n = stream.read(&mut buf)?;
+        let remaining = deadline.saturating_sub(started.elapsed());
+        if remaining.is_zero() {
+            return Ok(RequestHead::TimedOut);
+        }
+        // Cap each blocking read so the overall deadline is honored even
+        // when the client trickles one byte per read.
+        stream.set_read_timeout(Some(remaining.min(Duration::from_millis(500))))?;
+        let n = match stream.read(&mut buf) {
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::WouldBlock =>
+            {
+                continue; // per-read timeout; the deadline check above decides
+            }
+            Err(e) => return Err(e),
+        };
         if n == 0 {
             break;
         }
@@ -408,8 +471,8 @@ fn read_request_path(stream: &mut TcpStream) -> std::io::Result<Option<String>> 
     let line = String::from_utf8_lossy(&head[..line_end]);
     let mut parts = line.split_whitespace();
     match (parts.next(), parts.next()) {
-        (Some("GET"), Some(path)) => Ok(Some(path.to_owned())),
-        _ => Ok(None),
+        (Some("GET"), Some(path)) => Ok(RequestHead::Path(path.to_owned())),
+        _ => Ok(RequestHead::Malformed),
     }
 }
 
@@ -482,8 +545,8 @@ mod tests {
         // Depth target 2: the first two requests queue (responses deferred),
         // the third is shed with 503 + Retry-After while the queue is full.
         let cfg = FrontendConfig {
-            catalog: 8,
             shed_depth: 2,
+            ..FrontendConfig::new(8)
         };
         let fe = Frontend::start("127.0.0.1:0", cfg).expect("bind");
 
@@ -492,9 +555,11 @@ mod tests {
             let mut s = TcpStream::connect(fe.addr()).unwrap();
             s.write_all(format!("GET /query/{i} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
                 .unwrap();
+            // Handlers run on per-connection threads; wait for each request
+            // to land before sending the next so the queue order is pinned.
+            wait_for(|| fe.depth() == i + 1);
             open.push(s);
         }
-        wait_for(|| fe.depth() == 2);
 
         let shed = http_get(fe.addr(), "/query/2");
         assert!(shed.starts_with("HTTP/1.1 503"), "{shed}");
@@ -531,6 +596,47 @@ mod tests {
         s.read_to_string(&mut out).unwrap();
         assert!(out.starts_with("HTTP/1.1 500"), "{out}");
 
+        fe.shutdown();
+    }
+
+    #[test]
+    fn idle_connections_do_not_stall_other_requests() {
+        // Open several connections that never send a byte. With per-
+        // connection handler threads, /healthz must still answer promptly;
+        // the old serial accept loop would stall 500ms per read per idle
+        // connection (≥2s here).
+        let fe = Frontend::start("127.0.0.1:0", FrontendConfig::new(4)).expect("bind");
+        let idlers: Vec<TcpStream> = (0..4)
+            .map(|_| TcpStream::connect(fe.addr()).expect("connect idler"))
+            .collect();
+        let started = std::time::Instant::now();
+        let ok = http_get(fe.addr(), "/healthz");
+        assert!(ok.starts_with("HTTP/1.1 200 OK\r\n"), "{ok}");
+        assert!(
+            started.elapsed() < Duration::from_secs(1),
+            "healthz stalled {:?} behind idle connections",
+            started.elapsed()
+        );
+        drop(idlers);
+        fe.shutdown();
+    }
+
+    #[test]
+    fn slow_clients_get_request_timeout() {
+        // A client that trickles a partial request line and then stalls must
+        // be answered 408 once the configured deadline expires (and counted
+        // as rejected), rather than holding its handler thread forever.
+        let cfg = FrontendConfig {
+            read_deadline: Duration::from_millis(300),
+            ..FrontendConfig::new(4)
+        };
+        let fe = Frontend::start("127.0.0.1:0", cfg).expect("bind");
+        let mut trickler = TcpStream::connect(fe.addr()).expect("connect");
+        trickler.write_all(b"GET /heal").unwrap(); // no CRLF, then silence
+        let mut out = String::new();
+        trickler.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 408"), "{out}");
+        wait_for(|| fe.stats().rejected == 1);
         fe.shutdown();
     }
 

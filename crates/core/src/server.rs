@@ -10,17 +10,21 @@
 //! [`PrefetchServer`] is that loop over the virtual-clock stack, in one of
 //! two [`AdmissionMode`]s:
 //!
-//! - **Continuous** (the default): admit-on-completion. Arrivals and
-//!   completions are processed in global virtual-time order over one
-//!   incremental [`ReplaySession`]. An arrival that finds a free slot is
-//!   admitted at its arrival instant; otherwise it queues, and the moment any
-//!   running query completes the scheduler picks the next queued query —
-//!   FIFO, or the most page-overlapping candidate
-//!   ([`pick_next_by_overlap`]) — and injects it at the completion instant.
-//!   Each admission instant first runs one batched inference over every
-//!   queued query lacking a prediction (opportunistic re-batching), charging
-//!   each covered query the amortized latency ([`InferenceCharge`]). No
-//!   barrier: a long query never stalls short ones queued behind it.
+//! - **Continuous** (the default): admit-on-completion. Arrivals,
+//!   admissions and replay events are processed in global virtual-time order
+//!   over one incremental [`ReplaySession`]. The scheduler tracks the
+//!   virtual instant each of the `concurrency` slots became free (a
+//!   completion frees its slot at the completion *end*), and an admission
+//!   happens at `max(earliest queued arrival, earliest free-slot instant)`:
+//!   an arrival that finds a free slot is admitted at its arrival instant,
+//!   one that finds every slot busy waits for the slot-freeing completion
+//!   and is injected at that completion's end. The admitted query is picked
+//!   FIFO, or as the most page-overlapping candidate
+//!   ([`pick_next_by_overlap`]). Each admission instant first runs one
+//!   batched inference over every queued query lacking a prediction
+//!   (opportunistic re-batching), charging each covered query the amortized
+//!   latency ([`InferenceCharge`]). No barrier: a long query never stalls
+//!   short ones queued behind it.
 //! - **Wave**: the original barrier loop. Up to `concurrency` queries are
 //!   admitted per wave under the [`QueuePolicy`] (FIFO, or the §7 overlap
 //!   scheduler [`schedule_by_overlap`]), the wave replays to completion
@@ -643,11 +647,26 @@ impl<'d> PrefetchServer<'d> {
         }
     }
 
-    /// Admit-on-completion (see the module doc): arrivals and completions are
-    /// processed in global virtual-time order over one incremental
-    /// [`ReplaySession`]; ties go arrival-first (the admission decision then
-    /// sees the fresh arrival in the queue, matching what wave mode's
-    /// pull-then-admit does at the same instant).
+    /// Admit-on-completion (see the module doc): arrivals, admissions and
+    /// replay events are processed in global virtual-time order over one
+    /// incremental [`ReplaySession`]. Same-instant ties go arrival-first
+    /// (the admission decision then sees the fresh arrival in the queue,
+    /// matching what wave mode's pull-then-admit does at the same instant),
+    /// then admission-before-step (injecting at `t <= next_event_time()` is
+    /// the session's documented causal contract).
+    ///
+    /// Slot capacity is tracked explicitly as the virtual instants the
+    /// `concurrency` slots become free — an admission consumes the earliest
+    /// free instant `f` and is dispatched at `max(f, earliest queued
+    /// arrival)`, never at a bare arrival instant. The distinction matters
+    /// because the session steps queries in event-*start* order: a
+    /// completion whose final event straddles an arrival (say the event runs
+    /// 100..2100us and the arrival lands at 150us) is discovered *before*
+    /// the arrival is processed, so `sess.live()` alone would claim a free
+    /// slot at 150us even though the slot is occupied until 2100us in
+    /// virtual time. Admitting there would overlap the straddling query,
+    /// violating the concurrency cap and the C=1/FIFO/Fixed bit-identity to
+    /// serial [`Runtime::run`] replay.
     fn serve_continuous(&mut self, requests: &[ServerRequest<'_>]) -> ServeReport {
         /// Admission bookkeeping for one in-flight query.
         struct AdmitInfo {
@@ -688,11 +707,16 @@ impl<'d> PrefetchServer<'d> {
         // Session slot (injection order) → request index.
         let mut slot_req: Vec<usize> = Vec::new();
 
-        // The two event kinds the driver interleaves in virtual-time order.
-        enum Event {
-            Arrival,
-            Step,
-        }
+        // Virtual instants at which the currently-free slots became free.
+        // Admissions consume the earliest instant, completions push their
+        // end. Invariant between events: free.len() + sess.live() == cap.
+        let mut free: Vec<SimTime> = vec![base; cap];
+
+        // Same-instant event priority: arrivals first (so the admission
+        // decision sees them queued), then admissions, then session steps.
+        const ARRIVE: u8 = 0;
+        const ADMIT: u8 = 1;
+        const STEP: u8 = 2;
 
         loop {
             let next_arrival = if next < n {
@@ -700,17 +724,34 @@ impl<'d> PrefetchServer<'d> {
             } else {
                 None
             };
-            let event = match (next_arrival, sess.next_event_time()) {
-                (None, None) => break,
-                (Some(_), None) => Event::Arrival,
-                (Some(a), Some(e)) if a <= e => Event::Arrival,
-                (_, Some(_)) => Event::Step,
+            // Queued arrivals all precede the admission instant (events are
+            // processed in nondecreasing virtual time), so the earliest the
+            // scheduler can dispatch is when the queue head has arrived AND
+            // a slot is free.
+            let admit_at = if queue.is_empty() {
+                None
+            } else {
+                free.iter().min().map(|&f| f.max(abs[queue[0]]))
             };
+            let step_at = sess.next_event_time();
 
-            // `Some(t)` after the event if a slot may be refilled at `t`.
-            let mut refill_at: Option<SimTime> = None;
-            match event {
-                Event::Arrival => {
+            let mut event: Option<(SimTime, u8)> = None;
+            for cand in [
+                next_arrival.map(|t| (t, ARRIVE)),
+                admit_at.map(|t| (t, ADMIT)),
+                step_at.map(|t| (t, STEP)),
+            ]
+            .into_iter()
+            .flatten()
+            {
+                if event.is_none_or(|best| cand < best) {
+                    event = Some(cand);
+                }
+            }
+            let Some((t, kind)) = event else { break };
+
+            match kind {
+                ARRIVE => {
                     let i = order[next];
                     next += 1;
                     let rec = self.rt.recorder_mut();
@@ -723,9 +764,103 @@ impl<'d> PrefetchServer<'d> {
                         &[("query", i as u64)],
                     );
                     queue.push(i);
-                    refill_at = Some(abs[i]);
                 }
-                Event::Step => {
+                ADMIT => {
+                    // Consume the earliest-freed slot.
+                    let slot_pos = free
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|&(_, &f)| f)
+                        .map(|(k, _)| k)
+                        .expect("admission scheduled with a free slot");
+                    free.swap_remove(slot_pos);
+                    let inferred =
+                        self.batch_infer_missing(requests, &queue, &mut preds, t, server_track);
+                    let pick = match self.cfg.policy {
+                        QueuePolicy::Fifo => 0,
+                        QueuePolicy::Overlap => {
+                            let sets: Vec<Vec<PageId>> = queue
+                                .iter()
+                                .map(|&i| {
+                                    preds[i]
+                                        .as_ref()
+                                        .map(|e| e.list.clone())
+                                        .unwrap_or_default()
+                                })
+                                .collect();
+                            pick_next_by_overlap(&last_admitted_pages, &sets)
+                        }
+                    };
+                    let queue_depth = queue.len();
+                    let i = queue.remove(pick);
+                    last_admitted_pages = preds[i]
+                        .as_ref()
+                        .map(|e| e.list.clone())
+                        .unwrap_or_default();
+                    let run = Self::build_run(&requests[i], &preds[i], budget);
+                    let inference = run.inference_latency;
+                    let event_idx = waves.len();
+                    if self.rt.recorder().is_enabled() {
+                        let rec = self.rt.recorder_mut();
+                        rec.add("server.admitted", 1);
+                        rec.instant(
+                            server_track,
+                            "server",
+                            "server.admit",
+                            t.as_micros(),
+                            &[("query", i as u64)],
+                        );
+                        rec.observe("server.admission_wait_us", t.since(abs[i]).as_micros());
+                    }
+                    let occupancy = cap - free.len();
+                    let (slot, done) = sess.inject(&mut self.rt, run, t);
+                    debug_assert_eq!(slot, slot_req.len());
+                    slot_req.push(i);
+                    admits[i] = Some(AdmitInfo {
+                        at: t,
+                        event: event_idx,
+                        inference,
+                    });
+                    // Close the previous admission's stats interval and open
+                    // this one's.
+                    let now_stats = self.rt.stats();
+                    if let Some(prev) = waves.last_mut() {
+                        prev.stats = now_stats.diff(&last_stats);
+                    }
+                    last_stats = now_stats;
+                    waves.push(WaveStats {
+                        admitted_at: t,
+                        occupancy,
+                        queue_depth,
+                        inferred,
+                        inference,
+                        stats: BufferStats::default(),
+                    });
+                    if let Some(c) = done {
+                        // Empty trace: completed — and freed its slot — the
+                        // instant it was admitted.
+                        let info = admits[i].as_ref().expect("just admitted");
+                        outcomes[i] = Some(QueryOutcome {
+                            arrival: abs[i],
+                            admitted: info.at,
+                            start: c.timing.start,
+                            end: c.timing.end,
+                            wave: info.event,
+                            inference: info.inference,
+                        });
+                        let rec = self.rt.recorder_mut();
+                        rec.add("server.completions", 1);
+                        rec.instant(
+                            server_track,
+                            "server",
+                            "server.complete",
+                            c.timing.end.as_micros(),
+                            &[("query", i as u64)],
+                        );
+                        free.push(c.timing.end);
+                    }
+                }
+                _ => {
                     if let Some(c) = sess.step(&mut self.rt) {
                         let i = slot_req[c.slot];
                         let info = admits[i].as_ref().expect("completed query was admitted");
@@ -746,111 +881,18 @@ impl<'d> PrefetchServer<'d> {
                             c.timing.end.as_micros(),
                             &[("query", i as u64)],
                         );
-                        refill_at = Some(c.timing.end);
+                        free.push(c.timing.end);
                         // Counters are consistent at completions — refresh the
                         // live metrics endpoint (wave mode does so per wave).
                         self.rt.recorder().publish();
                     }
                 }
             }
-
-            // Refill freed capacity from the queue at the event instant. The
-            // loop (rather than a single admission) only matters when an
-            // admitted query completes instantly (empty trace): its slot
-            // frees at `start + charge` and the next queued query follows.
-            while let Some(t) = refill_at {
-                refill_at = None;
-                if queue.is_empty() || sess.live() >= cap {
-                    break;
-                }
-                let inferred =
-                    self.batch_infer_missing(requests, &queue, &mut preds, t, server_track);
-                let pick = match self.cfg.policy {
-                    QueuePolicy::Fifo => 0,
-                    QueuePolicy::Overlap => {
-                        let sets: Vec<Vec<PageId>> = queue
-                            .iter()
-                            .map(|&i| {
-                                preds[i]
-                                    .as_ref()
-                                    .map(|e| e.list.clone())
-                                    .unwrap_or_default()
-                            })
-                            .collect();
-                        pick_next_by_overlap(&last_admitted_pages, &sets)
-                    }
-                };
-                let queue_depth = queue.len();
-                let i = queue.remove(pick);
-                last_admitted_pages = preds[i]
-                    .as_ref()
-                    .map(|e| e.list.clone())
-                    .unwrap_or_default();
-                let run = Self::build_run(&requests[i], &preds[i], budget);
-                let inference = run.inference_latency;
-                let event_idx = waves.len();
-                if self.rt.recorder().is_enabled() {
-                    let rec = self.rt.recorder_mut();
-                    rec.add("server.admitted", 1);
-                    rec.instant(
-                        server_track,
-                        "server",
-                        "server.admit",
-                        t.as_micros(),
-                        &[("query", i as u64)],
-                    );
-                    rec.observe("server.admission_wait_us", t.since(abs[i]).as_micros());
-                }
-                let occupancy = sess.live() + 1;
-                let (slot, done) = sess.inject(&mut self.rt, run, t);
-                debug_assert_eq!(slot, slot_req.len());
-                slot_req.push(i);
-                admits[i] = Some(AdmitInfo {
-                    at: t,
-                    event: event_idx,
-                    inference,
-                });
-                // Close the previous admission's stats interval and open this
-                // one's.
-                let now_stats = self.rt.stats();
-                if let Some(prev) = waves.last_mut() {
-                    prev.stats = now_stats.diff(&last_stats);
-                }
-                last_stats = now_stats;
-                waves.push(WaveStats {
-                    admitted_at: t,
-                    occupancy,
-                    queue_depth,
-                    inferred,
-                    inference,
-                    stats: BufferStats::default(),
-                });
-                if let Some(c) = done {
-                    // Empty trace: completed the instant it was admitted.
-                    let info = admits[i].as_ref().expect("just admitted");
-                    outcomes[i] = Some(QueryOutcome {
-                        arrival: abs[i],
-                        admitted: info.at,
-                        start: c.timing.start,
-                        end: c.timing.end,
-                        wave: info.event,
-                        inference: info.inference,
-                    });
-                    let rec = self.rt.recorder_mut();
-                    rec.add("server.completions", 1);
-                    rec.instant(
-                        server_track,
-                        "server",
-                        "server.complete",
-                        c.timing.end.as_micros(),
-                        &[("query", i as u64)],
-                    );
-                    refill_at = Some(c.timing.end);
-                }
-            }
+            debug_assert_eq!(free.len() + sess.live(), cap, "slot accounting");
         }
 
         debug_assert!(queue.is_empty(), "drained queue at exit");
+        debug_assert_eq!(free.len(), cap, "all slots free at exit");
         let _ = sess.finish(&mut self.rt);
         // The tail interval (after the last admission) absorbs the remaining
         // counters, end-of-session prefetch-waste accounting included.
@@ -1175,6 +1217,54 @@ mod tests {
         assert_eq!(rep.queries[0].end, SimTime::ZERO);
         assert_eq!(rep.queries[1].end, SimTime::ZERO);
         assert_eq!(rep.queries[3].admitted, rep.queries[2].end);
+    }
+
+    #[test]
+    fn continuous_c1_straddling_completion_defers_admission() {
+        // Straddle regression: query 0's entire replay is one cold disk read
+        // (2ms of virtual time starting at t=0) and query 1 arrives mid-read
+        // at 150us. The session steps events in *start* order, so query 0's
+        // completion (end 2000us) is discovered before the arrival is
+        // processed; the scheduler must still admit query 1 only when the
+        // slot actually frees — at the completion end, not at the arrival
+        // instant, which would overlap the two queries and break the C=1
+        // cap. A raw `live()` check admits at 150us here.
+        let (db, plan) = dummy_db_and_plan();
+        let long = Trace {
+            events: vec![read_ev(0)],
+        };
+        let tail = random_trace(10);
+        let arrival = SimDuration::from_micros(150);
+        let reqs = [
+            ServerRequest::new(&plan, &long, SimDuration::ZERO),
+            ServerRequest::new(&plan, &tail, arrival),
+        ];
+        let mut srv = PrefetchServer::new(&db, &run_cfg(), cont_cfg(1, QueuePolicy::Fifo));
+        let rep = srv.serve(&reqs);
+
+        // The scenario really straddles: the arrival lands strictly inside
+        // query 0's replay interval.
+        assert!(rep.queries[0].start < rep.queries[1].arrival);
+        assert!(rep.queries[1].arrival < rep.queries[0].end);
+        // Admission waits for the slot: dispatched exactly at the completion.
+        assert_eq!(rep.queries[1].admitted, rep.queries[0].end);
+        assert_eq!(rep.queries[1].start, rep.queries[0].end);
+
+        // And the result is bit-identical to serial replay — the straddle
+        // case of the C=1/FIFO/Fixed pin, hit deterministically.
+        let mut rt = Runtime::new(&run_cfg(), db.file_lengths());
+        for ((t, arr), q) in [&long, &tail]
+            .iter()
+            .zip([SimDuration::ZERO, arrival])
+            .zip(&rep.queries)
+        {
+            rt.advance_to(SimTime::ZERO + arr);
+            let res = rt.run(&[QueryRun::default_run(t)]);
+            assert_eq!(q.start, res.timings[0].start);
+            assert_eq!(q.end, res.timings[0].end);
+        }
+        assert_eq!(rep.stats, rt.stats());
+        assert_eq!(srv.runtime().now(), rt.now());
     }
 
     #[test]

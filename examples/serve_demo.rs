@@ -91,8 +91,8 @@ fn main() {
     let fe = Frontend::start(
         &addr,
         FrontendConfig {
-            catalog: queries.len(),
             shed_depth,
+            ..FrontendConfig::new(queries.len())
         },
     )
     .unwrap_or_else(|e| panic!("binding {addr}: {e}"));

@@ -268,6 +268,26 @@ proptest! {
             prop_assert!(q.start <= q.end);
         }
 
+        // The concurrency cap holds in *virtual time*, not just in the
+        // per-admission occupancy bookkeeping: a query holds its slot over
+        // [admitted, end), and slot counts only rise at admission instants,
+        // so checking each admission instant covers the maximum. (This is
+        // the invariant a completion whose final event straddles an arrival
+        // used to break: the arrival was admitted inside the still-occupied
+        // interval.)
+        for (i, qi) in report.queries.iter().enumerate() {
+            let held = report
+                .queries
+                .iter()
+                .filter(|qj| qj.admitted <= qi.admitted && qi.admitted < qj.end)
+                .count();
+            prop_assert!(
+                held <= concurrency,
+                "query {}: {} slots held at its admission instant (cap {})",
+                i, held, concurrency
+            );
+        }
+
         let max_depth = report.waves.iter().map(|w| w.queue_depth).max().unwrap();
         prop_assert_eq!(report.max_queue_depth(), max_depth);
     }
