@@ -84,10 +84,10 @@ if [[ "$fast" -eq 0 ]]; then
     fi
   fi
 
-  echo "==> serve_demo socket smoke test"
+  echo "==> serve_demo socket smoke test (two tenants)"
   cargo build --release -q --example serve_demo
   rm -f results/serve_demo.log
-  ./target/release/examples/serve_demo --addr 127.0.0.1:0 \
+  ./target/release/examples/serve_demo --addr 127.0.0.1:0 --tenants 2 \
     > results/serve_demo.log 2>&1 &
   demo_pid=$!
   demo_addr=""
@@ -119,9 +119,26 @@ if [[ "$fast" -eq 0 ]]; then
     kill "$demo_pid" 2>/dev/null || true
     exit 1
   fi
+  # Tenant 1 is served from its own database via the /t/<tenant>/ routes,
+  # and its scoped stats count exactly its own traffic.
+  demo_t1=$(demo_get /t/1/query/0)
+  if ! grep -q 'HTTP/1.1 200 OK' <<<"$demo_t1" \
+    || ! grep -q '"latency_us"' <<<"$demo_t1"; then
+    echo "!!> malformed serve_demo tenant-1 response:" >&2
+    echo "$demo_t1" >&2
+    kill "$demo_pid" 2>/dev/null || true
+    exit 1
+  fi
+  demo_t1_stats=$(demo_get /t/1/stats)
+  if ! grep -q '"accepted":1' <<<"$demo_t1_stats"; then
+    echo "!!> tenant-1 scoped stats did not count its one query:" >&2
+    echo "$demo_t1_stats" >&2
+    kill "$demo_pid" 2>/dev/null || true
+    exit 1
+  fi
   demo_get /shutdown > /dev/null
   wait "$demo_pid"
-  echo "    serve_demo answered /query/0 and shut down cleanly"
+  echo "    serve_demo answered both tenants' queries and shut down cleanly"
 fi
 
 echo "==> ci.sh: all gates passed"

@@ -13,11 +13,14 @@
 //!
 //! `PYTHIA_THREADS` bounds the pool; the snapshot reports the count it used.
 
+use std::cell::Cell;
+use std::sync::Arc;
 use std::time::Instant;
 
 use pythia_bench::star_workload;
 use pythia_core::config::PythiaConfig;
 use pythia_core::predictor::{train_workload, TrainedWorkload};
+use pythia_core::registry::TenantFleet;
 use pythia_core::server::{
     AdmissionMode, InferenceCharge, PrefetchServer, QueuePolicy, ServerConfig, ServerRequest,
 };
@@ -191,6 +194,7 @@ fn main() {
         policy: QueuePolicy::Fifo,
         charge: InferenceCharge::Measured,
         prefetch_budget: None,
+        tenant_quota: None,
     };
     let requests: Vec<ServerRequest<'_>> = plans
         .iter()
@@ -248,6 +252,7 @@ fn main() {
             policy: QueuePolicy::Fifo,
             charge: InferenceCharge::Fixed(SimDuration::from_micros(150)),
             prefetch_budget: None,
+            tenant_quota: None,
         };
         let mut server = PrefetchServer::new(&db, &RunConfig::default(), cfg);
         server.serve(&skew_requests)
@@ -307,6 +312,74 @@ fn main() {
         traced_rec.events().len()
     );
 
+    // --- model registry: publish latency + serving through a hot swap ------
+    // How long installing a retrained model takes (atomic Arc swap under a
+    // brief write lock), and proof that a mid-stream swap to a bit-identical
+    // model leaves the serving schedule untouched while queries keep being
+    // answered throughout.
+    let mut publish_best = f64::INFINITY;
+    {
+        let fleet = Arc::new(TenantFleet::new("bench"));
+        for _ in 0..OBS_REPS {
+            let dup = tw_parallel.duplicate();
+            let t0 = Instant::now();
+            fleet.publish(dup);
+            publish_best = publish_best.min(t0.elapsed().as_secs_f64());
+        }
+    }
+
+    const SWAP_AT: usize = 2;
+    let base_fleet = Arc::new(TenantFleet::new("bench"));
+    base_fleet.publish(tw_parallel.duplicate());
+    let mut base_srv =
+        PrefetchServer::new(&db, &RunConfig::default(), obs_cfg).with_registry(base_fleet);
+    let base_rep = base_srv.serve(&requests);
+
+    let swap_fleet = Arc::new(TenantFleet::new("bench"));
+    swap_fleet.publish(tw_parallel.duplicate());
+    let swap_latency = Cell::new(0.0f64);
+    let spare = tw_parallel.duplicate();
+    let hook_fleet = Arc::clone(&swap_fleet);
+    let mut swap_srv = PrefetchServer::new(&db, &RunConfig::default(), obs_cfg)
+        .with_registry(Arc::clone(&swap_fleet));
+    swap_srv.set_admission_hook(|k| {
+        if k == SWAP_AT {
+            let dup = spare.duplicate();
+            let t0 = Instant::now();
+            hook_fleet.publish(dup);
+            swap_latency.set(t0.elapsed().as_secs_f64());
+        }
+    });
+    let swap_rep = swap_srv.serve(&requests);
+    assert_eq!(
+        swap_fleet.current("snapshot").expect("published").version,
+        2,
+        "the mid-stream publish must have landed"
+    );
+    for (i, (a, b)) in base_rep.queries.iter().zip(&swap_rep.queries).enumerate() {
+        assert_eq!(
+            (a.start, a.end, a.inference),
+            (b.start, b.end, b.inference),
+            "hot swap changed the schedule of query {i}"
+        );
+    }
+    assert_eq!(
+        base_rep.stats, swap_rep.stats,
+        "hot swap changed the buffer counters"
+    );
+    let registry_swap_predictions = swap_rep
+        .queries
+        .iter()
+        .filter(|q| q.wave >= SWAP_AT)
+        .count();
+    eprintln!(
+        "[perf_snapshot] registry: publish {:.1} us, in-serve swap {:.1} us, \
+         {registry_swap_predictions}/{} queries served on the swapped model, bit-identical",
+        publish_best * 1e6,
+        swap_latency.get() * 1e6,
+        swap_rep.queries.len(),
+    );
+
     let suite_wall_s = suite_t0.elapsed().as_secs_f64();
     let obs_metrics: serde_json::Value = serde_json::from_str(&traced_rec.snapshot().to_json())
         .expect("recorder snapshot is valid JSON");
@@ -352,6 +425,11 @@ fn main() {
         "obs_overhead_pct": round3(obs_overhead_pct),
         "obs_trace_events": traced_rec.events().len(),
         "obs_metrics": obs_metrics,
+        "registry_swap_publish_us": round3(publish_best * 1e6),
+        "registry_swap_latency_us": round3(swap_latency.get() * 1e6),
+        "registry_swap_predictions_during_swap": registry_swap_predictions,
+        "registry_swap_total_queries": swap_rep.queries.len(),
+        "registry_swap_bit_identical": true,
         "suite_wall_s": round3(suite_wall_s),
     });
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_nn.json");

@@ -13,10 +13,17 @@
 //!   `503 Service Unavailable` with a `Retry-After` header, and the queue
 //!   never grows past the bound (backpressure by rejection, the only kind a
 //!   connectionless-budget front can apply).
+//! - `GET /t/<tenant>/query/<idx>` — the same, attributed to a tenant in
+//!   `0..tenants` ([`FrontendConfig::tenants`]); the arrival carries the
+//!   tenant id so the serving loop can apply per-tenant quotas and route to
+//!   the tenant's registry fleet. Unprefixed routes are tenant 0.
 //! - `GET /healthz` — liveness probe, answered inline.
 //! - `GET /stats` — accepted/shed/rejected counters and current depth, JSON.
+//!   `GET /t/<tenant>/stats` scopes the same counters to one tenant.
 //! - `GET /shutdown` — acknowledge and set a flag the serving loop can poll
 //!   ([`Frontend::shutdown_requested`]) for a clean drain-then-exit.
+//!   [`Frontend::shutdown`] then answers anything still queued with `503`
+//!   so no accepted client is left hanging until its own timeout.
 //!
 //! Anything else (unknown path, non-GET, unparsable index, index outside the
 //! catalog) gets `400`/`404`. There is deliberately no HTTP library and no
@@ -61,16 +68,21 @@ pub struct FrontendConfig {
     /// answered `408 Request Timeout` and closed. This bounds the lifetime
     /// of each per-connection handler thread.
     pub read_deadline: Duration,
+    /// Number of tenants: `/t/<tenant>/...` accepts ids in `0..tenants` and
+    /// rejects the rest with `400`. Values below 1 behave as 1 (tenant 0 —
+    /// the unprefixed legacy routes — always exists).
+    pub tenants: usize,
 }
 
 impl FrontendConfig {
-    /// Config for a `catalog`-query workload with the default depth target
-    /// and a 2s request-line deadline.
+    /// Config for a single-tenant `catalog`-query workload with the default
+    /// depth target and a 2s request-line deadline.
     pub fn new(catalog: usize) -> Self {
         FrontendConfig {
             catalog,
             shed_depth: 64,
             read_deadline: Duration::from_secs(2),
+            tenants: 1,
         }
     }
 }
@@ -128,6 +140,8 @@ impl Responder {
 pub struct Arrival {
     /// Catalog index of the requested query.
     pub query: usize,
+    /// Tenant the request was routed under (0 for unprefixed paths).
+    pub tenant: u32,
     /// The connection to answer once served.
     pub responder: Responder,
 }
@@ -139,6 +153,12 @@ struct Shared {
     shed: AtomicU64,
     rejected: AtomicU64,
     shutdown_req: AtomicBool,
+    // Per-tenant slices of the counters above, indexed by tenant id. The
+    // globals remain the totals (tenant-unattributable rejects — malformed
+    // lines, bad tenant ids — only count globally).
+    tenant_accepted: Vec<AtomicU64>,
+    tenant_shed: Vec<AtomicU64>,
+    tenant_rejected: Vec<AtomicU64>,
 }
 
 /// The accept loop: background thread, bounded queue, shed-above-target.
@@ -157,6 +177,7 @@ impl Frontend {
     pub fn start(addr: &str, cfg: FrontendConfig) -> std::io::Result<Frontend> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        let tenants = cfg.tenants.max(1);
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
@@ -164,6 +185,9 @@ impl Frontend {
             shed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             shutdown_req: AtomicBool::new(false),
+            tenant_accepted: (0..tenants).map(|_| AtomicU64::new(0)).collect(),
+            tenant_shed: (0..tenants).map(|_| AtomicU64::new(0)).collect(),
+            tenant_rejected: (0..tenants).map(|_| AtomicU64::new(0)).collect(),
         });
         let stop = Arc::new(AtomicBool::new(false));
         let (shared_bg, stop_bg) = (Arc::clone(&shared), Arc::clone(&stop));
@@ -227,6 +251,12 @@ impl Frontend {
         }
     }
 
+    /// [`Frontend::stats`] scoped to one tenant (the `/t/<tenant>/stats`
+    /// endpoint). An out-of-range tenant gets the all-zero snapshot.
+    pub fn tenant_stats(&self, tenant: u32) -> FrontendStats {
+        tenant_stats(&self.shared, tenant)
+    }
+
     /// True once a client has requested `/shutdown`; the serving loop polls
     /// this for a clean drain-then-exit.
     pub fn shutdown_requested(&self) -> bool {
@@ -268,8 +298,10 @@ impl Frontend {
         rec.add("frontend.rejected", s.rejected);
     }
 
-    /// Stop the accept thread and wait for it to exit. Arrivals still queued
-    /// are dropped (their sockets close unanswered).
+    /// Stop the accept thread, wait for it to exit, then answer every
+    /// arrival still queued with `503 Service Unavailable` — an accepted
+    /// client whose query will never be served must not hang until its own
+    /// timeout waiting on a response that cannot come.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::Relaxed);
         // The accept loop only observes the flag on its next connection;
@@ -278,6 +310,36 @@ impl Frontend {
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();
         }
+        // The accept thread is gone, so the queue can only drain from here.
+        let drained: Vec<Arrival> = self
+            .shared
+            .queue
+            .lock()
+            .expect("queue poisoned")
+            .drain(..)
+            .collect();
+        for a in drained {
+            a.responder
+                .error("503 Service Unavailable", "shutting down\n");
+        }
+    }
+}
+
+/// Per-tenant counter snapshot (shared by the method and the wire endpoint).
+fn tenant_stats(shared: &Shared, tenant: u32) -> FrontendStats {
+    let t = tenant as usize;
+    let load = |v: &Vec<AtomicU64>| v.get(t).map_or(0, |c| c.load(Ordering::Relaxed));
+    FrontendStats {
+        accepted: load(&shared.tenant_accepted),
+        shed: load(&shared.tenant_shed),
+        rejected: load(&shared.tenant_rejected),
+        depth: shared
+            .queue
+            .lock()
+            .expect("queue poisoned")
+            .iter()
+            .filter(|a| a.tenant == tenant)
+            .count(),
     }
 }
 
@@ -332,15 +394,50 @@ fn answer(mut stream: TcpStream, shared: &Shared, cfg: &FrontendConfig) -> std::
             );
         }
     };
-    if path == "/healthz" {
+    // Tenant-scoped routes: `/t/<tenant>/query/<idx>` and
+    // `/t/<tenant>/stats`. Unprefixed routes act as tenant 0 with the
+    // global (unscoped) `/stats`.
+    let (tenant, route, scoped) = match path.strip_prefix("/t/") {
+        None => (0u32, path.as_str(), false),
+        Some(rest) => match rest.split_once('/') {
+            Some((id, _)) => match id.parse::<u32>() {
+                Ok(t) if (t as usize) < cfg.tenants.max(1) => (t, &path[3 + id.len()..], true),
+                _ => {
+                    shared.rejected.fetch_add(1, Ordering::Relaxed);
+                    return respond(
+                        &mut stream,
+                        "400 Bad Request",
+                        "text/plain",
+                        &format!("bad tenant id; this front serves {} tenants\n", cfg.tenants),
+                        None,
+                    );
+                }
+            },
+            None => {
+                shared.rejected.fetch_add(1, Ordering::Relaxed);
+                return respond(
+                    &mut stream,
+                    "400 Bad Request",
+                    "text/plain",
+                    "expected /t/<tenant>/<route>\n",
+                    None,
+                );
+            }
+        },
+    };
+    if route == "/healthz" {
         return respond(&mut stream, "200 OK", "text/plain", "ok\n", None);
     }
-    if path == "/stats" {
-        let stats = FrontendStats {
-            accepted: shared.accepted.load(Ordering::Relaxed),
-            shed: shared.shed.load(Ordering::Relaxed),
-            rejected: shared.rejected.load(Ordering::Relaxed),
-            depth: shared.queue.lock().expect("queue poisoned").len(),
+    if route == "/stats" {
+        let stats = if scoped {
+            tenant_stats(shared, tenant)
+        } else {
+            FrontendStats {
+                accepted: shared.accepted.load(Ordering::Relaxed),
+                shed: shared.shed.load(Ordering::Relaxed),
+                rejected: shared.rejected.load(Ordering::Relaxed),
+                depth: shared.queue.lock().expect("queue poisoned").len(),
+            }
         };
         return respond(
             &mut stream,
@@ -350,17 +447,21 @@ fn answer(mut stream: TcpStream, shared: &Shared, cfg: &FrontendConfig) -> std::
             None,
         );
     }
-    if path == "/shutdown" {
+    if route == "/shutdown" {
         shared.shutdown_req.store(true, Ordering::Relaxed);
         return respond(&mut stream, "200 OK", "text/plain", "shutting down\n", None);
     }
-    if let Some(rest) = path.strip_prefix("/query/") {
+    if let Some(rest) = route.strip_prefix("/query/") {
+        let t = tenant as usize;
         match rest.parse::<usize>() {
             Ok(idx) if idx < cfg.catalog => {
                 let mut queue = shared.queue.lock().expect("queue poisoned");
                 if queue.len() >= cfg.shed_depth {
                     drop(queue);
                     shared.shed.fetch_add(1, Ordering::Relaxed);
+                    if let Some(c) = shared.tenant_shed.get(t) {
+                        c.fetch_add(1, Ordering::Relaxed);
+                    }
                     return respond(
                         &mut stream,
                         "503 Service Unavailable",
@@ -371,18 +472,25 @@ fn answer(mut stream: TcpStream, shared: &Shared, cfg: &FrontendConfig) -> std::
                 }
                 queue.push_back(Arrival {
                     query: idx,
+                    tenant,
                     responder: Responder {
                         stream: Some(stream),
                     },
                 });
                 drop(queue);
                 shared.accepted.fetch_add(1, Ordering::Relaxed);
+                if let Some(c) = shared.tenant_accepted.get(t) {
+                    c.fetch_add(1, Ordering::Relaxed);
+                }
                 shared.ready.notify_one();
                 // Response deferred to the serving loop via the Responder.
                 return Ok(());
             }
             _ => {
                 shared.rejected.fetch_add(1, Ordering::Relaxed);
+                if let Some(c) = shared.tenant_rejected.get(t) {
+                    c.fetch_add(1, Ordering::Relaxed);
+                }
                 return respond(
                     &mut stream,
                     "400 Bad Request",
@@ -397,7 +505,7 @@ fn answer(mut stream: TcpStream, shared: &Shared, cfg: &FrontendConfig) -> std::
         &mut stream,
         "404 Not Found",
         "text/plain",
-        "try /query/<idx>, /healthz, /stats or /shutdown\n",
+        "try /query/<idx>, /t/<tenant>/query/<idx>, /healthz, /stats or /shutdown\n",
         None,
     )
 }
@@ -641,6 +749,77 @@ mod tests {
     }
 
     #[test]
+    fn shutdown_answers_in_queue_requests_with_503() {
+        // A request still sitting in the queue when the front shuts down must
+        // get an answer, not a silently dropped connection.
+        let fe = Frontend::start("127.0.0.1:0", FrontendConfig::new(4)).expect("bind");
+        let mut s = TcpStream::connect(fe.addr()).unwrap();
+        s.write_all(b"GET /query/1 HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        wait_for(|| fe.depth() == 1);
+        fe.shutdown();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 503"), "{out}");
+        assert!(out.contains("shutting down"), "{out}");
+    }
+
+    #[test]
+    fn tenant_routes_attribute_queries_and_scope_stats() {
+        let cfg = FrontendConfig {
+            tenants: 2,
+            ..FrontendConfig::new(8)
+        };
+        let fe = Frontend::start("127.0.0.1:0", cfg).expect("bind");
+
+        // Legacy unprefixed routes act as tenant 0; /t/1/... routes to
+        // tenant 1. Hold the streams open so the arrivals stay queued.
+        let mut open = Vec::new();
+        for (i, path) in ["/query/1", "/t/1/query/2"].iter().enumerate() {
+            let mut s = TcpStream::connect(fe.addr()).unwrap();
+            s.write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+                .unwrap();
+            wait_for(|| fe.depth() == i + 1);
+            open.push(s);
+        }
+
+        let a = fe.try_recv().expect("first arrival");
+        assert_eq!((a.query, a.tenant), (1, 0));
+        a.responder.ok_json("{}\n");
+        let b = fe.try_recv().expect("second arrival");
+        assert_eq!((b.query, b.tenant), (2, 1));
+        b.responder.ok_json("{}\n");
+        drop(open);
+
+        // Scoped stats slice the per-tenant counters; the global /stats keeps
+        // the totals.
+        let t0 = http_get(fe.addr(), "/t/0/stats");
+        assert!(t0.contains("\"accepted\":1"), "{t0}");
+        let t1 = http_get(fe.addr(), "/t/1/stats");
+        assert!(t1.contains("\"accepted\":1"), "{t1}");
+        let all = http_get(fe.addr(), "/stats");
+        assert!(all.contains("\"accepted\":2"), "{all}");
+        assert_eq!(fe.tenant_stats(0).accepted, 1);
+        assert_eq!(fe.tenant_stats(1).accepted, 1);
+
+        // Out-of-range or malformed tenant ids are 400s.
+        let bad = http_get(fe.addr(), "/t/9/query/1");
+        assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
+        let worse = http_get(fe.addr(), "/t/x/stats");
+        assert!(worse.starts_with("HTTP/1.1 400"), "{worse}");
+        let trunc = http_get(fe.addr(), "/t/1");
+        assert!(trunc.starts_with("HTTP/1.1 400"), "{trunc}");
+        wait_for(|| fe.stats().rejected == 3);
+
+        // A bad query index on a tenant route is attributed to that tenant.
+        let badq = http_get(fe.addr(), "/t/1/query/99");
+        assert!(badq.starts_with("HTTP/1.1 400"), "{badq}");
+        wait_for(|| fe.tenant_stats(1).rejected == 1);
+
+        fe.shutdown();
+    }
+
+    #[test]
     fn end_to_end_socket_serving_with_continuous_admission() {
         // A real (tiny) catalog served over the socket by a continuous-
         // admission server: request → queue → drain_batch → serve → JSON
@@ -675,6 +854,7 @@ mod tests {
                     policy: QueuePolicy::Fifo,
                     charge: InferenceCharge::Fixed(SimDuration::ZERO),
                     prefetch_budget: None,
+                    tenant_quota: None,
                 };
                 let mut srv = PrefetchServer::new(db_ref, &RunConfig::default(), cfg);
                 loop {

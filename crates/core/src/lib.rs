@@ -42,6 +42,7 @@ pub mod metrics;
 pub mod model;
 pub mod predictor;
 pub mod prefetch;
+pub mod registry;
 pub mod scheduler;
 pub mod serde_utils;
 pub mod serialize;
@@ -53,10 +54,11 @@ pub use config::PythiaConfig;
 pub use frontend::{Arrival, Frontend, FrontendConfig, FrontendStats, Responder};
 pub use metrics::{f1_score, SetMetrics};
 pub use predictor::{train_workload, Prediction, TrainedWorkload};
+pub use registry::{CatalogCompat, ModelRegistry, TenantFleet, VersionedWorkload};
 pub use serialize::{serialize_plan, ValueBinner};
 pub use server::{
     AdmissionMode, InferenceCharge, PrefetchServer, QueryOutcome, QueuePolicy, ServeReport,
-    ServerConfig, ServerRequest, WaveStats,
+    ServerConfig, ServerRequest, TenantReport, WaveStats,
 };
 pub use vocab::Vocab;
 pub use workload::WorkloadRegistry;

@@ -11,7 +11,9 @@ use pythia_db::catalog::{Database, ObjectId};
 use pythia_db::plan::PlanNode;
 use pythia_db::trace::Trace;
 
-use pythia_nn::pool::{parallel_map_labeled, parallel_map_vec_labeled};
+use pythia_nn::pool::{
+    parallel_map_labeled, parallel_map_sharded_labeled, parallel_map_vec_labeled,
+};
 
 use crate::config::PythiaConfig;
 use crate::metrics::ObjPage;
@@ -22,6 +24,17 @@ use crate::vocab::Vocab;
 /// Upper bound on memoized plan encodings (each workload template has few
 /// distinct plans, so this is generous; it only guards pathological callers).
 const ENCODE_CACHE_CAP: usize = 4096;
+
+/// Shard key for an object's model: a splitmix-style hash of the object id.
+/// Inference dispatch pins each model to `shard_key(obj) % pool_width`, so a
+/// given object's model always runs on the same worker for a given pool
+/// configuration (see [`parallel_map_sharded_labeled`]).
+pub fn shard_key(obj: ObjectId) -> u64 {
+    let mut x = obj.0 as u64 ^ 0x9e37_79b9_7f4a_7c15;
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
 
 /// A fully trained Pythia instance for one workload.
 #[derive(serde::Serialize, serde::Deserialize)]
@@ -346,7 +359,19 @@ impl TrainedWorkload {
             .map(|(obj, m)| PredJob::Separate(*obj, m))
             .chain(self.combined.iter().map(PredJob::Combined))
             .collect();
-        let outs = parallel_map_labeled("nn.infer", &jobs, |_, job| match job {
+        // Shard-affine dispatch: each object's model is pinned to its home
+        // worker (`shard_key(obj) % width`), so repeated inference keeps a
+        // model's weights hot on one core. Training/refine keep the
+        // cursor-claimed map instead — there load balance across models of
+        // very different sizes dominates.
+        let keys: Vec<u64> = jobs
+            .iter()
+            .map(|j| match j {
+                PredJob::Separate(obj, _) => shard_key(*obj),
+                PredJob::Combined(c) => shard_key(c.table),
+            })
+            .collect();
+        let outs = parallel_map_sharded_labeled("nn.infer", &jobs, &keys, |_, job| match job {
             PredJob::Separate(obj, model) => PredOut::Separate(*obj, model.predict(&toks)),
             PredJob::Combined(c) => {
                 let (tp, ip) = c.predict(&toks);
@@ -425,16 +450,25 @@ impl TrainedWorkload {
             .map(|(obj, m)| PredJob::Separate(*obj, m))
             .chain(self.combined.iter().map(PredJob::Combined))
             .collect();
-        let outs = parallel_map_labeled("nn.infer_batch", &jobs, |_, job| match job {
-            PredJob::Separate(obj, model) => {
-                PredOut::Separate(*obj, model.predict_batch(&toks_refs))
-            }
-            PredJob::Combined(c) => PredOut::Combined {
-                table: c.table,
-                index: c.index,
-                preds: c.predict_batch(&toks_refs),
-            },
-        });
+        // Same shard-affine dispatch as [`Self::infer`].
+        let keys: Vec<u64> = jobs
+            .iter()
+            .map(|j| match j {
+                PredJob::Separate(obj, _) => shard_key(*obj),
+                PredJob::Combined(c) => shard_key(c.table),
+            })
+            .collect();
+        let outs =
+            parallel_map_sharded_labeled("nn.infer_batch", &jobs, &keys, |_, job| match job {
+                PredJob::Separate(obj, model) => {
+                    PredOut::Separate(*obj, model.predict_batch(&toks_refs))
+                }
+                PredJob::Combined(c) => PredOut::Combined {
+                    table: c.table,
+                    index: c.index,
+                    preds: c.predict_batch(&toks_refs),
+                },
+            });
 
         let mut results: Vec<Prediction> =
             (0..plans.len()).map(|_| Prediction::default()).collect();
@@ -521,10 +555,109 @@ impl TrainedWorkload {
     }
 
     /// Load a workload saved with [`Self::save_json`].
+    ///
+    /// This performs **no** catalog compatibility check — a model persisted
+    /// against a different database deserializes fine and then silently
+    /// mispredicts (its page labels index another catalog's files). Use
+    /// [`Self::load_json_checked`] whenever the serving database is at hand.
     pub fn load_json(path: impl AsRef<std::path::Path>) -> std::io::Result<TrainedWorkload> {
         let json = std::fs::read_to_string(path)?;
         serde_json::from_str(&json)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// [`Self::load_json`] + [`Self::check_compat`] against the serving
+    /// database: a model persisted against a different catalog fails loudly
+    /// here instead of silently mispredicting.
+    pub fn load_json_checked(
+        path: impl AsRef<std::path::Path>,
+        db: &Database,
+    ) -> std::io::Result<TrainedWorkload> {
+        let tw = Self::load_json(path)?;
+        tw.check_compat(db)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        Ok(tw)
+    }
+
+    /// Verify this model fleet was trained against (a catalog identical to)
+    /// `db`: every modeled object must exist, have the page count the model
+    /// was sized for, and carry the name the vocabulary interned. Any
+    /// mismatch means predictions would index the wrong pages — the caller
+    /// must refuse to serve, not degrade silently.
+    pub fn check_compat(&self, db: &Database) -> Result<(), String> {
+        use pythia_db::catalog::ObjectKind;
+        let exists = |obj: ObjectId| (obj.0 as usize) < db.object_count();
+        for (obj, m) in &self.models {
+            if !exists(*obj) {
+                return Err(format!(
+                    "model '{}' predicts object {obj:?}, which does not exist in this catalog \
+                     ({} objects)",
+                    self.name,
+                    db.object_count()
+                ));
+            }
+            let have = db.object_pages(*obj);
+            if have != m.n_pages {
+                return Err(format!(
+                    "model '{}' was trained on object {obj:?} ('{}') with {} pages, but this \
+                     catalog has {have}",
+                    self.name,
+                    db.object_name(*obj),
+                    m.n_pages
+                ));
+            }
+        }
+        for c in &self.combined {
+            for obj in [c.table, c.index] {
+                if !exists(obj) {
+                    return Err(format!(
+                        "combined model of '{}' references object {obj:?}, which does not exist \
+                         in this catalog",
+                        self.name
+                    ));
+                }
+            }
+            if db.object_kind(c.index) != ObjectKind::Index {
+                return Err(format!(
+                    "combined model of '{}' expects object {:?} ('{}') to be an index",
+                    self.name,
+                    c.index,
+                    db.object_name(c.index)
+                ));
+            }
+        }
+        for obj in &self.object_union {
+            if !exists(*obj) {
+                return Err(format!(
+                    "workload signature of '{}' references object {obj:?}, which does not exist \
+                     in this catalog",
+                    self.name
+                ));
+            }
+        }
+        // Plan serialization emits catalog object names; a modeled object
+        // whose current name was never interned would encode to [UNK] and
+        // silently degrade every prediction (e.g. a renamed table).
+        for obj in self.modeled_objects() {
+            let name = db.object_name(obj);
+            if self.vocab.get(name).is_none() {
+                return Err(format!(
+                    "model '{}' has no vocabulary token for object {obj:?}'s current name \
+                     '{name}' — the catalog changed since training",
+                    self.name
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// A deep copy via the serde path (model weights round-trip exactly; the
+    /// encode cache starts empty). [`TrainedWorkload`] holds a `Mutex`, so
+    /// `derive(Clone)` is unavailable — and the serde route is exactly what
+    /// a registry publish of a re-loaded model exercises anyway.
+    pub fn duplicate(&self) -> TrainedWorkload {
+        let json = serde_json::to_string(self).expect("serialize trained workload");
+        serde_json::from_str(&json).expect("deserialize trained workload")
     }
 
     /// Total model size in bytes (paper §5.1 reports this per template).
@@ -787,6 +920,60 @@ mod tests {
             let b = loaded.infer(&db, p);
             assert_eq!(a.pages, b.pages, "loaded model must predict identically");
         }
+    }
+
+    #[test]
+    fn checked_load_rejects_mutated_catalog() {
+        let (db, plans, traces) = mini_star();
+        let quick = PythiaConfig { epochs: 4, ..cfg() };
+        let tw = train_workload(&db, "mini", &plans[..10], &traces[..10], None, &quick);
+        let path = std::env::temp_dir().join("pythia_model_compat_check.json");
+        tw.save_json(&path).unwrap();
+
+        // Same catalog: the checked load succeeds and predicts identically.
+        let loaded = TrainedWorkload::load_json_checked(&path, &db).unwrap();
+        for p in &plans[10..12] {
+            assert_eq!(loaded.infer(&db, p).pages, tw.infer(&db, p).pages);
+        }
+
+        // Mutated catalog #1: same objects, but dim grew (different page
+        // count). The unchecked load silently accepts it; the checked load
+        // must fail loudly, naming the page mismatch.
+        let mut grown = Database::new();
+        let fact = grown.create_table("fact", Schema::ints(&["id", "date", "dkey"]));
+        let dim = grown.create_table("dim", Schema::ints(&["d_id", "attr"]));
+        for i in 0..2000i64 {
+            grown.insert(fact, Database::row(&[i, i / 2, 0]));
+        }
+        for d in 0..1800i64 {
+            grown.insert(dim, Database::row(&[d, d % 9]));
+        }
+        grown.create_index("dim_pk", dim, 0);
+        assert!(
+            TrainedWorkload::load_json(&path).is_ok(),
+            "unchecked load is the bug"
+        );
+        let err = TrainedWorkload::load_json_checked(&path, &grown).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("pages"), "{err}");
+
+        // Mutated catalog #2: an object the model predicts for is gone.
+        let mut shrunk = Database::new();
+        let f2 = shrunk.create_table("fact", Schema::ints(&["id", "date", "dkey"]));
+        for i in 0..2000i64 {
+            shrunk.insert(f2, Database::row(&[i, i / 2, 0]));
+        }
+        let err = TrainedWorkload::load_json_checked(&path, &shrunk).unwrap_err();
+        assert!(err.to_string().contains("does not exist"), "{err}");
+        let _ = std::fs::remove_file(&path);
+
+        // duplicate(): a deep copy via the same serde path, bit-identical.
+        let dup = tw.duplicate();
+        assert!(dup.check_compat(&db).is_ok());
+        for p in &plans[10..12] {
+            assert_eq!(dup.infer(&db, p).pages, tw.infer(&db, p).pages);
+        }
+        let _ = traces;
     }
 
     #[test]

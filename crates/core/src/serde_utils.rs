@@ -1,9 +1,16 @@
-//! Serde adapters for maps with non-string keys.
+//! Serde adapters for maps with non-string keys, plus the versioned
+//! on-disk envelope shared by everything the registry persists.
 //!
 //! Trained models are persisted as JSON (`TrainedWorkload::save_json`), but
 //! JSON object keys must be strings; these adapters serialize
 //! `HashMap`/`BTreeMap` with structured keys as sequences of `(key, value)`
 //! pairs instead.
+//!
+//! [`versioned`] wraps any serializable payload in a
+//! `{format, kind, body}` header so a reader can refuse a file written by an
+//! incompatible build (or for a different payload type) *before* attempting
+//! to deserialize the body — the failure is a descriptive I/O error, never a
+//! silent mis-parse.
 
 /// `HashMap<K, V>` ⇄ `Vec<(K, V)>`.
 pub mod hash_map_pairs {
@@ -60,6 +67,80 @@ pub mod btree_map_pairs {
     }
 }
 
+/// Versioned JSON envelope: `{format, kind, body}`.
+pub mod versioned {
+    use serde::de::DeserializeOwned;
+    use serde::{Deserialize, Serialize};
+    use std::io;
+    use std::path::Path;
+
+    /// Current on-disk format. Bump whenever the serialized shape of any
+    /// enveloped payload changes incompatibly; readers refuse other values.
+    pub const FORMAT_VERSION: u32 = 1;
+
+    /// The header + payload wrapper every enveloped file round-trips through.
+    #[derive(Serialize, Deserialize)]
+    pub struct Envelope<T> {
+        /// On-disk format version ([`FORMAT_VERSION`] at write time).
+        pub format: u32,
+        /// Payload discriminator (e.g. `"pythia.model"`), checked on read so
+        /// a file of one kind is never deserialized as another.
+        pub kind: String,
+        pub body: T,
+    }
+
+    fn invalid(msg: String) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, msg)
+    }
+
+    /// Serialize `body` under a `{format, kind, body}` header.
+    pub fn to_json<T: Serialize>(kind: &str, body: &T) -> io::Result<String> {
+        serde_json::to_string(&Envelope {
+            format: FORMAT_VERSION,
+            kind: kind.to_owned(),
+            body,
+        })
+        .map_err(|e| invalid(e.to_string()))
+    }
+
+    /// Parse an envelope, failing loudly on a format or kind mismatch.
+    pub fn from_json<T: DeserializeOwned>(kind: &str, json: &str) -> io::Result<T> {
+        // Peek at the header alone first, so a mismatch reports the actual
+        // format/kind instead of whatever body-shape error serde hits first.
+        #[derive(Deserialize)]
+        struct Header {
+            format: u32,
+            kind: String,
+        }
+        let head: Header = serde_json::from_str(json)
+            .map_err(|e| invalid(format!("not a versioned envelope: {e}")))?;
+        if head.format != FORMAT_VERSION {
+            return Err(invalid(format!(
+                "envelope format {} is not the supported format {FORMAT_VERSION}",
+                head.format
+            )));
+        }
+        if head.kind != kind {
+            return Err(invalid(format!(
+                "envelope holds a '{}' payload, expected '{kind}'",
+                head.kind
+            )));
+        }
+        let env: Envelope<T> = serde_json::from_str(json).map_err(|e| invalid(e.to_string()))?;
+        Ok(env.body)
+    }
+
+    /// Write `body` to `path` as an enveloped JSON file.
+    pub fn save<T: Serialize>(path: impl AsRef<Path>, kind: &str, body: &T) -> io::Result<()> {
+        std::fs::write(path, to_json(kind, body)?)
+    }
+
+    /// Load an enveloped JSON file written by [`save`].
+    pub fn load<T: DeserializeOwned>(path: impl AsRef<Path>, kind: &str) -> io::Result<T> {
+        from_json(kind, &std::fs::read_to_string(path)?)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use std::collections::{BTreeMap, HashMap};
@@ -83,5 +164,28 @@ mod tests {
         let json = serde_json::to_string(&v).unwrap();
         let back: WithMaps = serde_json::from_str(&json).unwrap();
         assert_eq!(v, back);
+    }
+
+    #[test]
+    fn versioned_envelope_roundtrips_and_rejects_mismatches() {
+        use super::versioned;
+
+        let json = versioned::to_json("test.pair", &(7u32, "x".to_owned())).unwrap();
+        let back: (u32, String) = versioned::from_json("test.pair", &json).unwrap();
+        assert_eq!(back, (7, "x".to_owned()));
+
+        // Wrong kind: refused with the offending kind in the message.
+        let err = versioned::from_json::<(u32, String)>("test.other", &json).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("test.pair"), "{err}");
+
+        // Wrong format version: refused before touching the body.
+        let future = json.replace("\"format\":1", "\"format\":999");
+        let err = versioned::from_json::<(u32, String)>("test.pair", &future).unwrap_err();
+        assert!(err.to_string().contains("999"), "{err}");
+
+        // Not an envelope at all.
+        let err = versioned::from_json::<u32>("test.pair", "{\"body\":3}").unwrap_err();
+        assert!(err.to_string().contains("envelope"), "{err}");
     }
 }

@@ -45,6 +45,9 @@
 //! A socket front-end for this loop — bounded queue, load shedding, the
 //! `serve_demo` example binary — lives in [`crate::frontend`].
 
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
 use pythia_buffer::BufferStats;
 use pythia_db::catalog::Database;
 use pythia_db::plan::PlanNode;
@@ -55,6 +58,7 @@ use pythia_sim::{PageId, SimDuration, SimTime};
 
 use crate::predictor::TrainedWorkload;
 use crate::prefetch::{cap_to_budget, prefetch_list};
+use crate::registry::TenantFleet;
 use crate::scheduler::{pick_next_by_overlap, schedule_by_overlap};
 
 /// How queries are admitted from the queue into the replay stack.
@@ -111,6 +115,12 @@ pub struct ServerConfig {
     /// Prefetch budget in pages per query; `None` uses 3/4 of the pool
     /// (limited prefetching, §5.1).
     pub prefetch_budget: Option<usize>,
+    /// Per-tenant cap on queries in flight at once (`None` disables tenant
+    /// accounting entirely — the single-tenant fast path). Values below 1
+    /// behave as 1, mirroring the `concurrency` clamp. A tenant at its quota
+    /// never blocks other tenants: admission skips past it to the first
+    /// feasible queued query.
+    pub tenant_quota: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -121,6 +131,7 @@ impl Default for ServerConfig {
             policy: QueuePolicy::Fifo,
             charge: InferenceCharge::Measured,
             prefetch_budget: None,
+            tenant_quota: None,
         }
     }
 }
@@ -137,17 +148,29 @@ pub struct ServerRequest<'a> {
     /// [`QueryRun::span_name`]); callers that know the query's template pass
     /// `Template::replay_span()` so Perfetto groups repeated templates.
     pub span_name: &'static str,
+    /// Which tenant issued the query (0 when single-tenant). Drives the
+    /// [`ServerConfig::tenant_quota`] admission cap and the per-tenant
+    /// breakdown of [`ServeReport::by_tenant`].
+    pub tenant: u32,
 }
 
 impl<'a> ServerRequest<'a> {
-    /// A request arriving at `arrival` with the default replay span name.
+    /// A request arriving at `arrival` with the default replay span name,
+    /// attributed to tenant 0.
     pub fn new(plan: &'a PlanNode, trace: &'a Trace, arrival: SimDuration) -> Self {
         ServerRequest {
             plan,
             trace,
             arrival,
             span_name: pythia_db::runtime::DEFAULT_REPLAY_SPAN,
+            tenant: 0,
         }
+    }
+
+    /// The same request attributed to `tenant`.
+    pub fn with_tenant(mut self, tenant: u32) -> Self {
+        self.tenant = tenant;
+        self
     }
 }
 
@@ -168,6 +191,8 @@ pub struct QueryOutcome {
     pub wave: usize,
     /// Inference latency charged to this query.
     pub inference: SimDuration,
+    /// Tenant the query was attributed to ([`ServerRequest::tenant`]).
+    pub tenant: u32,
 }
 
 impl QueryOutcome {
@@ -204,6 +229,10 @@ pub struct WaveStats {
     /// next (or the end of the serve call) — the per-event entries always
     /// partition [`ServeReport::stats`].
     pub stats: BufferStats,
+    /// Tenant of the admitted query in continuous mode (one admission per
+    /// query, so the attribution is exact); `None` in wave mode, where one
+    /// barrier wave can mix tenants.
+    pub tenant: Option<u32>,
 }
 
 /// Result of serving one request stream.
@@ -332,6 +361,99 @@ impl ServeReport {
         );
         out
     }
+
+    /// Per-tenant breakdown. Query counts, waits and inference charges
+    /// always partition the global totals; buffer counters additionally
+    /// partition [`ServeReport::stats`] in continuous mode, where every
+    /// admission event is attributed to exactly one tenant (wave-mode waves
+    /// mix tenants, so their counters stay unattributed).
+    pub fn by_tenant(&self) -> BTreeMap<u32, TenantReport> {
+        let mut out: BTreeMap<u32, TenantReport> = BTreeMap::new();
+        for q in &self.queries {
+            let t = out.entry(q.tenant).or_default();
+            t.queries += 1;
+            t.total_admission_wait += q.admission_wait();
+            t.total_latency += q.latency();
+            t.inference += q.inference;
+        }
+        for w in &self.waves {
+            if let Some(tenant) = w.tenant {
+                let t = out.entry(tenant).or_default();
+                t.admissions += 1;
+                t.stats.merge(&w.stats);
+            }
+        }
+        out
+    }
+
+    /// The breakdown for one tenant; a tenant that issued no queries gets
+    /// the all-zero (NaN-free) report rather than a panic or a missing key.
+    pub fn tenant_report(&self, tenant: u32) -> TenantReport {
+        self.by_tenant().remove(&tenant).unwrap_or_default()
+    }
+}
+
+/// One tenant's slice of a [`ServeReport`] (see [`ServeReport::by_tenant`]).
+#[derive(Debug, Clone)]
+pub struct TenantReport {
+    /// Queries this tenant completed.
+    pub queries: usize,
+    /// Admission events attributed to this tenant (continuous mode only).
+    pub admissions: usize,
+    /// Summed time its queries spent queued before admission.
+    pub total_admission_wait: SimDuration,
+    /// Summed arrival-to-completion latency of its queries.
+    pub total_latency: SimDuration,
+    /// Summed inference latency charged to its queries.
+    pub inference: SimDuration,
+    /// Buffer/prefetch counters of its admission intervals (continuous mode
+    /// only; zero in wave mode).
+    pub stats: BufferStats,
+}
+
+impl Default for TenantReport {
+    fn default() -> Self {
+        TenantReport {
+            queries: 0,
+            admissions: 0,
+            total_admission_wait: SimDuration::ZERO,
+            total_latency: SimDuration::ZERO,
+            inference: SimDuration::ZERO,
+            stats: BufferStats::default(),
+        }
+    }
+}
+
+impl TenantReport {
+    /// Mean queueing delay; zero (not NaN) for a zero-query tenant.
+    pub fn mean_admission_wait(&self) -> SimDuration {
+        if self.queries == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_micros(self.total_admission_wait.as_micros() / self.queries as u64)
+    }
+
+    /// Mean end-to-end latency; zero (not NaN) for a zero-query tenant.
+    pub fn mean_latency(&self) -> SimDuration {
+        if self.queries == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_micros(self.total_latency.as_micros() / self.queries as u64)
+    }
+
+    /// One-line JSON fragment for the front-end's tenant-scoped `/stats`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"queries\":{},\"admissions\":{},\"mean_admission_wait_us\":{},\
+             \"mean_latency_us\":{},\"inference_us\":{},\"prefetch_issued\":{}}}",
+            self.queries,
+            self.admissions,
+            self.mean_admission_wait().as_micros(),
+            self.mean_latency().as_micros(),
+            self.inference.as_micros(),
+            self.stats.prefetch_issued
+        )
+    }
 }
 
 /// A computed prediction for a queued query: its ordered prefetch list and
@@ -342,12 +464,31 @@ struct PredEntry {
     charge: SimDuration,
 }
 
+/// Where the serving loop's model comes from.
+enum PredictorSource<'d> {
+    /// No model: the DFLT baseline, every query replays unassisted.
+    None,
+    /// A model fixed for the server's lifetime (borrowed from the caller).
+    Fixed(&'d TrainedWorkload),
+    /// A tenant fleet in the hot-swap registry: the current model is
+    /// re-resolved at every batched inference, so a
+    /// [`TenantFleet::publish`] lands between admissions and the batch in
+    /// flight keeps its coherent snapshot.
+    Registry(Arc<TenantFleet>),
+}
+
+/// Observer invoked at each admission event with its ordinal (the index the
+/// event gets in [`ServeReport::waves`]), *before* that event's batched
+/// inference runs.
+type AdmissionHook<'d> = Box<dyn FnMut(usize) + 'd>;
+
 /// The admission-controlled serving loop over one warm replay stack.
 pub struct PrefetchServer<'d> {
     db: &'d Database,
     rt: Runtime,
     cfg: ServerConfig,
-    predictor: Option<&'d TrainedWorkload>,
+    predictor: PredictorSource<'d>,
+    admission_hook: Option<AdmissionHook<'d>>,
 }
 
 impl<'d> PrefetchServer<'d> {
@@ -358,15 +499,32 @@ impl<'d> PrefetchServer<'d> {
             db,
             rt: Runtime::new(run_cfg, db.file_lengths()),
             cfg,
-            predictor: None,
+            predictor: PredictorSource::None,
+            admission_hook: None,
         }
     }
 
     /// Attach a trained Pythia instance: admitted queries get capped prefetch
     /// plans, with inference batched per admission wave.
     pub fn with_predictor(mut self, tw: &'d TrainedWorkload) -> Self {
-        self.predictor = Some(tw);
+        self.predictor = PredictorSource::Fixed(tw);
         self
+    }
+
+    /// Attach a hot-swappable tenant fleet: each batched inference resolves
+    /// the fleet's current model, so [`TenantFleet::publish`] takes effect
+    /// at the next admission without restarting the server. An empty fleet
+    /// behaves like no predictor.
+    pub fn with_registry(mut self, fleet: Arc<TenantFleet>) -> Self {
+        self.predictor = PredictorSource::Registry(fleet);
+        self
+    }
+
+    /// Install an observer called at each admission event with its ordinal,
+    /// before the event's batched inference. Tests use this to publish a
+    /// model swap at a deterministic point mid-stream.
+    pub fn set_admission_hook(&mut self, hook: impl FnMut(usize) + 'd) {
+        self.admission_hook = Some(Box::new(hook));
     }
 
     /// The underlying replay stack (clock and cumulative counters).
@@ -431,8 +589,21 @@ impl<'d> PrefetchServer<'d> {
         at: SimTime,
         server_track: Track,
     ) -> usize {
-        let Some(tw) = self.predictor else {
-            return 0;
+        // Resolve the model once per batch: a registry swap published while
+        // this batch runs is picked up by the *next* admission; this batch
+        // keeps the coherent snapshot it resolved (the Arc keeps the old
+        // weights alive even if the publish drops the registry's reference).
+        let snapshot;
+        let tw: &TrainedWorkload = match &self.predictor {
+            PredictorSource::None => return 0,
+            PredictorSource::Fixed(tw) => *tw,
+            PredictorSource::Registry(fleet) => match fleet.any() {
+                Some(m) => {
+                    snapshot = m;
+                    &snapshot.workload
+                }
+                None => return 0,
+            },
         };
         let missing: Vec<usize> = queue
             .iter()
@@ -543,13 +714,19 @@ impl<'d> PrefetchServer<'d> {
             }
             let admitted_at = self.rt.now();
             let queue_depth = queue.len();
+            if let Some(hook) = self.admission_hook.as_mut() {
+                hook(waves.len());
+            }
             let inferred =
                 self.batch_infer_missing(requests, &queue, &mut preds, admitted_at, server_track);
 
-            // Select this wave's members under the queue policy.
+            // Select this wave's members: walk the queue in the policy's
+            // preferred order, capping members per tenant at the quota
+            // (`None` admits freely — the original single-tenant path).
             let take = self.cfg.concurrency.max(1).min(queue.len());
-            let members: Vec<usize> = match self.cfg.policy {
-                QueuePolicy::Fifo => queue[..take].to_vec(),
+            let quota = self.cfg.tenant_quota.map(|q| q.max(1));
+            let prefer: Vec<usize> = match self.cfg.policy {
+                QueuePolicy::Fifo => (0..queue.len()).collect(),
                 QueuePolicy::Overlap => {
                     let sets: Vec<Vec<PageId>> = queue
                         .iter()
@@ -560,10 +737,22 @@ impl<'d> PrefetchServer<'d> {
                                 .unwrap_or_default()
                         })
                         .collect();
-                    let perm = schedule_by_overlap(&sets);
-                    perm[..take].iter().map(|&p| queue[p]).collect()
+                    schedule_by_overlap(&sets)
                 }
             };
+            let mut members: Vec<usize> = Vec::new();
+            let mut per_tenant: HashMap<u32, usize> = HashMap::new();
+            for p in prefer {
+                if members.len() == take {
+                    break;
+                }
+                let i = queue[p];
+                let count = per_tenant.entry(requests[i].tenant).or_insert(0);
+                if quota.is_none_or(|q| *count < q) {
+                    *count += 1;
+                    members.push(i);
+                }
+            }
             queue.retain(|i| !members.contains(i));
 
             // Dispatch the wave into concurrent replay; new arrivals wait for
@@ -603,6 +792,7 @@ impl<'d> PrefetchServer<'d> {
                     end: t.end,
                     wave: wave_idx,
                     inference: runs[k].inference_latency,
+                    tenant: requests[i].tenant,
                 });
             }
             let wave_stats = res.stats.diff(&before);
@@ -629,6 +819,7 @@ impl<'d> PrefetchServer<'d> {
                 inferred,
                 inference: wave_inference,
                 stats: wave_stats,
+                tenant: None,
             });
             // Refresh the live metrics endpoint between waves — the only
             // point where the counters are consistent mid-serve.
@@ -712,6 +903,14 @@ impl<'d> PrefetchServer<'d> {
         // end. Invariant between events: free.len() + sess.live() == cap.
         let mut free: Vec<SimTime> = vec![base; cap];
 
+        // Per-tenant admission tokens, same shape as `free`: a tenant's
+        // vector holds the instants its quota slots freed, lazily created at
+        // `quota` tokens (all "free since serve start"). Empty vector means
+        // the tenant is at its in-flight cap. `None` quota skips all tenant
+        // accounting — the single-tenant path is bit-identical to before.
+        let quota = self.cfg.tenant_quota.map(|q| q.max(1));
+        let mut tenant_tokens: HashMap<u32, Vec<SimTime>> = HashMap::new();
+
         // Same-instant event priority: arrivals first (so the admission
         // decision sees them queued), then admissions, then session steps.
         const ARRIVE: u8 = 0;
@@ -727,11 +926,34 @@ impl<'d> PrefetchServer<'d> {
             // Queued arrivals all precede the admission instant (events are
             // processed in nondecreasing virtual time), so the earliest the
             // scheduler can dispatch is when the queue head has arrived AND
-            // a slot is free.
+            // a slot is free — AND, under a tenant quota, the query's tenant
+            // holds a token. A quota-blocked head never blocks other
+            // tenants: the candidate scan covers the whole queue, earliest
+            // feasible instant wins (queue order breaks ties).
             let admit_at = if queue.is_empty() {
                 None
+            } else if let Some(&fmin) = free.iter().min() {
+                match quota {
+                    None => Some(fmin.max(abs[queue[0]])),
+                    Some(q) => {
+                        let mut best: Option<SimTime> = None;
+                        for &i in &queue {
+                            let tokens = tenant_tokens
+                                .entry(requests[i].tenant)
+                                .or_insert_with(|| vec![base; q]);
+                            let Some(&tmin) = tokens.iter().min() else {
+                                continue;
+                            };
+                            let at = fmin.max(abs[i]).max(tmin);
+                            if best.is_none_or(|b| at < b) {
+                                best = Some(at);
+                            }
+                        }
+                        best
+                    }
+                }
             } else {
-                free.iter().min().map(|&f| f.max(abs[queue[0]]))
+                None
             };
             let step_at = sess.next_event_time();
 
@@ -774,25 +996,60 @@ impl<'d> PrefetchServer<'d> {
                         .map(|(k, _)| k)
                         .expect("admission scheduled with a free slot");
                     free.swap_remove(slot_pos);
+                    if let Some(hook) = self.admission_hook.as_mut() {
+                        hook(waves.len());
+                    }
                     let inferred =
                         self.batch_infer_missing(requests, &queue, &mut preds, t, server_track);
+                    // Queue positions admissible at `t`: all of them without
+                    // a quota; with one, those whose tenant holds a token
+                    // freed by now.
+                    let feasible: Vec<usize> = match quota {
+                        None => (0..queue.len()).collect(),
+                        Some(q) => (0..queue.len())
+                            .filter(|&k| {
+                                tenant_tokens
+                                    .entry(requests[queue[k]].tenant)
+                                    .or_insert_with(|| vec![base; q])
+                                    .iter()
+                                    .min()
+                                    .is_some_and(|&f| f <= t)
+                            })
+                            .collect(),
+                    };
                     let pick = match self.cfg.policy {
-                        QueuePolicy::Fifo => 0,
+                        QueuePolicy::Fifo => *feasible
+                            .first()
+                            .expect("admission scheduled with a feasible query"),
                         QueuePolicy::Overlap => {
-                            let sets: Vec<Vec<PageId>> = queue
+                            let sets: Vec<Vec<PageId>> = feasible
                                 .iter()
-                                .map(|&i| {
-                                    preds[i]
+                                .map(|&k| {
+                                    preds[queue[k]]
                                         .as_ref()
                                         .map(|e| e.list.clone())
                                         .unwrap_or_default()
                                 })
                                 .collect();
-                            pick_next_by_overlap(&last_admitted_pages, &sets)
+                            feasible[pick_next_by_overlap(&last_admitted_pages, &sets)]
                         }
                     };
                     let queue_depth = queue.len();
                     let i = queue.remove(pick);
+                    if let Some(q) = quota {
+                        // Consume the tenant's earliest-freed token,
+                        // mirroring the slot consumption above.
+                        let tokens = tenant_tokens
+                            .entry(requests[i].tenant)
+                            .or_insert_with(|| vec![base; q]);
+                        let pos = tokens
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|&(_, &f)| f)
+                            .map(|(k, _)| k)
+                            .expect("admitted tenant holds a token");
+                        tokens.swap_remove(pos);
+                    }
                     last_admitted_pages = preds[i]
                         .as_ref()
                         .map(|e| e.list.clone())
@@ -835,6 +1092,7 @@ impl<'d> PrefetchServer<'d> {
                         inferred,
                         inference,
                         stats: BufferStats::default(),
+                        tenant: Some(requests[i].tenant),
                     });
                     if let Some(c) = done {
                         // Empty trace: completed — and freed its slot — the
@@ -847,6 +1105,7 @@ impl<'d> PrefetchServer<'d> {
                             end: c.timing.end,
                             wave: info.event,
                             inference: info.inference,
+                            tenant: requests[i].tenant,
                         });
                         let rec = self.rt.recorder_mut();
                         rec.add("server.completions", 1);
@@ -858,6 +1117,12 @@ impl<'d> PrefetchServer<'d> {
                             &[("query", i as u64)],
                         );
                         free.push(c.timing.end);
+                        if quota.is_some() {
+                            tenant_tokens
+                                .get_mut(&requests[i].tenant)
+                                .expect("token consumed at admission")
+                                .push(c.timing.end);
+                        }
                     }
                 }
                 _ => {
@@ -871,6 +1136,7 @@ impl<'d> PrefetchServer<'d> {
                             end: c.timing.end,
                             wave: info.event,
                             inference: info.inference,
+                            tenant: requests[i].tenant,
                         });
                         let rec = self.rt.recorder_mut();
                         rec.add("server.completions", 1);
@@ -882,6 +1148,12 @@ impl<'d> PrefetchServer<'d> {
                             &[("query", i as u64)],
                         );
                         free.push(c.timing.end);
+                        if quota.is_some() {
+                            tenant_tokens
+                                .get_mut(&requests[i].tenant)
+                                .expect("token consumed at admission")
+                                .push(c.timing.end);
+                        }
                         // Counters are consistent at completions — refresh the
                         // live metrics endpoint (wave mode does so per wave).
                         self.rt.recorder().publish();
@@ -974,6 +1246,7 @@ mod tests {
             policy,
             charge: InferenceCharge::Fixed(SimDuration::ZERO),
             prefetch_budget: None,
+            tenant_quota: None,
         }
     }
 
@@ -1298,6 +1571,7 @@ mod tests {
                 end: t,
                 wave: 0,
                 inference: SimDuration::ZERO,
+                tenant: 0,
             }],
             // A queries/waves mismatch must not trip any indexing either.
             waves: Vec::new(),
@@ -1350,6 +1624,7 @@ mod tests {
                     end: admitted + SimDuration::from_micros(1),
                     wave: 0,
                     inference: SimDuration::ZERO,
+                    tenant: 0,
                 }
             })
             .collect();
@@ -1421,6 +1696,7 @@ mod tests {
             policy: QueuePolicy::Overlap,
             charge: InferenceCharge::Fixed(inf),
             prefetch_budget: None,
+            tenant_quota: None,
         };
         let reqs: Vec<ServerRequest<'_>> = plans[8..]
             .iter()
@@ -1442,5 +1718,167 @@ mod tests {
             assert_eq!(q.inference, inf);
             assert_eq!(q.start, q.admitted + inf);
         }
+
+        // Registry-routed serving is bit-identical to the borrowed
+        // predictor, even with a mid-stream hot swap to identical weights
+        // published by the admission hook (versions bump, outcomes don't).
+        let fleet = Arc::new(TenantFleet::new("t0"));
+        fleet.publish(tw.duplicate());
+        let mut reg_srv =
+            PrefetchServer::new(&db, &run_cfg(), server_cfg).with_registry(Arc::clone(&fleet));
+        let swapper = Arc::clone(&fleet);
+        let spare = tw.duplicate();
+        reg_srv.set_admission_hook(move |k| {
+            if k == 2 {
+                swapper.publish(spare.duplicate());
+            }
+        });
+        let rep2 = reg_srv.serve(&reqs);
+        assert_eq!(fleet.current("mini").unwrap().version, 2, "swap landed");
+        for (a, b) in rep.queries.iter().zip(&rep2.queries) {
+            assert_eq!(a.start, b.start);
+            assert_eq!(a.end, b.end);
+            assert_eq!(a.inference, b.inference);
+        }
+        assert_eq!(rep.stats, rep2.stats);
+    }
+
+    #[test]
+    fn tenant_quota_zero_clamps_to_one() {
+        // The satellite pin: quota 0 behaves as quota 1, mirroring the
+        // concurrency clamp — in both admission modes.
+        let (db, plan) = dummy_db_and_plan();
+        let traces: Vec<Trace> = vec![
+            random_trace(30),
+            random_trace(20),
+            random_trace(25),
+            random_trace(15),
+        ];
+        let reqs: Vec<ServerRequest<'_>> = traces
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                ServerRequest::new(&plan, t, SimDuration::from_micros(i as u64 * 50))
+                    .with_tenant((i % 2) as u32)
+            })
+            .collect();
+        for make in [fixed_cfg, cont_cfg] {
+            let mut zero = PrefetchServer::new(
+                &db,
+                &run_cfg(),
+                ServerConfig {
+                    tenant_quota: Some(0),
+                    ..make(4, QueuePolicy::Fifo)
+                },
+            );
+            let mut one = PrefetchServer::new(
+                &db,
+                &run_cfg(),
+                ServerConfig {
+                    tenant_quota: Some(1),
+                    ..make(4, QueuePolicy::Fifo)
+                },
+            );
+            let a = zero.serve(&reqs);
+            let b = one.serve(&reqs);
+            assert_eq!(a.stats, b.stats);
+            for (qa, qb) in a.queries.iter().zip(&b.queries) {
+                assert_eq!(qa.admitted, qb.admitted);
+                assert_eq!(qa.start, qb.start);
+                assert_eq!(qa.end, qb.end);
+            }
+        }
+    }
+
+    #[test]
+    fn tenant_quota_caps_per_tenant_concurrency_without_starvation() {
+        // Four tenant-0 queries and two tenant-1, all arriving together,
+        // four slots, quota 1: same-tenant replays serialize, the global
+        // occupancy never exceeds the two admissible tenants, and tenant 1
+        // is admitted immediately even though four tenant-0 queries sit
+        // ahead of it in the queue (the quota-blocked head is skipped).
+        let (db, plan) = dummy_db_and_plan();
+        let traces: Vec<Trace> = (0..6).map(|i| random_trace(15 + i * 5)).collect();
+        let tenants = [0u32, 0, 0, 0, 1, 1];
+        let reqs: Vec<ServerRequest<'_>> = traces
+            .iter()
+            .zip(tenants)
+            .map(|(t, tenant)| ServerRequest::new(&plan, t, SimDuration::ZERO).with_tenant(tenant))
+            .collect();
+        let cfg = ServerConfig {
+            tenant_quota: Some(1),
+            ..cont_cfg(4, QueuePolicy::Fifo)
+        };
+        let mut srv = PrefetchServer::new(&db, &run_cfg(), cfg);
+        let rep = srv.serve(&reqs);
+
+        let mut by_tenant: HashMap<u32, Vec<&QueryOutcome>> = HashMap::new();
+        for q in &rep.queries {
+            by_tenant.entry(q.tenant).or_default().push(q);
+        }
+        for (tenant, mut qs) in by_tenant {
+            qs.sort_by_key(|q| q.start);
+            for w in qs.windows(2) {
+                assert!(
+                    w[1].start >= w[0].end,
+                    "quota 1 must serialize tenant {tenant}"
+                );
+            }
+        }
+        assert!(rep.waves.iter().all(|w| w.occupancy <= 2));
+        let first_t1 = rep
+            .queries
+            .iter()
+            .find(|q| q.tenant == 1)
+            .expect("tenant 1 served");
+        assert_eq!(
+            first_t1.admitted,
+            SimTime::ZERO,
+            "tenant 1 must not wait behind tenant 0's quota-blocked queue"
+        );
+
+        // Per-tenant reports partition the global totals (continuous mode
+        // attributes every admission interval to one tenant).
+        let by = rep.by_tenant();
+        assert_eq!(by.len(), 2);
+        assert_eq!(by.values().map(|t| t.queries).sum::<usize>(), 6);
+        assert_eq!(
+            by.values().map(|t| t.admissions).sum::<usize>(),
+            rep.waves.len()
+        );
+        let mut merged = BufferStats::default();
+        for t in by.values() {
+            merged.merge(&t.stats);
+        }
+        assert_eq!(merged, rep.stats);
+    }
+
+    #[test]
+    fn zero_query_tenant_report_is_nan_free() {
+        // The satellite pin: asking for a tenant that issued nothing yields
+        // the all-zero report — no panic, no NaN, no division by zero.
+        let (db, plan) = dummy_db_and_plan();
+        let t = random_trace(20);
+        let reqs = [
+            ServerRequest::new(&plan, &t, SimDuration::ZERO),
+            ServerRequest::new(&plan, &t, SimDuration::from_micros(5)),
+        ];
+        let cfg = ServerConfig {
+            tenant_quota: Some(2),
+            ..cont_cfg(2, QueuePolicy::Fifo)
+        };
+        let mut srv = PrefetchServer::new(&db, &run_cfg(), cfg);
+        let rep = srv.serve(&reqs);
+        let ghost = rep.tenant_report(9);
+        assert_eq!(ghost.queries, 0);
+        assert_eq!(ghost.admissions, 0);
+        assert_eq!(ghost.mean_admission_wait(), SimDuration::ZERO);
+        assert_eq!(ghost.mean_latency(), SimDuration::ZERO);
+        assert_eq!(ghost.stats, BufferStats::default());
+        let json = ghost.to_json();
+        assert!(json.contains("\"queries\":0"), "{json}");
+        assert!(!json.contains("NaN"), "{json}");
+        // The tenant that did issue queries aggregates them all.
+        assert_eq!(rep.tenant_report(0).queries, 2);
     }
 }

@@ -149,6 +149,7 @@ fn serve_poisson_inner(
             arrival,
             // Template-derived span name: repeated shapes group in Perfetto.
             span_name: template.replay_span(),
+            tenant: 0,
         })
         .collect();
     let cfg = ServerConfig {
@@ -157,6 +158,7 @@ fn serve_poisson_inner(
         policy,
         charge,
         prefetch_budget: None,
+        tenant_quota: None,
     };
     let mut server = PrefetchServer::new(&env.bench.db, &env.run_cfg, cfg);
     if let Some(tw) = tw {
@@ -421,6 +423,7 @@ pub fn admission_snapshot(env: &Env) -> String {
             policy: QueuePolicy::Fifo,
             charge: InferenceCharge::Fixed(SimDuration::from_micros(TRACED_INFER_CHARGE_US)),
             prefetch_budget: None,
+            tenant_quota: None,
         };
         let mut server = PrefetchServer::new(&env.bench.db, &env.run_cfg, cfg);
         server.serve(&requests)

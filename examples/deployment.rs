@@ -55,10 +55,12 @@ fn main() {
     // ---- 2. Serve from disk + background training of a second workload ----
     let db = Arc::new(bench.db);
     let service = Arc::new(PythiaService::new(Arc::clone(&db), cfg.clone(), 512));
-    service.install_trained(TrainedWorkload::load_json(&path).expect("load"));
+    let version = service
+        .install_trained(TrainedWorkload::load_json(&path).expect("load"))
+        .expect("catalog-compatible");
     let _ = std::fs::remove_file(&path);
     println!(
-        "service loaded persisted models; workloads = {}",
+        "service loaded persisted models; workloads = {}, fleet version = {version}",
         service.workload_count()
     );
 

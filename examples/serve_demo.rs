@@ -1,21 +1,25 @@
 //! A live prefetch-serving endpoint you can hit with `curl` or netcat.
 //!
 //! ```bash
-//! cargo run --release --example serve_demo -- --addr 127.0.0.1:7878
+//! cargo run --release --example serve_demo -- --addr 127.0.0.1:7878 --tenants 2
 //! # then, from another shell:
 //! curl http://127.0.0.1:7878/healthz
-//! curl http://127.0.0.1:7878/query/0
+//! curl http://127.0.0.1:7878/query/0          # tenant 0 (legacy route)
+//! curl http://127.0.0.1:7878/t/1/query/0      # tenant 1
+//! curl http://127.0.0.1:7878/t/1/stats        # tenant-scoped counters
 //! curl http://127.0.0.1:7878/stats
 //! curl http://127.0.0.1:7878/shutdown
 //! ```
 //!
-//! Builds a small DSB-like benchmark database and a catalog of Template-18
-//! queries, then puts the zero-dependency TCP [`Frontend`] in front of a
-//! continuous-admission [`PrefetchServer`]: each `GET /query/<idx>` becomes
-//! an arrival event, queued requests are drained in opportunistic batches,
-//! admitted the moment a replay slot frees (no wave barrier), and answered
-//! with the query's virtual-time outcome as JSON. Requests beyond the queue
-//! depth target are load-shed with `503 Retry-After`.
+//! Builds one small DSB-like benchmark database **per tenant** (different
+//! generator seeds) with a catalog of Template-18 queries, then puts the
+//! zero-dependency TCP [`Frontend`] in front of a continuous-admission
+//! [`PrefetchServer`] fleet — one server per tenant, each over its own
+//! database. `GET /t/<tenant>/query/<idx>` becomes an arrival event routed
+//! to that tenant's server; queued requests are drained in opportunistic
+//! batches, admitted the moment a replay slot frees (no wave barrier), and
+//! answered with the query's virtual-time outcome as JSON. Requests beyond
+//! the queue depth target are load-shed with `503 Retry-After`.
 //!
 //! Flags:
 //!
@@ -23,8 +27,10 @@
 //!   ephemeral port; the bound address is printed on startup).
 //! * `--shed-depth <n>` — queue depth target above which requests are shed
 //!   (default 32).
-//! * `--train` — train a Pythia predictor on the catalog first (slower
-//!   startup; admitted queries then replay with learned prefetching).
+//! * `--tenants <n>` — number of tenant databases to serve (default 1).
+//! * `--train` — train a Pythia predictor per tenant and publish it through
+//!   the hot-swappable model registry (slower startup; admitted queries then
+//!   replay with learned prefetching).
 //!
 //! `/shutdown` drains the queue and exits cleanly — that is how the CI
 //! smoke test stops the demo.
@@ -32,15 +38,15 @@
 use std::time::Duration;
 
 use pythia::core::frontend::outcome_json;
+use pythia::core::registry::ModelRegistry;
 use pythia::core::{
-    AdmissionMode, Frontend, FrontendConfig, InferenceCharge, PrefetchServer, PythiaConfig,
-    QueuePolicy, ServerConfig, ServerRequest,
+    train_workload, AdmissionMode, Arrival, Frontend, FrontendConfig, InferenceCharge,
+    PrefetchServer, PythiaConfig, QueuePolicy, ServerConfig, ServerRequest,
 };
 use pythia::db::runtime::RunConfig;
 use pythia::sim::SimDuration;
 use pythia::workloads::templates::{sample_workload, Template};
 use pythia::workloads::{build_benchmark, GeneratorConfig};
-use pythia::PythiaSystem;
 
 /// Value of a `--<name> <value>` (or `--<name>=<value>`) flag, if present.
 fn flag_value(name: &str) -> Option<String> {
@@ -63,46 +69,77 @@ fn main() {
     let shed_depth: usize = flag_value("shed-depth")
         .map(|v| v.parse().expect("--shed-depth takes an integer"))
         .unwrap_or(32);
+    let tenants: usize = flag_value("tenants")
+        .map(|v| v.parse().expect("--tenants takes an integer"))
+        .unwrap_or(1)
+        .max(1);
     let train = std::env::args().any(|a| a == "--train");
 
-    eprintln!("[serve_demo] building benchmark database + query catalog...");
-    let bench = build_benchmark(&GeneratorConfig {
-        scale: 0.05,
-        seed: 7,
-    });
-    let queries = sample_workload(&bench, Template::T18, 12, 42);
-    let traces: Vec<_> = queries
-        .iter()
-        .map(|q| pythia::db::exec::execute(&q.plan, &bench.db).1)
+    eprintln!("[serve_demo] building {tenants} tenant database(s) + query catalogs...");
+    let benches: Vec<_> = (0..tenants)
+        .map(|t| {
+            build_benchmark(&GeneratorConfig {
+                scale: 0.05,
+                seed: 7 + t as u64,
+            })
+        })
         .collect();
+    let catalogs: Vec<_> = benches
+        .iter()
+        .map(|b| {
+            let queries = sample_workload(b, Template::T18, 12, 42);
+            let traces: Vec<_> = queries
+                .iter()
+                .map(|q| pythia::db::exec::execute(&q.plan, &b.db).1)
+                .collect();
+            (queries, traces)
+        })
+        .collect();
+    let catalog_len = catalogs[0].0.len();
 
-    // Optionally train Pythia on the catalog so served queries replay with
-    // learned prefetching; without --train the demo serves the DFLT baseline
-    // (instant startup, which is what the CI smoke test wants).
-    let system = train.then(|| {
-        eprintln!("[serve_demo] training predictor on the catalog (--train)...");
-        let budget = (bench.db.disk.total_pages() as usize / 8).max(256) * 3 / 4;
-        let mut sys = PythiaSystem::new(PythiaConfig::fast(), budget);
-        let plans: Vec<_> = queries.iter().map(|q| q.plan.clone()).collect();
-        sys.learn_workload(&bench.db, "demo-t18", &plans, &traces, None);
-        sys
-    });
+    // Optionally train Pythia per tenant and publish through the model
+    // registry (versioned, hot-swappable mid-serving); without --train the
+    // demo serves the DFLT baseline (instant startup, which is what the CI
+    // smoke test wants).
+    let registry = ModelRegistry::new();
+    if train {
+        for (t, (b, (queries, traces))) in benches.iter().zip(&catalogs).enumerate() {
+            eprintln!("[serve_demo] training tenant {t}'s predictor (--train)...");
+            let plans: Vec<_> = queries.iter().map(|q| q.plan.clone()).collect();
+            let tw = train_workload(
+                &b.db,
+                "demo-t18",
+                &plans,
+                traces,
+                None,
+                &PythiaConfig::fast(),
+            );
+            let v = registry.tenant(&format!("tenant{t}")).publish(tw);
+            eprintln!("[serve_demo] tenant {t} fleet at version {v}");
+        }
+    }
 
     let fe = Frontend::start(
         &addr,
         FrontendConfig {
             shed_depth,
-            ..FrontendConfig::new(queries.len())
+            tenants,
+            ..FrontendConfig::new(catalog_len)
         },
     )
     .unwrap_or_else(|e| panic!("binding {addr}: {e}"));
     println!("serve_demo listening on http://{}", fe.addr());
     println!(
-        "  catalog: {} Template-18 queries; predictor: {}",
-        queries.len(),
+        "  catalog: {} Template-18 queries x {} tenant(s); predictor: {}",
+        catalog_len,
+        tenants,
         if train { "trained" } else { "none (DFLT)" }
     );
     println!("  try: curl http://{}/query/0", fe.addr());
+    if tenants > 1 {
+        println!("  try: curl http://{}/t/1/query/0", fe.addr());
+        println!("  try: curl http://{}/t/1/stats", fe.addr());
+    }
     println!("  stop: curl http://{}/shutdown", fe.addr());
 
     let cfg = ServerConfig {
@@ -111,11 +148,19 @@ fn main() {
         policy: QueuePolicy::Fifo,
         charge: InferenceCharge::Fixed(SimDuration::from_micros(150)),
         prefetch_budget: None,
+        tenant_quota: None,
     };
-    let mut srv = PrefetchServer::new(&bench.db, &RunConfig::default(), cfg);
-    if let Some(sys) = system.as_ref() {
-        srv = srv.with_predictor(&sys.workloads()[0]);
-    }
+    let mut srvs: Vec<PrefetchServer<'_>> = benches
+        .iter()
+        .enumerate()
+        .map(|(t, b)| {
+            let mut s = PrefetchServer::new(&b.db, &RunConfig::default(), cfg);
+            if train {
+                s = s.with_registry(registry.tenant(&format!("tenant{t}")));
+            }
+            s
+        })
+        .collect();
 
     loop {
         let batch = fe.drain_batch(Duration::from_millis(50));
@@ -125,21 +170,34 @@ fn main() {
             }
             continue;
         }
-        let reqs: Vec<ServerRequest<'_>> = batch
-            .iter()
-            .map(|a| {
-                ServerRequest::new(&queries[a.query].plan, &traces[a.query], SimDuration::ZERO)
-            })
-            .collect();
-        let rep = srv.serve(&reqs);
-        eprintln!(
-            "[serve_demo] served batch of {}: makespan {}, throughput {:.1} q/s",
-            rep.queries.len(),
-            rep.makespan(),
-            rep.throughput_qps()
-        );
-        for (a, q) in batch.into_iter().zip(&rep.queries) {
-            a.responder.ok_json(&outcome_json(a.query, q));
+        // Route each arrival to its tenant's server; each tenant's slice of
+        // the batch is served against that tenant's own database.
+        let mut groups: Vec<Vec<Arrival>> = (0..tenants).map(|_| Vec::new()).collect();
+        for a in batch {
+            groups[a.tenant as usize].push(a);
+        }
+        for (t, group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let (queries, traces) = &catalogs[t];
+            let reqs: Vec<ServerRequest<'_>> = group
+                .iter()
+                .map(|a| {
+                    ServerRequest::new(&queries[a.query].plan, &traces[a.query], SimDuration::ZERO)
+                        .with_tenant(a.tenant)
+                })
+                .collect();
+            let rep = srvs[t].serve(&reqs);
+            eprintln!(
+                "[serve_demo] tenant {t}: served batch of {}: makespan {}, throughput {:.1} q/s",
+                rep.queries.len(),
+                rep.makespan(),
+                rep.throughput_qps()
+            );
+            for (a, q) in group.into_iter().zip(&rep.queries) {
+                a.responder.ok_json(&outcome_json(a.query, q));
+            }
         }
     }
 

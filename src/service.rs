@@ -4,20 +4,21 @@
 //! paper sketches in §5.1 ("we can periodically re-train the models with
 //! updated training data").
 //!
-//! * Readers call [`PythiaService::engage`] under a `parking_lot` read lock —
-//!   inference never blocks on training.
+//! * Readers call [`PythiaService::engage`] against a versioned
+//!   [`TenantFleet`]: each lookup clones an `Arc` snapshot under a brief read
+//!   lock, so inference never blocks on training.
 //! * Training requests go through a `crossbeam` channel to a dedicated
-//!   trainer thread; finished workloads are swapped in under a brief write
-//!   lock.
+//!   trainer thread; finished workloads are published atomically, bumping the
+//!   fleet version.
 
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Sender};
-use parking_lot::RwLock;
 
 use pythia_core::predictor::TrainedWorkload;
 use pythia_core::prefetch::{cap_to_budget, prefetch_list};
-use pythia_core::{train_workload, PythiaConfig, WorkloadRegistry};
+use pythia_core::registry::TenantFleet;
+use pythia_core::{train_workload, PythiaConfig};
 use pythia_db::catalog::{Database, ObjectId};
 use pythia_db::plan::PlanNode;
 use pythia_db::trace::Trace;
@@ -33,10 +34,13 @@ pub struct TrainRequest {
     pub restrict_objects: Option<Vec<ObjectId>>,
 }
 
-/// Thread-safe Pythia deployment: shared registry + background training.
+/// Thread-safe Pythia deployment: a versioned model fleet + background
+/// training. The service owns one [`TenantFleet`] (the process-wide
+/// [`pythia_core::ModelRegistry`] holds one fleet per database when several
+/// tenants share a process; a single-database service needs only its own).
 pub struct PythiaService {
     db: Arc<Database>,
-    registry: Arc<RwLock<WorkloadRegistry>>,
+    fleet: Arc<TenantFleet>,
     cfg: PythiaConfig,
     prefetch_budget: usize,
 }
@@ -46,19 +50,27 @@ impl PythiaService {
     pub fn new(db: Arc<Database>, cfg: PythiaConfig, prefetch_budget: usize) -> Self {
         PythiaService {
             db,
-            registry: Arc::new(RwLock::new(WorkloadRegistry::new())),
+            fleet: Arc::new(TenantFleet::new("default")),
             cfg,
             prefetch_budget,
         }
     }
 
-    /// Number of installed workloads.
-    pub fn workload_count(&self) -> usize {
-        self.registry.read().len()
+    /// The model fleet backing this service — share it with a
+    /// [`pythia_core::PrefetchServer`] via `with_registry` so hot-swapped
+    /// models reach the serving loop too.
+    pub fn fleet(&self) -> Arc<TenantFleet> {
+        Arc::clone(&self.fleet)
     }
 
-    /// Train synchronously and install (blocking convenience path).
-    pub fn install_workload(&self, req: TrainRequest) {
+    /// Number of installed workloads.
+    pub fn workload_count(&self) -> usize {
+        self.fleet.len()
+    }
+
+    /// Train synchronously and install (blocking convenience path). Returns
+    /// the published fleet version.
+    pub fn install_workload(&self, req: TrainRequest) -> u64 {
         let tw = train_workload(
             &self.db,
             &req.name,
@@ -67,25 +79,28 @@ impl PythiaService {
             req.restrict_objects.as_deref(),
             &self.cfg,
         );
-        self.registry.write().register(tw);
+        self.fleet.publish(tw)
     }
 
-    /// Install an already-trained (e.g. loaded-from-disk) workload.
-    pub fn install_trained(&self, tw: TrainedWorkload) {
-        self.registry.write().register(tw);
+    /// Publish an already-trained workload, after checking it against this
+    /// service's catalog — a model persisted against a different schema is
+    /// refused rather than silently mispredicting. Returns the fleet version.
+    pub fn install_trained(&self, tw: TrainedWorkload) -> Result<u64, String> {
+        tw.check_compat(&self.db)?;
+        Ok(self.fleet.publish(tw))
     }
 
     /// The engage-or-fallback decision (Algorithm 3), safe to call from any
-    /// thread; takes only a read lock.
+    /// thread; the model snapshot is pinned for the whole inference even if a
+    /// publish lands mid-flight.
     pub fn engage(&self, plan: &PlanNode) -> Option<Engagement> {
-        let registry = self.registry.read();
-        let tw = registry.match_plan(&self.db, plan)?;
+        let vw = self.fleet.match_plan(&self.db, plan)?;
         let t0 = std::time::Instant::now();
-        let prediction = tw.infer(&self.db, plan);
+        let prediction = vw.workload.infer(&self.db, plan);
         let list = prefetch_list(&self.db, &prediction);
         let inference = SimDuration::from_micros(t0.elapsed().as_micros() as u64);
         Some(Engagement {
-            workload: tw.name.clone(),
+            workload: vw.workload.name.clone(),
             prefetch: cap_to_budget(list, self.prefetch_budget),
             inference,
         })
@@ -197,6 +212,11 @@ mod tests {
         assert_eq!(handle.join().unwrap(), 1);
 
         assert_eq!(service.workload_count(), 1);
+        assert_eq!(
+            service.fleet().current("w").expect("published").version,
+            1,
+            "first publish is version 1"
+        );
         let eng = service
             .engage(&plan(fact, dim, idx, 3))
             .expect("now engages");
@@ -247,8 +267,21 @@ mod tests {
         tw.save_json(&path).unwrap();
 
         let service = PythiaService::new(Arc::clone(&db), cfg(), 256);
-        service.install_trained(TrainedWorkload::load_json(&path).unwrap());
+        let v = service
+            .install_trained(TrainedWorkload::load_json(&path).unwrap())
+            .expect("same catalog");
         let _ = std::fs::remove_file(&path);
+        assert_eq!(v, 1);
         assert!(service.engage(&plan(fact, dim, idx, 5)).is_some());
+
+        // A model persisted against a different catalog is refused loudly.
+        let mut other = Database::new();
+        other.create_table("fact", Schema::ints(&["id", "day", "k"]));
+        let service2 = PythiaService::new(Arc::new(other), cfg(), 256);
+        let stale = train_workload(&db, "stale", &req.plans, &req.traces, None, &cfg());
+        assert!(
+            service2.install_trained(stale).is_err(),
+            "mismatched catalog must be refused"
+        );
     }
 }

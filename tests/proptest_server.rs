@@ -7,14 +7,18 @@
 //! admission modes: the wave-barrier loop and the admit-on-completion
 //! continuous scheduler degenerate to the same serial schedule at C=1.
 
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use proptest::prelude::*;
 
+use pythia::core::predictor::TrainedWorkload;
+use pythia::core::registry::TenantFleet;
 use pythia::core::server::{
     AdmissionMode, InferenceCharge, PrefetchServer, QueuePolicy, ServerConfig, ServerRequest,
 };
+use pythia::core::{train_workload, PythiaConfig};
 use pythia::db::catalog::{Database, ObjectId};
+use pythia::db::expr::Pred;
 use pythia::db::plan::PlanNode;
 use pythia::db::runtime::{QueryRun, RunConfig, Runtime};
 use pythia::db::trace::{AccessKind, Trace, TraceEvent};
@@ -69,6 +73,61 @@ fn trace_strategy() -> impl Strategy<Value = Vec<(u8, u16, u8)>> {
     prop::collection::vec((any::<u8>(), 0u16..3000, 0u8..4), 1..60)
 }
 
+/// A trained star-join fixture for the registry-routed pins: real plans with
+/// real traces so inference actually runs (and is charged) during serving.
+/// Trained once — proptest cases reuse it.
+struct TrainedFixture {
+    db: Database,
+    plans: Vec<PlanNode>,
+    traces: Vec<Trace>,
+    tw: TrainedWorkload,
+}
+
+fn trained() -> &'static TrainedFixture {
+    static FX: OnceLock<TrainedFixture> = OnceLock::new();
+    FX.get_or_init(|| {
+        let mut db = Database::new();
+        let fact = db.create_table("fact", Schema::ints(&["id", "day", "k"]));
+        let dim = db.create_table("dim", Schema::ints(&["d_id", "v"]));
+        for i in 0..600i64 {
+            db.insert(fact, Database::row(&[i, i % 50, i % 30]));
+            db.insert(dim, Database::row(&[i % 30, i % 5]));
+        }
+        let idx = db.create_index("dim_pk", dim, 0);
+        let plans: Vec<PlanNode> = (0..8)
+            .map(|i| PlanNode::IndexNLJoin {
+                outer: Box::new(PlanNode::SeqScan {
+                    table: fact,
+                    pred: Some(Pred::Between {
+                        col: 1,
+                        lo: i * 6,
+                        hi: i * 6 + 8,
+                    }),
+                }),
+                outer_key: 2,
+                inner: dim,
+                inner_index: idx,
+                inner_pred: None,
+            })
+            .collect();
+        let traces: Vec<Trace> = plans
+            .iter()
+            .map(|p| pythia::db::exec::execute(p, &db).1)
+            .collect();
+        let cfg = PythiaConfig {
+            epochs: 2,
+            ..PythiaConfig::fast()
+        };
+        let tw = train_workload(&db, "fx", &plans, &traces, None, &cfg);
+        TrainedFixture {
+            db,
+            plans,
+            traces,
+            tw,
+        }
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -100,6 +159,7 @@ proptest! {
                 // the config must not leak into the timings either way.
                 charge: InferenceCharge::Fixed(SimDuration::from_micros(charge_us)),
                 prefetch_budget: None,
+                tenant_quota: None,
             };
             let mut server = PrefetchServer::new(db, &run_cfg, cfg);
             let report = server.serve(&requests);
@@ -165,6 +225,7 @@ proptest! {
             policy: QueuePolicy::Overlap,
             charge: InferenceCharge::Fixed(SimDuration::from_micros(charge_us)),
             prefetch_budget: None,
+            tenant_quota: None,
         };
         let mut server = PrefetchServer::new(db, &run_cfg, cfg);
         let report = server.serve(&requests);
@@ -238,6 +299,7 @@ proptest! {
             policy: if overlap_policy { QueuePolicy::Overlap } else { QueuePolicy::Fifo },
             charge: InferenceCharge::Fixed(SimDuration::from_micros(charge_us)),
             prefetch_budget: None,
+            tenant_quota: None,
         };
         let mut server = PrefetchServer::new(db, &run_cfg, cfg);
         let report = server.serve(&requests);
@@ -290,5 +352,170 @@ proptest! {
 
         let max_depth = report.waves.iter().map(|w| w.queue_depth).max().unwrap();
         prop_assert_eq!(report.max_queue_depth(), max_depth);
+    }
+
+    /// The C=1/FIFO/Fixed bit-identity pin also holds when queries route
+    /// through the model registry (single tenant): resolving the model via a
+    /// `TenantFleet` snapshot instead of a fixed borrow changes nothing about
+    /// the schedule — per-query timings, inference charges, buffer counters
+    /// and the final clock are bit-identical, in both admission modes.
+    #[test]
+    fn registry_routed_c1_fifo_is_bit_identical_to_fixed_predictor(
+        picks in prop::collection::vec(0usize..8, 1..6),
+        arrivals in prop::collection::vec(0u64..1_000_000, 6),
+        charge_us in 0u64..2_000,
+    ) {
+        let fx = trained();
+        let run_cfg = RunConfig::default();
+        let requests: Vec<ServerRequest<'_>> = picks
+            .iter()
+            .zip(&arrivals)
+            .map(|(&p, &us)| {
+                ServerRequest::new(&fx.plans[p], &fx.traces[p], SimDuration::from_micros(us))
+            })
+            .collect();
+
+        for admission in [AdmissionMode::Wave, AdmissionMode::Continuous] {
+            let cfg = ServerConfig {
+                concurrency: 1,
+                admission,
+                policy: QueuePolicy::Fifo,
+                charge: InferenceCharge::Fixed(SimDuration::from_micros(charge_us)),
+                prefetch_budget: None,
+                tenant_quota: None,
+            };
+
+            let mut fixed = PrefetchServer::new(&fx.db, &run_cfg, cfg).with_predictor(&fx.tw);
+            let fixed_rep = fixed.serve(&requests);
+
+            let fleet = Arc::new(TenantFleet::new("t0"));
+            fleet.publish(fx.tw.duplicate());
+            let mut routed = PrefetchServer::new(&fx.db, &run_cfg, cfg).with_registry(fleet);
+            let routed_rep = routed.serve(&requests);
+
+            for (i, (a, b)) in fixed_rep.queries.iter().zip(&routed_rep.queries).enumerate() {
+                prop_assert_eq!(a.start, b.start, "start of query {} ({:?})", i, admission);
+                prop_assert_eq!(a.end, b.end, "end of query {} ({:?})", i, admission);
+                prop_assert_eq!(
+                    a.inference, b.inference,
+                    "inference charge of query {} ({:?})", i, admission
+                );
+            }
+            prop_assert_eq!(&fixed_rep.stats, &routed_rep.stats, "{:?}", admission);
+            prop_assert_eq!(fixed.runtime().now(), routed.runtime().now());
+            prop_assert_eq!(fixed_rep.waves.len(), routed_rep.waves.len());
+        }
+    }
+
+    /// Tentpole pin: a mid-stream hot-swap to a bit-identical model is
+    /// bit-identical to not swapping at all, and the per-tenant
+    /// `ServeReport` views partition the global totals — queries, admission
+    /// events, latencies, inference charges and buffer counters each sum
+    /// back to the report-level numbers.
+    #[test]
+    fn hot_swap_is_bit_identical_and_tenant_stats_partition(
+        picks in prop::collection::vec(0usize..8, 2..7),
+        arrivals in prop::collection::vec(0u64..1_000_000, 7),
+        tenants in prop::collection::vec(0u32..3, 7),
+        concurrency in 1usize..4,
+        swap_at in 1usize..4,
+        charge_us in 0u64..2_000,
+    ) {
+        let fx = trained();
+        let run_cfg = RunConfig::default();
+        let n = picks.len();
+        let requests: Vec<ServerRequest<'_>> = picks
+            .iter()
+            .zip(&arrivals)
+            .zip(&tenants)
+            .map(|((&p, &us), &tenant)| {
+                ServerRequest::new(&fx.plans[p], &fx.traces[p], SimDuration::from_micros(us))
+                    .with_tenant(tenant)
+            })
+            .collect();
+        let cfg = ServerConfig {
+            concurrency,
+            admission: AdmissionMode::Continuous,
+            policy: QueuePolicy::Fifo,
+            charge: InferenceCharge::Fixed(SimDuration::from_micros(charge_us)),
+            prefetch_budget: None,
+            tenant_quota: None,
+        };
+
+        // Baseline: registry-routed serving, no swap.
+        let fleet = Arc::new(TenantFleet::new("a"));
+        fleet.publish(fx.tw.duplicate());
+        let mut base = PrefetchServer::new(&fx.db, &run_cfg, cfg).with_registry(fleet);
+        let base_rep = base.serve(&requests);
+
+        // Swap run: publish a bit-identical duplicate at the `swap_at`-th
+        // admission (if the stream is long enough to reach it).
+        let fleet2 = Arc::new(TenantFleet::new("a"));
+        fleet2.publish(fx.tw.duplicate());
+        let swapper = Arc::clone(&fleet2);
+        let spare = fx.tw.duplicate();
+        let mut swapped = PrefetchServer::new(&fx.db, &run_cfg, cfg)
+            .with_registry(Arc::clone(&fleet2));
+        swapped.set_admission_hook(move |k| {
+            if k == swap_at {
+                swapper.publish(spare.duplicate());
+            }
+        });
+        let swap_rep = swapped.serve(&requests);
+        if swap_at < n {
+            prop_assert_eq!(
+                fleet2.current("fx").expect("published").version, 2,
+                "the swap must actually have happened mid-stream"
+            );
+        }
+
+        for (i, (a, b)) in base_rep.queries.iter().zip(&swap_rep.queries).enumerate() {
+            prop_assert_eq!(a.start, b.start, "start of query {}", i);
+            prop_assert_eq!(a.end, b.end, "end of query {}", i);
+            prop_assert_eq!(a.inference, b.inference, "inference charge of query {}", i);
+            prop_assert_eq!(a.tenant, b.tenant, "tenant tag of query {}", i);
+        }
+        prop_assert_eq!(&base_rep.stats, &swap_rep.stats);
+        prop_assert_eq!(base.runtime().now(), swapped.runtime().now());
+
+        // Per-tenant views partition the global report.
+        let by = swap_rep.by_tenant();
+        let mut queries = 0usize;
+        let mut admissions = 0usize;
+        let mut latency = SimDuration::ZERO;
+        let mut wait = SimDuration::ZERO;
+        let mut inference = SimDuration::ZERO;
+        let mut merged = pythia::buffer::BufferStats::default();
+        for rep in by.values() {
+            queries += rep.queries;
+            admissions += rep.admissions;
+            latency = latency + rep.total_latency;
+            wait = wait + rep.total_admission_wait;
+            inference = inference + rep.inference;
+            merged.merge(&rep.stats);
+        }
+        prop_assert_eq!(queries, n, "tenant query counts partition the stream");
+        prop_assert_eq!(admissions, swap_rep.waves.len(), "admission events partition");
+        prop_assert_eq!(&merged, &swap_rep.stats, "tenant buffer stats partition the totals");
+
+        let mut want_latency = SimDuration::ZERO;
+        let mut want_wait = SimDuration::ZERO;
+        let mut want_inference = SimDuration::ZERO;
+        for q in &swap_rep.queries {
+            want_latency = want_latency + (q.end - q.arrival);
+            want_wait = want_wait + (q.admitted - q.arrival);
+            want_inference = want_inference + q.inference;
+        }
+        prop_assert_eq!(latency, want_latency, "tenant latencies sum to the stream total");
+        prop_assert_eq!(wait, want_wait, "tenant admission waits sum to the stream total");
+        prop_assert_eq!(inference, want_inference, "tenant inference charges sum");
+
+        // Every tagged tenant is present; untagged tenants report zeros.
+        for &t in &tenants[..n] {
+            prop_assert!(by.contains_key(&t));
+        }
+        let absent = swap_rep.tenant_report(99);
+        prop_assert_eq!(absent.queries, 0);
+        prop_assert_eq!(absent.mean_latency(), SimDuration::ZERO);
     }
 }

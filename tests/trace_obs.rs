@@ -127,6 +127,7 @@ fn traced_server_reconciles_and_virtual_trace_is_deterministic() {
             policy: QueuePolicy::Overlap,
             charge: InferenceCharge::Fixed(SimDuration::from_micros(40)),
             prefetch_budget: Some(16),
+            tenant_quota: None,
         };
         let traces: Vec<Trace> = (0..6).map(|q| seq_trace(q * 13, 20)).collect();
         let requests: Vec<ServerRequest<'_>> = traces
@@ -141,6 +142,7 @@ fn traced_server_reconciles_and_virtual_trace_is_deterministic() {
                 arrival: SimDuration::from_micros(150 * i as u64),
                 // Alternate templates so the trace groups repeated shapes.
                 span_name: [Template::T18, Template::T91][i % 2].replay_span(),
+                tenant: 0,
             })
             .collect();
         let mut server = PrefetchServer::new(&db, &run_cfg, cfg);
