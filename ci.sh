@@ -40,9 +40,25 @@ if [[ "$fast" -eq 0 ]]; then
   cargo run --release -q -p pythia-experiments --bin serving -- \
     --mini --trace-out results/serving_trace.json \
     --metrics-out results/metrics_snapshot.json \
-    --admission-out results/admission_snapshot.json
+    --admission-out results/admission_snapshot.json \
+    --drift-out results/drift_snapshot.json
   cargo run --release -q -p pythia-experiments --bin serving -- \
     --mini --trace-out results/serving_trace_rerun.json
+
+  # Drift gate: the stationary-mix control must report zero drift alerts
+  # (no false positives), and the template-mix rotation must have fired at
+  # least one (`first_alert_observation` stays 0 only when none ever fired).
+  if ! grep -q '"stationary": {"queries": 32, "observations": 32, "alerts": 0' \
+      results/drift_snapshot.json; then
+    echo "!!> stationary drift control raised alerts (false positive):" >&2
+    cat results/drift_snapshot.json >&2
+    exit 1
+  fi
+  if grep -q '"first_alert_observation": 0,' results/drift_snapshot.json; then
+    echo "!!> template-mix rotation never raised a drift alert:" >&2
+    cat results/drift_snapshot.json >&2
+    exit 1
+  fi
 
   # An empty or non-JSON trace (a silently broken recorder) fails outright.
   cargo run --release -q -p pythia-experiments --bin trace_diff -- \
@@ -136,9 +152,20 @@ if [[ "$fast" -eq 0 ]]; then
     kill "$demo_pid" 2>/dev/null || true
     exit 1
   fi
+  # The tenant-scoped health route serves the live quality/drift snapshot;
+  # after tenant 1's query above, its tracker slice must hold an outcome.
+  demo_health=$(demo_get /t/1/health)
+  if ! grep -q 'HTTP/1.1 200 OK' <<<"$demo_health" \
+    || ! grep -q '"observations"' <<<"$demo_health" \
+    || ! grep -q '"drift"' <<<"$demo_health"; then
+    echo "!!> malformed serve_demo tenant-1 health snapshot:" >&2
+    echo "$demo_health" >&2
+    kill "$demo_pid" 2>/dev/null || true
+    exit 1
+  fi
   demo_get /shutdown > /dev/null
   wait "$demo_pid"
-  echo "    serve_demo answered both tenants' queries and shut down cleanly"
+  echo "    serve_demo answered both tenants' queries (and /t/1/health) and shut down cleanly"
 fi
 
 echo "==> ci.sh: all gates passed"

@@ -312,6 +312,54 @@ fn main() {
         traced_rec.events().len()
     );
 
+    // --- quality telemetry: tracked vs untracked continuous serving --------
+    // The streaming QualityTracker only feeds on the continuous-admission
+    // path (per-admission interval diffs), so the comparison runs there:
+    // untracked (production default — quality disabled) against the same
+    // stream with a tracker attached. Both sides keep the recorder disabled,
+    // isolating the tracker's own cost from trace-event recording.
+    let quality_cfg = ServerConfig {
+        admission: AdmissionMode::Continuous,
+        ..obs_cfg
+    };
+    let serve_quality = |tracked: bool| -> (f64, u64, u64) {
+        let mut best = f64::INFINITY;
+        let mut outcomes = 0u64;
+        let mut alerts = 0u64;
+        for _ in 0..OBS_REPS {
+            let tracker = tracked.then(|| {
+                Arc::new(std::sync::Mutex::new(
+                    pythia_obs::quality::QualityTracker::default(),
+                ))
+            });
+            let mut server = PrefetchServer::new(&db, &RunConfig::default(), quality_cfg)
+                .with_predictor(&tw_parallel);
+            if let Some(t) = &tracker {
+                server = server.with_quality(Arc::clone(t));
+            }
+            let t0 = Instant::now();
+            let rep = server.serve(&requests);
+            best = best.min(t0.elapsed().as_secs_f64());
+            std::hint::black_box(rep.queries.len());
+            if let Some(t) = tracker {
+                let q = t.lock().expect("tracker poisoned");
+                outcomes = q.global_lifetime().outcomes;
+                alerts = q.total_alerts();
+            }
+        }
+        (best, outcomes, alerts)
+    };
+    let (quality_off_s, _, _) = serve_quality(false);
+    let (quality_on_s, quality_outcomes, quality_alerts) = serve_quality(true);
+    let quality_overhead_pct = (quality_on_s - quality_off_s) / quality_off_s * 100.0;
+    let quality_ns_per_outcome =
+        ((quality_on_s - quality_off_s).max(0.0) * 1e9) / quality_outcomes.max(1) as f64;
+    eprintln!(
+        "[perf_snapshot] quality telemetry: untracked {quality_off_s:.3}s, tracked \
+         {quality_on_s:.3}s ({quality_overhead_pct:+.1}%, {quality_ns_per_outcome:.0} ns/outcome \
+         over {quality_outcomes} outcomes, {quality_alerts} alerts)"
+    );
+
     // --- model registry: publish latency + serving through a hot swap ------
     // How long installing a retrained model takes (atomic Arc swap under a
     // brief write lock), and proof that a mid-stream swap to a bit-identical
@@ -425,6 +473,12 @@ fn main() {
         "obs_overhead_pct": round3(obs_overhead_pct),
         "obs_trace_events": traced_rec.events().len(),
         "obs_metrics": obs_metrics,
+        "obs_quality_serve_untracked_s": round3(quality_off_s),
+        "obs_quality_serve_tracked_s": round3(quality_on_s),
+        "obs_quality_overhead_pct": round3(quality_overhead_pct),
+        "obs_quality_ns_per_outcome": round3(quality_ns_per_outcome),
+        "obs_quality_outcomes": quality_outcomes,
+        "obs_quality_alerts": quality_alerts,
         "registry_swap_publish_us": round3(publish_best * 1e6),
         "registry_swap_latency_us": round3(swap_latency.get() * 1e6),
         "registry_swap_predictions_during_swap": registry_swap_predictions,

@@ -54,6 +54,20 @@ impl BufferStats {
         }
     }
 
+    /// Fraction of prefetchable demand traffic that was actually served by
+    /// a prefetch: `useful / (useful + os_copies + disk_reads)`. The
+    /// denominator counts every demand read that *left* the pool (each one a
+    /// missed prefetch opportunity) plus the ones a prefetch saved; zero
+    /// when there were none.
+    pub fn prefetch_recall(&self) -> f64 {
+        let den = self.prefetch_useful + self.os_copies + self.disk_reads;
+        if den == 0 {
+            0.0
+        } else {
+            self.prefetch_useful as f64 / den as f64
+        }
+    }
+
     /// Counters accumulated since an earlier snapshot `before`.
     /// The serving loop uses this to attribute the shared pool's cumulative
     /// counters to individual admission waves.
@@ -137,6 +151,19 @@ mod tests {
         let s = BufferStats::default();
         assert_eq!(s.hit_rate(), 0.0);
         assert_eq!(s.prefetch_precision(), 0.0);
+        assert_eq!(s.prefetch_recall(), 0.0);
+    }
+
+    #[test]
+    fn prefetch_recall_counts_missed_opportunities() {
+        let s = BufferStats {
+            prefetch_useful: 6,
+            os_copies: 3,
+            disk_reads: 1,
+            hits: 50, // pool hits outside prefetch do not dilute recall
+            ..Default::default()
+        };
+        assert!((s.prefetch_recall() - 0.6).abs() < 1e-12);
     }
 
     #[test]

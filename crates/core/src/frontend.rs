@@ -20,6 +20,12 @@
 //! - `GET /healthz` — liveness probe, answered inline.
 //! - `GET /stats` — accepted/shed/rejected counters and current depth, JSON.
 //!   `GET /t/<tenant>/stats` scopes the same counters to one tenant.
+//! - `GET /t/<tenant>/health` — the tenant's live quality/drift snapshot,
+//!   produced by a [`HealthProvider`] callback the embedding wires in via
+//!   [`Frontend::set_health_provider`] (typically composing
+//!   `pythia_obs::quality::QualityTracker::health_json` with the registry's
+//!   current model version and this front's per-tenant counters). `404`
+//!   until a provider is wired.
 //! - `GET /shutdown` — acknowledge and set a flag the serving loop can poll
 //!   ([`Frontend::shutdown_requested`]) for a clean drain-then-exit.
 //!   [`Frontend::shutdown`] then answers anything still queued with `503`
@@ -159,7 +165,18 @@ struct Shared {
     tenant_accepted: Vec<AtomicU64>,
     tenant_shed: Vec<AtomicU64>,
     tenant_rejected: Vec<AtomicU64>,
+    // `/t/<tenant>/health` body producer; `None` until the embedding wires
+    // one in (the route answers 404 meanwhile).
+    health: Mutex<Option<HealthProvider>>,
 }
+
+/// Callback producing the `/t/<tenant>/health` response body for one tenant,
+/// or `None` for tenants it has nothing to report about (answered `404`).
+/// The front passes the tenant's own counter snapshot so the provider can
+/// fold accepted/shed/rejected into the body without a handle back to the
+/// [`Frontend`]. Runs on the per-connection handler thread, so it must be
+/// cheap and must not block on the serving loop for long.
+pub type HealthProvider = Arc<dyn Fn(u32, FrontendStats) -> Option<String> + Send + Sync>;
 
 /// The accept loop: background thread, bounded queue, shed-above-target.
 pub struct Frontend {
@@ -188,6 +205,7 @@ impl Frontend {
             tenant_accepted: (0..tenants).map(|_| AtomicU64::new(0)).collect(),
             tenant_shed: (0..tenants).map(|_| AtomicU64::new(0)).collect(),
             tenant_rejected: (0..tenants).map(|_| AtomicU64::new(0)).collect(),
+            health: Mutex::new(None),
         });
         let stop = Arc::new(AtomicBool::new(false));
         let (shared_bg, stop_bg) = (Arc::clone(&shared), Arc::clone(&stop));
@@ -257,6 +275,12 @@ impl Frontend {
         tenant_stats(&self.shared, tenant)
     }
 
+    /// Wire the `/t/<tenant>/health` body producer. Replaces any previous
+    /// provider; takes effect for the next request.
+    pub fn set_health_provider(&self, provider: HealthProvider) {
+        *self.shared.health.lock().expect("health provider poisoned") = Some(provider);
+    }
+
     /// True once a client has requested `/shutdown`; the serving loop polls
     /// this for a clean drain-then-exit.
     pub fn shutdown_requested(&self) -> bool {
@@ -291,11 +315,27 @@ impl Frontend {
 
     /// Fold the front-end counters into a recorder (as `frontend.*`
     /// counters). Call once, after serving — `Recorder::add` accumulates.
+    /// Per-tenant slices land as labeled series (`frontend.accepted`
+    /// labeled `tenant="<id>"`, rendered by `/metrics` as
+    /// `pythia_frontend_accepted{tenant="0"}`, and so on).
     pub fn fold_into(&self, rec: &mut Recorder) {
         let s = self.stats();
         rec.add("frontend.accepted", s.accepted);
         rec.add("frontend.shed", s.shed);
         rec.add("frontend.rejected", s.rejected);
+        for (t, (acc, (shed, rej))) in self
+            .shared
+            .tenant_accepted
+            .iter()
+            .zip(self.shared.tenant_shed.iter().zip(&self.shared.tenant_rejected))
+            .enumerate()
+        {
+            let id = t.to_string();
+            let labels = [("tenant", id.as_str())];
+            rec.add_labeled("frontend.accepted", &labels, acc.load(Ordering::Relaxed));
+            rec.add_labeled("frontend.shed", &labels, shed.load(Ordering::Relaxed));
+            rec.add_labeled("frontend.rejected", &labels, rej.load(Ordering::Relaxed));
+        }
     }
 
     /// Stop the accept thread, wait for it to exit, then answer every
@@ -447,6 +487,25 @@ fn answer(mut stream: TcpStream, shared: &Shared, cfg: &FrontendConfig) -> std::
             None,
         );
     }
+    if route == "/health" && scoped {
+        // Clone the Arc out so the provider runs without holding the slot
+        // lock (it may take the quality tracker's lock internally).
+        let provider = shared
+            .health
+            .lock()
+            .expect("health provider poisoned")
+            .clone();
+        return match provider.and_then(|p| p(tenant, tenant_stats(shared, tenant))) {
+            Some(body) => respond(&mut stream, "200 OK", "application/json", &body, None),
+            None => respond(
+                &mut stream,
+                "404 Not Found",
+                "text/plain",
+                "no health provider wired for this tenant\n",
+                None,
+            ),
+        };
+    }
     if route == "/shutdown" {
         shared.shutdown_req.store(true, Ordering::Relaxed);
         return respond(&mut stream, "200 OK", "text/plain", "shutting down\n", None);
@@ -505,7 +564,7 @@ fn answer(mut stream: TcpStream, shared: &Shared, cfg: &FrontendConfig) -> std::
         &mut stream,
         "404 Not Found",
         "text/plain",
-        "try /query/<idx>, /t/<tenant>/query/<idx>, /healthz, /stats or /shutdown\n",
+        "try /query/<idx>, /t/<tenant>/query/<idx>, /t/<tenant>/health, /healthz, /stats or /shutdown\n",
         None,
     )
 }
@@ -816,6 +875,84 @@ mod tests {
         assert!(badq.starts_with("HTTP/1.1 400"), "{badq}");
         wait_for(|| fe.tenant_stats(1).rejected == 1);
 
+        fe.shutdown();
+    }
+
+    #[test]
+    fn tenant_health_route_uses_the_wired_provider() {
+        let cfg = FrontendConfig {
+            tenants: 2,
+            ..FrontendConfig::new(4)
+        };
+        let fe = Frontend::start("127.0.0.1:0", cfg).expect("bind");
+
+        // No provider wired yet: the route exists but answers 404, and the
+        // unprefixed variant stays an unknown path.
+        let bare = http_get(fe.addr(), "/t/0/health");
+        assert!(bare.starts_with("HTTP/1.1 404"), "{bare}");
+        assert!(bare.contains("no health provider"), "{bare}");
+
+        fe.set_health_provider(Arc::new(|tenant, stats: FrontendStats| {
+            (tenant == 1).then(|| {
+                format!(
+                    "{{\"tenant\":{tenant},\"observations\":3,\"accepted\":{}}}\n",
+                    stats.accepted
+                )
+            })
+        }));
+        let known = http_get(fe.addr(), "/t/1/health");
+        assert!(known.starts_with("HTTP/1.1 200 OK"), "{known}");
+        assert!(known.contains("application/json"), "{known}");
+        assert!(known.contains("\"observations\":3"), "{known}");
+        // Provider declined this tenant: 404, not an empty 200.
+        let unknown = http_get(fe.addr(), "/t/0/health");
+        assert!(unknown.starts_with("HTTP/1.1 404"), "{unknown}");
+        // Out-of-range tenants are rejected before the provider runs.
+        let bad = http_get(fe.addr(), "/t/9/health");
+        assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
+        // `/health` without a tenant prefix is not a route.
+        let unscoped = http_get(fe.addr(), "/health");
+        assert!(unscoped.starts_with("HTTP/1.1 404"), "{unscoped}");
+        assert!(unscoped.contains("/t/<tenant>/health"), "{unscoped}");
+        fe.shutdown();
+    }
+
+    #[test]
+    fn fold_into_exports_per_tenant_labeled_series() {
+        let cfg = FrontendConfig {
+            tenants: 2,
+            shed_depth: 1,
+            ..FrontendConfig::new(8)
+        };
+        let fe = Frontend::start("127.0.0.1:0", cfg).expect("bind");
+
+        // Tenant 1: one accepted (held open so the queue stays full), then
+        // one shed at the depth target. Tenant 0: one rejected index.
+        let mut s = TcpStream::connect(fe.addr()).unwrap();
+        s.write_all(b"GET /t/1/query/1 HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        wait_for(|| fe.depth() == 1);
+        let shed = http_get(fe.addr(), "/t/1/query/2");
+        assert!(shed.starts_with("HTTP/1.1 503"), "{shed}");
+        let bad = http_get(fe.addr(), "/query/99");
+        assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
+        wait_for(|| fe.stats().rejected == 1);
+
+        let mut rec = Recorder::enabled();
+        fe.fold_into(&mut rec);
+        assert_eq!(rec.counter("frontend.accepted"), 1);
+        assert_eq!(rec.labeled("frontend.accepted", &[("tenant", "1")]), 1);
+        assert_eq!(rec.labeled("frontend.accepted", &[("tenant", "0")]), 0);
+        assert_eq!(rec.labeled("frontend.shed", &[("tenant", "1")]), 1);
+        assert_eq!(rec.labeled("frontend.rejected", &[("tenant", "0")]), 1);
+        let prom = rec.snapshot().to_prometheus();
+        assert!(
+            prom.contains("pythia_frontend_accepted{tenant=\"1\"} 1\n"),
+            "{prom}"
+        );
+
+        fe.try_recv().unwrap().responder.ok_json("{}\n");
+        drop(s);
         fe.shutdown();
     }
 

@@ -51,7 +51,7 @@ pub mod vocab;
 pub mod workload;
 
 pub use config::PythiaConfig;
-pub use frontend::{Arrival, Frontend, FrontendConfig, FrontendStats, Responder};
+pub use frontend::{Arrival, Frontend, FrontendConfig, FrontendStats, HealthProvider, Responder};
 pub use metrics::{f1_score, SetMetrics};
 pub use predictor::{train_workload, Prediction, TrainedWorkload};
 pub use registry::{CatalogCompat, ModelRegistry, TenantFleet, VersionedWorkload};

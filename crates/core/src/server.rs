@@ -46,13 +46,14 @@
 //! `serve_demo` example binary — lives in [`crate::frontend`].
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use pythia_buffer::BufferStats;
 use pythia_db::catalog::Database;
 use pythia_db::plan::PlanNode;
 use pythia_db::runtime::{QueryRun, ReplaySession, RunConfig, Runtime};
 use pythia_db::trace::Trace;
+use pythia_obs::quality::{QualityOutcome, QualityTotals, QualityTracker};
 use pythia_obs::{tid, Recorder, Track};
 use pythia_sim::{PageId, SimDuration, SimTime};
 
@@ -391,6 +392,29 @@ impl ServeReport {
     pub fn tenant_report(&self, tenant: u32) -> TenantReport {
         self.by_tenant().remove(&tenant).unwrap_or_default()
     }
+
+    /// The whole serve call as a quality slice: the aggregate buffer
+    /// counters plus the summed admission waits, in the same shape the
+    /// streaming [`QualityTracker`] windows use — so report-level and live
+    /// telemetry compute hit rate / precision / recall identically. The
+    /// per-tenant slices ([`TenantReport::quality`]) partition this total
+    /// in continuous mode (proptest-pinned).
+    pub fn quality(&self) -> QualityTotals {
+        QualityTotals {
+            outcomes: self.queries.len() as u64,
+            hits: self.stats.hits,
+            os_copies: self.stats.os_copies,
+            disk_reads: self.stats.disk_reads,
+            prefetch_issued: self.stats.prefetch_issued,
+            prefetch_useful: self.stats.prefetch_useful,
+            prefetch_wasted: self.stats.prefetch_wasted,
+            wait_us: self
+                .queries
+                .iter()
+                .map(|q| q.admission_wait().as_micros())
+                .sum(),
+        }
+    }
 }
 
 /// One tenant's slice of a [`ServeReport`] (see [`ServeReport::by_tenant`]).
@@ -441,17 +465,36 @@ impl TenantReport {
         SimDuration::from_micros(self.total_latency.as_micros() / self.queries as u64)
     }
 
+    /// This tenant's quality slice, NaN-free for a zero-query tenant.
+    pub fn quality(&self) -> QualityTotals {
+        QualityTotals {
+            outcomes: self.queries as u64,
+            hits: self.stats.hits,
+            os_copies: self.stats.os_copies,
+            disk_reads: self.stats.disk_reads,
+            prefetch_issued: self.stats.prefetch_issued,
+            prefetch_useful: self.stats.prefetch_useful,
+            prefetch_wasted: self.stats.prefetch_wasted,
+            wait_us: self.total_admission_wait.as_micros(),
+        }
+    }
+
     /// One-line JSON fragment for the front-end's tenant-scoped `/stats`.
     pub fn to_json(&self) -> String {
+        let q = self.quality();
         format!(
             "{{\"queries\":{},\"admissions\":{},\"mean_admission_wait_us\":{},\
-             \"mean_latency_us\":{},\"inference_us\":{},\"prefetch_issued\":{}}}",
+             \"mean_latency_us\":{},\"inference_us\":{},\"prefetch_issued\":{},\
+             \"hit_rate_e6\":{},\"prefetch_precision_e6\":{},\"prefetch_recall_e6\":{}}}",
             self.queries,
             self.admissions,
             self.mean_admission_wait().as_micros(),
             self.mean_latency().as_micros(),
             self.inference.as_micros(),
-            self.stats.prefetch_issued
+            self.stats.prefetch_issued,
+            pythia_obs::quality::rate_e6(q.hit_rate()),
+            pythia_obs::quality::rate_e6(q.prefetch_precision()),
+            pythia_obs::quality::rate_e6(q.prefetch_recall()),
         )
     }
 }
@@ -489,6 +532,11 @@ pub struct PrefetchServer<'d> {
     cfg: ServerConfig,
     predictor: PredictorSource<'d>,
     admission_hook: Option<AdmissionHook<'d>>,
+    /// Streaming quality telemetry, fed one outcome per closed admission
+    /// interval in continuous mode (`None` disables the whole path — one
+    /// branch per interval). Shared so a frontend health route can read it
+    /// while serving runs.
+    quality: Option<Arc<Mutex<QualityTracker>>>,
 }
 
 impl<'d> PrefetchServer<'d> {
@@ -501,6 +549,7 @@ impl<'d> PrefetchServer<'d> {
             cfg,
             predictor: PredictorSource::None,
             admission_hook: None,
+            quality: None,
         }
     }
 
@@ -525,6 +574,55 @@ impl<'d> PrefetchServer<'d> {
     /// model swap at a deterministic point mid-stream.
     pub fn set_admission_hook(&mut self, hook: impl FnMut(usize) + 'd) {
         self.admission_hook = Some(Box::new(hook));
+    }
+
+    /// Attach a streaming quality tracker. In continuous mode every closed
+    /// admission interval feeds it one [`QualityOutcome`] (the interval's
+    /// `BufferStats::diff` snapshot plus the query's admission wait),
+    /// attributed to the admitted query's tenant and template span. Wave
+    /// mode stays unattributed (a barrier wave mixes tenants) and feeds
+    /// nothing. The tracker only *reads* serving state, so enabling it
+    /// never perturbs virtual time or admission order.
+    pub fn with_quality(mut self, quality: Arc<Mutex<QualityTracker>>) -> Self {
+        self.quality = Some(quality);
+        self
+    }
+
+    /// The attached quality tracker, if any.
+    pub fn quality(&self) -> Option<&Arc<Mutex<QualityTracker>>> {
+        self.quality.as_ref()
+    }
+
+    /// Feed one closed admission interval to the quality tracker (no-op
+    /// without one, or for unattributed wave-mode intervals).
+    fn feed_quality(
+        &mut self,
+        tenant: Option<u32>,
+        span: &'static str,
+        wait_us: u64,
+        stats: &BufferStats,
+        now_us: u64,
+    ) {
+        let Some(q) = self.quality.clone() else {
+            return;
+        };
+        let Some(tenant) = tenant else {
+            return;
+        };
+        let outcome = QualityOutcome {
+            hits: stats.hits,
+            os_copies: stats.os_copies,
+            disk_reads: stats.disk_reads,
+            prefetch_issued: stats.prefetch_issued,
+            prefetch_useful: stats.prefetch_useful,
+            prefetch_wasted: stats.prefetch_wasted,
+            wait_us,
+        };
+        let mut tracker = match q.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        tracker.observe(tenant, span, outcome, now_us, self.rt.recorder_mut());
     }
 
     /// The underlying replay stack (clock and cumulative counters).
@@ -883,6 +981,10 @@ impl<'d> PrefetchServer<'d> {
         let mut outcomes: Vec<Option<QueryOutcome>> = vec![None; n];
         let mut admits: Vec<Option<AdmitInfo>> = (0..n).map(|_| None).collect();
         let mut waves: Vec<WaveStats> = Vec::new();
+        // Parallel to `waves`: the admitted query's replay span (its
+        // template identity) and admission wait — what the quality tracker
+        // attributes the closed interval to.
+        let mut wave_meta: Vec<(&'static str, u64)> = Vec::new();
         // Pool-counter snapshot at the latest admission event: each event's
         // `stats` covers the interval up to the next event, so the entries
         // partition the aggregate.
@@ -1085,6 +1187,13 @@ impl<'d> PrefetchServer<'d> {
                         prev.stats = now_stats.diff(&last_stats);
                     }
                     last_stats = now_stats;
+                    if self.quality.is_some() {
+                        if let Some(prev) = waves.last() {
+                            let (tenant, stats) = (prev.tenant, prev.stats);
+                            let (span, wait) = wave_meta[waves.len() - 1];
+                            self.feed_quality(tenant, span, wait, &stats, t.as_micros());
+                        }
+                    }
                     waves.push(WaveStats {
                         admitted_at: t,
                         occupancy,
@@ -1094,6 +1203,7 @@ impl<'d> PrefetchServer<'d> {
                         stats: BufferStats::default(),
                         tenant: Some(requests[i].tenant),
                     });
+                    wave_meta.push((requests[i].span_name, t.since(abs[i]).as_micros()));
                     if let Some(c) = done {
                         // Empty trace: completed — and freed its slot — the
                         // instant it was admitted.
@@ -1171,6 +1281,14 @@ impl<'d> PrefetchServer<'d> {
         let final_stats = self.rt.stats();
         if let Some(last) = waves.last_mut() {
             last.stats = final_stats.diff(&last_stats);
+        }
+        if self.quality.is_some() {
+            if let Some(last) = waves.last() {
+                let (tenant, stats) = (last.tenant, last.stats);
+                let (span, wait) = wave_meta[waves.len() - 1];
+                let now_us = self.rt.now().as_micros();
+                self.feed_quality(tenant, span, wait, &stats, now_us);
+            }
         }
         let queries = outcomes
             .into_iter()
@@ -1851,6 +1969,75 @@ mod tests {
             merged.merge(&t.stats);
         }
         assert_eq!(merged, rep.stats);
+    }
+
+    #[test]
+    fn quality_tracker_observes_every_continuous_interval() {
+        let (db, plan) = dummy_db_and_plan();
+        let traces: Vec<Trace> = (0..6).map(|i| random_trace(20 + i * 5)).collect();
+        let reqs: Vec<ServerRequest<'_>> = traces
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                ServerRequest::new(&plan, t, SimDuration::from_micros(i as u64 * 50))
+                    .with_tenant((i % 2) as u32)
+            })
+            .collect();
+        let tracker = Arc::new(Mutex::new(QualityTracker::default()));
+        let mut srv = PrefetchServer::new(&db, &run_cfg(), cont_cfg(2, QueuePolicy::Fifo))
+            .with_quality(Arc::clone(&tracker));
+        srv.set_recorder(Recorder::enabled());
+        let rep = srv.serve(&reqs);
+
+        let rec = srv.recorder();
+        assert_eq!(rec.event_count("quality.observe"), rep.waves.len());
+        assert_eq!(rec.counter("quality.observations"), rep.waves.len() as u64);
+        assert_eq!(rec.event_count("drift.alert"), 0, "stationary mini run");
+        let q = tracker.lock().unwrap();
+        assert_eq!(q.tenant_ids(), vec![0, 1]);
+        assert_eq!(q.total_alerts(), 0);
+        // The tracker's lifetime totals partition exactly like the report's
+        // per-tenant quality slices: both come from the same interval diffs.
+        let mut folded = QualityTotals::default();
+        for t in [0u32, 1] {
+            folded.merge(&q.tenant_lifetime(t));
+        }
+        assert_eq!(folded.hits, rep.stats.hits);
+        assert_eq!(folded.prefetch_issued, rep.stats.prefetch_issued);
+        assert_eq!(folded.outcomes, rep.waves.len() as u64);
+        // The report-side slices partition the global quality totals too.
+        let global = rep.quality();
+        let mut by = QualityTotals::default();
+        for t in rep.by_tenant().values() {
+            by.merge(&t.quality());
+        }
+        assert_eq!(by, global);
+        assert!(!global.hit_rate().is_nan());
+    }
+
+    #[test]
+    fn quality_tracking_is_invisible_to_virtual_time() {
+        // Enabling the tracker must not perturb admissions, timings or
+        // counters — it only reads interval diffs.
+        let (db, plan) = dummy_db_and_plan();
+        let traces: Vec<Trace> = (0..5).map(|i| random_trace(15 + i * 7)).collect();
+        let reqs: Vec<ServerRequest<'_>> = traces
+            .iter()
+            .enumerate()
+            .map(|(i, t)| ServerRequest::new(&plan, t, SimDuration::from_micros(i as u64 * 30)))
+            .collect();
+        let mut plain = PrefetchServer::new(&db, &run_cfg(), cont_cfg(2, QueuePolicy::Fifo));
+        let tracker = Arc::new(Mutex::new(QualityTracker::default()));
+        let mut tracked = PrefetchServer::new(&db, &run_cfg(), cont_cfg(2, QueuePolicy::Fifo))
+            .with_quality(tracker);
+        let a = plain.serve(&reqs);
+        let b = tracked.serve(&reqs);
+        assert_eq!(a.stats, b.stats);
+        for (qa, qb) in a.queries.iter().zip(&b.queries) {
+            assert_eq!(qa.admitted, qb.admitted);
+            assert_eq!(qa.start, qb.start);
+            assert_eq!(qa.end, qb.end);
+        }
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //! * `--admission-out <path>` — write the wave-vs-continuous admission
 //!   comparison (skewed request mix, simultaneous arrivals) as JSON to the
 //!   given path; CI uploads it alongside the trace artifacts.
+//! * `--drift-out <path>` — run the drift-injection sweep (stationary
+//!   control vs template-mix rotation through the quality-tracked serving
+//!   loop) and write the before/after detector artifact as JSON; CI gates on
+//!   the stationary run reporting zero alerts.
 //! * `--mini` — CI-sized configuration (tiny database, 12 queries) and skip
 //!   the overlap sweep; combined with `--trace-out` this is the tier-1
 //!   traced mini-serving run.
@@ -44,6 +48,13 @@ fn main() {
         std::fs::write(&path, &json)
             .unwrap_or_else(|e| panic!("writing admission snapshot to {path}: {e}"));
         eprintln!("[pythia] wrote wave-vs-continuous admission snapshot to {path}");
+    }
+
+    if let Some(path) = serving::drift_out_arg() {
+        let json = pythia_experiments::drift::drift_snapshot(&env);
+        std::fs::write(&path, &json)
+            .unwrap_or_else(|e| panic!("writing drift snapshot to {path}: {e}"));
+        eprintln!("[pythia] wrote drift-injection snapshot to {path}");
     }
 
     if let Some(path) = serving::trace_out_arg() {

@@ -14,6 +14,7 @@
 //!   workload.
 
 pub mod config;
+pub mod drift;
 pub mod extensions;
 pub mod fig01;
 pub mod fig05_06;

@@ -164,6 +164,15 @@ fn serve_poisson_inner(
     if let Some(tw) = tw {
         server = server.with_predictor(tw);
     }
+    // Traced runs stream per-admission quality telemetry (quality.observe
+    // instants, labeled series); the untraced sweep path stays bare. The
+    // tracker reads interval diffs only, so virtual-time determinism holds
+    // either way.
+    if recorder.is_enabled() {
+        server = server.with_quality(std::sync::Arc::new(std::sync::Mutex::new(
+            pythia_obs::quality::QualityTracker::default(),
+        )));
+    }
     server.set_recorder(recorder);
     let capture = server.recorder().is_enabled();
     // NN capture (pool task spans + training telemetry) may already be on:
@@ -231,6 +240,13 @@ pub fn metrics_out_arg() -> Option<String> {
 /// the trace artifacts).
 pub fn admission_out_arg() -> Option<String> {
     flag_value("admission-out")
+}
+
+/// Value of `--drift-out <path>`: write the drift-injection sweep's
+/// before/after [`crate::drift::drift_snapshot`] JSON to the given path (CI
+/// gates on the stationary run reporting zero alerts).
+pub fn drift_out_arg() -> Option<String> {
+    flag_value("drift-out")
 }
 
 /// Score the trained workload on its held-out test queries (one batched

@@ -122,9 +122,15 @@ pub fn summarize(text: &str) -> Result<TraceSummary, String> {
             continue; // wall-clock process: excluded by design
         }
         let tid = num_field("tid")?;
+        // Field errors past this point carry the offending track: declared
+        // name when the metadata event already passed, coordinates either way.
+        let track_ctx = match out.tracks.get(&tid) {
+            Some(name) => format!(" (pid {pid}, tid {tid}, track {name:?})"),
+            None => format!(" (pid {pid}, tid {tid}, undeclared track)"),
+        };
         match ph {
             "M" => {
-                if str_field("name")? == "thread_name" {
+                if str_field("name").map_err(|e| format!("{e}{track_ctx}"))? == "thread_name" {
                     if let Some(Json::Obj(args)) = get("args") {
                         if let Some((_, Json::Str(n))) = args.iter().find(|(k, _)| k == "name") {
                             out.tracks.insert(tid, n.clone());
@@ -133,20 +139,28 @@ pub fn summarize(text: &str) -> Result<TraceSummary, String> {
                 }
             }
             "X" | "i" => {
-                let name = str_field("name")?;
-                let ts = num_field("ts")?;
-                let dur = if ph == "X" { num_field("dur")? } else { 0 };
+                let name = str_field("name").map_err(|e| format!("{e}{track_ctx}"))?;
+                let ts = num_field("ts").map_err(|e| format!("{e}{track_ctx}"))?;
+                let dur = if ph == "X" {
+                    num_field("dur").map_err(|e| format!("{e}{track_ctx}"))?
+                } else {
+                    0
+                };
+                let cat = str_field("cat").map_err(|e| format!("{e}{track_ctx}"))?;
                 let stats = out.per_name.entry(name.to_owned()).or_default();
                 stats.count += 1;
                 stats.total_dur_us += dur;
                 out.virtual_events += 1;
                 out.canonical.push_str(&format!(
-                    "{ph}\t{tid}\t{ts}\t{dur}\t{}\t{name}\t{}\n",
-                    str_field("cat")?,
+                    "{ph}\t{tid}\t{ts}\t{dur}\t{cat}\t{name}\t{}\n",
                     render_args(get("args"))
                 ));
             }
-            other => return Err(format!("trace event {i}: unknown phase {other:?}")),
+            other => {
+                return Err(format!(
+                    "trace event {i}: unknown phase {other:?}{track_ctx}"
+                ))
+            }
         }
     }
     Ok(out)
@@ -572,6 +586,27 @@ mod tests {
         };
         assert!(validate(&wall_only).is_err(), "wall-only trace");
         assert!(validate(&sample_recorder("query.replay").chrome_trace_json()).is_ok());
+    }
+
+    #[test]
+    fn validation_errors_name_the_offending_track() {
+        // Declared track, then an event on it missing its "name" field.
+        let bad = concat!(
+            "[\n",
+            "{\"ph\":\"M\",\"pid\":1,\"tid\":7,\"name\":\"thread_name\",",
+            "\"args\":{\"name\":\"query-7 T18\"}},\n",
+            "{\"ph\":\"X\",\"pid\":1,\"tid\":7,\"ts\":1,\"dur\":2,\"cat\":\"q\"}\n",
+            "]\n"
+        );
+        let err = summarize(bad).unwrap_err();
+        assert!(err.contains("trace event 1"), "{err}");
+        assert!(err.contains("missing string field \"name\""), "{err}");
+        assert!(err.contains("pid 1, tid 7, track \"query-7 T18\""), "{err}");
+        // Unknown phase on a track with no metadata: coordinates still named.
+        let bad = "[{\"ph\":\"B\",\"pid\":1,\"tid\":3,\"ts\":0,\"name\":\"x\",\"cat\":\"c\"}]";
+        let err = summarize(bad).unwrap_err();
+        assert!(err.contains("unknown phase \"B\""), "{err}");
+        assert!(err.contains("pid 1, tid 3, undeclared track"), "{err}");
     }
 
     #[test]

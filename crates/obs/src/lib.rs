@@ -47,6 +47,7 @@
 pub mod chrome;
 pub mod diff;
 pub mod hist;
+pub mod quality;
 pub mod serve;
 pub mod snapshot;
 pub mod train;
@@ -71,6 +72,9 @@ pub mod tid {
     pub const SERVER: u32 = 0;
     /// Buffer-manager-wide events (evictions of unused prefetched pages).
     pub const BUFFER: u32 = 1;
+    /// Streaming quality telemetry: `quality.observe` / `drift.alert`
+    /// instants emitted by [`crate::quality::QualityTracker`].
+    pub const QUALITY: u32 = 2;
     /// `IO_BASE + lane` — one track per async I/O worker lane.
     pub const IO_BASE: u32 = 10;
     /// `QUERY_BASE + n` — one track per replayed query (monotone counter).
@@ -125,6 +129,10 @@ struct Inner {
     declared: BTreeSet<Track>,
     counters: std::collections::BTreeMap<&'static str, u64>,
     hists: std::collections::BTreeMap<&'static str, Histogram>,
+    /// Labeled gauge/counter series: `(name, sorted label pairs) -> value`.
+    /// Unlike plain counters these are *set* (last write wins), so callers
+    /// can export windowed rates without delta bookkeeping.
+    labeled: std::collections::BTreeMap<(&'static str, Vec<(String, String)>), u64>,
 }
 
 /// The recording sink threaded through the stack. Disabled by default:
@@ -233,6 +241,52 @@ impl Recorder {
             return;
         };
         inner.hists.entry(hist).or_default().record(value);
+    }
+
+    /// Set a labeled series to `value` (last write wins). Labels are
+    /// `(key, value)` pairs; they are sorted here so the same logical
+    /// series always maps to one entry regardless of caller order.
+    pub fn set_labeled(&mut self, name: &'static str, labels: &[(&str, &str)], value: u64) {
+        let Some(inner) = self.inner.as_mut() else {
+            return;
+        };
+        let mut key: Vec<(String, String)> = labels
+            .iter()
+            .map(|&(k, v)| (k.to_owned(), v.to_owned()))
+            .collect();
+        key.sort();
+        inner.labeled.insert((name, key), value);
+    }
+
+    /// Add `delta` to a labeled series (creating it at 0).
+    pub fn add_labeled(&mut self, name: &'static str, labels: &[(&str, &str)], delta: u64) {
+        let Some(inner) = self.inner.as_mut() else {
+            return;
+        };
+        let mut key: Vec<(String, String)> = labels
+            .iter()
+            .map(|&(k, v)| (k.to_owned(), v.to_owned()))
+            .collect();
+        key.sort();
+        *inner.labeled.entry((name, key)).or_insert(0) += delta;
+    }
+
+    /// Current value of a labeled series (0 if absent or disabled).
+    pub fn labeled(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        let Some(inner) = self.inner.as_ref() else {
+            return 0;
+        };
+        let mut key: Vec<(String, String)> = labels
+            .iter()
+            .map(|&(k, v)| (k.to_owned(), v.to_owned()))
+            .collect();
+        key.sort();
+        inner
+            .labeled
+            .iter()
+            .find(|((n, k), _)| *n == name && *k == key)
+            .map(|(_, &v)| v)
+            .unwrap_or(0)
     }
 
     /// Current value of a counter (0 if never touched or disabled).
@@ -405,6 +459,11 @@ impl Recorder {
                     .iter()
                     .map(|(&k, h)| (k.to_owned(), h.summary()))
                     .collect(),
+                labeled: i
+                    .labeled
+                    .iter()
+                    .map(|((name, labels), &v)| ((*name).to_owned(), labels.clone(), v))
+                    .collect(),
             },
         }
     }
@@ -571,5 +630,27 @@ mod tests {
         );
         assert_eq!(s.hists.len(), 1);
         assert_eq!(s.hists[0].1.count, 1);
+    }
+
+    #[test]
+    fn labeled_series_set_add_and_snapshot() {
+        let mut r = Recorder::enabled();
+        // Label order must not matter: both writes hit the same series.
+        r.set_labeled("q.hit", &[("tenant", "0"), ("template", "T18")], 5);
+        r.set_labeled("q.hit", &[("template", "T18"), ("tenant", "0")], 9);
+        r.add_labeled("fe.accepted", &[("tenant", "1")], 2);
+        r.add_labeled("fe.accepted", &[("tenant", "1")], 3);
+        assert_eq!(r.labeled("q.hit", &[("tenant", "0"), ("template", "T18")]), 9);
+        assert_eq!(r.labeled("fe.accepted", &[("tenant", "1")]), 5);
+        assert_eq!(r.labeled("fe.accepted", &[("tenant", "2")]), 0);
+        let s = r.snapshot();
+        assert_eq!(s.labeled.len(), 2);
+        assert_eq!(s.labeled[0].0, "fe.accepted");
+        assert_eq!(s.labeled[0].2, 5);
+        // Disabled recorder drops labeled writes like everything else.
+        let mut d = Recorder::disabled();
+        d.set_labeled("x", &[("t", "0")], 1);
+        assert_eq!(d.labeled("x", &[("t", "0")]), 0);
+        assert!(d.snapshot().labeled.is_empty());
     }
 }

@@ -186,12 +186,14 @@ mod tests {
         shared.publish(MetricsSnapshot {
             counters: vec![("reads.hit".into(), 41)],
             hists: vec![("server.admission_wait_us".into(), h.summary())],
+            labeled: vec![("frontend.accepted".into(), vec![("tenant".into(), "0".into())], 5)],
         });
 
         let resp = scrape(server.addr(), "/metrics");
         assert!(resp.starts_with("HTTP/1.1 200 OK\r\n"), "{resp}");
         assert!(resp.contains("text/plain; version=0.0.4"));
         assert!(resp.contains("pythia_reads_hit 41\n"));
+        assert!(resp.contains("pythia_frontend_accepted{tenant=\"0\"} 5\n"));
         assert!(resp.contains("pythia_server_admission_wait_us_count 2\n"));
         assert!(resp.contains("pythia_server_admission_wait_us{quantile=\"0.95\"}"));
 
@@ -199,6 +201,7 @@ mod tests {
         shared.publish(MetricsSnapshot {
             counters: vec![("reads.hit".into(), 42)],
             hists: vec![],
+            labeled: vec![],
         });
         let resp = scrape(server.addr(), "/metrics");
         assert!(resp.contains("pythia_reads_hit 42\n"));

@@ -5,15 +5,18 @@
 
 use crate::hist::HistSummary;
 
-/// Counters and histogram summaries at one point in time. Both vectors are
+/// Counters and histogram summaries at one point in time. All vectors are
 /// sorted by name (the recorder stores them in `BTreeMap`s).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MetricsSnapshot {
     pub counters: Vec<(String, u64)>,
     pub hists: Vec<(String, HistSummary)>,
+    /// Labeled series: `(name, sorted label pairs, value)` — e.g. per-tenant
+    /// frontend counters or per-(tenant, template) quality gauges.
+    pub labeled: Vec<(String, Vec<(String, String)>, u64)>,
 }
 
-fn escape_into(out: &mut String, s: &str) {
+pub(crate) fn escape_into(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -42,8 +45,25 @@ impl MetricsSnapshot {
         self.hists.iter().find(|(k, _)| k == name).map(|(_, h)| h)
     }
 
+    /// Value of a labeled series, 0 when absent. `labels` must be sorted by
+    /// key (the recorder sorts on write).
+    pub fn labeled(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        self.labeled
+            .iter()
+            .find(|(n, l, _)| {
+                n == name
+                    && l.len() == labels.len()
+                    && l.iter().zip(labels).all(|((k, v), (ek, ev))| k == ek && v == ev)
+            })
+            .map(|&(_, _, v)| v)
+            .unwrap_or(0)
+    }
+
     /// Deterministic JSON object:
-    /// `{"counters":{...},"histograms_us":{name:{count,sum,min,max,p50,p90,p95,p99}}}`.
+    /// `{"counters":{...},"histograms_us":{name:{count,sum,min,max,p50,p90,p95,p99}}}`,
+    /// plus a `"labeled"` array (`[name, {labels}, value]` triples) only when
+    /// any labeled series exist — the empty shape is pinned by tests and
+    /// merged verbatim into BENCH artifacts.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"counters\":{");
         for (i, (k, v)) in self.counters.iter().enumerate() {
@@ -80,7 +100,33 @@ impl MetricsSnapshot {
             out.push_str(&h.p99.to_string());
             out.push('}');
         }
-        out.push_str("}}");
+        out.push('}');
+        if !self.labeled.is_empty() {
+            out.push_str(",\"labeled\":[");
+            for (i, (name, labels, v)) in self.labeled.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("[\"");
+                escape_into(&mut out, name);
+                out.push_str("\",{");
+                for (j, (lk, lv)) in labels.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    escape_into(&mut out, lk);
+                    out.push_str("\":\"");
+                    escape_into(&mut out, lv);
+                    out.push('"');
+                }
+                out.push_str("},");
+                out.push_str(&v.to_string());
+                out.push(']');
+            }
+            out.push(']');
+        }
+        out.push('}');
         out
     }
 
@@ -128,7 +174,52 @@ impl MetricsSnapshot {
             out.push_str(&h.count.to_string());
             out.push('\n');
         }
+        let mut last_labeled = "";
+        for (k, labels, v) in &self.labeled {
+            let name = prom_name(k);
+            if k != last_labeled {
+                out.push_str("# TYPE ");
+                out.push_str(&name);
+                out.push_str(" gauge\n");
+                last_labeled = k;
+            }
+            out.push_str(&name);
+            out.push('{');
+            for (i, (lk, lv)) in labels.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&prom_label_key(lk));
+                out.push_str("=\"");
+                escape_prom_label_value(&mut out, lv);
+                out.push('"');
+            }
+            out.push_str("} ");
+            out.push_str(&v.to_string());
+            out.push('\n');
+        }
         out
+    }
+}
+
+/// Sanitize a label key into `[a-zA-Z0-9_]` (Prometheus label names take no
+/// colons, unlike metric names).
+fn prom_label_key(key: &str) -> String {
+    key.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect()
+}
+
+/// Escape a label *value* per the Prometheus text exposition rules:
+/// backslash, double-quote and line-feed are the only escapes.
+fn escape_prom_label_value(out: &mut String, value: &str) {
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
     }
 }
 
@@ -175,6 +266,7 @@ mod tests {
                     p99: 20,
                 },
             )],
+            labeled: vec![],
         }
     }
 
@@ -212,6 +304,92 @@ mod tests {
                 "malformed exposition line: {line}"
             );
         }
+    }
+
+    fn labeled_sample() -> MetricsSnapshot {
+        let mut snap = sample();
+        snap.labeled = vec![
+            (
+                "frontend.accepted".into(),
+                vec![("tenant".into(), "0".into())],
+                7,
+            ),
+            (
+                "frontend.accepted".into(),
+                vec![("tenant".into(), "1".into())],
+                3,
+            ),
+            (
+                "quality.hit_rate_e6".into(),
+                vec![
+                    ("template".into(), "query.replay.T18".into()),
+                    ("tenant".into(), "0".into()),
+                ],
+                912_000,
+            ),
+        ];
+        snap
+    }
+
+    #[test]
+    fn labeled_series_json_and_lookup() {
+        let snap = labeled_sample();
+        assert_eq!(snap.labeled("frontend.accepted", &[("tenant", "1")]), 3);
+        assert_eq!(snap.labeled("frontend.accepted", &[("tenant", "9")]), 0);
+        assert_eq!(
+            snap.labeled(
+                "quality.hit_rate_e6",
+                &[("template", "query.replay.T18"), ("tenant", "0")]
+            ),
+            912_000
+        );
+        let json = snap.to_json();
+        assert!(json.contains(
+            "\"labeled\":[[\"frontend.accepted\",{\"tenant\":\"0\"},7],[\"frontend.accepted\",{\"tenant\":\"1\"},3]"
+        ));
+        assert!(json.ends_with("]}"));
+        // The empty shape stays byte-identical to the pre-labeled pin.
+        assert!(!MetricsSnapshot::default().to_json().contains("labeled"));
+    }
+
+    #[test]
+    fn prometheus_labeled_series_shape() {
+        let text = labeled_sample().to_prometheus();
+        assert!(text.contains("# TYPE pythia_frontend_accepted gauge\n"));
+        assert!(text.contains("pythia_frontend_accepted{tenant=\"0\"} 7\n"));
+        assert!(text.contains("pythia_frontend_accepted{tenant=\"1\"} 3\n"));
+        assert!(text.contains(
+            "pythia_quality_hit_rate_e6{template=\"query.replay.T18\",tenant=\"0\"} 912000\n"
+        ));
+        // One TYPE line per metric name even with many label sets.
+        assert_eq!(text.matches("# TYPE pythia_frontend_accepted").count(), 1);
+        for line in text.lines() {
+            assert!(
+                line.starts_with("# TYPE pythia_")
+                    || (line.starts_with("pythia_")
+                        && line.rsplit(' ').next().unwrap().parse::<u64>().is_ok()),
+                "malformed exposition line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn prometheus_label_value_escaping() {
+        let snap = MetricsSnapshot {
+            counters: vec![],
+            hists: vec![],
+            labeled: vec![(
+                "frontend.accepted".into(),
+                vec![("tenant".into(), "acme \"prod\"\\eu\nwest".into())],
+                4,
+            )],
+        };
+        let text = snap.to_prometheus();
+        assert!(text.contains(
+            "pythia_frontend_accepted{tenant=\"acme \\\"prod\\\"\\\\eu\\nwest\"} 4\n"
+        ));
+        // No raw newline may survive inside a sample line.
+        assert_eq!(text.lines().count(), 2);
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! Drift-scenario generators: deterministic query streams whose statistics
+//! shift at a known point, used to exercise the streaming drift detectors in
+//! `pythia_obs::quality` (and, as the stationary control, to pin that they
+//! stay silent when nothing changes).
+//!
+//! All generators return the stream in arrival order. Three shift shapes:
+//!
+//! * [`mix_rotation`] — the template mix rotates to a disjoint set at the
+//!   shift point (the tenant's traffic changes *kind*). The template-mix
+//!   divergence detector sees total-variation distance 1.0 once its recent
+//!   window has rolled over.
+//! * [`template_appearance`] — a template the stream has never contained
+//!   starts interleaving at the shift point (a new query type deployed
+//!   mid-stream).
+//! * [`parameter_shift`] — templates stay fixed but parameters jump to a
+//!   different selectivity regime, flipping the optimizer-style plan shape
+//!   (T18's customer dimension moves from index probes to a hash join).
+//!   Template-mix divergence stays 0; only *quality* detectors can see it.
+//!
+//! [`stationary_mix`] is the control: a fixed cyclic rotation over all four
+//! templates. The cycle length (4) divides the quality tracker's default
+//! recent (8) and baseline (32) mix windows, so once both windows fill, the
+//! recent and baseline distributions are *exactly* equal and the divergence
+//! score is identically zero — a stationary run must raise zero alerts.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::schema::BenchmarkDb;
+use crate::stats::plan_shape;
+use crate::templates::{sample_query, QueryInstance, Template};
+
+/// Stationary control stream: cycle all four templates in a fixed order.
+pub fn stationary_mix(b: &BenchmarkDb, n: usize, seed: u64) -> Vec<QueryInstance> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| sample_query(b, Template::ALL[i % Template::ALL.len()], &mut rng))
+        .collect()
+}
+
+/// Template-mix rotation: cycle `[T18, T19]` for the first `shift_at`
+/// queries, then cycle the disjoint `[T91, Imdb1a]` for the rest. The two
+/// mixes share no templates, so the post-shift recent window diverges from
+/// the trailing baseline with total-variation distance 1.0.
+pub fn mix_rotation(b: &BenchmarkDb, n: usize, shift_at: usize, seed: u64) -> Vec<QueryInstance> {
+    const BEFORE: [Template; 2] = [Template::T18, Template::T19];
+    const AFTER: [Template; 2] = [Template::T91, Template::Imdb1a];
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let t = if i < shift_at {
+                BEFORE[i % BEFORE.len()]
+            } else {
+                AFTER[(i - shift_at) % AFTER.len()]
+            };
+            sample_query(b, t, &mut rng)
+        })
+        .collect()
+}
+
+/// Template appearance: pure T18 until `appear_at`, then Imdb1a interleaves
+/// on every other arrival — a query type the stream (and any model trained
+/// on its prefix) has never seen.
+pub fn template_appearance(
+    b: &BenchmarkDb,
+    n: usize,
+    appear_at: usize,
+    seed: u64,
+) -> Vec<QueryInstance> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let t = if i >= appear_at && (i - appear_at) % 2 == 0 {
+                Template::Imdb1a
+            } else {
+                Template::T18
+            };
+            sample_query(b, t, &mut rng)
+        })
+        .collect()
+}
+
+/// Number of hash joins in the instance's plan shape (each renders as an
+/// `H,` token in [`plan_shape`]).
+fn hash_joins(q: &QueryInstance) -> usize {
+    plan_shape(q).matches("H,").count()
+}
+
+/// Parameter shift within one template: every query is T18, but the first
+/// `shift_at` instances are resampled until their parameters fall in the
+/// narrow-selectivity regime (customer dimension index-probed — exactly the
+/// one date_dim hash join) and the rest until they fall in the wide regime
+/// (customer hash-joined — two hash joins). The template mix never changes;
+/// only the plan shape and its page-access pattern do.
+pub fn parameter_shift(
+    b: &BenchmarkDb,
+    n: usize,
+    shift_at: usize,
+    seed: u64,
+) -> Vec<QueryInstance> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let want_wide = i >= shift_at;
+            // T18's width parameter is uniform in 40..=300 with the hash
+            // threshold at 240, so both regimes have ample mass; a few
+            // rejection rounds suffice. Cap the loop for safety and keep
+            // the last sample if the cap is ever hit.
+            let mut q = sample_query(b, Template::T18, &mut rng);
+            for _ in 0..64 {
+                if (hash_joins(&q) >= 2) == want_wide {
+                    break;
+                }
+                q = sample_query(b, Template::T18, &mut rng);
+            }
+            q
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{build_benchmark, GeneratorConfig};
+    use std::collections::HashSet;
+
+    fn bench() -> BenchmarkDb {
+        build_benchmark(&GeneratorConfig {
+            scale: 0.08,
+            seed: 2,
+        })
+    }
+
+    #[test]
+    fn stationary_mix_cycles_all_templates() {
+        let b = bench();
+        let w = stationary_mix(&b, 9, 3);
+        let templates: Vec<Template> = w.iter().map(|q| q.template).collect();
+        assert_eq!(&templates[..4], &Template::ALL);
+        assert_eq!(templates[4], Template::T18, "cycle wraps");
+        // Deterministic for a fixed seed.
+        let w2 = stationary_mix(&b, 9, 3);
+        for (a, c) in w.iter().zip(&w2) {
+            assert_eq!(a.plan, c.plan);
+        }
+    }
+
+    #[test]
+    fn mix_rotation_switches_to_a_disjoint_mix() {
+        let b = bench();
+        let w = mix_rotation(&b, 12, 6, 4);
+        let before: HashSet<Template> = w[..6].iter().map(|q| q.template).collect();
+        let after: HashSet<Template> = w[6..].iter().map(|q| q.template).collect();
+        assert_eq!(
+            before,
+            HashSet::from([Template::T18, Template::T19]),
+            "{before:?}"
+        );
+        assert_eq!(
+            after,
+            HashSet::from([Template::T91, Template::Imdb1a]),
+            "{after:?}"
+        );
+        assert!(before.is_disjoint(&after));
+    }
+
+    #[test]
+    fn template_appearance_introduces_imdb_mid_stream() {
+        let b = bench();
+        let w = template_appearance(&b, 10, 4, 5);
+        assert!(w[..4].iter().all(|q| q.template == Template::T18));
+        let appeared: Vec<Template> = w[4..].iter().map(|q| q.template).collect();
+        assert_eq!(appeared[0], Template::Imdb1a, "appears at the shift point");
+        assert!(appeared.contains(&Template::T18), "T18 keeps interleaving");
+    }
+
+    #[test]
+    fn parameter_shift_flips_the_plan_shape_not_the_template() {
+        let b = bench();
+        let w = parameter_shift(&b, 10, 5, 6);
+        assert!(w.iter().all(|q| q.template == Template::T18));
+        for q in &w[..5] {
+            assert_eq!(hash_joins(q), 1, "narrow regime: date_dim hash only");
+        }
+        for q in &w[5..] {
+            assert!(hash_joins(q) >= 2, "wide regime: customer hash-joined");
+        }
+    }
+}

@@ -24,6 +24,7 @@
 //! for the Figure 12a experiment.
 
 pub mod datagen;
+pub mod drift;
 pub mod schema;
 pub mod stats;
 pub mod templates;

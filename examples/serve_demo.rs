@@ -7,6 +7,7 @@
 //! curl http://127.0.0.1:7878/query/0          # tenant 0 (legacy route)
 //! curl http://127.0.0.1:7878/t/1/query/0      # tenant 1
 //! curl http://127.0.0.1:7878/t/1/stats        # tenant-scoped counters
+//! curl http://127.0.0.1:7878/t/1/health       # live quality/drift snapshot
 //! curl http://127.0.0.1:7878/stats
 //! curl http://127.0.0.1:7878/shutdown
 //! ```
@@ -35,6 +36,7 @@
 //! `/shutdown` drains the queue and exits cleanly — that is how the CI
 //! smoke test stops the demo.
 
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use pythia::core::frontend::outcome_json;
@@ -44,6 +46,7 @@ use pythia::core::{
     PrefetchServer, PythiaConfig, QueuePolicy, ServerConfig, ServerRequest,
 };
 use pythia::db::runtime::RunConfig;
+use pythia::obs::quality::QualityTracker;
 use pythia::sim::SimDuration;
 use pythia::workloads::templates::{sample_workload, Template};
 use pythia::workloads::{build_benchmark, GeneratorConfig};
@@ -136,11 +139,39 @@ fn main() {
         if train { "trained" } else { "none (DFLT)" }
     );
     println!("  try: curl http://{}/query/0", fe.addr());
+    println!("  try: curl http://{}/t/0/health", fe.addr());
     if tenants > 1 {
         println!("  try: curl http://{}/t/1/query/0", fe.addr());
         println!("  try: curl http://{}/t/1/stats", fe.addr());
     }
     println!("  stop: curl http://{}/shutdown", fe.addr());
+
+    // One quality tracker shared by the whole fleet (it is keyed by tenant
+    // internally) feeds the per-tenant /t/<tenant>/health route: rolling
+    // quality windows, drift detectors, the fleet's live model version, and
+    // this front's own per-tenant counters.
+    let quality = Arc::new(Mutex::new(QualityTracker::default()));
+    let fleets: Vec<_> = (0..tenants)
+        .map(|t| registry.tenant(&format!("tenant{t}")))
+        .collect();
+    {
+        let quality = Arc::clone(&quality);
+        fe.set_health_provider(Arc::new(move |tenant, stats| {
+            let version = fleets
+                .get(tenant as usize)
+                .and_then(|f| f.any())
+                .map(|v| v.version);
+            let tracker = match quality.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            Some(tracker.health_json(
+                tenant,
+                version,
+                Some((stats.accepted, stats.shed, stats.rejected)),
+            ))
+        }));
+    }
 
     let cfg = ServerConfig {
         concurrency: 2,
@@ -154,7 +185,8 @@ fn main() {
         .iter()
         .enumerate()
         .map(|(t, b)| {
-            let mut s = PrefetchServer::new(&b.db, &RunConfig::default(), cfg);
+            let mut s = PrefetchServer::new(&b.db, &RunConfig::default(), cfg)
+                .with_quality(Arc::clone(&quality));
             if train {
                 s = s.with_registry(registry.tenant(&format!("tenant{t}")));
             }
@@ -183,9 +215,16 @@ fn main() {
             let (queries, traces) = &catalogs[t];
             let reqs: Vec<ServerRequest<'_>> = group
                 .iter()
-                .map(|a| {
-                    ServerRequest::new(&queries[a.query].plan, &traces[a.query], SimDuration::ZERO)
-                        .with_tenant(a.tenant)
+                .map(|a| ServerRequest {
+                    // Template-derived span so the quality tracker slots
+                    // outcomes under the template, not an anonymous replay.
+                    span_name: Template::T18.replay_span(),
+                    ..ServerRequest::new(
+                        &queries[a.query].plan,
+                        &traces[a.query],
+                        SimDuration::ZERO,
+                    )
+                    .with_tenant(a.tenant)
                 })
                 .collect();
             let rep = srvs[t].serve(&reqs);

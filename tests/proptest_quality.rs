@@ -1,0 +1,134 @@
+//! Property tests for the streaming quality tracker: the O(1) rolling
+//! window must agree **exactly** (integer sums, hence bit-equal f64 rates)
+//! with a batch recomputation over the same tail of outcomes, and the
+//! per-tenant / per-template lifetime slices must partition the global
+//! totals — with zero-query tenants reporting finite zeros, never NaN.
+
+use proptest::prelude::*;
+
+use pythia::obs::quality::{
+    batch_totals, QualityConfig, QualityOutcome, QualityTotals, QualityTracker,
+};
+use pythia::obs::Recorder;
+
+/// Templates the partition cases spread their outcomes across
+/// (`observe` takes `&'static str`, matching replay span names).
+const TEMPLATES: [&str; 3] = ["replay.t18", "replay.t91", "replay.imdb1a"];
+
+/// Strategy for one admission outcome. `prefetch_issued` is derived as
+/// `useful + wasted + slack` so the counts stay mutually consistent (issued
+/// covers every classified prefetch plus some still in flight).
+fn outcome_strategy() -> impl Strategy<Value = QualityOutcome> {
+    (
+        0u64..50,
+        0u64..20,
+        0u64..20,
+        0u64..10,
+        0u64..6,
+        0u64..4,
+        0u64..10_000,
+    )
+        .prop_map(
+            |(hits, os_copies, disk_reads, useful, wasted, slack, wait_us)| QualityOutcome {
+                hits,
+                os_copies,
+                disk_reads,
+                prefetch_issued: useful + wasted + slack,
+                prefetch_useful: useful,
+                prefetch_wasted: wasted,
+                wait_us,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Feeding a stream through `observe` leaves the rolling window equal to
+    /// a batch recomputation over the last `window` outcomes — counts and
+    /// every derived rate (hit rate, precision, recall, F1, mean wait) are
+    /// exactly equal, across random streams and window sizes.
+    #[test]
+    fn rolling_window_equals_batch_over_the_tail(
+        outcomes in prop::collection::vec(outcome_strategy(), 1..40),
+        window in 1usize..12,
+    ) {
+        let cfg = QualityConfig { window, ..QualityConfig::default() };
+        let mut tracker = QualityTracker::new(cfg);
+        let mut rec = Recorder::disabled();
+        for (i, o) in outcomes.iter().enumerate() {
+            tracker.observe(3, TEMPLATES[0], *o, i as u64 * 100, &mut rec);
+
+            // The window at every step, not just the end: the tail is the
+            // last `window` outcomes fed so far.
+            let tail = &outcomes[(i + 1).saturating_sub(window)..=i];
+            let want = batch_totals(tail);
+            let got = tracker.window(3, TEMPLATES[0]).expect("slot exists after a feed");
+            prop_assert_eq!(got, want, "window != batch tail after outcome {}", i);
+            prop_assert_eq!(got.hit_rate(), want.hit_rate());
+            prop_assert_eq!(got.prefetch_precision(), want.prefetch_precision());
+            prop_assert_eq!(got.prefetch_recall(), want.prefetch_recall());
+            prop_assert_eq!(got.prefetch_f1(), want.prefetch_f1());
+            prop_assert_eq!(got.mean_wait_us(), want.mean_wait_us());
+            prop_assert!(got.hit_rate().is_finite());
+            prop_assert!(got.prefetch_f1().is_finite());
+        }
+
+        // Lifetime totals cover the whole stream regardless of the window.
+        let life = tracker.lifetime(3, TEMPLATES[0]).expect("slot exists");
+        prop_assert_eq!(life, batch_totals(&outcomes));
+    }
+
+    /// Per-tenant lifetime slices partition the global totals, per-template
+    /// slices partition each tenant's, and a tenant that never served a
+    /// query reports finite zeros from every rate accessor (never NaN) and
+    /// no window at all.
+    #[test]
+    fn tenant_slices_partition_global_and_idle_tenants_are_nan_free(
+        outcomes in prop::collection::vec(outcome_strategy(), 1..50),
+        tenants in prop::collection::vec(0u32..3, 50),
+        picks in prop::collection::vec(0usize..3, 50),
+    ) {
+        let mut tracker = QualityTracker::default();
+        let mut rec = Recorder::disabled();
+        for (i, o) in outcomes.iter().enumerate() {
+            tracker.observe(tenants[i], TEMPLATES[picks[i]], *o, i as u64 * 100, &mut rec);
+        }
+
+        let global = tracker.global_lifetime();
+        prop_assert_eq!(global.outcomes, outcomes.len() as u64);
+
+        let mut across_tenants = QualityTotals::default();
+        for t in tracker.tenant_ids() {
+            let tenant_total = tracker.tenant_lifetime(t);
+            across_tenants.merge(&tenant_total);
+
+            // Template slices partition this tenant's totals.
+            let mut across_templates = QualityTotals::default();
+            for tpl in TEMPLATES {
+                if let Some(slice) = tracker.lifetime(t, tpl) {
+                    prop_assert!(slice.outcomes > 0, "empty slot materialized");
+                    across_templates.merge(&slice);
+                }
+            }
+            prop_assert_eq!(
+                across_templates, tenant_total,
+                "template slices must partition tenant {}", t
+            );
+        }
+        prop_assert_eq!(across_tenants, global, "tenant slices must partition the global totals");
+
+        // A tenant that never served anything: zeroed totals, finite rates.
+        prop_assert!(!tracker.tenant_ids().contains(&9));
+        let idle = tracker.tenant_lifetime(9);
+        prop_assert_eq!(idle, QualityTotals::default());
+        prop_assert_eq!(idle.hit_rate(), 0.0);
+        prop_assert_eq!(idle.prefetch_precision(), 0.0);
+        prop_assert_eq!(idle.prefetch_recall(), 0.0);
+        prop_assert_eq!(idle.prefetch_f1(), 0.0);
+        prop_assert_eq!(idle.mean_wait_us(), 0);
+        prop_assert!(tracker.window(9, TEMPLATES[0]).is_none());
+        prop_assert_eq!(tracker.alerts(9), 0);
+        prop_assert_eq!(tracker.mix_divergence(9), 0.0);
+    }
+}
