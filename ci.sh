@@ -100,29 +100,46 @@ if [[ "$fast" -eq 0 ]]; then
     fi
   fi
 
-  echo "==> serve_demo socket smoke test (two tenants)"
+  echo "==> serve_demo socket smoke test (two tenants + postmortem surface)"
   cargo build --release -q --example serve_demo
-  rm -f results/serve_demo.log
+  rm -f results/serve_demo.log results/flight_dump.json
+  # --slow-ms 1 marks virtually every replay slow (virtual latencies are
+  # tens-to-hundreds of ms), --force-drift 1 injects one drill drift alert
+  # after tenant 1's first admission — both trigger flight-recorder dumps,
+  # which /debug/flight serves live and --flight-out persists on shutdown.
   ./target/release/examples/serve_demo --addr 127.0.0.1:0 --tenants 2 \
+    --metrics-addr 127.0.0.1:0 --slow-ms 1 --force-drift 1 \
+    --flight-out results/flight_dump.json \
     > results/serve_demo.log 2>&1 &
   demo_pid=$!
   demo_addr=""
+  metrics_addr=""
   for _ in $(seq 1 100); do
     demo_addr=$(sed -n 's|^serve_demo listening on http://||p' \
       results/serve_demo.log | head -n1)
-    [[ -n "$demo_addr" ]] && break
+    metrics_addr=$(sed -n 's|^serve_demo metrics on http://||p' \
+      results/serve_demo.log | head -n1 | sed 's|/metrics$||')
+    [[ -n "$demo_addr" && -n "$metrics_addr" ]] && break
     sleep 0.1
   done
-  if [[ -z "$demo_addr" ]]; then
-    echo "!!> serve_demo never printed its listen address" >&2
+  if [[ -z "$demo_addr" || -z "$metrics_addr" ]]; then
+    echo "!!> serve_demo never printed its listen + metrics addresses" >&2
     cat results/serve_demo.log >&2
     kill "$demo_pid" 2>/dev/null || true
     exit 1
   fi
   demo_host=${demo_addr%:*}
   demo_port=${demo_addr##*:}
+  metrics_host=${metrics_addr%:*}
+  metrics_port=${metrics_addr##*:}
   demo_get() {
     exec 3<>"/dev/tcp/$demo_host/$demo_port"
+    printf 'GET %s HTTP/1.1\r\nHost: ci\r\nConnection: close\r\n\r\n' "$1" >&3
+    cat <&3
+    exec 3>&- 3<&-
+  }
+  metrics_get() {
+    exec 3<>"/dev/tcp/$metrics_host/$metrics_port"
     printf 'GET %s HTTP/1.1\r\nHost: ci\r\nConnection: close\r\n\r\n' "$1" >&3
     cat <&3
     exec 3>&- 3<&-
@@ -163,9 +180,48 @@ if [[ "$fast" -eq 0 ]]; then
     kill "$demo_pid" 2>/dev/null || true
     exit 1
   fi
+  # Request tracing surfaces: the per-query JSON line carries the minted
+  # request id and the queue/admission/infer/replay latency breakdown...
+  if ! grep -q '"request":' <<<"$demo_t1" \
+    || ! grep -q '"queue_us"' <<<"$demo_t1" \
+    || ! grep -q '"replay_us"' <<<"$demo_t1"; then
+    echo "!!> serve_demo response is missing the request-tracing fields:" >&2
+    echo "$demo_t1" >&2
+    kill "$demo_pid" 2>/dev/null || true
+    exit 1
+  fi
+  # ...and /debug/slow holds the top-K breakdowns folded from every batch.
+  demo_slow=$(metrics_get /debug/slow)
+  if ! grep -q 'HTTP/1.1 200 OK' <<<"$demo_slow" \
+    || ! grep -q '"requests":\[{"request":' <<<"$demo_slow"; then
+    echo "!!> /debug/slow did not report the served requests:" >&2
+    echo "$demo_slow" >&2
+    kill "$demo_pid" 2>/dev/null || true
+    exit 1
+  fi
+  # The anomaly triggers above (slow requests + the forced drift drill)
+  # must leave a postmortem flight dump behind /debug/flight: a Chrome
+  # trace with flow-linked request.* spans from the always-on ring.
+  demo_flight=$(metrics_get /debug/flight)
+  if ! grep -q 'HTTP/1.1 200 OK' <<<"$demo_flight" \
+    || ! grep -q '"request\.' <<<"$demo_flight" \
+    || ! grep -q '"ph":"s"' <<<"$demo_flight"; then
+    echo "!!> /debug/flight has no dump with flow-linked request spans:" >&2
+    echo "$demo_flight" >&2
+    kill "$demo_pid" 2>/dev/null || true
+    exit 1
+  fi
   demo_get /shutdown > /dev/null
   wait "$demo_pid"
-  echo "    serve_demo answered both tenants' queries (and /t/1/health) and shut down cleanly"
+  # --flight-out persists the final dump; it must be a loadable trace.
+  if [[ ! -s results/flight_dump.json ]]; then
+    echo "!!> serve_demo did not write results/flight_dump.json" >&2
+    cat results/serve_demo.log >&2
+    exit 1
+  fi
+  cargo run --release -q -p pythia-experiments --bin trace_diff -- \
+    --validate results/flight_dump.json
+  echo "    serve_demo answered both tenants, served /debug/slow + /debug/flight, and wrote a loadable flight dump"
 fi
 
 echo "==> ci.sh: all gates passed"

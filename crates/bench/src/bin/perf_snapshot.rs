@@ -312,6 +312,59 @@ fn main() {
         traced_rec.events().len()
     );
 
+    // --- flight recorder: always-on ring cost on the untraced path ---------
+    // The production default serves with trace export off but with every
+    // event site still mirroring into the fixed-size flight ring. Compare
+    // that default against a zero-capacity ring (mirroring short-circuits)
+    // to price the always-on postmortem buffer, and time rendering the
+    // retained tail into a postmortem dump.
+    let serve_flight = |capacity: usize| -> (f64, pythia_obs::Recorder) {
+        let mut best = f64::INFINITY;
+        let mut rec = pythia_obs::Recorder::disabled();
+        for _ in 0..OBS_REPS {
+            let mut r = pythia_obs::Recorder::disabled();
+            r.set_flight_capacity(capacity);
+            let mut server = PrefetchServer::new(&db, &RunConfig::default(), obs_cfg)
+                .with_predictor(&tw_parallel);
+            server.set_recorder(r);
+            let t0 = Instant::now();
+            let rep = server.serve(&requests);
+            best = best.min(t0.elapsed().as_secs_f64());
+            std::hint::black_box(rep.queries.len());
+            rec = server.take_recorder();
+        }
+        (best, rec)
+    };
+    let (flight_off_s, _) = serve_flight(0);
+    let (flight_on_s, flight_rec) = serve_flight(pythia_obs::flight::DEFAULT_CAPACITY);
+    let flight_overhead_pct = (flight_on_s - flight_off_s) / flight_off_s * 100.0;
+    let flight_ring_events = flight_rec.flight().len();
+    let t0 = Instant::now();
+    let flight_dump = flight_rec.flight_dump_json();
+    let flight_dump_render_ms = t0.elapsed().as_secs_f64() * 1e3;
+    std::hint::black_box(flight_dump.len());
+    eprintln!(
+        "[perf_snapshot] flight recorder: ring-off {flight_off_s:.3}s, ring-on \
+         {flight_on_s:.3}s ({flight_overhead_pct:+.1}%, {flight_ring_events} events retained, \
+         dump render {flight_dump_render_ms:.2} ms)"
+    );
+
+    // --- request tracing: span volume on the traced run --------------------
+    // The traced serve above already emitted the per-request span trees;
+    // record their volume so trace-size regressions show up in the diff of
+    // successive snapshots.
+    let request_spans = traced_rec
+        .events()
+        .iter()
+        .filter(|e| e.name.starts_with("request.") && e.name != "request.flow")
+        .count();
+    let request_flows = traced_rec.event_count("request.flow");
+    eprintln!(
+        "[perf_snapshot] request tracing: {request_spans} request.* spans + \
+         {request_flows} flow endpoints across {} queries",
+        report.queries.len()
+    );
+
     // --- quality telemetry: tracked vs untracked continuous serving --------
     // The streaming QualityTracker only feeds on the continuous-admission
     // path (per-admission interval diffs), so the comparison runs there:
@@ -473,6 +526,13 @@ fn main() {
         "obs_overhead_pct": round3(obs_overhead_pct),
         "obs_trace_events": traced_rec.events().len(),
         "obs_metrics": obs_metrics,
+        "obs_flight_serve_ring_off_s": round3(flight_off_s),
+        "obs_flight_serve_ring_on_s": round3(flight_on_s),
+        "obs_flight_overhead_pct": round3(flight_overhead_pct),
+        "obs_flight_ring_events": flight_ring_events,
+        "obs_flight_dump_render_ms": round3(flight_dump_render_ms),
+        "obs_request_spans_traced": request_spans,
+        "obs_request_flow_events": request_flows,
         "obs_quality_serve_untracked_s": round3(quality_off_s),
         "obs_quality_serve_tracked_s": round3(quality_on_s),
         "obs_quality_overhead_pct": round3(quality_overhead_pct),

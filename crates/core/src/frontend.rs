@@ -148,6 +148,12 @@ pub struct Arrival {
     pub query: usize,
     /// Tenant the request was routed under (0 for unprefixed paths).
     pub tenant: u32,
+    /// End-to-end trace id, minted at ingestion
+    /// ([`pythia_obs::request::mint`] — wall-ordered, never 0). The serving
+    /// loop threads it through [`crate::server::ServerRequest::with_request`]
+    /// so the `request.*` span tree and the `/debug/slow` log name the same
+    /// id the front-end accepted.
+    pub request: u64,
     /// The connection to answer once served.
     pub responder: Responder,
 }
@@ -327,7 +333,12 @@ impl Frontend {
             .shared
             .tenant_accepted
             .iter()
-            .zip(self.shared.tenant_shed.iter().zip(&self.shared.tenant_rejected))
+            .zip(
+                self.shared
+                    .tenant_shed
+                    .iter()
+                    .zip(&self.shared.tenant_rejected),
+            )
             .enumerate()
         {
             let id = t.to_string();
@@ -392,17 +403,26 @@ impl Drop for Frontend {
     }
 }
 
-/// Render a served query's virtual-time outcome as the response body.
+/// Render a served query's virtual-time outcome as the response body,
+/// including its trace id and the queue/admission/inference/replay latency
+/// breakdown (the same partition the `request.*` trace spans draw).
 pub fn outcome_json(query: usize, q: &QueryOutcome) -> String {
+    let b = q.breakdown();
     format!(
-        "{{\"query\":{query},\"arrival_us\":{},\"admitted_us\":{},\"start_us\":{},\"end_us\":{},\
-         \"wait_us\":{},\"latency_us\":{},\"admission\":{}}}\n",
+        "{{\"query\":{query},\"request\":{},\"arrival_us\":{},\"admitted_us\":{},\"start_us\":{},\
+         \"end_us\":{},\"wait_us\":{},\"latency_us\":{},\"queue_us\":{},\"admission_us\":{},\
+         \"infer_us\":{},\"replay_us\":{},\"admission\":{}}}\n",
+        q.request,
         q.arrival.as_micros(),
         q.admitted.as_micros(),
         q.start.as_micros(),
         q.end.as_micros(),
         q.admission_wait().as_micros(),
         q.latency().as_micros(),
+        b.queue_us,
+        b.admission_us,
+        b.infer_us,
+        b.replay_us,
         q.wave
     )
 }
@@ -532,6 +552,7 @@ fn answer(mut stream: TcpStream, shared: &Shared, cfg: &FrontendConfig) -> std::
                 queue.push_back(Arrival {
                     query: idx,
                     tenant,
+                    request: pythia_obs::request::mint(),
                     responder: Responder {
                         stream: Some(stream),
                     },
@@ -1010,6 +1031,7 @@ mod tests {
                                 &traces_ref[a.query],
                                 SimDuration::ZERO,
                             )
+                            .with_request(a.request)
                         })
                         .collect();
                     let rep = srv.serve(&reqs);
@@ -1025,6 +1047,21 @@ mod tests {
             assert!(resp.contains("\"query\":1"), "{resp}");
             assert!(resp.contains("\"latency_us\":"), "{resp}");
             assert!(resp.contains("\"admission\":0"), "{resp}");
+            // The outcome carries the front-end-minted trace id and the
+            // queue/admission/inference/replay breakdown.
+            assert!(resp.contains("\"request\":"), "{resp}");
+            assert!(
+                !resp.contains("\"request\":0,"),
+                "minted id is never 0: {resp}"
+            );
+            for field in [
+                "\"queue_us\":",
+                "\"admission_us\":",
+                "\"infer_us\":",
+                "\"replay_us\":",
+            ] {
+                assert!(resp.contains(field), "missing {field} in {resp}");
+            }
 
             let bye = http_get(addr, "/shutdown");
             assert!(bye.starts_with("HTTP/1.1 200"), "{bye}");

@@ -83,6 +83,15 @@ pub fn schedule_by_overlap(predictions: &[Vec<PageId>]) -> Vec<usize> {
 /// at Jaccard 1.0, so the pick degrades to FIFO — the same determinism
 /// contract as the batch scheduler.
 pub fn pick_next_by_overlap(prev: &[PageId], candidates: &[Vec<PageId>]) -> usize {
+    pick_next_by_overlap_scored(prev, candidates).0
+}
+
+/// [`pick_next_by_overlap`] plus the winning candidate's Jaccard score —
+/// the serving loop attaches the score to its `server.admit` trace instant
+/// so a postmortem dump shows *how good* each overlap pick was, not just
+/// which query won. Same tie-break, so `pick_next_by_overlap(p, c) ==
+/// pick_next_by_overlap_scored(p, c).0` always.
+pub fn pick_next_by_overlap_scored(prev: &[PageId], candidates: &[Vec<PageId>]) -> (usize, f64) {
     assert!(!candidates.is_empty(), "no candidates to pick from");
     let prev_set: BTreeSet<PageId> = prev.iter().copied().collect();
     candidates
@@ -90,7 +99,6 @@ pub fn pick_next_by_overlap(prev: &[PageId], candidates: &[Vec<PageId>]) -> usiz
         .enumerate()
         .map(|(i, c)| (i, jaccard(&prev_set, &c.iter().copied().collect())))
         .max_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN").then(b.0.cmp(&a.0)))
-        .map(|(i, _)| i)
         .expect("non-empty candidates")
 }
 
@@ -215,6 +223,23 @@ mod tests {
         // Empty prev vs non-empty candidates: all Jaccard 0 → still FIFO.
         let cands = vec![pages(&[5]), pages(&[6])];
         assert_eq!(pick_next_by_overlap(&[], &cands), 0);
+    }
+
+    #[test]
+    fn scored_pick_agrees_with_unscored_and_reports_jaccard() {
+        let prev = pages(&[1, 2, 3]);
+        let cands = vec![
+            pages(&[50, 51]),
+            pages(&[2, 3, 4]), // 2 shared / 4 union
+            pages(&[3, 9, 10]),
+        ];
+        let (i, score) = pick_next_by_overlap_scored(&prev, &cands);
+        assert_eq!(i, pick_next_by_overlap(&prev, &cands));
+        assert_eq!(i, 1);
+        assert!((score - 0.5).abs() < 1e-12, "score {score}");
+        // All-empty degenerate case: FIFO pick at the defined Jaccard 1.0.
+        let empty = vec![pages(&[]); 3];
+        assert_eq!(pick_next_by_overlap_scored(&[], &empty), (0, 1.0));
     }
 
     #[test]

@@ -54,13 +54,14 @@ use pythia_db::plan::PlanNode;
 use pythia_db::runtime::{QueryRun, ReplaySession, RunConfig, Runtime};
 use pythia_db::trace::Trace;
 use pythia_obs::quality::{QualityOutcome, QualityTotals, QualityTracker};
-use pythia_obs::{tid, Recorder, Track};
+use pythia_obs::request::RequestBreakdown;
+use pythia_obs::{tid, FlowDir, Recorder, Track};
 use pythia_sim::{PageId, SimDuration, SimTime};
 
 use crate::predictor::TrainedWorkload;
 use crate::prefetch::{cap_to_budget, prefetch_list};
 use crate::registry::TenantFleet;
-use crate::scheduler::{pick_next_by_overlap, schedule_by_overlap};
+use crate::scheduler::{pick_next_by_overlap_scored, schedule_by_overlap};
 
 /// How queries are admitted from the queue into the replay stack.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -153,11 +154,19 @@ pub struct ServerRequest<'a> {
     /// [`ServerConfig::tenant_quota`] admission cap and the per-tenant
     /// breakdown of [`ServeReport::by_tenant`].
     pub tenant: u32,
+    /// End-to-end request id for tracing (0 = unassigned). A trace-only
+    /// label: it never influences admission order or virtual time. The TCP
+    /// front-end mints wall-ordered ids ([`pythia_obs::request::mint`]);
+    /// direct [`PrefetchServer::serve`] callers may leave 0 and the serving
+    /// loop assigns the deterministic per-call ordinal `i + 1`, so golden
+    /// traces of replayed workloads stay byte-stable.
+    pub request: u64,
 }
 
 impl<'a> ServerRequest<'a> {
     /// A request arriving at `arrival` with the default replay span name,
-    /// attributed to tenant 0.
+    /// attributed to tenant 0 and no request id (the serving loop assigns
+    /// a deterministic ordinal).
     pub fn new(plan: &'a PlanNode, trace: &'a Trace, arrival: SimDuration) -> Self {
         ServerRequest {
             plan,
@@ -165,12 +174,19 @@ impl<'a> ServerRequest<'a> {
             arrival,
             span_name: pythia_db::runtime::DEFAULT_REPLAY_SPAN,
             tenant: 0,
+            request: 0,
         }
     }
 
     /// The same request attributed to `tenant`.
     pub fn with_tenant(mut self, tenant: u32) -> Self {
         self.tenant = tenant;
+        self
+    }
+
+    /// The same request carrying an externally minted trace id.
+    pub fn with_request(mut self, request: u64) -> Self {
+        self.request = request;
         self
     }
 }
@@ -194,6 +210,9 @@ pub struct QueryOutcome {
     pub inference: SimDuration,
     /// Tenant the query was attributed to ([`ServerRequest::tenant`]).
     pub tenant: u32,
+    /// Request id the query carried through the serving loop
+    /// ([`ServerRequest::request`], after the loop's ordinal assignment).
+    pub request: u64,
 }
 
 impl QueryOutcome {
@@ -206,6 +225,21 @@ impl QueryOutcome {
     /// inference).
     pub fn latency(&self) -> SimDuration {
         self.end.since(self.arrival)
+    }
+
+    /// The queue / admission / inference / replay latency breakdown — the
+    /// same partition the `request.*` trace spans draw, so the report and
+    /// the postmortem dump always agree.
+    pub fn breakdown(&self) -> RequestBreakdown {
+        RequestBreakdown {
+            request: self.request,
+            tenant: self.tenant,
+            arrival_us: self.arrival.as_micros(),
+            queue_us: self.admitted.since(self.arrival).as_micros(),
+            admission_us: self.start.since(self.admitted).as_micros(),
+            infer_us: self.inference.as_micros(),
+            replay_us: self.end.since(self.start).as_micros(),
+        }
     }
 }
 
@@ -284,6 +318,26 @@ impl ServeReport {
         h
     }
 
+    /// Per-request latency breakdowns, in input order (see
+    /// [`QueryOutcome::breakdown`]).
+    pub fn breakdowns(&self) -> Vec<RequestBreakdown> {
+        self.queries.iter().map(|q| q.breakdown()).collect()
+    }
+
+    /// The `k` slowest requests by end-to-end latency, slowest first (ties
+    /// break toward the lower request id) — what the front-end's
+    /// `/debug/slow` route and the report's "slowest requests" section show.
+    pub fn slow_requests(&self, k: usize) -> Vec<RequestBreakdown> {
+        let mut all = self.breakdowns();
+        all.sort_by(|a, b| {
+            b.latency_us()
+                .cmp(&a.latency_us())
+                .then(a.request.cmp(&b.request))
+        });
+        all.truncate(k);
+        all
+    }
+
     /// Mean queries admitted per wave.
     pub fn mean_occupancy(&self) -> f64 {
         if self.waves.is_empty() {
@@ -342,6 +396,22 @@ impl ServeReport {
             aw.p95(),
             aw.p99()
         );
+        for (rank, b) in self.slow_requests(3).iter().enumerate() {
+            if rank == 0 {
+                let _ = writeln!(out, "  slowest requests:");
+            }
+            let _ = writeln!(
+                out,
+                "    request {}: tenant {} latency {}us = queue {}us + admission {}us + replay {}us (infer {}us)",
+                b.request,
+                b.tenant,
+                b.latency_us(),
+                b.queue_us,
+                b.admission_us,
+                b.replay_us,
+                b.infer_us
+            );
+        }
         let s = &self.stats;
         let _ = writeln!(
             out,
@@ -537,6 +607,11 @@ pub struct PrefetchServer<'d> {
     /// branch per interval). Shared so a frontend health route can read it
     /// while serving runs.
     quality: Option<Arc<Mutex<QualityTracker>>>,
+    /// End-to-end latency above which a completion counts as a slow request:
+    /// it bumps `server.slow_requests` and fires the flight recorder's
+    /// `slow.request` postmortem trigger. `None` (the default) disables the
+    /// check entirely.
+    slow_threshold: Option<SimDuration>,
 }
 
 impl<'d> PrefetchServer<'d> {
@@ -550,7 +625,17 @@ impl<'d> PrefetchServer<'d> {
             predictor: PredictorSource::None,
             admission_hook: None,
             quality: None,
+            slow_threshold: None,
         }
+    }
+
+    /// Set (or clear) the slow-request threshold: completions whose
+    /// end-to-end latency reaches it bump the `server.slow_requests`
+    /// counter and trigger a flight-recorder dump (`slow.request`). A
+    /// setter rather than a [`ServerConfig`] field so existing full-literal
+    /// config construction sites stay valid.
+    pub fn set_slow_threshold(&mut self, threshold: Option<SimDuration>) {
+        self.slow_threshold = threshold;
     }
 
     /// Attach a trained Pythia instance: admitted queries get capped prefetch
@@ -659,10 +744,126 @@ impl<'d> PrefetchServer<'d> {
     /// Serve a stream of requests to completion and report per-query,
     /// per-admission and aggregate metrics. The stack stays warm across
     /// calls. Dispatches on [`ServerConfig::admission`].
+    ///
+    /// Requests with `request == 0` get the deterministic per-call ordinal
+    /// `i + 1` as their trace id — replayed workloads thus produce
+    /// byte-stable traces, while a front-end that minted wall-ordered ids
+    /// keeps them.
     pub fn serve(&mut self, requests: &[ServerRequest<'_>]) -> ServeReport {
-        match self.cfg.admission {
-            AdmissionMode::Wave => self.serve_wave(requests),
-            AdmissionMode::Continuous => self.serve_continuous(requests),
+        let reqs: Vec<ServerRequest<'_>> = requests
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let mut r = *r;
+                if r.request == 0 {
+                    r.request = i as u64 + 1;
+                }
+                r
+            })
+            .collect();
+        let report = match self.cfg.admission {
+            AdmissionMode::Wave => self.serve_wave(&reqs),
+            AdmissionMode::Continuous => self.serve_continuous(&reqs),
+        };
+        self.publish_tenant_wait_percentiles(&report);
+        report
+    }
+
+    /// Per-tenant admission-wait p50/p90/p99 as labeled gauges
+    /// (`server.admission_wait_us{quantile,tenant}`), refreshed at the end
+    /// of every serve call — the per-tenant companions of the global
+    /// `server.admission_wait_us` histogram.
+    fn publish_tenant_wait_percentiles(&mut self, report: &ServeReport) {
+        if !self.rt.recorder().is_enabled() || report.queries.is_empty() {
+            return;
+        }
+        let mut hists: BTreeMap<u32, pythia_obs::hist::Histogram> = BTreeMap::new();
+        for q in &report.queries {
+            hists
+                .entry(q.tenant)
+                .or_insert_with(pythia_obs::hist::Histogram::new)
+                .record(q.admission_wait().as_micros());
+        }
+        let rec = self.rt.recorder_mut();
+        for (tenant, h) in &hists {
+            let t = tenant.to_string();
+            for (q, v) in [
+                ("0.5", h.p50()),
+                ("0.9", h.quantile(0.90)),
+                ("0.99", h.p99()),
+            ] {
+                rec.set_labeled(
+                    "server.admission_wait_us",
+                    &[("quantile", q), ("tenant", t.as_str())],
+                    v,
+                );
+            }
+        }
+        self.rt.recorder().publish();
+    }
+
+    /// Emit the per-request span tree for one completed query on its own
+    /// `request-<id>` track — `request.queue` (arrival → admitted),
+    /// `request.admission` (admitted → replay start), `request.infer` (the
+    /// charged inference share) and `request.replay` — plus a Chrome-trace
+    /// flow arrow from the request lane into `link` (the serving-loop track
+    /// that carried the replay), so Perfetto connects the breakdown to the
+    /// shared timeline. Mirrors into the always-on flight ring even when
+    /// trace export is off; never touches virtual time. Also applies the
+    /// slow-request threshold.
+    fn emit_request_spans(&mut self, o: &QueryOutcome, link: Track) {
+        let rid = o.request;
+        if rid == 0 {
+            return;
+        }
+        let rec = self.rt.recorder_mut();
+        let track = pythia_obs::request::request_track(rid);
+        rec.declare_track(track, || format!("request-{rid}"));
+        let (arrival, admitted) = (o.arrival.as_micros(), o.admitted.as_micros());
+        let (start, end) = (o.start.as_micros(), o.end.as_micros());
+        rec.span(
+            track,
+            "request",
+            "request.queue",
+            arrival,
+            admitted,
+            &[("request", rid), ("tenant", o.tenant as u64)],
+        );
+        rec.span(
+            track,
+            "request",
+            "request.admission",
+            admitted,
+            start,
+            &[("request", rid)],
+        );
+        rec.span(
+            track,
+            "request",
+            "request.infer",
+            admitted,
+            admitted + o.inference.as_micros(),
+            &[("request", rid), ("charge_us", o.inference.as_micros())],
+        );
+        rec.span(
+            track,
+            "request",
+            "request.replay",
+            start,
+            end,
+            &[
+                ("request", rid),
+                ("latency_us", end.saturating_sub(arrival)),
+            ],
+        );
+        rec.flow(track, "request", "request.flow", start, rid, FlowDir::Start);
+        rec.flow(link, "request", "request.flow", end, rid, FlowDir::Finish);
+        if let Some(th) = self.slow_threshold {
+            if o.latency() >= th {
+                let rec = self.rt.recorder_mut();
+                rec.add("server.slow_requests", 1);
+                rec.trigger_flight("slow.request", end);
+            }
         }
     }
 
@@ -712,8 +913,14 @@ impl<'d> PrefetchServer<'d> {
             return 0;
         }
         let plans: Vec<&PlanNode> = missing.iter().map(|&i| requests[i].plan).collect();
+        // Attribute the pool's wall-clock task spans to the batch head's
+        // request id for the duration of the forward pass (the batch
+        // amortizes over several requests; the head stands for the batch).
+        let head = missing.first().map(|&i| requests[i].request).unwrap_or(0);
+        pythia_obs::wall::set_request(head);
         let t0 = std::time::Instant::now();
         let batch = tw.infer_batch(self.db, &plans);
+        pythia_obs::wall::set_request(0);
         let charge = match self.cfg.charge {
             InferenceCharge::Fixed(d) => d,
             InferenceCharge::Measured => {
@@ -740,6 +947,7 @@ impl<'d> PrefetchServer<'d> {
             &[
                 ("batch", inferred as u64),
                 ("charge_us", charge.as_micros()),
+                ("request", head),
             ],
         );
         inferred
@@ -868,7 +1076,7 @@ impl<'d> PrefetchServer<'d> {
                         "server",
                         "server.admit",
                         admitted_at.as_micros(),
-                        &[("query", i as u64)],
+                        &[("query", i as u64), ("request", requests[i].request)],
                     );
                     rec.observe(
                         "server.admission_wait_us",
@@ -883,7 +1091,7 @@ impl<'d> PrefetchServer<'d> {
             for (k, &i) in members.iter().enumerate() {
                 let t = res.timings[k];
                 wave_inference += runs[k].inference_latency;
-                outcomes[i] = Some(QueryOutcome {
+                let o = QueryOutcome {
                     arrival: abs[i],
                     admitted: admitted_at,
                     start: t.start,
@@ -891,7 +1099,10 @@ impl<'d> PrefetchServer<'d> {
                     wave: wave_idx,
                     inference: runs[k].inference_latency,
                     tenant: requests[i].tenant,
-                });
+                    request: requests[i].request,
+                };
+                outcomes[i] = Some(o);
+                self.emit_request_spans(&o, server_track);
             }
             let wave_stats = res.stats.diff(&before);
             let wave_end = self.rt.now();
@@ -1119,10 +1330,13 @@ impl<'d> PrefetchServer<'d> {
                             })
                             .collect(),
                     };
-                    let pick = match self.cfg.policy {
-                        QueuePolicy::Fifo => *feasible
-                            .first()
-                            .expect("admission scheduled with a feasible query"),
+                    let (pick, overlap) = match self.cfg.policy {
+                        QueuePolicy::Fifo => (
+                            *feasible
+                                .first()
+                                .expect("admission scheduled with a feasible query"),
+                            None,
+                        ),
                         QueuePolicy::Overlap => {
                             let sets: Vec<Vec<PageId>> = feasible
                                 .iter()
@@ -1133,7 +1347,9 @@ impl<'d> PrefetchServer<'d> {
                                         .unwrap_or_default()
                                 })
                                 .collect();
-                            feasible[pick_next_by_overlap(&last_admitted_pages, &sets)]
+                            let (k, score) =
+                                pick_next_by_overlap_scored(&last_admitted_pages, &sets);
+                            (feasible[k], Some(score))
                         }
                     };
                     let queue_depth = queue.len();
@@ -1162,13 +1378,29 @@ impl<'d> PrefetchServer<'d> {
                     if self.rt.recorder().is_enabled() {
                         let rec = self.rt.recorder_mut();
                         rec.add("server.admitted", 1);
-                        rec.instant(
-                            server_track,
-                            "server",
-                            "server.admit",
-                            t.as_micros(),
-                            &[("query", i as u64)],
-                        );
+                        // The overlap policy's winning Jaccard score rides
+                        // along (e6 fixed-point) so postmortem dumps show how
+                        // good each pick was; FIFO admits omit the arg.
+                        match overlap {
+                            Some(s) => rec.instant(
+                                server_track,
+                                "server",
+                                "server.admit",
+                                t.as_micros(),
+                                &[
+                                    ("query", i as u64),
+                                    ("request", requests[i].request),
+                                    ("overlap_e6", (s * 1e6) as u64),
+                                ],
+                            ),
+                            None => rec.instant(
+                                server_track,
+                                "server",
+                                "server.admit",
+                                t.as_micros(),
+                                &[("query", i as u64), ("request", requests[i].request)],
+                            ),
+                        }
                         rec.observe("server.admission_wait_us", t.since(abs[i]).as_micros());
                     }
                     let occupancy = cap - free.len();
@@ -1208,7 +1440,7 @@ impl<'d> PrefetchServer<'d> {
                         // Empty trace: completed — and freed its slot — the
                         // instant it was admitted.
                         let info = admits[i].as_ref().expect("just admitted");
-                        outcomes[i] = Some(QueryOutcome {
+                        let o = QueryOutcome {
                             arrival: abs[i],
                             admitted: info.at,
                             start: c.timing.start,
@@ -1216,7 +1448,9 @@ impl<'d> PrefetchServer<'d> {
                             wave: info.event,
                             inference: info.inference,
                             tenant: requests[i].tenant,
-                        });
+                            request: requests[i].request,
+                        };
+                        outcomes[i] = Some(o);
                         let rec = self.rt.recorder_mut();
                         rec.add("server.completions", 1);
                         rec.instant(
@@ -1224,8 +1458,9 @@ impl<'d> PrefetchServer<'d> {
                             "server",
                             "server.complete",
                             c.timing.end.as_micros(),
-                            &[("query", i as u64)],
+                            &[("query", i as u64), ("request", o.request)],
                         );
+                        self.emit_request_spans(&o, server_track);
                         free.push(c.timing.end);
                         if quota.is_some() {
                             tenant_tokens
@@ -1239,7 +1474,7 @@ impl<'d> PrefetchServer<'d> {
                     if let Some(c) = sess.step(&mut self.rt) {
                         let i = slot_req[c.slot];
                         let info = admits[i].as_ref().expect("completed query was admitted");
-                        outcomes[i] = Some(QueryOutcome {
+                        let o = QueryOutcome {
                             arrival: abs[i],
                             admitted: info.at,
                             start: c.timing.start,
@@ -1247,7 +1482,9 @@ impl<'d> PrefetchServer<'d> {
                             wave: info.event,
                             inference: info.inference,
                             tenant: requests[i].tenant,
-                        });
+                            request: requests[i].request,
+                        };
+                        outcomes[i] = Some(o);
                         let rec = self.rt.recorder_mut();
                         rec.add("server.completions", 1);
                         rec.instant(
@@ -1255,8 +1492,9 @@ impl<'d> PrefetchServer<'d> {
                             "server",
                             "server.complete",
                             c.timing.end.as_micros(),
-                            &[("query", i as u64)],
+                            &[("query", i as u64), ("request", o.request)],
                         );
+                        self.emit_request_spans(&o, server_track);
                         free.push(c.timing.end);
                         if quota.is_some() {
                             tenant_tokens
@@ -1690,6 +1928,7 @@ mod tests {
                 wave: 0,
                 inference: SimDuration::ZERO,
                 tenant: 0,
+                request: 1,
             }],
             // A queries/waves mismatch must not trip any indexing either.
             waves: Vec::new(),
@@ -1733,7 +1972,8 @@ mod tests {
         waits.push(1000);
         let queries: Vec<QueryOutcome> = waits
             .iter()
-            .map(|&w| {
+            .enumerate()
+            .map(|(i, &w)| {
                 let admitted = SimTime::ZERO + SimDuration::from_micros(w);
                 QueryOutcome {
                     arrival: SimTime::ZERO,
@@ -1743,6 +1983,7 @@ mod tests {
                     wave: 0,
                     inference: SimDuration::ZERO,
                     tenant: 0,
+                    request: i as u64 + 1,
                 }
             })
             .collect();
@@ -2037,6 +2278,160 @@ mod tests {
             assert_eq!(qa.admitted, qb.admitted);
             assert_eq!(qa.start, qb.start);
             assert_eq!(qa.end, qb.end);
+        }
+    }
+
+    #[test]
+    fn request_spans_carry_ordinal_ids_and_reconcile_with_the_report() {
+        let (db, plan) = dummy_db_and_plan();
+        let traces: Vec<Trace> = (0..4).map(|i| random_trace(15 + i * 10)).collect();
+        let reqs: Vec<ServerRequest<'_>> = traces
+            .iter()
+            .enumerate()
+            .map(|(i, t)| ServerRequest::new(&plan, t, SimDuration::from_micros(i as u64 * 40)))
+            .collect();
+        let mut srv = PrefetchServer::new(&db, &run_cfg(), cont_cfg(2, QueuePolicy::Fifo));
+        srv.set_recorder(Recorder::enabled());
+
+        // An externally minted id survives the loop untouched.
+        let tagged = [ServerRequest::new(&plan, &traces[0], SimDuration::ZERO).with_request(77)];
+        let tagged_rep = srv.serve(&tagged);
+        assert_eq!(tagged_rep.queries[0].request, 77);
+
+        let rep = srv.serve(&reqs);
+        // Zero ids get the deterministic per-call ordinal i + 1.
+        for (i, q) in rep.queries.iter().enumerate() {
+            assert_eq!(q.request, i as u64 + 1);
+        }
+
+        // One span tree per completed request (5 = 1 tagged + 4 ordinal),
+        // flow-linked start + finish.
+        let rec = srv.recorder();
+        for name in [
+            "request.queue",
+            "request.admission",
+            "request.infer",
+            "request.replay",
+        ] {
+            assert_eq!(rec.event_count(name), 5, "{name}");
+        }
+        assert_eq!(rec.event_count("request.flow"), 10);
+
+        // Breakdowns reconcile with the report's own latency accounting.
+        for q in &rep.queries {
+            let b = q.breakdown();
+            assert_eq!(b.latency_us(), q.latency().as_micros());
+            assert_eq!(b.queue_us, q.admission_wait().as_micros());
+            assert_eq!(b.infer_us, q.inference.as_micros());
+            assert_eq!(
+                b.queue_us + b.admission_us + b.replay_us,
+                q.latency().as_micros()
+            );
+        }
+        // Top-K slow log is sorted descending and bounded.
+        let slow = rep.slow_requests(2);
+        assert_eq!(slow.len(), 2);
+        assert!(slow[0].latency_us() >= slow[1].latency_us());
+
+        // Per-tenant admission-wait percentile gauges match the report's
+        // histogram estimator exactly.
+        let mut h = pythia_obs::hist::Histogram::new();
+        for q in &rep.queries {
+            h.record(q.admission_wait().as_micros());
+        }
+        assert_eq!(
+            rec.labeled(
+                "server.admission_wait_us",
+                &[("quantile", "0.5"), ("tenant", "0")]
+            ),
+            h.p50()
+        );
+        assert_eq!(
+            rec.labeled(
+                "server.admission_wait_us",
+                &[("quantile", "0.99"), ("tenant", "0")]
+            ),
+            h.p99()
+        );
+    }
+
+    #[test]
+    fn slow_threshold_counts_and_publishes_postmortem_dumps() {
+        let (db, plan) = dummy_db_and_plan();
+        let t = random_trace(30);
+        let reqs = [
+            ServerRequest::new(&plan, &t, SimDuration::ZERO),
+            ServerRequest::new(&plan, &t, SimDuration::from_micros(5)),
+        ];
+        let mut srv = PrefetchServer::new(&db, &run_cfg(), cont_cfg(1, QueuePolicy::Fifo));
+        srv.set_recorder(Recorder::enabled());
+        let shared = pythia_obs::flight::SharedFlight::new();
+        srv.recorder_mut().set_flight_publisher(shared.clone());
+        srv.set_slow_threshold(Some(SimDuration::ZERO)); // everything is slow
+        srv.serve(&reqs);
+        assert_eq!(srv.recorder().counter("server.slow_requests"), 2);
+        let dump = shared.get().expect("slow completions publish a dump");
+        assert_eq!(dump.reason, "slow.request");
+        assert!(
+            dump.trace_json.contains("request.replay"),
+            "dump carries the request span tree"
+        );
+        assert!(
+            dump.trace_json.contains("\"ph\":\"s\""),
+            "dump carries flow links"
+        );
+    }
+
+    #[test]
+    fn flight_recorder_captures_requests_even_with_trace_export_off() {
+        // The always-on property: a server whose recorder was never enabled
+        // still retains the request span tree in the flight ring and dumps
+        // it on a slow-request trigger.
+        let (db, plan) = dummy_db_and_plan();
+        let t = random_trace(25);
+        let reqs = [ServerRequest::new(&plan, &t, SimDuration::ZERO)];
+        let mut srv = PrefetchServer::new(&db, &run_cfg(), cont_cfg(1, QueuePolicy::Fifo));
+        assert!(!srv.recorder().is_enabled());
+        let shared = pythia_obs::flight::SharedFlight::new();
+        srv.recorder_mut().set_flight_publisher(shared.clone());
+        srv.set_slow_threshold(Some(SimDuration::ZERO));
+        srv.serve(&reqs);
+        let dump = shared.get().expect("always-on ring captured the request");
+        assert_eq!(dump.reason, "slow.request");
+        assert!(
+            dump.trace_json.contains("request.replay"),
+            "{}",
+            dump.trace_json
+        );
+        assert!(
+            dump.trace_json.contains("request-1"),
+            "request track name dumped"
+        );
+    }
+
+    #[test]
+    fn request_tracing_is_invisible_to_virtual_time() {
+        // Enabling tracing, the slow threshold and the flight ring must not
+        // perturb admissions, timings or counters.
+        let (db, plan) = dummy_db_and_plan();
+        let traces: Vec<Trace> = (0..5).map(|i| random_trace(10 + i * 8)).collect();
+        let reqs: Vec<ServerRequest<'_>> = traces
+            .iter()
+            .enumerate()
+            .map(|(i, t)| ServerRequest::new(&plan, t, SimDuration::from_micros(i as u64 * 25)))
+            .collect();
+        let mut plain = PrefetchServer::new(&db, &run_cfg(), cont_cfg(2, QueuePolicy::Fifo));
+        let mut traced = PrefetchServer::new(&db, &run_cfg(), cont_cfg(2, QueuePolicy::Fifo));
+        traced.set_recorder(Recorder::enabled());
+        traced.set_slow_threshold(Some(SimDuration::ZERO));
+        let a = plain.serve(&reqs);
+        let b = traced.serve(&reqs);
+        assert_eq!(a.stats, b.stats);
+        for (qa, qb) in a.queries.iter().zip(&b.queries) {
+            assert_eq!(qa.admitted, qb.admitted);
+            assert_eq!(qa.start, qb.start);
+            assert_eq!(qa.end, qb.end);
+            assert_eq!(qa.request, qb.request);
         }
     }
 

@@ -74,6 +74,7 @@ fn run_scenario(env: &Env, stream: &[QueryInstance]) -> ScenarioRun {
             arrival: SimDuration::from_micros(i as u64 * 1_000),
             span_name: q.template.replay_span(),
             tenant: 0,
+            request: 0,
         })
         .collect();
     let cfg = ServerConfig {
@@ -85,8 +86,8 @@ fn run_scenario(env: &Env, stream: &[QueryInstance]) -> ScenarioRun {
         tenant_quota: None,
     };
     let tracker = Arc::new(Mutex::new(QualityTracker::new(mini_quality_config())));
-    let mut server = PrefetchServer::new(&env.bench.db, &env.run_cfg, cfg)
-        .with_quality(Arc::clone(&tracker));
+    let mut server =
+        PrefetchServer::new(&env.bench.db, &env.run_cfg, cfg).with_quality(Arc::clone(&tracker));
     server.set_recorder(Recorder::enabled());
     let rep = server.serve(&requests);
     assert_eq!(rep.queries.len(), stream.len());

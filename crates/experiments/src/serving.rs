@@ -150,6 +150,7 @@ fn serve_poisson_inner(
             // Template-derived span name: repeated shapes group in Perfetto.
             span_name: template.replay_span(),
             tenant: 0,
+            request: 0,
         })
         .collect();
     let cfg = ServerConfig {

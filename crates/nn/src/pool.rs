@@ -95,6 +95,9 @@ where
             label,
             worker,
             item: i as u64,
+            // Ambient request attribution: the serving loop brackets each
+            // batched inference dispatch with `wall::set_request`.
+            req: pythia_obs::wall::current_request(),
             start_us,
             dur_us: pythia_obs::wall::now_us().saturating_sub(start_us),
         });
@@ -171,6 +174,9 @@ where
             label,
             worker,
             item: i as u64,
+            // Ambient request attribution: the serving loop brackets each
+            // batched inference dispatch with `wall::set_request`.
+            req: pythia_obs::wall::current_request(),
             start_us,
             dur_us: pythia_obs::wall::now_us().saturating_sub(start_us),
         });

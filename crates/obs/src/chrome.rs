@@ -11,9 +11,11 @@
 //!
 //! * `M` — metadata (`process_name`, `thread_name`) for every declared track;
 //! * `X` — complete spans (`ts` + `dur`);
-//! * `i` — instant events (thread scope).
+//! * `i` — instant events (thread scope);
+//! * `s` / `f` — flow arrows linking tracks (`id` pairs the endpoints; the
+//!   finish end carries `"bp":"e"` so it binds to the enclosing slice).
 
-use crate::{Event, Track, VIRTUAL_PID, WALL_PID};
+use crate::{Event, FlowDir, Track, VIRTUAL_PID, WALL_PID};
 
 /// Escape a string for a JSON string literal.
 fn escape_into(out: &mut String, s: &str) {
@@ -104,14 +106,26 @@ pub fn trace_json(events: &[Event], tracks: &[(Track, String)], pid_filter: Opti
         }
         let mut s = String::new();
         s.push_str("{\"ph\":\"");
-        s.push_str(if e.dur_us.is_some() { "X" } else { "i" });
-        s.push_str("\",\"pid\":");
+        s.push_str(match (e.flow, e.dur_us) {
+            (Some((_, FlowDir::Start)), _) => "s",
+            (Some((_, FlowDir::Finish)), _) => "f",
+            (None, Some(_)) => "X",
+            (None, None) => "i",
+        });
+        s.push('"');
+        if let Some((_, FlowDir::Finish)) = e.flow {
+            s.push_str(",\"bp\":\"e\"");
+        }
+        s.push_str(",\"pid\":");
         s.push_str(&e.track.pid.to_string());
         s.push_str(",\"tid\":");
         s.push_str(&e.track.tid.to_string());
         s.push_str(",\"ts\":");
         s.push_str(&e.ts_us.to_string());
-        if let Some(dur) = e.dur_us {
+        if let Some((id, _)) = e.flow {
+            s.push_str(",\"id\":");
+            s.push_str(&id.to_string());
+        } else if let Some(dur) = e.dur_us {
             s.push_str(",\"dur\":");
             s.push_str(&dur.to_string());
         } else {
@@ -152,6 +166,7 @@ mod tests {
             name,
             ts_us: ts,
             dur_us: dur,
+            flow: None,
             args: vec![("k", 7)],
         }
     }
@@ -181,6 +196,32 @@ mod tests {
             assert!(l.ends_with(','), "line must be comma-terminated: {l}");
         }
         assert!(!lines[lines.len() - 2].ends_with(','));
+    }
+
+    #[test]
+    fn flow_event_shapes() {
+        let mut start = ev(3, "request.flow", 10, None);
+        start.flow = Some((42, FlowDir::Start));
+        start.args = vec![];
+        let mut finish = ev(5, "request.flow", 12, None);
+        finish.flow = Some((42, FlowDir::Finish));
+        finish.args = vec![];
+        let json = trace_json(&[start, finish], &[], None);
+        assert!(
+            json.contains(
+                "{\"ph\":\"s\",\"pid\":1,\"tid\":3,\"ts\":10,\"id\":42,\"cat\":\"test\",\"name\":\"request.flow\",\"args\":{}}"
+            ),
+            "{json}"
+        );
+        assert!(
+            json.contains(
+                "{\"ph\":\"f\",\"bp\":\"e\",\"pid\":1,\"tid\":5,\"ts\":12,\"id\":42,\"cat\":\"test\",\"name\":\"request.flow\",\"args\":{}}"
+            ),
+            "{json}"
+        );
+        // Flow events carry no "s":"t" scope and no "dur".
+        assert!(!json.contains("\"s\":\"t\""), "{json}");
+        assert!(!json.contains("\"dur\""), "{json}");
     }
 
     #[test]

@@ -5,8 +5,9 @@
 //! mixes two processes: the deterministic virtual clock ([`crate::VIRTUAL_PID`])
 //! and wall-clock worker spans ([`crate::WALL_PID`]). [`summarize`] parses a
 //! trace with a built-in minimal JSON reader (objects, arrays, strings,
-//! unsigned integers, booleans, null — exactly what our emitter produces),
-//! keeps only the virtual process, and reduces it to:
+//! unsigned integers, booleans, null — exactly what our emitter produces;
+//! phases `M`, `X`, `i`, and the `s`/`f` flow endpoints), keeps only the
+//! virtual process, and reduces it to:
 //!
 //! * per-event-name totals (count + total span duration),
 //! * the declared virtual track names,
@@ -138,7 +139,7 @@ pub fn summarize(text: &str) -> Result<TraceSummary, String> {
                     }
                 }
             }
-            "X" | "i" => {
+            "X" | "i" | "s" | "f" => {
                 let name = str_field("name").map_err(|e| format!("{e}{track_ctx}"))?;
                 let ts = num_field("ts").map_err(|e| format!("{e}{track_ctx}"))?;
                 let dur = if ph == "X" {
@@ -147,13 +148,19 @@ pub fn summarize(text: &str) -> Result<TraceSummary, String> {
                     0
                 };
                 let cat = str_field("cat").map_err(|e| format!("{e}{track_ctx}"))?;
+                // Flow endpoints must carry their pairing id; it leads the
+                // canonical args column so re-pairings are byte-visible.
+                let mut args = render_args(get("args"));
+                if ph == "s" || ph == "f" {
+                    let id = num_field("id").map_err(|e| format!("{e}{track_ctx}"))?;
+                    args = format!("id={id},{args}");
+                }
                 let stats = out.per_name.entry(name.to_owned()).or_default();
                 stats.count += 1;
                 stats.total_dur_us += dur;
                 out.virtual_events += 1;
                 out.canonical.push_str(&format!(
-                    "{ph}\t{tid}\t{ts}\t{dur}\t{cat}\t{name}\t{}\n",
-                    render_args(get("args"))
+                    "{ph}\t{tid}\t{ts}\t{dur}\t{cat}\t{name}\t{args}\n"
                 ));
             }
             other => {
@@ -480,6 +487,7 @@ mod tests {
             label: "nn.train",
             worker: 0,
             item: 0,
+            req: 0,
             start_us: 1234, // wall time: must never reach the summary
             dur_us: 99,
         }]);
@@ -565,6 +573,69 @@ mod tests {
     }
 
     #[test]
+    fn flow_endpoints_summarize_and_pin_their_id() {
+        use crate::FlowDir;
+        let mut r = Recorder::enabled();
+        r.flow(
+            Track::virt(0),
+            "request",
+            "request.flow",
+            5,
+            42,
+            FlowDir::Start,
+        );
+        r.flow(
+            Track::virt(1000),
+            "request",
+            "request.flow",
+            9,
+            42,
+            FlowDir::Finish,
+        );
+        let s = summarize(&r.chrome_trace_json()).unwrap();
+        assert_eq!(s.virtual_events, 2);
+        assert_eq!(
+            s.per_name.get("request.flow"),
+            Some(&NameStats {
+                count: 2,
+                total_dur_us: 0
+            })
+        );
+        assert!(s
+            .canonical
+            .contains("s\t0\t5\t0\trequest\trequest.flow\tid=42,\n"));
+        assert!(s
+            .canonical
+            .contains("f\t1000\t9\t0\trequest\trequest.flow\tid=42,\n"));
+        // Re-pairing the arrow (same names/counts) is byte-visible.
+        let mut repaired = Recorder::enabled();
+        repaired.flow(
+            Track::virt(0),
+            "request",
+            "request.flow",
+            5,
+            43,
+            FlowDir::Start,
+        );
+        repaired.flow(
+            Track::virt(1000),
+            "request",
+            "request.flow",
+            9,
+            43,
+            FlowDir::Finish,
+        );
+        let s2 = summarize(&repaired.chrome_trace_json()).unwrap();
+        let drift = diff(&s, &s2, &[]);
+        assert_eq!(drift.len(), 1, "{drift:?}");
+        assert!(drift[0].contains("differ in order, timestamps, or args"));
+        // A flow endpoint missing its id is a malformed trace.
+        let bad = "[{\"ph\":\"s\",\"pid\":1,\"tid\":0,\"ts\":1,\"cat\":\"c\",\"name\":\"x\"}]";
+        let err = summarize(bad).unwrap_err();
+        assert!(err.contains("missing numeric field \"id\""), "{err}");
+    }
+
+    #[test]
     fn validate_rejects_empty_and_invalid_traces() {
         assert!(validate("").is_err(), "empty file");
         assert!(validate("not json").is_err(), "invalid JSON");
@@ -579,6 +650,7 @@ mod tests {
                 label: "nn.train",
                 worker: 0,
                 item: 0,
+                req: 0,
                 start_us: 0,
                 dur_us: 1,
             }]);

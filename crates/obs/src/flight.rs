@@ -1,0 +1,393 @@
+//! The always-on flight recorder: a fixed-memory ring of recent events.
+//!
+//! A full [`crate::Recorder`] keeps *everything* and is therefore opt-in;
+//! by the time an anomaly fires in production the evidence is gone unless a
+//! trace export happened to be running. The flight recorder closes that gap:
+//! every span/instant/flow recorded through a `Recorder` — enabled *or*
+//! disabled — is also copied into a [`FlightRing`], a preallocated circular
+//! buffer that retains the last `capacity` events and nothing else. Recording
+//! is O(1), allocation-free after the first event (slots are `Copy`, argument
+//! storage is inline and truncated to [`SLOT_ARGS`] pairs), and costs one
+//! bounds-checked store — cheap enough to leave on for the untraced
+//! continuous-serve path (the `obs_flight_*` BENCH fields measure it).
+//!
+//! On an anomaly trigger (`drift.alert`, a shed burst, a slow request —
+//! see `Recorder::trigger_flight`) the ring is rendered to Chrome-trace
+//! JSON and published into a [`SharedFlight`] cell, where a
+//! [`crate::serve::MetricsServer`] exposes it at `/debug/flight`. The dump
+//! is a postmortem: the last `capacity` events *before* the trigger, across
+//! every track, loadable in Perfetto like any other trace.
+
+use std::sync::{Arc, Mutex};
+
+use crate::{Event, FlowDir, Track};
+
+/// Default ring capacity (events). ~80 bytes per slot, so the default ring
+/// holds the recent past in well under a megabyte.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// Inline argument pairs kept per slot; longer argument lists are truncated
+/// (the full list still reaches the main trace when the recorder is enabled).
+pub const SLOT_ARGS: usize = 2;
+
+/// What a slot represents — the flight-side mirror of the event phases the
+/// Chrome emitter knows (`X`, `i`, `s`, `f`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotKind {
+    /// A complete span; `dur_us` is meaningful.
+    Span,
+    /// An instant event.
+    Instant,
+    /// A flow-start binding point; `flow_id` is meaningful.
+    FlowStart,
+    /// A flow-finish binding point; `flow_id` is meaningful.
+    FlowFinish,
+}
+
+/// One ring slot: a fixed-size, `Copy` rendering of an [`Event`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightSlot {
+    pub track: Track,
+    pub cat: &'static str,
+    pub name: &'static str,
+    pub ts_us: u64,
+    /// Span duration; 0 and unused for non-span kinds.
+    pub dur_us: u64,
+    pub kind: SlotKind,
+    /// Flow-event id; 0 and unused for non-flow kinds.
+    pub flow_id: u64,
+    /// Inline argument storage; only the first `n_args` entries are live.
+    pub args: [(&'static str, u64); SLOT_ARGS],
+    pub n_args: u8,
+}
+
+impl FlightSlot {
+    /// Expand the slot back into a full [`Event`] for trace emission.
+    pub fn to_event(self) -> Event {
+        Event {
+            track: self.track,
+            cat: self.cat,
+            name: self.name,
+            ts_us: self.ts_us,
+            dur_us: match self.kind {
+                SlotKind::Span => Some(self.dur_us),
+                _ => None,
+            },
+            flow: match self.kind {
+                SlotKind::FlowStart => Some((self.flow_id, FlowDir::Start)),
+                SlotKind::FlowFinish => Some((self.flow_id, FlowDir::Finish)),
+                _ => None,
+            },
+            args: self.args[..self.n_args as usize].to_vec(),
+        }
+    }
+}
+
+/// The fixed-memory event ring. Storage is allocated lazily on the first
+/// recorded event (so a never-touched recorder costs nothing) and never
+/// grows past `capacity` slots.
+#[derive(Debug, Clone)]
+pub struct FlightRing {
+    capacity: usize,
+    slots: Vec<FlightSlot>,
+    /// Next write position (== `slots.len()` until the ring first wraps).
+    next: usize,
+    /// Total events ever recorded (monotone; identifies trigger points).
+    seq: u64,
+}
+
+impl Default for FlightRing {
+    fn default() -> FlightRing {
+        FlightRing::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl FlightRing {
+    /// A ring retaining the last `capacity` events (0 disables recording).
+    pub fn with_capacity(capacity: usize) -> FlightRing {
+        FlightRing {
+            capacity,
+            slots: Vec::new(),
+            next: 0,
+            seq: 0,
+        }
+    }
+
+    /// Whether the ring records at all (capacity > 0).
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Configured capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently retained (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when nothing has been recorded (or capacity is 0).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Total events ever recorded, including those already overwritten.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Record one slot. O(1); allocates only on the very first event (the
+    /// slot vector reserves full capacity up front so steady-state recording
+    /// never reallocates).
+    #[inline]
+    pub fn record(&mut self, slot: FlightSlot) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.slots.len() < self.capacity {
+            if self.slots.capacity() == 0 {
+                self.slots.reserve_exact(self.capacity);
+            }
+            self.slots.push(slot);
+        } else {
+            self.slots[self.next] = slot;
+        }
+        self.next += 1;
+        if self.next == self.capacity {
+            self.next = 0;
+        }
+        self.seq += 1;
+    }
+
+    /// Build and record a slot from event parts, truncating `args` to the
+    /// inline limit. The single public entry point `Recorder` goes through.
+    #[inline]
+    pub fn record_parts(
+        &mut self,
+        track: Track,
+        cat: &'static str,
+        name: &'static str,
+        ts_us: u64,
+        dur_us: u64,
+        kind: SlotKind,
+        flow_id: u64,
+        args: &[(&'static str, u64)],
+    ) {
+        if self.capacity == 0 {
+            return;
+        }
+        let n = args.len().min(SLOT_ARGS);
+        let mut inline = [("", 0u64); SLOT_ARGS];
+        inline[..n].copy_from_slice(&args[..n]);
+        self.record(FlightSlot {
+            track,
+            cat,
+            name,
+            ts_us,
+            dur_us,
+            kind,
+            flow_id,
+            args: inline,
+            n_args: n as u8,
+        });
+    }
+
+    /// The retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        if self.slots.len() < self.capacity {
+            self.slots.iter().map(|s| s.to_event()).collect()
+        } else {
+            self.slots[self.next..]
+                .iter()
+                .chain(&self.slots[..self.next])
+                .map(|s| s.to_event())
+                .collect()
+        }
+    }
+
+    /// Change the retention cap. Drops everything currently retained (the
+    /// ring layout depends on the capacity); 0 turns recording off.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        self.clear();
+    }
+
+    /// Drop all retained events (the monotone `seq` is preserved).
+    pub fn clear(&mut self) {
+        self.slots = Vec::new();
+        self.next = 0;
+    }
+}
+
+/// One published postmortem: the rendered ring plus why it was dumped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightDump {
+    /// Trigger reason (`drift.alert`, `slow.request`, `shed.burst`, ...).
+    pub reason: String,
+    /// The ring rendered as Chrome trace-event JSON.
+    pub trace_json: String,
+    /// Ring sequence number at the trigger instant.
+    pub trigger_seq: u64,
+}
+
+/// The cell a recorder publishes flight dumps into and `/debug/flight`
+/// serves from. Cheap to clone (an `Arc`); cloning shares the cell. Holds
+/// the *latest* dump only — a postmortem endpoint, not an archive.
+#[derive(Debug, Clone, Default)]
+pub struct SharedFlight {
+    cell: Arc<Mutex<Option<FlightDump>>>,
+}
+
+impl SharedFlight {
+    /// A fresh cell with no dump captured yet.
+    pub fn new() -> SharedFlight {
+        SharedFlight::default()
+    }
+
+    /// Replace the published dump.
+    pub fn publish(&self, dump: FlightDump) {
+        *self.cell.lock().expect("flight cell poisoned") = Some(dump);
+    }
+
+    /// The most recent dump, if any anomaly has fired.
+    pub fn get(&self) -> Option<FlightDump> {
+        self.cell.lock().expect("flight cell poisoned").clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slot(i: u64) -> FlightSlot {
+        FlightSlot {
+            track: Track::virt(0),
+            cat: "t",
+            name: "e",
+            ts_us: i,
+            dur_us: 1,
+            kind: SlotKind::Span,
+            flow_id: 0,
+            args: [("i", i), ("", 0)],
+            n_args: 1,
+        }
+    }
+
+    #[test]
+    fn ring_retains_exactly_the_last_capacity_events_in_order() {
+        let mut ring = FlightRing::with_capacity(4);
+        for i in 0..10 {
+            ring.record(slot(i));
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.seq(), 10);
+        let ts: Vec<u64> = ring.snapshot().iter().map(|e| e.ts_us).collect();
+        assert_eq!(ts, vec![6, 7, 8, 9], "oldest → newest tail");
+        // Before wrapping, the partial fill comes back in insertion order.
+        let mut young = FlightRing::with_capacity(4);
+        young.record(slot(0));
+        young.record(slot(1));
+        let ts: Vec<u64> = young.snapshot().iter().map(|e| e.ts_us).collect();
+        assert_eq!(ts, vec![0, 1]);
+    }
+
+    #[test]
+    fn zero_capacity_ring_drops_everything() {
+        let mut ring = FlightRing::with_capacity(0);
+        assert!(!ring.is_active());
+        ring.record(slot(1));
+        ring.record_parts(Track::virt(0), "c", "n", 0, 0, SlotKind::Instant, 0, &[]);
+        assert!(ring.is_empty());
+        assert_eq!(ring.seq(), 0);
+        assert_eq!(ring.snapshot(), Vec::new());
+    }
+
+    #[test]
+    fn set_capacity_resets_retention() {
+        let mut ring = FlightRing::default();
+        assert_eq!(ring.capacity(), DEFAULT_CAPACITY);
+        ring.record(slot(1));
+        ring.set_capacity(2);
+        assert!(ring.is_empty());
+        for i in 0..5 {
+            ring.record(slot(i));
+        }
+        assert_eq!(ring.len(), 2);
+        let ts: Vec<u64> = ring.snapshot().iter().map(|e| e.ts_us).collect();
+        assert_eq!(ts, vec![3, 4]);
+    }
+
+    #[test]
+    fn record_parts_truncates_args_and_maps_kinds() {
+        let mut ring = FlightRing::with_capacity(8);
+        ring.record_parts(
+            Track::virt(1),
+            "c",
+            "span",
+            10,
+            5,
+            SlotKind::Span,
+            0,
+            &[("a", 1), ("b", 2), ("c", 3)], // third pair truncated away
+        );
+        ring.record_parts(
+            Track::virt(1),
+            "c",
+            "inst",
+            11,
+            0,
+            SlotKind::Instant,
+            0,
+            &[],
+        );
+        ring.record_parts(
+            Track::virt(1),
+            "c",
+            "fs",
+            12,
+            0,
+            SlotKind::FlowStart,
+            7,
+            &[],
+        );
+        ring.record_parts(
+            Track::virt(2),
+            "c",
+            "ff",
+            13,
+            0,
+            SlotKind::FlowFinish,
+            7,
+            &[],
+        );
+        let evs = ring.snapshot();
+        assert_eq!(evs[0].dur_us, Some(5));
+        assert_eq!(evs[0].args, vec![("a", 1), ("b", 2)]);
+        assert_eq!(evs[1].dur_us, None);
+        assert_eq!(evs[1].flow, None);
+        assert_eq!(evs[2].flow, Some((7, FlowDir::Start)));
+        assert_eq!(evs[3].flow, Some((7, FlowDir::Finish)));
+    }
+
+    #[test]
+    fn shared_flight_holds_the_latest_dump() {
+        let cell = SharedFlight::new();
+        assert_eq!(cell.get(), None);
+        cell.publish(FlightDump {
+            reason: "drift.alert".to_owned(),
+            trace_json: "[\n]\n".to_owned(),
+            trigger_seq: 3,
+        });
+        cell.publish(FlightDump {
+            reason: "slow.request".to_owned(),
+            trace_json: "[\n]\n".to_owned(),
+            trigger_seq: 9,
+        });
+        let dump = cell.get().expect("dump published");
+        assert_eq!(dump.reason, "slow.request");
+        assert_eq!(dump.trigger_seq, 9);
+    }
+}

@@ -43,11 +43,22 @@
 //! held-out F1), both drained via `absorb_*` methods. [`diff`] reduces an
 //! exported trace back into a structural summary so CI can gate on
 //! virtual-trace drift.
+//!
+//! Independently of the enabled/disabled state, every recorder mirrors the
+//! last N events into an always-on fixed-memory [`flight::FlightRing`] —
+//! the black-box flight recorder. Anomaly triggers
+//! ([`Recorder::trigger_flight`]: drift alerts, shed bursts, slow requests)
+//! dump the ring as a loadable Chrome trace to a [`flight::SharedFlight`]
+//! cell, served at `/debug/flight`. [`request`] carries the request
+//! identity (`RequestId`, per-request latency breakdowns, the `/debug/slow`
+//! top-K log) that the serving loop's `request.*` span trees are built on.
 
 pub mod chrome;
 pub mod diff;
+pub mod flight;
 pub mod hist;
 pub mod quality;
+pub mod request;
 pub mod serve;
 pub mod snapshot;
 pub mod train;
@@ -75,12 +86,17 @@ pub mod tid {
     /// Streaming quality telemetry: `quality.observe` / `drift.alert`
     /// instants emitted by [`crate::quality::QualityTracker`].
     pub const QUALITY: u32 = 2;
+    /// Flight-recorder trigger instants (`flight.trigger`).
+    pub const FLIGHT: u32 = 3;
     /// `IO_BASE + lane` — one track per async I/O worker lane.
     pub const IO_BASE: u32 = 10;
     /// `QUERY_BASE + n` — one track per replayed query (monotone counter).
     pub const QUERY_BASE: u32 = 1_000;
     /// `PREFETCH_BASE + stream` — one track per AIO prefetcher stream.
     pub const PREFETCH_BASE: u32 = 1_000_000;
+    /// `REQUEST_BASE + request id` — one track per served request's
+    /// `request.*` span tree ([`crate::request::request_track`]).
+    pub const REQUEST_BASE: u32 = 2_000_000;
 }
 
 /// One timeline in the trace: a Chrome trace-event `(pid, tid)` pair.
@@ -105,6 +121,15 @@ impl Track {
     }
 }
 
+/// Which end of a flow arrow a flow event marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowDir {
+    /// The arrow's origin (Chrome phase `s`).
+    Start,
+    /// The arrow's destination (Chrome phase `f`, binding point `e`).
+    Finish,
+}
+
 /// One recorded trace event. Spans carry a duration; instants do not.
 /// Arguments are `(key, value)` pairs; keys are static so recording never
 /// allocates strings on the hot path.
@@ -118,6 +143,9 @@ pub struct Event {
     pub ts_us: u64,
     /// Span duration in microseconds; `None` marks an instant event.
     pub dur_us: Option<u64>,
+    /// `Some((id, dir))` marks a flow event — an arrow endpoint linking
+    /// tracks. Flow events have no duration; `dur_us` is ignored for them.
+    pub flow: Option<(u64, FlowDir)>,
     pub args: Vec<(&'static str, u64)>,
 }
 
@@ -136,12 +164,23 @@ struct Inner {
 }
 
 /// The recording sink threaded through the stack. Disabled by default:
-/// every method on a disabled recorder is a single branch.
+/// every method on a disabled recorder is a single branch — plus one store
+/// into the always-on flight ring (disable that too with
+/// [`Recorder::set_flight_capacity`]`(0)` if even that is too much).
 #[derive(Debug, Default)]
 pub struct Recorder {
     inner: Option<Box<Inner>>,
     /// Live publication target for [`Recorder::publish`], if attached.
     publisher: Option<serve::SharedSnapshot>,
+    /// The always-on black box: retains the last N events regardless of the
+    /// enabled/disabled state above.
+    flight: flight::FlightRing,
+    /// Live publication target for flight dumps, if attached.
+    flight_publisher: Option<flight::SharedFlight>,
+    /// Track names for flight dumps, FIFO-bounded at the ring capacity so
+    /// long-running disabled recorders don't accumulate per-query names.
+    flight_tracks: std::collections::VecDeque<(Track, String)>,
+    flight_declared: BTreeSet<Track>,
 }
 
 impl Recorder {
@@ -154,7 +193,7 @@ impl Recorder {
     pub fn enabled() -> Recorder {
         Recorder {
             inner: Some(Box::default()),
-            publisher: None,
+            ..Recorder::default()
         }
     }
 
@@ -168,13 +207,34 @@ impl Recorder {
     /// Give `track` a human-readable name in the trace (Perfetto shows it as
     /// the thread name). The name is built lazily so callers can pass a
     /// `format!` closure without paying for it on repeat declarations — the
-    /// first declaration wins, later ones are no-ops.
+    /// first declaration wins, later ones are no-ops. (With the flight ring
+    /// active — the default — a disabled recorder still builds the name once
+    /// per track so postmortem dumps come out labeled.)
     pub fn declare_track(&mut self, track: Track, name: impl FnOnce() -> String) {
-        let Some(inner) = self.inner.as_mut() else {
+        let need_inner = self
+            .inner
+            .as_ref()
+            .is_some_and(|i| !i.declared.contains(&track));
+        let need_flight = self.flight.is_active() && !self.flight_declared.contains(&track);
+        if !need_inner && !need_flight {
             return;
-        };
-        if inner.declared.insert(track) {
-            inner.tracks.push((track, name()));
+        }
+        let name = name();
+        if need_flight {
+            self.flight_declared.insert(track);
+            self.flight_tracks.push_back((track, name.clone()));
+            // One new track costs at most one ring event, so a name table
+            // bounded at the ring capacity always covers the retained tail.
+            while self.flight_tracks.len() > self.flight.capacity() {
+                if let Some((old, _)) = self.flight_tracks.pop_front() {
+                    self.flight_declared.remove(&old);
+                }
+            }
+        }
+        if need_inner {
+            let inner = self.inner.as_mut().expect("checked above");
+            inner.declared.insert(track);
+            inner.tracks.push((track, name));
         }
     }
 
@@ -189,6 +249,17 @@ impl Recorder {
         end_us: u64,
         args: &[(&'static str, u64)],
     ) {
+        let dur = end_us.saturating_sub(start_us);
+        self.flight.record_parts(
+            track,
+            cat,
+            name,
+            start_us,
+            dur,
+            flight::SlotKind::Span,
+            0,
+            args,
+        );
         let Some(inner) = self.inner.as_mut() else {
             return;
         };
@@ -197,7 +268,8 @@ impl Recorder {
             cat,
             name,
             ts_us: start_us,
-            dur_us: Some(end_us.saturating_sub(start_us)),
+            dur_us: Some(dur),
+            flow: None,
             args: args.to_vec(),
         });
     }
@@ -212,6 +284,16 @@ impl Recorder {
         ts_us: u64,
         args: &[(&'static str, u64)],
     ) {
+        self.flight.record_parts(
+            track,
+            cat,
+            name,
+            ts_us,
+            0,
+            flight::SlotKind::Instant,
+            0,
+            args,
+        );
         let Some(inner) = self.inner.as_mut() else {
             return;
         };
@@ -221,7 +303,42 @@ impl Recorder {
             name,
             ts_us,
             dur_us: None,
+            flow: None,
             args: args.to_vec(),
+        });
+    }
+
+    /// Record one endpoint of a flow arrow (`id` pairs the two endpoints;
+    /// the arrow is drawn from the `Start` event's track to the `Finish`
+    /// event's track). Used to link a request's span tree to the replay
+    /// track that actually served it.
+    #[inline]
+    pub fn flow(
+        &mut self,
+        track: Track,
+        cat: &'static str,
+        name: &'static str,
+        ts_us: u64,
+        id: u64,
+        dir: FlowDir,
+    ) {
+        let kind = match dir {
+            FlowDir::Start => flight::SlotKind::FlowStart,
+            FlowDir::Finish => flight::SlotKind::FlowFinish,
+        };
+        self.flight
+            .record_parts(track, cat, name, ts_us, 0, kind, id, &[]);
+        let Some(inner) = self.inner.as_mut() else {
+            return;
+        };
+        inner.events.push(Event {
+            track,
+            cat,
+            name,
+            ts_us,
+            dur_us: None,
+            flow: Some((id, dir)),
+            args: Vec::new(),
         });
     }
 
@@ -323,14 +440,21 @@ impl Recorder {
         for t in tasks {
             let track = Track::wall(t.worker);
             self.declare_track(track, || format!("nn-worker-{}", t.worker));
-            self.span(
-                track,
-                "nn",
-                t.label,
-                t.start_us,
-                t.start_us + t.dur_us,
-                &[("item", t.item)],
-            );
+            let (start, end) = (t.start_us, t.start_us + t.dur_us);
+            if t.req != 0 {
+                // Request-labeled capture: the span names the serving
+                // request whose admission drove this pool task.
+                self.span(
+                    track,
+                    "nn",
+                    t.label,
+                    start,
+                    end,
+                    &[("item", t.item), ("request", t.req)],
+                );
+            } else {
+                self.span(track, "nn", t.label, start, end, &[("item", t.item)]);
+            }
         }
     }
 
@@ -425,6 +549,65 @@ impl Recorder {
         }
     }
 
+    /// Attach a live publication target for flight dumps:
+    /// [`Recorder::trigger_flight`] will render and publish the ring into
+    /// `shared`, which `/debug/flight` serves.
+    pub fn set_flight_publisher(&mut self, shared: flight::SharedFlight) {
+        self.flight_publisher = Some(shared);
+    }
+
+    /// Change the flight ring's retention cap (0 disables it entirely).
+    /// Drops whatever the ring currently retains.
+    pub fn set_flight_capacity(&mut self, capacity: usize) {
+        self.flight.set_capacity(capacity);
+        self.flight_tracks.clear();
+        self.flight_declared.clear();
+    }
+
+    /// The always-on flight ring (for retention checks and tests).
+    pub fn flight(&self) -> &flight::FlightRing {
+        &self.flight
+    }
+
+    /// Fire an anomaly trigger: stamp a `flight.trigger` instant (category
+    /// = `reason`) on the flight track, bump the `flight.triggers` counter,
+    /// and — if a [`flight::SharedFlight`] is attached — render the ring to
+    /// Chrome-trace JSON and publish it as a postmortem dump. Without a
+    /// publisher the trigger is cheap (no rendering), so hot-path callers
+    /// (the per-completion slow-request check) can fire unconditionally.
+    pub fn trigger_flight(&mut self, reason: &'static str, ts_us: u64) {
+        if !self.flight.is_active() {
+            return;
+        }
+        let seq = self.flight.seq();
+        self.declare_track(Track::virt(tid::FLIGHT), || "flight-recorder".to_owned());
+        self.instant(
+            Track::virt(tid::FLIGHT),
+            reason,
+            "flight.trigger",
+            ts_us,
+            &[("seq", seq)],
+        );
+        self.add("flight.triggers", 1);
+        if let Some(p) = &self.flight_publisher {
+            let dump = flight::FlightDump {
+                reason: reason.to_owned(),
+                trace_json: self.flight_dump_json(),
+                trigger_seq: seq,
+            };
+            p.publish(dump);
+        }
+    }
+
+    /// Render the flight ring (plus its bounded track-name table) as
+    /// Chrome trace-event JSON — the `/debug/flight` body and the
+    /// `--flight-out` file format.
+    pub fn flight_dump_json(&self) -> String {
+        let events = self.flight.snapshot();
+        let tracks: Vec<(Track, String)> = self.flight_tracks.iter().cloned().collect();
+        chrome::trace_json(&events, &tracks, None)
+    }
+
     /// The full trace (virtual + wall events) as Chrome trace-event JSON.
     pub fn chrome_trace_json(&self) -> String {
         self.trace_json(None)
@@ -468,11 +651,15 @@ impl Recorder {
         }
     }
 
-    /// Drop all recorded data, keeping the enabled/disabled state.
+    /// Drop all recorded data (including the flight ring's retained tail),
+    /// keeping the enabled/disabled state and the ring capacity.
     pub fn clear(&mut self) {
         if let Some(inner) = self.inner.as_mut() {
             **inner = Inner::default();
         }
+        self.flight.clear();
+        self.flight_tracks.clear();
+        self.flight_declared.clear();
     }
 }
 
@@ -484,7 +671,7 @@ mod tests {
     fn disabled_recorder_records_nothing() {
         let mut r = Recorder::disabled();
         assert!(!r.is_enabled());
-        r.declare_track(Track::virt(1), || unreachable!("lazy name not built"));
+        r.declare_track(Track::virt(1), || "q".to_owned());
         r.span(Track::virt(1), "c", "s", 0, 10, &[]);
         r.instant(Track::virt(1), "c", "i", 5, &[("k", 1)]);
         r.add("n", 3);
@@ -492,6 +679,17 @@ mod tests {
         assert!(r.events().is_empty());
         assert_eq!(r.counter("n"), 0);
         assert_eq!(r.chrome_trace_json(), "[\n]\n");
+        // ...but the always-on flight ring still retained the tail.
+        assert_eq!(r.flight().len(), 2);
+        assert!(r.flight_dump_json().contains("\"name\":\"q\""));
+        // With the ring capped to 0 the recorder is a true no-op: even the
+        // lazy track name is never built.
+        let mut r = Recorder::disabled();
+        r.set_flight_capacity(0);
+        r.declare_track(Track::virt(1), || unreachable!("lazy name not built"));
+        r.span(Track::virt(1), "c", "s", 0, 10, &[]);
+        assert!(r.flight().is_empty());
+        assert_eq!(r.flight_dump_json(), "[\n]\n");
     }
 
     #[test]
@@ -536,6 +734,7 @@ mod tests {
             label: "nn.train",
             worker: 2,
             item: 7,
+            req: 0,
             start_us: 100,
             dur_us: 5,
         }]);
@@ -640,7 +839,10 @@ mod tests {
         r.set_labeled("q.hit", &[("template", "T18"), ("tenant", "0")], 9);
         r.add_labeled("fe.accepted", &[("tenant", "1")], 2);
         r.add_labeled("fe.accepted", &[("tenant", "1")], 3);
-        assert_eq!(r.labeled("q.hit", &[("tenant", "0"), ("template", "T18")]), 9);
+        assert_eq!(
+            r.labeled("q.hit", &[("tenant", "0"), ("template", "T18")]),
+            9
+        );
         assert_eq!(r.labeled("fe.accepted", &[("tenant", "1")]), 5);
         assert_eq!(r.labeled("fe.accepted", &[("tenant", "2")]), 0);
         let s = r.snapshot();
@@ -652,5 +854,113 @@ mod tests {
         d.set_labeled("x", &[("t", "0")], 1);
         assert_eq!(d.labeled("x", &[("t", "0")]), 0);
         assert!(d.snapshot().labeled.is_empty());
+    }
+
+    #[test]
+    fn flow_events_link_tracks_in_both_exports() {
+        let mut r = Recorder::enabled();
+        r.flow(
+            Track::virt(5),
+            "request",
+            "request.flow",
+            10,
+            42,
+            FlowDir::Start,
+        );
+        r.flow(
+            Track::virt(9),
+            "request",
+            "request.flow",
+            12,
+            42,
+            FlowDir::Finish,
+        );
+        assert_eq!(r.events().len(), 2);
+        assert_eq!(r.events()[0].flow, Some((42, FlowDir::Start)));
+        let json = r.chrome_trace_json();
+        assert!(json.contains("\"ph\":\"s\""), "{json}");
+        assert!(json.contains("\"ph\":\"f\",\"bp\":\"e\""), "{json}");
+        assert!(json.contains("\"id\":42"), "{json}");
+        // The ring mirrors flow endpoints too.
+        assert_eq!(r.flight().len(), 2);
+        assert!(r.flight_dump_json().contains("\"ph\":\"s\""));
+    }
+
+    #[test]
+    fn flight_ring_mirrors_recording_regardless_of_enabled_state() {
+        for enabled in [false, true] {
+            let mut r = if enabled {
+                Recorder::enabled()
+            } else {
+                Recorder::disabled()
+            };
+            r.set_flight_capacity(4);
+            r.declare_track(Track::virt(7), || "q7".to_owned());
+            for i in 0..9u64 {
+                r.span(Track::virt(7), "c", "s", i * 10, i * 10 + 5, &[("i", i)]);
+            }
+            assert_eq!(r.flight().len(), 4, "enabled={enabled}");
+            assert_eq!(r.flight().seq(), 9);
+            let dump = r.flight_dump_json();
+            // Only the last four spans survive: starts 50..=80.
+            assert!(!dump.contains("\"ts\":40"), "{dump}");
+            for ts in [50, 60, 70, 80] {
+                assert!(dump.contains(&format!("\"ts\":{ts}")), "{dump}");
+            }
+            assert!(dump.contains("\"name\":\"q7\""), "track name retained");
+        }
+    }
+
+    #[test]
+    fn trigger_flight_publishes_a_labeled_dump() {
+        let shared = flight::SharedFlight::new();
+        let mut r = Recorder::disabled();
+        r.set_flight_capacity(8);
+        r.set_flight_publisher(shared.clone());
+        r.span(Track::virt(1), "c", "replay", 0, 100, &[]);
+        assert_eq!(shared.get(), None, "no trigger yet");
+        r.trigger_flight("drift.alert", 120);
+        let dump = shared.get().expect("dump published on trigger");
+        assert_eq!(dump.reason, "drift.alert");
+        assert_eq!(dump.trigger_seq, 1, "one event before the trigger");
+        assert!(
+            dump.trace_json.contains("\"name\":\"replay\""),
+            "{}",
+            dump.trace_json
+        );
+        assert!(
+            dump.trace_json.contains("\"name\":\"flight.trigger\""),
+            "the trigger instant itself lands in the dump: {}",
+            dump.trace_json
+        );
+        assert!(
+            dump.trace_json.contains("flight-recorder"),
+            "{}",
+            dump.trace_json
+        );
+        // The trigger also leaves durable marks in the recorder itself —
+        // but a disabled recorder has no counters, so check the enabled one.
+        let mut e = Recorder::enabled();
+        e.trigger_flight("slow.request", 5);
+        assert_eq!(e.counter("flight.triggers"), 1);
+        assert_eq!(e.event_count("flight.trigger"), 1);
+        // An inactive ring makes triggers a no-op.
+        let mut off = Recorder::enabled();
+        off.set_flight_capacity(0);
+        off.trigger_flight("slow.request", 5);
+        assert_eq!(off.counter("flight.triggers"), 0);
+    }
+
+    #[test]
+    fn flight_track_names_are_fifo_bounded_at_ring_capacity() {
+        let mut r = Recorder::disabled();
+        r.set_flight_capacity(3);
+        for i in 0..10u32 {
+            r.declare_track(Track::virt(tid::QUERY_BASE + i), || format!("query-{i}"));
+            r.instant(Track::virt(tid::QUERY_BASE + i), "c", "e", i as u64, &[]);
+        }
+        let dump = r.flight_dump_json();
+        assert!(!dump.contains("query-0"), "evicted name: {dump}");
+        assert!(dump.contains("query-9"), "{dump}");
     }
 }

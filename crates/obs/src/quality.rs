@@ -257,6 +257,9 @@ pub enum DriftKind {
     Precision,
     /// Template-mix total-variation divergence.
     TemplateMix,
+    /// Operator-initiated drill ([`QualityTracker::force_alert`]) — not a
+    /// detector, but exercises the whole alert path end to end.
+    Drill,
 }
 
 impl DriftKind {
@@ -266,6 +269,7 @@ impl DriftKind {
             DriftKind::HitRate => 0,
             DriftKind::Precision => 1,
             DriftKind::TemplateMix => 2,
+            DriftKind::Drill => 3,
         }
     }
 
@@ -274,6 +278,7 @@ impl DriftKind {
             DriftKind::HitRate => "hit_rate",
             DriftKind::Precision => "precision",
             DriftKind::TemplateMix => "template_mix",
+            DriftKind::Drill => "drill",
         }
     }
 }
@@ -485,8 +490,6 @@ impl QualityTracker {
                 slot.ph_precision
                     .update(ep, cfg.ph_delta, cfg.ph_lambda, cfg.ph_min_samples);
         }
-        let ph_hit_score = slot.ph_hit.score();
-        let ph_precision_score = slot.ph_precision.score();
         let win = slot.window_totals;
 
         let ten = self.tenants.entry(tenant).or_insert_with(|| TenantState {
@@ -497,8 +500,7 @@ impl QualityTracker {
         ten.since_alert = ten.since_alert.saturating_add(1);
         ten.mix.push(template, cfg.mix_recent, cfg.mix_baseline);
         let mix_score = ten.mix.divergence();
-        let mix_fired =
-            ten.mix.baseline_full(cfg.mix_baseline) && mix_score >= cfg.mix_threshold;
+        let mix_fired = ten.mix.baseline_full(cfg.mix_baseline) && mix_score >= cfg.mix_threshold;
 
         // Trace the observation on the dedicated quality track.
         rec.declare_track(Track::virt(tid::QUALITY), || "quality".to_owned());
@@ -555,6 +557,9 @@ impl QualityTracker {
                 ],
             );
             rec.add("drift.alerts", 1);
+            // A drift alert is a flight-recorder anomaly trigger: dump the
+            // black box while the evidence is still in the ring.
+            rec.trigger_flight("drift.alert", a.at_us);
         }
 
         // Refresh the labeled series (cheap: one BTreeMap insert each).
@@ -582,6 +587,52 @@ impl QualityTracker {
             );
         }
         alerts
+    }
+
+    /// Raise a drift alert unconditionally — an operator drill (the
+    /// `serve_demo --force-drift` knob, the CI anomaly smoke) that
+    /// exercises the real alert path end to end: the `drift.alert` trace
+    /// instant, the `drift.alerts` counter and labeled series, per-tenant
+    /// cooldown bookkeeping, and the flight-recorder dump trigger. The
+    /// alert is [`DriftKind::Drill`] so dashboards can tell it from a
+    /// detector firing.
+    pub fn force_alert(&mut self, tenant: u32, now_us: u64, rec: &mut Recorder) -> DriftAlert {
+        let ten = self.tenants.entry(tenant).or_insert_with(|| TenantState {
+            since_alert: u64::MAX,
+            ..TenantState::default()
+        });
+        ten.observations += 1;
+        ten.alerts += 1;
+        ten.last_alert_us = Some(now_us);
+        ten.last_alert_kind = Some(DriftKind::Drill);
+        ten.since_alert = 0;
+        let alerts = ten.alerts;
+        rec.declare_track(Track::virt(tid::QUALITY), || "quality".to_owned());
+        rec.instant(
+            Track::virt(tid::QUALITY),
+            "quality",
+            "drift.alert",
+            now_us,
+            &[
+                ("tenant", tenant as u64),
+                ("kind", DriftKind::Drill.code()),
+                ("score_e6", 0),
+                ("count", alerts),
+            ],
+        );
+        rec.add("drift.alerts", 1);
+        if rec.is_enabled() {
+            let t = tenant.to_string();
+            let tlabel: [(&str, &str); 1] = [("tenant", &t)];
+            rec.set_labeled("drift.alerts", &tlabel, alerts);
+        }
+        rec.trigger_flight("drift.alert", now_us);
+        DriftAlert {
+            tenant,
+            kind: DriftKind::Drill,
+            score: 0.0,
+            at_us: now_us,
+        }
     }
 
     /// Windowed totals for a `(tenant, template)` slot.
@@ -700,11 +751,7 @@ impl QualityTracker {
             None => out.push_str("null"),
         }
         out.push_str(",\"observations\":");
-        out.push_str(
-            &ten.map(|t| t.observations)
-                .unwrap_or(0)
-                .to_string(),
-        );
+        out.push_str(&ten.map(|t| t.observations).unwrap_or(0).to_string());
         out.push_str(",\"templates\":[");
         let mut first = true;
         for ((t, template), slot) in &self.slots {
@@ -781,7 +828,10 @@ mod tests {
         assert_eq!(win.hit_rate(), batch.hit_rate());
         assert_eq!(win.prefetch_precision(), batch.prefetch_precision());
         assert_eq!(win.prefetch_recall(), batch.prefetch_recall());
-        assert_eq!(t.lifetime(0, "query.replay.T18").unwrap(), batch_totals(&outs));
+        assert_eq!(
+            t.lifetime(0, "query.replay.T18").unwrap(),
+            batch_totals(&outs)
+        );
     }
 
     #[test]
@@ -896,11 +946,39 @@ mod tests {
     }
 
     #[test]
+    fn force_alert_drill_fires_the_full_alert_path() {
+        let mut t = QualityTracker::default();
+        let mut rec = Recorder::enabled();
+        let shared = crate::flight::SharedFlight::new();
+        rec.set_flight_publisher(shared.clone());
+        let a = t.force_alert(7, 500, &mut rec);
+        assert_eq!(a.kind, DriftKind::Drill);
+        assert_eq!(a.tenant, 7);
+        assert_eq!(t.alerts(7), 1);
+        assert_eq!(t.last_alert_us(7), Some(500));
+        assert_eq!(rec.event_count("drift.alert"), 1);
+        assert_eq!(rec.counter("drift.alerts"), 1);
+        assert_eq!(rec.counter("flight.triggers"), 1);
+        let dump = shared.get().expect("drill publishes a flight dump");
+        assert_eq!(dump.reason, "drift.alert");
+        assert!(dump.trace_json.contains("\"drift.alert\""));
+        // The drill is visible (and distinguishable) in the health body.
+        let j = t.health_json(7, None, None);
+        assert!(j.contains("\"last_alert_kind\":\"drill\""), "{j}");
+    }
+
+    #[test]
     fn health_json_shape() {
         let mut t = QualityTracker::default();
         let mut rec = Recorder::enabled();
         for i in 0..8u64 {
-            t.observe(1, "query.replay.T18", outcome(8, 2, 4, 3, 20), 10 * i, &mut rec);
+            t.observe(
+                1,
+                "query.replay.T18",
+                outcome(8, 2, 4, 3, 20),
+                10 * i,
+                &mut rec,
+            );
         }
         let j = t.health_json(1, Some(3), Some((8, 2, 0)));
         assert!(j.starts_with("{\"drift\":{\"alerts\":0"));

@@ -8,6 +8,13 @@
 //! at convenient points (per admission wave), so scrapes never contend with
 //! the hot recording path.
 //!
+//! Started via [`MetricsServer::start_with_debug`], the same listener also
+//! serves the postmortem surface: `GET /debug/flight` returns the latest
+//! anomaly-triggered flight-recorder dump (Chrome-trace JSON from a
+//! [`crate::flight::SharedFlight`]; `404` until a trigger fires) and
+//! `GET /debug/slow` the live top-K slow-request log (a
+//! [`crate::request::SharedSlowLog`]).
+//!
 //! There is no HTTP library here on purpose: the whole protocol surface is
 //! "read one request head, write one `200 text/plain` (or `404`) response,
 //! close" — the same stance that keeps the rest of `pythia-obs`
@@ -46,6 +53,17 @@ impl SharedSnapshot {
     }
 }
 
+/// The debug-surface cells a [`MetricsServer`] can additionally serve:
+/// `/debug/flight` (latest flight dump) and `/debug/slow` (top-K slow
+/// requests). Cheap to clone; clones share the underlying cells.
+#[derive(Debug, Clone, Default)]
+pub struct DebugEndpoints {
+    /// Latest anomaly-triggered flight-recorder dump.
+    pub flight: crate::flight::SharedFlight,
+    /// Live top-K slow-request log.
+    pub slow: crate::request::SharedSlowLog,
+}
+
 /// A background thread serving `GET /metrics` from a [`SharedSnapshot`].
 #[derive(Debug)]
 pub struct MetricsServer {
@@ -59,6 +77,24 @@ impl MetricsServer {
     /// port) and start answering scrapes. The bound address is available via
     /// [`MetricsServer::addr`].
     pub fn start(addr: &str, shared: SharedSnapshot) -> std::io::Result<MetricsServer> {
+        MetricsServer::spawn(addr, shared, None)
+    }
+
+    /// [`MetricsServer::start`], additionally serving the `/debug/flight`
+    /// and `/debug/slow` postmortem routes from `debug`'s shared cells.
+    pub fn start_with_debug(
+        addr: &str,
+        shared: SharedSnapshot,
+        debug: DebugEndpoints,
+    ) -> std::io::Result<MetricsServer> {
+        MetricsServer::spawn(addr, shared, Some(debug))
+    }
+
+    fn spawn(
+        addr: &str,
+        shared: SharedSnapshot,
+        debug: Option<DebugEndpoints>,
+    ) -> std::io::Result<MetricsServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -71,7 +107,7 @@ impl MetricsServer {
                         break;
                     }
                     if let Ok(mut stream) = conn {
-                        let _ = answer(&mut stream, &shared);
+                        let _ = answer(&mut stream, &shared, debug.as_ref());
                     }
                 }
             })?;
@@ -110,20 +146,40 @@ impl Drop for MetricsServer {
 
 /// Read one request head and write the response. Any I/O error just drops
 /// the connection — a scraper retries, and the endpoint is diagnostic.
-fn answer(stream: &mut TcpStream, shared: &SharedSnapshot) -> std::io::Result<()> {
+fn answer(
+    stream: &mut TcpStream,
+    shared: &SharedSnapshot,
+    debug: Option<&DebugEndpoints>,
+) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
     stream.set_write_timeout(Some(Duration::from_millis(500)))?;
+    // The 0.0.4 text exposition content type Prometheus expects.
+    const PROM: &str = "text/plain; version=0.0.4; charset=utf-8";
+    const JSON: &str = "application/json";
     let path = read_request_path(stream)?;
-    let (status, body) = match path.as_deref() {
-        Some("/metrics") => ("200 OK", shared.get().to_prometheus()),
-        Some("/metrics.json") => ("200 OK", shared.get().to_json()),
-        _ => ("404 Not Found", String::from("try /metrics\n")),
-    };
-    let content_type = if path.as_deref() == Some("/metrics.json") {
-        "application/json"
-    } else {
-        // The 0.0.4 text exposition content type Prometheus expects.
-        "text/plain; version=0.0.4; charset=utf-8"
+    let (status, content_type, body) = match path.as_deref() {
+        Some("/metrics") => ("200 OK", PROM, shared.get().to_prometheus()),
+        Some("/metrics.json") => ("200 OK", JSON, shared.get().to_json()),
+        Some("/debug/slow") if debug.is_some() => (
+            "200 OK",
+            JSON,
+            debug.expect("guarded by match arm").slow.to_json(),
+        ),
+        Some("/debug/flight") if debug.is_some() => {
+            match debug.expect("guarded by match arm").flight.get() {
+                Some(dump) => ("200 OK", JSON, dump.trace_json),
+                None => (
+                    "404 Not Found",
+                    PROM,
+                    String::from("no flight dump captured yet (no anomaly trigger has fired)\n"),
+                ),
+            }
+        }
+        _ => (
+            "404 Not Found",
+            PROM,
+            String::from("try /metrics, /metrics.json, /debug/slow or /debug/flight\n"),
+        ),
     };
     let head = format!(
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
@@ -186,7 +242,11 @@ mod tests {
         shared.publish(MetricsSnapshot {
             counters: vec![("reads.hit".into(), 41)],
             hists: vec![("server.admission_wait_us".into(), h.summary())],
-            labeled: vec![("frontend.accepted".into(), vec![("tenant".into(), "0".into())], 5)],
+            labeled: vec![(
+                "frontend.accepted".into(),
+                vec![("tenant".into(), "0".into())],
+                5,
+            )],
         });
 
         let resp = scrape(server.addr(), "/metrics");
@@ -212,6 +272,50 @@ mod tests {
 
         let missing = scrape(server.addr(), "/nope");
         assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+        // Debug routes are absent unless started with them.
+        let no_debug = scrape(server.addr(), "/debug/slow");
+        assert!(no_debug.starts_with("HTTP/1.1 404"), "{no_debug}");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn serves_debug_flight_and_slow_routes() {
+        use crate::flight::FlightDump;
+        use crate::request::RequestBreakdown;
+
+        let shared = SharedSnapshot::new();
+        let debug = DebugEndpoints::default();
+        let server =
+            MetricsServer::start_with_debug("127.0.0.1:0", shared, debug.clone()).expect("bind");
+
+        // No anomaly yet: /debug/flight is an explicit 404, /debug/slow an
+        // empty log.
+        let flight = scrape(server.addr(), "/debug/flight");
+        assert!(flight.starts_with("HTTP/1.1 404"), "{flight}");
+        assert!(flight.contains("no flight dump captured yet"), "{flight}");
+        let slow = scrape(server.addr(), "/debug/slow");
+        assert!(slow.starts_with("HTTP/1.1 200 OK"), "{slow}");
+        assert!(slow.contains("\"count\":0"), "{slow}");
+
+        debug.slow.offer(RequestBreakdown {
+            request: 3,
+            replay_us: 500,
+            ..RequestBreakdown::default()
+        });
+        debug.flight.publish(FlightDump {
+            reason: "drift.alert".to_owned(),
+            trace_json: "[\n{\"ph\":\"i\",\"pid\":1,\"tid\":0,\"ts\":1,\"s\":\"t\",\"cat\":\"c\",\"name\":\"e\",\"args\":{}}\n]\n".to_owned(),
+            trigger_seq: 1,
+        });
+        let flight = scrape(server.addr(), "/debug/flight");
+        assert!(flight.starts_with("HTTP/1.1 200 OK"), "{flight}");
+        assert!(flight.contains("application/json"), "{flight}");
+        assert!(flight.contains("\"name\":\"e\""), "{flight}");
+        let slow = scrape(server.addr(), "/debug/slow");
+        assert!(slow.contains("\"request\":3"), "{slow}");
+        assert!(slow.contains("\"latency_us\":500"), "{slow}");
 
         server.shutdown();
     }

@@ -53,7 +53,9 @@ impl MetricsSnapshot {
             .find(|(n, l, _)| {
                 n == name
                     && l.len() == labels.len()
-                    && l.iter().zip(labels).all(|((k, v), (ek, ev))| k == ek && v == ev)
+                    && l.iter()
+                        .zip(labels)
+                        .all(|((k, v), (ek, ev))| k == ek && v == ev)
             })
             .map(|&(_, _, v)| v)
             .unwrap_or(0)
@@ -206,7 +208,13 @@ impl MetricsSnapshot {
 /// colons, unlike metric names).
 fn prom_label_key(key: &str) -> String {
     key.chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 
@@ -385,9 +393,8 @@ mod tests {
             )],
         };
         let text = snap.to_prometheus();
-        assert!(text.contains(
-            "pythia_frontend_accepted{tenant=\"acme \\\"prod\\\"\\\\eu\\nwest\"} 4\n"
-        ));
+        assert!(text
+            .contains("pythia_frontend_accepted{tenant=\"acme \\\"prod\\\"\\\\eu\\nwest\"} 4\n"));
         // No raw newline may survive inside a sample line.
         assert_eq!(text.lines().count(), 2);
     }

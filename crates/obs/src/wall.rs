@@ -12,7 +12,7 @@
 //! [`now_us`]) — monotonic, comparable across workers, and explicitly *not*
 //! deterministic across runs.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
@@ -25,6 +25,9 @@ pub struct WallTask {
     pub worker: u32,
     /// Which work item the task processed (model index, batch index, ...).
     pub item: u64,
+    /// Request id the task is attributed to (see [`set_request`]); 0 means
+    /// unattributed.
+    pub req: u64,
     pub start_us: u64,
     pub dur_us: u64,
 }
@@ -32,6 +35,8 @@ pub struct WallTask {
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static TASKS: Mutex<Vec<WallTask>> = Mutex::new(Vec::new());
 static EPOCH: OnceLock<Instant> = OnceLock::new();
+/// Ambient request attribution for pool tasks (see [`set_request`]).
+static REQUEST: AtomicU64 = AtomicU64::new(0);
 
 /// Turn wall-task capture on or off process-wide. Off by default; the pool
 /// pays one relaxed atomic load per task when off.
@@ -49,6 +54,22 @@ pub fn enabled() -> bool {
 pub fn now_us() -> u64 {
     let epoch = *EPOCH.get_or_init(Instant::now);
     Instant::now().duration_since(epoch).as_micros() as u64
+}
+
+/// Set the ambient request id that subsequently captured pool tasks are
+/// attributed to (0 clears it). The serving loop brackets each request's
+/// inference dispatch with `set_request(id)` / `set_request(0)`, so pool
+/// workers can stamp [`WallTask::req`] via [`current_request`] without any
+/// per-task plumbing. Process-wide like the rest of this module — batched
+/// dispatches covering several requests are attributed to the batch head.
+pub fn set_request(id: u64) {
+    REQUEST.store(id, Ordering::Relaxed);
+}
+
+/// The current ambient request id (0 when unattributed).
+#[inline]
+pub fn current_request() -> u64 {
+    REQUEST.load(Ordering::Relaxed)
 }
 
 /// Record one completed task (no-op unless [`enabled`]).
@@ -76,6 +97,7 @@ mod tests {
             label: "nn.test",
             worker: 0,
             item: 1,
+            req: 0,
             start_us: 10,
             dur_us: 2,
         };
@@ -97,5 +119,12 @@ mod tests {
         let a = now_us();
         let b = now_us();
         assert!(b >= a);
+
+        // Ambient request attribution: set, observe, clear.
+        assert_eq!(current_request(), 0);
+        set_request(42);
+        assert_eq!(current_request(), 42);
+        set_request(0);
+        assert_eq!(current_request(), 0);
     }
 }

@@ -32,6 +32,23 @@
 //! * `--train` — train a Pythia predictor per tenant and publish it through
 //!   the hot-swappable model registry (slower startup; admitted queries then
 //!   replay with learned prefetching).
+//! * `--metrics-addr <host:port>` — listen address for the metrics/debug
+//!   endpoint (default `127.0.0.1:0`). Serves `/metrics`, `/metrics.json`,
+//!   `/debug/slow` (top-K slowest requests with latency breakdowns) and
+//!   `/debug/flight` (the latest anomaly-triggered postmortem trace dump).
+//! * `--slow-ms <n>` — virtual-time latency (milliseconds) above which a
+//!   completion counts as a slow request and triggers a flight-recorder
+//!   dump (default 0 = disabled).
+//! * `--flight-out <path>` — write the latest flight dump (Chrome-trace
+//!   JSON) to `path` on shutdown.
+//! * `--force-drift <tenant>` — raise one operator-drill drift alert on
+//!   that tenant after its first served batch; exercises the full
+//!   drift-alert + postmortem-dump path deterministically (the CI anomaly
+//!   smoke).
+//!
+//! Anomaly triggers that snapshot the always-on flight recorder into
+//! `/debug/flight`: drift alerts (real or drilled), slow requests over
+//! `--slow-ms`, and shed bursts (8+ newly shed requests between drains).
 //!
 //! `/shutdown` drains the queue and exits cleanly — that is how the CI
 //! smoke test stops the demo.
@@ -46,7 +63,11 @@ use pythia::core::{
     PrefetchServer, PythiaConfig, QueuePolicy, ServerConfig, ServerRequest,
 };
 use pythia::db::runtime::RunConfig;
+use pythia::obs::flight::SharedFlight;
 use pythia::obs::quality::QualityTracker;
+use pythia::obs::request::SharedSlowLog;
+use pythia::obs::serve::{DebugEndpoints, MetricsServer, SharedSnapshot};
+use pythia::obs::Recorder;
 use pythia::sim::SimDuration;
 use pythia::workloads::templates::{sample_workload, Template};
 use pythia::workloads::{build_benchmark, GeneratorConfig};
@@ -77,6 +98,13 @@ fn main() {
         .unwrap_or(1)
         .max(1);
     let train = std::env::args().any(|a| a == "--train");
+    let metrics_addr = flag_value("metrics-addr").unwrap_or_else(|| "127.0.0.1:0".to_owned());
+    let slow_ms: u64 = flag_value("slow-ms")
+        .map(|v| v.parse().expect("--slow-ms takes an integer"))
+        .unwrap_or(0);
+    let flight_out = flag_value("flight-out");
+    let force_drift: Option<u32> =
+        flag_value("force-drift").map(|v| v.parse().expect("--force-drift takes a tenant index"));
 
     eprintln!("[serve_demo] building {tenants} tenant database(s) + query catalogs...");
     let benches: Vec<_> = (0..tenants)
@@ -146,6 +174,28 @@ fn main() {
     }
     println!("  stop: curl http://{}/shutdown", fe.addr());
 
+    // Live metrics plus the postmortem debug surface. The flight recorder
+    // and slow log are shared by the whole tenant fleet: any server's
+    // anomaly trigger publishes the dump `/debug/flight` serves, and every
+    // batch feeds the top-K slow log behind `/debug/slow`.
+    let snap = SharedSnapshot::new();
+    let flight = SharedFlight::new();
+    let slow_log = SharedSlowLog::new();
+    let metrics = MetricsServer::start_with_debug(
+        &metrics_addr,
+        snap.clone(),
+        DebugEndpoints {
+            flight: flight.clone(),
+            slow: slow_log.clone(),
+        },
+    )
+    .unwrap_or_else(|e| panic!("binding metrics {metrics_addr}: {e}"));
+    println!("serve_demo metrics on http://{}/metrics", metrics.addr());
+    println!(
+        "  debug: http://{0}/debug/slow and http://{0}/debug/flight",
+        metrics.addr()
+    );
+
     // One quality tracker shared by the whole fleet (it is keyed by tenant
     // internally) feeds the per-tenant /t/<tenant>/health route: rolling
     // quality windows, drift detectors, the fleet's live model version, and
@@ -190,12 +240,39 @@ fn main() {
             if train {
                 s = s.with_registry(registry.tenant(&format!("tenant{t}")));
             }
+            // Every tenant's recorder can publish postmortem dumps; tenant
+            // 0's additionally feeds the /metrics snapshot (one snapshot
+            // cell — per-tenant quality lives at /t/<tenant>/health).
+            let mut rec = Recorder::enabled();
+            rec.set_flight_publisher(flight.clone());
+            if t == 0 {
+                rec.set_publisher(snap.clone());
+            }
+            s.set_recorder(rec);
+            if slow_ms > 0 {
+                s.set_slow_threshold(Some(SimDuration::from_millis(slow_ms)));
+            }
             s
         })
         .collect();
 
+    // Shed bursts are an anomaly trigger: 8+ newly shed requests between
+    // drains snapshot the flight recorder for postmortem inspection.
+    const SHED_BURST: u64 = 8;
+    let mut last_shed = 0u64;
+    let mut drift_fired = false;
     loop {
         let batch = fe.drain_batch(Duration::from_millis(50));
+        let shed = fe.stats().shed;
+        if shed.saturating_sub(last_shed) >= SHED_BURST {
+            let now_us = srvs[0].runtime().now().as_micros();
+            srvs[0].recorder_mut().trigger_flight("shed.burst", now_us);
+            eprintln!(
+                "[serve_demo] shed burst: {} newly shed requests, flight dump captured",
+                shed - last_shed
+            );
+        }
+        last_shed = shed;
         if batch.is_empty() {
             if fe.shutdown_requested() && fe.depth() == 0 {
                 break;
@@ -234,16 +311,48 @@ fn main() {
                 rep.makespan(),
                 rep.throughput_qps()
             );
+            // Feed the /debug/slow top-K log with every request's
+            // queue/admission/inference/replay breakdown.
+            for b in rep.breakdowns() {
+                slow_log.offer(b);
+            }
+            if force_drift == Some(t as u32) && !drift_fired {
+                drift_fired = true;
+                let now_us = srvs[t].runtime().now().as_micros();
+                let mut tracker = match quality.lock() {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                let alert = tracker.force_alert(t as u32, now_us, srvs[t].recorder_mut());
+                drop(tracker);
+                eprintln!(
+                    "[serve_demo] forced drift drill on tenant {t}: kind {}, flight dump captured",
+                    alert.kind.name()
+                );
+            }
             for (a, q) in group.into_iter().zip(&rep.queries) {
                 a.responder.ok_json(&outcome_json(a.query, q));
             }
         }
     }
 
+    if let Some(path) = flight_out {
+        match flight.get() {
+            Some(d) => {
+                std::fs::write(&path, &d.trace_json)
+                    .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+                println!("flight dump ({}) written to {path}", d.reason);
+            }
+            None => eprintln!(
+                "[serve_demo] no flight dump captured (no anomaly trigger fired); {path} not written"
+            ),
+        }
+    }
     let stats = fe.stats();
     println!(
         "serve_demo done: accepted {} shed {} rejected {}",
         stats.accepted, stats.shed, stats.rejected
     );
+    metrics.shutdown();
     fe.shutdown();
 }

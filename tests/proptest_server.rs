@@ -23,6 +23,7 @@ use pythia::db::plan::PlanNode;
 use pythia::db::runtime::{QueryRun, RunConfig, Runtime};
 use pythia::db::trace::{AccessKind, Trace, TraceEvent};
 use pythia::db::types::Schema;
+use pythia::obs::Recorder;
 use pythia::sim::{FileId, PageId, SimDuration, SimTime};
 
 /// One shared database: the serving loop only uses it for file lengths (no
@@ -352,6 +353,102 @@ proptest! {
 
         let max_depth = report.waves.iter().map(|w| w.queue_depth).max().unwrap();
         prop_assert_eq!(report.max_queue_depth(), max_depth);
+    }
+
+    /// Request tracing is a pure observation layer: serving with an enabled
+    /// recorder — which emits per-request span trees and flow links, and
+    /// mirrors every event into the always-on flight ring — leaves the
+    /// schedule bit-identical to an untraced serve. The per-request latency
+    /// breakdowns partition each query's end-to-end latency exactly, the
+    /// `request.*` spans reconcile with the report, and the flight ring
+    /// retains precisely the tail of the full event stream at any capacity.
+    #[test]
+    fn request_tracing_is_pure_observation_and_flight_ring_is_a_tail(
+        specs in prop::collection::vec(trace_strategy(), 1..6),
+        arrivals in prop::collection::vec(0u64..1_500_000, 6),
+        concurrency in 1usize..4,
+        continuous in any::<bool>(),
+        flight_cap in prop::sample::select(vec![4usize, 32, 4096]),
+        charge_us in 0u64..3_000,
+    ) {
+        let db = db();
+        let traces: Vec<Trace> = specs.iter().map(|s| build_trace(s)).collect();
+        let run_cfg = RunConfig { pool_frames: 128, ..Default::default() };
+        let plan = plan();
+        let requests: Vec<ServerRequest<'_>> = traces
+            .iter()
+            .zip(&arrivals)
+            .map(|(trace, &us)| ServerRequest::new(&plan, trace, SimDuration::from_micros(us)))
+            .collect();
+        let cfg = ServerConfig {
+            concurrency,
+            admission: if continuous { AdmissionMode::Continuous } else { AdmissionMode::Wave },
+            policy: QueuePolicy::Overlap,
+            charge: InferenceCharge::Fixed(SimDuration::from_micros(charge_us)),
+            prefetch_budget: None,
+            tenant_quota: None,
+        };
+
+        let mut untraced = PrefetchServer::new(db, &run_cfg, cfg);
+        let base = untraced.serve(&requests);
+
+        let mut traced = PrefetchServer::new(db, &run_cfg, cfg);
+        let mut recorder = Recorder::enabled();
+        recorder.set_flight_capacity(flight_cap);
+        traced.set_recorder(recorder);
+        let report = traced.serve(&requests);
+        let rec = traced.take_recorder();
+
+        // Bit identity: tracing must not perturb virtual time.
+        prop_assert_eq!(base.queries.len(), report.queries.len());
+        for (i, (a, b)) in base.queries.iter().zip(&report.queries).enumerate() {
+            prop_assert_eq!(a.arrival, b.arrival, "query {}", i);
+            prop_assert_eq!(a.admitted, b.admitted, "query {}", i);
+            prop_assert_eq!(a.start, b.start, "query {}", i);
+            prop_assert_eq!(a.end, b.end, "query {}", i);
+            prop_assert_eq!(a.inference, b.inference, "query {}", i);
+        }
+        prop_assert_eq!(base.stats, report.stats);
+        prop_assert_eq!(untraced.runtime().now(), traced.runtime().now());
+
+        // Breakdowns partition each query's end-to-end latency, and the
+        // span tree drawn from them reconciles with the report: every query
+        // gets its four `request.*` spans, tagged with its ordinal id, whose
+        // bounds are exactly the report's arrival/admitted/start/end times.
+        let n = report.queries.len();
+        for name in ["request.queue", "request.admission", "request.infer", "request.replay"] {
+            prop_assert_eq!(rec.event_count(name), n, "one {} span per query", name);
+        }
+        for (i, q) in report.queries.iter().enumerate() {
+            prop_assert_eq!(q.request, i as u64 + 1, "serve assigns ordinal ids");
+            let b = q.breakdown();
+            prop_assert_eq!(b.queue_us, q.admission_wait().as_micros());
+            prop_assert_eq!(
+                b.queue_us + b.admission_us + b.replay_us,
+                q.latency().as_micros(),
+                "breakdown must partition the end-to-end latency of query {}", i
+            );
+            let tagged = |name: &str| {
+                rec.events()
+                    .iter()
+                    .find(|e| e.name == name && e.args.contains(&("request", q.request)))
+                    .cloned()
+            };
+            let queue = tagged("request.queue").expect("queue span");
+            prop_assert_eq!(queue.ts_us, q.arrival.as_micros());
+            prop_assert_eq!(queue.ts_us + queue.dur_us.unwrap(), q.admitted.as_micros());
+            let replay = tagged("request.replay").expect("replay span");
+            prop_assert_eq!(replay.ts_us, q.start.as_micros());
+            prop_assert_eq!(replay.ts_us + replay.dur_us.unwrap(), q.end.as_micros());
+        }
+
+        // Flight ring == tail of the full same-run event stream: the ring
+        // drops only the oldest events, never reorders or rewrites.
+        let events = rec.events();
+        let ring = rec.flight().snapshot();
+        let tail_from = events.len().saturating_sub(flight_cap);
+        prop_assert_eq!(ring.len(), events.len().min(flight_cap));
+        prop_assert_eq!(ring.as_slice(), &events[tail_from..]);
     }
 
     /// The C=1/FIFO/Fixed bit-identity pin also holds when queries route

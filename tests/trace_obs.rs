@@ -143,6 +143,7 @@ fn traced_server_reconciles_and_virtual_trace_is_deterministic() {
                 // Alternate templates so the trace groups repeated shapes.
                 span_name: [Template::T18, Template::T91][i % 2].replay_span(),
                 tenant: 0,
+                request: 0,
             })
             .collect();
         let mut server = PrefetchServer::new(&db, &run_cfg, cfg);
@@ -192,6 +193,93 @@ fn traced_server_reconciles_and_virtual_trace_is_deterministic() {
 }
 
 #[test]
+fn served_trace_carries_flow_linked_request_spans() {
+    let db = fixture_db();
+    let run_cfg = RunConfig {
+        pool_frames: 64,
+        os_cache_pages: 96,
+        ..Default::default()
+    };
+    let cfg = ServerConfig {
+        concurrency: 2,
+        admission: AdmissionMode::Continuous,
+        policy: QueuePolicy::Fifo,
+        charge: InferenceCharge::Fixed(SimDuration::from_micros(40)),
+        prefetch_budget: Some(16),
+        tenant_quota: None,
+    };
+    let traces: Vec<Trace> = (0..4).map(|q| seq_trace(q * 11, 16)).collect();
+    let requests: Vec<ServerRequest<'_>> = traces
+        .iter()
+        .enumerate()
+        .map(|(i, trace)| ServerRequest {
+            plan: &PlanNode::SeqScan {
+                table: pythia::db::catalog::TableId(0),
+                pred: None,
+            },
+            trace,
+            arrival: SimDuration::from_micros(100 * i as u64),
+            span_name: Template::T18.replay_span(),
+            tenant: 0,
+            request: 0,
+        })
+        .collect();
+    let mut server = PrefetchServer::new(&db, &run_cfg, cfg);
+    server.set_recorder(Recorder::enabled());
+    let report = server.serve(&requests);
+    let rec = server.take_recorder();
+
+    // Zero ids are replaced with per-serve ordinals.
+    for (i, q) in report.queries.iter().enumerate() {
+        assert_eq!(q.request, i as u64 + 1, "serve assigns ordinal request ids");
+    }
+
+    // The request span tree: one queue/admission/infer/replay span per query.
+    for name in [
+        "request.queue",
+        "request.admission",
+        "request.infer",
+        "request.replay",
+    ] {
+        assert_eq!(rec.event_count(name), 4, "one {name} span per query");
+    }
+
+    // request.replay ends reconcile with the report's per-query end times.
+    let mut span_ends: Vec<u64> = rec
+        .events()
+        .iter()
+        .filter(|e| e.name == "request.replay")
+        .map(|e| e.ts_us + e.dur_us.expect("request.replay is a complete span"))
+        .collect();
+    span_ends.sort_unstable();
+    let mut report_ends: Vec<u64> = report.queries.iter().map(|q| q.end.as_micros()).collect();
+    report_ends.sort_unstable();
+    assert_eq!(span_ends, report_ends);
+
+    // Chrome export links each request track to the server track with one
+    // flow start + one flow finish carrying the request id.
+    let json = rec.chrome_trace_json();
+    let v: serde_json::Value = serde_json::from_str(&json).expect("trace must be valid JSON");
+    let mut starts = std::collections::BTreeSet::new();
+    let mut finishes = std::collections::BTreeSet::new();
+    for e in v.as_array().expect("trace is a JSON array") {
+        match e["ph"].as_str().expect("ph is a string") {
+            "s" => {
+                starts.insert(e["id"].as_u64().expect("flow start id"));
+            }
+            "f" => {
+                assert_eq!(e["bp"].as_str(), Some("e"), "flow finish binds enclosing");
+                finishes.insert(e["id"].as_u64().expect("flow finish id"));
+            }
+            _ => {}
+        }
+    }
+    let want: std::collections::BTreeSet<u64> = (1..=4).collect();
+    assert_eq!(starts, want, "one flow start per request id");
+    assert_eq!(finishes, want, "one flow finish per request id");
+}
+
+#[test]
 fn chrome_trace_json_is_schema_valid() {
     let db = fixture_db();
     let (_, rec) = traced_run(&db);
@@ -227,6 +315,16 @@ fn chrome_trace_json_is_schema_valid() {
                 assert!(obj["ts"].is_u64());
                 assert_eq!(obj["s"].as_str(), Some("t"), "instants are thread-scoped");
                 assert!(obj["name"].is_string());
+            }
+            "s" | "f" => {
+                // Flow events (request linking): numeric id instead of
+                // dur/s; finishes bind to the enclosing slice.
+                assert!(obj["ts"].is_u64());
+                assert!(obj["id"].is_u64(), "flow events carry a numeric id");
+                assert!(obj["name"].is_string());
+                if ph == "f" {
+                    assert_eq!(obj["bp"].as_str(), Some("e"), "flow finish binds enclosing");
+                }
             }
             other => panic!("unexpected phase {other:?}"),
         }
